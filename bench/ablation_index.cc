@@ -1,0 +1,101 @@
+// Ablation: the dispatcher's subscription index.
+//
+// DEFCON performs centralised filtering: tick events are matched against an
+// equality index over subscription filters, so the candidate set per event is
+// the monitors of that symbol, not the whole population. The paper names the
+// absence of centralised filtering as the reason Marketcetera collapses
+// (Fig. 8). This ablation disables the index inside DEFCON itself, turning
+// every subscription into a match candidate for every event, and reports the
+// resulting throughput loss.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/workload.h"
+#include "src/base/flags.h"
+#include "src/base/table.h"
+
+namespace defcon {
+namespace {
+
+double MedianThroughput(size_t traders, size_t ticks, bool use_index) {
+  EngineConfig engine_config;
+  engine_config.mode = SecurityMode::kLabels;
+  engine_config.num_threads = 0;
+  engine_config.use_subscription_index = use_index;
+  Engine engine(engine_config);
+
+  PlatformConfig platform_config;
+  platform_config.num_traders = traders;
+  platform_config.num_symbols = 200;
+  platform_config.seed = 7;
+  platform_config.trader.trade_feedback = false;
+  platform_config.trader.record_tag_names = false;
+  TradingPlatform platform(&engine, platform_config);
+  platform.Assemble();
+  engine.Start();
+  engine.RunUntilIdle();
+
+  TickSource source(200, 7);
+  const std::vector<Tick> trace = source.Generate(ticks);
+  SampleSet samples;
+  const size_t batch = ticks / 6;
+  for (size_t start = 0; start < trace.size(); start += batch) {
+    const size_t end = std::min(start + batch, trace.size());
+    const int64_t t0 = MonotonicNowNs();
+    for (size_t i = start; i < end; ++i) {
+      platform.InjectTick(trace[i]);
+      if ((i & 0x3F) == 0) {
+        engine.RunUntilIdle();
+      }
+    }
+    engine.RunUntilIdle();
+    const int64_t dt = MonotonicNowNs() - t0;
+    if (start > 0 && dt > 0) {  // first batch is warmup
+      samples.Add(static_cast<double>(end - start) * 1e9 / static_cast<double>(dt));
+    }
+  }
+  return samples.Median();
+}
+
+int Main(int argc, char** argv) {
+  int64_t ticks = 6000;
+  std::string trader_list = "100,200,400";
+  FlagSet flags;
+  flags.Register("ticks", &ticks, "ticks per configuration");
+  flags.Register("traders", &trader_list, "comma-separated trader counts");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+  std::vector<size_t> trader_counts;
+  size_t start = 0;
+  while (start < trader_list.size()) {
+    size_t comma = trader_list.find(',', start);
+    if (comma == std::string::npos) {
+      comma = trader_list.size();
+    }
+    trader_counts.push_back(
+        static_cast<size_t>(std::stoul(trader_list.substr(start, comma - start))));
+    start = comma + 1;
+  }
+
+  std::printf("Ablation: centralised filtering (subscription equality index)\n\n");
+  Table table({"traders", "indexed (kev/s)", "no index (kev/s)", "index speedup"});
+  for (size_t traders : trader_counts) {
+    const double with_index = MedianThroughput(traders, static_cast<size_t>(ticks), true);
+    const double without = MedianThroughput(traders, static_cast<size_t>(ticks), false);
+    table.AddRow({Table::Int(static_cast<int64_t>(traders)), Table::Num(with_index / 1000.0, 1),
+                  Table::Num(without / 1000.0, 1),
+                  Table::Num(without > 0 ? with_index / without : 0.0, 1)});
+  }
+  table.RenderText(std::cout);
+  std::printf(
+      "\nWithout the index every event is filter-evaluated against every subscription —\n"
+      "the per-client filtering regime the paper blames for Marketcetera's collapse\n"
+      "(Fig. 8); the speedup grows with the subscription population.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace defcon
+
+int main(int argc, char** argv) { return defcon::Main(argc, argv); }

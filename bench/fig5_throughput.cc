@@ -1,0 +1,82 @@
+// Figure 5: maximum supported event rate in DEFCON as a function of the
+// number of traders, for the four security configurations.
+//
+// Paper result (Sun JVM, 2x Xeon E5540): no-security falls from ~220k ev/s at
+// 200 traders to ~75k at 2,000; labels+freeze is within noise of no-security;
+// labels+clone costs ~30%; labels+freeze+isolation ~20%, constant in traders.
+// Expect the same ordering and relative gaps here; absolute numbers depend on
+// this machine.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/workload.h"
+#include "src/base/flags.h"
+#include "src/base/table.h"
+
+namespace defcon {
+namespace {
+
+int Main(int argc, char** argv) {
+  int64_t ticks = 16000;
+  int64_t batch = 2000;
+  int64_t symbols = 200;
+  int64_t threads = 0;
+  int64_t seed = 7;
+  std::string trader_list = "200,600,1000,1400,2000";
+  FlagSet flags;
+  flags.Register("ticks", &ticks, "ticks replayed per configuration");
+  flags.Register("batch", &batch, "ticks per throughput window");
+  flags.Register("symbols", &symbols, "symbol universe size");
+  flags.Register("threads", &threads, "engine worker threads (0 = single-threaded pump)");
+  flags.Register("seed", &seed, "workload seed");
+  flags.Register("traders", &trader_list, "comma-separated trader counts");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+
+  std::vector<size_t> trader_counts;
+  size_t start = 0;
+  while (start < trader_list.size()) {
+    size_t comma = trader_list.find(',', start);
+    if (comma == std::string::npos) {
+      comma = trader_list.size();
+    }
+    trader_counts.push_back(static_cast<size_t>(std::stoul(trader_list.substr(start, comma - start))));
+    start = comma + 1;
+  }
+
+  std::printf("Figure 5: DEFCON maximum event rate vs number of traders\n");
+  std::printf("(median of %lld-tick windows, %lld ticks per configuration)\n\n",
+              static_cast<long long>(batch), static_cast<long long>(ticks));
+
+  Table table({"traders", "no-security (kev/s)", "labels+freeze (kev/s)", "labels+clone (kev/s)",
+               "labels+freeze+isolation (kev/s)"});
+  const SecurityMode modes[] = {SecurityMode::kNoSecurity, SecurityMode::kLabels,
+                                SecurityMode::kLabelsClone, SecurityMode::kLabelsIsolation};
+  for (size_t traders : trader_counts) {
+    std::vector<std::string> row = {Table::Int(static_cast<int64_t>(traders))};
+    for (SecurityMode mode : modes) {
+      WorkloadConfig config;
+      config.mode = mode;
+      config.traders = traders;
+      config.symbols = static_cast<size_t>(symbols);
+      config.seed = static_cast<uint64_t>(seed);
+      config.ticks = static_cast<size_t>(ticks);
+      config.batch = static_cast<size_t>(batch);
+      config.engine_threads = static_cast<size_t>(threads);
+      const WorkloadResult result = RunTradingWorkload(config);
+      row.push_back(Table::Num(result.throughput_samples.Median() / 1000.0, 1));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.RenderText(std::cout);
+  std::printf(
+      "\nPaper shape: throughput decreases with traders; labels+freeze ~= no-security;\n"
+      "labels+clone ~30%% below; isolation ~20%% below, constant across trader counts.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace defcon
+
+int main(int argc, char** argv) { return defcon::Main(argc, argv); }

@@ -1,0 +1,141 @@
+// Micro: event dispatch. Publish-to-delivery hop cost per security mode and
+// match cost as the subscription population grows — the engine-side numbers
+// behind Figs. 5 and 6.
+#include <benchmark/benchmark.h>
+
+#include "src/core/engine.h"
+#include "src/core/unit.h"
+
+namespace defcon {
+namespace {
+
+class CountingUnit : public Unit {
+ public:
+  void OnStart(UnitContext& ctx) override {
+    (void)ctx.Subscribe(Filter::Eq("type", Value::OfString("ping")));
+  }
+  void OnEvent(UnitContext& ctx, EventHandle event, SubscriptionId sub) override { ++count_; }
+  uint64_t count() const { return count_; }
+
+ private:
+  uint64_t count_ = 0;
+};
+
+class PublisherUnit : public Unit {
+ public:
+  void OnEvent(UnitContext& ctx, EventHandle event, SubscriptionId sub) override {}
+  Status PublishPing(UnitContext& ctx) {
+    auto event = ctx.CreateEvent();
+    DEFCON_RETURN_IF_ERROR(event.status());
+    DEFCON_RETURN_IF_ERROR(ctx.AddPart(*event, Label(), "type", Value::OfString("ping")));
+    DEFCON_RETURN_IF_ERROR(ctx.AddPart(*event, Label(), "seq", Value::OfInt(seq_++)));
+    return ctx.Publish(*event);
+  }
+
+ private:
+  int64_t seq_ = 0;
+};
+
+void RunHopBenchmark(benchmark::State& state, SecurityMode mode) {
+  EngineConfig config;
+  config.mode = mode;
+  config.num_threads = 0;
+  Engine engine(config);
+  engine.AddUnit("receiver", std::make_unique<CountingUnit>());
+  auto* publisher = new PublisherUnit();
+  const UnitId pub_id = engine.AddUnit("publisher", std::unique_ptr<Unit>(publisher));
+  engine.Start();
+  engine.RunUntilIdle();
+  for (auto _ : state) {
+    engine.InjectTurn(pub_id, [publisher](UnitContext& ctx) { (void)publisher->PublishPing(ctx); });
+    engine.RunUntilIdle();
+  }
+  state.counters["deliveries"] = static_cast<double>(engine.stats().deliveries);
+}
+
+void BM_PublishDeliverHop_NoSecurity(benchmark::State& state) {
+  RunHopBenchmark(state, SecurityMode::kNoSecurity);
+}
+void BM_PublishDeliverHop_Labels(benchmark::State& state) {
+  RunHopBenchmark(state, SecurityMode::kLabels);
+}
+void BM_PublishDeliverHop_Clone(benchmark::State& state) {
+  RunHopBenchmark(state, SecurityMode::kLabelsClone);
+}
+void BM_PublishDeliverHop_Isolation(benchmark::State& state) {
+  RunHopBenchmark(state, SecurityMode::kLabelsIsolation);
+}
+BENCHMARK(BM_PublishDeliverHop_NoSecurity);
+BENCHMARK(BM_PublishDeliverHop_Labels);
+BENCHMARK(BM_PublishDeliverHop_Clone);
+BENCHMARK(BM_PublishDeliverHop_Isolation);
+
+// Match cost with N indexed subscriptions where only one matches: validates
+// that the equality index keeps candidate sets small.
+class SelectiveUnit : public Unit {
+ public:
+  explicit SelectiveUnit(std::string key) : key_(std::move(key)) {}
+  void OnStart(UnitContext& ctx) override {
+    (void)ctx.Subscribe(Filter::Eq("inbox", Value::OfString(key_)));
+  }
+  void OnEvent(UnitContext& ctx, EventHandle event, SubscriptionId sub) override {}
+
+ private:
+  std::string key_;
+};
+
+void BM_MatchWithIndexedSubscriptions(benchmark::State& state) {
+  EngineConfig config;
+  config.num_threads = 0;
+  Engine engine(config);
+  const int n = static_cast<int>(state.range(0));
+  for (int i = 0; i < n; ++i) {
+    engine.AddUnit("u" + std::to_string(i),
+                   std::make_unique<SelectiveUnit>("inbox-" + std::to_string(i)));
+  }
+  auto* publisher = new PublisherUnit();
+  const UnitId pub_id = engine.AddUnit("publisher", std::unique_ptr<Unit>(publisher));
+  engine.Start();
+  engine.RunUntilIdle();
+  int64_t seq = 0;
+  for (auto _ : state) {
+    const std::string target = "inbox-" + std::to_string(seq++ % n);
+    engine.InjectTurn(pub_id, [&target](UnitContext& ctx) {
+      auto event = ctx.CreateEvent();
+      if (!event.ok()) {
+        return;
+      }
+      (void)ctx.AddPart(*event, Label(), "inbox", Value::OfString(target));
+      (void)ctx.Publish(*event);
+    });
+    engine.RunUntilIdle();
+  }
+}
+BENCHMARK(BM_MatchWithIndexedSubscriptions)->Arg(10)->Arg(100)->Arg(1000);
+
+// Fan-out cost: one event matching N subscribers (the tick -> pair monitor
+// pattern whose scaling defines Fig. 5's slope).
+void BM_FanOutDeliveries(benchmark::State& state) {
+  EngineConfig config;
+  config.num_threads = 0;
+  Engine engine(config);
+  const int n = static_cast<int>(state.range(0));
+  for (int i = 0; i < n; ++i) {
+    engine.AddUnit("u" + std::to_string(i), std::make_unique<CountingUnit>());
+  }
+  auto* publisher = new PublisherUnit();
+  const UnitId pub_id = engine.AddUnit("publisher", std::unique_ptr<Unit>(publisher));
+  engine.Start();
+  engine.RunUntilIdle();
+  for (auto _ : state) {
+    engine.InjectTurn(pub_id, [publisher](UnitContext& ctx) { (void)publisher->PublishPing(ctx); });
+    engine.RunUntilIdle();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FanOutDeliveries)->Arg(10)->Arg(100)->Arg(500);
+
+}  // namespace
+}  // namespace defcon
+
+BENCHMARK_MAIN();

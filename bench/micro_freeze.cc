@@ -1,0 +1,94 @@
+// Micro: Freezable cost model (§5). Validates the paper's two claims:
+//   * freeze() is constant-time regardless of collection size (elements hold
+//     a reference to the collection's frozen flag instead of being visited);
+//   * the mutation-path overhead is a flag check, linear only in the number
+//     of collections an object belongs to.
+// Also quantifies the alternative the design avoids: deep-copying.
+#include <benchmark/benchmark.h>
+
+#include "src/freeze/value.h"
+
+namespace defcon {
+namespace {
+
+std::shared_ptr<FList> BuildList(size_t n) {
+  auto list = FList::New();
+  for (size_t i = 0; i < n; ++i) {
+    auto inner = FMap::New();
+    (void)inner->Set("k", Value::OfInt(static_cast<int64_t>(i)));
+    (void)list->Append(Value::OfMap(std::move(inner)));
+  }
+  return list;
+}
+
+void BM_FreezeBySize(benchmark::State& state) {
+  // The per-iteration cost must be flat across sizes (O(1) freeze); the
+  // build cost is excluded via PauseTiming.
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto list = BuildList(n);
+    state.ResumeTiming();
+    list->Freeze();
+    benchmark::DoNotOptimize(list);
+  }
+}
+BENCHMARK(BM_FreezeBySize)->Arg(1)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_MutationCheckByContainerCount(benchmark::State& state) {
+  // Paper: mutating-operation overhead is linear in the number of containing
+  // collections.
+  const size_t containers = static_cast<size_t>(state.range(0));
+  auto shared = FList::New();
+  std::vector<std::shared_ptr<FList>> parents;
+  for (size_t i = 0; i < containers; ++i) {
+    auto parent = FList::New();
+    (void)parent->Append(Value::OfList(shared));
+    parents.push_back(std::move(parent));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(shared->CheckMutable());
+  }
+}
+BENCHMARK(BM_MutationCheckByContainerCount)->Arg(0)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_AppendUnfrozen(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto list = FList::New();
+    state.ResumeTiming();
+    for (int i = 0; i < 64; ++i) {
+      (void)list->Append(Value::OfInt(i));
+    }
+    benchmark::DoNotOptimize(list);
+  }
+}
+BENCHMARK(BM_AppendUnfrozen);
+
+void BM_ShareFrozenValue(benchmark::State& state) {
+  // What event dispatch does in freeze mode: copy a Value (refcount bump).
+  auto list = BuildList(static_cast<size_t>(state.range(0)));
+  list->Freeze();
+  const Value value = Value::OfList(std::move(list));
+  for (auto _ : state) {
+    Value shared = value;
+    benchmark::DoNotOptimize(shared);
+  }
+}
+BENCHMARK(BM_ShareFrozenValue)->Arg(64)->Arg(1024);
+
+void BM_DeepCopyValue(benchmark::State& state) {
+  // What clone mode pays instead; compare directly with BM_ShareFrozenValue.
+  auto list = BuildList(static_cast<size_t>(state.range(0)));
+  list->Freeze();
+  const Value value = Value::OfList(std::move(list));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(value.DeepCopy());
+  }
+}
+BENCHMARK(BM_DeepCopyValue)->Arg(64)->Arg(1024);
+
+}  // namespace
+}  // namespace defcon
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Micro: isolation interception cost (§4). The per-API-call overhead of the
+// woven intercepts is what separates labels+freeze+isolation from
+// labels+freeze in Figs. 5/6 (~20% throughput in the paper).
+#include <benchmark/benchmark.h>
+
+#include "src/isolation/runtime.h"
+#include "src/isolation/synthetic_jdk.h"
+
+namespace defcon {
+namespace {
+
+void BM_CheckApiCall_DefaultPlan(benchmark::State& state) {
+  IsolationRuntime runtime(DefaultWeavePlan());
+  auto unit_state = runtime.CreateUnitState();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runtime.CheckApiCall(unit_state.get(), ApiTarget::kReadPart));
+  }
+}
+BENCHMARK(BM_CheckApiCall_DefaultPlan);
+
+void BM_CheckApiCall_AnalysedPlan(benchmark::State& state) {
+  // Plan produced by the full §4 pipeline over the synthetic JDK.
+  SyntheticJdkParams params;
+  WeavePlan plan;
+  (void)RunSec4Pipeline(params, &plan);
+  IsolationRuntime runtime(std::move(plan));
+  auto unit_state = runtime.CreateUnitState();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runtime.CheckApiCall(unit_state.get(), ApiTarget::kAddPart));
+  }
+}
+BENCHMARK(BM_CheckApiCall_AnalysedPlan);
+
+void BM_CheckSynchronize(benchmark::State& state) {
+  IsolationRuntime runtime(DefaultWeavePlan());
+  auto unit_state = runtime.CreateUnitState();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runtime.CheckSynchronize(unit_state.get(), true));
+  }
+}
+BENCHMARK(BM_CheckSynchronize);
+
+void BM_CreateUnitState(benchmark::State& state) {
+  // Per-isolate weaving state allocation — the memory setup cost behind
+  // Fig. 7's isolation overhead.
+  IsolationRuntime runtime(DefaultWeavePlan());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runtime.CreateUnitState());
+  }
+}
+BENCHMARK(BM_CreateUnitState);
+
+void BM_Sec4PipelineEndToEnd(benchmark::State& state) {
+  // Cost of the whole static-analysis pipeline (the paper: "four days" of
+  // human effort; the machine part is this).
+  SyntheticJdkParams params;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunSec4Pipeline(params, nullptr));
+  }
+}
+BENCHMARK(BM_Sec4PipelineEndToEnd)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace defcon
+
+BENCHMARK_MAIN();

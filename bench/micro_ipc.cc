@@ -1,0 +1,107 @@
+// Micro: inter-process vs in-process message passing. Quantifies why
+// process-isolated designs (Marketcetera, Fig. 9) pay multiples of DEFCON's
+// latency: serialisation plus socket hops plus scheduling vs a pointer hand-
+// off of a frozen event.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "src/concurrency/mpsc_queue.h"
+#include "src/core/event.h"
+#include "src/ipc/channel.h"
+#include "src/ipc/wire.h"
+
+namespace defcon {
+namespace {
+
+EventPtr MakeTradeEvent() {
+  auto event = std::make_shared<Event>(1, 1);
+  Part type;
+  type.name = "type";
+  type.data = Value::OfString("trade");
+  event->AppendPart(type);
+  Part fill;
+  fill.name = "fill";
+  auto map = FMap::New();
+  (void)map->Set("symbol", Value::OfString("VOD.L"));
+  (void)map->Set("price", Value::OfInt(12345));
+  (void)map->Set("qty", Value::OfInt(100));
+  fill.data = Value::OfMap(std::move(map));
+  fill.data.Freeze();
+  event->AppendPart(fill);
+  return event;
+}
+
+void BM_SerializeEvent(benchmark::State& state) {
+  const EventPtr event = MakeTradeEvent();
+  for (auto _ : state) {
+    WireWriter writer;
+    EncodeEvent(*event, &writer);
+    benchmark::DoNotOptimize(writer.buffer());
+  }
+}
+BENCHMARK(BM_SerializeEvent);
+
+void BM_SerializeDeserializeEvent(benchmark::State& state) {
+  const EventPtr event = MakeTradeEvent();
+  for (auto _ : state) {
+    WireWriter writer;
+    EncodeEvent(*event, &writer);
+    WireReader reader(writer.buffer());
+    benchmark::DoNotOptimize(DecodeEvent(&reader));
+  }
+}
+BENCHMARK(BM_SerializeDeserializeEvent);
+
+void BM_InProcessSharedHandoff(benchmark::State& state) {
+  // What DEFCON's dispatcher does per delivery in freeze mode.
+  const EventPtr event = MakeTradeEvent();
+  MpscQueue<EventPtr> mailbox;
+  for (auto _ : state) {
+    mailbox.Push(event);
+    benchmark::DoNotOptimize(mailbox.TryPop());
+  }
+}
+BENCHMARK(BM_InProcessSharedHandoff);
+
+void BM_SocketRoundTrip(benchmark::State& state) {
+  // Serialise + socket hop + deserialise + echo back: the per-message cost a
+  // process-per-trader platform pays twice per tick->order interaction.
+  auto pair = Channel::CreatePair();
+  if (!pair.ok()) {
+    state.SkipWithError("socketpair failed");
+    return;
+  }
+  Channel a = std::move(pair->first);
+  Channel b = std::move(pair->second);
+  std::thread echo([&b] {
+    for (;;) {
+      auto frame = b.RecvFrame();
+      if (!frame.ok() || frame->empty()) {
+        return;
+      }
+      if (!b.SendFrame(*frame).ok()) {
+        return;
+      }
+    }
+  });
+  const EventPtr event = MakeTradeEvent();
+  for (auto _ : state) {
+    WireWriter writer;
+    EncodeEvent(*event, &writer);
+    (void)a.SendFrame(writer.buffer());
+    auto back = a.RecvFrame();
+    if (back.ok()) {
+      WireReader reader(*back);
+      benchmark::DoNotOptimize(DecodeEvent(&reader));
+    }
+  }
+  (void)a.SendFrame(std::vector<uint8_t>{});  // empty frame: stop echo thread
+  echo.join();
+}
+BENCHMARK(BM_SocketRoundTrip);
+
+}  // namespace
+}  // namespace defcon
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Micro: label operations. Supports the Fig. 5/6 claim that labels+freeze is
+// nearly free — the per-part can-flow-to check must cost nanoseconds.
+#include <benchmark/benchmark.h>
+
+#include "src/base/random.h"
+#include "src/core/label.h"
+
+namespace defcon {
+namespace {
+
+TagSet MakeSet(Rng* rng, size_t n) {
+  TagSet set;
+  for (size_t i = 0; i < n; ++i) {
+    set.Insert(Tag{rng->NextUint64(), rng->NextUint64()});
+  }
+  return set;
+}
+
+void BM_TagSetSubset(benchmark::State& state) {
+  Rng rng(1);
+  const size_t n = static_cast<size_t>(state.range(0));
+  TagSet small = MakeSet(&rng, n / 2 + 1);
+  TagSet big = TagSet::Union(small, MakeSet(&rng, n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(small.IsSubsetOf(big));
+  }
+}
+BENCHMARK(BM_TagSetSubset)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_TagSetUnion(benchmark::State& state) {
+  Rng rng(2);
+  const size_t n = static_cast<size_t>(state.range(0));
+  TagSet a = MakeSet(&rng, n);
+  TagSet b = MakeSet(&rng, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TagSet::Union(a, b));
+  }
+}
+BENCHMARK(BM_TagSetUnion)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_CanFlowTo_TradingShape(benchmark::State& state) {
+  // Typical trading-platform label shapes: 1-2 secrecy tags per part against
+  // a unit input label of a handful of tags.
+  Rng rng(3);
+  const Label part(MakeSet(&rng, 2), MakeSet(&rng, 1));
+  const Label unit(TagSet::Union(part.secrecy, MakeSet(&rng, 4)), MakeSet(&rng, 1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CanFlowTo(part, unit));
+  }
+}
+BENCHMARK(BM_CanFlowTo_TradingShape);
+
+void BM_LabelJoin(benchmark::State& state) {
+  Rng rng(4);
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Label a(MakeSet(&rng, n), MakeSet(&rng, n));
+  const Label b(MakeSet(&rng, n), MakeSet(&rng, n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LabelJoin(a, b));
+  }
+}
+BENCHMARK(BM_LabelJoin)->Arg(2)->Arg(8)->Arg(32);
+
+}  // namespace
+}  // namespace defcon
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// §4 analysis funnel: reproduces the target counts the paper reports for
+// securing OpenJDK 6, by running the dependency / reachability / heuristic /
+// weaving pipeline over a synthetic JDK with OpenJDK-6 population statistics.
+#include <cstdio>
+#include <iostream>
+
+#include "src/base/flags.h"
+#include "src/base/table.h"
+#include "src/isolation/synthetic_jdk.h"
+
+namespace defcon {
+namespace {
+
+int Main(int argc, char** argv) {
+  int64_t seed = 42;
+  FlagSet flags;
+  flags.Register("seed", &seed, "synthetic JDK generator seed");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+
+  SyntheticJdkParams params;
+  params.seed = static_cast<uint64_t>(seed);
+  WeavePlan plan;
+  const FunnelReport report = RunSec4Pipeline(params, &plan);
+
+  std::printf("Section 4: isolation methodology funnel (synthetic OpenJDK 6)\n\n");
+  Table table({"stage", "this repo", "paper (OpenJDK 6)"});
+  table.AddRow({"static fields in JDK", Table::Int(static_cast<int64_t>(report.total_static_fields)),
+                "~4,000"});
+  table.AddRow({"native methods in JDK",
+                Table::Int(static_cast<int64_t>(report.total_native_methods)), "~2,000"});
+  table.AddRow({"used targets (dependency analysis)",
+                Table::Int(static_cast<int64_t>(report.used_targets)), ">2,000"});
+  table.AddRow({"dangerous static fields (reachability)",
+                Table::Int(static_cast<int64_t>(report.reachable_dangerous_static)), "~900"});
+  table.AddRow({"dangerous native methods (reachability)",
+                Table::Int(static_cast<int64_t>(report.reachable_dangerous_native)), "~320"});
+  table.AddRow({"static fields after heuristics",
+                Table::Int(static_cast<int64_t>(report.after_heuristics_static)), "~500"});
+  table.AddRow({"native methods after heuristics",
+                Table::Int(static_cast<int64_t>(report.after_heuristics_native)), "~300"});
+  table.AddRow({"  whitelisted via Unsafe rule",
+                Table::Int(static_cast<int64_t>(report.whitelisted_unsafe)), "66 + 20"});
+  table.AddRow({"  whitelisted final immutable constants",
+                Table::Int(static_cast<int64_t>(report.whitelisted_final_immutable)), "-"});
+  table.AddRow({"  whitelisted write-once private statics",
+                Table::Int(static_cast<int64_t>(report.whitelisted_write_once)), "-"});
+  table.AddRow({"manually inspected targets",
+                Table::Int(static_cast<int64_t>(report.manual_total())),
+                "52 (15 native, 27 static, 10 sync)"});
+  table.AddRow({"profiling-promoted white-list entries",
+                Table::Int(static_cast<int64_t>(report.profiling_whitelisted)),
+                "15 (6 static, 9 native)"});
+  table.AddRow({"targets woven with runtime intercepts",
+                Table::Int(static_cast<int64_t>(report.woven_targets)), "~800"});
+  table.RenderText(std::cout);
+  std::printf(
+      "\nThe analyses (dependency trim, reachability with dynamic dispatch, heuristic\n"
+      "white-listing, weave-plan generation) are the generic algorithms of\n"
+      "src/isolation/analysis.cc; only the class-graph input is synthetic.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace defcon
+
+int main(int argc, char** argv) { return defcon::Main(argc, argv); }

@@ -1,0 +1,127 @@
+// Shared workload driver for the DEFCON figure benches (Figs. 5-7).
+//
+// Builds the trading platform at a given (mode, traders) point, replays a
+// cached synthetic tick trace through the Stock Exchange unit, and reports
+// throughput samples, trade-latency percentiles and memory. The paper's
+// methodology is followed: throughput is sampled in windows and the median
+// reported (Fig. 5); latency is the 70th percentile of trade latencies
+// (Fig. 6); memory is resident-set plus the engine's accounted structures
+// (Fig. 7).
+#ifndef DEFCON_BENCH_WORKLOAD_H_
+#define DEFCON_BENCH_WORKLOAD_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/base/clock.h"
+#include "src/base/memory_meter.h"
+#include "src/base/stats.h"
+#include "src/core/engine.h"
+#include "src/market/tick_source.h"
+#include "src/trading/platform.h"
+
+namespace defcon {
+
+struct WorkloadConfig {
+  SecurityMode mode = SecurityMode::kLabels;
+  size_t traders = 200;
+  size_t symbols = 200;
+  uint64_t seed = 7;
+  size_t ticks = 30000;
+  size_t batch = 2000;        // ticks per throughput window
+  size_t warmup_batches = 2;  // excluded from the reported samples
+  // 0 => manual pump (single-threaded, deterministic); N => worker threads.
+  size_t engine_threads = 0;
+  // Paced mode (latency runs): 0 => flood as fast as possible.
+  double pace_events_per_sec = 0.0;
+};
+
+struct WorkloadResult {
+  SampleSet throughput_samples;  // events/s per window (post-warmup)
+  LatencyHistogram trade_latency;
+  uint64_t trades = 0;
+  uint64_t deliveries = 0;
+  int64_t rss_bytes = 0;
+  int64_t accounted_bytes = 0;
+  size_t units = 0;
+  size_t managed_instances = 0;
+};
+
+inline WorkloadResult RunTradingWorkload(const WorkloadConfig& config) {
+  EngineConfig engine_config;
+  engine_config.mode = config.mode;
+  engine_config.num_threads = config.engine_threads;
+  engine_config.seed = config.seed;
+
+  auto engine = std::make_unique<Engine>(engine_config);
+
+  PlatformConfig platform_config;
+  platform_config.num_traders = config.traders;
+  platform_config.num_symbols = config.symbols;
+  platform_config.seed = config.seed;
+  platform_config.trader.trade_feedback = false;  // latency is measured at the broker
+  platform_config.trader.record_tag_names = false;
+  TradingPlatform platform(engine.get(), platform_config);
+  platform.Assemble();
+  engine->Start();
+  engine->RunUntilIdle();
+  engine->WaitIdle();
+
+  // Cache the trace so generation never pollutes the measurement.
+  TickSource source(config.symbols, config.seed);
+  const std::vector<Tick> trace = source.Generate(config.ticks);
+
+  WorkloadResult result;
+  size_t batch_index = 0;
+  size_t position = 0;
+  const int64_t pace_interval_ns =
+      config.pace_events_per_sec > 0 ? static_cast<int64_t>(1e9 / config.pace_events_per_sec) : 0;
+  int64_t next_send_ns = MonotonicNowNs();
+
+  while (position < trace.size()) {
+    const size_t batch_start = position;
+    const size_t batch_end = std::min(position + config.batch, trace.size());
+    const int64_t window_start = MonotonicNowNs();
+    for (; position < batch_end; ++position) {
+      if (pace_interval_ns > 0) {
+        while (MonotonicNowNs() < next_send_ns) {
+        }
+        next_send_ns += pace_interval_ns;
+        platform.InjectTick(trace[position]);
+        // Manual mode: pump after each tick so latency reflects pipeline
+        // traversal, not artificial batching.
+        engine->RunUntilIdle();
+      } else {
+        platform.InjectTick(trace[position]);
+        if (config.engine_threads == 0 && (position & 0x3F) == 0) {
+          engine->RunUntilIdle();  // keep mailboxes bounded while flooding
+        }
+      }
+    }
+    engine->RunUntilIdle();
+    engine->WaitIdle();
+    const int64_t window_ns = MonotonicNowNs() - window_start;
+    if (batch_index >= config.warmup_batches && window_ns > 0) {
+      result.throughput_samples.Add(static_cast<double>(batch_end - batch_start) * 1e9 /
+                                    static_cast<double>(window_ns));
+    }
+    if (batch_index + 1 == config.warmup_batches) {
+      platform.ResetTradeLatency();  // drop warmup latencies
+    }
+    ++batch_index;
+  }
+
+  result.trade_latency = platform.trade_latency();
+  result.trades = platform.trades_completed();
+  result.deliveries = engine->stats().deliveries;
+  result.rss_bytes = ReadResidentSetBytes();
+  result.accounted_bytes = engine->accountant().bytes();
+  result.units = engine->UnitCount();
+  result.managed_instances = engine->ManagedInstanceCount();
+  engine->Stop();
+  return result;
+}
+
+}  // namespace defcon
+
+#endif  // DEFCON_BENCH_WORKLOAD_H_

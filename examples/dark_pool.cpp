@@ -1,0 +1,120 @@
+// Dark pool: the paper's Fig. 4 workflow, narrated step by step.
+//
+// Runs the full trading platform (Stock Exchange, per-trader Pair Monitors,
+// Traders, Local Broker with managed identity instances, Regulator) on a
+// deterministic engine, replays a synthetic LSE-style tick trace, and then
+// reports what happened at each step of Fig. 4 — including the security
+// properties: whose monitor saw what, who could read identities, which
+// privileges were delegated to the Regulator.
+//
+// Build & run:  ./build/examples/dark_pool
+#include <cstdio>
+#include <map>
+
+#include "src/core/engine.h"
+#include "src/market/tick_source.h"
+#include "src/trading/event_names.h"
+#include "src/trading/platform.h"
+
+namespace {
+
+using namespace defcon;
+
+// A curious observer with no privileges: subscribes to everything it can
+// name and counts what it manages to read. In a correct deployment it sees
+// only declassified public trades.
+class Observer : public Unit {
+ public:
+  void OnStart(UnitContext& ctx) override {
+    for (const char* type : {kTypeMatch, kTypeOrder, kTypeTrade, kTypeWarning, kTypeDelegation}) {
+      (void)ctx.Subscribe(Filter::Eq(kPartType, Value::OfString(type)));
+    }
+  }
+  void OnEvent(UnitContext& ctx, EventHandle event, SubscriptionId sub) override {
+    auto type = ctx.ReadPart(event, kPartType);
+    if (type.ok() && !type->empty() && type->front().data.kind() == Value::Kind::kString) {
+      counts_[type->front().data.string_value()]++;
+    }
+    for (const char* part : {kPartDetails, kPartName, kPartBuyer, kPartSeller, kPartInbox}) {
+      auto views = ctx.ReadPart(event, part);
+      if (views.ok() && !views->empty()) {
+        leaks_++;
+      }
+    }
+  }
+  const std::map<std::string, int>& counts() const { return counts_; }
+  int leaks() const { return leaks_; }
+
+ private:
+  std::map<std::string, int> counts_;
+  int leaks_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  EngineConfig engine_config;
+  engine_config.mode = SecurityMode::kLabels;
+  engine_config.num_threads = 0;
+  Engine engine(engine_config);
+
+  PlatformConfig config;
+  config.num_traders = 8;
+  config.num_symbols = 16;
+  config.seed = 11;
+  config.trader.trade_feedback = true;
+  config.regulator.audit_every = 4;
+  config.regulator.republish_every = 4;
+  TradingPlatform platform(&engine, config);
+  platform.Assemble();
+
+  auto* observer = new Observer();
+  engine.AddUnit("observer", std::unique_ptr<Unit>(observer));
+
+  engine.Start();
+  engine.RunUntilIdle();
+
+  std::printf("== dark pool: %zu traders, %zu symbols, engine mode %s ==\n\n",
+              config.num_traders, platform.symbols().size(),
+              SecurityModeName(engine_config.mode));
+
+  std::printf("step 1   each trader minted its own tag t_i and instantiated a Pair Monitor\n");
+  std::printf("         at (S={t_i}, I={s}) carrying its pair selection — %zu units total\n",
+              engine.UnitCount());
+
+  TickSource source(config.num_symbols, config.seed);
+  for (int i = 0; i < 4000; ++i) {
+    platform.InjectTick(source.Next());
+    engine.RunUntilIdle();
+  }
+
+  const auto stats = engine.stats();
+  std::printf("step 2-3 monitors consumed s-endorsed ticks and emitted t_i-confined match\n");
+  std::printf("         signals (%llu deliveries, %llu label checks so far)\n",
+              static_cast<unsigned long long>(stats.deliveries),
+              static_cast<unsigned long long>(stats.label_checks));
+  std::printf("step 4   traders placed orders: details {b} carrying tr+/tr+auth, identity\n");
+  std::printf("         {b, tr} — %llu privilege bestowals happened on read\n",
+              static_cast<unsigned long long>(stats.grants_bestowed));
+  std::printf("step 5   the Broker matched orders in the dark pool via managed identity\n");
+  std::printf("         instances (%llu created, one per {b, tr} compartment)\n",
+              static_cast<unsigned long long>(stats.managed_instances_created));
+  std::printf("step 6   %llu trades were published: public fill part + {tr}-protected\n",
+              static_cast<unsigned long long>(platform.trades_completed()));
+  std::printf("         buyer/seller identity parts added on the main path\n");
+  std::printf("step 7-9 the Regulator sampled trades, received tr+ via privilege-carrying\n");
+  std::printf("         delegation events from the Broker, and republished sampled trades\n");
+  std::printf("         as s-endorsed ticks\n");
+
+  std::printf("\n== what an unprivileged observer saw ==\n");
+  for (const auto& [type, count] : observer->counts()) {
+    std::printf("  %-12s %d events\n", type.c_str(), count);
+  }
+  std::printf("  protected parts readable by the observer: %d (must be 0)\n", observer->leaks());
+
+  std::printf("\n== latency ==\n");
+  std::printf("  70th percentile tick->trade latency: %.3f ms over %llu trades\n",
+              static_cast<double>(platform.trade_latency().PercentileNs(0.7)) / 1e6,
+              static_cast<unsigned long long>(platform.trades_completed()));
+  return observer->leaks() == 0 ? 0 : 1;
+}

@@ -1,0 +1,219 @@
+// Healthcare: the paper's second motivating domain (§1, §3.1.1 — "ensure
+// that particularly sensitive aspects of patient healthcare data are not
+// leaked").
+//
+// Scenario: ward monitors publish patient vitals events where the vital signs
+// are public to clinical staff but patient identity is protected by a
+// per-patient tag. A ward dashboard aggregates vitals without ever seeing
+// identities; the attending doctor holds the patient tags for her own
+// patients and sees exactly those identities; a research exporter uses
+// cloneEvent to build de-identified copies for an external registry.
+//
+// Build & run:  ./build/examples/healthcare
+#include <cstdio>
+#include <map>
+
+#include "src/core/engine.h"
+#include "src/core/unit.h"
+
+namespace {
+
+using namespace defcon;
+
+class WardMonitor : public Unit {
+ public:
+  WardMonitor(std::string patient_name, Tag patient_tag)
+      : patient_name_(std::move(patient_name)), patient_tag_(patient_tag) {}
+
+  void OnEvent(UnitContext& ctx, EventHandle event, SubscriptionId sub) override {}
+
+  void PublishVitals(UnitContext& ctx, int heart_rate, int spo2) {
+    auto event = ctx.CreateEvent();
+    if (!event.ok()) {
+      return;
+    }
+    auto vitals = FMap::New();
+    (void)vitals->Set("heart_rate", Value::OfInt(heart_rate));
+    (void)vitals->Set("spo2", Value::OfInt(spo2));
+    (void)ctx.AddPart(*event, Label(), "type", Value::OfString("vitals"));
+    (void)ctx.AddPart(*event, Label(), "vitals", Value::OfMap(vitals));
+    // The identity part is confined to holders of the patient's tag.
+    (void)ctx.AddPart(*event, Label({patient_tag_}, {}), "patient",
+                      Value::OfString(patient_name_));
+    (void)ctx.Publish(*event);
+  }
+
+ private:
+  std::string patient_name_;
+  Tag patient_tag_;
+};
+
+// Aggregates vitals without identity clearance: a bug or a malicious change
+// here *cannot* leak who the readings belong to.
+class WardDashboard : public Unit {
+ public:
+  void OnStart(UnitContext& ctx) override {
+    (void)ctx.Subscribe(Filter::Eq("type", Value::OfString("vitals")));
+  }
+  void OnEvent(UnitContext& ctx, EventHandle event, SubscriptionId sub) override {
+    auto vitals = ctx.ReadPart(event, "vitals");
+    auto identity = ctx.ReadPart(event, "patient");
+    if (vitals.ok() && !vitals->empty()) {
+      const Value* hr = vitals->front().data.map()->Find("heart_rate");
+      if (hr != nullptr) {
+        ++readings_;
+        if (hr->int_value() > 120) {
+          ++alarms_;
+        }
+      }
+    }
+    identities_seen_ += identity.ok() ? identity->size() : 0;
+  }
+  int readings() const { return readings_; }
+  int alarms() const { return alarms_; }
+  size_t identities_seen() const { return identities_seen_; }
+
+ private:
+  int readings_ = 0;
+  int alarms_ = 0;
+  size_t identities_seen_ = 0;
+};
+
+// The attending doctor holds t+ for her own patients only.
+class Doctor : public Unit {
+ public:
+  explicit Doctor(std::vector<Tag> my_patients) : my_patients_(std::move(my_patients)) {}
+
+  void OnStart(UnitContext& ctx) override {
+    for (const Tag& tag : my_patients_) {
+      (void)ctx.ChangeInOutLabel(LabelComponent::kSecrecy, LabelOp::kAdd, tag);
+    }
+    (void)ctx.Subscribe(Filter::Eq("type", Value::OfString("vitals")));
+  }
+  void OnEvent(UnitContext& ctx, EventHandle event, SubscriptionId sub) override {
+    auto identity = ctx.ReadPart(event, "patient");
+    if (identity.ok()) {
+      for (const PartView& view : *identity) {
+        seen_[view.data.string_value()]++;
+      }
+    }
+  }
+  const std::map<std::string, int>& seen() const { return seen_; }
+
+ private:
+  std::vector<Tag> my_patients_;
+  std::map<std::string, int> seen_;
+};
+
+// Exports de-identified events for research: cloneEvent copies only the
+// parts the exporter can see (never the identity), producing a fresh event
+// safe to hand onward.
+class ResearchExporter : public Unit {
+ public:
+  void OnStart(UnitContext& ctx) override {
+    (void)ctx.Subscribe(Filter::Eq("type", Value::OfString("vitals")));
+  }
+  void OnEvent(UnitContext& ctx, EventHandle event, SubscriptionId sub) override {
+    auto clone = ctx.CloneEvent(event);
+    if (!clone.ok()) {
+      return;
+    }
+    // The clone contains only the parts visible here (never the identity).
+    // Swap the routing part, or the clone would match this subscription
+    // again and export itself forever.
+    (void)ctx.DelPart(*clone, Label(), "type");
+    (void)ctx.AddPart(*clone, Label(), "type", Value::OfString("registry-record"));
+    if (ctx.Publish(*clone).ok()) {
+      ++exported_;
+    }
+  }
+  int exported() const { return exported_; }
+
+ private:
+  int exported_ = 0;
+};
+
+class Registry : public Unit {
+ public:
+  void OnStart(UnitContext& ctx) override {
+    (void)ctx.Subscribe(Filter::Eq("type", Value::OfString("registry-record")));
+  }
+  void OnEvent(UnitContext& ctx, EventHandle event, SubscriptionId sub) override {
+    ++records_;
+    auto identity = ctx.ReadPart(event, "patient");
+    identities_ += identity.ok() ? identity->size() : 0;
+  }
+  int records() const { return records_; }
+  size_t identities() const { return identities_; }
+
+ private:
+  int records_ = 0;
+  size_t identities_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  EngineConfig config;
+  config.mode = SecurityMode::kLabels;
+  config.num_threads = 0;
+  Engine engine(config);
+
+  const Tag alice = engine.CreateTag("patient-alice");
+  const Tag bob = engine.CreateTag("patient-bob");
+
+  auto* monitor_alice = new WardMonitor("Alice", alice);
+  auto* monitor_bob = new WardMonitor("Bob", bob);
+  PrivilegeSet full_alice;
+  full_alice.GrantAll(alice);
+  PrivilegeSet full_bob;
+  full_bob.GrantAll(bob);
+  const UnitId alice_id =
+      engine.AddUnit("monitor-alice", std::unique_ptr<Unit>(monitor_alice), Label(), full_alice);
+  const UnitId bob_id =
+      engine.AddUnit("monitor-bob", std::unique_ptr<Unit>(monitor_bob), Label(), full_bob);
+
+  auto* dashboard = new WardDashboard();
+  engine.AddUnit("dashboard", std::unique_ptr<Unit>(dashboard));
+
+  // Dr. Jones attends Alice only.
+  PrivilegeSet doctor_privileges;
+  doctor_privileges.Grant(alice, Privilege::kPlus);
+  auto* doctor = new Doctor({alice});
+  engine.AddUnit("dr-jones", std::unique_ptr<Unit>(doctor), Label(), doctor_privileges);
+
+  auto* exporter = new ResearchExporter();
+  engine.AddUnit("exporter", std::unique_ptr<Unit>(exporter));
+  auto* registry = new Registry();
+  engine.AddUnit("registry", std::unique_ptr<Unit>(registry));
+
+  engine.Start();
+  engine.RunUntilIdle();
+
+  // A shift of readings.
+  for (int i = 0; i < 6; ++i) {
+    engine.InjectTurn(alice_id, [monitor_alice, i](UnitContext& ctx) {
+      monitor_alice->PublishVitals(ctx, 70 + i * 12, 97);
+    });
+    engine.InjectTurn(bob_id, [monitor_bob, i](UnitContext& ctx) {
+      monitor_bob->PublishVitals(ctx, 64 + i, 99);
+    });
+    engine.RunUntilIdle();
+  }
+
+  std::printf("ward dashboard: %d readings aggregated, %d alarms, identities seen: %zu (must be 0)\n",
+              dashboard->readings(), dashboard->alarms(), dashboard->identities_seen());
+  std::printf("dr-jones saw identities of:");
+  for (const auto& [name, count] : doctor->seen()) {
+    std::printf(" %s(x%d)", name.c_str(), count);
+  }
+  std::printf("   (Bob must be absent)\n");
+  std::printf("research exporter: %d de-identified records exported, registry read %d records\n",
+              exporter->exported(), registry->records());
+  std::printf("registry saw %zu identity parts (must be 0)\n", registry->identities());
+
+  const bool ok = dashboard->identities_seen() == 0 && registry->identities() == 0 &&
+                  doctor->seen().count("Bob") == 0 && doctor->seen().count("Alice") == 1;
+  std::printf("\nconfidentiality holds: %s\n", ok ? "yes" : "NO — leak!");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,10 @@
+#include "src/base/clock.h"
+
+namespace defcon {
+
+RealClock* RealClock::Get() {
+  static RealClock clock;
+  return &clock;
+}
+
+}  // namespace defcon

@@ -1,0 +1,46 @@
+// Monotonic time source, virtualisable for deterministic tests.
+#ifndef DEFCON_SRC_BASE_CLOCK_H_
+#define DEFCON_SRC_BASE_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace defcon {
+
+// Nanoseconds since an arbitrary monotonic epoch.
+inline int64_t MonotonicNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Clock interface. Production code uses RealClock; tests may substitute a
+// ManualClock to make latency measurements deterministic.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual int64_t NowNs() const = 0;
+};
+
+class RealClock : public Clock {
+ public:
+  int64_t NowNs() const override { return MonotonicNowNs(); }
+
+  // Shared process-wide instance (stateless).
+  static RealClock* Get();
+};
+
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(int64_t start_ns = 0) : now_ns_(start_ns) {}
+  int64_t NowNs() const override { return now_ns_; }
+  void AdvanceNs(int64_t delta_ns) { now_ns_ += delta_ns; }
+  void SetNs(int64_t now_ns) { now_ns_ = now_ns; }
+
+ private:
+  int64_t now_ns_;
+};
+
+}  // namespace defcon
+
+#endif  // DEFCON_SRC_BASE_CLOCK_H_

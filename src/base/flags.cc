@@ -1,0 +1,113 @@
+#include "src/base/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace defcon {
+
+void FlagSet::Register(const std::string& name, int64_t* target, const std::string& help) {
+  flags_[name] = Flag{Flag::Type::kInt, target, help};
+}
+
+void FlagSet::Register(const std::string& name, double* target, const std::string& help) {
+  flags_[name] = Flag{Flag::Type::kDouble, target, help};
+}
+
+void FlagSet::Register(const std::string& name, bool* target, const std::string& help) {
+  flags_[name] = Flag{Flag::Type::kBool, target, help};
+}
+
+void FlagSet::Register(const std::string& name, std::string* target, const std::string& help) {
+  flags_[name] = Flag{Flag::Type::kString, target, help};
+}
+
+bool FlagSet::Apply(const std::string& name, const std::string& value) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    std::fprintf(stderr, "unknown flag: --%s\n", name.c_str());
+    return false;
+  }
+  Flag& flag = it->second;
+  char* end = nullptr;
+  switch (flag.type) {
+    case Flag::Type::kInt: {
+      const long long v = std::strtoll(value.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0') {
+        std::fprintf(stderr, "flag --%s expects an integer, got '%s'\n", name.c_str(),
+                     value.c_str());
+        return false;
+      }
+      *static_cast<int64_t*>(flag.target) = v;
+      return true;
+    }
+    case Flag::Type::kDouble: {
+      const double v = std::strtod(value.c_str(), &end);
+      if (end == nullptr || *end != '\0') {
+        std::fprintf(stderr, "flag --%s expects a number, got '%s'\n", name.c_str(),
+                     value.c_str());
+        return false;
+      }
+      *static_cast<double*>(flag.target) = v;
+      return true;
+    }
+    case Flag::Type::kBool: {
+      if (value == "true" || value == "1" || value.empty()) {
+        *static_cast<bool*>(flag.target) = true;
+      } else if (value == "false" || value == "0") {
+        *static_cast<bool*>(flag.target) = false;
+      } else {
+        std::fprintf(stderr, "flag --%s expects true/false, got '%s'\n", name.c_str(),
+                     value.c_str());
+        return false;
+      }
+      return true;
+    }
+    case Flag::Type::kString:
+      *static_cast<std::string*>(flag.target) = value;
+      return true;
+  }
+  return false;
+}
+
+bool FlagSet::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage(argv[0]);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n", arg.c_str());
+      return false;
+    }
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    std::string name;
+    std::string value;
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      auto it = flags_.find(name);
+      const bool is_bool = it != flags_.end() && it->second.type == Flag::Type::kBool;
+      if (!is_bool && i + 1 < argc && argv[i + 1][0] != '-') {
+        value = argv[++i];
+      }
+    }
+    if (!Apply(name, value)) {
+      PrintUsage(argv[0]);
+      return false;
+    }
+  }
+  return true;
+}
+
+void FlagSet::PrintUsage(const std::string& program) const {
+  std::fprintf(stderr, "usage: %s [flags]\n", program.c_str());
+  for (const auto& [name, flag] : flags_) {
+    std::fprintf(stderr, "  --%-24s %s\n", name.c_str(), flag.help.c_str());
+  }
+}
+
+}  // namespace defcon

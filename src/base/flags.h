@@ -1,0 +1,43 @@
+// Tiny command-line flag parser for the bench harnesses.
+//
+// Supports --name=value and --name value forms plus boolean --name. Unknown
+// flags are reported so experiment scripts fail loudly rather than silently
+// running the wrong configuration.
+#ifndef DEFCON_SRC_BASE_FLAGS_H_
+#define DEFCON_SRC_BASE_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace defcon {
+
+class FlagSet {
+ public:
+  // Registers flags before Parse(). The pointer must outlive the FlagSet.
+  void Register(const std::string& name, int64_t* target, const std::string& help);
+  void Register(const std::string& name, double* target, const std::string& help);
+  void Register(const std::string& name, bool* target, const std::string& help);
+  void Register(const std::string& name, std::string* target, const std::string& help);
+
+  // Returns false (and prints usage) on unknown flag / bad value / --help.
+  bool Parse(int argc, char** argv);
+
+  void PrintUsage(const std::string& program) const;
+
+ private:
+  struct Flag {
+    enum class Type { kInt, kDouble, kBool, kString } type;
+    void* target;
+    std::string help;
+  };
+
+  bool Apply(const std::string& name, const std::string& value);
+
+  std::map<std::string, Flag> flags_;
+};
+
+}  // namespace defcon
+
+#endif  // DEFCON_SRC_BASE_FLAGS_H_

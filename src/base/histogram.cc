@@ -1,0 +1,90 @@
+#include "src/base/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+namespace defcon {
+
+int LatencyHistogram::BucketIndex(int64_t ns) {
+  if (ns < 1) {
+    ns = 1;
+  }
+  const uint64_t v = static_cast<uint64_t>(ns);
+  const int log2 = 63 - std::countl_zero(v);
+  if (log2 >= kLog2Buckets) {
+    return kLog2Buckets * kSubBuckets - 1;
+  }
+  // Position within the power-of-two range selects the linear sub-bucket.
+  int sub = 0;
+  if (log2 >= 3) {
+    sub = static_cast<int>((v >> (log2 - 3)) & 0x7);
+  }
+  return log2 * kSubBuckets + sub;
+}
+
+int64_t LatencyHistogram::BucketLowerBound(int index) {
+  const int log2 = index / kSubBuckets;
+  const int sub = index % kSubBuckets;
+  const int64_t base = int64_t{1} << log2;
+  if (log2 < 3) {
+    return base;
+  }
+  return base + (static_cast<int64_t>(sub) << (log2 - 3));
+}
+
+void LatencyHistogram::RecordNs(int64_t ns) {
+  buckets_[static_cast<size_t>(BucketIndex(ns))]++;
+  ++count_;
+  sum_ns_ += static_cast<double>(ns);
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ns_ += other.sum_ns_;
+}
+
+void LatencyHistogram::Reset() {
+  buckets_.fill(0);
+  count_ = 0;
+  sum_ns_ = 0.0;
+}
+
+int64_t LatencyHistogram::PercentileNs(double q) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      return BucketLowerBound(static_cast<int>(i));
+    }
+  }
+  return BucketLowerBound(static_cast<int>(buckets_.size()) - 1);
+}
+
+double LatencyHistogram::MeanNs() const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  return sum_ns_ / static_cast<double>(count_);
+}
+
+std::string LatencyHistogram::ToString() const {
+  std::ostringstream os;
+  os << "count=" << count_ << " mean_ns=" << MeanNs() << "\n";
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] > 0) {
+      os << "  [" << BucketLowerBound(static_cast<int>(i)) << " ns) " << buckets_[i] << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace defcon

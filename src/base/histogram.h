@@ -1,0 +1,43 @@
+// Log-scale latency histogram: O(1) record, approximate percentiles, fixed
+// footprint. Used on hot paths where storing every sample (SampleSet) would
+// perturb the measurement.
+#ifndef DEFCON_SRC_BASE_HISTOGRAM_H_
+#define DEFCON_SRC_BASE_HISTOGRAM_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace defcon {
+
+// Buckets are half-open ranges [2^k, 2^(k+1)) of nanoseconds with 8 linear
+// sub-buckets each, covering 1 ns .. ~146 s with <= 12.5% relative error.
+class LatencyHistogram {
+ public:
+  static constexpr int kLog2Buckets = 38;
+  static constexpr int kSubBuckets = 8;
+
+  void RecordNs(int64_t ns);
+  void Merge(const LatencyHistogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  // Approximate value at quantile q in [0,1]; returns 0 when empty.
+  int64_t PercentileNs(double q) const;
+  double MeanNs() const;
+
+  // Multi-line human-readable dump of non-empty buckets.
+  std::string ToString() const;
+
+ private:
+  static int BucketIndex(int64_t ns);
+  static int64_t BucketLowerBound(int index);
+
+  std::array<uint64_t, kLog2Buckets * kSubBuckets> buckets_{};
+  uint64_t count_ = 0;
+  double sum_ns_ = 0.0;
+};
+
+}  // namespace defcon
+
+#endif  // DEFCON_SRC_BASE_HISTOGRAM_H_

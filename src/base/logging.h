@@ -1,0 +1,50 @@
+// Minimal leveled logging. Benchmarks run with logging off by default so the
+// act of measuring does not perturb the measured system.
+#ifndef DEFCON_SRC_BASE_LOGGING_H_
+#define DEFCON_SRC_BASE_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace defcon {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kNone = 4,
+};
+
+// Global threshold; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+void EmitLog(LogLevel level, const char* file, int line, const std::string& message);
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line) : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { EmitLog(level_, file_, line_, stream_.str()); }
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace defcon
+
+#define DEFCON_LOG(level)                                                  \
+  if (static_cast<int>(::defcon::LogLevel::level) <                        \
+      static_cast<int>(::defcon::GetLogLevel())) {                         \
+  } else                                                                   \
+    ::defcon::internal::LogMessage(::defcon::LogLevel::level, __FILE__, __LINE__).stream()
+
+#endif  // DEFCON_SRC_BASE_LOGGING_H_

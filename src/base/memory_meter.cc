@@ -1,0 +1,45 @@
+#include "src/base/memory_meter.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+namespace defcon {
+
+int64_t ReadResidentSetBytes() {
+  FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) {
+    return 0;
+  }
+  long long total_pages = 0;
+  long long resident_pages = 0;
+  const int scanned = std::fscanf(f, "%lld %lld", &total_pages, &resident_pages);
+  std::fclose(f);
+  if (scanned != 2) {
+    return 0;
+  }
+  return static_cast<int64_t>(resident_pages) * sysconf(_SC_PAGESIZE);
+}
+
+int64_t ReadPeakResidentSetBytes() {
+  FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) {
+    return 0;
+  }
+  char line[256];
+  int64_t result = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      long long kib = 0;
+      if (std::sscanf(line + 6, "%lld", &kib) == 1) {
+        result = static_cast<int64_t>(kib) * 1024;
+      }
+      break;
+    }
+  }
+  std::fclose(f);
+  return result;
+}
+
+}  // namespace defcon

@@ -1,0 +1,35 @@
+// Process memory measurement for the Fig. 7 experiment (memory vs traders).
+#ifndef DEFCON_SRC_BASE_MEMORY_METER_H_
+#define DEFCON_SRC_BASE_MEMORY_METER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace defcon {
+
+// Resident-set size of the calling process in bytes, from /proc/self/statm.
+// Returns 0 if the proc file is unavailable.
+int64_t ReadResidentSetBytes();
+
+// Peak RSS (VmHWM) in bytes from /proc/self/status; 0 if unavailable.
+int64_t ReadPeakResidentSetBytes();
+
+// Logical allocation accounting. RSS on a warmed-up allocator under-reports
+// per-configuration differences (freed memory is retained by malloc), so the
+// engine additionally *accounts* bytes for the structures whose footprint the
+// paper compares: cached events, per-unit label state and interception tables.
+class MemoryAccountant {
+ public:
+  void Charge(int64_t bytes) { bytes_.fetch_add(bytes, std::memory_order_relaxed); }
+  void Release(int64_t bytes) { bytes_.fetch_sub(bytes, std::memory_order_relaxed); }
+  int64_t bytes() const { return bytes_.load(std::memory_order_relaxed); }
+  void Reset() { bytes_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> bytes_{0};
+};
+
+}  // namespace defcon
+
+#endif  // DEFCON_SRC_BASE_MEMORY_METER_H_

@@ -1,0 +1,49 @@
+// Deterministic, seedable pseudo-random generators.
+//
+// All stochastic behaviour in DEFCON (tag identifiers, workload generation,
+// Zipf sampling) flows through Rng so experiments are reproducible from a seed.
+#ifndef DEFCON_SRC_BASE_RANDOM_H_
+#define DEFCON_SRC_BASE_RANDOM_H_
+
+#include <cstdint>
+
+namespace defcon {
+
+// SplitMix64: used to expand a single seed into generator state.
+// Reference: Steele, Lea, Flood. "Fast splittable pseudorandom number generators."
+uint64_t SplitMix64Next(uint64_t* state);
+
+// xoshiro256**: fast, high-quality 64-bit generator (Blackman & Vigna).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform over the full 64-bit range.
+  uint64_t NextUint64();
+
+  // Uniform in [0, bound). bound must be > 0. Uses Lemire's unbiased method.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Normal(0, 1) via Marsaglia polar method.
+  double NextGaussian();
+
+  bool NextBool() { return (NextUint64() & 1) != 0; }
+
+  // Forks an independent generator; deterministic given this generator's state.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace defcon
+
+#endif  // DEFCON_SRC_BASE_RANDOM_H_

@@ -1,0 +1,69 @@
+// Result<T>: a value or a Status, in the style of absl::StatusOr.
+#ifndef DEFCON_SRC_BASE_RESULT_H_
+#define DEFCON_SRC_BASE_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "src/base/status.h"
+
+namespace defcon {
+
+// Holds either a T or a non-OK Status. Accessing value() on an error aborts,
+// so callers must check ok() (or use DEFCON_ASSIGN_OR_RETURN).
+template <typename T>
+class Result {
+ public:
+  // Implicit conversions mirror StatusOr ergonomics: `return value;` and
+  // `return SomeError(...);` both work in a Result-returning function.
+  Result(T value) : value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  // Returns the value, or `fallback` on error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+}  // namespace defcon
+
+// DEFCON_ASSIGN_OR_RETURN(lhs, expr): evaluates expr (a Result<T>); on error
+// returns the status, otherwise assigns the value to lhs.
+#define DEFCON_ASSIGN_OR_RETURN_IMPL_CONCAT_(x, y) x##y
+#define DEFCON_ASSIGN_OR_RETURN_IMPL_NAME_(x, y) DEFCON_ASSIGN_OR_RETURN_IMPL_CONCAT_(x, y)
+#define DEFCON_ASSIGN_OR_RETURN(lhs, expr)                                          \
+  auto DEFCON_ASSIGN_OR_RETURN_IMPL_NAME_(defcon_result_, __LINE__) = (expr);       \
+  if (!DEFCON_ASSIGN_OR_RETURN_IMPL_NAME_(defcon_result_, __LINE__).ok()) {         \
+    return DEFCON_ASSIGN_OR_RETURN_IMPL_NAME_(defcon_result_, __LINE__).status();   \
+  }                                                                                 \
+  lhs = std::move(DEFCON_ASSIGN_OR_RETURN_IMPL_NAME_(defcon_result_, __LINE__)).value()
+
+#endif  // DEFCON_SRC_BASE_RESULT_H_

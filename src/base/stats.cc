@@ -1,0 +1,88 @@
+#include "src/base/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace defcon {
+
+void RunningStats::Add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::Reset() {
+  count_ = 0;
+  mean_ = 0.0;
+  m2_ = 0.0;
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void EwmaStats::Add(double x) {
+  if (!initialised_) {
+    mean_ = x;
+    variance_ = 0.0;
+    initialised_ = true;
+    return;
+  }
+  const double delta = x - mean_;
+  mean_ += alpha_ * delta;
+  variance_ = (1.0 - alpha_) * (variance_ + alpha_ * delta * delta);
+}
+
+double EwmaStats::stddev() const { return std::sqrt(variance_); }
+
+double SampleSet::Min() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double SampleSet::Max() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double SampleSet::Mean() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double s : samples_) {
+    sum += s;
+  }
+  return sum / static_cast<double>(samples_.size());
+}
+
+double SampleSet::Percentile(double q) const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  if (q <= 0.0) {
+    return sorted.front();
+  }
+  if (q >= 1.0) {
+    return sorted.back();
+  }
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace defcon

@@ -1,0 +1,79 @@
+// Streaming and batch statistics used by the benchmark harnesses.
+//
+// The paper reports medians (Fig. 5, Fig. 8) and 70th-percentile latencies
+// (Fig. 6, Fig. 9); Percentile() implements the same nearest-rank convention.
+#ifndef DEFCON_SRC_BASE_STATS_H_
+#define DEFCON_SRC_BASE_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace defcon {
+
+// Welford's online algorithm for mean and variance; numerically stable,
+// also used by the pairs-trading strategy for spread statistics.
+class RunningStats {
+ public:
+  void Add(double x);
+  void Reset();
+
+  size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  // Population variance; 0 when fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+// Exponentially-weighted moving average/variance, for the strategy's adaptive
+// spread model.
+class EwmaStats {
+ public:
+  explicit EwmaStats(double alpha) : alpha_(alpha) {}
+
+  void Add(double x);
+
+  bool initialised() const { return initialised_; }
+  double mean() const { return mean_; }
+  double variance() const { return variance_; }
+  double stddev() const;
+
+ private:
+  double alpha_;
+  bool initialised_ = false;
+  double mean_ = 0.0;
+  double variance_ = 0.0;
+};
+
+// Batch sample accumulator with percentile queries. Percentile(q) sorts a copy
+// (callers invoke it once per experiment, not per sample).
+class SampleSet {
+ public:
+  void Add(double x) { samples_.push_back(x); }
+  void Reserve(size_t n) { samples_.reserve(n); }
+  void Clear() { samples_.clear(); }
+
+  size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double Min() const;
+  double Max() const;
+  double Mean() const;
+  // q in [0, 1]; linear interpolation between closest ranks. Returns 0 if empty.
+  double Percentile(double q) const;
+  double Median() const { return Percentile(0.5); }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace defcon
+
+#endif  // DEFCON_SRC_BASE_STATS_H_

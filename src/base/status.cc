@@ -1,0 +1,79 @@
+#include "src/base/status.h"
+
+namespace defcon {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kPermissionDenied:
+      return "PERMISSION_DENIED";
+    case StatusCode::kSecurityViolation:
+      return "SECURITY_VIOLATION";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kFrozen:
+      return "FROZEN";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kIoError:
+      return "IO_ERROR";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "OK";
+  }
+  std::string out(StatusCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+Status OkStatus() { return Status(); }
+
+Status PermissionDenied(std::string message) {
+  return Status(StatusCode::kPermissionDenied, std::move(message));
+}
+
+Status SecurityViolation(std::string message) {
+  return Status(StatusCode::kSecurityViolation, std::move(message));
+}
+
+Status InvalidArgument(std::string message) {
+  return Status(StatusCode::kInvalidArgument, std::move(message));
+}
+
+Status NotFound(std::string message) { return Status(StatusCode::kNotFound, std::move(message)); }
+
+Status FailedPrecondition(std::string message) {
+  return Status(StatusCode::kFailedPrecondition, std::move(message));
+}
+
+Status FrozenError(std::string message) { return Status(StatusCode::kFrozen, std::move(message)); }
+
+Status ResourceExhausted(std::string message) {
+  return Status(StatusCode::kResourceExhausted, std::move(message));
+}
+
+Status IoError(std::string message) { return Status(StatusCode::kIoError, std::move(message)); }
+
+Status InternalError(std::string message) {
+  return Status(StatusCode::kInternal, std::move(message));
+}
+
+}  // namespace defcon

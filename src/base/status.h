@@ -1,0 +1,90 @@
+// Lightweight status type used across the DEFCON codebase.
+//
+// DEFCON's API (Table 1 in the paper) signals security violations to processing
+// units without exceptions; every fallible call returns a Status or Result<T>.
+// Codes mirror the failure classes of the paper: permission (DEFC label/privilege
+// violations), security (isolation interceptions), and plumbing errors.
+#ifndef DEFCON_SRC_BASE_STATUS_H_
+#define DEFCON_SRC_BASE_STATUS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace defcon {
+
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  // A DEFC flow-control check failed: label not dominated, missing privilege, etc.
+  kPermissionDenied = 1,
+  // The isolation layer intercepted a forbidden operation (storage/sync channel).
+  kSecurityViolation = 2,
+  // Caller passed something malformed (unknown part name, bad filter syntax, ...).
+  kInvalidArgument = 3,
+  // Referenced entity does not exist (unit, tag, subscription, part).
+  kNotFound = 4,
+  // Operation not valid in the current state (event already released, engine stopped).
+  kFailedPrecondition = 5,
+  // Mutation attempted on a frozen object.
+  kFrozen = 6,
+  // Resource limits (queue full, too many units).
+  kResourceExhausted = 7,
+  // I/O or serialisation failure (IPC substrate).
+  kIoError = 8,
+  // Internal invariant broken; indicates a bug in DEFCON itself.
+  kInternal = 9,
+};
+
+std::string_view StatusCodeName(StatusCode code);
+
+// Value-semantic status. The OK status carries no message and is cheap to copy.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Human-readable "CODE: message" rendering.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+Status OkStatus();
+Status PermissionDenied(std::string message);
+Status SecurityViolation(std::string message);
+Status InvalidArgument(std::string message);
+Status NotFound(std::string message);
+Status FailedPrecondition(std::string message);
+Status FrozenError(std::string message);
+Status ResourceExhausted(std::string message);
+Status IoError(std::string message);
+Status InternalError(std::string message);
+
+}  // namespace defcon
+
+// Propagates a non-OK status from the evaluated expression to the caller.
+#define DEFCON_RETURN_IF_ERROR(expr)                  \
+  do {                                                \
+    ::defcon::Status defcon_status_macro_ = (expr);   \
+    if (!defcon_status_macro_.ok()) {                 \
+      return defcon_status_macro_;                    \
+    }                                                 \
+  } while (false)
+
+#endif  // DEFCON_SRC_BASE_STATUS_H_

@@ -1,0 +1,67 @@
+#include "src/base/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace defcon {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::Num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::Int(int64_t v) { return std::to_string(v); }
+
+void Table::RenderText(std::ostream& os) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << std::setw(static_cast<int>(widths[c]) + 2) << row[c];
+    }
+    os << "\n";
+  };
+  render_row(header_);
+  size_t total = 0;
+  for (size_t w : widths) {
+    total += w + 2;
+  }
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) {
+    render_row(row);
+  }
+}
+
+void Table::RenderCsv(std::ostream& os) const {
+  auto render_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) {
+        os << ",";
+      }
+      os << row[c];
+    }
+    os << "\n";
+  };
+  render_row(header_);
+  for (const auto& row : rows_) {
+    render_row(row);
+  }
+}
+
+}  // namespace defcon

@@ -1,0 +1,35 @@
+// Aligned-console + CSV table output for the figure-reproduction harnesses.
+#ifndef DEFCON_SRC_BASE_TABLE_H_
+#define DEFCON_SRC_BASE_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace defcon {
+
+// Collects rows of string cells and renders them either as an aligned text
+// table (what the bench binaries print) or CSV (for plotting).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 1);
+  static std::string Int(int64_t v);
+
+  void RenderText(std::ostream& os) const;
+  void RenderCsv(std::ostream& os) const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace defcon
+
+#endif  // DEFCON_SRC_BASE_TABLE_H_

@@ -1,0 +1,283 @@
+#include "src/baseline/mkc_platform.h"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+#include "src/base/clock.h"
+#include "src/base/memory_meter.h"
+#include "src/base/random.h"
+#include "src/baseline/strategy_agent.h"
+#include "src/market/zipf.h"
+
+namespace defcon {
+namespace {
+
+// RSS of an arbitrary process, from /proc/<pid>/statm.
+int64_t ReadChildResidentSetBytes(pid_t pid) {
+  char path[64];
+  std::snprintf(path, sizeof(path), "/proc/%d/statm", static_cast<int>(pid));
+  FILE* f = std::fopen(path, "r");
+  if (f == nullptr) {
+    return 0;
+  }
+  long long total_pages = 0;
+  long long resident_pages = 0;
+  const int scanned = std::fscanf(f, "%lld %lld", &total_pages, &resident_pages);
+  std::fclose(f);
+  if (scanned != 2) {
+    return 0;
+  }
+  return static_cast<int64_t>(resident_pages) * sysconf(_SC_PAGESIZE);
+}
+
+}  // namespace
+
+MkcPlatform::MkcPlatform(const MkcConfig& config)
+    : config_(config), tick_source_(config.num_symbols, config.seed) {}
+
+MkcPlatform::~MkcPlatform() { Shutdown(); }
+
+Status MkcPlatform::Start() {
+  if (started_) {
+    return FailedPrecondition("platform already started");
+  }
+  started_ = true;
+
+  // Zipf pair assignment, identical to the DEFCON platform's.
+  const auto pair_universe = MakePairUniverse(config_.num_symbols & ~size_t{1});
+  ZipfSampler zipf(pair_universe.size(), config_.zipf_exponent);
+  Rng rng(config_.seed ^ 0x9e3779b9ULL);
+
+  agent_channels_.reserve(config_.num_agents);
+  agent_pids_.reserve(config_.num_agents);
+  for (size_t i = 0; i < config_.num_agents; ++i) {
+    auto pair_result = Channel::CreatePair();
+    if (!pair_result.ok()) {
+      return pair_result.status();
+    }
+    Channel parent_end = std::move(pair_result->first);
+    // Child end lives in a shared_ptr so the fork closure can own it.
+    auto child_end = std::make_shared<Channel>(std::move(pair_result->second));
+
+    AgentConfig agent_config;
+    agent_config.agent_id = i;
+    agent_config.pair = pair_universe[zipf.Sample(&rng)];
+    agent_config.pairs = config_.pairs;
+    agent_config.order_qty = config_.order_qty;
+    agent_config.contrarian = (i % 2) == 1;
+
+    // Existing parent ends that the child must not hold open.
+    std::vector<int> inherited_fds;
+    inherited_fds.reserve(agent_channels_.size() + 1);
+    for (const Channel& ch : agent_channels_) {
+      inherited_fds.push_back(ch.fd());
+    }
+    inherited_fds.push_back(parent_end.fd());
+
+    auto forked = ForkChild([child_end, agent_config, inherited_fds] {
+      for (int fd : inherited_fds) {
+        ::close(fd);
+      }
+      return StrategyAgentMain(std::move(*child_end), agent_config);
+    });
+    if (!forked.ok()) {
+      return forked.status();
+    }
+    child_end->Close();  // parent side: drop the child's end
+    agent_pids_.push_back(*forked);
+    agent_channels_.push_back(std::move(parent_end));
+    send_mutexes_.push_back(std::make_unique<std::mutex>());
+  }
+
+  ors_thread_ = std::thread([this] { OrsLoop(); });
+  return OkStatus();
+}
+
+void MkcPlatform::SendToAgent(size_t agent_index, const std::vector<uint8_t>& payload) {
+  std::lock_guard<std::mutex> lock(*send_mutexes_[agent_index]);
+  (void)agent_channels_[agent_index].SendFrame(payload);
+}
+
+SampleSet MkcPlatform::RunThroughput(size_t count) {
+  SampleSet samples;
+  int64_t window_start = MonotonicNowNs();
+  size_t window_events = 0;
+  constexpr int64_t kWindowNs = 100'000'000;  // 100 ms, as in the paper
+
+  for (size_t i = 0; i < count; ++i) {
+    Tick tick = tick_source_.Next();
+    TickMsg msg;
+    msg.symbol = tick.symbol;
+    msg.price_cents = tick.price_cents;
+    msg.sequence = tick.sequence;
+    msg.feed_send_ns = MonotonicNowNs();
+    const auto payload = EncodeTick(msg);
+    // No centralised filtering: every agent receives every tick.
+    for (size_t a = 0; a < agent_channels_.size(); ++a) {
+      SendToAgent(a, payload);
+    }
+    ++window_events;
+    const int64_t now = MonotonicNowNs();
+    if (now - window_start >= kWindowNs) {
+      samples.Add(static_cast<double>(window_events) * 1e9 /
+                  static_cast<double>(now - window_start));
+      window_start = now;
+      window_events = 0;
+    }
+  }
+  // Short runs may not fill a single window; flush the partial one.
+  const int64_t now = MonotonicNowNs();
+  if (window_events > 0 && now > window_start) {
+    samples.Add(static_cast<double>(window_events) * 1e9 /
+                static_cast<double>(now - window_start));
+  }
+  return samples;
+}
+
+void MkcPlatform::RunPaced(size_t count, double rate_per_sec) {
+  const int64_t interval_ns = static_cast<int64_t>(1e9 / rate_per_sec);
+  int64_t next_send = MonotonicNowNs();
+  for (size_t i = 0; i < count; ++i) {
+    // Sleep-based pacing: spinning would starve the agents and the ORS of
+    // CPU on small machines and distort the latency measurement.
+    for (;;) {
+      const int64_t now = MonotonicNowNs();
+      if (now >= next_send) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::nanoseconds(next_send - now));
+    }
+    next_send += interval_ns;
+    Tick tick = tick_source_.Next();
+    TickMsg msg;
+    msg.symbol = tick.symbol;
+    msg.price_cents = tick.price_cents;
+    msg.sequence = tick.sequence;
+    msg.feed_send_ns = MonotonicNowNs();
+    const auto payload = EncodeTick(msg);
+    for (size_t a = 0; a < agent_channels_.size(); ++a) {
+      SendToAgent(a, payload);
+    }
+  }
+}
+
+void MkcPlatform::OrsLoop() {
+  std::vector<struct pollfd> pfds;
+  while (!stop_.load(std::memory_order_acquire)) {
+    pfds.clear();
+    for (const Channel& channel : agent_channels_) {
+      struct pollfd pfd;
+      pfd.fd = channel.valid() ? channel.fd() : -1;  // -1 entries are ignored
+      pfd.events = POLLIN;
+      pfd.revents = 0;
+      pfds.push_back(pfd);
+    }
+    const int ready = ::poll(pfds.data(), pfds.size(), /*timeout_ms=*/2);
+    if (ready <= 0) {
+      continue;
+    }
+    for (size_t a = 0; a < pfds.size(); ++a) {
+      if ((pfds[a].revents & (POLLIN | POLLHUP)) == 0) {
+        continue;
+      }
+      auto frame = agent_channels_[a].RecvFrame();
+      if (!frame.ok()) {
+        // Peer died; stop polling this channel.
+        std::lock_guard<std::mutex> lock(*send_mutexes_[a]);
+        agent_channels_[a].Close();
+        continue;
+      }
+      const int64_t recv_ns = MonotonicNowNs();
+      auto msg = DecodeMsg(*frame);
+      if (msg.ok() && msg->kind == MsgKind::kOrder) {
+        HandleOrder(msg->order, recv_ns);
+      }
+    }
+  }
+}
+
+void MkcPlatform::HandleOrder(const OrderMsg& order, int64_t ors_recv_ns) {
+  orders_received_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(latency_mutex_);
+    latencies_.processing.RecordNs(order.agent_send_ns - order.agent_recv_ns);
+    latencies_.ticks_processing.RecordNs(order.agent_send_ns - order.feed_send_ns);
+    latencies_.ticks_orders_processing.RecordNs(ors_recv_ns - order.feed_send_ns);
+  }
+
+  Order book_order;
+  book_order.order_id = next_book_order_id_++;
+  book_order.symbol = order.symbol;
+  book_order.side = order.buy ? Side::kBuy : Side::kSell;
+  book_order.price_cents = order.price_cents;
+  book_order.quantity = order.quantity;
+  book_order.owner_token = order.agent_id;
+  book_order_agent_[book_order.order_id] = order.agent_id;
+
+  auto fills = books_[order.symbol].Submit(book_order);
+  for (const Fill& fill : fills) {
+    trades_matched_.fetch_add(1, std::memory_order_relaxed);
+    if (!config_.send_trade_confirms) {
+      continue;
+    }
+    TradeMsg trade;
+    trade.symbol = fill.symbol;
+    trade.price_cents = fill.price_cents;
+    trade.quantity = fill.quantity;
+    trade.buy_agent = fill.buy_owner_token;
+    trade.sell_agent = fill.sell_owner_token;
+    const auto payload = EncodeTrade(trade);
+    for (uint64_t agent : {trade.buy_agent, trade.sell_agent}) {
+      if (agent < agent_channels_.size()) {
+        SendToAgent(static_cast<size_t>(agent), payload);
+      }
+    }
+  }
+}
+
+MkcLatencies MkcPlatform::TakeLatencies() {
+  std::lock_guard<std::mutex> lock(latency_mutex_);
+  MkcLatencies out = latencies_;
+  latencies_.processing.Reset();
+  latencies_.ticks_processing.Reset();
+  latencies_.ticks_orders_processing.Reset();
+  return out;
+}
+
+int64_t MkcPlatform::TotalMemoryBytes() const {
+  int64_t total = ReadResidentSetBytes();
+  for (pid_t pid : agent_pids_) {
+    total += ReadChildResidentSetBytes(pid);
+  }
+  return total;
+}
+
+void MkcPlatform::Shutdown() {
+  if (!started_) {
+    return;
+  }
+  // Ask agents to exit, then stop the ORS and reap.
+  const auto payload = EncodeShutdown();
+  for (size_t a = 0; a < agent_channels_.size(); ++a) {
+    SendToAgent(a, payload);
+  }
+  stop_.store(true, std::memory_order_release);
+  if (ors_thread_.joinable()) {
+    ors_thread_.join();
+  }
+  for (pid_t pid : agent_pids_) {
+    WaitChild(pid);
+  }
+  for (Channel& channel : agent_channels_) {
+    channel.Close();
+  }
+  agent_channels_.clear();
+  agent_pids_.clear();
+  send_mutexes_.clear();
+  stop_.store(false, std::memory_order_release);
+  started_ = false;
+}
+
+}  // namespace defcon

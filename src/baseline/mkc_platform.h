@@ -1,0 +1,113 @@
+// The Marketcetera-style baseline platform harness (Figs. 8-9).
+//
+// Parent process hosts the market data feed and the Order Routing Service
+// (with local brokering, as the paper extended Marketcetera's ORS); each
+// trader's strategy runs in a forked child process connected by a Unix
+// domain socket. This is the same isolation mechanism class as one-JVM-per-
+// client — OS processes — with the same costs: per-message serialisation,
+// socket hops, context switches, and per-agent duplication of the market
+// data stream (no centralised filtering).
+#ifndef DEFCON_SRC_BASELINE_MKC_PLATFORM_H_
+#define DEFCON_SRC_BASELINE_MKC_PLATFORM_H_
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/histogram.h"
+#include "src/base/stats.h"
+#include "src/baseline/protocol.h"
+#include "src/ipc/channel.h"
+#include "src/market/order_book.h"
+#include "src/market/pairs_stat.h"
+#include "src/market/symbols.h"
+#include "src/market/tick_source.h"
+
+namespace defcon {
+
+struct MkcConfig {
+  size_t num_agents = 10;
+  size_t num_symbols = 200;
+  uint64_t seed = 7;
+  double zipf_exponent = 0.9;
+  PairsConfig pairs;
+  int64_t order_qty = 100;
+  bool send_trade_confirms = true;
+};
+
+// Latency components recorded by the ORS (Fig. 9 lines), in nanoseconds.
+struct MkcLatencies {
+  LatencyHistogram processing;               // t2 - t1
+  LatencyHistogram ticks_processing;         // t2 - t0
+  LatencyHistogram ticks_orders_processing;  // t3 - t0
+};
+
+class MkcPlatform {
+ public:
+  explicit MkcPlatform(const MkcConfig& config);
+  ~MkcPlatform();
+
+  MkcPlatform(const MkcPlatform&) = delete;
+  MkcPlatform& operator=(const MkcPlatform&) = delete;
+
+  // Forks the agents and starts the ORS thread. Must be called once.
+  Status Start();
+
+  // Broadcasts `count` ticks as fast as the agents can absorb them (socket
+  // backpressure throttles the feed). Returns per-100ms throughput samples
+  // (events/second); the caller takes the median, as the paper does.
+  SampleSet RunThroughput(size_t count);
+
+  // Paced feed at `rate_per_sec` for `count` ticks (the paper used 1,000/s
+  // for latency measurements).
+  void RunPaced(size_t count, double rate_per_sec);
+
+  // Latency histograms collected by the ORS so far (moved out).
+  MkcLatencies TakeLatencies();
+
+  // Resident-set bytes of parent + all agents (the paper's memory numbers).
+  int64_t TotalMemoryBytes() const;
+
+  uint64_t orders_received() const { return orders_received_.load(); }
+  uint64_t trades_matched() const { return trades_matched_.load(); }
+
+  // Sends shutdown to agents, joins the ORS thread, reaps children.
+  void Shutdown();
+
+ private:
+  void OrsLoop();
+  void HandleOrder(const OrderMsg& order, int64_t ors_recv_ns);
+  void SendToAgent(size_t agent_index, const std::vector<uint8_t>& payload);
+
+  MkcConfig config_;
+  TickSource tick_source_;
+  std::vector<Channel> agent_channels_;  // parent ends
+  std::vector<pid_t> agent_pids_;
+  // Feed thread and ORS thread both write to agent sockets; one lock per fd
+  // keeps frames intact.
+  std::vector<std::unique_ptr<std::mutex>> send_mutexes_;
+
+  std::thread ors_thread_;
+  std::atomic<bool> stop_{false};
+
+  std::mutex latency_mutex_;
+  MkcLatencies latencies_;
+
+  // Books are only touched from the ORS thread.
+  std::unordered_map<SymbolId, OrderBook> books_;
+  uint64_t next_book_order_id_ = 1;
+  std::unordered_map<uint64_t, uint64_t> book_order_agent_;  // book id -> agent
+
+  std::atomic<uint64_t> orders_received_{0};
+  std::atomic<uint64_t> trades_matched_{0};
+  bool started_ = false;
+};
+
+}  // namespace defcon
+
+#endif  // DEFCON_SRC_BASELINE_MKC_PLATFORM_H_

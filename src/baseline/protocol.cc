@@ -1,0 +1,89 @@
+#include "src/baseline/protocol.h"
+
+namespace defcon {
+
+std::vector<uint8_t> EncodeTick(const TickMsg& msg) {
+  WireWriter writer;
+  writer.PutVarint(static_cast<uint64_t>(MsgKind::kTick));
+  writer.PutVarint(msg.symbol);
+  writer.PutZigzag(msg.price_cents);
+  writer.PutZigzag(msg.sequence);
+  writer.PutZigzag(msg.feed_send_ns);
+  return writer.Take();
+}
+
+std::vector<uint8_t> EncodeOrder(const OrderMsg& msg) {
+  WireWriter writer;
+  writer.PutVarint(static_cast<uint64_t>(MsgKind::kOrder));
+  writer.PutVarint(msg.agent_id);
+  writer.PutVarint(msg.order_seq);
+  writer.PutVarint(msg.symbol);
+  writer.PutBool(msg.buy);
+  writer.PutZigzag(msg.price_cents);
+  writer.PutZigzag(msg.quantity);
+  writer.PutZigzag(msg.feed_send_ns);
+  writer.PutZigzag(msg.agent_recv_ns);
+  writer.PutZigzag(msg.agent_send_ns);
+  return writer.Take();
+}
+
+std::vector<uint8_t> EncodeTrade(const TradeMsg& msg) {
+  WireWriter writer;
+  writer.PutVarint(static_cast<uint64_t>(MsgKind::kTrade));
+  writer.PutVarint(msg.symbol);
+  writer.PutZigzag(msg.price_cents);
+  writer.PutZigzag(msg.quantity);
+  writer.PutVarint(msg.buy_agent);
+  writer.PutVarint(msg.sell_agent);
+  return writer.Take();
+}
+
+std::vector<uint8_t> EncodeShutdown() {
+  WireWriter writer;
+  writer.PutVarint(static_cast<uint64_t>(MsgKind::kShutdown));
+  return writer.Take();
+}
+
+Result<DecodedMsg> DecodeMsg(const std::vector<uint8_t>& payload) {
+  WireReader reader(payload);
+  DecodedMsg msg;
+  DEFCON_ASSIGN_OR_RETURN(uint64_t kind_raw, reader.Varint());
+  msg.kind = static_cast<MsgKind>(kind_raw);
+  switch (msg.kind) {
+    case MsgKind::kTick: {
+      DEFCON_ASSIGN_OR_RETURN(uint64_t symbol, reader.Varint());
+      msg.tick.symbol = static_cast<SymbolId>(symbol);
+      DEFCON_ASSIGN_OR_RETURN(msg.tick.price_cents, reader.Zigzag());
+      DEFCON_ASSIGN_OR_RETURN(msg.tick.sequence, reader.Zigzag());
+      DEFCON_ASSIGN_OR_RETURN(msg.tick.feed_send_ns, reader.Zigzag());
+      return msg;
+    }
+    case MsgKind::kOrder: {
+      DEFCON_ASSIGN_OR_RETURN(msg.order.agent_id, reader.Varint());
+      DEFCON_ASSIGN_OR_RETURN(msg.order.order_seq, reader.Varint());
+      DEFCON_ASSIGN_OR_RETURN(uint64_t symbol, reader.Varint());
+      msg.order.symbol = static_cast<SymbolId>(symbol);
+      DEFCON_ASSIGN_OR_RETURN(msg.order.buy, reader.Bool());
+      DEFCON_ASSIGN_OR_RETURN(msg.order.price_cents, reader.Zigzag());
+      DEFCON_ASSIGN_OR_RETURN(msg.order.quantity, reader.Zigzag());
+      DEFCON_ASSIGN_OR_RETURN(msg.order.feed_send_ns, reader.Zigzag());
+      DEFCON_ASSIGN_OR_RETURN(msg.order.agent_recv_ns, reader.Zigzag());
+      DEFCON_ASSIGN_OR_RETURN(msg.order.agent_send_ns, reader.Zigzag());
+      return msg;
+    }
+    case MsgKind::kTrade: {
+      DEFCON_ASSIGN_OR_RETURN(uint64_t symbol, reader.Varint());
+      msg.trade.symbol = static_cast<SymbolId>(symbol);
+      DEFCON_ASSIGN_OR_RETURN(msg.trade.price_cents, reader.Zigzag());
+      DEFCON_ASSIGN_OR_RETURN(msg.trade.quantity, reader.Zigzag());
+      DEFCON_ASSIGN_OR_RETURN(msg.trade.buy_agent, reader.Varint());
+      DEFCON_ASSIGN_OR_RETURN(msg.trade.sell_agent, reader.Varint());
+      return msg;
+    }
+    case MsgKind::kShutdown:
+      return msg;
+  }
+  return IoError("unknown message kind");
+}
+
+}  // namespace defcon

@@ -1,0 +1,80 @@
+// Message protocol of the Marketcetera-style baseline (§6, Figs. 8-9).
+//
+// The baseline isolates each trader's strategy in its own OS process
+// (Marketcetera: one JVM per Strategy Agent). The parent hosts the market
+// data feed and the Order Routing Service (ORS, extended with local
+// brokering, as the paper did); agents receive every tick — the platform has
+// no centralised filtering, which is exactly why its throughput collapses
+// with agent count (Fig. 8) — and send orders back.
+//
+// Orders carry the timestamps needed for Fig. 9's latency breakdown:
+//   t0 feed_send_ns   — parent stamped the tick before writing it
+//   t1 agent_recv_ns  — agent read the tick
+//   t2 agent_send_ns  — agent finished the strategy and wrote the order
+//   t3 (stamped by the ORS on receipt)
+//   processing           = t2 - t1
+//   ticks+processing     = t2 - t0
+//   ticks+orders+processing = t3 - t0
+#ifndef DEFCON_SRC_BASELINE_PROTOCOL_H_
+#define DEFCON_SRC_BASELINE_PROTOCOL_H_
+
+#include <cstdint>
+
+#include "src/base/result.h"
+#include "src/ipc/wire.h"
+#include "src/market/symbols.h"
+
+namespace defcon {
+
+enum class MsgKind : uint8_t {
+  kTick = 1,
+  kOrder = 2,
+  kTrade = 3,
+  kShutdown = 4,
+};
+
+struct TickMsg {
+  SymbolId symbol = 0;
+  int64_t price_cents = 0;
+  int64_t sequence = 0;
+  int64_t feed_send_ns = 0;  // t0
+};
+
+struct OrderMsg {
+  uint64_t agent_id = 0;
+  uint64_t order_seq = 0;
+  SymbolId symbol = 0;
+  bool buy = false;
+  int64_t price_cents = 0;
+  int64_t quantity = 0;
+  int64_t feed_send_ns = 0;   // t0 of the triggering tick
+  int64_t agent_recv_ns = 0;  // t1
+  int64_t agent_send_ns = 0;  // t2
+};
+
+struct TradeMsg {
+  SymbolId symbol = 0;
+  int64_t price_cents = 0;
+  int64_t quantity = 0;
+  uint64_t buy_agent = 0;
+  uint64_t sell_agent = 0;
+};
+
+std::vector<uint8_t> EncodeTick(const TickMsg& msg);
+std::vector<uint8_t> EncodeOrder(const OrderMsg& msg);
+std::vector<uint8_t> EncodeTrade(const TradeMsg& msg);
+std::vector<uint8_t> EncodeShutdown();
+
+// Peeks the kind then decodes; callers dispatch on `kind`.
+struct DecodedMsg {
+  MsgKind kind = MsgKind::kShutdown;
+  TickMsg tick;
+  OrderMsg order;
+  TradeMsg trade;
+};
+
+Result<DecodedMsg> DecodeMsg(const std::vector<uint8_t>& payload);
+
+}  // namespace defcon
+
+#endif  // DEFCON_SRC_BASELINE_PROTOCOL_H_

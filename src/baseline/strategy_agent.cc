@@ -1,0 +1,76 @@
+#include "src/baseline/strategy_agent.h"
+
+#include "src/base/clock.h"
+#include "src/baseline/protocol.h"
+
+namespace defcon {
+
+int StrategyAgentMain(Channel channel, const AgentConfig& config) {
+  PairsTracker tracker(config.pair, config.pairs);
+  int64_t last_price_first = 0;
+  int64_t last_price_second = 0;
+  uint64_t order_seq = 1;
+
+  for (;;) {
+    auto frame = channel.RecvFrame();
+    if (!frame.ok()) {
+      return 1;  // parent died
+    }
+    auto msg = DecodeMsg(*frame);
+    if (!msg.ok()) {
+      return 2;
+    }
+    switch (msg->kind) {
+      case MsgKind::kShutdown:
+        return 0;
+      case MsgKind::kTrade:
+        break;  // fill confirmation; nothing further to do
+      case MsgKind::kOrder:
+        break;  // agents never receive orders
+      case MsgKind::kTick: {
+        const TickMsg& tick = msg->tick;
+        // Per-agent filtering: everything outside the pair is discarded.
+        if (tick.symbol != config.pair.first && tick.symbol != config.pair.second) {
+          break;
+        }
+        const int64_t recv_ns = MonotonicNowNs();
+        if (tick.symbol == config.pair.first) {
+          last_price_first = tick.price_cents;
+        } else {
+          last_price_second = tick.price_cents;
+        }
+        auto signal =
+            tracker.OnTick(tick.symbol, static_cast<double>(tick.price_cents) / 100.0);
+        if (!signal.has_value()) {
+          break;
+        }
+        SymbolId buy = signal->buy;
+        SymbolId sell = signal->sell;
+        if (config.contrarian) {
+          std::swap(buy, sell);
+        }
+        auto price_of = [&](SymbolId symbol) {
+          return symbol == config.pair.first ? last_price_first : last_price_second;
+        };
+        for (int leg = 0; leg < 2; ++leg) {
+          OrderMsg order;
+          order.agent_id = config.agent_id;
+          order.order_seq = order_seq++;
+          order.symbol = leg == 0 ? buy : sell;
+          order.buy = leg == 0;
+          order.price_cents = price_of(order.symbol);
+          order.quantity = config.order_qty;
+          order.feed_send_ns = tick.feed_send_ns;
+          order.agent_recv_ns = recv_ns;
+          order.agent_send_ns = MonotonicNowNs();
+          if (!channel.SendFrame(EncodeOrder(order)).ok()) {
+            return 3;
+          }
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace defcon

@@ -1,0 +1,33 @@
+// Strategy Agent: the per-trader child process of the baseline platform
+// (Marketcetera runs one JVM per client's Strategy Agent).
+//
+// The agent receives the full market data stream, filters it for its own
+// pair (no centralised filtering — the paper names this as Marketcetera's
+// scalability limit), runs the identical pairs-trade logic the DEFCON
+// Trader/Pair-Monitor units use, and sends orders back to the ORS.
+#ifndef DEFCON_SRC_BASELINE_STRATEGY_AGENT_H_
+#define DEFCON_SRC_BASELINE_STRATEGY_AGENT_H_
+
+#include <cstdint>
+
+#include "src/ipc/channel.h"
+#include "src/market/pairs_stat.h"
+#include "src/market/symbols.h"
+
+namespace defcon {
+
+struct AgentConfig {
+  uint64_t agent_id = 0;
+  SymbolPair pair;
+  PairsConfig pairs;
+  int64_t order_qty = 100;
+  bool contrarian = false;
+};
+
+// Child-process entry point: loops until a shutdown message arrives.
+// Returns the process exit code.
+int StrategyAgentMain(Channel channel, const AgentConfig& config);
+
+}  // namespace defcon
+
+#endif  // DEFCON_SRC_BASELINE_STRATEGY_AGENT_H_

@@ -1,0 +1,108 @@
+#include "src/concurrency/actor_executor.h"
+
+namespace defcon {
+
+ActorExecutor::ActorExecutor(size_t num_threads) {
+  if (num_threads > 0) {
+    pool_ = std::make_unique<ThreadPool>(num_threads);
+  }
+}
+
+ActorExecutor::~ActorExecutor() { Shutdown(); }
+
+std::shared_ptr<Actor> ActorExecutor::CreateActor(std::string name) {
+  return std::make_shared<Actor>(std::move(name));
+}
+
+void ActorExecutor::Post(const std::shared_ptr<Actor>& actor, std::function<void()> turn) {
+  if (shutdown_.load(std::memory_order_acquire)) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    ++pending_turns_;
+  }
+  actor->mailbox_.Push(std::move(turn));
+  bool expected = false;
+  if (actor->scheduled_.compare_exchange_strong(expected, true)) {
+    Schedule(actor);
+  }
+}
+
+void ActorExecutor::Schedule(std::shared_ptr<Actor> actor) {
+  if (pool_ != nullptr) {
+    pool_->Post([this, actor = std::move(actor)]() mutable { DrainActor(actor); });
+  } else {
+    std::lock_guard<std::mutex> lock(ready_mutex_);
+    ready_.push_back(std::move(actor));
+  }
+}
+
+void ActorExecutor::DrainActor(const std::shared_ptr<Actor>& actor) {
+  size_t executed = 0;
+  while (executed < kBatchSize) {
+    auto turn = actor->mailbox_.TryPop();
+    if (!turn.has_value()) {
+      break;
+    }
+    (*turn)();
+    ++executed;
+    turns_executed_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(pending_mutex_);
+      --pending_turns_;
+      if (pending_turns_ == 0) {
+        pending_cv_.notify_all();
+      }
+    }
+  }
+  // Release the scheduling flag, then re-check: a producer may have enqueued
+  // between the final TryPop and the store, in which case this thread must
+  // reschedule (the producer saw scheduled_ == true and did not).
+  actor->scheduled_.store(false, std::memory_order_release);
+  if (!actor->mailbox_.Empty()) {
+    bool expected = false;
+    if (actor->scheduled_.compare_exchange_strong(expected, true)) {
+      Schedule(actor);
+    }
+  }
+}
+
+size_t ActorExecutor::RunUntilIdle() {
+  size_t total = 0;
+  for (;;) {
+    std::shared_ptr<Actor> actor;
+    {
+      std::lock_guard<std::mutex> lock(ready_mutex_);
+      if (ready_.empty()) {
+        break;
+      }
+      actor = std::move(ready_.front());
+      ready_.pop_front();
+    }
+    const uint64_t before = turns_executed_.load(std::memory_order_relaxed);
+    DrainActor(actor);
+    total += static_cast<size_t>(turns_executed_.load(std::memory_order_relaxed) - before);
+  }
+  return total;
+}
+
+void ActorExecutor::WaitIdle() {
+  if (pool_ == nullptr) {
+    RunUntilIdle();
+    return;
+  }
+  std::unique_lock<std::mutex> lock(pending_mutex_);
+  pending_cv_.wait(lock, [this] { return pending_turns_ == 0; });
+}
+
+void ActorExecutor::Shutdown() {
+  shutdown_.store(true, std::memory_order_release);
+  if (pool_ != nullptr) {
+    pool_->Shutdown();
+  }
+  std::lock_guard<std::mutex> lock(ready_mutex_);
+  ready_.clear();
+}
+
+}  // namespace defcon

@@ -1,0 +1,98 @@
+// Actor-style executor: per-actor mailboxes with serialised turns.
+//
+// DEFCON units behave like actors — each unit processes one delivery at a
+// time (so unit state needs no locking) while different units run in
+// parallel. The executor supports two modes:
+//   * pooled: turns run on a ThreadPool (production / benchmarks);
+//   * manual: turns run only when RunUntilIdle() is called, giving tests a
+//     deterministic, single-threaded schedule.
+#ifndef DEFCON_SRC_CONCURRENCY_ACTOR_EXECUTOR_H_
+#define DEFCON_SRC_CONCURRENCY_ACTOR_EXECUTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/concurrency/mpsc_queue.h"
+#include "src/concurrency/thread_pool.h"
+
+namespace defcon {
+
+class ActorExecutor;
+
+// One mailbox + scheduling flag. Created via ActorExecutor::CreateActor.
+class Actor {
+ public:
+  explicit Actor(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  size_t QueueDepth() const { return mailbox_.Size(); }
+
+ private:
+  friend class ActorExecutor;
+
+  std::string name_;
+  MpscQueue<std::function<void()>> mailbox_;
+  // True while the actor is scheduled on (or running on) a worker; guarantees
+  // at most one thread drains the mailbox at any time.
+  std::atomic<bool> scheduled_{false};
+};
+
+class ActorExecutor {
+ public:
+  // num_threads == 0 selects manual mode.
+  explicit ActorExecutor(size_t num_threads);
+  ~ActorExecutor();
+
+  ActorExecutor(const ActorExecutor&) = delete;
+  ActorExecutor& operator=(const ActorExecutor&) = delete;
+
+  std::shared_ptr<Actor> CreateActor(std::string name);
+
+  // Enqueues a turn for the actor. Thread-safe.
+  void Post(const std::shared_ptr<Actor>& actor, std::function<void()> turn);
+
+  // Manual mode: runs turns on the calling thread until no actor has work.
+  // Returns the number of turns executed.
+  size_t RunUntilIdle();
+
+  // Pooled mode: blocks until every posted turn has executed.
+  void WaitIdle();
+
+  void Shutdown();
+
+  bool manual_mode() const { return pool_ == nullptr; }
+
+  // Total turns executed since construction (diagnostics).
+  uint64_t turns_executed() const { return turns_executed_.load(std::memory_order_relaxed); }
+
+ private:
+  // Max turns drained per scheduling quantum, so one flooded actor cannot
+  // starve others on the pool.
+  static constexpr size_t kBatchSize = 64;
+
+  void Schedule(std::shared_ptr<Actor> actor);
+  void DrainActor(const std::shared_ptr<Actor>& actor);
+
+  std::unique_ptr<ThreadPool> pool_;  // null in manual mode
+
+  // Manual-mode ready list.
+  std::mutex ready_mutex_;
+  std::deque<std::shared_ptr<Actor>> ready_;
+
+  // Outstanding turn accounting for WaitIdle().
+  std::mutex pending_mutex_;
+  std::condition_variable pending_cv_;
+  size_t pending_turns_ = 0;
+
+  std::atomic<uint64_t> turns_executed_{0};
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace defcon
+
+#endif  // DEFCON_SRC_CONCURRENCY_ACTOR_EXECUTOR_H_

@@ -1,0 +1,84 @@
+// Multi-producer single-consumer mailbox used for per-unit event delivery.
+//
+// The DEFCON dispatcher enqueues deliveries from any engine thread; the actor
+// executor drains a unit's mailbox from exactly one thread at a time. A mutex
+// + swap design keeps the consumer path allocation-free and contention short.
+#ifndef DEFCON_SRC_CONCURRENCY_MPSC_QUEUE_H_
+#define DEFCON_SRC_CONCURRENCY_MPSC_QUEUE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace defcon {
+
+template <typename T>
+class MpscQueue {
+ public:
+  // Enqueues an item; returns the queue depth after insertion (used by the
+  // executor to decide whether the consumer needs scheduling).
+  size_t Push(T item) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(item));
+    cv_.notify_one();
+    return queue_.size();
+  }
+
+  // Non-blocking pop.
+  std::optional<T> TryPop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) {
+      return std::nullopt;
+    }
+    T item = std::move(queue_.front());
+    queue_.pop_front();
+    return item;
+  }
+
+  // Blocking pop; returns nullopt when Close() is called and the queue drains.
+  std::optional<T> PopBlocking() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) {
+      return std::nullopt;
+    }
+    T item = std::move(queue_.front());
+    queue_.pop_front();
+    return item;
+  }
+
+  // Moves the whole backlog out in one lock acquisition.
+  std::vector<T> DrainAll() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<T> items(std::make_move_iterator(queue_.begin()),
+                         std::make_move_iterator(queue_.end()));
+    queue_.clear();
+    return items;
+  }
+
+  void Close() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    cv_.notify_all();
+  }
+
+  size_t Size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
+  bool Empty() const { return Size() == 0; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace defcon
+
+#endif  // DEFCON_SRC_CONCURRENCY_MPSC_QUEUE_H_

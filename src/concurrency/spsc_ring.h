@@ -1,0 +1,72 @@
+// Lock-free single-producer single-consumer ring buffer.
+//
+// Used on the hottest measurement path (tick replay into the dispatcher) where
+// a mutex round-trip per event would dominate the numbers the benches report.
+#ifndef DEFCON_SRC_CONCURRENCY_SPSC_RING_H_
+#define DEFCON_SRC_CONCURRENCY_SPSC_RING_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace defcon {
+
+template <typename T>
+class SpscRing {
+ public:
+  // Capacity is rounded up to a power of two; one slot is sacrificed to
+  // distinguish full from empty.
+  explicit SpscRing(size_t capacity) {
+    size_t cap = 2;
+    while (cap < capacity + 1) {
+      cap <<= 1;
+    }
+    mask_ = cap - 1;
+    slots_.resize(cap);
+  }
+
+  // Producer side. Returns false when full.
+  bool TryPush(T item) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    const size_t next = (head + 1) & mask_;
+    if (next == tail_.load(std::memory_order_acquire)) {
+      return false;
+    }
+    slots_[head] = std::move(item);
+    head_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. Returns nullopt when empty.
+  std::optional<T> TryPop() {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_.load(std::memory_order_acquire)) {
+      return std::nullopt;
+    }
+    T item = std::move(slots_[tail]);
+    tail_.store((tail + 1) & mask_, std::memory_order_release);
+    return item;
+  }
+
+  size_t SizeApprox() const {
+    const size_t head = head_.load(std::memory_order_acquire);
+    const size_t tail = tail_.load(std::memory_order_acquire);
+    return (head - tail) & mask_;
+  }
+
+  bool Empty() const { return SizeApprox() == 0; }
+
+ private:
+  std::vector<T> slots_;
+  size_t mask_;
+  // Producer and consumer indices on separate cache lines to avoid false sharing.
+  alignas(64) std::atomic<size_t> head_{0};
+  alignas(64) std::atomic<size_t> tail_{0};
+};
+
+}  // namespace defcon
+
+#endif  // DEFCON_SRC_CONCURRENCY_SPSC_RING_H_

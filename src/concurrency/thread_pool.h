@@ -1,0 +1,49 @@
+// Fixed-size worker pool executing posted tasks.
+#ifndef DEFCON_SRC_CONCURRENCY_THREAD_POOL_H_
+#define DEFCON_SRC_CONCURRENCY_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace defcon {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task; returns false after Shutdown().
+  bool Post(std::function<void()> task);
+
+  // Blocks until the task queue is empty and all workers are idle.
+  void WaitIdle();
+
+  // Stops accepting tasks, drains the queue, joins workers. Idempotent.
+  void Shutdown();
+
+  size_t num_threads() const { return threads_.size(); }
+  size_t PendingTasks() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> tasks_;
+  size_t active_workers_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace defcon
+
+#endif  // DEFCON_SRC_CONCURRENCY_THREAD_POOL_H_

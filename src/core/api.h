@@ -1,0 +1,24 @@
+// Umbrella header: the public DEFCON API surface.
+//
+//   #include "src/core/api.h"
+//
+// brings in everything an application (platform assembly + processing units)
+// needs: the engine, the unit/context API (Table 1), labels/tags/privileges,
+// filters and values. Engine internals (dispatcher, subscription records,
+// delivery plans) stay private to src/core/engine.cc.
+#ifndef DEFCON_SRC_CORE_API_H_
+#define DEFCON_SRC_CORE_API_H_
+
+#include "src/base/result.h"   // Result<T>
+#include "src/base/status.h"   // Status, StatusCode
+#include "src/core/engine.h"   // Engine, EngineConfig, EngineStatsSnapshot
+#include "src/core/event.h"    // Part (PartView's label/data types)
+#include "src/core/filter.h"   // Filter, ParseFilter
+#include "src/core/label.h"    // Label, TagSet, CanFlowTo, LabelJoin/Meet
+#include "src/core/privileges.h"  // Privilege, PrivilegeSet, PrivilegeGrant
+#include "src/core/tag.h"      // Tag
+#include "src/core/types.h"    // UnitId, SubscriptionId, EventHandle, SecurityMode
+#include "src/core/unit.h"     // Unit, UnitContext, UnitFactory, NeverShared
+#include "src/freeze/value.h"  // Value, FList, FMap
+
+#endif  // DEFCON_SRC_CORE_API_H_

@@ -1,0 +1,1222 @@
+#include "src/core/engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <list>
+#include <shared_mutex>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/base/clock.h"
+#include "src/base/logging.h"
+#include "src/concurrency/actor_executor.h"
+#include "src/core/event.h"
+
+namespace defcon {
+
+const char* SecurityModeName(SecurityMode mode) {
+  switch (mode) {
+    case SecurityMode::kNoSecurity:
+      return "no-security";
+    case SecurityMode::kLabels:
+      return "labels+freeze";
+    case SecurityMode::kLabelsClone:
+      return "labels+clone";
+    case SecurityMode::kLabelsIsolation:
+      return "labels+freeze+isolation";
+  }
+  return "?";
+}
+
+namespace {
+
+// Stable textual key for a label (managed-instance cache key and delivery
+// de-duplication). Tag sets are sorted, so the rendering is canonical.
+std::string LabelKey(const Label& label) {
+  std::string key;
+  key.reserve(16 * (label.secrecy.size() + label.integrity.size()) + 2);
+  for (const Tag& tag : label.secrecy) {
+    key += tag.DebugString();
+    key += ',';
+  }
+  key += '|';
+  for (const Tag& tag : label.integrity) {
+    key += tag.DebugString();
+    key += ',';
+  }
+  return key;
+}
+
+std::string IndexKeyString(const std::string& name, const std::string& literal) {
+  std::string key;
+  key.reserve(name.size() + literal.size() + 1);
+  key += name;
+  key += '\x1f';
+  key += literal;
+  return key;
+}
+
+}  // namespace
+
+// Engine-internal types. Namespace-scoped (not anonymous) because UnitState
+// and Engine::Impl, which are themselves namespace-scoped, embed them.
+namespace engine_internal {
+
+struct EngineCounters {
+  std::atomic<uint64_t> events_published{0};
+  std::atomic<uint64_t> events_dropped_empty{0};
+  std::atomic<uint64_t> deliveries{0};
+  std::atomic<uint64_t> rematches{0};
+  std::atomic<uint64_t> label_checks{0};
+  std::atomic<uint64_t> parts_read{0};
+  std::atomic<uint64_t> parts_added{0};
+  std::atomic<uint64_t> grants_bestowed{0};
+  std::atomic<uint64_t> managed_instances_created{0};
+  std::atomic<uint64_t> managed_instances_evicted{0};
+  std::atomic<uint64_t> clone_bytes{0};
+  std::atomic<uint64_t> intercept_checks{0};
+  std::atomic<uint64_t> permission_denials{0};
+
+  EngineStatsSnapshot Snapshot() const {
+    EngineStatsSnapshot s;
+    s.events_published = events_published.load(std::memory_order_relaxed);
+    s.events_dropped_empty = events_dropped_empty.load(std::memory_order_relaxed);
+    s.deliveries = deliveries.load(std::memory_order_relaxed);
+    s.rematches = rematches.load(std::memory_order_relaxed);
+    s.label_checks = label_checks.load(std::memory_order_relaxed);
+    s.parts_read = parts_read.load(std::memory_order_relaxed);
+    s.parts_added = parts_added.load(std::memory_order_relaxed);
+    s.grants_bestowed = grants_bestowed.load(std::memory_order_relaxed);
+    s.managed_instances_created = managed_instances_created.load(std::memory_order_relaxed);
+    s.managed_instances_evicted = managed_instances_evicted.load(std::memory_order_relaxed);
+    s.clone_bytes = clone_bytes.load(std::memory_order_relaxed);
+    s.intercept_checks = intercept_checks.load(std::memory_order_relaxed);
+    s.permission_denials = permission_denials.load(std::memory_order_relaxed);
+    return s;
+  }
+};
+
+struct DeliveryPlan;
+
+// Handle-table entry. `event` is what the unit reads (a per-delivery deep
+// copy in clone mode); `master` is the shared event that modifications and
+// the delivery pipeline operate on.
+struct HandleRecord {
+  enum class Origin : uint8_t { kCreated, kDelivered };
+
+  EventPtr event;
+  EventPtr master;
+  Origin origin = Origin::kCreated;
+  bool closed = false;  // created: published; delivered: released
+  std::shared_ptr<DeliveryPlan> plan;
+};
+
+// One queued delivery of an event to a unit (or, for managed subscriptions,
+// to the instance at `managed_label`, resolved when the delivery runs).
+struct PlannedDelivery {
+  SubscriptionId sub_id = 0;
+  UnitId unit_id = 0;  // 0 => managed
+  Label managed_label;
+  std::string dedup_key;
+};
+
+struct SubscriptionRecord {
+  SubscriptionId id = 0;
+  UnitId owner = 0;
+  Filter filter;
+  // Index bucket key this record was registered under; empty => residual.
+  std::string index_key;
+
+  bool managed = false;
+  UnitFactory factory;
+  // Managed-instance cache: label key -> instance unit id, with LRU order.
+  std::mutex instances_mutex;
+  std::unordered_map<std::string, UnitId> instances;
+  std::list<std::string> lru;  // front = most recently used
+  std::unordered_map<std::string, std::list<std::string>::iterator> lru_pos;
+};
+
+// The per-event delivery pipeline (§3.1.6): deliveries happen one at a time
+// in subscription order; after each release the event is re-matched if it was
+// modified, so parts added on the main path reach later (and newly matching)
+// units. Label checks at match time ensure added parts never widen delivery
+// to units that could not already receive them.
+struct DeliveryPlan {
+  EventPtr master;
+
+  std::mutex mutex;
+  std::deque<PlannedDelivery> pending;
+  std::unordered_set<std::string> planned;  // dedup keys ever enqueued
+  uint64_t matched_mod_count = 0;
+  bool in_flight = false;
+};
+
+}  // namespace engine_internal
+
+using engine_internal::DeliveryPlan;
+using engine_internal::EngineCounters;
+using engine_internal::HandleRecord;
+using engine_internal::PlannedDelivery;
+using engine_internal::SubscriptionRecord;
+
+struct UnitState {
+  UnitId id = 0;
+  std::string name;
+  std::unique_ptr<Unit> logic;
+  std::shared_ptr<Actor> actor;
+  std::unique_ptr<UnitContext> ctx;
+
+  // Labels and privileges: written only from the unit's own turns, but read
+  // by the dispatcher from other threads at match time.
+  mutable std::mutex label_mutex;
+  Label in_label;
+  Label out_label;
+  PrivilegeSet privileges;
+
+  // Event-handle table; touched only from the unit's own turns.
+  uint64_t next_handle = 1;
+  std::unordered_map<EventHandle, HandleRecord> handles;
+
+  // Subscriptions owned by this unit (removed with the unit).
+  std::vector<SubscriptionId> owned_subs;
+
+  bool is_managed_instance = false;
+  SubscriptionId managed_sub = 0;
+
+  std::unique_ptr<UnitSandboxState> sandbox;  // isolation mode only
+  bool started = false;
+
+  // Origin timestamp of the event currently being delivered (0 outside a
+  // delivery turn). Events created during a delivery inherit it, so the
+  // "originating tick time" flows tick -> match -> order -> trade and the
+  // latency benches can measure end-to-end delay exactly as the paper does.
+  int64_t current_delivery_origin_ns = 0;
+};
+
+// Engine-internal construction of UnitContext (whose constructor is private).
+struct UnitContextFactory {
+  static std::unique_ptr<UnitContext> New(Engine* engine, UnitState* state) {
+    return std::unique_ptr<UnitContext>(new UnitContext(engine, state));
+  }
+};
+
+struct Engine::Impl {
+  Engine* engine = nullptr;
+  EngineConfig config;
+  ActorExecutor executor;
+
+  mutable std::shared_mutex units_mutex;
+  std::unordered_map<UnitId, std::shared_ptr<UnitState>> units;
+  std::atomic<UnitId> next_unit_id{1};
+  std::atomic<size_t> managed_instance_count{0};
+
+  mutable std::shared_mutex subs_mutex;
+  std::unordered_map<SubscriptionId, std::shared_ptr<SubscriptionRecord>> subs;
+  // Subscriptions with an equality key, bucketed for O(1) candidate lookup.
+  std::unordered_map<std::string, std::vector<std::shared_ptr<SubscriptionRecord>>> index;
+  // Subscriptions without an equality key: always candidates.
+  std::vector<std::shared_ptr<SubscriptionRecord>> residual_subs;
+  std::atomic<SubscriptionId> next_sub_id{1};
+
+  std::atomic<uint64_t> next_event_id{1};
+
+  std::unique_ptr<IsolationRuntime> isolation;
+  EngineCounters stats;
+  std::atomic<bool> started{false};
+
+  explicit Impl(Engine* eng, const EngineConfig& cfg)
+      : engine(eng), config(cfg), executor(cfg.num_threads) {
+    if (config.mode == SecurityMode::kLabelsIsolation) {
+      isolation = std::make_unique<IsolationRuntime>(DefaultWeavePlan(), &eng->accountant_);
+    }
+  }
+
+  bool security_on() const { return config.mode != SecurityMode::kNoSecurity; }
+
+  // ---- unit management ----------------------------------------------------
+
+  std::shared_ptr<UnitState> CreateUnit(const std::string& name, std::unique_ptr<Unit> logic,
+                                        const Label& in_label, const Label& out_label,
+                                        PrivilegeSet privileges, bool managed_instance,
+                                        SubscriptionId managed_sub) {
+    auto state = std::make_shared<UnitState>();
+    state->id = next_unit_id.fetch_add(1);
+    state->name = name;
+    state->logic = std::move(logic);
+    state->actor = executor.CreateActor(name);
+    state->ctx = UnitContextFactory::New(engine, state.get());
+    state->in_label = in_label;
+    state->out_label = out_label;
+    state->privileges = std::move(privileges);
+    state->is_managed_instance = managed_instance;
+    state->managed_sub = managed_sub;
+    if (isolation != nullptr) {
+      state->sandbox = isolation->CreateUnitState();
+    }
+    // Rough per-unit footprint for the accountant (labels, mailbox, tables).
+    engine->accountant_.Charge(static_cast<int64_t>(sizeof(UnitState) + 512));
+    {
+      std::unique_lock lock(units_mutex);
+      units.emplace(state->id, state);
+    }
+    if (managed_instance) {
+      managed_instance_count.fetch_add(1);
+    }
+    if (started.load(std::memory_order_acquire)) {
+      PostStart(state);
+    }
+    return state;
+  }
+
+  void PostStart(const std::shared_ptr<UnitState>& state) {
+    executor.Post(state->actor, [state] {
+      if (!state->started) {
+        state->started = true;
+        state->logic->OnStart(*state->ctx);
+      }
+    });
+  }
+
+  std::shared_ptr<UnitState> FindUnit(UnitId id) const {
+    std::shared_lock lock(units_mutex);
+    auto it = units.find(id);
+    return it == units.end() ? nullptr : it->second;
+  }
+
+  void RemoveUnit(UnitId id) {
+    std::shared_ptr<UnitState> victim;
+    {
+      std::unique_lock lock(units_mutex);
+      auto it = units.find(id);
+      if (it == units.end()) {
+        return;
+      }
+      victim = it->second;
+      units.erase(it);
+    }
+    if (victim->is_managed_instance) {
+      managed_instance_count.fetch_sub(1);
+    }
+    engine->accountant_.Release(static_cast<int64_t>(sizeof(UnitState) + 512));
+    // Retire the unit's subscriptions on its own actor, after any queued
+    // turns, so owned_subs is never touched concurrently with a running turn.
+    auto* self = this;
+    executor.Post(victim->actor, [self, victim] {
+      for (SubscriptionId sub : victim->owned_subs) {
+        self->UnregisterSubscription(sub);
+      }
+      victim->owned_subs.clear();
+    });
+    // In-flight turns hold a shared_ptr; the state dies when they finish.
+  }
+
+  void UnregisterSubscription(SubscriptionId id) {
+    std::unique_lock lock(subs_mutex);
+    auto it = subs.find(id);
+    if (it == subs.end()) {
+      return;
+    }
+    std::shared_ptr<SubscriptionRecord> record = it->second;
+    subs.erase(it);
+    if (record->index_key.empty()) {
+      auto pos = std::find(residual_subs.begin(), residual_subs.end(), record);
+      if (pos != residual_subs.end()) {
+        residual_subs.erase(pos);
+      }
+    } else {
+      auto bucket = index.find(record->index_key);
+      if (bucket != index.end()) {
+        auto pos = std::find(bucket->second.begin(), bucket->second.end(), record);
+        if (pos != bucket->second.end()) {
+          bucket->second.erase(pos);
+        }
+        if (bucket->second.empty()) {
+          index.erase(bucket);
+        }
+      }
+    }
+  }
+
+  // ---- isolation hook ------------------------------------------------------
+
+  Status CheckApi(UnitState* unit, ApiTarget target) {
+    if (isolation == nullptr) {
+      return OkStatus();
+    }
+    stats.intercept_checks.fetch_add(1, std::memory_order_relaxed);
+    return isolation->CheckApiCall(unit->sandbox.get(), target);
+  }
+
+  // ---- label helpers -------------------------------------------------------
+
+  // Contamination independence (§5, Table 1 footnote): S' = S ∪ Sout,
+  // I' = I ∩ Iout, computed against the unit's current output label.
+  Label StampWithOutputLabel(UnitState* unit, const Label& requested) {
+    if (!security_on()) {
+      return requested;
+    }
+    std::lock_guard<std::mutex> lock(unit->label_mutex);
+    return Label(TagSet::Union(requested.secrecy, unit->out_label.secrecy),
+                 TagSet::Intersection(requested.integrity, unit->out_label.integrity));
+  }
+
+  bool PartVisible(const Part& part, const Label& in_label) {
+    if (!security_on()) {
+      return true;
+    }
+    stats.label_checks.fetch_add(1, std::memory_order_relaxed);
+    return CanFlowTo(part.label, in_label);
+  }
+
+  // ---- subscription matching ----------------------------------------------
+
+  std::vector<std::shared_ptr<SubscriptionRecord>> CollectCandidates(
+      const std::vector<Part>& parts) {
+    std::vector<std::shared_ptr<SubscriptionRecord>> candidates;
+    std::shared_lock lock(subs_mutex);
+    candidates = residual_subs;
+    for (const Part& part : parts) {
+      if (part.data.kind() != Value::Kind::kString) {
+        continue;
+      }
+      auto it = index.find(IndexKeyString(part.name, part.data.string_value()));
+      if (it != index.end()) {
+        candidates.insert(candidates.end(), it->second.begin(), it->second.end());
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const auto& a, const auto& b) { return a->id < b->id; });
+    candidates.erase(std::unique(candidates.begin(), candidates.end()), candidates.end());
+    return candidates;
+  }
+
+  // Computes the deliveries the event currently matches. Does not lock the
+  // plan; the caller merges results under the plan mutex.
+  void ComputeMatches(const EventPtr& master, std::vector<PlannedDelivery>* out) {
+    const std::vector<Part> parts = master->SnapshotParts();
+    std::vector<const Part*> visible;
+    visible.reserve(parts.size());
+
+    for (const auto& sub : CollectCandidates(parts)) {
+      if (!sub->managed) {
+        auto unit = FindUnit(sub->owner);
+        if (unit == nullptr) {
+          continue;
+        }
+        Label in_label;
+        {
+          std::lock_guard<std::mutex> lock(unit->label_mutex);
+          in_label = unit->in_label;
+        }
+        visible.clear();
+        for (const Part& part : parts) {
+          if (PartVisible(part, in_label)) {
+            visible.push_back(&part);
+          }
+        }
+        if (sub->filter.Matches(visible)) {
+          PlannedDelivery d;
+          d.sub_id = sub->id;
+          d.unit_id = unit->id;
+          d.dedup_key = std::to_string(sub->id) + "#" + std::to_string(unit->id);
+          out->push_back(std::move(d));
+        }
+      } else {
+        // Managed subscription: derive the contamination the instance needs —
+        // the join of the labels of every part the filter references — on top
+        // of the owner's own contamination.
+        auto owner = FindUnit(sub->owner);
+        if (owner == nullptr) {
+          continue;
+        }
+        Label inst_label;
+        {
+          std::lock_guard<std::mutex> lock(owner->label_mutex);
+          inst_label = owner->in_label;
+        }
+        bool referenced_any = false;
+        for (const Part& part : parts) {
+          for (const std::string& name : sub->filter.referenced_names()) {
+            if (part.name == name) {
+              inst_label = LabelJoin(inst_label, part.label);
+              referenced_any = true;
+              break;
+            }
+          }
+        }
+        if (!referenced_any) {
+          continue;
+        }
+        visible.clear();
+        for (const Part& part : parts) {
+          if (PartVisible(part, inst_label)) {
+            visible.push_back(&part);
+          }
+        }
+        if (sub->filter.Matches(visible)) {
+          PlannedDelivery d;
+          d.sub_id = sub->id;
+          d.unit_id = 0;
+          d.managed_label = inst_label;
+          d.dedup_key = std::to_string(sub->id) + "@" + LabelKey(inst_label);
+          out->push_back(std::move(d));
+        }
+      }
+    }
+  }
+
+  // ---- managed instances ---------------------------------------------------
+
+  std::shared_ptr<UnitState> GetOrCreateManagedInstance(
+      const std::shared_ptr<SubscriptionRecord>& sub, const Label& label) {
+    const std::string key = LabelKey(label);
+    UnitId evict_id = 0;
+    std::shared_ptr<UnitState> instance;
+    {
+      // Held across creation so two concurrent deliveries at the same
+      // contamination cannot double-create an instance. Lock order:
+      // instances_mutex -> (owner label_mutex | units_mutex); nothing takes
+      // them in the opposite order.
+      std::lock_guard<std::mutex> lock(sub->instances_mutex);
+      auto it = sub->instances.find(key);
+      if (it != sub->instances.end()) {
+        auto existing = FindUnit(it->second);
+        if (existing != nullptr) {
+          // LRU touch.
+          sub->lru.erase(sub->lru_pos[key]);
+          sub->lru.push_front(key);
+          sub->lru_pos[key] = sub->lru.begin();
+          return existing;
+        }
+        sub->lru.erase(sub->lru_pos[key]);
+        sub->lru_pos.erase(key);
+        sub->instances.erase(it);
+      }
+
+      // Fresh instance: factory logic, contaminated at `label`, with a copy
+      // of the owner's privileges (it acts on the owner's behalf).
+      auto owner = FindUnit(sub->owner);
+      if (owner == nullptr) {
+        return nullptr;
+      }
+      PrivilegeSet privileges;
+      {
+        std::lock_guard<std::mutex> owner_lock(owner->label_mutex);
+        privileges = owner->privileges;
+      }
+      instance = CreateUnit(owner->name + "@" + std::to_string(sub->id), sub->factory(), label,
+                            label, std::move(privileges),
+                            /*managed_instance=*/true, sub->id);
+      stats.managed_instances_created.fetch_add(1, std::memory_order_relaxed);
+      sub->instances[key] = instance->id;
+      sub->lru.push_front(key);
+      sub->lru_pos[key] = sub->lru.begin();
+      if (sub->instances.size() > config.managed_instance_cap) {
+        const std::string& oldest = sub->lru.back();
+        evict_id = sub->instances[oldest];
+        sub->instances.erase(oldest);
+        sub->lru_pos.erase(oldest);
+        sub->lru.pop_back();
+      }
+    }
+    if (evict_id != 0) {
+      stats.managed_instances_evicted.fetch_add(1, std::memory_order_relaxed);
+      RemoveUnit(evict_id);
+    }
+    return instance;
+  }
+
+  // ---- delivery pipeline ---------------------------------------------------
+
+  void Dispatch(EventPtr master) {
+    auto plan = std::make_shared<DeliveryPlan>();
+    plan->master = std::move(master);
+    plan->matched_mod_count = plan->master->mod_count();
+    std::vector<PlannedDelivery> matches;
+    ComputeMatches(plan->master, &matches);
+    {
+      std::lock_guard<std::mutex> lock(plan->mutex);
+      for (auto& m : matches) {
+        if (plan->planned.insert(m.dedup_key).second) {
+          plan->pending.push_back(std::move(m));
+        }
+      }
+    }
+    AdvancePlan(plan);
+  }
+
+  void AdvancePlan(const std::shared_ptr<DeliveryPlan>& plan) {
+    for (;;) {
+      PlannedDelivery next;
+      {
+        std::lock_guard<std::mutex> lock(plan->mutex);
+        if (plan->in_flight || plan->pending.empty()) {
+          return;
+        }
+        next = std::move(plan->pending.front());
+        plan->pending.pop_front();
+        plan->in_flight = true;
+      }
+      std::shared_ptr<UnitState> unit;
+      if (next.unit_id != 0) {
+        unit = FindUnit(next.unit_id);
+      } else {
+        std::shared_ptr<SubscriptionRecord> sub;
+        {
+          std::shared_lock lock(subs_mutex);
+          auto it = subs.find(next.sub_id);
+          if (it != subs.end()) {
+            sub = it->second;
+          }
+        }
+        if (sub != nullptr) {
+          unit = GetOrCreateManagedInstance(sub, next.managed_label);
+        }
+      }
+      if (unit == nullptr) {
+        // Target vanished; release the slot and keep advancing.
+        std::lock_guard<std::mutex> lock(plan->mutex);
+        plan->in_flight = false;
+        continue;
+      }
+      const SubscriptionId sub_id = next.sub_id;
+      executor.Post(unit->actor,
+                    [this, unit, sub_id, plan] { DeliverTurn(unit, sub_id, plan); });
+      return;
+    }
+  }
+
+  void DeliverTurn(const std::shared_ptr<UnitState>& unit, SubscriptionId sub_id,
+                   const std::shared_ptr<DeliveryPlan>& plan) {
+    stats.deliveries.fetch_add(1, std::memory_order_relaxed);
+    EventPtr view = plan->master;
+    if (config.mode == SecurityMode::kLabelsClone) {
+      view = plan->master->DeepCopy(next_event_id.fetch_add(1));
+      stats.clone_bytes.fetch_add(view->EstimateBytes(), std::memory_order_relaxed);
+    }
+    const EventHandle handle = unit->next_handle++;
+    HandleRecord record;
+    record.event = std::move(view);
+    record.master = plan->master;
+    record.origin = HandleRecord::Origin::kDelivered;
+    record.plan = plan;
+    unit->handles.emplace(handle, std::move(record));
+
+    unit->current_delivery_origin_ns = plan->master->origin_ns();
+    unit->logic->OnEvent(*unit->ctx, handle, sub_id);
+    unit->current_delivery_origin_ns = 0;
+
+    // Auto-release + handle close at end of turn.
+    auto it = unit->handles.find(handle);
+    if (it != unit->handles.end()) {
+      const bool needs_release = !it->second.closed;
+      unit->handles.erase(it);
+      if (needs_release) {
+        OnDeliveryDone(plan);
+      }
+    }
+  }
+
+  void OnDeliveryDone(const std::shared_ptr<DeliveryPlan>& plan) {
+    bool need_rematch = false;
+    {
+      std::lock_guard<std::mutex> lock(plan->mutex);
+      plan->in_flight = false;
+      const uint64_t mod = plan->master->mod_count();
+      if (mod != plan->matched_mod_count) {
+        plan->matched_mod_count = mod;
+        need_rematch = true;
+      }
+    }
+    if (need_rematch) {
+      stats.rematches.fetch_add(1, std::memory_order_relaxed);
+      std::vector<PlannedDelivery> matches;
+      ComputeMatches(plan->master, &matches);
+      std::lock_guard<std::mutex> lock(plan->mutex);
+      for (auto& m : matches) {
+        if (plan->planned.insert(m.dedup_key).second) {
+          plan->pending.push_back(std::move(m));
+        }
+      }
+    }
+    AdvancePlan(plan);
+  }
+
+  // ---- subscription registration -------------------------------------------
+
+  SubscriptionId RegisterSubscription(UnitId owner, const Filter& filter, bool managed,
+                                      UnitFactory factory) {
+    auto record = std::make_shared<SubscriptionRecord>();
+    record->id = next_sub_id.fetch_add(1);
+    record->owner = owner;
+    record->filter = filter;
+    record->managed = managed;
+    record->factory = std::move(factory);
+
+    const auto keys =
+        config.use_subscription_index ? filter.CollectIndexKeys()
+                                      : std::vector<std::pair<std::string, std::string>>();
+    {
+      std::unique_lock lock(subs_mutex);
+      subs.emplace(record->id, record);
+      if (keys.empty()) {
+        residual_subs.push_back(record);
+      } else {
+        // Index under the currently least-crowded equality key: a cheap
+        // selectivity heuristic that puts `symbol == 'X'` ahead of
+        // `type == 'tick'` once symbols outnumber types.
+        size_t best = 0;
+        size_t best_size = SIZE_MAX;
+        for (size_t i = 0; i < keys.size(); ++i) {
+          const auto it = index.find(IndexKeyString(keys[i].first, keys[i].second));
+          const size_t bucket = it == index.end() ? 0 : it->second.size();
+          if (bucket < best_size) {
+            best_size = bucket;
+            best = i;
+          }
+        }
+        record->index_key = IndexKeyString(keys[best].first, keys[best].second);
+        index[record->index_key].push_back(record);
+      }
+    }
+    auto owner_unit = FindUnit(owner);
+    if (owner_unit != nullptr) {
+      owner_unit->owned_subs.push_back(record->id);
+    }
+    return record->id;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+Engine::Engine(EngineConfig config)
+    : config_(config), tag_store_(config.seed), impl_(std::make_unique<Impl>(this, config)) {}
+
+Engine::~Engine() { Stop(); }
+
+Tag Engine::CreateTag(const std::string& debug_name) { return tag_store_.CreateTag(debug_name); }
+
+UnitId Engine::AddUnit(const std::string& name, std::unique_ptr<Unit> unit,
+                       const Label& contamination, const PrivilegeSet& privileges) {
+  auto state = impl_->CreateUnit(name, std::move(unit), contamination, contamination, privileges,
+                                 /*managed_instance=*/false, 0);
+  return state->id;
+}
+
+void Engine::Start() {
+  if (impl_->started.exchange(true)) {
+    return;
+  }
+  std::vector<std::shared_ptr<UnitState>> snapshot;
+  {
+    std::shared_lock lock(impl_->units_mutex);
+    snapshot.reserve(impl_->units.size());
+    for (const auto& [id, state] : impl_->units) {
+      snapshot.push_back(state);
+    }
+  }
+  std::sort(snapshot.begin(), snapshot.end(),
+            [](const auto& a, const auto& b) { return a->id < b->id; });
+  for (const auto& state : snapshot) {
+    impl_->PostStart(state);
+  }
+}
+
+void Engine::InjectTurn(UnitId unit, std::function<void(UnitContext&)> fn) {
+  auto state = impl_->FindUnit(unit);
+  if (state == nullptr) {
+    return;
+  }
+  impl_->executor.Post(state->actor,
+                       [state, fn = std::move(fn)] { fn(*state->ctx); });
+}
+
+size_t Engine::RunUntilIdle() { return impl_->executor.RunUntilIdle(); }
+
+void Engine::WaitIdle() { impl_->executor.WaitIdle(); }
+
+void Engine::Stop() { impl_->executor.Shutdown(); }
+
+EngineStatsSnapshot Engine::stats() const { return impl_->stats.Snapshot(); }
+
+Result<Label> Engine::UnitInputLabel(UnitId id) const {
+  auto state = impl_->FindUnit(id);
+  if (state == nullptr) {
+    return NotFound("no such unit");
+  }
+  std::lock_guard<std::mutex> lock(state->label_mutex);
+  return state->in_label;
+}
+
+Result<Label> Engine::UnitOutputLabel(UnitId id) const {
+  auto state = impl_->FindUnit(id);
+  if (state == nullptr) {
+    return NotFound("no such unit");
+  }
+  std::lock_guard<std::mutex> lock(state->label_mutex);
+  return state->out_label;
+}
+
+bool Engine::UnitHasPrivilege(UnitId id, Tag tag, Privilege privilege) const {
+  auto state = impl_->FindUnit(id);
+  if (state == nullptr) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(state->label_mutex);
+  return state->privileges.Has(tag, privilege);
+}
+
+size_t Engine::UnitCount() const {
+  std::shared_lock lock(impl_->units_mutex);
+  return impl_->units.size();
+}
+
+size_t Engine::ManagedInstanceCount() const { return impl_->managed_instance_count.load(); }
+
+// ---------------------------------------------------------------------------
+// UnitContext — the Table 1 API
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Result<HandleRecord*> FindHandle(UnitState* state, EventHandle handle) {
+  auto it = state->handles.find(handle);
+  if (it == state->handles.end()) {
+    return NotFound("unknown event handle");
+  }
+  return &it->second;
+}
+
+}  // namespace
+
+Result<EventHandle> UnitContext::CreateEvent() {
+  Engine::Impl* impl = engine_->impl_.get();
+  DEFCON_RETURN_IF_ERROR(impl->CheckApi(state_, ApiTarget::kCreateEvent));
+  auto event = std::make_shared<Event>(impl->next_event_id.fetch_add(1), state_->id);
+  event->set_origin_ns(state_->current_delivery_origin_ns != 0
+                           ? state_->current_delivery_origin_ns
+                           : MonotonicNowNs());
+  const EventHandle handle = state_->next_handle++;
+  HandleRecord record;
+  record.event = event;
+  record.master = std::move(event);
+  record.origin = HandleRecord::Origin::kCreated;
+  state_->handles.emplace(handle, std::move(record));
+  return handle;
+}
+
+Status UnitContext::AddPart(EventHandle event, const Label& label, const std::string& name,
+                            Value data) {
+  Engine::Impl* impl = engine_->impl_.get();
+  DEFCON_RETURN_IF_ERROR(impl->CheckApi(state_, ApiTarget::kAddPart));
+  DEFCON_ASSIGN_OR_RETURN(HandleRecord * record, FindHandle(state_, event));
+  if (record->closed) {
+    return FailedPrecondition("event is no longer writable (published or released)");
+  }
+  const Label stamped = impl->StampWithOutputLabel(state_, label);
+  if (impl->security_on()) {
+    // Shared references are only safe for immutable data (§5).
+    data.Freeze();
+  }
+  Part part;
+  part.name = name;
+  part.label = stamped;
+  part.data = std::move(data);
+  part.author_unit_id = state_->id;
+  if (record->event != record->master) {
+    record->event->AppendPart(part);  // unit's local view (clone mode)
+  }
+  record->master->AppendPart(std::move(part));
+  impl->stats.parts_added.fetch_add(1, std::memory_order_relaxed);
+  return OkStatus();
+}
+
+Status UnitContext::DelPart(EventHandle event, const Label& label, const std::string& name) {
+  Engine::Impl* impl = engine_->impl_.get();
+  DEFCON_RETURN_IF_ERROR(impl->CheckApi(state_, ApiTarget::kDelPart));
+  DEFCON_ASSIGN_OR_RETURN(HandleRecord * record, FindHandle(state_, event));
+  if (record->closed) {
+    return FailedPrecondition("event is no longer writable (published or released)");
+  }
+  // Transparent stamping (Table 1 footnote) means the target label is always
+  // at or above this unit's output label: a tainted unit cannot even *name* a
+  // part below its level, so write access is enforced by construction and a
+  // denied deletion is indistinguishable from a missing part (kNotFound).
+  const Label target = impl->StampWithOutputLabel(state_, label);
+  if (impl->security_on()) {
+    Label in_label;
+    {
+      std::lock_guard<std::mutex> lock(state_->label_mutex);
+      in_label = state_->in_label;
+    }
+    impl->stats.label_checks.fetch_add(1, std::memory_order_relaxed);
+    // Read access: the unit must be able to observe the part it deletes.
+    if (!CanFlowTo(target, in_label)) {
+      impl->stats.permission_denials.fetch_add(1, std::memory_order_relaxed);
+      return PermissionDenied("delPart: part not readable at this unit's input label");
+    }
+  }
+  size_t removed = record->master->RemoveParts(name, target);
+  if (record->event != record->master) {
+    record->event->RemoveParts(name, target);
+  }
+  if (removed == 0) {
+    return NotFound("delPart: no part with that name and label");
+  }
+  return OkStatus();
+}
+
+Result<std::vector<PartView>> UnitContext::ReadPart(EventHandle event, const std::string& name) {
+  Engine::Impl* impl = engine_->impl_.get();
+  DEFCON_RETURN_IF_ERROR(impl->CheckApi(state_, ApiTarget::kReadPart));
+  DEFCON_ASSIGN_OR_RETURN(HandleRecord * record, FindHandle(state_, event));
+
+  Label in_label;
+  {
+    std::lock_guard<std::mutex> lock(state_->label_mutex);
+    in_label = state_->in_label;
+  }
+  std::vector<PartView> views;
+  std::vector<PrivilegeGrant> bestowed;
+  record->event->ForEachPart([&](const Part& part) {
+    if (part.name != name) {
+      return;
+    }
+    if (!impl->PartVisible(part, in_label)) {
+      return;
+    }
+    views.push_back(PartView{part.label, part.data});
+    // Privilege-carrying part: reading bestows (§3.1.5). The label check
+    // above is exactly the "sufficient input label" condition.
+    bestowed.insert(bestowed.end(), part.grants.begin(), part.grants.end());
+  });
+  if (!bestowed.empty()) {
+    std::lock_guard<std::mutex> lock(state_->label_mutex);
+    for (const PrivilegeGrant& grant : bestowed) {
+      state_->privileges.Grant(grant.tag, grant.privilege);
+    }
+    impl->stats.grants_bestowed.fetch_add(bestowed.size(), std::memory_order_relaxed);
+  }
+  impl->stats.parts_read.fetch_add(views.size(), std::memory_order_relaxed);
+  return views;
+}
+
+Result<std::vector<NamedPartView>> UnitContext::ReadAllParts(EventHandle event) {
+  Engine::Impl* impl = engine_->impl_.get();
+  DEFCON_RETURN_IF_ERROR(impl->CheckApi(state_, ApiTarget::kReadPart));
+  DEFCON_ASSIGN_OR_RETURN(HandleRecord * record, FindHandle(state_, event));
+  Label in_label;
+  {
+    std::lock_guard<std::mutex> lock(state_->label_mutex);
+    in_label = state_->in_label;
+  }
+  std::vector<NamedPartView> views;
+  record->event->ForEachPart([&](const Part& part) {
+    if (impl->PartVisible(part, in_label)) {
+      views.push_back(NamedPartView{part.name, part.label, part.data});
+    }
+  });
+  impl->stats.parts_read.fetch_add(views.size(), std::memory_order_relaxed);
+  return views;
+}
+
+Status UnitContext::AttachPrivilegeToPart(EventHandle event, const std::string& name,
+                                          const Label& label, Tag tag, Privilege privilege) {
+  Engine::Impl* impl = engine_->impl_.get();
+  DEFCON_RETURN_IF_ERROR(impl->CheckApi(state_, ApiTarget::kAttachPrivilege));
+  DEFCON_ASSIGN_OR_RETURN(HandleRecord * record, FindHandle(state_, event));
+  if (record->origin != HandleRecord::Origin::kCreated || record->closed) {
+    return FailedPrecondition("privileges can only be attached while building an event");
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_->label_mutex);
+    if (impl->security_on() && !state_->privileges.CanDelegate(tag, privilege)) {
+      impl->stats.permission_denials.fetch_add(1, std::memory_order_relaxed);
+      return PermissionDenied("attachPrivilegeToPart requires the matching auth privilege");
+    }
+  }
+  const Label target = impl->StampWithOutputLabel(state_, label);
+  const size_t amended = record->master->AttachGrants(name, target, {{tag, privilege}});
+  if (amended == 0) {
+    return NotFound("attachPrivilegeToPart: no part with that name and label");
+  }
+  return OkStatus();
+}
+
+Result<EventHandle> UnitContext::CloneEvent(EventHandle event, const TagSet& extra_secrecy) {
+  Engine::Impl* impl = engine_->impl_.get();
+  DEFCON_RETURN_IF_ERROR(impl->CheckApi(state_, ApiTarget::kCloneEvent));
+  DEFCON_ASSIGN_OR_RETURN(HandleRecord * record, FindHandle(state_, event));
+
+  Label in_label;
+  Label out_label;
+  {
+    std::lock_guard<std::mutex> lock(state_->label_mutex);
+    in_label = state_->in_label;
+    out_label = state_->out_label;
+  }
+  auto clone = std::make_shared<Event>(impl->next_event_id.fetch_add(1), state_->id);
+  clone->set_origin_ns(record->master->origin_ns());
+  record->event->ForEachPart([&](const Part& part) {
+    if (!impl->PartVisible(part, in_label)) {
+      return;
+    }
+    Part copy;
+    copy.name = part.name;
+    copy.data = part.data;  // frozen payloads are safely shared
+    copy.author_unit_id = state_->id;
+    if (impl->security_on()) {
+      copy.label.secrecy =
+          TagSet::Union(TagSet::Union(part.label.secrecy, out_label.secrecy), extra_secrecy);
+      copy.label.integrity = TagSet::Intersection(part.label.integrity, out_label.integrity);
+    } else {
+      copy.label = part.label;
+    }
+    // Grants are deliberately not copied: the cloner may not hold the auth
+    // privileges needed to re-delegate them.
+    clone->AppendPart(std::move(copy));
+  });
+  const EventHandle handle = state_->next_handle++;
+  HandleRecord clone_record;
+  clone_record.event = clone;
+  clone_record.master = std::move(clone);
+  clone_record.origin = HandleRecord::Origin::kCreated;
+  state_->handles.emplace(handle, std::move(clone_record));
+  return handle;
+}
+
+Status UnitContext::Publish(EventHandle event) {
+  Engine::Impl* impl = engine_->impl_.get();
+  DEFCON_RETURN_IF_ERROR(impl->CheckApi(state_, ApiTarget::kPublish));
+  DEFCON_ASSIGN_OR_RETURN(HandleRecord * record, FindHandle(state_, event));
+  if (record->origin != HandleRecord::Origin::kCreated) {
+    return FailedPrecondition("received events propagate via release, not publish");
+  }
+  if (record->closed) {
+    return FailedPrecondition("event already published");
+  }
+  EventPtr master = record->master;
+  state_->handles.erase(event);
+  if (master->Empty()) {
+    impl->stats.events_dropped_empty.fetch_add(1, std::memory_order_relaxed);
+    return InvalidArgument("events without parts are dropped");
+  }
+  impl->stats.events_published.fetch_add(1, std::memory_order_relaxed);
+  impl->Dispatch(std::move(master));
+  return OkStatus();
+}
+
+Status UnitContext::Release(EventHandle event) {
+  Engine::Impl* impl = engine_->impl_.get();
+  DEFCON_RETURN_IF_ERROR(impl->CheckApi(state_, ApiTarget::kRelease));
+  DEFCON_ASSIGN_OR_RETURN(HandleRecord * record, FindHandle(state_, event));
+  if (record->origin != HandleRecord::Origin::kDelivered) {
+    return FailedPrecondition("release applies to received events");
+  }
+  if (record->closed) {
+    return OkStatus();  // idempotent
+  }
+  record->closed = true;
+  impl->OnDeliveryDone(record->plan);
+  return OkStatus();
+}
+
+Result<SubscriptionId> UnitContext::Subscribe(const Filter& filter) {
+  Engine::Impl* impl = engine_->impl_.get();
+  DEFCON_RETURN_IF_ERROR(impl->CheckApi(state_, ApiTarget::kSubscribe));
+  if (filter.IsEmpty()) {
+    return InvalidArgument("subscribe requires a non-empty filter");
+  }
+  return impl->RegisterSubscription(state_->id, filter, /*managed=*/false, nullptr);
+}
+
+Result<SubscriptionId> UnitContext::SubscribeManaged(UnitFactory factory, const Filter& filter) {
+  Engine::Impl* impl = engine_->impl_.get();
+  DEFCON_RETURN_IF_ERROR(impl->CheckApi(state_, ApiTarget::kSubscribe));
+  if (filter.IsEmpty()) {
+    return InvalidArgument("subscribeManaged requires a non-empty filter");
+  }
+  if (factory == nullptr) {
+    return InvalidArgument("subscribeManaged requires a unit factory");
+  }
+  return impl->RegisterSubscription(state_->id, filter, /*managed=*/true, std::move(factory));
+}
+
+Status UnitContext::Unsubscribe(SubscriptionId subscription) {
+  Engine::Impl* impl = engine_->impl_.get();
+  DEFCON_RETURN_IF_ERROR(impl->CheckApi(state_, ApiTarget::kSubscribe));
+  auto it = std::find(state_->owned_subs.begin(), state_->owned_subs.end(), subscription);
+  if (it == state_->owned_subs.end()) {
+    return NotFound("unsubscribe: not this unit's subscription");
+  }
+  state_->owned_subs.erase(it);
+  impl->UnregisterSubscription(subscription);
+  return OkStatus();
+}
+
+Result<int64_t> UnitContext::EventOrigin(EventHandle event) const {
+  DEFCON_ASSIGN_OR_RETURN(HandleRecord * record, FindHandle(state_, event));
+  return record->master->origin_ns();
+}
+
+Result<Tag> UnitContext::CreateTag(const std::string& debug_name) {
+  Engine::Impl* impl = engine_->impl_.get();
+  DEFCON_RETURN_IF_ERROR(impl->CheckApi(state_, ApiTarget::kCreateTag));
+  const Tag tag = engine_->tag_store_.CreateTag(debug_name);
+  std::lock_guard<std::mutex> lock(state_->label_mutex);
+  state_->privileges.GrantCreatorRights(tag);
+  return tag;
+}
+
+Status UnitContext::AcquirePrivilege(Tag tag, Privilege privilege) {
+  Engine::Impl* impl = engine_->impl_.get();
+  DEFCON_RETURN_IF_ERROR(impl->CheckApi(state_, ApiTarget::kChangeLabel));
+  std::lock_guard<std::mutex> lock(state_->label_mutex);
+  if (impl->security_on() && !state_->privileges.CanDelegate(tag, privilege)) {
+    impl->stats.permission_denials.fetch_add(1, std::memory_order_relaxed);
+    return PermissionDenied("self-delegation requires the matching auth privilege");
+  }
+  state_->privileges.Grant(tag, privilege);
+  return OkStatus();
+}
+
+Status UnitContext::ChangeOutLabel(LabelComponent component, LabelOp op, Tag tag) {
+  Engine::Impl* impl = engine_->impl_.get();
+  DEFCON_RETURN_IF_ERROR(impl->CheckApi(state_, ApiTarget::kChangeLabel));
+  if (!impl->security_on()) {
+    return OkStatus();
+  }
+  std::lock_guard<std::mutex> lock(state_->label_mutex);
+  UnitState* u = state_;
+  if (component == LabelComponent::kSecrecy) {
+    if (op == LabelOp::kAdd) {
+      // Adding confidentiality taint to outputs only restricts readers.
+      u->out_label.secrecy.Insert(tag);
+      return OkStatus();
+    }
+    // Removing t from Sout while t ∈ Sin is declassification.
+    if (u->in_label.secrecy.Contains(tag) && !u->privileges.Has(tag, Privilege::kMinus)) {
+      impl->stats.permission_denials.fetch_add(1, std::memory_order_relaxed);
+      return PermissionDenied("declassification requires t-");
+    }
+    u->out_label.secrecy.Erase(tag);
+    return OkStatus();
+  }
+  // Integrity component.
+  if (op == LabelOp::kAdd) {
+    // Vouching for integrity the unit's inputs do not carry is endorsement.
+    if (!u->in_label.integrity.Contains(tag) && !u->privileges.Has(tag, Privilege::kPlus)) {
+      impl->stats.permission_denials.fetch_add(1, std::memory_order_relaxed);
+      return PermissionDenied("endorsement requires t+");
+    }
+    u->out_label.integrity.Insert(tag);
+    return OkStatus();
+  }
+  // Claiming less integrity is always safe.
+  u->out_label.integrity.Erase(tag);
+  return OkStatus();
+}
+
+Status UnitContext::ChangeInOutLabel(LabelComponent component, LabelOp op, Tag tag) {
+  Engine::Impl* impl = engine_->impl_.get();
+  DEFCON_RETURN_IF_ERROR(impl->CheckApi(state_, ApiTarget::kChangeLabel));
+  if (!impl->security_on()) {
+    return OkStatus();
+  }
+  std::lock_guard<std::mutex> lock(state_->label_mutex);
+  UnitState* u = state_;
+  // §3.1.3: adds require t ∈ O+, removals require t ∈ O-, uniformly.
+  const Privilege needed = op == LabelOp::kAdd ? Privilege::kPlus : Privilege::kMinus;
+  if (!u->privileges.Has(tag, needed)) {
+    impl->stats.permission_denials.fetch_add(1, std::memory_order_relaxed);
+    return PermissionDenied(op == LabelOp::kAdd ? "raising the input label requires t+"
+                                                : "lowering the input label requires t-");
+  }
+  TagSet& in_set =
+      component == LabelComponent::kSecrecy ? u->in_label.secrecy : u->in_label.integrity;
+  TagSet& out_set =
+      component == LabelComponent::kSecrecy ? u->out_label.secrecy : u->out_label.integrity;
+  if (op == LabelOp::kAdd) {
+    in_set.Insert(tag);
+    out_set.Insert(tag);
+  } else {
+    in_set.Erase(tag);
+    out_set.Erase(tag);
+  }
+  return OkStatus();
+}
+
+Result<UnitId> UnitContext::InstantiateUnit(const std::string& name, std::unique_ptr<Unit> unit,
+                                            const Label& label,
+                                            const std::vector<PrivilegeGrant>& grants) {
+  Engine::Impl* impl = engine_->impl_.get();
+  DEFCON_RETURN_IF_ERROR(impl->CheckApi(state_, ApiTarget::kInstantiateUnit));
+  if (unit == nullptr) {
+    return InvalidArgument("instantiateUnit requires a unit implementation");
+  }
+  Label child_label = label;
+  PrivilegeSet child_privileges;
+  {
+    std::lock_guard<std::mutex> lock(state_->label_mutex);
+    if (impl->security_on()) {
+      for (const PrivilegeGrant& grant : grants) {
+        if (!state_->privileges.CanDelegate(grant.tag, grant.privilege)) {
+          impl->stats.permission_denials.fetch_add(1, std::memory_order_relaxed);
+          return PermissionDenied("instantiateUnit: caller cannot delegate a requested privilege");
+        }
+      }
+      // The child inherits the caller's contamination (§ Table 1): its state
+      // embeds caller data, so it can be no less secret and no more trusted.
+      child_label.secrecy = TagSet::Union(label.secrecy, state_->in_label.secrecy);
+      child_label.integrity = TagSet::Intersection(label.integrity, state_->out_label.integrity);
+    }
+    for (const PrivilegeGrant& grant : grants) {
+      child_privileges.Grant(grant.tag, grant.privilege);
+    }
+  }
+  auto child = impl->CreateUnit(name, std::move(unit), child_label, child_label,
+                                std::move(child_privileges), /*managed_instance=*/false, 0);
+  return child->id;
+}
+
+Label UnitContext::InputLabel() const {
+  std::lock_guard<std::mutex> lock(state_->label_mutex);
+  return state_->in_label;
+}
+
+Label UnitContext::OutputLabel() const {
+  std::lock_guard<std::mutex> lock(state_->label_mutex);
+  return state_->out_label;
+}
+
+bool UnitContext::HasPrivilege(Tag tag, Privilege privilege) const {
+  std::lock_guard<std::mutex> lock(state_->label_mutex);
+  return state_->privileges.Has(tag, privilege);
+}
+
+UnitId UnitContext::unit_id() const { return state_->id; }
+
+const std::string& UnitContext::unit_name() const { return state_->name; }
+
+int64_t UnitContext::NowNs() const { return MonotonicNowNs(); }
+
+Status UnitContext::Synchronize(const NeverShared& lock_target) {
+  Engine::Impl* impl = engine_->impl_.get();
+  if (impl->isolation == nullptr) {
+    return OkStatus();
+  }
+  return impl->isolation->CheckSynchronize(state_->sandbox.get(), /*never_shared=*/true);
+}
+
+Status UnitContext::Synchronize(const Freezable& shared_object) {
+  Engine::Impl* impl = engine_->impl_.get();
+  if (impl->isolation == nullptr) {
+    return OkStatus();
+  }
+  return impl->isolation->CheckSynchronize(state_->sandbox.get(), /*never_shared=*/false);
+}
+
+}  // namespace defcon

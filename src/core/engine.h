@@ -1,0 +1,121 @@
+// The DEFCON engine: tag store, unit life-cycle management and the
+// DEFC-enforcing event dispatcher (§3.2, Fig. 2).
+//
+// The engine is the trusted computing base. It owns every unit, mediates all
+// inter-unit communication through labelled events, and — depending on the
+// configured SecurityMode — performs label checks, per-delivery cloning
+// and/or isolation interception. The four modes correspond one-to-one with
+// the configurations measured in the paper's Figs. 5-7.
+#ifndef DEFCON_SRC_CORE_ENGINE_H_
+#define DEFCON_SRC_CORE_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/memory_meter.h"
+#include "src/core/label.h"
+#include "src/core/privileges.h"
+#include "src/core/tag_store.h"
+#include "src/core/types.h"
+#include "src/core/unit.h"
+#include "src/isolation/runtime.h"
+
+namespace defcon {
+
+struct EngineConfig {
+  SecurityMode mode = SecurityMode::kLabels;
+  // Worker threads executing unit turns; 0 selects manual mode, where the
+  // caller drives execution with RunUntilIdle() (deterministic tests).
+  size_t num_threads = 0;
+  // Seed for the tag store's random tag minting.
+  uint64_t seed = 0xdefc01dULL;
+  // Managed-subscription instance cache per subscription (LRU beyond this).
+  size_t managed_instance_cap = 256;
+  // Centralised filtering with an equality index over subscription filters.
+  // Disabling it makes every subscription a match candidate for every event
+  // (ablation: what per-client filtering costs, cf. Marketcetera in Fig. 8).
+  bool use_subscription_index = true;
+};
+
+// Monotonic counters exposed for tests and benchmarks. Trusted-side only —
+// units cannot reach these (they would be a covert channel).
+struct EngineStatsSnapshot {
+  uint64_t events_published = 0;
+  uint64_t events_dropped_empty = 0;
+  uint64_t deliveries = 0;
+  uint64_t rematches = 0;
+  uint64_t label_checks = 0;
+  uint64_t parts_read = 0;
+  uint64_t parts_added = 0;
+  uint64_t grants_bestowed = 0;
+  uint64_t managed_instances_created = 0;
+  uint64_t managed_instances_evicted = 0;
+  uint64_t clone_bytes = 0;
+  uint64_t intercept_checks = 0;
+  uint64_t permission_denials = 0;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineConfig config);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // --- trusted platform-assembly interface --------------------------------
+  // These calls model the deployment step: the operator of the DEFCON system
+  // wires up top-level units with their initial labels and privileges
+  // (Fig. 4's topology is built this way). They are not reachable by units.
+
+  Tag CreateTag(const std::string& debug_name);
+
+  UnitId AddUnit(const std::string& name, std::unique_ptr<Unit> unit,
+                 const Label& contamination = Label(),
+                 const PrivilegeSet& privileges = PrivilegeSet());
+
+  // Delivers OnStart to all units added so far; units added later get their
+  // OnStart on addition. Idempotent.
+  void Start();
+
+  // Runs `fn` as a turn of `unit` (trusted injection point used by event
+  // sources such as the tick replayer and by tests).
+  void InjectTurn(UnitId unit, std::function<void(UnitContext&)> fn);
+
+  // Manual mode: executes queued turns on the calling thread until idle;
+  // returns the number of turns executed. No-op wrapper in pooled mode.
+  size_t RunUntilIdle();
+
+  // Blocks until all queued work (including cascading publishes) completes.
+  void WaitIdle();
+
+  void Stop();
+
+  // --- introspection (trusted side) ---------------------------------------
+
+  const EngineConfig& config() const { return config_; }
+  EngineStatsSnapshot stats() const;
+  TagStore& tag_store() { return tag_store_; }
+  MemoryAccountant& accountant() { return accountant_; }
+
+  Result<Label> UnitInputLabel(UnitId id) const;
+  Result<Label> UnitOutputLabel(UnitId id) const;
+  bool UnitHasPrivilege(UnitId id, Tag tag, Privilege privilege) const;
+  size_t UnitCount() const;
+  size_t ManagedInstanceCount() const;
+
+ private:
+  friend class UnitContext;
+  struct Impl;
+
+  const EngineConfig config_;
+  TagStore tag_store_;
+  MemoryAccountant accountant_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace defcon
+
+#endif  // DEFCON_SRC_CORE_ENGINE_H_

@@ -1,0 +1,94 @@
+#include "src/core/event.h"
+
+#include <sstream>
+
+namespace defcon {
+
+void Event::AppendPart(Part part) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  parts_.push_back(std::move(part));
+  mod_count_.fetch_add(1, std::memory_order_release);
+}
+
+size_t Event::RemoveParts(const std::string& name, const Label& label) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t removed = 0;
+  for (auto it = parts_.begin(); it != parts_.end();) {
+    if (it->name == name && it->label == label) {
+      it = parts_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  if (removed > 0) {
+    mod_count_.fetch_add(1, std::memory_order_release);
+  }
+  return removed;
+}
+
+size_t Event::AttachGrants(const std::string& name, const Label& label,
+                           const std::vector<PrivilegeGrant>& grants) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t amended = 0;
+  for (Part& part : parts_) {
+    if (part.name == name && part.label == label) {
+      part.grants.insert(part.grants.end(), grants.begin(), grants.end());
+      ++amended;
+    }
+  }
+  return amended;
+}
+
+std::vector<Part> Event::SnapshotParts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return parts_;
+}
+
+size_t Event::PartCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return parts_.size();
+}
+
+EventPtr Event::DeepCopy(uint64_t new_id) const {
+  auto copy = std::make_shared<Event>(new_id, creator_unit_id_);
+  copy->set_origin_ns(origin_ns_);
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Part& part : parts_) {
+    Part part_copy = part;
+    part_copy.data = part.data.DeepCopy();
+    part_copy.data.Freeze();
+    copy->parts_.push_back(std::move(part_copy));
+  }
+  return copy;
+}
+
+size_t Event::EstimateBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t total = sizeof(Event);
+  for (const Part& part : parts_) {
+    total += part.EstimateBytes();
+  }
+  return total;
+}
+
+std::string Event::DebugString() const {
+  std::ostringstream os;
+  os << "event#" << id_ << "{";
+  std::lock_guard<std::mutex> lock(mutex_);
+  bool first = true;
+  for (const Part& part : parts_) {
+    if (!first) {
+      os << ", ";
+    }
+    first = false;
+    os << part.name << part.label.DebugString() << "=" << part.data.ToString();
+    if (!part.grants.empty()) {
+      os << "+" << part.grants.size() << "grants";
+    }
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace defcon

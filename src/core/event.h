@@ -1,0 +1,112 @@
+// Events and event parts (§3.1.2, Fig. 1).
+//
+// An event is a set of named parts; each part carries its own security label,
+// immutable (frozen) data, and optionally privilege grants (privilege-carrying
+// parts, §3.1.5). Parts are append-only and immutable once added; "conflicting
+// modifications" by concurrent units yield multiple parts with the same name
+// (§3.1.6), all of which readPart returns.
+//
+// Events are shared between isolates by reference (shared_ptr) in freeze mode
+// and deep-copied per delivery in clone mode; both paths go through this type.
+#ifndef DEFCON_SRC_CORE_EVENT_H_
+#define DEFCON_SRC_CORE_EVENT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/core/label.h"
+#include "src/core/privileges.h"
+#include "src/freeze/value.h"
+
+namespace defcon {
+
+struct Part {
+  std::string name;
+  Label label;
+  Value data;
+  // Privileges bestowed on a reader that can already see this part (§3.1.5).
+  std::vector<PrivilegeGrant> grants;
+  // Id of the unit that added the part (trusted-side bookkeeping; never
+  // exposed to units through the API).
+  uint64_t author_unit_id = 0;
+
+  size_t EstimateBytes() const {
+    return sizeof(Part) + name.capacity() + label.EstimateBytes() + data.EstimateBytes() +
+           grants.capacity() * sizeof(PrivilegeGrant);
+  }
+};
+
+class Event;
+using EventPtr = std::shared_ptr<Event>;
+
+class Event {
+ public:
+  Event(uint64_t id, uint64_t creator_unit_id)
+      : id_(id), creator_unit_id_(creator_unit_id) {}
+
+  uint64_t id() const { return id_; }
+  uint64_t creator_unit_id() const { return creator_unit_id_; }
+
+  // Monotonic timestamp of the real-world occurrence this event represents.
+  // Set by trusted harness code (e.g. the tick replayer) and read by the
+  // latency benches; not visible through the unit-facing API.
+  int64_t origin_ns() const { return origin_ns_; }
+  void set_origin_ns(int64_t ns) { origin_ns_ = ns; }
+
+  // Appends a part. The engine validates labels/privileges before calling;
+  // the event itself only guarantees structural integrity under concurrency.
+  void AppendPart(Part part);
+
+  // Removes every part matching (name, label); returns the number removed.
+  size_t RemoveParts(const std::string& name, const Label& label);
+
+  // Appends privilege grants to every part matching (name, label) exactly;
+  // returns the number of parts amended (privilege-carrying parts, §3.1.5).
+  size_t AttachGrants(const std::string& name, const Label& label,
+                      const std::vector<PrivilegeGrant>& grants);
+
+  // Incremented by every structural change; the dispatcher re-matches a
+  // released event only when this moved (partial event processing, §3.1.6).
+  uint64_t mod_count() const { return mod_count_.load(std::memory_order_acquire); }
+
+  // Copies the current part list (parts themselves hold shared immutable data,
+  // so this is cheap: labels + refcounts, no payload copies).
+  std::vector<Part> SnapshotParts() const;
+
+  // Visits parts under the lock without copying; `fn` must not re-enter.
+  template <typename Fn>
+  void ForEachPart(Fn&& fn) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const Part& part : parts_) {
+      fn(part);
+    }
+  }
+
+  size_t PartCount() const;
+  bool Empty() const { return PartCount() == 0; }
+
+  // Deep copy with fresh payloads (clone dispatch mode). Labels and grants
+  // are copied verbatim; `new_id` identifies the per-delivery instance.
+  EventPtr DeepCopy(uint64_t new_id) const;
+
+  size_t EstimateBytes() const;
+
+  std::string DebugString() const;
+
+ private:
+  const uint64_t id_;
+  const uint64_t creator_unit_id_;
+  int64_t origin_ns_ = 0;
+
+  std::atomic<uint64_t> mod_count_{0};
+  mutable std::mutex mutex_;
+  std::vector<Part> parts_;
+};
+
+}  // namespace defcon
+
+#endif  // DEFCON_SRC_CORE_EVENT_H_

@@ -1,0 +1,283 @@
+#include "src/core/filter.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace defcon {
+
+Filter::Filter(NodePtr root) : root_(std::move(root)) {
+  if (root_ != nullptr) {
+    CollectNames(*root_, &referenced_names_);
+    std::sort(referenced_names_.begin(), referenced_names_.end());
+    referenced_names_.erase(std::unique(referenced_names_.begin(), referenced_names_.end()),
+                            referenced_names_.end());
+  }
+}
+
+Filter Filter::Exists(std::string part_name) {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kExists;
+  node->part_name = std::move(part_name);
+  return Filter(std::move(node));
+}
+
+Filter Filter::Compare(std::string part_name, CompareOp op, Value literal) {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kCompare;
+  node->part_name = std::move(part_name);
+  node->op = op;
+  node->literal = std::move(literal);
+  return Filter(std::move(node));
+}
+
+Filter Filter::Prefix(std::string part_name, std::string prefix) {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kPrefix;
+  node->part_name = std::move(part_name);
+  node->prefix = std::move(prefix);
+  return Filter(std::move(node));
+}
+
+Filter Filter::And(Filter a, Filter b) {
+  if (a.IsEmpty()) {
+    return b;
+  }
+  if (b.IsEmpty()) {
+    return a;
+  }
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kAnd;
+  node->left = std::move(a.root_);
+  node->right = std::move(b.root_);
+  return Filter(std::move(node));
+}
+
+Filter Filter::Or(Filter a, Filter b) {
+  if (a.IsEmpty()) {
+    return b;
+  }
+  if (b.IsEmpty()) {
+    return a;
+  }
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kOr;
+  node->left = std::move(a.root_);
+  node->right = std::move(b.root_);
+  return Filter(std::move(node));
+}
+
+Filter Filter::Not(Filter a) {
+  if (a.IsEmpty()) {
+    return a;
+  }
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kNot;
+  node->left = std::move(a.root_);
+  return Filter(std::move(node));
+}
+
+bool Filter::Matches(const std::vector<const Part*>& visible_parts) const {
+  if (root_ == nullptr) {
+    return false;
+  }
+  return Eval(*root_, visible_parts);
+}
+
+bool Filter::EvalPredicateOnPart(const Node& node, const Part& part) {
+  switch (node.kind) {
+    case Node::Kind::kExists:
+      return true;
+    case Node::Kind::kCompare: {
+      const Value& v = part.data;
+      const Value& lit = node.literal;
+      switch (node.op) {
+        case CompareOp::kEq:
+          return v.Equals(lit);
+        case CompareOp::kNe:
+          return !v.Equals(lit);
+        case CompareOp::kLt:
+        case CompareOp::kLe:
+        case CompareOp::kGt:
+        case CompareOp::kGe: {
+          // Ordered comparisons are defined for numbers and strings.
+          int cmp = 0;
+          if (v.IsNumeric() && lit.IsNumeric()) {
+            const double a = v.AsDouble();
+            const double b = lit.AsDouble();
+            cmp = (a < b) ? -1 : (a > b ? 1 : 0);
+          } else if (v.kind() == Value::Kind::kString && lit.kind() == Value::Kind::kString) {
+            cmp = v.string_value().compare(lit.string_value());
+          } else {
+            return false;
+          }
+          switch (node.op) {
+            case CompareOp::kLt:
+              return cmp < 0;
+            case CompareOp::kLe:
+              return cmp <= 0;
+            case CompareOp::kGt:
+              return cmp > 0;
+            case CompareOp::kGe:
+              return cmp >= 0;
+            default:
+              return false;
+          }
+        }
+      }
+      return false;
+    }
+    case Node::Kind::kPrefix: {
+      if (part.data.kind() != Value::Kind::kString) {
+        return false;
+      }
+      const std::string& s = part.data.string_value();
+      return s.size() >= node.prefix.size() && s.compare(0, node.prefix.size(), node.prefix) == 0;
+    }
+    default:
+      return false;
+  }
+}
+
+bool Filter::Eval(const Node& node, const std::vector<const Part*>& visible_parts) {
+  switch (node.kind) {
+    case Node::Kind::kAnd:
+      return Eval(*node.left, visible_parts) && Eval(*node.right, visible_parts);
+    case Node::Kind::kOr:
+      return Eval(*node.left, visible_parts) || Eval(*node.right, visible_parts);
+    case Node::Kind::kNot:
+      return !Eval(*node.left, visible_parts);
+    default: {
+      // Existential over same-named visible parts.
+      for (const Part* part : visible_parts) {
+        if (part->name == node.part_name && EvalPredicateOnPart(node, *part)) {
+          return true;
+        }
+      }
+      return false;
+    }
+  }
+}
+
+void Filter::CollectNames(const Node& node, std::vector<std::string>* names) {
+  switch (node.kind) {
+    case Node::Kind::kAnd:
+    case Node::Kind::kOr:
+      CollectNames(*node.left, names);
+      CollectNames(*node.right, names);
+      break;
+    case Node::Kind::kNot:
+      CollectNames(*node.left, names);
+      break;
+    default:
+      names->push_back(node.part_name);
+      break;
+  }
+}
+
+bool Filter::FindIndexKey(const Node& node, std::string* name, std::string* literal) {
+  switch (node.kind) {
+    case Node::Kind::kAnd:
+      // Either conjunct pins the filter.
+      return FindIndexKey(*node.left, name, literal) || FindIndexKey(*node.right, name, literal);
+    case Node::Kind::kCompare:
+      if (node.op == CompareOp::kEq && node.literal.kind() == Value::Kind::kString) {
+        *name = node.part_name;
+        *literal = node.literal.string_value();
+        return true;
+      }
+      return false;
+    default:
+      // kOr/kNot do not pin; kExists/kPrefix are not exact keys.
+      return false;
+  }
+}
+
+bool Filter::IndexKey(std::string* name, std::string* literal) const {
+  if (root_ == nullptr) {
+    return false;
+  }
+  return FindIndexKey(*root_, name, literal);
+}
+
+std::vector<std::pair<std::string, std::string>> Filter::CollectIndexKeys() const {
+  std::vector<std::pair<std::string, std::string>> keys;
+  if (root_ == nullptr) {
+    return keys;
+  }
+  // Iterative walk over conjunction spines only.
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    switch (node->kind) {
+      case Node::Kind::kAnd:
+        stack.push_back(node->left.get());
+        stack.push_back(node->right.get());
+        break;
+      case Node::Kind::kCompare:
+        if (node->op == CompareOp::kEq && node->literal.kind() == Value::Kind::kString) {
+          keys.emplace_back(node->part_name, node->literal.string_value());
+        }
+        break;
+      default:
+        break;  // Or/Not subtrees are not necessary conditions.
+    }
+  }
+  return keys;
+}
+
+std::string Filter::NodeDebugString(const Node& node) {
+  std::ostringstream os;
+  switch (node.kind) {
+    case Node::Kind::kExists:
+      os << "exists(" << node.part_name << ")";
+      break;
+    case Node::Kind::kCompare: {
+      const char* op = "==";
+      switch (node.op) {
+        case CompareOp::kEq:
+          op = "==";
+          break;
+        case CompareOp::kNe:
+          op = "!=";
+          break;
+        case CompareOp::kLt:
+          op = "<";
+          break;
+        case CompareOp::kLe:
+          op = "<=";
+          break;
+        case CompareOp::kGt:
+          op = ">";
+          break;
+        case CompareOp::kGe:
+          op = ">=";
+          break;
+      }
+      os << node.part_name << " " << op << " " << node.literal.ToString();
+      break;
+    }
+    case Node::Kind::kPrefix:
+      os << "prefix(" << node.part_name << ", '" << node.prefix << "')";
+      break;
+    case Node::Kind::kAnd:
+      os << "(" << NodeDebugString(*node.left) << " && " << NodeDebugString(*node.right) << ")";
+      break;
+    case Node::Kind::kOr:
+      os << "(" << NodeDebugString(*node.left) << " || " << NodeDebugString(*node.right) << ")";
+      break;
+    case Node::Kind::kNot:
+      os << "!(" << NodeDebugString(*node.left) << ")";
+      break;
+  }
+  return os.str();
+}
+
+std::string Filter::DebugString() const {
+  if (root_ == nullptr) {
+    return "<empty>";
+  }
+  return NodeDebugString(*root_);
+}
+
+}  // namespace defcon

@@ -1,0 +1,110 @@
+// Subscription filters: expressions over the name and data of event parts
+// (Table 1, `subscribe`).
+//
+// A filter is an immutable AST of predicates combined with and/or/not.
+// Matching is performed by the dispatcher against the *visible projection*
+// of an event for a unit: parts whose label cannot flow to the unit's input
+// label are treated exactly as if they did not exist, so a filter can never
+// leak the existence of invisible parts (including via `!exists(x)`).
+//
+// Predicates over a part name use existential semantics when several visible
+// parts share the name (§3.1.6 allows conflicting versions): the predicate
+// holds if any visible same-named part satisfies it.
+#ifndef DEFCON_SRC_CORE_FILTER_H_
+#define DEFCON_SRC_CORE_FILTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/core/event.h"
+#include "src/freeze/value.h"
+
+namespace defcon {
+
+enum class CompareOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+class Filter {
+ public:
+  Filter() = default;  // empty filter: matches nothing (Table 1 requires non-empty)
+
+  // Part-existence predicate.
+  static Filter Exists(std::string part_name);
+  // Compares a part's data against a literal.
+  static Filter Compare(std::string part_name, CompareOp op, Value literal);
+  static Filter Eq(std::string part_name, Value literal) {
+    return Compare(std::move(part_name), CompareOp::kEq, std::move(literal));
+  }
+  // String-prefix predicate on string-valued parts.
+  static Filter Prefix(std::string part_name, std::string prefix);
+
+  static Filter And(Filter a, Filter b);
+  static Filter Or(Filter a, Filter b);
+  static Filter Not(Filter a);
+
+  bool IsEmpty() const { return root_ == nullptr; }
+
+  // Evaluates against the visible parts of an event (pointers remain owned by
+  // the caller).
+  bool Matches(const std::vector<const Part*>& visible_parts) const;
+
+  // Every part name the filter references; the dispatcher label-checks these
+  // parts at match time and uses equality predicates for indexing.
+  const std::vector<std::string>& referenced_names() const { return referenced_names_; }
+
+  // If the filter is a conjunction containing `name == "literal"` for some
+  // name, returns that (name, string literal) pair for exact-match indexing.
+  // Returns false when no such predicate pins the filter.
+  bool IndexKey(std::string* name, std::string* literal) const;
+
+  // All `name == "literal"` conjuncts that are necessary conditions for the
+  // filter (not under Or/Not). The dispatcher indexes the subscription under
+  // the most selective of these.
+  std::vector<std::pair<std::string, std::string>> CollectIndexKeys() const;
+
+  std::string DebugString() const;
+
+ private:
+  struct Node;
+  using NodePtr = std::shared_ptr<const Node>;
+
+  struct Node {
+    enum class Kind : uint8_t { kExists, kCompare, kPrefix, kAnd, kOr, kNot } kind;
+    // Predicate payload.
+    std::string part_name;
+    CompareOp op = CompareOp::kEq;
+    Value literal;
+    std::string prefix;
+    // Children for kAnd/kOr/kNot.
+    NodePtr left;
+    NodePtr right;
+  };
+
+  explicit Filter(NodePtr root);
+
+  static bool Eval(const Node& node, const std::vector<const Part*>& visible_parts);
+  static bool EvalPredicateOnPart(const Node& node, const Part& part);
+  static void CollectNames(const Node& node, std::vector<std::string>* names);
+  static bool FindIndexKey(const Node& node, std::string* name, std::string* literal);
+  static std::string NodeDebugString(const Node& node);
+
+  NodePtr root_;
+  std::vector<std::string> referenced_names_;
+};
+
+// Parses the textual filter language used by examples and tests:
+//   expr    := or
+//   or      := and ('||' and)*
+//   and     := unary ('&&' unary)*
+//   unary   := '!' unary | '(' expr ')' | predicate
+//   predicate := 'exists' '(' name ')'
+//              | 'prefix' '(' name ',' string ')'
+//              | name cmp literal
+//   cmp     := '==' | '!=' | '<' | '<=' | '>' | '>='
+//   literal := integer | float | 'single-quoted string' | true | false
+Result<Filter> ParseFilter(const std::string& text);
+
+}  // namespace defcon
+
+#endif  // DEFCON_SRC_CORE_FILTER_H_

@@ -1,0 +1,212 @@
+// Recursive-descent parser for the textual filter language (see filter.h).
+#include <cctype>
+#include <cstdlib>
+
+#include "src/core/filter.h"
+
+namespace defcon {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<Filter> Parse() {
+    DEFCON_ASSIGN_OR_RETURN(Filter f, ParseOr());
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return InvalidArgument("filter: trailing characters at offset " + std::to_string(pos_));
+    }
+    if (f.IsEmpty()) {
+      return InvalidArgument("filter: empty expression");
+    }
+    return f;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool ConsumeToken(const char* token) {
+    SkipSpace();
+    const size_t len = std::char_traits<char>::length(token);
+    if (text_.compare(pos_, len, token) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  bool PeekToken(const char* token) {
+    SkipSpace();
+    const size_t len = std::char_traits<char>::length(token);
+    return text_.compare(pos_, len, token) == 0;
+  }
+
+  Result<Filter> ParseOr() {
+    DEFCON_ASSIGN_OR_RETURN(Filter left, ParseAnd());
+    while (ConsumeToken("||")) {
+      DEFCON_ASSIGN_OR_RETURN(Filter right, ParseAnd());
+      left = Filter::Or(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<Filter> ParseAnd() {
+    DEFCON_ASSIGN_OR_RETURN(Filter left, ParseUnary());
+    while (ConsumeToken("&&")) {
+      DEFCON_ASSIGN_OR_RETURN(Filter right, ParseUnary());
+      left = Filter::And(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<Filter> ParseUnary() {
+    if (ConsumeToken("!")) {
+      DEFCON_ASSIGN_OR_RETURN(Filter inner, ParseUnary());
+      return Filter::Not(std::move(inner));
+    }
+    if (ConsumeToken("(")) {
+      DEFCON_ASSIGN_OR_RETURN(Filter inner, ParseOr());
+      if (!ConsumeToken(")")) {
+        return InvalidArgument("filter: expected ')'");
+      }
+      return inner;
+    }
+    return ParsePredicate();
+  }
+
+  Result<std::string> ParseIdentifier() {
+    SkipSpace();
+    const size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' || c == '-' || c == '.') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) {
+      return InvalidArgument("filter: expected identifier at offset " + std::to_string(start));
+    }
+    return text_.substr(start, pos_ - start);
+  }
+
+  Result<std::string> ParseQuotedString() {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != '\'') {
+      return InvalidArgument("filter: expected quoted string at offset " + std::to_string(pos_));
+    }
+    ++pos_;
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '\'') {
+      out.push_back(text_[pos_]);
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) {
+      return InvalidArgument("filter: unterminated string literal");
+    }
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  Result<Value> ParseLiteral() {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return InvalidArgument("filter: expected literal at end of input");
+    }
+    const char c = text_[pos_];
+    if (c == '\'') {
+      DEFCON_ASSIGN_OR_RETURN(std::string s, ParseQuotedString());
+      return Value::OfString(std::move(s));
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return Value::OfBool(true);
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return Value::OfBool(false);
+    }
+    // Number: [-]digits[.digits]
+    const size_t start = pos_;
+    if (c == '-' || c == '+') {
+      ++pos_;
+    }
+    bool has_dot = false;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 || text_[pos_] == '.')) {
+      if (text_[pos_] == '.') {
+        has_dot = true;
+      }
+      ++pos_;
+    }
+    if (pos_ == start || (pos_ == start + 1 && (c == '-' || c == '+'))) {
+      return InvalidArgument("filter: expected literal at offset " + std::to_string(start));
+    }
+    const std::string number = text_.substr(start, pos_ - start);
+    if (has_dot) {
+      return Value::OfDouble(std::strtod(number.c_str(), nullptr));
+    }
+    return Value::OfInt(std::strtoll(number.c_str(), nullptr, 10));
+  }
+
+  Result<Filter> ParsePredicate() {
+    SkipSpace();
+    if (text_.compare(pos_, 7, "exists(") == 0) {
+      pos_ += 7;
+      DEFCON_ASSIGN_OR_RETURN(std::string name, ParseIdentifier());
+      if (!ConsumeToken(")")) {
+        return InvalidArgument("filter: expected ')' after exists");
+      }
+      return Filter::Exists(std::move(name));
+    }
+    if (text_.compare(pos_, 7, "prefix(") == 0) {
+      pos_ += 7;
+      DEFCON_ASSIGN_OR_RETURN(std::string name, ParseIdentifier());
+      if (!ConsumeToken(",")) {
+        return InvalidArgument("filter: expected ',' in prefix()");
+      }
+      DEFCON_ASSIGN_OR_RETURN(std::string prefix, ParseQuotedString());
+      if (!ConsumeToken(")")) {
+        return InvalidArgument("filter: expected ')' after prefix");
+      }
+      return Filter::Prefix(std::move(name), std::move(prefix));
+    }
+    DEFCON_ASSIGN_OR_RETURN(std::string name, ParseIdentifier());
+    CompareOp op;
+    // Two-character operators must be tried before their one-char prefixes.
+    if (ConsumeToken("==")) {
+      op = CompareOp::kEq;
+    } else if (ConsumeToken("!=")) {
+      op = CompareOp::kNe;
+    } else if (ConsumeToken("<=")) {
+      op = CompareOp::kLe;
+    } else if (ConsumeToken(">=")) {
+      op = CompareOp::kGe;
+    } else if (PeekToken("<")) {
+      ConsumeToken("<");
+      op = CompareOp::kLt;
+    } else if (PeekToken(">")) {
+      ConsumeToken(">");
+      op = CompareOp::kGt;
+    } else {
+      return InvalidArgument("filter: expected comparison operator after '" + name + "'");
+    }
+    DEFCON_ASSIGN_OR_RETURN(Value literal, ParseLiteral());
+    return Filter::Compare(std::move(name), op, std::move(literal));
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Filter> ParseFilter(const std::string& text) { return Parser(text).Parse(); }
+
+}  // namespace defcon

@@ -1,0 +1,58 @@
+// Security labels and the can-flow-to lattice (§3.1.1).
+//
+// A label is a pair (S, I): S is the confidentiality component ("sticky" —
+// tags accumulate), I is the integrity component ("fragile" — tags are
+// destroyed by mixing). Information labelled La may flow to a place labelled
+// Lb iff Sa ⊆ Sb and Ia ⊇ Ib.
+#ifndef DEFCON_SRC_CORE_LABEL_H_
+#define DEFCON_SRC_CORE_LABEL_H_
+
+#include <string>
+
+#include "src/core/tag_set.h"
+
+namespace defcon {
+
+struct Label {
+  TagSet secrecy;    // S: confidentiality tags
+  TagSet integrity;  // I: integrity tags
+
+  Label() = default;
+  Label(TagSet s, TagSet i) : secrecy(std::move(s)), integrity(std::move(i)) {}
+
+  // The public label: no confidentiality restrictions, no integrity vouching.
+  static Label Public() { return Label(); }
+
+  friend bool operator==(const Label& a, const Label& b) {
+    return a.secrecy == b.secrecy && a.integrity == b.integrity;
+  }
+  friend bool operator!=(const Label& a, const Label& b) { return !(a == b); }
+
+  size_t EstimateBytes() const { return secrecy.EstimateBytes() + integrity.EstimateBytes(); }
+
+  std::string DebugString() const {
+    return "(S=" + secrecy.DebugString() + ", I=" + integrity.DebugString() + ")";
+  }
+};
+
+// La ≺ Lb: data with label La may flow to a container/unit with label Lb.
+inline bool CanFlowTo(const Label& a, const Label& b) {
+  return a.secrecy.IsSubsetOf(b.secrecy) && b.integrity.IsSubsetOf(a.integrity);
+}
+
+// Least upper bound in the lattice: the label of data derived from both
+// inputs. Secrecy accumulates (union); integrity survives only where both
+// sources carry it (intersection). "Combining a stock tick of integrity
+// {i-stockticker} with client data of integrity {i-trader-77} produces {}".
+inline Label LabelJoin(const Label& a, const Label& b) {
+  return Label(TagSet::Union(a.secrecy, b.secrecy), TagSet::Intersection(a.integrity, b.integrity));
+}
+
+// Greatest lower bound: the most permissive label that can flow to both.
+inline Label LabelMeet(const Label& a, const Label& b) {
+  return Label(TagSet::Intersection(a.secrecy, b.secrecy), TagSet::Union(a.integrity, b.integrity));
+}
+
+}  // namespace defcon
+
+#endif  // DEFCON_SRC_CORE_LABEL_H_

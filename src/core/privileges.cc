@@ -1,0 +1,71 @@
+#include "src/core/privileges.h"
+
+namespace defcon {
+
+std::string_view PrivilegeName(Privilege p) {
+  switch (p) {
+    case Privilege::kPlus:
+      return "t+";
+    case Privilege::kMinus:
+      return "t-";
+    case Privilege::kPlusAuth:
+      return "t+auth";
+    case Privilege::kMinusAuth:
+      return "t-auth";
+  }
+  return "?";
+}
+
+Privilege BasePrivilege(Privilege p) {
+  switch (p) {
+    case Privilege::kPlusAuth:
+      return Privilege::kPlus;
+    case Privilege::kMinusAuth:
+      return Privilege::kMinus;
+    default:
+      return p;
+  }
+}
+
+Privilege AuthPrivilege(Privilege p) {
+  switch (p) {
+    case Privilege::kPlus:
+    case Privilege::kPlusAuth:
+      return Privilege::kPlusAuth;
+    case Privilege::kMinus:
+    case Privilege::kMinusAuth:
+      return Privilege::kMinusAuth;
+  }
+  return Privilege::kPlusAuth;
+}
+
+const TagSet& PrivilegeSet::SetFor(Privilege p) const {
+  switch (p) {
+    case Privilege::kPlus:
+      return plus_;
+    case Privilege::kMinus:
+      return minus_;
+    case Privilege::kPlusAuth:
+      return plus_auth_;
+    case Privilege::kMinusAuth:
+      return minus_auth_;
+  }
+  return plus_;
+}
+
+TagSet& PrivilegeSet::SetFor(Privilege p) {
+  return const_cast<TagSet&>(static_cast<const PrivilegeSet*>(this)->SetFor(p));
+}
+
+bool PrivilegeSet::Has(Tag tag, Privilege p) const { return SetFor(p).Contains(tag); }
+
+void PrivilegeSet::Grant(Tag tag, Privilege p) { SetFor(p).Insert(tag); }
+
+bool PrivilegeSet::Revoke(Tag tag, Privilege p) { return SetFor(p).Erase(tag); }
+
+std::string PrivilegeSet::DebugString() const {
+  return "O+=" + plus_.DebugString() + " O-=" + minus_.DebugString() +
+         " O+auth=" + plus_auth_.DebugString() + " O-auth=" + minus_auth_.DebugString();
+}
+
+}  // namespace defcon

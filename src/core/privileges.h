@@ -1,0 +1,98 @@
+// Per-unit privilege state (§3.1.3).
+//
+// A unit's run-time privileges over tags live in four sets:
+//   O+  (kPlus):      may add the tag to its own labels;
+//   O-  (kMinus):     may remove the tag from its own labels
+//                     (declassification for S, integrity drop for I);
+//   O+auth (kPlusAuth) / O-auth (kMinusAuth): may *delegate* the
+//     corresponding privilege — and the delegation ability itself — to
+//     other units.
+//
+// Separating O± from O±auth is one of the paper's novel points: it lets
+// event flows be constrained to pass through particular units (a Regulator
+// that can declassify but cannot hand that right to a Broker).
+#ifndef DEFCON_SRC_CORE_PRIVILEGES_H_
+#define DEFCON_SRC_CORE_PRIVILEGES_H_
+
+#include <string>
+
+#include "src/core/tag_set.h"
+
+namespace defcon {
+
+enum class Privilege : uint8_t {
+  kPlus = 0,
+  kMinus = 1,
+  kPlusAuth = 2,
+  kMinusAuth = 3,
+};
+
+std::string_view PrivilegeName(Privilege p);
+
+// The non-auth privilege that `p` delegates (kPlusAuth -> kPlus, etc.);
+// identity for non-auth privileges.
+Privilege BasePrivilege(Privilege p);
+
+// The auth privilege governing delegation of `p` (kPlus/kPlusAuth -> kPlusAuth).
+Privilege AuthPrivilege(Privilege p);
+
+class PrivilegeSet {
+ public:
+  bool Has(Tag tag, Privilege p) const;
+  void Grant(Tag tag, Privilege p);
+  bool Revoke(Tag tag, Privilege p);
+
+  // True iff this set may delegate privilege `p` over `tag` to another unit:
+  // delegating t± or t±auth both require holding t±auth (§3.1.3).
+  bool CanDelegate(Tag tag, Privilege p) const { return Has(tag, AuthPrivilege(p)); }
+
+  const TagSet& plus() const { return plus_; }
+  const TagSet& minus() const { return minus_; }
+  const TagSet& plus_auth() const { return plus_auth_; }
+  const TagSet& minus_auth() const { return minus_auth_; }
+
+  // Grants issued when a unit creates a tag: t+auth and t-auth (§3.1.3).
+  void GrantCreatorRights(Tag tag) {
+    Grant(tag, Privilege::kPlusAuth);
+    Grant(tag, Privilege::kMinusAuth);
+  }
+
+  // Convenience for tests/examples: full authority (t+, t-, t+auth, t-auth).
+  void GrantAll(Tag tag) {
+    Grant(tag, Privilege::kPlus);
+    Grant(tag, Privilege::kMinus);
+    Grant(tag, Privilege::kPlusAuth);
+    Grant(tag, Privilege::kMinusAuth);
+  }
+
+  size_t EstimateBytes() const {
+    return plus_.EstimateBytes() + minus_.EstimateBytes() + plus_auth_.EstimateBytes() +
+           minus_auth_.EstimateBytes();
+  }
+
+  std::string DebugString() const;
+
+ private:
+  const TagSet& SetFor(Privilege p) const;
+  TagSet& SetFor(Privilege p);
+
+  TagSet plus_;
+  TagSet minus_;
+  TagSet plus_auth_;
+  TagSet minus_auth_;
+};
+
+// A single privilege grant, as carried by privilege-carrying event parts
+// (§3.1.5) and by unit-instantiation requests.
+struct PrivilegeGrant {
+  Tag tag;
+  Privilege privilege;
+
+  friend bool operator==(const PrivilegeGrant& a, const PrivilegeGrant& b) {
+    return a.tag == b.tag && a.privilege == b.privilege;
+  }
+};
+
+}  // namespace defcon
+
+#endif  // DEFCON_SRC_CORE_PRIVILEGES_H_

@@ -1,0 +1,56 @@
+// Tags: opaque, unique, random bit-strings (§3.1.1 of the paper).
+//
+// A tag represents one indivisible confidentiality or integrity concern.
+// Units receive Tag values by reference from the tag store and cannot forge
+// them (128 random bits make collisions/guessing infeasible, mirroring the
+// paper's "unique, random bit-strings").
+//
+// This header is dependency-free so low-level modules (freeze, ipc) can carry
+// tags inside values without depending on the core engine.
+#ifndef DEFCON_SRC_CORE_TAG_H_
+#define DEFCON_SRC_CORE_TAG_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace defcon {
+
+struct Tag {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  constexpr bool IsValid() const { return hi != 0 || lo != 0; }
+
+  friend constexpr bool operator==(const Tag& a, const Tag& b) {
+    return a.hi == b.hi && a.lo == b.lo;
+  }
+  friend constexpr bool operator!=(const Tag& a, const Tag& b) { return !(a == b); }
+  friend constexpr bool operator<(const Tag& a, const Tag& b) {
+    return a.hi != b.hi ? a.hi < b.hi : a.lo < b.lo;
+  }
+
+  // Short hex rendering for logs; does not reveal more than the tag value
+  // itself (tags are capabilities only in combination with privilege sets).
+  std::string DebugString() const {
+    static constexpr char kHex[] = "0123456789abcdef";
+    // First 12 hex digits of hi are enough to distinguish tags in logs.
+    std::string out;
+    out.reserve(12);
+    for (int shift = 60; shift >= 16; shift -= 4) {
+      out.push_back(kHex[(hi >> shift) & 0xF]);
+    }
+    return out;
+  }
+};
+
+struct TagHash {
+  size_t operator()(const Tag& t) const {
+    // Mix the halves; tags are already uniformly random.
+    return static_cast<size_t>(t.hi ^ (t.lo * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+}  // namespace defcon
+
+#endif  // DEFCON_SRC_CORE_TAG_H_

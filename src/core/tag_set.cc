@@ -1,0 +1,77 @@
+#include "src/core/tag_set.h"
+
+#include <algorithm>
+
+namespace defcon {
+
+TagSet::TagSet(std::initializer_list<Tag> tags) {
+  for (const Tag& tag : tags) {
+    Insert(tag);
+  }
+}
+
+void TagSet::Insert(Tag tag) {
+  auto it = std::lower_bound(tags_.begin(), tags_.end(), tag);
+  if (it != tags_.end() && *it == tag) {
+    return;
+  }
+  tags_.insert(it, tag);
+}
+
+bool TagSet::Erase(Tag tag) {
+  auto it = std::lower_bound(tags_.begin(), tags_.end(), tag);
+  if (it == tags_.end() || *it != tag) {
+    return false;
+  }
+  tags_.erase(it);
+  return true;
+}
+
+bool TagSet::Contains(Tag tag) const {
+  return std::binary_search(tags_.begin(), tags_.end(), tag);
+}
+
+bool TagSet::IsSubsetOf(const TagSet& other) const {
+  if (tags_.size() > other.tags_.size()) {
+    return false;
+  }
+  return std::includes(other.tags_.begin(), other.tags_.end(), tags_.begin(), tags_.end());
+}
+
+TagSet TagSet::Union(const TagSet& a, const TagSet& b) {
+  TagSet out;
+  out.tags_.reserve(a.size() + b.size());
+  std::set_union(a.tags_.begin(), a.tags_.end(), b.tags_.begin(), b.tags_.end(),
+                 std::back_inserter(out.tags_));
+  return out;
+}
+
+TagSet TagSet::Intersection(const TagSet& a, const TagSet& b) {
+  TagSet out;
+  std::set_intersection(a.tags_.begin(), a.tags_.end(), b.tags_.begin(), b.tags_.end(),
+                        std::back_inserter(out.tags_));
+  return out;
+}
+
+TagSet TagSet::Difference(const TagSet& a, const TagSet& b) {
+  TagSet out;
+  std::set_difference(a.tags_.begin(), a.tags_.end(), b.tags_.begin(), b.tags_.end(),
+                      std::back_inserter(out.tags_));
+  return out;
+}
+
+std::string TagSet::DebugString() const {
+  std::string out = "{";
+  bool first = true;
+  for (const Tag& tag : tags_) {
+    if (!first) {
+      out += ", ";
+    }
+    first = false;
+    out += tag.DebugString();
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace defcon

@@ -1,0 +1,39 @@
+#include "src/core/tag_store.h"
+
+namespace defcon {
+
+TagStore::TagStore(uint64_t seed) : rng_(seed) {}
+
+Tag TagStore::CreateTag(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Tag tag;
+  do {
+    tag.hi = rng_.NextUint64();
+    tag.lo = rng_.NextUint64();
+  } while (!tag.IsValid() || names_.count(tag) > 0);
+  if (record_names_) {
+    names_.emplace(tag, name);
+  }
+  return tag;
+}
+
+std::string TagStore::NameOf(Tag tag) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = names_.find(tag);
+  if (it == names_.end()) {
+    return "<unknown>";
+  }
+  return it->second;
+}
+
+bool TagStore::Known(Tag tag) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return names_.count(tag) > 0;
+}
+
+size_t TagStore::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return names_.size();
+}
+
+}  // namespace defcon

@@ -1,0 +1,46 @@
+// TagStore: the engine-owned factory and registry for tags (§3.2).
+//
+// Units "request that tags be created for them at runtime"; the store mints
+// fresh random tags and records a symbolic name for diagnostics. Tags are
+// opaque to units — the store never exposes enumeration to unit code, which
+// would otherwise be a covert channel.
+#ifndef DEFCON_SRC_CORE_TAG_STORE_H_
+#define DEFCON_SRC_CORE_TAG_STORE_H_
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "src/base/random.h"
+#include "src/core/tag.h"
+
+namespace defcon {
+
+class TagStore {
+ public:
+  explicit TagStore(uint64_t seed = 0xdefc0ULL);
+
+  // Mints a fresh tag. `name` is recorded for debugging only; it has no
+  // semantic meaning and need not be unique.
+  Tag CreateTag(const std::string& name);
+
+  // Debug name ("<unknown>" for foreign tags). Trusted-code diagnostics only.
+  std::string NameOf(Tag tag) const;
+
+  bool Known(Tag tag) const;
+  size_t size() const;
+
+  // Workloads minting millions of per-order tags (§6.1 step 4) can disable
+  // name recording; 128-bit random tags need no registry for uniqueness.
+  void set_record_names(bool record) { record_names_ = record; }
+
+ private:
+  mutable std::mutex mutex_;
+  Rng rng_;
+  bool record_names_ = true;
+  std::unordered_map<Tag, std::string, TagHash> names_;
+};
+
+}  // namespace defcon
+
+#endif  // DEFCON_SRC_CORE_TAG_STORE_H_

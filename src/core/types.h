@@ -1,0 +1,46 @@
+// Shared identifier and enum types of the DEFCON core API.
+#ifndef DEFCON_SRC_CORE_TYPES_H_
+#define DEFCON_SRC_CORE_TYPES_H_
+
+#include <cstdint>
+
+namespace defcon {
+
+// Engine-assigned unit identifier. Opaque to units.
+using UnitId = uint64_t;
+
+// Identifies a subscription within the engine; returned by subscribe calls
+// and passed back to OnEvent so a unit can tell which interest fired.
+using SubscriptionId = uint64_t;
+
+// Per-unit opaque reference to an event instance (created or delivered).
+// Handles are meaningless outside the owning unit, so leaking one to another
+// unit conveys nothing.
+using EventHandle = uint64_t;
+
+inline constexpr EventHandle kInvalidEventHandle = 0;
+inline constexpr UnitId kInvalidUnitId = 0;
+
+// The security configurations compared throughout the paper's evaluation
+// (Figs. 5-7). The engine's dispatch structure is identical in all modes;
+// only checks and copying differ, so mode deltas isolate each cost.
+enum class SecurityMode : uint8_t {
+  // No label checks, events shared by reference ("no security").
+  kNoSecurity = 0,
+  // DEFC label checks, frozen events shared by reference ("labels+freeze").
+  kLabels = 1,
+  // DEFC label checks, events deep-copied per delivery ("labels+clone").
+  kLabelsClone = 2,
+  // labels+freeze plus the isolation runtime's woven interception
+  // ("labels+freeze+isolation").
+  kLabelsIsolation = 3,
+};
+
+const char* SecurityModeName(SecurityMode mode);
+
+enum class LabelComponent : uint8_t { kSecrecy, kIntegrity };
+enum class LabelOp : uint8_t { kAdd, kRemove };
+
+}  // namespace defcon
+
+#endif  // DEFCON_SRC_CORE_TYPES_H_

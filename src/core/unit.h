@@ -1,0 +1,199 @@
+// Processing units and the DEFCON API they program against (Table 1).
+//
+// A Unit implements the business logic of an event processing application.
+// Units never touch engine internals: every interaction goes through the
+// UnitContext facade, which enforces the DEFC model (and, in isolation mode,
+// the woven interception of §4). The engine invokes a unit's OnEvent with a
+// delivered event handle — the callback realisation of Table 1's blocking
+// getEvent(): the dispatcher blocks *for* the unit and hands it (e, s).
+//
+// Threading contract: the engine serialises each unit's turns (actor model),
+// so unit state needs no locking; a UnitContext must only be used from within
+// the turn it was passed to.
+#ifndef DEFCON_SRC_CORE_UNIT_H_
+#define DEFCON_SRC_CORE_UNIT_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/base/status.h"
+#include "src/core/filter.h"
+#include "src/core/label.h"
+#include "src/core/privileges.h"
+#include "src/core/types.h"
+#include "src/freeze/value.h"
+#include "src/isolation/runtime.h"
+
+namespace defcon {
+
+class Engine;
+class UnitContext;
+struct UnitState;
+
+class Unit {
+ public:
+  virtual ~Unit() = default;
+
+  // Called once, before any event delivery, from the unit's own actor.
+  // Typical work: create tags, adjust labels, subscribe.
+  virtual void OnStart(UnitContext& ctx) {}
+
+  // Called for every delivered event matching subscription `sub`.
+  virtual void OnEvent(UnitContext& ctx, EventHandle event, SubscriptionId sub) = 0;
+};
+
+// Factory for managed subscriptions (Table 1, subscribeManaged): the engine
+// creates one instance per distinct contamination level it encounters.
+using UnitFactory = std::function<std::unique_ptr<Unit>()>;
+
+// (label, data) view of one event part, as returned by readPart.
+struct PartView {
+  Label label;
+  Value data;
+};
+
+// Named part view, as returned by ReadAllParts.
+struct NamedPartView {
+  std::string name;
+  Label label;
+  Value data;
+};
+
+// Marker base class for types a unit may synchronise on (§4.3): a
+// NeverShared type is guaranteed never to cross an isolate boundary, so its
+// lock cannot be used as a covert channel. Event values and other shared
+// objects do not derive from it and are rejected by Synchronize().
+struct NeverShared {
+ protected:
+  NeverShared() = default;
+  ~NeverShared() = default;
+};
+
+// The DEFCON API (Table 1). One instance exists per unit; the engine passes
+// it to OnStart/OnEvent. All calls are synchronous and non-blocking.
+class UnitContext {
+ public:
+  UnitContext(const UnitContext&) = delete;
+  UnitContext& operator=(const UnitContext&) = delete;
+
+  // --- event construction & inspection -----------------------------------
+
+  // createEvent() -> e
+  Result<EventHandle> CreateEvent();
+
+  // addPart(e, S, I, name, data): the requested label is combined with the
+  // unit's output label (contamination independence, §5):
+  //   S' = S ∪ Sout,  I' = I ∩ Iout.
+  // `data` is frozen by this call; mutating it afterwards fails.
+  Status AddPart(EventHandle event, const Label& label, const std::string& name, Value data);
+
+  // delPart(e, S, I, name): requires both read access to the part and write
+  // access at the part's label (the removal is an observable effect).
+  Status DelPart(EventHandle event, const Label& label, const std::string& name);
+
+  // readPart(e, name) -> (label, data)*: returns every part named `name`
+  // whose label can flow to this unit's input label. Reading a
+  // privilege-carrying part bestows its privileges (§3.1.5). An empty result
+  // is not an error — invisible parts behave exactly like absent ones.
+  Result<std::vector<PartView>> ReadPart(EventHandle event, const std::string& name);
+
+  // Enumerates every part visible at this unit's input label. Unlike
+  // ReadPart, enumeration does NOT bestow carried privileges — privilege
+  // transfer stays tied to an explicit named read.
+  Result<std::vector<NamedPartView>> ReadAllParts(EventHandle event);
+
+  // attachPrivilegeToPart(e, name, S, I, t, p): requires t^{p auth}.
+  Status AttachPrivilegeToPart(EventHandle event, const std::string& name, const Label& label,
+                               Tag tag, Privilege privilege);
+
+  // cloneEvent(e, S, I) -> e': copies the parts visible to this unit into a
+  // fresh event; part labels gain the caller's output confidentiality tags
+  // plus `extra_secrecy`, and keep only the caller's output integrity tags.
+  // Privilege grants are not copied (the cloner may not own them).
+  Result<EventHandle> CloneEvent(EventHandle event, const TagSet& extra_secrecy = {});
+
+  // publish(e): hands a created event to the dispatcher. Events without
+  // parts are dropped (reported as InvalidArgument). The call returns no
+  // delivery information (§3.2 — success must not leak who was notified).
+  Status Publish(EventHandle event);
+
+  // release(e): lets the dispatcher continue delivering a received event to
+  // other units (§3.1.6). Implicit when OnEvent returns.
+  Status Release(EventHandle event);
+
+  // --- subscriptions -------------------------------------------------------
+
+  // subscribe(filter) -> s. The filter must be non-empty.
+  Result<SubscriptionId> Subscribe(const Filter& filter);
+
+  // subscribeManaged(handler, filter) -> s: the engine creates/reuses unit
+  // instances (from `factory`) at the contamination each matching event
+  // requires, so this unit's own state is never tainted (§5, Table 1).
+  Result<SubscriptionId> SubscribeManaged(UnitFactory factory, const Filter& filter);
+
+  // Cancels one of this unit's own subscriptions. Units with per-order
+  // interests (e.g. the Broker's identity instances) unsubscribe once the
+  // order is fully filled so the subscription index does not grow without
+  // bound.
+  Status Unsubscribe(SubscriptionId subscription);
+
+  // --- tags, privileges & labels ------------------------------------------
+
+  // Mints a fresh tag; the caller receives t+auth and t-auth (§3.1.3).
+  Result<Tag> CreateTag(const std::string& debug_name);
+
+  // Self-delegation: obtain t+ / t- from a held t+auth / t-auth.
+  Status AcquirePrivilege(Tag tag, Privilege privilege);
+
+  // changeOutLabel(<S|I>, <add|del>, t)
+  Status ChangeOutLabel(LabelComponent component, LabelOp op, Tag tag);
+
+  // changeInOutLabel(<S|I>, <add|del>, t)
+  Status ChangeInOutLabel(LabelComponent component, LabelOp op, Tag tag);
+
+  // instantiateUnit(u', S, I, O, Oauth): the child runs at the requested
+  // label joined with this unit's contamination and receives exactly the
+  // listed privilege grants (each must be delegable by this unit).
+  Result<UnitId> InstantiateUnit(const std::string& name, std::unique_ptr<Unit> unit,
+                                 const Label& label, const std::vector<PrivilegeGrant>& grants);
+
+  // --- own-state introspection (never reveals other units' state) ---------
+
+  Label InputLabel() const;
+  Label OutputLabel() const;
+  bool HasPrivilege(Tag tag, Privilege privilege) const;
+  UnitId unit_id() const;
+  const std::string& unit_name() const;
+
+  // Monotonic clock. Timing channels are outside the threat model (§2.2).
+  int64_t NowNs() const;
+
+  // Origin timestamp of an event (the real-world occurrence it descends
+  // from, e.g. the originating tick). Used by latency instrumentation;
+  // timestamps are outside the threat model.
+  Result<int64_t> EventOrigin(EventHandle event) const;
+
+  // --- synchronisation guard (§4.3) ---------------------------------------
+
+  // Units may only synchronise on NeverShared types; everything else is a
+  // potential cross-isolate storage channel and is rejected in isolation
+  // mode (and flagged in all modes, since it is always a programming error).
+  Status Synchronize(const NeverShared& lock_target);
+  Status Synchronize(const Freezable& shared_object);
+
+ private:
+  friend class Engine;
+  friend struct UnitContextFactory;  // engine-internal construction helper
+  UnitContext(Engine* engine, UnitState* state) : engine_(engine), state_(state) {}
+
+  Engine* engine_;
+  UnitState* state_;
+};
+
+}  // namespace defcon
+
+#endif  // DEFCON_SRC_CORE_UNIT_H_

@@ -1,0 +1,147 @@
+#include "src/distributed/event_bridge.h"
+
+#include "src/base/logging.h"
+#include "src/ipc/wire.h"
+
+namespace defcon {
+namespace {
+
+// Serialised form of one relayed event: origin + (name, label, value)*.
+std::vector<uint8_t> EncodeRelay(int64_t origin_ns, const std::vector<NamedPartView>& parts) {
+  WireWriter writer;
+  writer.PutZigzag(origin_ns);
+  writer.PutVarint(parts.size());
+  for (const NamedPartView& part : parts) {
+    writer.PutString(part.name);
+    EncodeLabel(part.label, &writer);
+    EncodeValue(part.data, &writer);
+  }
+  return writer.Take();
+}
+
+struct RelayedPart {
+  std::string name;
+  Label label;
+  Value data;
+};
+
+Result<std::vector<RelayedPart>> DecodeRelay(const std::vector<uint8_t>& payload,
+                                             int64_t* origin_ns) {
+  WireReader reader(payload);
+  DEFCON_ASSIGN_OR_RETURN(*origin_ns, reader.Zigzag());
+  DEFCON_ASSIGN_OR_RETURN(uint64_t count, reader.Varint());
+  if (count > reader.remaining()) {
+    return IoError("relay part count exceeds payload");
+  }
+  std::vector<RelayedPart> parts;
+  parts.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    RelayedPart part;
+    DEFCON_ASSIGN_OR_RETURN(part.name, reader.String());
+    DEFCON_ASSIGN_OR_RETURN(part.label, DecodeLabel(&reader));
+    DEFCON_ASSIGN_OR_RETURN(part.data, DecodeValue(&reader));
+    part.data.Freeze();
+    parts.push_back(std::move(part));
+  }
+  return parts;
+}
+
+// Sink-side republisher. Runs uncontaminated; its output integrity label is
+// raised to the granted relay integrity at start, so decoded integrity tags
+// survive the I' = I ∩ Iout stamping exactly when the operator granted them.
+class ImportUnit : public Unit {
+ public:
+  explicit ImportUnit(TagSet relay_integrity) : relay_integrity_(std::move(relay_integrity)) {}
+
+  void OnStart(UnitContext& ctx) override {
+    for (const Tag& tag : relay_integrity_) {
+      const Status endorsed = ctx.ChangeOutLabel(LabelComponent::kIntegrity, LabelOp::kAdd, tag);
+      if (!endorsed.ok()) {
+        DEFCON_LOG(kWarning) << "bridge import: integrity tag not endorsable: "
+                             << endorsed.ToString();
+      }
+    }
+  }
+
+  void OnEvent(UnitContext& ctx, EventHandle event, SubscriptionId sub) override {}
+
+  // Invoked through Engine::InjectTurn by the export side.
+  void Republish(UnitContext& ctx, const std::vector<uint8_t>& payload) {
+    int64_t origin_ns = 0;
+    auto parts = DecodeRelay(payload, &origin_ns);
+    if (!parts.ok() || parts->empty()) {
+      return;
+    }
+    auto event = ctx.CreateEvent();
+    if (!event.ok()) {
+      return;
+    }
+    for (const RelayedPart& part : *parts) {
+      (void)ctx.AddPart(*event, part.label, part.name, part.data);
+    }
+    (void)ctx.Publish(*event);
+  }
+
+ private:
+  TagSet relay_integrity_;
+};
+
+// Source-side exporter: an ordinary (trusted, cleared) unit.
+class ExportUnit : public Unit {
+ public:
+  ExportUnit(Filter filter, Engine* sink, UnitId import_id, ImportUnit* import_unit,
+             std::shared_ptr<std::atomic<uint64_t>> relayed,
+             std::shared_ptr<std::atomic<uint64_t>> parts)
+      : filter_(std::move(filter)),
+        sink_(sink),
+        import_id_(import_id),
+        import_unit_(import_unit),
+        relayed_(std::move(relayed)),
+        parts_(std::move(parts)) {}
+
+  void OnStart(UnitContext& ctx) override {
+    const auto sub = ctx.Subscribe(filter_);
+    if (!sub.ok()) {
+      DEFCON_LOG(kError) << "bridge export: subscribe failed: " << sub.status().ToString();
+    }
+  }
+
+  void OnEvent(UnitContext& ctx, EventHandle event, SubscriptionId sub) override {
+    auto parts = ctx.ReadAllParts(event);
+    if (!parts.ok() || parts->empty()) {
+      return;
+    }
+    const int64_t origin = ctx.EventOrigin(event).value_or(0);
+    auto payload = EncodeRelay(origin, *parts);
+    relayed_->fetch_add(1, std::memory_order_relaxed);
+    parts_->fetch_add(parts->size(), std::memory_order_relaxed);
+    ImportUnit* import_unit = import_unit_;
+    sink_->InjectTurn(import_id_, [import_unit, payload = std::move(payload)](UnitContext& ictx) {
+      import_unit->Republish(ictx, payload);
+    });
+  }
+
+ private:
+  Filter filter_;
+  Engine* sink_;
+  UnitId import_id_;
+  ImportUnit* import_unit_;
+  std::shared_ptr<std::atomic<uint64_t>> relayed_;
+  std::shared_ptr<std::atomic<uint64_t>> parts_;
+};
+
+}  // namespace
+
+EventBridge::EventBridge(Engine* source, Engine* sink, const BridgeConfig& config) {
+  auto import_unit = std::make_unique<ImportUnit>(config.import_integrity);
+  ImportUnit* import_ptr = import_unit.get();
+  const UnitId import_id =
+      sink->AddUnit("bridge-import", std::move(import_unit), Label(), config.import_privileges);
+
+  auto export_unit = std::make_unique<ExportUnit>(config.filter, sink, import_id, import_ptr,
+                                                  relayed_, parts_);
+  source->AddUnit("bridge-export", std::move(export_unit), config.export_clearance,
+                  config.export_privileges);
+}
+
+}  // namespace defcon

@@ -1,0 +1,68 @@
+// EventBridge: label-preserving event transfer between DEFCON nodes.
+//
+// The paper's stated future work (§7): "investigate issues in a distributed
+// system built from a set of DEFCON nodes". This module implements the
+// minimal sound building block: a *trusted* bridge that relays events
+// matching a filter from one engine to another, serialising parts with their
+// labels over the wire format and republishing them on the remote node with
+// identical labels (tags are 128-bit globally unique values, so label
+// identity survives the hop).
+//
+// Trust model, made explicit:
+//   * the bridge's exporting side runs as a unit of the source engine at a
+//     configurable clearance — it can only export what that clearance reads
+//     (a public bridge exports only public parts; a cleared bridge must be
+//     trusted like any cleared unit);
+//   * the importing side can only republish integrity it was explicitly
+//     granted (its output integrity label caps every relayed part, exactly
+//     like any endorsing unit) — a compromised remote node cannot forge
+//     integrity the operator never granted to the link;
+//   * privilege grants attached to parts are NOT relayed; privilege transfer
+//     across nodes would require the remote tag authority the paper leaves
+//     open.
+#ifndef DEFCON_SRC_DISTRIBUTED_EVENT_BRIDGE_H_
+#define DEFCON_SRC_DISTRIBUTED_EVENT_BRIDGE_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "src/core/engine.h"
+#include "src/core/unit.h"
+
+namespace defcon {
+
+struct BridgeConfig {
+  // Filter selecting the events to relay on the source node.
+  Filter filter;
+  // The exporting unit's clearance (input label) on the source engine; only
+  // parts visible at this label are relayed.
+  Label export_clearance;
+  // Privileges needed to hold that clearance (granted at deployment, like
+  // any trusted unit's); and, on the import side, the integrity tags the
+  // link may relay (i.e. i+ grants for the importer's output label).
+  PrivilegeSet export_privileges;
+  TagSet import_integrity;
+  PrivilegeSet import_privileges;
+};
+
+// Connects two engines in-process (the distributed substrate is the wire
+// format + a queue; swapping the queue for a Channel yields the cross-host
+// version — see tests/distributed_test.cc for the serialised round trip).
+class EventBridge {
+ public:
+  // Installs the bridge units on both engines. Engines must outlive the
+  // bridge. Call before Engine::Start() on the source for complete capture.
+  EventBridge(Engine* source, Engine* sink, const BridgeConfig& config);
+
+  uint64_t events_relayed() const { return relayed_->load(std::memory_order_relaxed); }
+  uint64_t parts_relayed() const { return parts_->load(std::memory_order_relaxed); }
+
+ private:
+  std::shared_ptr<std::atomic<uint64_t>> relayed_ = std::make_shared<std::atomic<uint64_t>>(0);
+  std::shared_ptr<std::atomic<uint64_t>> parts_ = std::make_shared<std::atomic<uint64_t>>(0);
+};
+
+}  // namespace defcon
+
+#endif  // DEFCON_SRC_DISTRIBUTED_EVENT_BRIDGE_H_

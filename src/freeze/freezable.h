@@ -1,0 +1,109 @@
+// Freezable objects (§5 of the paper).
+//
+// DEFCON passes event data between isolates by reference, so shared objects
+// must be immutable. Rather than deep-copying, objects are built mutable and
+// then *frozen* before they enter an event. The paper's cost model, which we
+// reproduce exactly:
+//   * freeze() is O(1): a collection sets a single flag; every contained
+//     Freezable holds a reference to that flag rather than being visited;
+//   * a mutating operation checks the object's own flag plus one flag per
+//     collection the object (transitively) belongs to — linear in the number
+//     of containing collections, constant in element count.
+//
+// Thread-safety contract (same as the paper's Java objects): an unfrozen
+// object is confined to the unit building it; once frozen it is safely
+// shareable read-only across isolates.
+#ifndef DEFCON_SRC_FREEZE_FREEZABLE_H_
+#define DEFCON_SRC_FREEZE_FREEZABLE_H_
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace defcon {
+
+// A single shared frozen bit. shared_ptr-held so containers can hand their
+// flag to elements without lifetime coupling.
+using FreezeFlagHandle = std::shared_ptr<std::atomic<bool>>;
+
+class Freezable {
+ public:
+  Freezable() : own_flag_(std::make_shared<std::atomic<bool>>(false)) {}
+  virtual ~Freezable() = default;
+
+  // Copying a Freezable would alias the frozen flag; containers implement
+  // explicit DeepCopy instead.
+  Freezable(const Freezable&) = delete;
+  Freezable& operator=(const Freezable&) = delete;
+
+  // True if this object or any collection containing it has been frozen.
+  bool frozen() const {
+    if (own_flag_->load(std::memory_order_acquire)) {
+      return true;
+    }
+    for (const auto& flag : watched_flags_) {
+      if (flag->load(std::memory_order_acquire)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Freezes this object and — through shared flags — everything it contains.
+  // Constant time: only this object's flag is written.
+  void Freeze() { own_flag_->store(true, std::memory_order_release); }
+
+  // To be called at the top of every mutating operation.
+  Status CheckMutable() const {
+    if (frozen()) {
+      return FrozenError("mutation of frozen object");
+    }
+    return OkStatus();
+  }
+
+  // All flags whose setting freezes this object (own + containing collections).
+  std::vector<FreezeFlagHandle> AllFlags() const {
+    std::vector<FreezeFlagHandle> flags;
+    flags.reserve(1 + watched_flags_.size());
+    flags.push_back(own_flag_);
+    flags.insert(flags.end(), watched_flags_.begin(), watched_flags_.end());
+    return flags;
+  }
+
+  // Called when this object is inserted into a collection: it must start
+  // honouring the collection's flags. Containers forward the adoption to
+  // their own Freezable elements so that freezing an outer collection also
+  // freezes objects nested more deeply (attach-time cost, not freeze-time).
+  void AdoptFlags(const std::vector<FreezeFlagHandle>& flags) {
+    for (const auto& flag : flags) {
+      bool already = flag == own_flag_;
+      for (const auto& existing : watched_flags_) {
+        if (existing == flag) {
+          already = true;
+          break;
+        }
+      }
+      if (!already) {
+        watched_flags_.push_back(flag);
+      }
+    }
+    PropagateFlagsToChildren(flags);
+  }
+
+  // Number of flags a mutation must consult (1 + #containing collections);
+  // exposed so tests and micro-benches can validate the paper's cost model.
+  size_t watch_count() const { return 1 + watched_flags_.size(); }
+
+ protected:
+  virtual void PropagateFlagsToChildren(const std::vector<FreezeFlagHandle>& flags) {}
+
+ private:
+  FreezeFlagHandle own_flag_;
+  std::vector<FreezeFlagHandle> watched_flags_;
+};
+
+}  // namespace defcon
+
+#endif  // DEFCON_SRC_FREEZE_FREEZABLE_H_

@@ -1,0 +1,329 @@
+#include "src/freeze/value.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace defcon {
+
+Value Value::OfBool(bool b) { return Value(Storage(b)); }
+Value Value::OfInt(int64_t i) { return Value(Storage(i)); }
+Value Value::OfDouble(double d) { return Value(Storage(d)); }
+
+Value Value::OfString(std::string s) {
+  return Value(Storage(std::make_shared<const std::string>(std::move(s))));
+}
+
+Value Value::OfTag(Tag t) { return Value(Storage(t)); }
+
+Value Value::OfBytes(std::vector<uint8_t> bytes) {
+  return Value(Storage(std::make_shared<const std::vector<uint8_t>>(std::move(bytes))));
+}
+
+Value Value::OfList(std::shared_ptr<FList> list) { return Value(Storage(std::move(list))); }
+Value Value::OfMap(std::shared_ptr<FMap> map) { return Value(Storage(std::move(map))); }
+
+double Value::AsDouble() const {
+  if (kind() == Kind::kInt) {
+    return static_cast<double>(int_value());
+  }
+  return double_value();
+}
+
+void Value::Freeze() const {
+  switch (kind()) {
+    case Kind::kList:
+      list()->Freeze();
+      break;
+    case Kind::kMap:
+      map()->Freeze();
+      break;
+    default:
+      break;  // Primitives are immutable by construction.
+  }
+}
+
+bool Value::IsShareable() const {
+  switch (kind()) {
+    case Kind::kList:
+      return list()->frozen();
+    case Kind::kMap:
+      return map()->frozen();
+    default:
+      return true;
+  }
+}
+
+bool Value::DeepFrozenForTest() const {
+  switch (kind()) {
+    case Kind::kList: {
+      if (!list()->frozen()) {
+        return false;
+      }
+      for (const Value& item : list()->items()) {
+        if (!item.DeepFrozenForTest()) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case Kind::kMap: {
+      if (!map()->frozen()) {
+        return false;
+      }
+      for (const auto& [key, item] : map()->entries()) {
+        if (!item.DeepFrozenForTest()) {
+          return false;
+        }
+      }
+      return true;
+    }
+    default:
+      return true;
+  }
+}
+
+Value Value::DeepCopy() const {
+  switch (kind()) {
+    case Kind::kNull:
+    case Kind::kBool:
+    case Kind::kInt:
+    case Kind::kDouble:
+    case Kind::kTag:
+      return *this;
+    case Kind::kString:
+      return OfString(string_value());  // copies the characters
+    case Kind::kBytes:
+      return OfBytes(bytes_value());  // copies the bytes
+    case Kind::kList: {
+      auto copy = FList::New();
+      for (const Value& item : list()->items()) {
+        // Fresh unfrozen list: appends cannot fail.
+        (void)copy->Append(item.DeepCopy());
+      }
+      return OfList(std::move(copy));
+    }
+    case Kind::kMap: {
+      auto copy = FMap::New();
+      for (const auto& [key, item] : map()->entries()) {
+        (void)copy->Set(key, item.DeepCopy());
+      }
+      return OfMap(std::move(copy));
+    }
+  }
+  return Value();
+}
+
+size_t Value::EstimateBytes() const {
+  switch (kind()) {
+    case Kind::kNull:
+      return sizeof(Value);
+    case Kind::kBool:
+    case Kind::kInt:
+    case Kind::kDouble:
+    case Kind::kTag:
+      return sizeof(Value);
+    case Kind::kString:
+      return sizeof(Value) + sizeof(std::string) + string_value().capacity();
+    case Kind::kBytes:
+      return sizeof(Value) + bytes_value().capacity();
+    case Kind::kList: {
+      size_t total = sizeof(Value) + sizeof(FList);
+      for (const Value& item : list()->items()) {
+        total += item.EstimateBytes();
+      }
+      return total;
+    }
+    case Kind::kMap: {
+      size_t total = sizeof(Value) + sizeof(FMap);
+      for (const auto& [key, item] : map()->entries()) {
+        total += key.capacity() + item.EstimateBytes();
+      }
+      return total;
+    }
+  }
+  return sizeof(Value);
+}
+
+bool Value::Equals(const Value& other) const {
+  if (kind() != other.kind()) {
+    // int/double cross-compare numerically, as filters expect.
+    if (IsNumeric() && other.IsNumeric()) {
+      return AsDouble() == other.AsDouble();
+    }
+    return false;
+  }
+  switch (kind()) {
+    case Kind::kNull:
+      return true;
+    case Kind::kBool:
+      return bool_value() == other.bool_value();
+    case Kind::kInt:
+      return int_value() == other.int_value();
+    case Kind::kDouble:
+      return double_value() == other.double_value();
+    case Kind::kString:
+      return string_value() == other.string_value();
+    case Kind::kTag:
+      return tag_value() == other.tag_value();
+    case Kind::kBytes:
+      return bytes_value() == other.bytes_value();
+    case Kind::kList: {
+      const auto& a = list()->items();
+      const auto& b = other.list()->items();
+      if (a.size() != b.size()) {
+        return false;
+      }
+      for (size_t i = 0; i < a.size(); ++i) {
+        if (!a[i].Equals(b[i])) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case Kind::kMap: {
+      const auto& a = map()->entries();
+      const auto& b = other.map()->entries();
+      if (a.size() != b.size()) {
+        return false;
+      }
+      for (size_t i = 0; i < a.size(); ++i) {
+        if (a[i].first != b[i].first || !a[i].second.Equals(b[i].second)) {
+          return false;
+        }
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string Value::ToString() const {
+  std::ostringstream os;
+  switch (kind()) {
+    case Kind::kNull:
+      os << "null";
+      break;
+    case Kind::kBool:
+      os << (bool_value() ? "true" : "false");
+      break;
+    case Kind::kInt:
+      os << int_value();
+      break;
+    case Kind::kDouble:
+      os << double_value();
+      break;
+    case Kind::kString:
+      os << '\'' << string_value() << '\'';
+      break;
+    case Kind::kTag:
+      os << "tag:" << tag_value().DebugString();
+      break;
+    case Kind::kBytes:
+      os << "bytes[" << bytes_value().size() << "]";
+      break;
+    case Kind::kList: {
+      os << "[";
+      bool first = true;
+      for (const Value& item : list()->items()) {
+        if (!first) {
+          os << ", ";
+        }
+        first = false;
+        os << item.ToString();
+      }
+      os << "]";
+      break;
+    }
+    case Kind::kMap: {
+      os << "{";
+      bool first = true;
+      for (const auto& [key, item] : map()->entries()) {
+        if (!first) {
+          os << ", ";
+        }
+        first = false;
+        os << key << ": " << item.ToString();
+      }
+      os << "}";
+      break;
+    }
+  }
+  return os.str();
+}
+
+void AdoptFlagsIntoValue(const Value& value, const std::vector<FreezeFlagHandle>& flags) {
+  switch (value.kind()) {
+    case Value::Kind::kList:
+      value.list()->AdoptFlags(flags);
+      break;
+    case Value::Kind::kMap:
+      value.map()->AdoptFlags(flags);
+      break;
+    default:
+      break;
+  }
+}
+
+Status FList::Append(Value value) {
+  DEFCON_RETURN_IF_ERROR(CheckMutable());
+  AdoptFlagsIntoValue(value, AllFlags());
+  items_.push_back(std::move(value));
+  return OkStatus();
+}
+
+Status FList::SetAt(size_t index, Value value) {
+  DEFCON_RETURN_IF_ERROR(CheckMutable());
+  if (index >= items_.size()) {
+    return InvalidArgument("FList::SetAt index out of range");
+  }
+  AdoptFlagsIntoValue(value, AllFlags());
+  items_[index] = std::move(value);
+  return OkStatus();
+}
+
+void FList::PropagateFlagsToChildren(const std::vector<FreezeFlagHandle>& flags) {
+  for (const Value& item : items_) {
+    AdoptFlagsIntoValue(item, flags);
+  }
+}
+
+Status FMap::Set(const std::string& key, Value value) {
+  DEFCON_RETURN_IF_ERROR(CheckMutable());
+  AdoptFlagsIntoValue(value, AllFlags());
+  auto it = std::lower_bound(entries_.begin(), entries_.end(), key,
+                             [](const auto& entry, const std::string& k) { return entry.first < k; });
+  if (it != entries_.end() && it->first == key) {
+    it->second = std::move(value);
+  } else {
+    entries_.insert(it, {key, std::move(value)});
+  }
+  return OkStatus();
+}
+
+Status FMap::Erase(const std::string& key) {
+  DEFCON_RETURN_IF_ERROR(CheckMutable());
+  auto it = std::lower_bound(entries_.begin(), entries_.end(), key,
+                             [](const auto& entry, const std::string& k) { return entry.first < k; });
+  if (it == entries_.end() || it->first != key) {
+    return NotFound("FMap::Erase: no such key: " + key);
+  }
+  entries_.erase(it);
+  return OkStatus();
+}
+
+const Value* FMap::Find(const std::string& key) const {
+  auto it = std::lower_bound(entries_.begin(), entries_.end(), key,
+                             [](const auto& entry, const std::string& k) { return entry.first < k; });
+  if (it == entries_.end() || it->first != key) {
+    return nullptr;
+  }
+  return &it->second;
+}
+
+void FMap::PropagateFlagsToChildren(const std::vector<FreezeFlagHandle>& flags) {
+  for (const auto& [key, item] : entries_) {
+    AdoptFlagsIntoValue(item, flags);
+  }
+}
+
+}  // namespace defcon

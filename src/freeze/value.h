@@ -1,0 +1,164 @@
+// Value: the data payload of an event part.
+//
+// DEFCON restricts part contents to "a subset of types [that] must be either
+// immutable or extend a package-private Freezable base class" (§5). Value is
+// a tagged union of:
+//   * immutable-by-construction types: null, bool, int64, double, shared
+//     const strings/byte-blobs, Tag references (for privilege-carrying parts,
+//     §3.1.5);
+//   * Freezable containers: FList and FMap, which must be frozen before the
+//     value may enter an event.
+//
+// A frozen Value is safely shareable across isolates by reference; DeepCopy
+// produces an independent mutable copy (used by the labels+clone baseline and
+// by units that want to modify received data).
+#ifndef DEFCON_SRC_FREEZE_VALUE_H_
+#define DEFCON_SRC_FREEZE_VALUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/base/status.h"
+#include "src/core/tag.h"
+#include "src/freeze/freezable.h"
+
+namespace defcon {
+
+class FList;
+class FMap;
+
+class Value {
+ public:
+  enum class Kind : uint8_t {
+    kNull = 0,
+    kBool,
+    kInt,
+    kDouble,
+    kString,
+    kTag,
+    kBytes,
+    kList,
+    kMap,
+  };
+
+  Value() = default;  // null
+
+  static Value OfBool(bool b);
+  static Value OfInt(int64_t i);
+  static Value OfDouble(double d);
+  static Value OfString(std::string s);
+  static Value OfTag(Tag t);
+  static Value OfBytes(std::vector<uint8_t> bytes);
+  static Value OfList(std::shared_ptr<FList> list);
+  static Value OfMap(std::shared_ptr<FMap> map);
+
+  Kind kind() const { return static_cast<Kind>(data_.index()); }
+  bool is_null() const { return kind() == Kind::kNull; }
+
+  // Typed accessors; only valid for the matching kind (asserts in debug).
+  bool bool_value() const { return std::get<bool>(data_); }
+  int64_t int_value() const { return std::get<int64_t>(data_); }
+  double double_value() const { return std::get<double>(data_); }
+  const std::string& string_value() const { return *std::get<StringPtr>(data_); }
+  Tag tag_value() const { return std::get<Tag>(data_); }
+  const std::vector<uint8_t>& bytes_value() const { return *std::get<BytesPtr>(data_); }
+  const std::shared_ptr<FList>& list() const { return std::get<std::shared_ptr<FList>>(data_); }
+  const std::shared_ptr<FMap>& map() const { return std::get<std::shared_ptr<FMap>>(data_); }
+
+  // Numeric coercion for filter comparisons: int and double compare as double.
+  bool IsNumeric() const { return kind() == Kind::kInt || kind() == Kind::kDouble; }
+  double AsDouble() const;
+
+  // Freezes contained Freezable containers (O(1) per §5 semantics — nested
+  // containers were linked to the outer flag at insertion time).
+  void Freeze() const;
+
+  // True when the value is safe to share: primitives always, containers iff
+  // frozen. The engine requires this before a value enters an event.
+  bool IsShareable() const;
+
+  // Walks the full tree (test/diagnostic aid; IsShareable is the O(1) check).
+  bool DeepFrozenForTest() const;
+
+  // Independent mutable copy; copies string/byte payloads too, so the clone
+  // baseline pays the full serialisation-equivalent memory cost.
+  Value DeepCopy() const;
+
+  // Approximate heap footprint for the memory accountant (Fig. 7).
+  size_t EstimateBytes() const;
+
+  // Deep structural equality (used by subscription filters).
+  bool Equals(const Value& other) const;
+  friend bool operator==(const Value& a, const Value& b) { return a.Equals(b); }
+
+  std::string ToString() const;
+
+ private:
+  using StringPtr = std::shared_ptr<const std::string>;
+  using BytesPtr = std::shared_ptr<const std::vector<uint8_t>>;
+  using Storage = std::variant<std::monostate, bool, int64_t, double, StringPtr, Tag, BytesPtr,
+                               std::shared_ptr<FList>, std::shared_ptr<FMap>>;
+
+  explicit Value(Storage data) : data_(std::move(data)) {}
+
+  Storage data_;
+};
+
+// Freezable ordered list of Values.
+class FList : public Freezable {
+ public:
+  static std::shared_ptr<FList> New() { return std::make_shared<FList>(); }
+
+  // Appends a value; fails with kFrozen after freeze. If the value contains
+  // Freezable containers they adopt this list's flags (paper §5: attached
+  // objects reference the collection's isFrozen flag).
+  Status Append(Value value);
+
+  // Replaces an element in-place (mutation, same freeze rules).
+  Status SetAt(size_t index, Value value);
+
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  const Value& at(size_t index) const { return items_[index]; }
+  const std::vector<Value>& items() const { return items_; }
+
+ protected:
+  void PropagateFlagsToChildren(const std::vector<FreezeFlagHandle>& flags) override;
+
+ private:
+  std::vector<Value> items_;
+};
+
+// Freezable string-keyed map of Values (sorted vector; maps in events are
+// small and iteration order must be deterministic for serialisation).
+class FMap : public Freezable {
+ public:
+  static std::shared_ptr<FMap> New() { return std::make_shared<FMap>(); }
+
+  Status Set(const std::string& key, Value value);
+  Status Erase(const std::string& key);
+
+  const Value* Find(const std::string& key) const;
+  bool Contains(const std::string& key) const { return Find(key) != nullptr; }
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  const std::vector<std::pair<std::string, Value>>& entries() const { return entries_; }
+
+ protected:
+  void PropagateFlagsToChildren(const std::vector<FreezeFlagHandle>& flags) override;
+
+ private:
+  std::vector<std::pair<std::string, Value>> entries_;
+};
+
+// Adopts `flags` into any Freezable containers held by `value`.
+void AdoptFlagsIntoValue(const Value& value, const std::vector<FreezeFlagHandle>& flags);
+
+}  // namespace defcon
+
+#endif  // DEFCON_SRC_FREEZE_VALUE_H_

@@ -1,0 +1,142 @@
+#include "src/ipc/channel.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace defcon {
+
+Channel::~Channel() { Close(); }
+
+Channel& Channel::operator=(Channel&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+void Channel::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+namespace {
+
+Status WriteAll(int fd, const uint8_t* data, size_t size) {
+  size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return IoError(std::string("write: ") + std::strerror(errno));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return OkStatus();
+}
+
+Status ReadAll(int fd, uint8_t* data, size_t size) {
+  size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::read(fd, data + got, size - got);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return IoError(std::string("read: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      return IoError("peer closed");
+    }
+    got += static_cast<size_t>(n);
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+Status Channel::SendFrame(const uint8_t* data, size_t size) {
+  if (fd_ < 0) {
+    return FailedPrecondition("channel closed");
+  }
+  if (size > UINT32_MAX) {
+    return InvalidArgument("frame too large");
+  }
+  uint8_t header[4];
+  const uint32_t len = static_cast<uint32_t>(size);
+  header[0] = static_cast<uint8_t>(len);
+  header[1] = static_cast<uint8_t>(len >> 8);
+  header[2] = static_cast<uint8_t>(len >> 16);
+  header[3] = static_cast<uint8_t>(len >> 24);
+  DEFCON_RETURN_IF_ERROR(WriteAll(fd_, header, sizeof(header)));
+  return WriteAll(fd_, data, size);
+}
+
+Result<std::vector<uint8_t>> Channel::RecvFrame() {
+  if (fd_ < 0) {
+    return FailedPrecondition("channel closed");
+  }
+  uint8_t header[4];
+  DEFCON_RETURN_IF_ERROR(ReadAll(fd_, header, sizeof(header)));
+  const uint32_t len = static_cast<uint32_t>(header[0]) | (static_cast<uint32_t>(header[1]) << 8) |
+                       (static_cast<uint32_t>(header[2]) << 16) |
+                       (static_cast<uint32_t>(header[3]) << 24);
+  std::vector<uint8_t> payload(len);
+  if (len > 0) {
+    DEFCON_RETURN_IF_ERROR(ReadAll(fd_, payload.data(), payload.size()));
+  }
+  return payload;
+}
+
+Result<bool> Channel::Readable(int timeout_ms) const {
+  if (fd_ < 0) {
+    return FailedPrecondition("channel closed");
+  }
+  struct pollfd pfd;
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  pfd.revents = 0;
+  const int rc = ::poll(&pfd, 1, timeout_ms);
+  if (rc < 0) {
+    return IoError(std::string("poll: ") + std::strerror(errno));
+  }
+  return rc > 0;
+}
+
+Result<std::pair<Channel, Channel>> Channel::CreatePair() {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    return IoError(std::string("socketpair: ") + std::strerror(errno));
+  }
+  return std::make_pair(Channel(fds[0]), Channel(fds[1]));
+}
+
+Result<pid_t> ForkChild(const std::function<int()>& child_main) {
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    return IoError(std::string("fork: ") + std::strerror(errno));
+  }
+  if (pid == 0) {
+    ::_exit(child_main());
+  }
+  return pid;
+}
+
+int WaitChild(pid_t pid) {
+  int status = 0;
+  if (::waitpid(pid, &status, 0) < 0) {
+    return -1;
+  }
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+}  // namespace defcon

@@ -1,0 +1,66 @@
+// Framed Unix-domain-socket channels and fork helpers — the inter-process
+// substrate of the Marketcetera-style baseline (one process per trader).
+#ifndef DEFCON_SRC_IPC_CHANNEL_H_
+#define DEFCON_SRC_IPC_CHANNEL_H_
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/base/status.h"
+
+namespace defcon {
+
+// One end of a byte-stream socket with length-prefixed message framing.
+// Blocking by default; movable, closes on destruction.
+class Channel {
+ public:
+  Channel() = default;
+  explicit Channel(int fd) : fd_(fd) {}
+  ~Channel();
+
+  Channel(Channel&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  Channel& operator=(Channel&& other) noexcept;
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void Close();
+
+  // Sends one frame: u32 little-endian length + payload. Blocks until fully
+  // written (socket backpressure is the baseline's flow control).
+  Status SendFrame(const uint8_t* data, size_t size);
+  Status SendFrame(const std::vector<uint8_t>& payload) {
+    return SendFrame(payload.data(), payload.size());
+  }
+
+  // Receives one frame; blocks. Returns kIoError on EOF/peer close.
+  Result<std::vector<uint8_t>> RecvFrame();
+
+  // True if a frame (or EOF) is ready within timeout_ms (0 = poll).
+  Result<bool> Readable(int timeout_ms) const;
+
+  // Creates a connected pair (parent end, child end).
+  static Result<std::pair<Channel, Channel>> CreatePair();
+
+ private:
+  int fd_ = -1;
+};
+
+// Forks a child that runs `child_main` and exits with its return value.
+// Returns the child pid in the parent. All channels the child should not
+// inherit must be closed by the caller in `child_main` / after fork — the
+// helper keeps things simple for the baseline's fixed topology.
+Result<pid_t> ForkChild(const std::function<int()>& child_main);
+
+// Waits for a child; returns its exit status (or -1 on error).
+int WaitChild(pid_t pid);
+
+}  // namespace defcon
+
+#endif  // DEFCON_SRC_IPC_CHANNEL_H_

@@ -1,0 +1,293 @@
+#include "src/ipc/wire.h"
+
+#include <cstring>
+
+namespace defcon {
+
+void WireWriter::PutVarint(uint64_t v) {
+  while (v >= 0x80) {
+    buffer_.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buffer_.push_back(static_cast<uint8_t>(v));
+}
+
+void WireWriter::PutZigzag(int64_t v) {
+  PutVarint((static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63));
+}
+
+void WireWriter::PutFixed64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buffer_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void WireWriter::PutDouble(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutFixed64(bits);
+}
+
+void WireWriter::PutString(const std::string& s) {
+  PutVarint(s.size());
+  buffer_.insert(buffer_.end(), s.begin(), s.end());
+}
+
+void WireWriter::PutBytes(const uint8_t* data, size_t size) {
+  PutVarint(size);
+  buffer_.insert(buffer_.end(), data, data + size);
+}
+
+Result<uint64_t> WireReader::Varint() {
+  uint64_t v = 0;
+  int shift = 0;
+  while (pos_ < size_) {
+    const uint8_t byte = data_[pos_++];
+    if (shift >= 64) {
+      return IoError("varint too long");
+    }
+    v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      return v;
+    }
+    shift += 7;
+  }
+  return IoError("truncated varint");
+}
+
+Result<int64_t> WireReader::Zigzag() {
+  DEFCON_ASSIGN_OR_RETURN(uint64_t raw, Varint());
+  return static_cast<int64_t>((raw >> 1) ^ (~(raw & 1) + 1));
+}
+
+Result<uint64_t> WireReader::Fixed64() {
+  if (remaining() < 8) {
+    return IoError("truncated fixed64");
+  }
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(data_[pos_ + static_cast<size_t>(i)]) << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+Result<double> WireReader::Double() {
+  DEFCON_ASSIGN_OR_RETURN(uint64_t bits, Fixed64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<bool> WireReader::Bool() {
+  DEFCON_ASSIGN_OR_RETURN(uint64_t raw, Varint());
+  return raw != 0;
+}
+
+Result<std::string> WireReader::String() {
+  DEFCON_ASSIGN_OR_RETURN(uint64_t size, Varint());
+  if (size > remaining()) {
+    return IoError("truncated string");
+  }
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), static_cast<size_t>(size));
+  pos_ += static_cast<size_t>(size);
+  return s;
+}
+
+// --- DEFCON structures -------------------------------------------------------
+
+void EncodeTag(const Tag& tag, WireWriter* writer) {
+  writer->PutFixed64(tag.hi);
+  writer->PutFixed64(tag.lo);
+}
+
+Result<Tag> DecodeTag(WireReader* reader) {
+  DEFCON_ASSIGN_OR_RETURN(uint64_t hi, reader->Fixed64());
+  DEFCON_ASSIGN_OR_RETURN(uint64_t lo, reader->Fixed64());
+  return Tag{hi, lo};
+}
+
+void EncodeTagSet(const TagSet& set, WireWriter* writer) {
+  writer->PutVarint(set.size());
+  for (const Tag& tag : set) {
+    EncodeTag(tag, writer);
+  }
+}
+
+Result<TagSet> DecodeTagSet(WireReader* reader) {
+  DEFCON_ASSIGN_OR_RETURN(uint64_t count, reader->Varint());
+  if (count > reader->remaining() / 16) {
+    return IoError("tag set length exceeds payload");
+  }
+  TagSet set;
+  for (uint64_t i = 0; i < count; ++i) {
+    DEFCON_ASSIGN_OR_RETURN(Tag tag, DecodeTag(reader));
+    set.Insert(tag);
+  }
+  return set;
+}
+
+void EncodeLabel(const Label& label, WireWriter* writer) {
+  EncodeTagSet(label.secrecy, writer);
+  EncodeTagSet(label.integrity, writer);
+}
+
+Result<Label> DecodeLabel(WireReader* reader) {
+  DEFCON_ASSIGN_OR_RETURN(TagSet secrecy, DecodeTagSet(reader));
+  DEFCON_ASSIGN_OR_RETURN(TagSet integrity, DecodeTagSet(reader));
+  return Label(std::move(secrecy), std::move(integrity));
+}
+
+void EncodeValue(const Value& value, WireWriter* writer) {
+  writer->PutVarint(static_cast<uint64_t>(value.kind()));
+  switch (value.kind()) {
+    case Value::Kind::kNull:
+      break;
+    case Value::Kind::kBool:
+      writer->PutBool(value.bool_value());
+      break;
+    case Value::Kind::kInt:
+      writer->PutZigzag(value.int_value());
+      break;
+    case Value::Kind::kDouble:
+      writer->PutDouble(value.double_value());
+      break;
+    case Value::Kind::kString:
+      writer->PutString(value.string_value());
+      break;
+    case Value::Kind::kTag:
+      EncodeTag(value.tag_value(), writer);
+      break;
+    case Value::Kind::kBytes:
+      writer->PutBytes(value.bytes_value().data(), value.bytes_value().size());
+      break;
+    case Value::Kind::kList: {
+      writer->PutVarint(value.list()->size());
+      for (const Value& item : value.list()->items()) {
+        EncodeValue(item, writer);
+      }
+      break;
+    }
+    case Value::Kind::kMap: {
+      writer->PutVarint(value.map()->size());
+      for (const auto& [key, item] : value.map()->entries()) {
+        writer->PutString(key);
+        EncodeValue(item, writer);
+      }
+      break;
+    }
+  }
+}
+
+Result<Value> DecodeValue(WireReader* reader) {
+  DEFCON_ASSIGN_OR_RETURN(uint64_t kind_raw, reader->Varint());
+  switch (static_cast<Value::Kind>(kind_raw)) {
+    case Value::Kind::kNull:
+      return Value();
+    case Value::Kind::kBool: {
+      DEFCON_ASSIGN_OR_RETURN(bool b, reader->Bool());
+      return Value::OfBool(b);
+    }
+    case Value::Kind::kInt: {
+      DEFCON_ASSIGN_OR_RETURN(int64_t i, reader->Zigzag());
+      return Value::OfInt(i);
+    }
+    case Value::Kind::kDouble: {
+      DEFCON_ASSIGN_OR_RETURN(double d, reader->Double());
+      return Value::OfDouble(d);
+    }
+    case Value::Kind::kString: {
+      DEFCON_ASSIGN_OR_RETURN(std::string s, reader->String());
+      return Value::OfString(std::move(s));
+    }
+    case Value::Kind::kTag: {
+      DEFCON_ASSIGN_OR_RETURN(Tag tag, DecodeTag(reader));
+      return Value::OfTag(tag);
+    }
+    case Value::Kind::kBytes: {
+      DEFCON_ASSIGN_OR_RETURN(std::string s, reader->String());
+      return Value::OfBytes(std::vector<uint8_t>(s.begin(), s.end()));
+    }
+    case Value::Kind::kList: {
+      DEFCON_ASSIGN_OR_RETURN(uint64_t count, reader->Varint());
+      if (count > reader->remaining()) {
+        return IoError("list length exceeds payload");
+      }
+      auto list = FList::New();
+      for (uint64_t i = 0; i < count; ++i) {
+        DEFCON_ASSIGN_OR_RETURN(Value item, DecodeValue(reader));
+        DEFCON_RETURN_IF_ERROR(list->Append(std::move(item)));
+      }
+      return Value::OfList(std::move(list));
+    }
+    case Value::Kind::kMap: {
+      DEFCON_ASSIGN_OR_RETURN(uint64_t count, reader->Varint());
+      if (count > reader->remaining()) {
+        return IoError("map length exceeds payload");
+      }
+      auto map = FMap::New();
+      for (uint64_t i = 0; i < count; ++i) {
+        DEFCON_ASSIGN_OR_RETURN(std::string key, reader->String());
+        DEFCON_ASSIGN_OR_RETURN(Value item, DecodeValue(reader));
+        DEFCON_RETURN_IF_ERROR(map->Set(key, std::move(item)));
+      }
+      return Value::OfMap(std::move(map));
+    }
+  }
+  return IoError("unknown value kind " + std::to_string(kind_raw));
+}
+
+void EncodeEvent(const Event& event, WireWriter* writer) {
+  writer->PutVarint(event.id());
+  writer->PutVarint(event.creator_unit_id());
+  writer->PutZigzag(event.origin_ns());
+  const auto parts = event.SnapshotParts();
+  writer->PutVarint(parts.size());
+  for (const Part& part : parts) {
+    writer->PutString(part.name);
+    EncodeLabel(part.label, writer);
+    EncodeValue(part.data, writer);
+    writer->PutVarint(part.grants.size());
+    for (const PrivilegeGrant& grant : part.grants) {
+      EncodeTag(grant.tag, writer);
+      writer->PutVarint(static_cast<uint64_t>(grant.privilege));
+    }
+  }
+}
+
+Result<EventPtr> DecodeEvent(WireReader* reader) {
+  DEFCON_ASSIGN_OR_RETURN(uint64_t id, reader->Varint());
+  DEFCON_ASSIGN_OR_RETURN(uint64_t creator, reader->Varint());
+  DEFCON_ASSIGN_OR_RETURN(int64_t origin_ns, reader->Zigzag());
+  auto event = std::make_shared<Event>(id, creator);
+  event->set_origin_ns(origin_ns);
+  DEFCON_ASSIGN_OR_RETURN(uint64_t part_count, reader->Varint());
+  if (part_count > reader->remaining()) {
+    return IoError("part count exceeds payload");
+  }
+  for (uint64_t i = 0; i < part_count; ++i) {
+    Part part;
+    DEFCON_ASSIGN_OR_RETURN(part.name, reader->String());
+    DEFCON_ASSIGN_OR_RETURN(part.label, DecodeLabel(reader));
+    DEFCON_ASSIGN_OR_RETURN(part.data, DecodeValue(reader));
+    part.data.Freeze();
+    DEFCON_ASSIGN_OR_RETURN(uint64_t grant_count, reader->Varint());
+    if (grant_count > reader->remaining()) {
+      return IoError("grant count exceeds payload");
+    }
+    for (uint64_t g = 0; g < grant_count; ++g) {
+      PrivilegeGrant grant;
+      DEFCON_ASSIGN_OR_RETURN(grant.tag, DecodeTag(reader));
+      DEFCON_ASSIGN_OR_RETURN(uint64_t priv, reader->Varint());
+      if (priv > static_cast<uint64_t>(Privilege::kMinusAuth)) {
+        return IoError("invalid privilege");
+      }
+      grant.privilege = static_cast<Privilege>(priv);
+      part.grants.push_back(grant);
+    }
+    event->AppendPart(std::move(part));
+  }
+  return event;
+}
+
+}  // namespace defcon

@@ -1,0 +1,84 @@
+// Binary wire format for inter-process messaging.
+//
+// The Marketcetera-style baseline isolates traders in separate OS processes,
+// which forces serialisation of every message — exactly the cost the paper's
+// in-process freeze/share design avoids. This implements a compact,
+// versioned, length-checked format: varint/zigzag integers, length-prefixed
+// strings, and encoders for DEFCON values/labels/events (used by the
+// serialisation micro-benchmarks).
+#ifndef DEFCON_SRC_IPC_WIRE_H_
+#define DEFCON_SRC_IPC_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/core/event.h"
+#include "src/core/label.h"
+#include "src/freeze/value.h"
+
+namespace defcon {
+
+class WireWriter {
+ public:
+  void PutVarint(uint64_t v);
+  void PutZigzag(int64_t v);
+  void PutFixed64(uint64_t v);
+  void PutDouble(double v);
+  void PutBool(bool v) { PutVarint(v ? 1 : 0); }
+  void PutString(const std::string& s);
+  void PutBytes(const uint8_t* data, size_t size);
+
+  const std::vector<uint8_t>& buffer() const { return buffer_; }
+  std::vector<uint8_t> Take() { return std::move(buffer_); }
+  size_t size() const { return buffer_.size(); }
+  void Clear() { buffer_.clear(); }
+
+ private:
+  std::vector<uint8_t> buffer_;
+};
+
+class WireReader {
+ public:
+  WireReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit WireReader(const std::vector<uint8_t>& buffer)
+      : WireReader(buffer.data(), buffer.size()) {}
+
+  Result<uint64_t> Varint();
+  Result<int64_t> Zigzag();
+  Result<uint64_t> Fixed64();
+  Result<double> Double();
+  Result<bool> Bool();
+  Result<std::string> String();
+
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+// --- DEFCON structures -------------------------------------------------------
+
+void EncodeTag(const Tag& tag, WireWriter* writer);
+Result<Tag> DecodeTag(WireReader* reader);
+
+void EncodeTagSet(const TagSet& set, WireWriter* writer);
+Result<TagSet> DecodeTagSet(WireReader* reader);
+
+void EncodeLabel(const Label& label, WireWriter* writer);
+Result<Label> DecodeLabel(WireReader* reader);
+
+void EncodeValue(const Value& value, WireWriter* writer);
+Result<Value> DecodeValue(WireReader* reader);
+
+// Serialises a snapshot of the event's parts (labels, data, grants).
+void EncodeEvent(const Event& event, WireWriter* writer);
+Result<EventPtr> DecodeEvent(WireReader* reader);
+
+}  // namespace defcon
+
+#endif  // DEFCON_SRC_IPC_WIRE_H_

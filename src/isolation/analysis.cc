@@ -1,0 +1,197 @@
+#include "src/isolation/analysis.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace defcon {
+
+DependencyResult RunDependencyAnalysis(const ClassGraph& graph,
+                                       const std::vector<uint32_t>& root_classes) {
+  DependencyResult result;
+  result.class_used.assign(graph.classes().size(), false);
+  std::deque<uint32_t> frontier;
+  for (uint32_t root : root_classes) {
+    if (root < result.class_used.size() && !result.class_used[root]) {
+      result.class_used[root] = true;
+      frontier.push_back(root);
+    }
+  }
+  while (!frontier.empty()) {
+    const uint32_t id = frontier.front();
+    frontier.pop_front();
+    const ClassModel& cls = graph.classes()[id];
+    auto visit = [&](uint32_t next) {
+      if (next != kNoId && !result.class_used[next]) {
+        result.class_used[next] = true;
+        frontier.push_back(next);
+      }
+    };
+    visit(cls.super);
+    for (uint32_t ref : cls.referenced_classes) {
+      visit(ref);
+    }
+  }
+  for (size_t id = 0; id < result.class_used.size(); ++id) {
+    if (!result.class_used[id]) {
+      continue;
+    }
+    ++result.used_class_count;
+    const ClassModel& cls = graph.classes()[id];
+    result.used_static_fields += cls.static_fields.size();
+    for (uint32_t method_id : cls.methods) {
+      if (graph.methods()[method_id].is_native) {
+        ++result.used_native_methods;
+      }
+    }
+  }
+  return result;
+}
+
+ReachabilityResult RunReachabilityAnalysis(const ClassGraph& graph, const DependencyResult& deps,
+                                           const std::vector<uint32_t>& entry_methods) {
+  ReachabilityResult result;
+  result.method_reachable.assign(graph.methods().size(), false);
+  std::deque<uint32_t> frontier;
+
+  auto in_used_class = [&](uint32_t method_id) {
+    const uint32_t class_id = graph.methods()[method_id].class_id;
+    return class_id < deps.class_used.size() && deps.class_used[class_id];
+  };
+  auto mark = [&](uint32_t method_id) {
+    if (method_id != kNoId && !result.method_reachable[method_id] && in_used_class(method_id)) {
+      result.method_reachable[method_id] = true;
+      frontier.push_back(method_id);
+    }
+  };
+  for (uint32_t entry : entry_methods) {
+    mark(entry);
+  }
+  while (!frontier.empty()) {
+    const uint32_t id = frontier.front();
+    frontier.pop_front();
+    const MethodModel& method = graph.methods()[id];
+    for (uint32_t callee : method.calls) {
+      mark(callee);
+    }
+    for (uint32_t callee : method.virtual_calls) {
+      // Dynamic dispatch: the named method and every transitive override.
+      mark(callee);
+      std::deque<uint32_t> overrides(graph.methods()[callee].overridden_by.begin(),
+                                     graph.methods()[callee].overridden_by.end());
+      while (!overrides.empty()) {
+        const uint32_t override_id = overrides.front();
+        overrides.pop_front();
+        mark(override_id);
+        const auto& nested = graph.methods()[override_id].overridden_by;
+        overrides.insert(overrides.end(), nested.begin(), nested.end());
+      }
+    }
+  }
+
+  std::vector<bool> field_seen(graph.fields().size(), false);
+  for (size_t id = 0; id < result.method_reachable.size(); ++id) {
+    if (!result.method_reachable[id]) {
+      continue;
+    }
+    ++result.reachable_method_count;
+    const MethodModel& method = graph.methods()[id];
+    if (method.is_native) {
+      result.dangerous_native_methods.push_back(static_cast<uint32_t>(id));
+    }
+    for (uint32_t field : method.field_accesses) {
+      if (!field_seen[field]) {
+        field_seen[field] = true;
+        result.dangerous_static_fields.push_back(field);
+      }
+    }
+    for (uint32_t site : method.sync_sites) {
+      result.reachable_sync_sites.push_back(site);
+    }
+  }
+  std::sort(result.dangerous_static_fields.begin(), result.dangerous_static_fields.end());
+  return result;
+}
+
+HeuristicResult RunHeuristicWhitelist(const ClassGraph& graph,
+                                      const ReachabilityResult& reachability) {
+  HeuristicResult result;
+  for (uint32_t field_id : reachability.dangerous_static_fields) {
+    const FieldModel& field = graph.fields()[field_id];
+    const ClassModel& cls = graph.classes()[field.class_id];
+    if (cls.is_unsafe_class) {
+      // Guarded by the security framework; user access would be a JVM bug.
+      ++result.whitelisted_unsafe;
+      continue;
+    }
+    if (field.is_final && field.immutable_type) {
+      // Shared constants are safe.
+      ++result.whitelisted_final_immutable;
+      continue;
+    }
+    if (field.is_private && field.write_once) {
+      // Vectors of constants / primitives written exactly once.
+      ++result.whitelisted_write_once;
+      continue;
+    }
+    result.remaining_static_fields.push_back(field_id);
+  }
+  for (uint32_t method_id : reachability.dangerous_native_methods) {
+    const ClassModel& cls = graph.classes()[graph.methods()[method_id].class_id];
+    if (cls.is_unsafe_class) {
+      ++result.whitelisted_unsafe;
+      continue;
+    }
+    result.remaining_native_methods.push_back(method_id);
+  }
+  return result;
+}
+
+WeavePlan BuildWeavePlan(const ClassGraph& graph, const HeuristicResult& heuristics,
+                         const std::vector<uint32_t>& manually_whitelisted_fields,
+                         const std::vector<uint32_t>& manually_whitelisted_methods,
+                         size_t per_unit_state_bytes, size_t fixed_bytes) {
+  auto whitelisted = [](const std::vector<uint32_t>& list, uint32_t id) {
+    return std::find(list.begin(), list.end(), id) != list.end();
+  };
+  WeavePlan plan;
+  for (uint32_t field_id : heuristics.remaining_static_fields) {
+    if (whitelisted(manually_whitelisted_fields, field_id)) {
+      continue;
+    }
+    WovenTarget target;
+    target.id = static_cast<uint32_t>(plan.targets.size());
+    target.kind = WovenTarget::Kind::kStaticField;
+    target.blocked = false;  // replicated per isolate on access
+    plan.targets.push_back(target);
+  }
+  for (uint32_t method_id : heuristics.remaining_native_methods) {
+    if (whitelisted(manually_whitelisted_methods, method_id)) {
+      continue;
+    }
+    WovenTarget target;
+    target.id = static_cast<uint32_t>(plan.targets.size());
+    target.kind = WovenTarget::Kind::kNativeMethod;
+    // Native methods outside the DEFCON API path raise security exceptions;
+    // on the API path they are considered safe (call 'D' in Fig. 3). The
+    // runtime plan marks them unblocked on API paths.
+    target.blocked = false;
+    plan.targets.push_back(target);
+  }
+  // Spread targets across API paths like DefaultWeavePlan does.
+  const size_t total = plan.targets.size();
+  if (total > 0) {
+    size_t next = 0;
+    for (size_t path = 0; path < kNumApiTargets; ++path) {
+      const size_t per_path = 6;
+      for (size_t k = 0; k < per_path; ++k) {
+        plan.path_targets[path].push_back(static_cast<uint32_t>(next % total));
+        next += 7;
+      }
+    }
+  }
+  plan.per_unit_state_bytes = per_unit_state_bytes;
+  plan.fixed_bytes = fixed_bytes;
+  return plan;
+}
+
+}  // namespace defcon

@@ -1,0 +1,106 @@
+// The §4 analysis pipeline over a ClassGraph.
+//
+// Stage 1 — dependency analysis: trim classes unreachable from the root set
+//   (the DEFCON implementation plus the deployed units); everything else
+//   (AWT/Swing, ...) is eliminated "without further impact".
+// Stage 2 — reachability analysis: enumerate method-to-method execution
+//   paths from the unit-visible entry points (the white-listed classes the
+//   custom class loader exposes), covering dynamic dispatch: a virtual call
+//   reaches every override in compatible subtypes. Dangerous targets touched
+//   by reachable code form T_units.
+// Stage 3 — heuristic white-listing: Unsafe-class targets (guarded by the
+//   security framework), final static immutable constants, and write-once
+//   private statics are declared safe.
+// Stage 4 — weave plan: the residue gets runtime interceptors (the paper's
+//   AspectJ pointcuts); unit test-runs then reveal the small set of targets
+//   that raise security exceptions and need manual inspection, and profiling
+//   promotes hot safe targets to the manual white-list.
+#ifndef DEFCON_SRC_ISOLATION_ANALYSIS_H_
+#define DEFCON_SRC_ISOLATION_ANALYSIS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/isolation/class_graph.h"
+#include "src/isolation/runtime.h"
+
+namespace defcon {
+
+struct DependencyResult {
+  std::vector<bool> class_used;  // indexed by class id
+  size_t used_class_count = 0;
+  size_t used_static_fields = 0;
+  size_t used_native_methods = 0;
+  size_t used_targets() const { return used_static_fields + used_native_methods; }
+};
+
+// Breadth-first closure over referenced_classes from `root_classes`.
+DependencyResult RunDependencyAnalysis(const ClassGraph& graph,
+                                       const std::vector<uint32_t>& root_classes);
+
+struct ReachabilityResult {
+  std::vector<bool> method_reachable;  // indexed by method id
+  std::vector<uint32_t> dangerous_static_fields;
+  std::vector<uint32_t> dangerous_native_methods;
+  std::vector<uint32_t> reachable_sync_sites;
+  size_t reachable_method_count = 0;
+  size_t dangerous_targets() const {
+    return dangerous_static_fields.size() + dangerous_native_methods.size();
+  }
+};
+
+// Method-to-method closure from `entry_methods`, restricted to classes used
+// per `deps`. Virtual calls fan out to transitive overrides.
+ReachabilityResult RunReachabilityAnalysis(const ClassGraph& graph, const DependencyResult& deps,
+                                           const std::vector<uint32_t>& entry_methods);
+
+struct HeuristicResult {
+  // Rule hit counts (for the funnel report).
+  size_t whitelisted_unsafe = 0;
+  size_t whitelisted_final_immutable = 0;
+  size_t whitelisted_write_once = 0;
+  // Targets still dangerous after the rules.
+  std::vector<uint32_t> remaining_static_fields;
+  std::vector<uint32_t> remaining_native_methods;
+  size_t remaining_targets() const {
+    return remaining_static_fields.size() + remaining_native_methods.size();
+  }
+};
+
+HeuristicResult RunHeuristicWhitelist(const ClassGraph& graph,
+                                      const ReachabilityResult& reachability);
+
+// Builds the runtime weave plan for the surviving targets. `blocked_targets`
+// (graph field/method ids observed to raise security exceptions in test
+// runs) stay blocked unless manually white-listed; `hot_targets` are
+// profiling-promoted to the white-list.
+WeavePlan BuildWeavePlan(const ClassGraph& graph, const HeuristicResult& heuristics,
+                         const std::vector<uint32_t>& manually_whitelisted_fields,
+                         const std::vector<uint32_t>& manually_whitelisted_methods,
+                         size_t per_unit_state_bytes, size_t fixed_bytes);
+
+// Complete funnel (what bench/table_sec4_funnel prints against the paper).
+struct FunnelReport {
+  size_t total_static_fields = 0;
+  size_t total_native_methods = 0;
+  size_t total_classes = 0;
+  size_t used_classes = 0;
+  size_t used_targets = 0;
+  size_t reachable_dangerous_static = 0;
+  size_t reachable_dangerous_native = 0;
+  size_t after_heuristics_static = 0;
+  size_t after_heuristics_native = 0;
+  size_t whitelisted_unsafe = 0;
+  size_t whitelisted_final_immutable = 0;
+  size_t whitelisted_write_once = 0;
+  size_t manual_static = 0;
+  size_t manual_native = 0;
+  size_t manual_sync = 0;
+  size_t manual_total() const { return manual_static + manual_native + manual_sync; }
+  size_t profiling_whitelisted = 0;
+  size_t woven_targets = 0;
+};
+
+}  // namespace defcon
+
+#endif  // DEFCON_SRC_ISOLATION_ANALYSIS_H_

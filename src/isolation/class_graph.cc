@@ -1,0 +1,80 @@
+#include "src/isolation/class_graph.h"
+
+namespace defcon {
+
+uint32_t ClassGraph::AddClass(std::string name, std::string package) {
+  ClassModel model;
+  model.id = static_cast<uint32_t>(classes_.size());
+  model.name = std::move(name);
+  model.package = std::move(package);
+  classes_.push_back(std::move(model));
+  return classes_.back().id;
+}
+
+uint32_t ClassGraph::AddMethod(uint32_t class_id, std::string name, bool is_native) {
+  MethodModel model;
+  model.id = static_cast<uint32_t>(methods_.size());
+  model.class_id = class_id;
+  model.name = std::move(name);
+  model.is_native = is_native;
+  methods_.push_back(std::move(model));
+  classes_[class_id].methods.push_back(methods_.back().id);
+  return methods_.back().id;
+}
+
+uint32_t ClassGraph::AddStaticField(uint32_t class_id, std::string name) {
+  FieldModel model;
+  model.id = static_cast<uint32_t>(fields_.size());
+  model.class_id = class_id;
+  model.name = std::move(name);
+  fields_.push_back(std::move(model));
+  classes_[class_id].static_fields.push_back(fields_.back().id);
+  return fields_.back().id;
+}
+
+uint32_t ClassGraph::AddSyncSite(uint32_t method_id, bool never_shared_type) {
+  SyncSiteModel model;
+  model.id = static_cast<uint32_t>(sync_sites_.size());
+  model.method_id = method_id;
+  model.never_shared_type = never_shared_type;
+  sync_sites_.push_back(model);
+  methods_[method_id].sync_sites.push_back(model.id);
+  return model.id;
+}
+
+void ClassGraph::SetSuper(uint32_t class_id, uint32_t super_id) {
+  classes_[class_id].super = super_id;
+  classes_[super_id].subtypes.push_back(class_id);
+}
+
+void ClassGraph::AddClassReference(uint32_t from_class, uint32_t to_class) {
+  classes_[from_class].referenced_classes.push_back(to_class);
+}
+
+void ClassGraph::AddCall(uint32_t caller, uint32_t callee) {
+  methods_[caller].calls.push_back(callee);
+}
+
+void ClassGraph::AddVirtualCall(uint32_t caller, uint32_t callee) {
+  methods_[caller].virtual_calls.push_back(callee);
+}
+
+void ClassGraph::AddOverride(uint32_t base_method, uint32_t override_method) {
+  methods_[base_method].overridden_by.push_back(override_method);
+}
+
+void ClassGraph::AddFieldAccess(uint32_t method_id, uint32_t field_id) {
+  methods_[method_id].field_accesses.push_back(field_id);
+}
+
+size_t ClassGraph::native_method_count() const {
+  size_t count = 0;
+  for (const MethodModel& method : methods_) {
+    if (method.is_native) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace defcon

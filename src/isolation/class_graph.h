@@ -1,0 +1,109 @@
+// Class-graph model for the §4 static analyses.
+//
+// The paper's methodology analyses OpenJDK 6 for *dangerous targets* —
+// static fields, native methods and synchronisation sites that unit code
+// could use as covert storage channels. This model captures exactly the
+// structure those analyses need: classes with packages and subtype links,
+// methods with call edges (including virtual dispatch via override sets),
+// static-field accesses and synchronisation sites, and per-field attributes
+// consumed by the heuristic white-lister (final, private, immutable type,
+// write-once, declared in the Unsafe class).
+#ifndef DEFCON_SRC_ISOLATION_CLASS_GRAPH_H_
+#define DEFCON_SRC_ISOLATION_CLASS_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace defcon {
+
+inline constexpr uint32_t kNoId = UINT32_MAX;
+
+struct ClassModel {
+  uint32_t id = kNoId;
+  std::string name;
+  std::string package;
+  uint32_t super = kNoId;
+  std::vector<uint32_t> subtypes;  // direct subclasses
+  std::vector<uint32_t> methods;
+  std::vector<uint32_t> static_fields;
+  // Classes this class references statically (field types, new-expressions,
+  // constant pool) — drives the class-level dependency analysis.
+  std::vector<uint32_t> referenced_classes;
+  bool is_unsafe_class = false;  // sun.misc.Unsafe analogue
+};
+
+struct MethodModel {
+  uint32_t id = kNoId;
+  uint32_t class_id = kNoId;
+  std::string name;
+  bool is_native = false;
+  // Direct (static/devirtualised) callees.
+  std::vector<uint32_t> calls;
+  // Virtual call sites: the named method plus every override in subtypes of
+  // the receiver's class becomes reachable.
+  std::vector<uint32_t> virtual_calls;
+  // Methods overriding this one (filled by the builder from subtype links).
+  std::vector<uint32_t> overridden_by;
+  // Static fields this method reads or writes.
+  std::vector<uint32_t> field_accesses;
+  // Synchronisation sites in this method's body (ids into sync_sites()).
+  std::vector<uint32_t> sync_sites;
+};
+
+struct FieldModel {
+  uint32_t id = kNoId;
+  uint32_t class_id = kNoId;
+  std::string name;
+  bool is_final = false;
+  bool is_private = false;
+  // Type is deeply immutable (String, boxed primitive, primitive).
+  bool immutable_type = false;
+  // Non-final but provably written exactly once (class initialiser).
+  bool write_once = false;
+};
+
+struct SyncSiteModel {
+  uint32_t id = kNoId;
+  uint32_t method_id = kNoId;
+  // The lock target's type is guaranteed unit-local (NeverShared candidate).
+  bool never_shared_type = false;
+};
+
+class ClassGraph {
+ public:
+  uint32_t AddClass(std::string name, std::string package);
+  uint32_t AddMethod(uint32_t class_id, std::string name, bool is_native);
+  uint32_t AddStaticField(uint32_t class_id, std::string name);
+  uint32_t AddSyncSite(uint32_t method_id, bool never_shared_type);
+
+  void SetSuper(uint32_t class_id, uint32_t super_id);
+  void AddClassReference(uint32_t from_class, uint32_t to_class);
+  void AddCall(uint32_t caller, uint32_t callee);
+  void AddVirtualCall(uint32_t caller, uint32_t callee);
+  void AddOverride(uint32_t base_method, uint32_t override_method);
+  void AddFieldAccess(uint32_t method_id, uint32_t field_id);
+
+  const std::vector<ClassModel>& classes() const { return classes_; }
+  const std::vector<MethodModel>& methods() const { return methods_; }
+  const std::vector<FieldModel>& fields() const { return fields_; }
+  const std::vector<SyncSiteModel>& sync_sites() const { return sync_sites_; }
+
+  ClassModel& mutable_class(uint32_t id) { return classes_[id]; }
+  MethodModel& mutable_method(uint32_t id) { return methods_[id]; }
+  FieldModel& mutable_field(uint32_t id) { return fields_[id]; }
+  SyncSiteModel& mutable_sync_site(uint32_t id) { return sync_sites_[id]; }
+
+  size_t native_method_count() const;
+  size_t static_field_count() const { return fields_.size(); }
+
+ private:
+  std::vector<ClassModel> classes_;
+  std::vector<MethodModel> methods_;
+  std::vector<FieldModel> fields_;
+  std::vector<SyncSiteModel> sync_sites_;
+};
+
+}  // namespace defcon
+
+#endif  // DEFCON_SRC_ISOLATION_CLASS_GRAPH_H_

@@ -1,0 +1,135 @@
+// Runtime half of the isolation substrate (§4 of the paper).
+//
+// In the paper, AspectJ-woven interceptors guard every dangerous JDK target
+// (static fields, native methods, synchronisation sites) that unit code can
+// reach; safe targets are white-listed statically so only the residue pays a
+// runtime check. In this C++ reproduction units are ordinary classes in the
+// same address space, so the interception point is the DEFCON API boundary:
+// every API call a unit makes crosses the set of guarded targets "woven" into
+// that call path, exactly as a Java unit's API call would traverse
+// intercepted JDK code.
+//
+// The runtime therefore reproduces both costs of the paper's isolation mode:
+//   * time: per-API-call interception checks (flag loads + counter updates
+//     per woven target on the path);
+//   * memory: a per-unit interception-state table whose size comes from the
+//     weave plan (the paper reports ~50 MiB for 200 traders growing to
+//     ~200 MiB for 2,000).
+//
+// The weave plan itself is produced by the static-analysis pipeline in
+// analysis.h (dependency analysis -> reachability -> heuristic white-listing),
+// or by DefaultWeavePlan() which is calibrated to the OpenJDK 6 numbers the
+// paper reports.
+#ifndef DEFCON_SRC_ISOLATION_RUNTIME_H_
+#define DEFCON_SRC_ISOLATION_RUNTIME_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/memory_meter.h"
+#include "src/base/status.h"
+
+namespace defcon {
+
+// The unit-reachable API paths that interception guards.
+enum class ApiTarget : uint8_t {
+  kCreateEvent = 0,
+  kAddPart,
+  kDelPart,
+  kReadPart,
+  kAttachPrivilege,
+  kCloneEvent,
+  kPublish,
+  kRelease,
+  kSubscribe,
+  kCreateTag,
+  kChangeLabel,
+  kInstantiateUnit,
+  kSynchronize,
+  kMaxValue,  // sentinel
+};
+
+inline constexpr size_t kNumApiTargets = static_cast<size_t>(ApiTarget::kMaxValue);
+
+// One guarded target surviving static analysis (analogue of an intercepted
+// static field or native method).
+struct WovenTarget {
+  uint32_t id = 0;
+  enum class Kind : uint8_t { kStaticField, kNativeMethod, kSyncSite } kind = Kind::kStaticField;
+  // If true the intercept denies unit access outright (raises a security
+  // exception in the paper); if false it performs the per-unit replication
+  // check (cloned static field) and allows the call.
+  bool blocked = false;
+};
+
+// Runtime weave plan: which targets each API path traverses.
+struct WeavePlan {
+  std::vector<WovenTarget> targets;
+  // Indices into `targets` per API path.
+  std::vector<std::vector<uint32_t>> path_targets =
+      std::vector<std::vector<uint32_t>>(kNumApiTargets);
+  // Per-unit replicated state bytes (cloned static fields; the paper's
+  // per-isolate field copies).
+  size_t per_unit_state_bytes = 0;
+  // Fixed cost of the woven runtime (aspect infrastructure).
+  size_t fixed_bytes = 0;
+};
+
+// Plan calibrated to the paper's §4 numbers for OpenJDK 6 after analysis:
+// a few hundred surviving intercepted targets, a handful on each hot API path.
+WeavePlan DefaultWeavePlan();
+
+// Per-unit interception state: replicated "static field" slots plus access
+// counters, allocated when the unit is created (the per-isolate state the
+// paper's weaving framework keeps).
+class UnitSandboxState {
+ public:
+  UnitSandboxState(const WeavePlan& plan, MemoryAccountant* accountant);
+  ~UnitSandboxState();
+
+  UnitSandboxState(const UnitSandboxState&) = delete;
+  UnitSandboxState& operator=(const UnitSandboxState&) = delete;
+
+  uint64_t intercept_count() const { return intercept_count_; }
+  size_t state_bytes() const { return replicated_state_.size(); }
+
+ private:
+  friend class IsolationRuntime;
+
+  std::vector<uint8_t> replicated_state_;  // per-isolate copies of static fields
+  std::vector<uint32_t> access_counts_;    // per-target access counters (profiling, §4)
+  uint64_t intercept_count_ = 0;
+  MemoryAccountant* accountant_;
+};
+
+class IsolationRuntime {
+ public:
+  explicit IsolationRuntime(WeavePlan plan, MemoryAccountant* accountant = nullptr);
+
+  std::unique_ptr<UnitSandboxState> CreateUnitState();
+
+  // Hot path: executes the intercepts woven into `target`'s call path.
+  // Returns SecurityViolation iff a blocked target is traversed.
+  Status CheckApiCall(UnitSandboxState* state, ApiTarget target);
+
+  // Synchronisation-channel guard (§4.3): units may only lock NeverShared
+  // types. `never_shared` reflects a static property of the lock target.
+  Status CheckSynchronize(UnitSandboxState* state, bool never_shared);
+
+  const WeavePlan& plan() const { return plan_; }
+  uint64_t total_intercepts() const {
+    return total_intercepts_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  WeavePlan plan_;
+  MemoryAccountant* accountant_;
+  std::atomic<uint64_t> total_intercepts_{0};
+};
+
+}  // namespace defcon
+
+#endif  // DEFCON_SRC_ISOLATION_RUNTIME_H_

@@ -1,0 +1,345 @@
+#include "src/isolation/synthetic_jdk.h"
+
+#include <algorithm>
+#include <string>
+
+#include "src/base/random.h"
+
+namespace defcon {
+namespace {
+
+struct PackageSpec {
+  const char* name;
+  size_t classes;
+  // Dependency stratum: 0 = unused (AWT/Swing...), 1 = DEFCON-only,
+  // 2 = exposed to units via the class-loader white-list (lang/util).
+  int stratum;
+};
+
+// Package mix loosely following OpenJDK 6's layout; ~2,600 classes total.
+constexpr PackageSpec kPackages[] = {
+    {"java.lang", 300, 2},      {"java.util", 250, 2},
+    {"java.io", 200, 1},        {"java.net", 150, 1},
+    {"java.security", 120, 1},  {"java.lang.reflect", 80, 1},
+    {"sun.misc", 60, 1},        {"java.text", 120, 1},
+    {"java.math", 60, 1},       {"java.awt", 400, 0},
+    {"javax.swing", 500, 0},    {"org.omg", 200, 0},
+    {"javax.sound", 160, 0},
+};
+
+}  // namespace
+
+ClassGraph GenerateSyntheticJdk(const SyntheticJdkParams& params, SyntheticGroundTruth* truth) {
+  ClassGraph graph;
+  Rng rng(params.seed);
+
+  // --- classes per package --------------------------------------------------
+  std::vector<uint32_t> all_classes;
+  std::vector<uint32_t> used_classes;     // strata 1+2
+  std::vector<uint32_t> exposed_classes;  // stratum 2
+  std::vector<int> class_stratum;
+  uint32_t unsafe_class = kNoId;
+
+  for (const PackageSpec& package : kPackages) {
+    for (size_t i = 0; i < package.classes; ++i) {
+      const uint32_t id =
+          graph.AddClass(std::string(package.name) + ".C" + std::to_string(i), package.name);
+      all_classes.push_back(id);
+      class_stratum.push_back(package.stratum);
+      if (package.stratum >= 1) {
+        used_classes.push_back(id);
+      }
+      if (package.stratum == 2) {
+        exposed_classes.push_back(id);
+      }
+      if (unsafe_class == kNoId && std::string(package.name) == "sun.misc") {
+        unsafe_class = id;
+        graph.mutable_class(id).is_unsafe_class = true;
+      }
+    }
+  }
+
+  // Subtype chains within packages (for virtual-dispatch coverage): every
+  // 5th class extends the previous one in its package.
+  for (size_t i = 1; i < all_classes.size(); ++i) {
+    if (i % 5 == 0 &&
+        graph.classes()[all_classes[i]].package == graph.classes()[all_classes[i - 1]].package) {
+      graph.SetSuper(all_classes[i], all_classes[i - 1]);
+    }
+  }
+
+  // --- class references (drive dependency analysis) --------------------------
+  // Within-package locality plus used-package cross links. Unused packages
+  // reference among themselves only, so the dependency stage trims them.
+  auto sample_class_in_stratum = [&](int min_stratum) {
+    for (;;) {
+      const uint32_t id = all_classes[rng.NextBelow(all_classes.size())];
+      if (class_stratum[id] >= min_stratum) {
+        return id;
+      }
+    }
+  };
+  for (uint32_t id : all_classes) {
+    const int stratum = class_stratum[id];
+    for (int k = 0; k < 4; ++k) {
+      uint32_t ref;
+      if (stratum == 0) {
+        // Unused packages reference anything — they are trimmed regardless.
+        ref = all_classes[rng.NextBelow(all_classes.size())];
+      } else {
+        ref = sample_class_in_stratum(1);
+      }
+      if (ref != id) {
+        graph.AddClassReference(id, ref);
+      }
+    }
+  }
+
+  // DEFCON implementation roots: reference the used strata broadly.
+  truth->defcon_root_classes.clear();
+  for (int i = 0; i < 30; ++i) {
+    const uint32_t id = graph.AddClass("defcon.Impl" + std::to_string(i), "defcon");
+    class_stratum.push_back(1);
+    truth->defcon_root_classes.push_back(id);
+    for (int k = 0; k < 8; ++k) {
+      graph.AddClassReference(id, used_classes[rng.NextBelow(used_classes.size())]);
+    }
+  }
+  // Unit classes: reference exposed packages only.
+  for (int i = 0; i < 10; ++i) {
+    const uint32_t id = graph.AddClass("units.Unit" + std::to_string(i), "units");
+    class_stratum.push_back(1);
+    truth->defcon_root_classes.push_back(id);
+    for (int k = 0; k < 6; ++k) {
+      graph.AddClassReference(id, exposed_classes[rng.NextBelow(exposed_classes.size())]);
+    }
+  }
+
+  // --- methods ---------------------------------------------------------------
+  // Every class gets regular methods; native methods and static fields are
+  // distributed below according to the population quotas.
+  std::vector<uint32_t> methods_by_class_region;  // methods in used classes
+  std::vector<uint32_t> exposed_public_methods;
+  for (uint32_t id : all_classes) {
+    const size_t method_count = 3 + rng.NextBelow(6);
+    for (size_t m = 0; m < method_count; ++m) {
+      const uint32_t method_id = graph.AddMethod(id, "m" + std::to_string(m), /*native=*/false);
+      if (class_stratum[id] >= 1) {
+        methods_by_class_region.push_back(method_id);
+      }
+      if (class_stratum[id] == 2 && m < 3) {
+        exposed_public_methods.push_back(method_id);
+      }
+    }
+  }
+
+  // Overrides along subtype chains: subclass method 0 overrides super's.
+  for (uint32_t id : all_classes) {
+    const ClassModel& cls = graph.classes()[id];
+    if (cls.super != kNoId && !cls.methods.empty() &&
+        !graph.classes()[cls.super].methods.empty()) {
+      graph.AddOverride(graph.classes()[cls.super].methods[0], cls.methods[0]);
+    }
+  }
+
+  // --- native methods ---------------------------------------------------------
+  // `reachable_native_methods` of them live in used classes and get wired
+  // into entry-reachable call chains; the rest are spread over the JDK.
+  std::vector<uint32_t> reachable_natives;
+  for (size_t i = 0; i < params.total_native_methods; ++i) {
+    const bool make_reachable = i < params.reachable_native_methods;
+    const bool in_unsafe = make_reachable && i < params.unsafe_native_methods;
+    uint32_t class_id;
+    if (in_unsafe) {
+      class_id = unsafe_class;
+    } else if (make_reachable) {
+      class_id = used_classes[rng.NextBelow(used_classes.size())];
+    } else {
+      class_id = all_classes[rng.NextBelow(all_classes.size())];
+    }
+    const uint32_t method_id = graph.AddMethod(class_id, "native" + std::to_string(i), true);
+    if (make_reachable) {
+      reachable_natives.push_back(method_id);
+    }
+  }
+
+  // --- static fields -----------------------------------------------------------
+  std::vector<uint32_t> reachable_fields;
+  for (size_t i = 0; i < params.total_static_fields; ++i) {
+    const bool make_reachable = i < params.reachable_static_fields;
+    const bool in_unsafe = make_reachable && i < params.unsafe_static_fields;
+    uint32_t class_id;
+    if (in_unsafe) {
+      class_id = unsafe_class;
+    } else if (make_reachable) {
+      class_id = used_classes[rng.NextBelow(used_classes.size())];
+    } else {
+      class_id = all_classes[rng.NextBelow(all_classes.size())];
+    }
+    const uint32_t field_id = graph.AddStaticField(class_id, "f" + std::to_string(i));
+    FieldModel& field = graph.mutable_field(field_id);
+    if (!in_unsafe && make_reachable) {
+      // Ground-truth attribute mix among reachable fields, tuned to the
+      // paper's heuristic yield (~500 of ~900 survive): ~30% final immutable
+      // constants, ~7% write-once private statics, the rest mutable state.
+      const uint64_t roll = rng.NextBelow(100);
+      if (roll < 30) {
+        field.is_final = true;
+        field.immutable_type = true;
+      } else if (roll < 37) {
+        field.is_private = true;
+        field.write_once = true;
+      }
+    } else if (!make_reachable) {
+      // Unreachable fields get an arbitrary mix; they never matter.
+      field.is_final = rng.NextBool();
+      field.immutable_type = rng.NextBool();
+    }
+    if (make_reachable) {
+      reachable_fields.push_back(field_id);
+    }
+  }
+
+  // --- wire reachability -------------------------------------------------------
+  // Entry methods: the public surface of the exposed (lang/util) classes.
+  truth->unit_entry_methods = exposed_public_methods;
+
+  // Call chains: entries call into used-region methods (two hops of fan-out),
+  // and designated methods access the reachable dangerous targets.
+  for (uint32_t entry : exposed_public_methods) {
+    for (int k = 0; k < 3; ++k) {
+      const uint32_t callee =
+          methods_by_class_region[rng.NextBelow(methods_by_class_region.size())];
+      if (rng.NextBool()) {
+        graph.AddCall(entry, callee);
+      } else {
+        graph.AddVirtualCall(entry, callee);
+      }
+    }
+  }
+  for (uint32_t mid : methods_by_class_region) {
+    if (rng.NextBelow(100) < 60) {
+      const uint32_t callee =
+          methods_by_class_region[rng.NextBelow(methods_by_class_region.size())];
+      graph.AddCall(mid, callee);
+    }
+  }
+  for (uint32_t native_id : reachable_natives) {
+    const uint32_t caller =
+        methods_by_class_region[rng.NextBelow(methods_by_class_region.size())];
+    graph.AddCall(caller, native_id);
+  }
+  for (uint32_t field_id : reachable_fields) {
+    const uint32_t accessor =
+        methods_by_class_region[rng.NextBelow(methods_by_class_region.size())];
+    graph.AddFieldAccess(accessor, field_id);
+  }
+
+  // Safety net: guarantee the quota targets really are reachable by calling
+  // every used-region method from a rotating subset of entries (the random
+  // wiring above gives realistic shape; this keeps the funnel calibrated).
+  for (size_t i = 0; i < methods_by_class_region.size(); ++i) {
+    graph.AddCall(exposed_public_methods[i % exposed_public_methods.size()],
+                  methods_by_class_region[i]);
+  }
+
+  // --- synchronisation sites ----------------------------------------------------
+  // ~2,000 sync sites across used methods; 10 become the manually inspected
+  // NeverShared conversions (§4.3).
+  truth->manual_sync_sites.clear();
+  for (size_t i = 0; i < 2000; ++i) {
+    const uint32_t method_id =
+        methods_by_class_region[rng.NextBelow(methods_by_class_region.size())];
+    const uint32_t site = graph.AddSyncSite(method_id, /*never_shared_type=*/false);
+    if (truth->manual_sync_sites.size() < params.manual_sync_targets) {
+      truth->manual_sync_sites.push_back(site);
+      graph.mutable_sync_site(site).never_shared_type = true;
+    }
+  }
+
+  // --- runtime ground truth -------------------------------------------------------
+  // Targets unit code actually touches (these raise security exceptions until
+  // manually inspected) and profiling-hot targets. Chosen from the strata the
+  // heuristics leave intercepted.
+  truth->unit_touched_static_fields.clear();
+  truth->unit_touched_native_methods.clear();
+  truth->hot_static_fields.clear();
+  truth->hot_native_methods.clear();
+  for (uint32_t field_id : reachable_fields) {
+    const FieldModel& field = graph.fields()[field_id];
+    const bool heuristically_safe = graph.classes()[field.class_id].is_unsafe_class ||
+                                    (field.is_final && field.immutable_type) ||
+                                    (field.is_private && field.write_once);
+    if (heuristically_safe) {
+      continue;
+    }
+    if (truth->unit_touched_static_fields.size() < params.unit_touched_statics) {
+      truth->unit_touched_static_fields.push_back(field_id);
+    } else if (truth->hot_static_fields.size() < params.hot_statics) {
+      truth->hot_static_fields.push_back(field_id);
+    }
+  }
+  for (uint32_t method_id : reachable_natives) {
+    if (graph.classes()[graph.methods()[method_id].class_id].is_unsafe_class) {
+      continue;
+    }
+    if (truth->unit_touched_native_methods.size() < params.unit_touched_natives) {
+      truth->unit_touched_native_methods.push_back(method_id);
+    } else if (truth->hot_native_methods.size() < params.hot_natives) {
+      truth->hot_native_methods.push_back(method_id);
+    }
+  }
+  return graph;
+}
+
+FunnelReport RunSec4Pipeline(const SyntheticJdkParams& params, WeavePlan* plan_out) {
+  SyntheticGroundTruth truth;
+  const ClassGraph graph = GenerateSyntheticJdk(params, &truth);
+
+  FunnelReport report;
+  report.total_classes = graph.classes().size();
+  report.total_static_fields = graph.static_field_count();
+  report.total_native_methods = graph.native_method_count();
+
+  const DependencyResult deps = RunDependencyAnalysis(graph, truth.defcon_root_classes);
+  report.used_classes = deps.used_class_count;
+  report.used_targets = deps.used_targets();
+
+  const ReachabilityResult reach =
+      RunReachabilityAnalysis(graph, deps, truth.unit_entry_methods);
+  report.reachable_dangerous_static = reach.dangerous_static_fields.size();
+  report.reachable_dangerous_native = reach.dangerous_native_methods.size();
+
+  const HeuristicResult heuristics = RunHeuristicWhitelist(graph, reach);
+  report.after_heuristics_static = heuristics.remaining_static_fields.size();
+  report.after_heuristics_native = heuristics.remaining_native_methods.size();
+  report.whitelisted_unsafe = heuristics.whitelisted_unsafe;
+  report.whitelisted_final_immutable = heuristics.whitelisted_final_immutable;
+  report.whitelisted_write_once = heuristics.whitelisted_write_once;
+
+  // Runtime stage: unit test runs raise exceptions on the touched targets;
+  // those plus the sync conversions are the manual inspection set. Profiling
+  // promotes the hot targets.
+  report.manual_static = truth.unit_touched_static_fields.size();
+  report.manual_native = truth.unit_touched_native_methods.size();
+  report.manual_sync = truth.manual_sync_sites.size();
+  report.profiling_whitelisted =
+      truth.hot_static_fields.size() + truth.hot_native_methods.size();
+
+  std::vector<uint32_t> whitelisted_fields = truth.unit_touched_static_fields;
+  whitelisted_fields.insert(whitelisted_fields.end(), truth.hot_static_fields.begin(),
+                            truth.hot_static_fields.end());
+  std::vector<uint32_t> whitelisted_methods = truth.unit_touched_native_methods;
+  whitelisted_methods.insert(whitelisted_methods.end(), truth.hot_native_methods.begin(),
+                             truth.hot_native_methods.end());
+  const WeavePlan plan =
+      BuildWeavePlan(graph, heuristics, whitelisted_fields, whitelisted_methods,
+                     /*per_unit_state_bytes=*/88 * 1024, /*fixed_bytes=*/32 * 1024 * 1024);
+  report.woven_targets = plan.targets.size();
+  if (plan_out != nullptr) {
+    *plan_out = plan;
+  }
+  return report;
+}
+
+}  // namespace defcon

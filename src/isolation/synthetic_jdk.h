@@ -1,0 +1,65 @@
+// Synthetic OpenJDK-6-like class graph (substitute substrate, see DESIGN.md).
+//
+// The paper's analysis input — the real OpenJDK 6 — is not reproducible
+// here, so this generator builds a class graph with the same population
+// statistics the paper reports (≈4,000 static fields and ≈2,000 native
+// methods across a package structure where only ~a fifth is used by the
+// DEFCON deployment) and with ground-truth attributes (finality, immutable
+// types, write-once statics, the Unsafe class, sync sites) for the heuristic
+// and manual white-listing stages to discover. The analyses themselves are
+// generic graph algorithms (analysis.h); only the input is synthetic.
+#ifndef DEFCON_SRC_ISOLATION_SYNTHETIC_JDK_H_
+#define DEFCON_SRC_ISOLATION_SYNTHETIC_JDK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/isolation/analysis.h"
+#include "src/isolation/class_graph.h"
+
+namespace defcon {
+
+struct SyntheticJdkParams {
+  uint64_t seed = 1;
+  // Population statistics (defaults match OpenJDK 6 as per §4).
+  size_t total_static_fields = 4000;
+  size_t total_native_methods = 2000;
+  // Quotas for the used/reachable strata (defaults match the paper's funnel:
+  // >2,000 used targets; 1,200 dangerous ≈ 900 static + 320 native; after
+  // heuristics ≈ 500 + 300).
+  size_t reachable_static_fields = 900;
+  size_t reachable_native_methods = 320;
+  size_t unsafe_static_fields = 66;
+  size_t unsafe_native_methods = 20;
+  // Ground truth for the runtime stage.
+  size_t unit_touched_statics = 27;   // raise exceptions in unit test runs
+  size_t unit_touched_natives = 15;
+  size_t manual_sync_targets = 10;
+  size_t hot_statics = 6;             // found by profiling, white-listed
+  size_t hot_natives = 9;
+};
+
+// Outputs the generator knows but the analyses must discover / the operator
+// must inspect (the "manual" stages of §4).
+struct SyntheticGroundTruth {
+  std::vector<uint32_t> defcon_root_classes;  // dependency-analysis roots
+  std::vector<uint32_t> unit_entry_methods;   // reachability entry points
+  // Targets unit code actually touches at runtime (raise exceptions until
+  // manually white-listed).
+  std::vector<uint32_t> unit_touched_static_fields;
+  std::vector<uint32_t> unit_touched_native_methods;
+  std::vector<uint32_t> manual_sync_sites;
+  // Profiling-hot targets promoted to the white-list.
+  std::vector<uint32_t> hot_static_fields;
+  std::vector<uint32_t> hot_native_methods;
+};
+
+ClassGraph GenerateSyntheticJdk(const SyntheticJdkParams& params, SyntheticGroundTruth* truth);
+
+// Runs the full §4 pipeline over a synthetic JDK and assembles the funnel.
+// `plan_out` (optional) receives the final weave plan.
+FunnelReport RunSec4Pipeline(const SyntheticJdkParams& params, WeavePlan* plan_out);
+
+}  // namespace defcon
+
+#endif  // DEFCON_SRC_ISOLATION_SYNTHETIC_JDK_H_

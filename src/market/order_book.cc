@@ -1,0 +1,121 @@
+#include "src/market/order_book.h"
+
+#include <algorithm>
+
+namespace defcon {
+namespace {
+
+// Matches `incoming` against `book_side`; appends fills. Returns remaining
+// quantity. `crosses(book_price)` says whether the incoming order's limit
+// crosses a given book price level.
+template <typename BookSide, typename CrossFn>
+int64_t MatchAgainst(Order* incoming, BookSide* book_side, CrossFn crosses,
+                     std::vector<Fill>* fills) {
+  while (incoming->quantity > 0 && !book_side->empty()) {
+    auto level_it = book_side->begin();
+    if (!crosses(level_it->first)) {
+      break;
+    }
+    auto& queue = level_it->second;
+    while (incoming->quantity > 0 && !queue.empty()) {
+      Order& resting = queue.front();
+      const int64_t traded = std::min(incoming->quantity, resting.quantity);
+      Fill fill;
+      fill.symbol = incoming->symbol;
+      // Execution at the resting order's price (price priority to the maker).
+      fill.price_cents = resting.price_cents;
+      fill.quantity = traded;
+      if (incoming->side == Side::kBuy) {
+        fill.buy_order_id = incoming->order_id;
+        fill.buy_owner_token = incoming->owner_token;
+        fill.sell_order_id = resting.order_id;
+        fill.sell_owner_token = resting.owner_token;
+      } else {
+        fill.sell_order_id = incoming->order_id;
+        fill.sell_owner_token = incoming->owner_token;
+        fill.buy_order_id = resting.order_id;
+        fill.buy_owner_token = resting.owner_token;
+      }
+      fills->push_back(fill);
+      incoming->quantity -= traded;
+      resting.quantity -= traded;
+      if (resting.quantity == 0) {
+        queue.pop_front();
+      }
+    }
+    if (queue.empty()) {
+      book_side->erase(level_it);
+    }
+  }
+  return incoming->quantity;
+}
+
+}  // namespace
+
+std::vector<Fill> OrderBook::Submit(Order order) {
+  std::vector<Fill> fills;
+  if (order.quantity <= 0 || order.price_cents <= 0) {
+    return fills;
+  }
+  if (order.side == Side::kBuy) {
+    MatchAgainst(&order, &sells_,
+                 [&](int64_t ask) { return ask <= order.price_cents; }, &fills);
+    if (order.quantity > 0) {
+      buys_[order.price_cents].push_back(order);
+    }
+  } else {
+    MatchAgainst(&order, &buys_,
+                 [&](int64_t bid) { return bid >= order.price_cents; }, &fills);
+    if (order.quantity > 0) {
+      sells_[order.price_cents].push_back(order);
+    }
+  }
+  return fills;
+}
+
+namespace {
+
+template <typename BookSide>
+bool CancelIn(BookSide* side, uint64_t order_id) {
+  for (auto level = side->begin(); level != side->end(); ++level) {
+    auto& queue = level->second;
+    for (auto it = queue.begin(); it != queue.end(); ++it) {
+      if (it->order_id == order_id) {
+        queue.erase(it);
+        if (queue.empty()) {
+          side->erase(level);
+        }
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool OrderBook::Cancel(uint64_t order_id) {
+  return CancelIn(&buys_, order_id) || CancelIn(&sells_, order_id);
+}
+
+size_t OrderBook::resting_buy_count() const {
+  size_t n = 0;
+  for (const auto& [price, queue] : buys_) {
+    n += queue.size();
+  }
+  return n;
+}
+
+size_t OrderBook::resting_sell_count() const {
+  size_t n = 0;
+  for (const auto& [price, queue] : sells_) {
+    n += queue.size();
+  }
+  return n;
+}
+
+int64_t OrderBook::best_bid_cents() const { return buys_.empty() ? 0 : buys_.begin()->first; }
+
+int64_t OrderBook::best_ask_cents() const { return sells_.empty() ? 0 : sells_.begin()->first; }
+
+}  // namespace defcon

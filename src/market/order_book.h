@@ -1,0 +1,65 @@
+// Price-time-priority order book, the matching substrate of the Local Broker
+// unit ("dark pool" matching, §2.1/§6.1) and of the baseline's ORS.
+#ifndef DEFCON_SRC_MARKET_ORDER_BOOK_H_
+#define DEFCON_SRC_MARKET_ORDER_BOOK_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/market/symbols.h"
+
+namespace defcon {
+
+enum class Side : uint8_t { kBuy = 0, kSell = 1 };
+
+struct Order {
+  uint64_t order_id = 0;
+  SymbolId symbol = 0;
+  Side side = Side::kBuy;
+  int64_t price_cents = 0;
+  int64_t quantity = 0;
+  // Opaque owner token (the broker keeps trader identity out of the book;
+  // identity flows through protected event parts instead).
+  uint64_t owner_token = 0;
+  int64_t submit_ns = 0;
+};
+
+struct Fill {
+  uint64_t buy_order_id = 0;
+  uint64_t sell_order_id = 0;
+  uint64_t buy_owner_token = 0;
+  uint64_t sell_owner_token = 0;
+  SymbolId symbol = 0;
+  int64_t price_cents = 0;
+  int64_t quantity = 0;
+};
+
+// One symbol's book: price-sorted FIFO queues per side.
+class OrderBook {
+ public:
+  // Inserts `order`, matching it against the opposite side first.
+  // Returns the fills produced (possibly empty). Partial fills leave the
+  // remainder resting in the book.
+  std::vector<Fill> Submit(Order order);
+
+  // Cancels a resting order; returns false if not found (fully filled).
+  bool Cancel(uint64_t order_id);
+
+  size_t resting_buy_count() const;
+  size_t resting_sell_count() const;
+  // Best prices; 0 when that side is empty.
+  int64_t best_bid_cents() const;
+  int64_t best_ask_cents() const;
+
+ private:
+  // Buys keyed by descending price (best first), sells ascending.
+  std::map<int64_t, std::deque<Order>, std::greater<int64_t>> buys_;
+  std::map<int64_t, std::deque<Order>> sells_;
+};
+
+}  // namespace defcon
+
+#endif  // DEFCON_SRC_MARKET_ORDER_BOOK_H_

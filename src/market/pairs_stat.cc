@@ -1,0 +1,51 @@
+#include "src/market/pairs_stat.h"
+
+#include <cmath>
+
+namespace defcon {
+
+std::optional<PairsSignal> PairsTracker::OnTick(SymbolId symbol, double price) {
+  if (symbol == pair_.first) {
+    last_price_first_ = price;
+  } else if (symbol == pair_.second) {
+    last_price_second_ = price;
+  } else {
+    return std::nullopt;
+  }
+  if (last_price_first_ <= 0.0 || last_price_second_ <= 0.0) {
+    return std::nullopt;
+  }
+  const double spread = std::log(last_price_first_) - std::log(last_price_second_);
+  spread_stats_.Add(spread);
+  ++observations_;
+  if (observations_ < config_.min_observations) {
+    return std::nullopt;
+  }
+  const double sd = spread_stats_.stddev();
+  if (sd <= 1e-12) {
+    return std::nullopt;
+  }
+  const double z = (spread - spread_stats_.mean()) / sd;
+  if (std::fabs(z) < config_.z_threshold) {
+    in_position_ = false;  // reverted; re-arm
+    return std::nullopt;
+  }
+  if (in_position_) {
+    return std::nullopt;  // already signalled this excursion
+  }
+  in_position_ = true;
+  PairsSignal signal;
+  signal.zscore = z;
+  signal.mean = spread_stats_.mean();
+  if (z > 0) {
+    // First leg rich relative to second: sell first, buy second.
+    signal.sell = pair_.first;
+    signal.buy = pair_.second;
+  } else {
+    signal.sell = pair_.second;
+    signal.buy = pair_.first;
+  }
+  return signal;
+}
+
+}  // namespace defcon

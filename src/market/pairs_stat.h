@@ -1,0 +1,61 @@
+// The pairs-trade strategy (§6.1, [39] Vidyamurthy).
+//
+// Tracks the log-price spread of a correlated symbol pair with exponentially
+// weighted mean/variance and signals when the spread deviates by more than
+// `z_threshold` standard deviations: the expensive leg is sold and the cheap
+// leg bought, betting on reversion. This logic is shared by the DEFCON
+// Pair Monitor unit and the Marketcetera-baseline strategy agent so both
+// platforms run identical "business logic".
+#ifndef DEFCON_SRC_MARKET_PAIRS_STAT_H_
+#define DEFCON_SRC_MARKET_PAIRS_STAT_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "src/base/stats.h"
+#include "src/market/symbols.h"
+
+namespace defcon {
+
+struct PairsConfig {
+  double ewma_alpha = 0.05;
+  double z_threshold = 1.6;
+  // Ticks to observe before signalling (warm-up of the spread statistics).
+  int64_t min_observations = 8;
+};
+
+struct PairsSignal {
+  SymbolId buy = 0;
+  SymbolId sell = 0;
+  // Observed spread z-score that triggered the signal.
+  double zscore = 0.0;
+  // Spread mean at signal time (the "mean" field of Fig. 4's Match event).
+  double mean = 0.0;
+};
+
+class PairsTracker {
+ public:
+  PairsTracker(SymbolPair pair, const PairsConfig& config)
+      : pair_(pair), config_(config), spread_stats_(config.ewma_alpha) {}
+
+  const SymbolPair& pair() const { return pair_; }
+
+  // Feeds one tick; returns a signal when the spread crosses the threshold.
+  // Only reacts to ticks for the pair's symbols.
+  std::optional<PairsSignal> OnTick(SymbolId symbol, double price);
+
+  int64_t observations() const { return observations_; }
+
+ private:
+  SymbolPair pair_;
+  PairsConfig config_;
+  EwmaStats spread_stats_;
+  double last_price_first_ = 0.0;
+  double last_price_second_ = 0.0;
+  int64_t observations_ = 0;
+  bool in_position_ = false;  // suppress repeated signals until reversion
+};
+
+}  // namespace defcon
+
+#endif  // DEFCON_SRC_MARKET_PAIRS_STAT_H_

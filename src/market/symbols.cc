@@ -1,0 +1,43 @@
+#include "src/market/symbols.h"
+
+#include <unordered_set>
+
+namespace defcon {
+
+SymbolTable::SymbolTable(size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::unordered_set<std::string> seen;
+  names_.reserve(count);
+  while (names_.size() < count) {
+    // Three or four uppercase letters plus the LSE ".L" suffix.
+    const size_t letters = 3 + rng.NextBelow(2);
+    std::string name;
+    for (size_t i = 0; i < letters; ++i) {
+      name.push_back(static_cast<char>('A' + rng.NextBelow(26)));
+    }
+    name += ".L";
+    if (seen.insert(name).second) {
+      names_.push_back(std::move(name));
+    }
+  }
+}
+
+int64_t SymbolTable::Lookup(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) {
+      return static_cast<int64_t>(i);
+    }
+  }
+  return -1;
+}
+
+std::vector<SymbolPair> MakePairUniverse(size_t symbol_count) {
+  std::vector<SymbolPair> pairs;
+  pairs.reserve(symbol_count / 2);
+  for (SymbolId i = 0; i + 1 < symbol_count; i += 2) {
+    pairs.push_back(SymbolPair{i, i + 1});
+  }
+  return pairs;
+}
+
+}  // namespace defcon

@@ -1,0 +1,51 @@
+// Symbol universe for the financial workload (§6.1).
+//
+// The paper replays a synthetic workload derived from London Stock Exchange
+// traces; we generate an LSE-flavoured symbol universe ("VOD.L"-style codes)
+// deterministically from a seed.
+#ifndef DEFCON_SRC_MARKET_SYMBOLS_H_
+#define DEFCON_SRC_MARKET_SYMBOLS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/random.h"
+
+namespace defcon {
+
+using SymbolId = uint32_t;
+
+class SymbolTable {
+ public:
+  // Generates `count` distinct ticker codes.
+  SymbolTable(size_t count, uint64_t seed);
+
+  size_t size() const { return names_.size(); }
+  const std::string& Name(SymbolId id) const { return names_[id]; }
+
+  // Linear scan; used only by tests and setup code, never on hot paths.
+  // Returns -1 if absent.
+  int64_t Lookup(const std::string& name) const;
+
+ private:
+  std::vector<std::string> names_;
+};
+
+// A monitored symbol pair with the trading parameters of one pairs trade.
+struct SymbolPair {
+  SymbolId first = 0;
+  SymbolId second = 0;
+
+  friend bool operator==(const SymbolPair& a, const SymbolPair& b) {
+    return a.first == b.first && a.second == b.second;
+  }
+};
+
+// Builds the universe of candidate pairs ("established companies in the same
+// industry"): adjacent symbols are paired, giving `symbols/2` distinct pairs.
+std::vector<SymbolPair> MakePairUniverse(size_t symbol_count);
+
+}  // namespace defcon
+
+#endif  // DEFCON_SRC_MARKET_SYMBOLS_H_

@@ -1,0 +1,60 @@
+#include "src/market/tick_source.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace defcon {
+
+TickSource::TickSource(size_t symbol_count, uint64_t seed, int64_t excursion_period)
+    : rng_(seed), excursion_period_(std::max<int64_t>(2, excursion_period)) {
+  if (symbol_count < 2) {
+    symbol_count = 2;
+  }
+  symbol_count &= ~size_t{1};  // even, so every symbol belongs to a pair
+  base_price_cents_.resize(symbol_count);
+  for (auto& price : base_price_cents_) {
+    // 10.00 .. 209.99 — plausible pence-denominated LSE prices.
+    price = 1000 + static_cast<int64_t>(rng_.NextBelow(20000));
+  }
+  spread_state_.assign(symbol_count / 2, 0.0);
+  pair_tick_count_.assign(symbol_count / 2, 0);
+}
+
+Tick TickSource::Next() {
+  const SymbolId symbol = static_cast<SymbolId>(next_symbol_);
+  next_symbol_ = (next_symbol_ + 1) % base_price_cents_.size();
+
+  const size_t pair = symbol / 2;
+  pair_tick_count_[pair]++;
+
+  // Mean-reverting spread with a deterministic excursion every
+  // `excursion_period` pair-ticks plus small noise. The excursion amplitude
+  // (±4% of price) comfortably exceeds the strategy's z-threshold band.
+  double& s = spread_state_[pair];
+  s = 0.7 * s + 0.002 * rng_.NextGaussian();
+  if (pair_tick_count_[pair] % excursion_period_ == 0) {
+    s += (rng_.NextBool() ? 1.0 : -1.0) * 0.04;
+  }
+
+  // The first leg of the pair carries the spread; the second stays at base.
+  double price = static_cast<double>(base_price_cents_[symbol]);
+  if (symbol % 2 == 0) {
+    price *= std::exp(s);
+  }
+  Tick tick;
+  tick.symbol = symbol;
+  tick.price_cents = std::max<int64_t>(1, static_cast<int64_t>(price));
+  tick.sequence = sequence_++;
+  return tick;
+}
+
+std::vector<Tick> TickSource::Generate(size_t n) {
+  std::vector<Tick> trace;
+  trace.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    trace.push_back(Next());
+  }
+  return trace;
+}
+
+}  // namespace defcon

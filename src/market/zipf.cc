@@ -1,0 +1,37 @@
+#include "src/market/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace defcon {
+
+ZipfSampler::ZipfSampler(size_t n, double exponent) {
+  if (n == 0) {
+    n = 1;
+  }
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    sum += 1.0 / std::pow(static_cast<double>(k + 1), exponent);
+    cdf_[k] = sum;
+  }
+  for (double& c : cdf_) {
+    c /= sum;
+  }
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+size_t ZipfSampler::Sample(Rng* rng) const {
+  const double u = rng->NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Pmf(size_t k) const {
+  if (k >= cdf_.size()) {
+    return 0.0;
+  }
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+}  // namespace defcon

@@ -1,0 +1,35 @@
+// Zipf-distributed sampling.
+//
+// The paper assigns each trader a symbol pair "chosen according to a Zipf
+// distribution", emulating that well-known correlated pairs attract most
+// traders. Sampling uses a precomputed CDF with binary search: O(log n) per
+// draw, exact distribution.
+#ifndef DEFCON_SRC_MARKET_ZIPF_H_
+#define DEFCON_SRC_MARKET_ZIPF_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/base/random.h"
+
+namespace defcon {
+
+class ZipfSampler {
+ public:
+  // P(k) ∝ 1 / (k+1)^exponent for k in [0, n). exponent 1.0 is classic Zipf.
+  ZipfSampler(size_t n, double exponent);
+
+  size_t Sample(Rng* rng) const;
+
+  // Probability mass of rank k (for tests).
+  double Pmf(size_t k) const;
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // inclusive prefix sums, last element == 1.0
+};
+
+}  // namespace defcon
+
+#endif  // DEFCON_SRC_MARKET_ZIPF_H_

@@ -1,0 +1,216 @@
+#include "src/trading/broker_unit.h"
+
+#include "src/base/logging.h"
+#include "src/trading/event_names.h"
+
+namespace defcon {
+namespace {
+
+// Reads the single part `name` as a map, or null.
+std::shared_ptr<FMap> ReadMapPart(UnitContext& ctx, EventHandle event, const char* name) {
+  auto views = ctx.ReadPart(event, name);
+  if (!views.ok() || views->empty() || views->front().data.kind() != Value::Kind::kMap) {
+    return nullptr;
+  }
+  return views->front().data.map();
+}
+
+std::string MapString(const FMap& map, const char* key) {
+  const Value* v = map.Find(key);
+  return v != nullptr && v->kind() == Value::Kind::kString ? v->string_value() : std::string();
+}
+
+int64_t MapInt(const FMap& map, const char* key) {
+  const Value* v = map.Find(key);
+  return v != nullptr && v->kind() == Value::Kind::kInt ? v->int_value() : 0;
+}
+
+}  // namespace
+
+void BrokerUnit::OnStart(UnitContext& ctx) {
+  // Operate inside the {b} compartment but declassify outputs (b+, b-).
+  (void)ctx.ChangeInOutLabel(LabelComponent::kSecrecy, LabelOp::kAdd, b_);
+  (void)ctx.ChangeOutLabel(LabelComponent::kSecrecy, LabelOp::kRemove, b_);
+
+  // The managed identity subscription must be registered before the plain
+  // order subscription: per-event delivery follows subscription order, and
+  // the identity instance has to see the order (and subscribe to its trade)
+  // before the book can match it.
+  const Tag b = b_;
+  auto managed = ctx.SubscribeManaged(
+      [b] { return std::make_unique<BrokerIdentityUnit>(b); },
+      Filter::And(Filter::Eq(kPartType, Value::OfString(kTypeOrder)),
+                  Filter::Exists(kPartName)));
+  if (!managed.ok()) {
+    DEFCON_LOG(kError) << "broker: managed subscription failed";
+  }
+  auto order_sub = ctx.Subscribe(Filter::Eq(kPartType, Value::OfString(kTypeOrder)));
+  if (order_sub.ok()) {
+    order_sub_ = order_sub.value();
+  }
+  auto audit_sub = ctx.Subscribe(Filter::Eq(kPartType, Value::OfString(kTypeAudit)));
+  if (audit_sub.ok()) {
+    audit_sub_ = audit_sub.value();
+  }
+}
+
+void BrokerUnit::OnEvent(UnitContext& ctx, EventHandle event, SubscriptionId sub) {
+  if (sub == order_sub_) {
+    OnOrder(ctx, event);
+  } else if (sub == audit_sub_) {
+    OnAudit(ctx, event);
+  }
+}
+
+void BrokerUnit::OnOrder(UnitContext& ctx, EventHandle event) {
+  // Reading the details part also bestows tr+ / tr+auth (§3.1.5).
+  auto details = ReadMapPart(ctx, event, kPartDetails);
+  if (details == nullptr) {
+    return;
+  }
+  const std::string order_id = MapString(*details, kKeyOrderId);
+  const std::string symbol = MapString(*details, kKeySymbol);
+  const std::string side = MapString(*details, kKeySide);
+  const int64_t price = MapInt(*details, kKeyPrice);
+  const int64_t qty = MapInt(*details, kKeyQty);
+  const Value* tag_value = details->Find(kKeyTag);
+  if (order_id.empty() || symbol.empty() || price <= 0 || qty <= 0) {
+    return;
+  }
+  ++orders_received_;
+  if (tag_value != nullptr && tag_value->kind() == Value::Kind::kTag) {
+    order_tag_[order_id] = tag_value->tag_value();
+  }
+
+  Order order;
+  order.order_id = next_book_id_++;
+  book_id_to_order_id_[order.order_id] = order_id;
+  order.symbol = 0;  // book instances are already per-symbol
+  order.side = side == "buy" ? Side::kBuy : Side::kSell;
+  order.price_cents = price;
+  order.quantity = qty;
+  order.submit_ns = ctx.NowNs();
+
+  const int64_t origin_ns = ctx.EventOrigin(event).value_or(0);
+  auto fills = books_[symbol].Submit(order);
+  for (Fill& fill : fills) {
+    PublishTrade(ctx, symbol, fill);
+    if (probe_ != nullptr && origin_ns > 0) {
+      probe_(ctx.NowNs() - origin_ns);
+    }
+  }
+}
+
+void BrokerUnit::PublishTrade(UnitContext& ctx, const std::string& symbol, const Fill& fill) {
+  auto event = ctx.CreateEvent();
+  if (!event.ok()) {
+    return;
+  }
+  const EventHandle e = event.value();
+  const Label public_label;  // Sout is {} — the b taint was declassified
+
+  const std::string buy_order = book_id_to_order_id_[fill.buy_order_id];
+  const std::string sell_order = book_id_to_order_id_[fill.sell_order_id];
+
+  auto fill_map = FMap::New();
+  (void)fill_map->Set(kKeySymbol, Value::OfString(symbol));
+  (void)fill_map->Set(kKeyPrice, Value::OfInt(fill.price_cents));
+  (void)fill_map->Set(kKeyQty, Value::OfInt(fill.quantity));
+
+  bool ok = ctx.AddPart(e, public_label, kPartType, Value::OfString(kTypeTrade)).ok() &&
+            ctx.AddPart(e, public_label, kPartFill, Value::OfMap(fill_map)).ok() &&
+            ctx.AddPart(e, public_label, kPartBuyOrder, Value::OfString(buy_order)).ok() &&
+            ctx.AddPart(e, public_label, kPartSellOrder, Value::OfString(sell_order)).ok();
+  if (ok && ctx.Publish(e).ok()) {
+    ++trades_published_;
+  }
+}
+
+void BrokerUnit::OnAudit(UnitContext& ctx, EventHandle event) {
+  auto views = ctx.ReadPart(event, kPartOrderId);
+  if (!views.ok() || views->empty() || views->front().data.kind() != Value::Kind::kString) {
+    return;
+  }
+  const std::string order_id = views->front().data.string_value();
+  auto it = order_tag_.find(order_id);
+  if (it == order_tag_.end()) {
+    return;
+  }
+  const Tag tr = it->second;
+  // Step 7: delegate tr+ to the Regulator through a privilege-carrying event.
+  // Possible only because the order's details part carried tr+auth.
+  auto delegation = ctx.CreateEvent();
+  if (!delegation.ok()) {
+    return;
+  }
+  const EventHandle e = delegation.value();
+  const Label regulator_label(/*s=*/{r_}, /*i=*/{});
+  auto payload = FMap::New();
+  (void)payload->Set(kKeyOrderId, Value::OfString(order_id));
+  (void)payload->Set(kKeyTag, Value::OfTag(tr));
+  bool ok = ctx.AddPart(e, regulator_label, kPartType, Value::OfString(kTypeDelegation)).ok() &&
+            ctx.AddPart(e, regulator_label, kPartDelegation, Value::OfMap(payload)).ok() &&
+            ctx.AttachPrivilegeToPart(e, kPartDelegation, regulator_label, tr, Privilege::kPlus)
+                .ok();
+  if (ok && ctx.Publish(e).ok()) {
+    ++audits_answered_;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BrokerIdentityUnit
+// ---------------------------------------------------------------------------
+
+void BrokerIdentityUnit::OnStart(UnitContext& ctx) {
+  // The instance inherits the Broker's privileges; declassify b so the
+  // identity parts it adds are protected by {tr} alone.
+  (void)ctx.ChangeOutLabel(LabelComponent::kSecrecy, LabelOp::kRemove, b_);
+}
+
+void BrokerIdentityUnit::OnEvent(UnitContext& ctx, EventHandle event, SubscriptionId sub) {
+  if (trade_sub_ != 0 && sub == trade_sub_) {
+    OnTrade(ctx, event);
+  } else {
+    OnOrder(ctx, event);
+  }
+}
+
+void BrokerIdentityUnit::OnOrder(UnitContext& ctx, EventHandle event) {
+  auto identity = ReadMapPart(ctx, event, kPartName);
+  auto details = ReadMapPart(ctx, event, kPartDetails);
+  if (identity == nullptr || details == nullptr || !order_id_.empty()) {
+    return;
+  }
+  order_id_ = MapString(*details, kKeyOrderId);
+  trader_name_ = MapString(*identity, kKeyTrader);
+  is_buy_ = MapString(*details, kKeySide) == "buy";
+  remaining_qty_ = MapInt(*details, kKeyQty);
+  if (order_id_.empty() || trader_name_.empty()) {
+    return;
+  }
+  auto trade_sub = ctx.Subscribe(
+      Filter::Eq(is_buy_ ? kPartBuyOrder : kPartSellOrder, Value::OfString(order_id_)));
+  if (trade_sub.ok()) {
+    trade_sub_ = trade_sub.value();
+  }
+}
+
+void BrokerIdentityUnit::OnTrade(UnitContext& ctx, EventHandle event) {
+  auto fill = ReadMapPart(ctx, event, kPartFill);
+  if (fill == nullptr) {
+    return;
+  }
+  auto payload = FMap::New();
+  (void)payload->Set(kKeyTrader, Value::OfString(trader_name_));
+  (void)payload->Set(kKeyOrderId, Value::OfString(order_id_));
+  // Requested public; stamped with this instance's output label {tr}: only
+  // the owning trader (and tr+ holders) can read it.
+  (void)ctx.AddPart(event, Label(), is_buy_ ? kPartBuyer : kPartSeller, Value::OfMap(payload));
+  remaining_qty_ -= MapInt(*fill, kKeyQty);
+  if (remaining_qty_ <= 0 && trade_sub_ != 0) {
+    (void)ctx.Unsubscribe(trade_sub_);
+    trade_sub_ = 0;
+  }
+}
+
+}  // namespace defcon

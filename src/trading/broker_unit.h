@@ -1,0 +1,89 @@
+// Local Broker unit (§6.1, Fig. 4 steps 5-7): dark-pool matching.
+//
+// The main Broker runs at Sin = {b}, Sout = {} (it holds b+ and b-): it sees
+// order price/size details, matches them in an order book and publishes
+// declassified public trade events. It never sees trader identities — those
+// live in {b, tr}-protected parts that only its *managed* identity instances
+// read, each instance confined to one order's {b, tr} compartment. Identity
+// instances later augment trade events with {tr}-protected buyer/seller
+// parts on the main path (partial event processing, §3.1.6).
+//
+// The Broker also answers the Regulator's audit requests by delegating tr+
+// through a privilege-carrying delegation event (step 7) — possible because
+// the order's details part carried tr+auth.
+#ifndef DEFCON_SRC_TRADING_BROKER_UNIT_H_
+#define DEFCON_SRC_TRADING_BROKER_UNIT_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "src/core/unit.h"
+#include "src/market/order_book.h"
+#include "src/market/symbols.h"
+
+namespace defcon {
+
+// Trusted-harness instrumentation: called on every trade the broker produces
+// with the latency from the originating tick (the paper's Fig. 6 metric).
+using TradeProbe = std::function<void(int64_t latency_ns)>;
+
+class BrokerUnit : public Unit {
+ public:
+  BrokerUnit(Tag broker_tag, Tag regulator_tag, TradeProbe probe = nullptr)
+      : b_(broker_tag), r_(regulator_tag), probe_(std::move(probe)) {}
+
+  void OnStart(UnitContext& ctx) override;
+  void OnEvent(UnitContext& ctx, EventHandle event, SubscriptionId sub) override;
+
+  uint64_t orders_received() const { return orders_received_; }
+  uint64_t trades_published() const { return trades_published_; }
+  uint64_t audits_answered() const { return audits_answered_; }
+
+ private:
+  void OnOrder(UnitContext& ctx, EventHandle event);
+  void OnAudit(UnitContext& ctx, EventHandle event);
+  void PublishTrade(UnitContext& ctx, const std::string& symbol, const Fill& fill);
+
+  const Tag b_;
+  const Tag r_;
+  TradeProbe probe_;
+
+  SubscriptionId order_sub_ = 0;
+  SubscriptionId audit_sub_ = 0;
+
+  std::unordered_map<std::string, OrderBook> books_;  // per symbol
+  uint64_t next_book_id_ = 1;
+  std::unordered_map<uint64_t, std::string> book_id_to_order_id_;
+  std::unordered_map<std::string, Tag> order_tag_;  // order id -> tr
+
+  uint64_t orders_received_ = 0;
+  uint64_t trades_published_ = 0;
+  uint64_t audits_answered_ = 0;
+};
+
+// Managed identity instance: one per {b, tr} compartment (one per order).
+// Learns the order's trader identity, then waits for the matching trade and
+// adds the protected buyer/seller part to it.
+class BrokerIdentityUnit : public Unit {
+ public:
+  explicit BrokerIdentityUnit(Tag broker_tag) : b_(broker_tag) {}
+
+  void OnStart(UnitContext& ctx) override;
+  void OnEvent(UnitContext& ctx, EventHandle event, SubscriptionId sub) override;
+
+ private:
+  void OnOrder(UnitContext& ctx, EventHandle event);
+  void OnTrade(UnitContext& ctx, EventHandle event);
+
+  const Tag b_;
+  std::string order_id_;
+  std::string trader_name_;
+  bool is_buy_ = false;
+  int64_t remaining_qty_ = 0;
+  SubscriptionId trade_sub_ = 0;
+};
+
+}  // namespace defcon
+
+#endif  // DEFCON_SRC_TRADING_BROKER_UNIT_H_

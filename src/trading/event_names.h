@@ -1,0 +1,58 @@
+// Part-name and type constants of the trading platform's event vocabulary.
+//
+// Event shapes (see Fig. 4 of the paper and DESIGN.md):
+//   tick:       type='tick', symbol, price            (integrity {s})
+//   match:      type='match', inbox, buy, sell, price_buy, price_sell, zscore
+//               (secrecy {t_i} via the monitor's contamination)
+//   order:      type='order' {b}; details (FMap, carries tr+ / tr+auth) {b};
+//               name (FMap with trader identity) {b, tr}
+//   trade:      type='trade', fill (FMap), buy_order, sell_order  (public);
+//               buyer/seller identity parts {tr} added on the main path
+//   audit:      type='audit' {b}, order id
+//   delegation: type='delegation' {r}, carries tr+
+//   warning:    type='warning' {tr}, quota message
+#ifndef DEFCON_SRC_TRADING_EVENT_NAMES_H_
+#define DEFCON_SRC_TRADING_EVENT_NAMES_H_
+
+namespace defcon {
+
+inline constexpr char kPartType[] = "type";
+inline constexpr char kPartSymbol[] = "symbol";
+inline constexpr char kPartPrice[] = "price";
+inline constexpr char kPartInbox[] = "inbox";
+inline constexpr char kPartBuy[] = "buy";
+inline constexpr char kPartSell[] = "sell";
+inline constexpr char kPartPriceBuy[] = "price_buy";
+inline constexpr char kPartPriceSell[] = "price_sell";
+inline constexpr char kPartZscore[] = "zscore";
+inline constexpr char kPartDetails[] = "details";
+inline constexpr char kPartName[] = "name";
+inline constexpr char kPartFill[] = "fill";
+inline constexpr char kPartBuyOrder[] = "buy_order";
+inline constexpr char kPartSellOrder[] = "sell_order";
+inline constexpr char kPartBuyer[] = "buyer";
+inline constexpr char kPartSeller[] = "seller";
+inline constexpr char kPartOrderId[] = "order_id";
+inline constexpr char kPartDelegation[] = "delegation";
+inline constexpr char kPartWarning[] = "warning";
+
+inline constexpr char kTypeTick[] = "tick";
+inline constexpr char kTypeMatch[] = "match";
+inline constexpr char kTypeOrder[] = "order";
+inline constexpr char kTypeTrade[] = "trade";
+inline constexpr char kTypeAudit[] = "audit";
+inline constexpr char kTypeDelegation[] = "delegation";
+inline constexpr char kTypeWarning[] = "warning";
+
+// Keys inside the `details` / `fill` / `name` FMap payloads.
+inline constexpr char kKeySide[] = "side";
+inline constexpr char kKeySymbol[] = "symbol";
+inline constexpr char kKeyPrice[] = "price";
+inline constexpr char kKeyQty[] = "qty";
+inline constexpr char kKeyOrderId[] = "order_id";
+inline constexpr char kKeyTag[] = "tag";
+inline constexpr char kKeyTrader[] = "trader";
+
+}  // namespace defcon
+
+#endif  // DEFCON_SRC_TRADING_EVENT_NAMES_H_

@@ -1,0 +1,73 @@
+#include "src/trading/pair_monitor_unit.h"
+
+#include "src/base/logging.h"
+#include "src/trading/event_names.h"
+
+namespace defcon {
+
+void PairMonitorUnit::OnStart(UnitContext& ctx) {
+  // One subscription per leg keeps each indexable by its symbol equality
+  // (a single `a || b` filter would fall into the unindexed residual set).
+  auto subscribe_leg = [&](const std::string& symbol) {
+    Filter filter = Filter::And(Filter::Eq(kPartType, Value::OfString(kTypeTick)),
+                                Filter::Eq(kPartSymbol, Value::OfString(symbol)));
+    return ctx.Subscribe(filter);
+  };
+  auto first = subscribe_leg(first_name_);
+  auto second = subscribe_leg(second_name_);
+  if (!first.ok() || !second.ok()) {
+    DEFCON_LOG(kError) << "pair monitor failed to subscribe";
+    return;
+  }
+  sub_first_ = first.value();
+  sub_second_ = second.value();
+}
+
+void PairMonitorUnit::OnEvent(UnitContext& ctx, EventHandle event, SubscriptionId sub) {
+  auto price_parts = ctx.ReadPart(event, kPartPrice);
+  if (!price_parts.ok() || price_parts->empty() ||
+      price_parts->front().data.kind() != Value::Kind::kInt) {
+    return;
+  }
+  const int64_t price_cents = price_parts->front().data.int_value();
+  const SymbolId symbol = sub == sub_first_ ? tracker_.pair().first : tracker_.pair().second;
+  if (sub == sub_first_) {
+    last_price_first_ = price_cents;
+  } else {
+    last_price_second_ = price_cents;
+  }
+  auto signal = tracker_.OnTick(symbol, static_cast<double>(price_cents) / 100.0);
+  if (signal.has_value()) {
+    EmitMatch(ctx, *signal);
+  }
+}
+
+void PairMonitorUnit::EmitMatch(UnitContext& ctx, const PairsSignal& signal) {
+  auto event = ctx.CreateEvent();
+  if (!event.ok()) {
+    return;
+  }
+  const int64_t price_of_buy =
+      signal.buy == tracker_.pair().first ? last_price_first_ : last_price_second_;
+  const int64_t price_of_sell =
+      signal.sell == tracker_.pair().first ? last_price_first_ : last_price_second_;
+  // Parts are requested public; the engine stamps them with this unit's
+  // output label — which carries the owning trader's tag by instantiation —
+  // so the match is readable by that trader alone (Fig. 4 step 3).
+  const Label public_label;
+  const std::string& buy_name = signal.buy == tracker_.pair().first ? first_name_ : second_name_;
+  const std::string& sell_name = signal.sell == tracker_.pair().first ? first_name_ : second_name_;
+  EventHandle e = event.value();
+  bool ok = ctx.AddPart(e, public_label, kPartType, Value::OfString(kTypeMatch)).ok() &&
+            ctx.AddPart(e, public_label, kPartInbox, Value::OfString(inbox_token_)).ok() &&
+            ctx.AddPart(e, public_label, kPartBuy, Value::OfString(buy_name)).ok() &&
+            ctx.AddPart(e, public_label, kPartSell, Value::OfString(sell_name)).ok() &&
+            ctx.AddPart(e, public_label, kPartPriceBuy, Value::OfInt(price_of_buy)).ok() &&
+            ctx.AddPart(e, public_label, kPartPriceSell, Value::OfInt(price_of_sell)).ok() &&
+            ctx.AddPart(e, public_label, kPartZscore, Value::OfDouble(signal.zscore)).ok();
+  if (ok && ctx.Publish(e).ok()) {
+    ++signals_emitted_;
+  }
+}
+
+}  // namespace defcon

@@ -1,0 +1,57 @@
+// Pair Monitor unit (§6.1, Fig. 4 steps 1-3).
+//
+// Provides pairs trading as a service for one trader. The owning trader
+// instantiates its monitor via instantiateUnit at label
+// (S = {t_trader}, I = {s}), so:
+//   * the monitor can only perceive genuine exchange ticks (read integrity s,
+//     step 2) — a fake tick published by another unit lacks s and is
+//     invisible;
+//   * everything the monitor publishes is confined to its trader by the
+//     trader's confidentiality tag (step 3) — the monitor cannot leak the
+//     trader's pair selection or signals, even if its code were buggy.
+//
+// The pair to monitor arrives through the constructor: with strict Biba
+// reads the monitor could not receive a low-integrity configuration event
+// (see DESIGN.md "Model clarifications"); instantiation carries it instead.
+#ifndef DEFCON_SRC_TRADING_PAIR_MONITOR_UNIT_H_
+#define DEFCON_SRC_TRADING_PAIR_MONITOR_UNIT_H_
+
+#include <string>
+
+#include "src/core/unit.h"
+#include "src/market/pairs_stat.h"
+#include "src/market/symbols.h"
+
+namespace defcon {
+
+class PairMonitorUnit : public Unit {
+ public:
+  PairMonitorUnit(SymbolPair pair, std::string first_name, std::string second_name,
+                  std::string inbox_token, const PairsConfig& config)
+      : tracker_(pair, config),
+        first_name_(std::move(first_name)),
+        second_name_(std::move(second_name)),
+        inbox_token_(std::move(inbox_token)) {}
+
+  void OnStart(UnitContext& ctx) override;
+  void OnEvent(UnitContext& ctx, EventHandle event, SubscriptionId sub) override;
+
+  uint64_t signals_emitted() const { return signals_emitted_; }
+
+ private:
+  void EmitMatch(UnitContext& ctx, const PairsSignal& signal);
+
+  PairsTracker tracker_;
+  std::string first_name_;
+  std::string second_name_;
+  std::string inbox_token_;
+  SubscriptionId sub_first_ = 0;
+  SubscriptionId sub_second_ = 0;
+  int64_t last_price_first_ = 0;
+  int64_t last_price_second_ = 0;
+  uint64_t signals_emitted_ = 0;
+};
+
+}  // namespace defcon
+
+#endif  // DEFCON_SRC_TRADING_PAIR_MONITOR_UNIT_H_

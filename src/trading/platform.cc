@@ -1,0 +1,77 @@
+#include "src/trading/platform.h"
+
+namespace defcon {
+
+TradingPlatform::TradingPlatform(Engine* engine, const PlatformConfig& config)
+    : engine_(engine),
+      config_(config),
+      symbols_(config.num_symbols & ~size_t{1}, config.seed ^ 0x5f5f5f5fULL) {}
+
+void TradingPlatform::Assemble() {
+  s_ = engine_->CreateTag("i-exchange");
+  b_ = engine_->CreateTag("s-broker");
+  r_ = engine_->CreateTag("s-regulator");
+  engine_->tag_store().set_record_names(config_.trader.record_tag_names);
+
+  // Stock Exchange: owns the endorsement right for s.
+  {
+    PrivilegeSet privileges;
+    privileges.Grant(s_, Privilege::kPlus);
+    auto exchange = std::make_unique<StockExchangeUnit>(s_, &symbols_);
+    exchange_ = exchange.get();
+    exchange_id_ = engine_->AddUnit("stock-exchange", std::move(exchange), Label(), privileges);
+  }
+
+  // Local Broker: b+ and b- (reads orders, declassifies trades).
+  {
+    PrivilegeSet privileges;
+    privileges.Grant(b_, Privilege::kPlus);
+    privileges.Grant(b_, Privilege::kMinus);
+    TradeProbe probe = [this](int64_t latency_ns) {
+      {
+        std::lock_guard<std::mutex> lock(latency_mutex_);
+        trade_latency_.RecordNs(latency_ns);
+      }
+      trades_completed_.fetch_add(1, std::memory_order_relaxed);
+    };
+    auto broker = std::make_unique<BrokerUnit>(b_, r_, std::move(probe));
+    broker_ = broker.get();
+    broker_id_ = engine_->AddUnit("broker", std::move(broker), Label(), privileges);
+  }
+
+  // Regulator: r+/r- (its own compartment), s+ (republishing as ticks).
+  if (config_.enable_regulator) {
+    PrivilegeSet privileges;
+    privileges.Grant(r_, Privilege::kPlus);
+    privileges.Grant(r_, Privilege::kMinus);
+    privileges.Grant(s_, Privilege::kPlus);
+    auto regulator = std::make_unique<RegulatorUnit>(r_, s_, b_, config_.regulator);
+    regulator_ = regulator.get();
+    regulator_id_ = engine_->AddUnit("regulator", std::move(regulator), Label(), privileges);
+  }
+
+  // Traders: Zipf-assigned pairs; odd-indexed traders are contrarian so
+  // dark-pool flow crosses.
+  const auto pair_universe = MakePairUniverse(symbols_.size());
+  ZipfSampler zipf(pair_universe.size(), config_.zipf_exponent);
+  Rng rng(config_.seed ^ 0x9e3779b9ULL);
+  trader_ids_.reserve(config_.num_traders);
+  for (size_t i = 0; i < config_.num_traders; ++i) {
+    const SymbolPair pair = pair_universe[zipf.Sample(&rng)];
+    TraderOptions options = config_.trader;
+    options.contrarian = (i % 2) == 1;
+    auto trader = std::make_unique<TraderUnit>(i, pair, symbols_.Name(pair.first),
+                                               symbols_.Name(pair.second), s_, b_, config_.pairs,
+                                               options);
+    trader_ids_.push_back(engine_->AddUnit("trader-" + std::to_string(i), std::move(trader)));
+  }
+}
+
+void TradingPlatform::InjectTick(const Tick& tick) {
+  StockExchangeUnit* exchange = exchange_;
+  const Tick copy = tick;
+  engine_->InjectTurn(exchange_id_,
+                      [exchange, copy](UnitContext& ctx) { (void)exchange->PublishTick(ctx, copy); });
+}
+
+}  // namespace defcon

@@ -1,0 +1,98 @@
+// Assembly of the DEFCON trading platform (Fig. 4).
+//
+// TradingPlatform wires the trusted topology into an Engine: it mints the
+// well-known tags (exchange integrity s, broker tag b, regulator tag r),
+// creates the Stock Exchange / Broker / Regulator units with exactly the
+// privileges Fig. 4 assigns them, and creates the Trader units, each of which
+// then builds its own compartment (tag, Pair Monitor, subscriptions) through
+// the unit-facing API. It also provides the trusted tick-replay entry point
+// used by the benchmarks.
+#ifndef DEFCON_SRC_TRADING_PLATFORM_H_
+#define DEFCON_SRC_TRADING_PLATFORM_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/base/histogram.h"
+#include "src/core/engine.h"
+#include "src/market/pairs_stat.h"
+#include "src/market/symbols.h"
+#include "src/market/tick_source.h"
+#include "src/market/zipf.h"
+#include "src/trading/broker_unit.h"
+#include "src/trading/regulator_unit.h"
+#include "src/trading/stock_exchange_unit.h"
+#include "src/trading/trader_unit.h"
+
+namespace defcon {
+
+struct PlatformConfig {
+  size_t num_traders = 200;
+  size_t num_symbols = 200;  // must be even; pairs are symbol (2k, 2k+1)
+  uint64_t seed = 7;
+  double zipf_exponent = 0.9;
+  PairsConfig pairs;
+  TraderOptions trader;
+  RegulatorOptions regulator;
+  bool enable_regulator = true;
+};
+
+class TradingPlatform {
+ public:
+  // The engine must outlive the platform. Call Assemble() then engine.Start().
+  TradingPlatform(Engine* engine, const PlatformConfig& config);
+
+  // Creates tags and units. Idempotent-hostile: call exactly once.
+  void Assemble();
+
+  // Publishes one tick through the Stock Exchange unit (trusted injection).
+  void InjectTick(const Tick& tick);
+
+  // Trade latency samples (ns), recorded by the Broker probe. Thread-safe.
+  const LatencyHistogram& trade_latency() const { return trade_latency_; }
+  void ResetTradeLatency() { trade_latency_.Reset(); }
+  uint64_t trades_completed() const { return trades_completed_.load(std::memory_order_relaxed); }
+
+  const SymbolTable& symbols() const { return symbols_; }
+  UnitId exchange_id() const { return exchange_id_; }
+  UnitId broker_id() const { return broker_id_; }
+  UnitId regulator_id() const { return regulator_id_; }
+  const std::vector<UnitId>& trader_ids() const { return trader_ids_; }
+
+  // Unit objects (owned by the engine). Only read their counters while the
+  // engine is idle — units run on their own actors.
+  const BrokerUnit* broker() const { return broker_; }
+  const RegulatorUnit* regulator() const { return regulator_; }
+
+  Tag tag_s() const { return s_; }
+  Tag tag_b() const { return b_; }
+  Tag tag_r() const { return r_; }
+
+ private:
+  Engine* engine_;
+  PlatformConfig config_;
+  SymbolTable symbols_;
+
+  Tag s_;
+  Tag b_;
+  Tag r_;
+
+  UnitId exchange_id_ = 0;
+  UnitId broker_id_ = 0;
+  UnitId regulator_id_ = 0;
+  std::vector<UnitId> trader_ids_;
+  StockExchangeUnit* exchange_ = nullptr;  // owned by the engine
+  BrokerUnit* broker_ = nullptr;           // owned by the engine
+  RegulatorUnit* regulator_ = nullptr;     // owned by the engine
+
+  // Latency instrumentation, fed from the Broker's probe callback.
+  mutable std::mutex latency_mutex_;
+  LatencyHistogram trade_latency_;
+  std::atomic<uint64_t> trades_completed_{0};
+};
+
+}  // namespace defcon
+
+#endif  // DEFCON_SRC_TRADING_PLATFORM_H_

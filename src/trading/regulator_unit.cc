@@ -1,0 +1,143 @@
+#include "src/trading/regulator_unit.h"
+
+#include "src/base/logging.h"
+#include "src/trading/event_names.h"
+
+namespace defcon {
+
+void RegulatorUnit::OnStart(UnitContext& ctx) {
+  // Receive {r}-protected delegations; keep outputs clean of r (r+, r-).
+  (void)ctx.ChangeInOutLabel(LabelComponent::kSecrecy, LabelOp::kAdd, r_);
+  (void)ctx.ChangeOutLabel(LabelComponent::kSecrecy, LabelOp::kRemove, r_);
+  // Endorse republished ticks with the exchange integrity tag (owns s).
+  (void)ctx.ChangeOutLabel(LabelComponent::kIntegrity, LabelOp::kAdd, s_);
+
+  auto trade_sub = ctx.Subscribe(Filter::Eq(kPartType, Value::OfString(kTypeTrade)));
+  if (trade_sub.ok()) {
+    trade_sub_ = trade_sub.value();
+  }
+  auto delegation_sub = ctx.Subscribe(Filter::Eq(kPartType, Value::OfString(kTypeDelegation)));
+  if (delegation_sub.ok()) {
+    delegation_sub_ = delegation_sub.value();
+  }
+  // Per-side managed quota checks; each instance is confined to {r, tr}.
+  const Tag r = r_;
+  const int64_t quota = options_.quota_qty;
+  (void)ctx.SubscribeManaged(
+      [r, quota] { return std::make_unique<RegulatorQuotaUnit>(r, /*buyer_side=*/true, quota); },
+      Filter::And(Filter::Eq(kPartType, Value::OfString(kTypeTrade)),
+                  Filter::Exists(kPartBuyer)));
+  (void)ctx.SubscribeManaged(
+      [r, quota] { return std::make_unique<RegulatorQuotaUnit>(r, /*buyer_side=*/false, quota); },
+      Filter::And(Filter::Eq(kPartType, Value::OfString(kTypeTrade)),
+                  Filter::Exists(kPartSeller)));
+}
+
+void RegulatorUnit::OnEvent(UnitContext& ctx, EventHandle event, SubscriptionId sub) {
+  if (sub == trade_sub_) {
+    OnTrade(ctx, event);
+  } else if (sub == delegation_sub_) {
+    OnDelegation(ctx, event);
+  }
+}
+
+void RegulatorUnit::OnTrade(UnitContext& ctx, EventHandle event) {
+  ++trades_observed_;
+  auto fill_views = ctx.ReadPart(event, kPartFill);
+  if (!fill_views.ok() || fill_views->empty() ||
+      fill_views->front().data.kind() != Value::Kind::kMap) {
+    return;
+  }
+  const auto& fill = *fill_views->front().data.map();
+  const Value* price = fill.Find(kKeyPrice);
+
+  const Value* sym = fill.Find(kKeySymbol);
+  if (options_.republish_every != 0 && trades_observed_ % options_.republish_every == 0 &&
+      price != nullptr && price->kind() == Value::Kind::kInt && sym != nullptr &&
+      sym->kind() == Value::Kind::kString) {
+    // Step 9: republish the local trade as a valid, s-endorsed stock tick.
+    auto tick = ctx.CreateEvent();
+    if (tick.ok()) {
+      const EventHandle e = tick.value();
+      const Label tick_label(/*s=*/{}, /*i=*/{s_});
+      bool ok = ctx.AddPart(e, tick_label, kPartType, Value::OfString(kTypeTick)).ok() &&
+                ctx.AddPart(e, tick_label, kPartSymbol, *sym).ok() &&
+                ctx.AddPart(e, tick_label, kPartPrice, Value::OfInt(price->int_value())).ok();
+      if (ok && ctx.Publish(e).ok()) {
+        ++ticks_republished_;
+      }
+    }
+  }
+
+  if (options_.audit_every != 0 && trades_observed_ % options_.audit_every == 0) {
+    auto order_views = ctx.ReadPart(event, kPartBuyOrder);
+    if (order_views.ok() && !order_views->empty() &&
+        order_views->front().data.kind() == Value::Kind::kString) {
+      auto audit = ctx.CreateEvent();
+      if (audit.ok()) {
+        const EventHandle e = audit.value();
+        const Label broker_label(/*s=*/{b_}, /*i=*/{});
+        bool ok = ctx.AddPart(e, broker_label, kPartType, Value::OfString(kTypeAudit)).ok() &&
+                  ctx.AddPart(e, broker_label, kPartOrderId, order_views->front().data).ok();
+        if (ok && ctx.Publish(e).ok()) {
+          ++audits_requested_;
+        }
+      }
+    }
+  }
+}
+
+void RegulatorUnit::OnDelegation(UnitContext& ctx, EventHandle event) {
+  // Reading the delegation part bestows tr+ (§3.1.5); the payload carries the
+  // tag reference the privilege applies to.
+  auto views = ctx.ReadPart(event, kPartDelegation);
+  if (views.ok() && !views->empty()) {
+    ++delegations_received_;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RegulatorQuotaUnit
+// ---------------------------------------------------------------------------
+
+void RegulatorQuotaUnit::OnStart(UnitContext& ctx) {
+  // Inherited r- lets the instance keep r out of its outputs: warnings end up
+  // protected by {tr} alone, readable exactly by the offending trader.
+  (void)ctx.ChangeOutLabel(LabelComponent::kSecrecy, LabelOp::kRemove, r_);
+}
+
+void RegulatorQuotaUnit::OnEvent(UnitContext& ctx, EventHandle event, SubscriptionId sub) {
+  auto fill_views = ctx.ReadPart(event, kPartFill);
+  auto identity_views = ctx.ReadPart(event, buyer_side_ ? kPartBuyer : kPartSeller);
+  if (!fill_views.ok() || fill_views->empty() || !identity_views.ok() ||
+      identity_views->empty()) {
+    return;
+  }
+  if (fill_views->front().data.kind() != Value::Kind::kMap ||
+      identity_views->front().data.kind() != Value::Kind::kMap) {
+    return;
+  }
+  const Value* qty = fill_views->front().data.map()->Find(kKeyQty);
+  const Value* trader = identity_views->front().data.map()->Find(kKeyTrader);
+  if (qty == nullptr || trader == nullptr || qty->kind() != Value::Kind::kInt) {
+    return;
+  }
+  if (qty->int_value() <= quota_qty_) {
+    return;
+  }
+  auto warning = ctx.CreateEvent();
+  if (!warning.ok()) {
+    return;
+  }
+  const EventHandle e = warning.value();
+  const Label public_label;  // stamped {tr} by this instance's output label
+  bool ok = ctx.AddPart(e, public_label, kPartType, Value::OfString(kTypeWarning)).ok() &&
+            ctx.AddPart(e, public_label, kPartWarning,
+                        Value::OfString("trading volume exceeded quota"))
+                .ok();
+  if (ok) {
+    (void)ctx.Publish(e);
+  }
+}
+
+}  // namespace defcon

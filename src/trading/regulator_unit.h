@@ -1,0 +1,81 @@
+// Regulator unit (§6.1, Fig. 4 steps 7-9).
+//
+// The Regulator samples local trades on behalf of a regulatory body:
+//   * it re-publishes sampled local trades as valid stock ticks endorsed
+//     with the exchange integrity tag s, which it owns (step 9), closing the
+//     price-discovery loop for the Pair Monitors;
+//   * per-trade quota checks run in managed instances confined to the
+//     {r, tr} compartment of the trade's identity part; an over-quota trade
+//     produces a {tr}-protected warning only the offending trader can read
+//     (step 8);
+//   * for suspicious trades it requests the identity privilege tr+ from the
+//     Broker via an audit event; the Broker answers with a privilege-
+//     carrying delegation event (step 7).
+#ifndef DEFCON_SRC_TRADING_REGULATOR_UNIT_H_
+#define DEFCON_SRC_TRADING_REGULATOR_UNIT_H_
+
+#include <string>
+
+#include "src/core/unit.h"
+
+namespace defcon {
+
+struct RegulatorOptions {
+  // Re-publish every Nth trade as a stock tick (0 disables).
+  uint64_t republish_every = 8;
+  // Audit every Nth trade via the Broker delegation flow (0 disables).
+  uint64_t audit_every = 64;
+  // Per-trade quantity quota checked by the managed quota instances.
+  int64_t quota_qty = 1'000'000;
+};
+
+class RegulatorUnit : public Unit {
+ public:
+  RegulatorUnit(Tag regulator_tag, Tag exchange_integrity, Tag broker_tag,
+                const RegulatorOptions& options)
+      : r_(regulator_tag), s_(exchange_integrity), b_(broker_tag), options_(options) {}
+
+  void OnStart(UnitContext& ctx) override;
+  void OnEvent(UnitContext& ctx, EventHandle event, SubscriptionId sub) override;
+
+  uint64_t trades_observed() const { return trades_observed_; }
+  uint64_t ticks_republished() const { return ticks_republished_; }
+  uint64_t audits_requested() const { return audits_requested_; }
+  uint64_t delegations_received() const { return delegations_received_; }
+
+ private:
+  void OnTrade(UnitContext& ctx, EventHandle event);
+  void OnDelegation(UnitContext& ctx, EventHandle event);
+
+  const Tag r_;
+  const Tag s_;
+  const Tag b_;
+  const RegulatorOptions options_;
+
+  SubscriptionId trade_sub_ = 0;
+  SubscriptionId delegation_sub_ = 0;
+
+  uint64_t trades_observed_ = 0;
+  uint64_t ticks_republished_ = 0;
+  uint64_t audits_requested_ = 0;
+  uint64_t delegations_received_ = 0;
+};
+
+// Managed per-trade quota checker, confined to {r, tr}.
+class RegulatorQuotaUnit : public Unit {
+ public:
+  RegulatorQuotaUnit(Tag regulator_tag, bool buyer_side, int64_t quota_qty)
+      : r_(regulator_tag), buyer_side_(buyer_side), quota_qty_(quota_qty) {}
+
+  void OnStart(UnitContext& ctx) override;
+  void OnEvent(UnitContext& ctx, EventHandle event, SubscriptionId sub) override;
+
+ private:
+  const Tag r_;
+  const bool buyer_side_;
+  const int64_t quota_qty_;
+};
+
+}  // namespace defcon
+
+#endif  // DEFCON_SRC_TRADING_REGULATOR_UNIT_H_

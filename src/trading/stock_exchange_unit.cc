@@ -1,0 +1,30 @@
+#include "src/trading/stock_exchange_unit.h"
+
+#include "src/base/logging.h"
+#include "src/trading/event_names.h"
+
+namespace defcon {
+
+void StockExchangeUnit::OnStart(UnitContext& ctx) {
+  // Endorse all output with the exchange integrity tag (requires s+).
+  const Status status = ctx.ChangeOutLabel(LabelComponent::kIntegrity, LabelOp::kAdd, s_);
+  if (!status.ok()) {
+    DEFCON_LOG(kError) << "exchange could not endorse output with s: " << status.ToString();
+  }
+}
+
+Status StockExchangeUnit::PublishTick(UnitContext& ctx, const Tick& tick) {
+  DEFCON_ASSIGN_OR_RETURN(EventHandle event, ctx.CreateEvent());
+  const Label tick_label(/*s=*/{}, /*i=*/{s_});
+  DEFCON_RETURN_IF_ERROR(
+      ctx.AddPart(event, tick_label, kPartType, Value::OfString(kTypeTick)));
+  DEFCON_RETURN_IF_ERROR(ctx.AddPart(event, tick_label, kPartSymbol,
+                                     Value::OfString(symbols_->Name(tick.symbol))));
+  DEFCON_RETURN_IF_ERROR(
+      ctx.AddPart(event, tick_label, kPartPrice, Value::OfInt(tick.price_cents)));
+  DEFCON_RETURN_IF_ERROR(ctx.Publish(event));
+  ++ticks_published_;
+  return OkStatus();
+}
+
+}  // namespace defcon

@@ -1,0 +1,38 @@
+// Stock Exchange unit (§6.1): the source of tick events, owner of the
+// exchange integrity tag `s`. Every tick it publishes carries integrity {s},
+// which is what lets Pair Monitors — instantiated with read integrity s —
+// accept only genuine exchange data.
+#ifndef DEFCON_SRC_TRADING_STOCK_EXCHANGE_UNIT_H_
+#define DEFCON_SRC_TRADING_STOCK_EXCHANGE_UNIT_H_
+
+#include <string>
+
+#include "src/core/unit.h"
+#include "src/market/symbols.h"
+#include "src/market/tick_source.h"
+
+namespace defcon {
+
+class StockExchangeUnit : public Unit {
+ public:
+  // `s` is the exchange integrity tag; the platform grants this unit s+.
+  StockExchangeUnit(Tag s, const SymbolTable* symbols) : s_(s), symbols_(symbols) {}
+
+  void OnStart(UnitContext& ctx) override;
+  void OnEvent(UnitContext& ctx, EventHandle event, SubscriptionId sub) override {}
+
+  // Publishes one tick. Called from the unit's own turns (the replay harness
+  // injects turns via Engine::InjectTurn). Returns the publish status.
+  Status PublishTick(UnitContext& ctx, const Tick& tick);
+
+  uint64_t ticks_published() const { return ticks_published_; }
+
+ private:
+  Tag s_;
+  const SymbolTable* symbols_;
+  uint64_t ticks_published_ = 0;
+};
+
+}  // namespace defcon
+
+#endif  // DEFCON_SRC_TRADING_STOCK_EXCHANGE_UNIT_H_

@@ -1,0 +1,203 @@
+#include "src/trading/trader_unit.h"
+
+#include "src/base/logging.h"
+#include "src/trading/event_names.h"
+#include "src/trading/pair_monitor_unit.h"
+
+namespace defcon {
+
+void TraderUnit::OnStart(UnitContext& ctx) {
+  name_ = "Trader-" + std::to_string(index_);
+
+  // Mint the trader tag; creation grants t+auth/t-auth, self-delegate t+/t-.
+  auto tag = ctx.CreateTag(options_.record_tag_names ? name_ : std::string());
+  if (!tag.ok()) {
+    DEFCON_LOG(kError) << name_ << ": CreateTag failed";
+    return;
+  }
+  t_ = tag.value();
+  (void)ctx.AcquirePrivilege(t_, Privilege::kPlus);
+  (void)ctx.AcquirePrivilege(t_, Privilege::kMinus);
+  // Receive t-protected events; publish clean (declassify own tag on output).
+  (void)ctx.ChangeInOutLabel(LabelComponent::kSecrecy, LabelOp::kAdd, t_);
+  (void)ctx.ChangeOutLabel(LabelComponent::kSecrecy, LabelOp::kRemove, t_);
+
+  // A routing token lets the engine index this trader's match subscription
+  // exactly; the token appears only in {t}-labelled parts.
+  inbox_token_ = "inbox-" + std::to_string(index_) + "-" + t_.DebugString();
+
+  // Step 1: instantiate the private Pair Monitor at (S={t}, I={s}) — the S
+  // component is inherited from this unit's contamination automatically; the
+  // monitor is delegated t+ (it runs inside the trader's compartment anyway).
+  auto monitor = std::make_unique<PairMonitorUnit>(pair_, first_name_, second_name_, inbox_token_,
+                                                   pairs_config_);
+  auto monitor_id = ctx.InstantiateUnit(name_ + "-monitor", std::move(monitor),
+                                        Label(/*s=*/{}, /*i=*/{s_}),
+                                        {{t_, Privilege::kPlus}});
+  if (!monitor_id.ok()) {
+    DEFCON_LOG(kError) << name_ << ": monitor instantiation failed: "
+                       << monitor_id.status().ToString();
+  }
+
+  auto match_sub = ctx.Subscribe(Filter::And(Filter::Eq(kPartInbox, Value::OfString(inbox_token_)),
+                                             Filter::Eq(kPartType, Value::OfString(kTypeMatch))));
+  if (match_sub.ok()) {
+    match_sub_ = match_sub.value();
+  }
+
+  if (options_.trade_feedback) {
+    // Matches only once this trader's own identity part is visible on the
+    // trade, i.e. after the Broker's identity instance augments the event on
+    // the main path (§3.1.6) — other traders' trades never match.
+    auto trade_sub = ctx.Subscribe(
+        Filter::And(Filter::Eq(kPartType, Value::OfString(kTypeTrade)),
+                    Filter::Or(Filter::Exists(kPartBuyer), Filter::Exists(kPartSeller))));
+    if (trade_sub.ok()) {
+      trade_sub_ = trade_sub.value();
+    }
+    auto warning_sub = ctx.Subscribe(Filter::Eq(kPartType, Value::OfString(kTypeWarning)));
+    if (warning_sub.ok()) {
+      warning_sub_ = warning_sub.value();
+    }
+  }
+}
+
+void TraderUnit::OnEvent(UnitContext& ctx, EventHandle event, SubscriptionId sub) {
+  if (sub == match_sub_) {
+    OnMatch(ctx, event);
+  } else if (sub == trade_sub_) {
+    OnTrade(ctx, event);
+  } else if (sub == warning_sub_) {
+    ++warnings_seen_;
+  }
+}
+
+void TraderUnit::OnMatch(UnitContext& ctx, EventHandle event) {
+  auto read_string = [&](const char* part) -> std::string {
+    auto views = ctx.ReadPart(event, part);
+    if (!views.ok() || views->empty() || views->front().data.kind() != Value::Kind::kString) {
+      return std::string();
+    }
+    return views->front().data.string_value();
+  };
+  auto read_int = [&](const char* part) -> int64_t {
+    auto views = ctx.ReadPart(event, part);
+    if (!views.ok() || views->empty() || views->front().data.kind() != Value::Kind::kInt) {
+      return 0;
+    }
+    return views->front().data.int_value();
+  };
+  std::string buy_symbol = read_string(kPartBuy);
+  std::string sell_symbol = read_string(kPartSell);
+  int64_t price_buy = read_int(kPartPriceBuy);
+  int64_t price_sell = read_int(kPartPriceSell);
+  if (buy_symbol.empty() || sell_symbol.empty() || price_buy <= 0 || price_sell <= 0) {
+    return;
+  }
+  if (options_.contrarian) {
+    std::swap(buy_symbol, sell_symbol);
+    std::swap(price_buy, price_sell);
+  }
+  PlaceOrder(ctx, /*buy=*/true, buy_symbol, price_buy);
+  PlaceOrder(ctx, /*buy=*/false, sell_symbol, price_sell);
+}
+
+void TraderUnit::PlaceOrder(UnitContext& ctx, bool buy, const std::string& symbol,
+                            int64_t price_cents) {
+  const std::string order_id =
+      "o" + std::to_string(index_) + "-" + std::to_string(next_order_seq_++);
+
+  // Fresh per-order tag (Fig. 4 step 4): protects the identity part and lets
+  // the trader recognise its own fill later.
+  auto tr_result = ctx.CreateTag(options_.record_tag_names ? order_id : std::string());
+  if (!tr_result.ok()) {
+    return;
+  }
+  const Tag tr = tr_result.value();
+  (void)ctx.AcquirePrivilege(tr, Privilege::kPlus);
+  (void)ctx.AcquirePrivilege(tr, Privilege::kMinus);
+  if (options_.trade_feedback) {
+    // Read tr-protected identity parts on future trades; keep output clean.
+    (void)ctx.ChangeInOutLabel(LabelComponent::kSecrecy, LabelOp::kAdd, tr);
+    (void)ctx.ChangeOutLabel(LabelComponent::kSecrecy, LabelOp::kRemove, tr);
+    pending_order_tags_.emplace(order_id, tr);
+    pending_order_fifo_.push_back(order_id);
+    if (pending_order_fifo_.size() > options_.max_pending_orders) {
+      ForgetOldestPending(ctx);
+    }
+  }
+
+  auto event = ctx.CreateEvent();
+  if (!event.ok()) {
+    return;
+  }
+  const EventHandle e = event.value();
+  const Label broker_label(/*s=*/{b_}, /*i=*/{});
+  const Label identity_label(/*s=*/{b_, tr}, /*i=*/{});
+
+  auto details = FMap::New();
+  (void)details->Set(kKeySide, Value::OfString(buy ? "buy" : "sell"));
+  (void)details->Set(kKeySymbol, Value::OfString(symbol));
+  (void)details->Set(kKeyPrice, Value::OfInt(price_cents));
+  (void)details->Set(kKeyQty, Value::OfInt(options_.order_qty));
+  (void)details->Set(kKeyOrderId, Value::OfString(order_id));
+  (void)details->Set(kKeyTag, Value::OfTag(tr));
+
+  auto identity = FMap::New();
+  (void)identity->Set(kKeyTrader, Value::OfString(name_));
+  (void)identity->Set(kKeyOrderId, Value::OfString(order_id));
+
+  bool ok = ctx.AddPart(e, broker_label, kPartType, Value::OfString(kTypeOrder)).ok() &&
+            ctx.AddPart(e, broker_label, kPartDetails, Value::OfMap(details)).ok() &&
+            ctx.AddPart(e, identity_label, kPartName, Value::OfMap(identity)).ok();
+  // The details part carries tr+ (read the identity under contamination) and
+  // tr+auth (delegate it to the Regulator on demand, step 7).
+  ok = ok && ctx.AttachPrivilegeToPart(e, kPartDetails, broker_label, tr, Privilege::kPlus).ok() &&
+       ctx.AttachPrivilegeToPart(e, kPartDetails, broker_label, tr, Privilege::kPlusAuth).ok();
+  if (ok && ctx.Publish(e).ok()) {
+    ++orders_placed_;
+  }
+}
+
+void TraderUnit::OnTrade(UnitContext& ctx, EventHandle event) {
+  for (const char* part : {kPartBuyer, kPartSeller}) {
+    auto views = ctx.ReadPart(event, part);
+    if (!views.ok()) {
+      continue;
+    }
+    for (const PartView& view : *views) {
+      if (view.data.kind() != Value::Kind::kMap) {
+        continue;
+      }
+      const Value* trader = view.data.map()->Find(kKeyTrader);
+      const Value* order = view.data.map()->Find(kKeyOrderId);
+      if (trader == nullptr || order == nullptr ||
+          trader->kind() != Value::Kind::kString || trader->string_value() != name_) {
+        continue;
+      }
+      ++fills_seen_;
+      // Fill observed: drop the per-order tag from Sin again.
+      if (order->kind() == Value::Kind::kString) {
+        auto it = pending_order_tags_.find(order->string_value());
+        if (it != pending_order_tags_.end()) {
+          (void)ctx.ChangeInOutLabel(LabelComponent::kSecrecy, LabelOp::kRemove, it->second);
+          pending_order_tags_.erase(it);
+        }
+      }
+    }
+  }
+}
+
+void TraderUnit::ForgetOldestPending(UnitContext& ctx) {
+  while (pending_order_fifo_.size() > options_.max_pending_orders) {
+    const std::string oldest = pending_order_fifo_.front();
+    pending_order_fifo_.pop_front();
+    auto it = pending_order_tags_.find(oldest);
+    if (it != pending_order_tags_.end()) {
+      (void)ctx.ChangeInOutLabel(LabelComponent::kSecrecy, LabelOp::kRemove, it->second);
+      pending_order_tags_.erase(it);
+    }
+  }
+}
+
+}  // namespace defcon

@@ -1,0 +1,99 @@
+// Trader unit (§6.1, Fig. 4 steps 1 and 4).
+//
+// Each trader:
+//   * mints its own confidentiality tag t and runs at Sin = {t}, Sout = {}
+//     (it receives t-protected signals and declassifies nothing but its own
+//     data — it holds t+ and t-);
+//   * instantiates a private Pair Monitor at (S={t}, I={s}) carrying the
+//     monitored pair (step 1);
+//   * turns match signals into buy/sell orders (step 4). An order's
+//     price/details part is protected by the broker tag b; the identity part
+//     by {b, tr} where tr is a fresh per-order tag; the details part carries
+//     tr+ and tr+auth so the broker can learn (and, on demand, delegate to
+//     the regulator) the identity without the trader trusting it not to leak
+//     — DEFC confines whatever reads the identity to the {tr} compartment.
+#ifndef DEFCON_SRC_TRADING_TRADER_UNIT_H_
+#define DEFCON_SRC_TRADING_TRADER_UNIT_H_
+
+#include <deque>
+#include <string>
+#include <unordered_map>
+
+#include "src/core/unit.h"
+#include "src/market/pairs_stat.h"
+#include "src/market/symbols.h"
+
+namespace defcon {
+
+struct TraderOptions {
+  // Subscribe to trade/warning feedback (full Fig. 4 flow). The throughput
+  // benches disable this: the paper measures latency up to trade production
+  // by the Broker.
+  bool trade_feedback = true;
+  // Contrarian traders take the opposite side of the pairs signal, providing
+  // the crossing flow a dark pool needs.
+  bool contrarian = false;
+  int64_t order_qty = 100;
+  // Record tag debug names (off in benches to bound tag-store growth).
+  bool record_tag_names = true;
+  // Cap on per-order tags kept in Sin while awaiting fills.
+  size_t max_pending_orders = 128;
+};
+
+class TraderUnit : public Unit {
+ public:
+  TraderUnit(size_t index, SymbolPair pair, std::string first_name, std::string second_name,
+             Tag exchange_integrity, Tag broker_tag, const PairsConfig& pairs_config,
+             const TraderOptions& options)
+      : index_(index),
+        pair_(pair),
+        first_name_(std::move(first_name)),
+        second_name_(std::move(second_name)),
+        s_(exchange_integrity),
+        b_(broker_tag),
+        pairs_config_(pairs_config),
+        options_(options) {}
+
+  void OnStart(UnitContext& ctx) override;
+  void OnEvent(UnitContext& ctx, EventHandle event, SubscriptionId sub) override;
+
+  uint64_t orders_placed() const { return orders_placed_; }
+  uint64_t fills_seen() const { return fills_seen_; }
+  uint64_t warnings_seen() const { return warnings_seen_; }
+  Tag trader_tag() const { return t_; }
+
+ private:
+  void OnMatch(UnitContext& ctx, EventHandle event);
+  void OnTrade(UnitContext& ctx, EventHandle event);
+  void PlaceOrder(UnitContext& ctx, bool buy, const std::string& symbol, int64_t price_cents);
+  void ForgetOldestPending(UnitContext& ctx);
+
+  const size_t index_;
+  const SymbolPair pair_;
+  const std::string first_name_;
+  const std::string second_name_;
+  const Tag s_;
+  const Tag b_;
+  const PairsConfig pairs_config_;
+  const TraderOptions options_;
+
+  Tag t_;  // the trader's own confidentiality tag
+  std::string name_;
+  std::string inbox_token_;
+  SubscriptionId match_sub_ = 0;
+  SubscriptionId trade_sub_ = 0;
+  SubscriptionId warning_sub_ = 0;
+  uint64_t next_order_seq_ = 1;
+
+  // Outstanding per-order tags kept in Sin until the fill is observed.
+  std::unordered_map<std::string, Tag> pending_order_tags_;
+  std::deque<std::string> pending_order_fifo_;
+
+  uint64_t orders_placed_ = 0;
+  uint64_t fills_seen_ = 0;
+  uint64_t warnings_seen_ = 0;
+};
+
+}  // namespace defcon
+
+#endif  // DEFCON_SRC_TRADING_TRADER_UNIT_H_

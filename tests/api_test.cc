@@ -1,0 +1,292 @@
+// Table-1 API coverage: error paths, lifecycle rules and less-travelled
+// corners of the UnitContext surface.
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+#include "tests/test_util.h"
+
+namespace defcon {
+namespace {
+
+class ApiFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    engine_ = std::make_unique<Engine>(ManualConfig());
+    unit_id_ = engine_->AddUnit("u", std::make_unique<TestUnit>());
+    engine_->Start();
+    engine_->RunUntilIdle();
+  }
+
+  // Runs `fn` inside the unit's context and pumps to completion.
+  void Run(std::function<void(UnitContext&)> fn) {
+    engine_->InjectTurn(unit_id_, std::move(fn));
+    engine_->RunUntilIdle();
+  }
+
+  std::unique_ptr<Engine> engine_;
+  UnitId unit_id_ = 0;
+};
+
+TEST_F(ApiFixture, UnknownHandleIsNotFound) {
+  Run([](UnitContext& ctx) {
+    const EventHandle bogus = 424242;
+    EXPECT_EQ(ctx.ReadPart(bogus, "x").status().code(), StatusCode::kNotFound);
+    EXPECT_EQ(ctx.AddPart(bogus, Label(), "x", Value::OfInt(1)).code(), StatusCode::kNotFound);
+    EXPECT_EQ(ctx.Publish(bogus).code(), StatusCode::kNotFound);
+    EXPECT_EQ(ctx.Release(bogus).code(), StatusCode::kNotFound);
+    EXPECT_EQ(ctx.CloneEvent(bogus).status().code(), StatusCode::kNotFound);
+    EXPECT_EQ(ctx.DelPart(bogus, Label(), "x").code(), StatusCode::kNotFound);
+    EXPECT_EQ(ctx.EventOrigin(bogus).status().code(), StatusCode::kNotFound);
+  });
+}
+
+TEST_F(ApiFixture, ReleaseOnCreatedEventFails) {
+  Run([](UnitContext& ctx) {
+    auto event = ctx.CreateEvent();
+    ASSERT_TRUE(event.ok());
+    EXPECT_EQ(ctx.Release(*event).code(), StatusCode::kFailedPrecondition);
+  });
+}
+
+TEST_F(ApiFixture, SubscribeRejectsEmptyFilter) {
+  Run([](UnitContext& ctx) {
+    EXPECT_EQ(ctx.Subscribe(Filter()).status().code(), StatusCode::kInvalidArgument);
+    EXPECT_EQ(ctx.SubscribeManaged(nullptr, Filter::Exists("x")).status().code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(ctx.SubscribeManaged([] { return std::make_unique<TestUnit>(); }, Filter())
+                  .status()
+                  .code(),
+              StatusCode::kInvalidArgument);
+  });
+}
+
+TEST_F(ApiFixture, AcquirePrivilegeWithoutAuthDenied) {
+  const Tag foreign = engine_->CreateTag("foreign");
+  Run([foreign](UnitContext& ctx) {
+    EXPECT_EQ(ctx.AcquirePrivilege(foreign, Privilege::kPlus).code(),
+              StatusCode::kPermissionDenied);
+  });
+}
+
+TEST_F(ApiFixture, UnsubscribeOnlyOwnSubscriptions) {
+  // Another unit subscribes; this unit must not be able to cancel it.
+  auto* other = new TestUnit([](UnitContext& ctx) {
+    ASSERT_TRUE(ctx.Subscribe(Filter::Exists("x")).ok());
+  });
+  engine_->AddUnit("other", std::unique_ptr<Unit>(other));
+  engine_->RunUntilIdle();
+  Run([](UnitContext& ctx) {
+    // Subscription ids start at 1; the other unit's sub exists.
+    EXPECT_EQ(ctx.Unsubscribe(1).code(), StatusCode::kNotFound);
+    auto own = ctx.Subscribe(Filter::Exists("mine"));
+    ASSERT_TRUE(own.ok());
+    EXPECT_TRUE(ctx.Unsubscribe(*own).ok());
+    EXPECT_EQ(ctx.Unsubscribe(*own).code(), StatusCode::kNotFound);  // once only
+  });
+}
+
+TEST_F(ApiFixture, UnsubscribedFilterNoLongerMatches) {
+  SubscriptionId sub_id = 0;
+  auto* receiver = new TestUnit([&sub_id](UnitContext& ctx) {
+    auto sub = ctx.Subscribe(Filter::Exists("ping"));
+    ASSERT_TRUE(sub.ok());
+    sub_id = *sub;
+  });
+  auto* receiver_ptr = receiver;
+  const UnitId receiver_id = engine_->AddUnit("receiver", std::unique_ptr<Unit>(receiver));
+  engine_->RunUntilIdle();
+
+  Run([](UnitContext& ctx) { ASSERT_TRUE(PublishSimple(ctx, "ignored").ok()); });
+  engine_->InjectTurn(unit_id_, [](UnitContext& ctx) {
+    auto event = ctx.CreateEvent();
+    ASSERT_TRUE(event.ok());
+    ASSERT_TRUE(ctx.AddPart(*event, Label(), "ping", Value::OfInt(1)).ok());
+    ASSERT_TRUE(ctx.Publish(*event).ok());
+  });
+  engine_->RunUntilIdle();
+  EXPECT_EQ(receiver_ptr->delivery_count(), 1u);
+
+  engine_->InjectTurn(receiver_id,
+                      [sub_id](UnitContext& ctx) { ASSERT_TRUE(ctx.Unsubscribe(sub_id).ok()); });
+  engine_->RunUntilIdle();
+  engine_->InjectTurn(unit_id_, [](UnitContext& ctx) {
+    auto event = ctx.CreateEvent();
+    ASSERT_TRUE(event.ok());
+    ASSERT_TRUE(ctx.AddPart(*event, Label(), "ping", Value::OfInt(2)).ok());
+    ASSERT_TRUE(ctx.Publish(*event).ok());
+  });
+  engine_->RunUntilIdle();
+  EXPECT_EQ(receiver_ptr->delivery_count(), 1u);  // unchanged
+}
+
+TEST_F(ApiFixture, CloneWithExtraSecrecyRestrictsReaders) {
+  const Tag wall = engine_->CreateTag("wall");
+  auto* public_reader = new TestUnit(
+      [](UnitContext& ctx) { ASSERT_TRUE(ctx.Subscribe(Filter::Exists("copy")).ok()); });
+  engine_->AddUnit("public", std::unique_ptr<Unit>(public_reader));
+  engine_->RunUntilIdle();
+
+  Run([wall](UnitContext& ctx) {
+    auto original = ctx.CreateEvent();
+    ASSERT_TRUE(original.ok());
+    ASSERT_TRUE(ctx.AddPart(*original, Label(), "copy", Value::OfInt(7)).ok());
+    auto clone = ctx.CloneEvent(*original, TagSet({wall}));
+    ASSERT_TRUE(clone.ok());
+    ASSERT_TRUE(ctx.Publish(*clone).ok());
+  });
+  EXPECT_EQ(public_reader->delivery_count(), 0u);  // every part carries `wall`
+}
+
+TEST_F(ApiFixture, EventOriginInheritsThroughCausalChain) {
+  // source publishes at time T; relay creates a new event during delivery;
+  // the relay's event keeps the source's origin.
+  int64_t relayed_origin = -1;
+  int64_t source_origin = -1;
+  auto* relay = new TestUnit(
+      [](UnitContext& ctx) { ASSERT_TRUE(ctx.Subscribe(Filter::Exists("hop1")).ok()); },
+      [&relayed_origin](UnitContext& ctx, EventHandle e, SubscriptionId) {
+        auto out = ctx.CreateEvent();
+        ASSERT_TRUE(out.ok());
+        relayed_origin = ctx.EventOrigin(*out).value_or(-2);
+        ASSERT_TRUE(ctx.AddPart(*out, Label(), "hop2", Value::OfInt(1)).ok());
+        ASSERT_TRUE(ctx.Publish(*out).ok());
+      });
+  engine_->AddUnit("relay", std::unique_ptr<Unit>(relay));
+  engine_->RunUntilIdle();
+
+  Run([&source_origin](UnitContext& ctx) {
+    auto event = ctx.CreateEvent();
+    ASSERT_TRUE(event.ok());
+    source_origin = ctx.EventOrigin(*event).value_or(-2);
+    ASSERT_TRUE(ctx.AddPart(*event, Label(), "hop1", Value::OfInt(1)).ok());
+    ASSERT_TRUE(ctx.Publish(*event).ok());
+  });
+  EXPECT_GT(source_origin, 0);
+  EXPECT_EQ(relayed_origin, source_origin);
+}
+
+TEST_F(ApiFixture, TransparentLabelStampingOnAttach) {
+  // A unit whose output label carries a tag can attach privileges naming the
+  // part by the *requested* label; the engine stamps transparently.
+  const Tag taint = engine_->CreateTag("taint");
+  const Tag owned = engine_->CreateTag("owned");
+  PrivilegeSet privileges;
+  privileges.GrantAll(owned);
+  privileges.Grant(taint, Privilege::kPlus);
+  const UnitId tainted = engine_->AddUnit("tainted", std::make_unique<TestUnit>(),
+                                          Label({taint}, {}), privileges);
+  engine_->RunUntilIdle();
+  Status attach;
+  engine_->InjectTurn(tainted, [owned, &attach](UnitContext& ctx) {
+    auto event = ctx.CreateEvent();
+    ASSERT_TRUE(event.ok());
+    // Requested public; actually stamped {taint}.
+    ASSERT_TRUE(ctx.AddPart(*event, Label(), "p", Value::OfTag(owned)).ok());
+    // Attach also names the requested (public) label — must still match.
+    attach = ctx.AttachPrivilegeToPart(*event, "p", Label(), owned, Privilege::kPlus);
+  });
+  engine_->RunUntilIdle();
+  EXPECT_TRUE(attach.ok()) << attach.ToString();
+}
+
+TEST_F(ApiFixture, ConflictingVersionsAllReturned) {
+  // Two units add same-named parts; a reader sees both versions (§3.1.6).
+  size_t versions_seen = 0;
+  auto* augmenter = new TestUnit(
+      [](UnitContext& ctx) { ASSERT_TRUE(ctx.Subscribe(Filter::Exists("v")).ok()); },
+      [](UnitContext& ctx, EventHandle e, SubscriptionId) {
+        ASSERT_TRUE(ctx.AddPart(e, Label(), "v", Value::OfInt(2)).ok());
+      });
+  engine_->AddUnit("augmenter", std::unique_ptr<Unit>(augmenter));
+  auto* late_reader = new TestUnit(
+      [](UnitContext& ctx) {
+        ASSERT_TRUE(ctx.Subscribe(Filter::Eq("v", Value::OfInt(2))).ok());
+      },
+      [&versions_seen](UnitContext& ctx, EventHandle e, SubscriptionId) {
+        auto views = ctx.ReadPart(e, "v");
+        ASSERT_TRUE(views.ok());
+        versions_seen = views->size();
+      });
+  engine_->AddUnit("late", std::unique_ptr<Unit>(late_reader));
+  engine_->RunUntilIdle();
+
+  Run([](UnitContext& ctx) {
+    auto event = ctx.CreateEvent();
+    ASSERT_TRUE(event.ok());
+    ASSERT_TRUE(ctx.AddPart(*event, Label(), "v", Value::OfInt(1)).ok());
+    ASSERT_TRUE(ctx.Publish(*event).ok());
+  });
+  EXPECT_EQ(versions_seen, 2u);
+}
+
+TEST_F(ApiFixture, ManagedInstancesEvictedBeyondCap) {
+  EngineConfig config = ManualConfig();
+  config.managed_instance_cap = 4;
+  Engine engine(config);
+  const UnitId owner = engine.AddUnit(
+      "owner", std::make_unique<TestUnit>([](UnitContext& ctx) {
+        ASSERT_TRUE(ctx.SubscribeManaged([] { return std::make_unique<TestUnit>(); },
+                                         Filter::Exists("payload"))
+                        .ok());
+      }));
+  (void)owner;
+  const UnitId sender = engine.AddUnit("sender", std::make_unique<TestUnit>());
+  engine.Start();
+  engine.RunUntilIdle();
+  engine.InjectTurn(sender, [&engine](UnitContext& ctx) {
+    for (int i = 0; i < 10; ++i) {
+      const Tag tag = engine.tag_store().CreateTag("");
+      auto event = ctx.CreateEvent();
+      ASSERT_TRUE(event.ok());
+      ASSERT_TRUE(ctx.AddPart(*event, Label({tag}, {}), "payload", Value::OfInt(i)).ok());
+      ASSERT_TRUE(ctx.Publish(*event).ok());
+    }
+  });
+  engine.RunUntilIdle();
+  EXPECT_EQ(engine.stats().managed_instances_created, 10u);
+  EXPECT_GT(engine.stats().managed_instances_evicted, 0u);
+  EXPECT_LE(engine.ManagedInstanceCount(), 4u);
+}
+
+TEST_F(ApiFixture, IntrospectionReflectsLabelChanges) {
+  const Tag t = engine_->CreateTag("t");
+  PrivilegeSet privileges;
+  privileges.GrantAll(t);
+  const UnitId unit = engine_->AddUnit("labelled", std::make_unique<TestUnit>(), Label(),
+                                       privileges);
+  engine_->RunUntilIdle();
+  engine_->InjectTurn(unit, [t](UnitContext& ctx) {
+    EXPECT_TRUE(ctx.InputLabel().secrecy.empty());
+    ASSERT_TRUE(ctx.ChangeInOutLabel(LabelComponent::kSecrecy, LabelOp::kAdd, t).ok());
+    EXPECT_TRUE(ctx.InputLabel().secrecy.Contains(t));
+    EXPECT_TRUE(ctx.OutputLabel().secrecy.Contains(t));
+    ASSERT_TRUE(ctx.ChangeOutLabel(LabelComponent::kSecrecy, LabelOp::kRemove, t).ok());
+    EXPECT_TRUE(ctx.InputLabel().secrecy.Contains(t));
+    EXPECT_FALSE(ctx.OutputLabel().secrecy.Contains(t));
+    EXPECT_TRUE(ctx.HasPrivilege(t, Privilege::kMinus));
+    EXPECT_GT(ctx.NowNs(), 0);
+    EXPECT_EQ(ctx.unit_name(), "labelled");
+  });
+  engine_->RunUntilIdle();
+}
+
+TEST_F(ApiFixture, NoSecurityModeSkipsFreezing) {
+  Engine engine(ManualConfig(SecurityMode::kNoSecurity));
+  const UnitId unit = engine.AddUnit("u", std::make_unique<TestUnit>());
+  engine.Start();
+  engine.RunUntilIdle();
+  engine.InjectTurn(unit, [](UnitContext& ctx) {
+    auto map = FMap::New();
+    ASSERT_TRUE(map->Set("k", Value::OfInt(1)).ok());
+    auto event = ctx.CreateEvent();
+    ASSERT_TRUE(event.ok());
+    ASSERT_TRUE(ctx.AddPart(*event, Label(), "data", Value::OfMap(map)).ok());
+    // In the insecure baseline the payload stays mutable (that is the point
+    // of comparison: no freeze cost, no safety).
+    EXPECT_TRUE(map->Set("k", Value::OfInt(2)).ok());
+  });
+  engine.RunUntilIdle();
+}
+
+}  // namespace
+}  // namespace defcon

@@ -1,0 +1,222 @@
+// Base-module tests: status/result, RNG, statistics, histograms, tables.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "src/base/flags.h"
+#include "src/base/histogram.h"
+#include "src/base/random.h"
+#include "src/base/result.h"
+#include "src/base/stats.h"
+#include "src/base/status.h"
+#include "src/base/table.h"
+
+namespace defcon {
+namespace {
+
+TEST(Status, OkAndErrors) {
+  EXPECT_TRUE(OkStatus().ok());
+  const Status denied = PermissionDenied("nope");
+  EXPECT_FALSE(denied.ok());
+  EXPECT_EQ(denied.code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(denied.ToString(), "PERMISSION_DENIED: nope");
+  EXPECT_EQ(OkStatus().ToString(), "OK");
+}
+
+Status FailingHelper() { return InvalidArgument("bad"); }
+
+Status UsesReturnIfError() {
+  DEFCON_RETURN_IF_ERROR(FailingHelper());
+  return OkStatus();
+}
+
+TEST(Status, ReturnIfErrorPropagates) {
+  EXPECT_EQ(UsesReturnIfError().code(), StatusCode::kInvalidArgument);
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) {
+    return InvalidArgument("not positive");
+  }
+  return x;
+}
+
+Result<int> DoublePositive(int x) {
+  DEFCON_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v * 2;
+}
+
+TEST(Result, ValueAndErrorPaths) {
+  auto ok = DoublePositive(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  auto err = DoublePositive(-1);
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(err.value_or(7), 7);
+}
+
+TEST(Rng, DeterministicAndWellDistributed) {
+  Rng a(1);
+  Rng b(1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+  Rng rng(2);
+  int buckets[10] = {0};
+  for (int i = 0; i < 100000; ++i) {
+    buckets[rng.NextBelow(10)]++;
+  }
+  for (int count : buckets) {
+    EXPECT_NEAR(count, 10000, 500);
+  }
+}
+
+TEST(Rng, NextInRangeInclusive) {
+  Rng rng(3);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.NextInRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(4);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) {
+    stats.Add(rng.NextGaussian());
+  }
+  EXPECT_NEAR(stats.mean(), 0.0, 0.01);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.01);
+}
+
+TEST(RunningStats, WelfordMatchesClosedForm) {
+  RunningStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.Add(x);
+  }
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 4.0);
+  EXPECT_EQ(stats.count(), 8u);
+}
+
+TEST(EwmaStats, ConvergesToShiftedMean) {
+  EwmaStats stats(0.1);
+  for (int i = 0; i < 500; ++i) {
+    stats.Add(10.0);
+  }
+  EXPECT_NEAR(stats.mean(), 10.0, 1e-6);
+  EXPECT_NEAR(stats.stddev(), 0.0, 1e-6);
+  for (int i = 0; i < 500; ++i) {
+    stats.Add(20.0);
+  }
+  EXPECT_NEAR(stats.mean(), 20.0, 0.01);
+}
+
+TEST(SampleSet, Percentiles) {
+  SampleSet set;
+  for (int i = 1; i <= 100; ++i) {
+    set.Add(i);
+  }
+  EXPECT_DOUBLE_EQ(set.Median(), 50.5);
+  EXPECT_NEAR(set.Percentile(0.7), 70.3, 0.01);
+  EXPECT_DOUBLE_EQ(set.Percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(set.Percentile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(set.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(set.Max(), 100.0);
+  EXPECT_DOUBLE_EQ(set.Mean(), 50.5);
+}
+
+TEST(SampleSet, EmptyIsZero) {
+  SampleSet set;
+  EXPECT_DOUBLE_EQ(set.Percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(set.Mean(), 0.0);
+}
+
+TEST(LatencyHistogram, PercentileWithinBucketError) {
+  LatencyHistogram hist;
+  Rng rng(5);
+  SampleSet exact;
+  for (int i = 0; i < 50000; ++i) {
+    const int64_t ns = 1000 + static_cast<int64_t>(rng.NextBelow(1000000));
+    hist.RecordNs(ns);
+    exact.Add(static_cast<double>(ns));
+  }
+  for (double q : {0.5, 0.7, 0.9, 0.99}) {
+    const double approx = static_cast<double>(hist.PercentileNs(q));
+    const double truth = exact.Percentile(q);
+    EXPECT_NEAR(approx / truth, 1.0, 0.15) << "q=" << q;
+  }
+  EXPECT_NEAR(hist.MeanNs(), exact.Mean(), exact.Mean() * 0.01);
+}
+
+TEST(LatencyHistogram, MergeAddsCounts) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.RecordNs(100);
+  b.RecordNs(1000000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_GE(a.PercentileNs(1.0), 900000);
+}
+
+TEST(LatencyHistogram, HandlesExtremes) {
+  LatencyHistogram hist;
+  hist.RecordNs(0);
+  hist.RecordNs(-5);
+  hist.RecordNs(INT64_MAX);
+  EXPECT_EQ(hist.count(), 3u);
+  EXPECT_GE(hist.PercentileNs(0.0), 1);
+}
+
+TEST(Table, RendersAlignedAndCsv) {
+  Table table({"name", "value"});
+  table.AddRow({"alpha", Table::Int(42)});
+  table.AddRow({"beta", Table::Num(3.14159, 2)});
+  std::ostringstream text;
+  table.RenderText(text);
+  EXPECT_NE(text.str().find("alpha"), std::string::npos);
+  EXPECT_NE(text.str().find("3.14"), std::string::npos);
+  std::ostringstream csv;
+  table.RenderCsv(csv);
+  EXPECT_NE(csv.str().find("alpha,42"), std::string::npos);
+}
+
+TEST(Flags, ParsesTypedFlags) {
+  FlagSet flags;
+  int64_t traders = 0;
+  double rate = 0.0;
+  bool verbose = false;
+  std::string mode;
+  flags.Register("traders", &traders, "");
+  flags.Register("rate", &rate, "");
+  flags.Register("verbose", &verbose, "");
+  flags.Register("mode", &mode, "");
+  const char* argv[] = {"prog", "--traders=200", "--rate", "1.5", "--verbose", "--mode=labels"};
+  ASSERT_TRUE(flags.Parse(6, const_cast<char**>(argv)));
+  EXPECT_EQ(traders, 200);
+  EXPECT_DOUBLE_EQ(rate, 1.5);
+  EXPECT_TRUE(verbose);
+  EXPECT_EQ(mode, "labels");
+}
+
+TEST(Flags, RejectsUnknownAndMalformed) {
+  FlagSet flags;
+  int64_t x = 0;
+  flags.Register("x", &x, "");
+  const char* unknown[] = {"prog", "--nope=1"};
+  EXPECT_FALSE(flags.Parse(2, const_cast<char**>(unknown)));
+  const char* bad[] = {"prog", "--x=abc"};
+  EXPECT_FALSE(flags.Parse(2, const_cast<char**>(bad)));
+}
+
+}  // namespace
+}  // namespace defcon

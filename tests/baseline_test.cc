@@ -1,0 +1,84 @@
+// Baseline (Marketcetera-style) platform tests: multi-process end-to-end.
+#include <gtest/gtest.h>
+
+#include "src/baseline/mkc_platform.h"
+
+namespace defcon {
+namespace {
+
+TEST(MkcPlatform, EndToEndOrdersAndTrades) {
+  MkcConfig config;
+  config.num_agents = 4;
+  config.num_symbols = 8;
+  config.seed = 11;
+  MkcPlatform platform(config);
+  ASSERT_TRUE(platform.Start().ok());
+
+  (void)platform.RunThroughput(20000);
+  platform.Shutdown();
+
+  EXPECT_GT(platform.orders_received(), 0u) << "agents never signalled";
+  EXPECT_GT(platform.trades_matched(), 0u) << "ORS never crossed orders";
+}
+
+TEST(MkcPlatform, LatencyComponentsAreOrdered) {
+  MkcConfig config;
+  config.num_agents = 4;
+  config.num_symbols = 8;
+  config.seed = 11;
+  MkcPlatform platform(config);
+  ASSERT_TRUE(platform.Start().ok());
+
+  platform.RunPaced(8000, /*rate_per_sec=*/20000);
+  // Give in-flight orders a moment to reach the ORS.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  MkcLatencies latencies = platform.TakeLatencies();
+  platform.Shutdown();
+
+  ASSERT_GT(latencies.processing.count(), 0u);
+  const int64_t processing = latencies.processing.PercentileNs(0.7);
+  const int64_t with_ticks = latencies.ticks_processing.PercentileNs(0.7);
+  const int64_t total = latencies.ticks_orders_processing.PercentileNs(0.7);
+  // Components must nest: processing <= +ticks <= +orders (Fig. 9 structure),
+  // with slack for histogram bucket granularity.
+  EXPECT_LE(processing, with_ticks + with_ticks / 4);
+  EXPECT_LE(with_ticks, total + total / 4);
+  // Communication (socket hops) must be visible on top of pure processing.
+  EXPECT_GT(total, processing);
+}
+
+TEST(MkcPlatform, MemoryGrowsWithAgentCount) {
+  MkcConfig small_config;
+  small_config.num_agents = 2;
+  small_config.num_symbols = 8;
+  MkcPlatform small(small_config);
+  ASSERT_TRUE(small.Start().ok());
+  const int64_t small_mem = small.TotalMemoryBytes();
+  small.Shutdown();
+
+  MkcConfig big_config;
+  big_config.num_agents = 10;
+  big_config.num_symbols = 8;
+  MkcPlatform big(big_config);
+  ASSERT_TRUE(big.Start().ok());
+  const int64_t big_mem = big.TotalMemoryBytes();
+  big.Shutdown();
+
+  EXPECT_GT(small_mem, 0);
+  EXPECT_GT(big_mem, small_mem);
+}
+
+TEST(MkcPlatform, ShutdownIsCleanAndIdempotent) {
+  MkcConfig config;
+  config.num_agents = 3;
+  config.num_symbols = 8;
+  MkcPlatform platform(config);
+  ASSERT_TRUE(platform.Start().ok());
+  platform.Shutdown();
+  platform.Shutdown();  // no-op
+  EXPECT_EQ(platform.Start().code(), StatusCode::kOk);  // restartable
+  platform.Shutdown();
+}
+
+}  // namespace
+}  // namespace defcon

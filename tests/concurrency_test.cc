@@ -1,0 +1,214 @@
+// Concurrency substrate tests: thread pool, queues, actor executor.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "src/concurrency/actor_executor.h"
+#include "src/concurrency/mpsc_queue.h"
+#include "src/concurrency/spsc_ring.h"
+#include "src/concurrency/thread_pool.h"
+
+namespace defcon {
+namespace {
+
+TEST(ThreadPool, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(pool.Post([&counter] { counter.fetch_add(1); }));
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPool, RejectsAfterShutdown) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  EXPECT_FALSE(pool.Post([] {}));
+}
+
+TEST(ThreadPool, WaitIdleWaitsForRunningTask) {
+  ThreadPool pool(1);
+  std::atomic<bool> done{false};
+  pool.Post([&done] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    done.store(true);
+  });
+  pool.WaitIdle();
+  EXPECT_TRUE(done.load());
+}
+
+TEST(MpscQueue, FifoOrder) {
+  MpscQueue<int> queue;
+  for (int i = 0; i < 10; ++i) {
+    queue.Push(i);
+  }
+  for (int i = 0; i < 10; ++i) {
+    auto v = queue.TryPop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(queue.TryPop().has_value());
+}
+
+TEST(MpscQueue, ConcurrentProducers) {
+  MpscQueue<int> queue;
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 5000;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        queue.Push(p * kPerProducer + i);
+      }
+    });
+  }
+  for (auto& t : producers) {
+    t.join();
+  }
+  std::set<int> seen;
+  while (auto v = queue.TryPop()) {
+    EXPECT_TRUE(seen.insert(*v).second);
+  }
+  EXPECT_EQ(seen.size(), static_cast<size_t>(kProducers * kPerProducer));
+}
+
+TEST(MpscQueue, DrainAllEmptiesQueue) {
+  MpscQueue<int> queue;
+  queue.Push(1);
+  queue.Push(2);
+  auto items = queue.DrainAll();
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_TRUE(queue.Empty());
+}
+
+TEST(SpscRing, PushPopRoundTrip) {
+  // Capacity rounds up to a power of two minus the sentinel slot, so a ring
+  // built for 8 holds at least 8.
+  SpscRing<int> ring(8);
+  for (int round = 0; round < 3; ++round) {
+    int pushed = 0;
+    while (ring.TryPush(pushed)) {
+      ++pushed;
+    }
+    EXPECT_GE(pushed, 8);
+    EXPECT_EQ(ring.SizeApprox(), static_cast<size_t>(pushed));
+    for (int i = 0; i < pushed; ++i) {
+      auto v = ring.TryPop();
+      ASSERT_TRUE(v.has_value());
+      EXPECT_EQ(*v, i);  // FIFO
+    }
+    EXPECT_FALSE(ring.TryPop().has_value());
+    EXPECT_TRUE(ring.Empty());
+  }
+}
+
+TEST(SpscRing, ConcurrentProducerConsumer) {
+  SpscRing<uint64_t> ring(1024);
+  constexpr uint64_t kCount = 200000;
+  std::thread producer([&ring] {
+    for (uint64_t i = 0; i < kCount;) {
+      if (ring.TryPush(i)) {
+        ++i;
+      }
+    }
+  });
+  uint64_t expected = 0;
+  while (expected < kCount) {
+    auto v = ring.TryPop();
+    if (v.has_value()) {
+      ASSERT_EQ(*v, expected);
+      ++expected;
+    }
+  }
+  producer.join();
+}
+
+TEST(ActorExecutor, ManualModeRunsTurnsInOrder) {
+  ActorExecutor executor(0);
+  auto actor = executor.CreateActor("a");
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    executor.Post(actor, [&order, i] { order.push_back(i); });
+  }
+  EXPECT_EQ(executor.RunUntilIdle(), 5u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ActorExecutor, TurnsPostedDuringTurnsExecute) {
+  ActorExecutor executor(0);
+  auto a = executor.CreateActor("a");
+  auto b = executor.CreateActor("b");
+  int total = 0;
+  executor.Post(a, [&] {
+    ++total;
+    executor.Post(b, [&] {
+      ++total;
+      executor.Post(a, [&] { ++total; });
+    });
+  });
+  executor.RunUntilIdle();
+  EXPECT_EQ(total, 3);
+}
+
+TEST(ActorExecutor, PooledModeSerialisesPerActor) {
+  ActorExecutor executor(4);
+  auto actor = executor.CreateActor("serial");
+  std::atomic<int> concurrent{0};
+  std::atomic<int> max_concurrent{0};
+  std::atomic<int> executed{0};
+  for (int i = 0; i < 2000; ++i) {
+    executor.Post(actor, [&] {
+      const int now = concurrent.fetch_add(1) + 1;
+      int prev = max_concurrent.load();
+      while (now > prev && !max_concurrent.compare_exchange_weak(prev, now)) {
+      }
+      concurrent.fetch_sub(1);
+      executed.fetch_add(1);
+    });
+  }
+  executor.WaitIdle();
+  EXPECT_EQ(executed.load(), 2000);
+  EXPECT_EQ(max_concurrent.load(), 1);  // never two turns of one actor at once
+}
+
+TEST(ActorExecutor, PooledModeParallelAcrossActors) {
+  ActorExecutor executor(4);
+  std::vector<std::shared_ptr<Actor>> actors;
+  for (int i = 0; i < 8; ++i) {
+    actors.push_back(executor.CreateActor("a" + std::to_string(i)));
+  }
+  std::atomic<int> executed{0};
+  for (int round = 0; round < 500; ++round) {
+    for (auto& actor : actors) {
+      executor.Post(actor, [&executed] { executed.fetch_add(1); });
+    }
+  }
+  executor.WaitIdle();
+  EXPECT_EQ(executed.load(), 8 * 500);
+  EXPECT_EQ(executor.turns_executed(), 8u * 500u);
+}
+
+TEST(ActorExecutor, CrossThreadPostsInManualMode) {
+  ActorExecutor executor(0);
+  auto actor = executor.CreateActor("a");
+  std::atomic<int> total{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 100; ++i) {
+        executor.Post(actor, [&total] { total.fetch_add(1); });
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  executor.RunUntilIdle();
+  EXPECT_EQ(total.load(), 400);
+}
+
+}  // namespace
+}  // namespace defcon

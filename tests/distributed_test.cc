@@ -1,0 +1,210 @@
+// Distributed bridge tests (§7 future work): label-preserving event relay
+// between two DEFCON nodes, with the trust boundaries made explicit.
+#include <gtest/gtest.h>
+
+#include "src/distributed/event_bridge.h"
+#include "tests/test_util.h"
+
+namespace defcon {
+namespace {
+
+struct TwoNodes {
+  std::unique_ptr<Engine> source = std::make_unique<Engine>(ManualConfig());
+  std::unique_ptr<Engine> sink = std::make_unique<Engine>(ManualConfig());
+
+  // Pumps both engines until neither has work (relays bounce between them).
+  void Settle() {
+    for (int i = 0; i < 16; ++i) {
+      const size_t did = source->RunUntilIdle() + sink->RunUntilIdle();
+      if (did == 0) {
+        return;
+      }
+    }
+  }
+};
+
+TEST(EventBridge, RelaysPublicEventsAcrossNodes) {
+  TwoNodes nodes;
+  BridgeConfig config;
+  config.filter = Filter::Exists("ticker");
+  EventBridge bridge(nodes.source.get(), nodes.sink.get(), config);
+
+  std::vector<std::string> received;
+  auto* remote = new TestUnit(
+      [](UnitContext& ctx) { ASSERT_TRUE(ctx.Subscribe(Filter::Exists("ticker")).ok()); },
+      [&received](UnitContext& ctx, EventHandle e, SubscriptionId) {
+        auto views = ctx.ReadPart(e, "ticker");
+        ASSERT_TRUE(views.ok());
+        for (const auto& view : *views) {
+          received.push_back(view.data.string_value());
+        }
+      });
+  nodes.sink->AddUnit("remote", std::unique_ptr<Unit>(remote));
+
+  const UnitId publisher = nodes.source->AddUnit("pub", std::make_unique<TestUnit>());
+  nodes.source->Start();
+  nodes.sink->Start();
+  nodes.Settle();
+
+  nodes.source->InjectTurn(publisher, [](UnitContext& ctx) {
+    auto event = ctx.CreateEvent();
+    ASSERT_TRUE(event.ok());
+    ASSERT_TRUE(ctx.AddPart(*event, Label(), "ticker", Value::OfString("VOD.L")).ok());
+    ASSERT_TRUE(ctx.Publish(*event).ok());
+  });
+  nodes.Settle();
+
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0], "VOD.L");
+  EXPECT_EQ(bridge.events_relayed(), 1u);
+  EXPECT_EQ(bridge.parts_relayed(), 1u);
+}
+
+TEST(EventBridge, PublicBridgeCannotExportSecrets) {
+  TwoNodes nodes;
+  const Tag secret = nodes.source->CreateTag("secret");
+  BridgeConfig config;
+  config.filter = Filter::Exists("marker");
+  EventBridge bridge(nodes.source.get(), nodes.sink.get(), config);
+
+  auto* remote = new TestUnit(
+      [](UnitContext& ctx) { ASSERT_TRUE(ctx.Subscribe(Filter::Exists("marker")).ok()); },
+      [](UnitContext& ctx, EventHandle e, SubscriptionId) {
+        auto views = ctx.ReadPart(e, "payload");
+        ASSERT_TRUE(views.ok());
+        EXPECT_TRUE(views->empty());  // the secret never crossed the wire
+      });
+  nodes.sink->AddUnit("remote", std::unique_ptr<Unit>(remote));
+
+  PrivilegeSet owner;
+  owner.GrantAll(secret);
+  const UnitId publisher =
+      nodes.source->AddUnit("pub", std::make_unique<TestUnit>(), Label(), owner);
+  nodes.source->Start();
+  nodes.sink->Start();
+  nodes.Settle();
+  nodes.source->InjectTurn(publisher, [secret](UnitContext& ctx) {
+    auto event = ctx.CreateEvent();
+    ASSERT_TRUE(event.ok());
+    ASSERT_TRUE(ctx.AddPart(*event, Label(), "marker", Value::OfInt(1)).ok());
+    ASSERT_TRUE(ctx.AddPart(*event, Label({secret}, {}), "payload", Value::OfString("x")).ok());
+    ASSERT_TRUE(ctx.Publish(*event).ok());
+  });
+  nodes.Settle();
+
+  // Only the public marker was serialised.
+  EXPECT_EQ(bridge.events_relayed(), 1u);
+  EXPECT_EQ(bridge.parts_relayed(), 1u);
+}
+
+TEST(EventBridge, ClearedBridgePreservesSecrecyLabelsRemotely) {
+  TwoNodes nodes;
+  // One tag value, known on both nodes (tags are global random values).
+  const Tag secret = nodes.source->CreateTag("secret");
+
+  BridgeConfig config;
+  config.filter = Filter::Exists("marker");
+  config.export_clearance = Label({secret}, {});
+  config.export_privileges.Grant(secret, Privilege::kPlus);
+  EventBridge bridge(nodes.source.get(), nodes.sink.get(), config);
+
+  // On the sink: a cleared reader and an uncleared spy.
+  std::vector<std::string> cleared_saw;
+  auto* cleared_reader = new TestUnit(
+      [](UnitContext& ctx) { ASSERT_TRUE(ctx.Subscribe(Filter::Exists("marker")).ok()); },
+      [&cleared_saw](UnitContext& ctx, EventHandle e, SubscriptionId) {
+        auto views = ctx.ReadPart(e, "payload");
+        ASSERT_TRUE(views.ok());
+        for (const auto& view : *views) {
+          cleared_saw.push_back(view.data.string_value());
+        }
+      });
+  PrivilegeSet cleared;
+  cleared.Grant(secret, Privilege::kPlus);
+  nodes.sink->AddUnit("cleared", std::unique_ptr<Unit>(cleared_reader), Label({secret}, {}),
+                      cleared);
+  auto* spy = new TestUnit(
+      [](UnitContext& ctx) { ASSERT_TRUE(ctx.Subscribe(Filter::Exists("marker")).ok()); },
+      [](UnitContext& ctx, EventHandle e, SubscriptionId) {
+        auto views = ctx.ReadPart(e, "payload");
+        ASSERT_TRUE(views.ok());
+        EXPECT_TRUE(views->empty());  // still protected on the remote node
+      });
+  nodes.sink->AddUnit("spy", std::unique_ptr<Unit>(spy));
+
+  PrivilegeSet owner;
+  owner.GrantAll(secret);
+  const UnitId publisher =
+      nodes.source->AddUnit("pub", std::make_unique<TestUnit>(), Label(), owner);
+  nodes.source->Start();
+  nodes.sink->Start();
+  nodes.Settle();
+  nodes.source->InjectTurn(publisher, [secret](UnitContext& ctx) {
+    auto event = ctx.CreateEvent();
+    ASSERT_TRUE(event.ok());
+    ASSERT_TRUE(ctx.AddPart(*event, Label(), "marker", Value::OfInt(1)).ok());
+    ASSERT_TRUE(
+        ctx.AddPart(*event, Label({secret}, {}), "payload", Value::OfString("move the book")).ok());
+    ASSERT_TRUE(ctx.Publish(*event).ok());
+  });
+  nodes.Settle();
+
+  EXPECT_EQ(bridge.parts_relayed(), 2u);  // marker + payload crossed, labelled
+  ASSERT_EQ(cleared_saw.size(), 1u);
+  EXPECT_EQ(cleared_saw[0], "move the book");
+  EXPECT_EQ(spy->delivery_count(), 1u);  // saw the event, never the payload
+}
+
+TEST(EventBridge, ImportIntegrityCappedByGrants) {
+  TwoNodes nodes;
+  const Tag s = nodes.source->CreateTag("i-exchange");
+  const Tag forged = nodes.source->CreateTag("i-forged");
+
+  BridgeConfig config;
+  config.filter = Filter::Exists("tick");
+  // The link is granted relay rights for s only.
+  config.import_integrity = TagSet({s});
+  config.import_privileges.Grant(s, Privilege::kPlus);
+  EventBridge bridge(nodes.source.get(), nodes.sink.get(), config);
+  (void)bridge;
+
+  // Remote Biba reader at integrity {s}: accepts relayed exchange data.
+  auto* s_reader = new TestUnit(
+      [](UnitContext& ctx) { ASSERT_TRUE(ctx.Subscribe(Filter::Exists("tick")).ok()); });
+  nodes.sink->AddUnit("s-reader", std::unique_ptr<Unit>(s_reader), Label({}, {s}),
+                      PrivilegeSet());
+  // Remote reader requiring the *ungranted* tag: must see nothing even if
+  // the wire claims it.
+  auto* forged_reader = new TestUnit(
+      [](UnitContext& ctx) { ASSERT_TRUE(ctx.Subscribe(Filter::Exists("tick")).ok()); });
+  nodes.sink->AddUnit("forged-reader", std::unique_ptr<Unit>(forged_reader), Label({}, {forged}),
+                      PrivilegeSet());
+
+  PrivilegeSet endorser;
+  endorser.Grant(s, Privilege::kPlus);
+  endorser.Grant(forged, Privilege::kPlus);
+  const UnitId publisher =
+      nodes.source->AddUnit("pub", std::make_unique<TestUnit>(), Label(), endorser);
+  nodes.source->Start();
+  nodes.sink->Start();
+  nodes.Settle();
+  nodes.source->InjectTurn(publisher, [s, forged](UnitContext& ctx) {
+    ASSERT_TRUE(ctx.ChangeOutLabel(LabelComponent::kIntegrity, LabelOp::kAdd, s).ok());
+    ASSERT_TRUE(ctx.ChangeOutLabel(LabelComponent::kIntegrity, LabelOp::kAdd, forged).ok());
+    auto event = ctx.CreateEvent();
+    ASSERT_TRUE(event.ok());
+    // Source-side the part legitimately carries BOTH integrity tags.
+    ASSERT_TRUE(ctx.AddPart(*event, Label({}, {s, forged}), "tick", Value::OfInt(1)).ok());
+    ASSERT_TRUE(ctx.Publish(*event).ok());
+  });
+  nodes.Settle();
+
+  // The link could only vouch for s: the s-reader got the event, the reader
+  // requiring `forged` integrity did not (the ungranted tag was stripped at
+  // import — a compromised remote cannot launder integrity through the link).
+  EXPECT_EQ(s_reader->delivery_count(), 1u);
+  EXPECT_EQ(forged_reader->delivery_count(), 0u);
+}
+
+}  // namespace
+}  // namespace defcon

@@ -1,0 +1,788 @@
+// Engine tests: Table 1 API semantics, DEFC enforcement, dispatch pipeline.
+#include "src/core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "src/trading/event_names.h"
+#include "tests/test_util.h"
+
+namespace defcon {
+namespace {
+
+TEST(EngineBasics, PublishDeliversToMatchingSubscriber) {
+  Engine engine(ManualConfig());
+  auto* receiver = new TestUnit([](UnitContext& ctx) {
+    ASSERT_TRUE(ctx.Subscribe(Filter::Eq("type", Value::OfString("ping"))).ok());
+  });
+  engine.AddUnit("receiver", std::unique_ptr<Unit>(receiver));
+  auto* sender = new TestUnit();
+  const UnitId sender_id = engine.AddUnit("sender", std::unique_ptr<Unit>(sender));
+  engine.Start();
+  engine.RunUntilIdle();
+
+  engine.InjectTurn(sender_id, [](UnitContext& ctx) {
+    EXPECT_TRUE(PublishSimple(ctx, "ping").ok());
+    EXPECT_TRUE(PublishSimple(ctx, "other").ok());
+  });
+  engine.RunUntilIdle();
+
+  EXPECT_EQ(receiver->delivery_count(), 1u);
+  EXPECT_EQ(engine.stats().events_published, 2u);
+  EXPECT_EQ(engine.stats().deliveries, 1u);
+}
+
+TEST(EngineBasics, EmptyEventsAreDropped) {
+  Engine engine(ManualConfig());
+  const UnitId unit = engine.AddUnit("u", std::make_unique<TestUnit>());
+  engine.Start();
+  engine.RunUntilIdle();
+  engine.InjectTurn(unit, [](UnitContext& ctx) {
+    auto event = ctx.CreateEvent();
+    ASSERT_TRUE(event.ok());
+    EXPECT_EQ(ctx.Publish(*event).code(), StatusCode::kInvalidArgument);
+  });
+  engine.RunUntilIdle();
+  EXPECT_EQ(engine.stats().events_dropped_empty, 1u);
+}
+
+TEST(EngineBasics, PublishedHandleIsClosed) {
+  Engine engine(ManualConfig());
+  const UnitId unit = engine.AddUnit("u", std::make_unique<TestUnit>());
+  engine.Start();
+  engine.RunUntilIdle();
+  engine.InjectTurn(unit, [](UnitContext& ctx) {
+    auto event = ctx.CreateEvent();
+    ASSERT_TRUE(event.ok());
+    ASSERT_TRUE(ctx.AddPart(*event, Label(), "type", Value::OfString("x")).ok());
+    ASSERT_TRUE(ctx.Publish(*event).ok());
+    // The handle is gone after publish.
+    EXPECT_EQ(ctx.Publish(*event).code(), StatusCode::kNotFound);
+    EXPECT_EQ(ctx.AddPart(*event, Label(), "p", Value::OfInt(1)).code(), StatusCode::kNotFound);
+  });
+  engine.RunUntilIdle();
+}
+
+// --- confidentiality ---------------------------------------------------------
+
+class SecrecyFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    engine_ = std::make_unique<Engine>(ManualConfig());
+    secret_ = engine_->CreateTag("secret");
+  }
+
+  std::unique_ptr<Engine> engine_;
+  Tag secret_;
+};
+
+TEST_F(SecrecyFixture, ProtectedPartInvisibleWithoutClearance) {
+  // Receiver subscribes to 'type'; the secret part must stay invisible.
+  std::vector<std::string> seen;
+  auto* receiver = new TestUnit(
+      [](UnitContext& ctx) { ASSERT_TRUE(ctx.Subscribe(Filter::Exists("type")).ok()); },
+      [&seen](UnitContext& ctx, EventHandle e, SubscriptionId) {
+        auto views = ctx.ReadPart(e, "payload");
+        ASSERT_TRUE(views.ok());
+        for (const auto& view : *views) {
+          seen.push_back(view.data.string_value());
+        }
+      });
+  engine_->AddUnit("receiver", std::unique_ptr<Unit>(receiver));
+
+  PrivilegeSet sender_privileges;
+  sender_privileges.GrantAll(secret_);
+  const UnitId sender =
+      engine_->AddUnit("sender", std::make_unique<TestUnit>(), Label(), sender_privileges);
+  engine_->Start();
+  engine_->RunUntilIdle();
+
+  const Tag secret = secret_;
+  engine_->InjectTurn(sender, [secret](UnitContext& ctx) {
+    auto event = ctx.CreateEvent();
+    ASSERT_TRUE(event.ok());
+    ASSERT_TRUE(ctx.AddPart(*event, Label(), "type", Value::OfString("x")).ok());
+    ASSERT_TRUE(ctx.AddPart(*event, Label({secret}, {}), "payload",
+                            Value::OfString("confidential"))
+                    .ok());
+    ASSERT_TRUE(ctx.Publish(*event).ok());
+  });
+  engine_->RunUntilIdle();
+
+  EXPECT_EQ(receiver->delivery_count(), 1u);  // public part matched
+  EXPECT_TRUE(seen.empty());                  // protected part never readable
+}
+
+TEST_F(SecrecyFixture, ClearedReceiverReadsProtectedPart) {
+  std::vector<std::string> seen;
+  const Tag secret = secret_;
+  PrivilegeSet receiver_privileges;
+  receiver_privileges.Grant(secret_, Privilege::kPlus);
+  auto* receiver = new TestUnit(
+      [secret](UnitContext& ctx) {
+        ASSERT_TRUE(ctx.ChangeInOutLabel(LabelComponent::kSecrecy, LabelOp::kAdd, secret).ok());
+        ASSERT_TRUE(ctx.Subscribe(Filter::Exists("type")).ok());
+      },
+      [&seen](UnitContext& ctx, EventHandle e, SubscriptionId) {
+        auto views = ctx.ReadPart(e, "payload");
+        ASSERT_TRUE(views.ok());
+        for (const auto& view : *views) {
+          seen.push_back(view.data.string_value());
+        }
+      });
+  engine_->AddUnit("receiver", std::unique_ptr<Unit>(receiver), Label(), receiver_privileges);
+
+  PrivilegeSet sender_privileges;
+  sender_privileges.GrantAll(secret_);
+  const UnitId sender =
+      engine_->AddUnit("sender", std::make_unique<TestUnit>(), Label(), sender_privileges);
+  engine_->Start();
+  engine_->RunUntilIdle();
+
+  engine_->InjectTurn(sender, [secret](UnitContext& ctx) {
+    auto event = ctx.CreateEvent();
+    ASSERT_TRUE(event.ok());
+    ASSERT_TRUE(ctx.AddPart(*event, Label(), "type", Value::OfString("x")).ok());
+    ASSERT_TRUE(
+        ctx.AddPart(*event, Label({secret}, {}), "payload", Value::OfString("confidential")).ok());
+    ASSERT_TRUE(ctx.Publish(*event).ok());
+  });
+  engine_->RunUntilIdle();
+
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], "confidential");
+}
+
+TEST_F(SecrecyFixture, RaisingInputLabelRequiresPlusPrivilege) {
+  const Tag secret = secret_;
+  Status observed;
+  const UnitId unit = engine_->AddUnit("u", std::make_unique<TestUnit>());
+  engine_->Start();
+  engine_->RunUntilIdle();
+  engine_->InjectTurn(unit, [secret, &observed](UnitContext& ctx) {
+    observed = ctx.ChangeInOutLabel(LabelComponent::kSecrecy, LabelOp::kAdd, secret);
+  });
+  engine_->RunUntilIdle();
+  EXPECT_EQ(observed.code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(SecrecyFixture, ContaminationStampsOutput) {
+  // A unit contaminated with {secret} cannot produce public parts: the
+  // engine stamps its output label onto everything it adds.
+  const Tag secret = secret_;
+  const UnitId tainted = engine_->AddUnit("tainted", std::make_unique<TestUnit>(),
+                                          Label({secret_}, {}), PrivilegeSet());
+  auto* receiver = new TestUnit(
+      [](UnitContext& ctx) { ASSERT_TRUE(ctx.Subscribe(Filter::Exists("leak")).ok()); });
+  engine_->AddUnit("receiver", std::unique_ptr<Unit>(receiver));
+  engine_->Start();
+  engine_->RunUntilIdle();
+
+  engine_->InjectTurn(tainted, [](UnitContext& ctx) {
+    auto event = ctx.CreateEvent();
+    ASSERT_TRUE(event.ok());
+    // Requested public, but the unit's output label carries the taint.
+    ASSERT_TRUE(ctx.AddPart(*event, Label(), "leak", Value::OfString("secret-data")).ok());
+    ASSERT_TRUE(ctx.Publish(*event).ok());
+  });
+  engine_->RunUntilIdle();
+
+  EXPECT_EQ(receiver->delivery_count(), 0u);  // invisible to the public receiver
+}
+
+TEST_F(SecrecyFixture, DeclassificationAllowsPublicOutput) {
+  const Tag secret = secret_;
+  PrivilegeSet privileges;
+  privileges.Grant(secret_, Privilege::kMinus);
+  const UnitId tainted =
+      engine_->AddUnit("tainted", std::make_unique<TestUnit>(), Label({secret_}, {}), privileges);
+  auto* receiver = new TestUnit(
+      [](UnitContext& ctx) { ASSERT_TRUE(ctx.Subscribe(Filter::Exists("data")).ok()); });
+  engine_->AddUnit("receiver", std::unique_ptr<Unit>(receiver));
+  engine_->Start();
+  engine_->RunUntilIdle();
+
+  engine_->InjectTurn(tainted, [secret](UnitContext& ctx) {
+    // Declassify: remove the taint from the output label (requires t-).
+    ASSERT_TRUE(ctx.ChangeOutLabel(LabelComponent::kSecrecy, LabelOp::kRemove, secret).ok());
+    auto event = ctx.CreateEvent();
+    ASSERT_TRUE(event.ok());
+    ASSERT_TRUE(ctx.AddPart(*event, Label(), "data", Value::OfString("ok")).ok());
+    ASSERT_TRUE(ctx.Publish(*event).ok());
+  });
+  engine_->RunUntilIdle();
+
+  EXPECT_EQ(receiver->delivery_count(), 1u);
+}
+
+TEST_F(SecrecyFixture, DeclassificationWithoutPrivilegeDenied) {
+  const Tag secret = secret_;
+  Status observed;
+  const UnitId tainted = engine_->AddUnit("tainted", std::make_unique<TestUnit>(),
+                                          Label({secret_}, {}), PrivilegeSet());
+  engine_->Start();
+  engine_->RunUntilIdle();
+  engine_->InjectTurn(tainted, [secret, &observed](UnitContext& ctx) {
+    observed = ctx.ChangeOutLabel(LabelComponent::kSecrecy, LabelOp::kRemove, secret);
+  });
+  engine_->RunUntilIdle();
+  EXPECT_EQ(observed.code(), StatusCode::kPermissionDenied);
+}
+
+// --- integrity ---------------------------------------------------------------
+
+TEST(EngineIntegrity, LowIntegrityPartInvisibleToHighIntegrityReader) {
+  Engine engine(ManualConfig());
+  const Tag s = engine.CreateTag("i-source");
+
+  auto* reader = new TestUnit(
+      [](UnitContext& ctx) { ASSERT_TRUE(ctx.Subscribe(Filter::Exists("data")).ok()); });
+  engine.AddUnit("reader", std::unique_ptr<Unit>(reader), Label({}, {s}), PrivilegeSet());
+
+  PrivilegeSet endorser;
+  endorser.Grant(s, Privilege::kPlus);
+  const UnitId trusted = engine.AddUnit("trusted", std::make_unique<TestUnit>(), Label(), endorser);
+  const UnitId untrusted = engine.AddUnit("untrusted", std::make_unique<TestUnit>());
+  engine.Start();
+  engine.RunUntilIdle();
+
+  engine.InjectTurn(untrusted, [](UnitContext& ctx) {
+    // A fake "endorsed" part: the request is silently intersected with the
+    // unit's (empty) output integrity, leaving no integrity tags.
+    auto event = ctx.CreateEvent();
+    ASSERT_TRUE(event.ok());
+    ASSERT_TRUE(ctx.AddPart(*event, Label(), "data", Value::OfString("forged")).ok());
+    ASSERT_TRUE(ctx.Publish(*event).ok());
+  });
+  engine.RunUntilIdle();
+  EXPECT_EQ(reader->delivery_count(), 0u);
+
+  engine.InjectTurn(trusted, [s](UnitContext& ctx) {
+    ASSERT_TRUE(ctx.ChangeOutLabel(LabelComponent::kIntegrity, LabelOp::kAdd, s).ok());
+    auto event = ctx.CreateEvent();
+    ASSERT_TRUE(event.ok());
+    ASSERT_TRUE(ctx.AddPart(*event, Label({}, {s}), "data", Value::OfString("genuine")).ok());
+    ASSERT_TRUE(ctx.Publish(*event).ok());
+  });
+  engine.RunUntilIdle();
+  EXPECT_EQ(reader->delivery_count(), 1u);
+}
+
+TEST(EngineIntegrity, EndorsementRequiresPlusPrivilege) {
+  Engine engine(ManualConfig());
+  const Tag s = engine.CreateTag("i-source");
+  Status observed;
+  const UnitId unit = engine.AddUnit("u", std::make_unique<TestUnit>());
+  engine.Start();
+  engine.RunUntilIdle();
+  engine.InjectTurn(unit, [s, &observed](UnitContext& ctx) {
+    observed = ctx.ChangeOutLabel(LabelComponent::kIntegrity, LabelOp::kAdd, s);
+  });
+  engine.RunUntilIdle();
+  EXPECT_EQ(observed.code(), StatusCode::kPermissionDenied);
+}
+
+TEST(EngineIntegrity, RequestedIntegrityIntersectedWithOutputLabel) {
+  // Contamination independence for integrity: I' = I ∩ Iout.
+  Engine engine(ManualConfig());
+  const Tag s = engine.CreateTag("i-source");
+  std::vector<Label> labels;
+  auto* reader = new TestUnit(
+      [](UnitContext& ctx) { ASSERT_TRUE(ctx.Subscribe(Filter::Exists("data")).ok()); },
+      [&labels](UnitContext& ctx, EventHandle e, SubscriptionId) {
+        auto views = ctx.ReadPart(e, "data");
+        ASSERT_TRUE(views.ok());
+        for (const auto& v : *views) {
+          labels.push_back(v.label);
+        }
+      });
+  engine.AddUnit("reader", std::unique_ptr<Unit>(reader));
+  const UnitId plain = engine.AddUnit("plain", std::make_unique<TestUnit>());
+  engine.Start();
+  engine.RunUntilIdle();
+
+  engine.InjectTurn(plain, [s](UnitContext& ctx) {
+    auto event = ctx.CreateEvent();
+    ASSERT_TRUE(event.ok());
+    ASSERT_TRUE(ctx.AddPart(*event, Label({}, {s}), "data", Value::OfInt(1)).ok());
+    ASSERT_TRUE(ctx.Publish(*event).ok());
+  });
+  engine.RunUntilIdle();
+  ASSERT_EQ(labels.size(), 1u);
+  EXPECT_TRUE(labels[0].integrity.empty());  // the forged integrity was stripped
+}
+
+// --- privilege-carrying events (§3.1.5) --------------------------------------
+
+TEST(EnginePrivileges, ReadingPartBestowsCarriedPrivileges) {
+  Engine engine(ManualConfig());
+  const Tag t = engine.CreateTag("t");
+
+  auto* receiver = new TestUnit(
+      [](UnitContext& ctx) { ASSERT_TRUE(ctx.Subscribe(Filter::Exists("grant")).ok()); },
+      [](UnitContext& ctx, EventHandle e, SubscriptionId) {
+        (void)ctx.ReadPart(e, "grant");
+      });
+  const UnitId receiver_id = engine.AddUnit("receiver", std::unique_ptr<Unit>(receiver));
+
+  PrivilegeSet sender_privileges;
+  sender_privileges.GrantAll(t);
+  const UnitId sender =
+      engine.AddUnit("sender", std::make_unique<TestUnit>(), Label(), sender_privileges);
+  engine.Start();
+  engine.RunUntilIdle();
+
+  engine.InjectTurn(sender, [t](UnitContext& ctx) {
+    auto event = ctx.CreateEvent();
+    ASSERT_TRUE(event.ok());
+    ASSERT_TRUE(ctx.AddPart(*event, Label(), "grant", Value::OfTag(t)).ok());
+    ASSERT_TRUE(ctx.AttachPrivilegeToPart(*event, "grant", Label(), t, Privilege::kPlus).ok());
+    ASSERT_TRUE(ctx.Publish(*event).ok());
+  });
+  engine.RunUntilIdle();
+
+  EXPECT_TRUE(engine.UnitHasPrivilege(receiver_id, t, Privilege::kPlus));
+  EXPECT_FALSE(engine.UnitHasPrivilege(receiver_id, t, Privilege::kMinus));
+  EXPECT_EQ(engine.stats().grants_bestowed, 1u);
+}
+
+TEST(EnginePrivileges, NoBestowalWithoutSufficientLabel) {
+  Engine engine(ManualConfig());
+  const Tag t = engine.CreateTag("t");
+  const Tag wall = engine.CreateTag("wall");
+
+  auto* receiver = new TestUnit(
+      [](UnitContext& ctx) { ASSERT_TRUE(ctx.Subscribe(Filter::Exists("public")).ok()); },
+      [](UnitContext& ctx, EventHandle e, SubscriptionId) { (void)ctx.ReadPart(e, "grant"); });
+  const UnitId receiver_id = engine.AddUnit("receiver", std::unique_ptr<Unit>(receiver));
+
+  PrivilegeSet sender_privileges;
+  sender_privileges.GrantAll(t);
+  sender_privileges.GrantAll(wall);
+  const UnitId sender =
+      engine.AddUnit("sender", std::make_unique<TestUnit>(), Label(), sender_privileges);
+  engine.Start();
+  engine.RunUntilIdle();
+
+  engine.InjectTurn(sender, [t, wall](UnitContext& ctx) {
+    auto event = ctx.CreateEvent();
+    ASSERT_TRUE(event.ok());
+    ASSERT_TRUE(ctx.AddPart(*event, Label(), "public", Value::OfInt(1)).ok());
+    // The grant part is behind the `wall` tag; the receiver cannot read it.
+    ASSERT_TRUE(ctx.AddPart(*event, Label({wall}, {}), "grant", Value::OfTag(t)).ok());
+    ASSERT_TRUE(
+        ctx.AttachPrivilegeToPart(*event, "grant", Label({wall}, {}), t, Privilege::kPlus).ok());
+    ASSERT_TRUE(ctx.Publish(*event).ok());
+  });
+  engine.RunUntilIdle();
+
+  EXPECT_FALSE(engine.UnitHasPrivilege(receiver_id, t, Privilege::kPlus));
+}
+
+TEST(EnginePrivileges, AttachRequiresAuthPrivilege) {
+  Engine engine(ManualConfig());
+  const Tag t = engine.CreateTag("t");
+  PrivilegeSet only_plus;
+  only_plus.Grant(t, Privilege::kPlus);  // no auth
+  const UnitId sender = engine.AddUnit("sender", std::make_unique<TestUnit>(), Label(), only_plus);
+  engine.Start();
+  engine.RunUntilIdle();
+  Status observed;
+  engine.InjectTurn(sender, [t, &observed](UnitContext& ctx) {
+    auto event = ctx.CreateEvent();
+    ASSERT_TRUE(event.ok());
+    ASSERT_TRUE(ctx.AddPart(*event, Label(), "p", Value::OfTag(t)).ok());
+    observed = ctx.AttachPrivilegeToPart(*event, "p", Label(), t, Privilege::kPlus);
+  });
+  engine.RunUntilIdle();
+  EXPECT_EQ(observed.code(), StatusCode::kPermissionDenied);
+}
+
+TEST(EnginePrivileges, CreateTagGrantsAuthOnly) {
+  Engine engine(ManualConfig());
+  const UnitId unit = engine.AddUnit("u", std::make_unique<TestUnit>());
+  engine.Start();
+  engine.RunUntilIdle();
+  Tag created;
+  engine.InjectTurn(unit, [&created](UnitContext& ctx) {
+    auto tag = ctx.CreateTag("mine");
+    ASSERT_TRUE(tag.ok());
+    created = *tag;
+    EXPECT_FALSE(ctx.HasPrivilege(*tag, Privilege::kPlus));
+    EXPECT_TRUE(ctx.HasPrivilege(*tag, Privilege::kPlusAuth));
+    // Self-delegation turns auth into the base privilege.
+    EXPECT_TRUE(ctx.AcquirePrivilege(*tag, Privilege::kPlus).ok());
+    EXPECT_TRUE(ctx.HasPrivilege(*tag, Privilege::kPlus));
+  });
+  engine.RunUntilIdle();
+  EXPECT_TRUE(engine.UnitHasPrivilege(unit, created, Privilege::kMinusAuth));
+}
+
+// --- partial event processing / release (§3.1.6) ------------------------------
+
+TEST(EngineRelease, MainPathAugmentationReachesLaterSubscribers) {
+  Engine engine(ManualConfig());
+
+  // Augmenter subscribes first (lower subscription id => earlier delivery).
+  auto* augmenter = new TestUnit(
+      [](UnitContext& ctx) { ASSERT_TRUE(ctx.Subscribe(Filter::Exists("base")).ok()); },
+      [](UnitContext& ctx, EventHandle e, SubscriptionId) {
+        ASSERT_TRUE(ctx.AddPart(e, Label(), "extra", Value::OfString("added")).ok());
+      });
+  engine.AddUnit("augmenter", std::unique_ptr<Unit>(augmenter));
+
+  // This unit only matches once the extra part exists.
+  std::vector<std::string> seen;
+  auto* late = new TestUnit(
+      [](UnitContext& ctx) { ASSERT_TRUE(ctx.Subscribe(Filter::Exists("extra")).ok()); },
+      [&seen](UnitContext& ctx, EventHandle e, SubscriptionId) {
+        auto views = ctx.ReadPart(e, "extra");
+        ASSERT_TRUE(views.ok());
+        for (const auto& v : *views) {
+          seen.push_back(v.data.string_value());
+        }
+      });
+  engine.AddUnit("late", std::unique_ptr<Unit>(late));
+
+  const UnitId source = engine.AddUnit("source", std::make_unique<TestUnit>());
+  engine.Start();
+  engine.RunUntilIdle();
+
+  engine.InjectTurn(source, [](UnitContext& ctx) {
+    auto event = ctx.CreateEvent();
+    ASSERT_TRUE(event.ok());
+    ASSERT_TRUE(ctx.AddPart(*event, Label(), "base", Value::OfInt(1)).ok());
+    ASSERT_TRUE(ctx.Publish(*event).ok());
+  });
+  engine.RunUntilIdle();
+
+  EXPECT_EQ(augmenter->delivery_count(), 1u);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], "added");
+  EXPECT_GE(engine.stats().rematches, 1u);
+}
+
+TEST(EngineRelease, NoDuplicateDeliveryAfterRematch) {
+  Engine engine(ManualConfig());
+  auto* both = new TestUnit(
+      [](UnitContext& ctx) { ASSERT_TRUE(ctx.Subscribe(Filter::Exists("base")).ok()); },
+      [](UnitContext& ctx, EventHandle e, SubscriptionId) {
+        // Modify on first delivery; the re-match must not deliver again to us.
+        ASSERT_TRUE(ctx.AddPart(e, Label(), "extra", Value::OfInt(2)).ok());
+      });
+  engine.AddUnit("both", std::unique_ptr<Unit>(both));
+  const UnitId source = engine.AddUnit("source", std::make_unique<TestUnit>());
+  engine.Start();
+  engine.RunUntilIdle();
+  engine.InjectTurn(source, [](UnitContext& ctx) {
+    auto event = ctx.CreateEvent();
+    ASSERT_TRUE(event.ok());
+    ASSERT_TRUE(ctx.AddPart(*event, Label(), "base", Value::OfInt(1)).ok());
+    ASSERT_TRUE(ctx.Publish(*event).ok());
+  });
+  engine.RunUntilIdle();
+  EXPECT_EQ(both->delivery_count(), 1u);
+}
+
+TEST(EngineRelease, WritesAfterReleaseFail) {
+  Engine engine(ManualConfig());
+  Status late_write;
+  auto* unit = new TestUnit(
+      [](UnitContext& ctx) { ASSERT_TRUE(ctx.Subscribe(Filter::Exists("base")).ok()); },
+      [&late_write](UnitContext& ctx, EventHandle e, SubscriptionId) {
+        ASSERT_TRUE(ctx.Release(e).ok());
+        late_write = ctx.AddPart(e, Label(), "tardy", Value::OfInt(1));
+      });
+  engine.AddUnit("unit", std::unique_ptr<Unit>(unit));
+  const UnitId source = engine.AddUnit("source", std::make_unique<TestUnit>());
+  engine.Start();
+  engine.RunUntilIdle();
+  engine.InjectTurn(source, [](UnitContext& ctx) {
+    auto event = ctx.CreateEvent();
+    ASSERT_TRUE(event.ok());
+    ASSERT_TRUE(ctx.AddPart(*event, Label(), "base", Value::OfInt(1)).ok());
+    ASSERT_TRUE(ctx.Publish(*event).ok());
+  });
+  engine.RunUntilIdle();
+  EXPECT_EQ(late_write.code(), StatusCode::kFailedPrecondition);
+}
+
+// --- cloneEvent ---------------------------------------------------------------
+
+TEST(EngineClone, CloneCopiesVisiblePartsAndRestamps) {
+  Engine engine(ManualConfig());
+  const Tag t = engine.CreateTag("t");
+  const Tag hidden = engine.CreateTag("hidden");
+
+  // Sender builds an event with a public and a hidden part.
+  PrivilegeSet sender_privileges;
+  sender_privileges.GrantAll(t);
+  sender_privileges.GrantAll(hidden);
+  const UnitId sender =
+      engine.AddUnit("sender", std::make_unique<TestUnit>(), Label(), sender_privileges);
+
+  // Cloner is tainted with t; its clone output must carry t on every part.
+  size_t clone_parts_public = 0;
+  auto* cloner = new TestUnit(
+      [](UnitContext& ctx) { ASSERT_TRUE(ctx.Subscribe(Filter::Exists("public")).ok()); },
+      [&](UnitContext& ctx, EventHandle e, SubscriptionId) {
+        auto clone = ctx.CloneEvent(e);
+        ASSERT_TRUE(clone.ok());
+        auto views = ctx.ReadPart(*clone, "public");
+        ASSERT_TRUE(views.ok());
+        for (const auto& v : *views) {
+          if (v.label.secrecy.empty()) {
+            ++clone_parts_public;
+          }
+          // Cloner's output label (t) must be stamped on.
+          EXPECT_TRUE(v.label.secrecy.Contains(ctx.OutputLabel().secrecy.tags().front()));
+        }
+        // The hidden part must not exist in the clone.
+        auto hidden_views = ctx.ReadPart(*clone, "secret");
+        ASSERT_TRUE(hidden_views.ok());
+        EXPECT_TRUE(hidden_views->empty());
+      });
+  PrivilegeSet cloner_privileges;
+  cloner_privileges.Grant(t, Privilege::kPlus);
+  engine.AddUnit("cloner", std::unique_ptr<Unit>(cloner), Label({t}, {}), cloner_privileges);
+  engine.Start();
+  engine.RunUntilIdle();
+
+  engine.InjectTurn(sender, [hidden](UnitContext& ctx) {
+    auto event = ctx.CreateEvent();
+    ASSERT_TRUE(event.ok());
+    ASSERT_TRUE(ctx.AddPart(*event, Label(), "public", Value::OfInt(1)).ok());
+    ASSERT_TRUE(ctx.AddPart(*event, Label({hidden}, {}), "secret", Value::OfInt(2)).ok());
+    ASSERT_TRUE(ctx.Publish(*event).ok());
+  });
+  engine.RunUntilIdle();
+  EXPECT_EQ(clone_parts_public, 0u);  // no part of the clone stayed public
+}
+
+// --- delPart ------------------------------------------------------------------
+
+TEST(EngineDelPart, TaintedUnitCannotDeleteBelowItsLevel) {
+  Engine engine(ManualConfig());
+  const Tag t = engine.CreateTag("t");
+
+  // The deleter is tainted with t. Deleting a PUBLIC part would be an
+  // observable effect below its level; transparent label stamping makes the
+  // public part unnameable, so the attempt reports NotFound and the part
+  // survives.
+  Status deletion;
+  auto* deleter = new TestUnit(
+      [](UnitContext& ctx) { ASSERT_TRUE(ctx.Subscribe(Filter::Exists("base")).ok()); },
+      [&deletion](UnitContext& ctx, EventHandle e, SubscriptionId) {
+        deletion = ctx.DelPart(e, Label(), "base");
+      });
+  PrivilegeSet priv;
+  priv.Grant(t, Privilege::kPlus);
+  engine.AddUnit("deleter", std::unique_ptr<Unit>(deleter), Label({t}, {}), priv);
+
+  // A public observer that still sees the part afterwards.
+  std::vector<size_t> base_counts;
+  auto* observer = new TestUnit(
+      [](UnitContext& ctx) { ASSERT_TRUE(ctx.Subscribe(Filter::Exists("base")).ok()); },
+      [&base_counts](UnitContext& ctx, EventHandle e, SubscriptionId) {
+        auto views = ctx.ReadPart(e, "base");
+        ASSERT_TRUE(views.ok());
+        base_counts.push_back(views->size());
+      });
+  engine.AddUnit("observer", std::unique_ptr<Unit>(observer));
+
+  const UnitId source = engine.AddUnit("source", std::make_unique<TestUnit>());
+  engine.Start();
+  engine.RunUntilIdle();
+  engine.InjectTurn(source, [](UnitContext& ctx) {
+    auto event = ctx.CreateEvent();
+    ASSERT_TRUE(event.ok());
+    ASSERT_TRUE(ctx.AddPart(*event, Label(), "base", Value::OfInt(1)).ok());
+    ASSERT_TRUE(ctx.Publish(*event).ok());
+  });
+  engine.RunUntilIdle();
+  EXPECT_EQ(deletion.code(), StatusCode::kNotFound);
+  ASSERT_EQ(base_counts.size(), 1u);
+  EXPECT_EQ(base_counts[0], 1u);  // the public part survived
+}
+
+TEST(EngineDelPart, OwnerDeletesAtOwnLevel) {
+  Engine engine(ManualConfig());
+  Status deletion;
+  auto* editor = new TestUnit(
+      [](UnitContext& ctx) { ASSERT_TRUE(ctx.Subscribe(Filter::Exists("base")).ok()); },
+      [&deletion](UnitContext& ctx, EventHandle e, SubscriptionId) {
+        deletion = ctx.DelPart(e, Label(), "base");
+      });
+  engine.AddUnit("editor", std::unique_ptr<Unit>(editor));
+  const UnitId source = engine.AddUnit("source", std::make_unique<TestUnit>());
+  engine.Start();
+  engine.RunUntilIdle();
+  engine.InjectTurn(source, [](UnitContext& ctx) {
+    auto event = ctx.CreateEvent();
+    ASSERT_TRUE(event.ok());
+    ASSERT_TRUE(ctx.AddPart(*event, Label(), "base", Value::OfInt(1)).ok());
+    ASSERT_TRUE(ctx.Publish(*event).ok());
+  });
+  engine.RunUntilIdle();
+  EXPECT_TRUE(deletion.ok());
+}
+
+// --- managed subscriptions ----------------------------------------------------
+
+TEST(EngineManaged, InstancesCreatedPerContamination) {
+  Engine engine(ManualConfig());
+  const Tag t1 = engine.CreateTag("t1");
+  const Tag t2 = engine.CreateTag("t2");
+
+  std::vector<std::string> instance_reads;
+  const UnitId owner = engine.AddUnit(
+      "owner", std::make_unique<TestUnit>([&instance_reads](UnitContext& ctx) {
+        auto sub = ctx.SubscribeManaged(
+            [&instance_reads] {
+              return std::make_unique<TestUnit>(
+                  nullptr, [&instance_reads](UnitContext& ictx, EventHandle e, SubscriptionId) {
+                    auto views = ictx.ReadPart(e, "payload");
+                    ASSERT_TRUE(views.ok());
+                    for (const auto& v : *views) {
+                      instance_reads.push_back(v.data.string_value());
+                    }
+                  });
+            },
+            Filter::Exists("payload"));
+        ASSERT_TRUE(sub.ok());
+      }));
+  (void)owner;
+
+  PrivilegeSet sender_privileges;
+  sender_privileges.GrantAll(t1);
+  sender_privileges.GrantAll(t2);
+  const UnitId sender =
+      engine.AddUnit("sender", std::make_unique<TestUnit>(), Label(), sender_privileges);
+  engine.Start();
+  engine.RunUntilIdle();
+
+  engine.InjectTurn(sender, [t1, t2](UnitContext& ctx) {
+    for (const Tag tag : {t1, t2}) {
+      auto event = ctx.CreateEvent();
+      ASSERT_TRUE(event.ok());
+      ASSERT_TRUE(
+          ctx.AddPart(*event, Label({tag}, {}), "payload", Value::OfString(tag.DebugString()))
+              .ok());
+      ASSERT_TRUE(ctx.Publish(*event).ok());
+    }
+  });
+  engine.RunUntilIdle();
+
+  // Two distinct contaminations -> two instances, each reading its payload.
+  EXPECT_EQ(instance_reads.size(), 2u);
+  EXPECT_EQ(engine.stats().managed_instances_created, 2u);
+  EXPECT_EQ(engine.ManagedInstanceCount(), 2u);
+
+  // Same contamination again -> the instance is reused.
+  engine.InjectTurn(sender, [t1](UnitContext& ctx) {
+    auto event = ctx.CreateEvent();
+    ASSERT_TRUE(event.ok());
+    ASSERT_TRUE(ctx.AddPart(*event, Label({t1}, {}), "payload", Value::OfString("again")).ok());
+    ASSERT_TRUE(ctx.Publish(*event).ok());
+  });
+  engine.RunUntilIdle();
+  EXPECT_EQ(engine.stats().managed_instances_created, 2u);
+  EXPECT_EQ(instance_reads.size(), 3u);
+}
+
+// --- instantiateUnit ----------------------------------------------------------
+
+TEST(EngineInstantiate, ChildInheritsCallerContamination) {
+  Engine engine(ManualConfig());
+  const Tag t = engine.CreateTag("t");
+  PrivilegeSet priv;
+  priv.Grant(t, Privilege::kPlus);
+  const UnitId parent =
+      engine.AddUnit("parent", std::make_unique<TestUnit>(), Label({t}, {}), priv);
+  engine.Start();
+  engine.RunUntilIdle();
+
+  UnitId child_id = 0;
+  engine.InjectTurn(parent, [&child_id](UnitContext& ctx) {
+    auto child = ctx.InstantiateUnit("child", std::make_unique<TestUnit>(), Label(), {});
+    ASSERT_TRUE(child.ok());
+    child_id = *child;
+  });
+  engine.RunUntilIdle();
+
+  auto label = engine.UnitInputLabel(child_id);
+  ASSERT_TRUE(label.ok());
+  EXPECT_TRUE(label->secrecy.Contains(t));
+}
+
+TEST(EngineInstantiate, GrantsRequireDelegableAuthority) {
+  Engine engine(ManualConfig());
+  const Tag t = engine.CreateTag("t");
+  PrivilegeSet priv;
+  priv.Grant(t, Privilege::kPlus);  // no auth => cannot delegate
+  const UnitId parent = engine.AddUnit("parent", std::make_unique<TestUnit>(), Label(), priv);
+  engine.Start();
+  engine.RunUntilIdle();
+
+  Status observed;
+  engine.InjectTurn(parent, [t, &observed](UnitContext& ctx) {
+    auto child = ctx.InstantiateUnit("child", std::make_unique<TestUnit>(), Label(),
+                                     {{t, Privilege::kPlus}});
+    observed = child.ok() ? OkStatus() : child.status();
+  });
+  engine.RunUntilIdle();
+  EXPECT_EQ(observed.code(), StatusCode::kPermissionDenied);
+}
+
+// --- no-security mode ---------------------------------------------------------
+
+TEST(EngineNoSecurity, EverythingVisibleWithoutChecks) {
+  Engine engine(ManualConfig(SecurityMode::kNoSecurity));
+  const Tag t = engine.CreateTag("t");
+  std::vector<std::string> seen;
+  auto* receiver = new TestUnit(
+      [](UnitContext& ctx) { ASSERT_TRUE(ctx.Subscribe(Filter::Exists("payload")).ok()); },
+      [&seen](UnitContext& ctx, EventHandle e, SubscriptionId) {
+        auto views = ctx.ReadPart(e, "payload");
+        ASSERT_TRUE(views.ok());
+        for (const auto& v : *views) {
+          seen.push_back(v.data.string_value());
+        }
+      });
+  engine.AddUnit("receiver", std::unique_ptr<Unit>(receiver));
+  const UnitId sender = engine.AddUnit("sender", std::make_unique<TestUnit>());
+  engine.Start();
+  engine.RunUntilIdle();
+  engine.InjectTurn(sender, [t](UnitContext& ctx) {
+    auto event = ctx.CreateEvent();
+    ASSERT_TRUE(event.ok());
+    ASSERT_TRUE(ctx.AddPart(*event, Label({t}, {}), "payload", Value::OfString("open")).ok());
+    ASSERT_TRUE(ctx.Publish(*event).ok());
+  });
+  engine.RunUntilIdle();
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(engine.stats().label_checks, 0u);
+}
+
+// --- clone dispatch mode ------------------------------------------------------
+
+TEST(EngineCloneMode, DeliversDeepCopies) {
+  Engine engine(ManualConfig(SecurityMode::kLabelsClone));
+  auto* receiver = new TestUnit(
+      [](UnitContext& ctx) { ASSERT_TRUE(ctx.Subscribe(Filter::Exists("payload")).ok()); });
+  engine.AddUnit("receiver", std::unique_ptr<Unit>(receiver));
+  const UnitId sender = engine.AddUnit("sender", std::make_unique<TestUnit>());
+  engine.Start();
+  engine.RunUntilIdle();
+  engine.InjectTurn(sender, [](UnitContext& ctx) {
+    auto event = ctx.CreateEvent();
+    ASSERT_TRUE(event.ok());
+    ASSERT_TRUE(ctx.AddPart(*event, Label(), "payload", Value::OfString("copy-me")).ok());
+    ASSERT_TRUE(ctx.Publish(*event).ok());
+  });
+  engine.RunUntilIdle();
+  EXPECT_EQ(receiver->delivery_count(), 1u);
+  EXPECT_GT(engine.stats().clone_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace defcon

@@ -1,0 +1,143 @@
+// Event container tests: structural behaviour under the dispatcher's usage
+// patterns (append-only parts, tombstoning, grant attachment, deep copies).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/core/event.h"
+
+namespace defcon {
+namespace {
+
+Part MakePart(const std::string& name, Value data, Label label = Label()) {
+  Part part;
+  part.name = name;
+  part.label = std::move(label);
+  part.data = std::move(data);
+  return part;
+}
+
+TEST(Event, AppendAndSnapshot) {
+  Event event(1, 2);
+  EXPECT_TRUE(event.Empty());
+  event.AppendPart(MakePart("a", Value::OfInt(1)));
+  event.AppendPart(MakePart("b", Value::OfInt(2)));
+  EXPECT_EQ(event.PartCount(), 2u);
+  const auto parts = event.SnapshotParts();
+  EXPECT_EQ(parts[0].name, "a");
+  EXPECT_EQ(parts[1].name, "b");
+  EXPECT_EQ(event.id(), 1u);
+  EXPECT_EQ(event.creator_unit_id(), 2u);
+}
+
+TEST(Event, ModCountTracksStructuralChanges) {
+  Event event(1, 1);
+  const uint64_t m0 = event.mod_count();
+  event.AppendPart(MakePart("a", Value::OfInt(1)));
+  const uint64_t m1 = event.mod_count();
+  EXPECT_GT(m1, m0);
+  EXPECT_EQ(event.RemoveParts("missing", Label()), 0u);
+  EXPECT_EQ(event.mod_count(), m1);  // failed removal does not bump
+  EXPECT_EQ(event.RemoveParts("a", Label()), 1u);
+  EXPECT_GT(event.mod_count(), m1);
+}
+
+TEST(Event, RemovePartsMatchesNameAndLabelExactly) {
+  Event event(1, 1);
+  const Label secret({Tag{1, 1}}, {});
+  event.AppendPart(MakePart("x", Value::OfInt(1)));
+  event.AppendPart(MakePart("x", Value::OfInt(2), secret));
+  EXPECT_EQ(event.RemoveParts("x", secret), 1u);
+  const auto parts = event.SnapshotParts();
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_TRUE(parts[0].label.secrecy.empty());
+}
+
+TEST(Event, AttachGrantsAmendsMatchingParts) {
+  Event event(1, 1);
+  event.AppendPart(MakePart("p", Value::OfInt(1)));
+  event.AppendPart(MakePart("p", Value::OfInt(2)));
+  event.AppendPart(MakePart("q", Value::OfInt(3)));
+  const PrivilegeGrant grant{Tag{7, 7}, Privilege::kPlus};
+  EXPECT_EQ(event.AttachGrants("p", Label(), {grant}), 2u);
+  EXPECT_EQ(event.AttachGrants("nope", Label(), {grant}), 0u);
+  const auto parts = event.SnapshotParts();
+  EXPECT_EQ(parts[0].grants.size(), 1u);
+  EXPECT_EQ(parts[1].grants.size(), 1u);
+  EXPECT_TRUE(parts[2].grants.empty());
+}
+
+TEST(Event, DeepCopyDetachesPayloads) {
+  Event event(1, 1);
+  event.set_origin_ns(777);
+  auto map = FMap::New();
+  ASSERT_TRUE(map->Set("k", Value::OfString("v")).ok());
+  Part part = MakePart("data", Value::OfMap(map));
+  part.data.Freeze();
+  part.grants.push_back({Tag{3, 3}, Privilege::kMinus});
+  event.AppendPart(std::move(part));
+
+  EventPtr copy = event.DeepCopy(99);
+  EXPECT_EQ(copy->id(), 99u);
+  EXPECT_EQ(copy->origin_ns(), 777);
+  const auto copied = copy->SnapshotParts();
+  ASSERT_EQ(copied.size(), 1u);
+  EXPECT_EQ(copied[0].grants.size(), 1u);
+  // The copied payload is a distinct (re-frozen) object tree.
+  EXPECT_NE(copied[0].data.map().get(), map.get());
+  EXPECT_TRUE(copied[0].data.map()->frozen());
+  EXPECT_TRUE(copied[0].data.Equals(Value::OfMap(map)));
+}
+
+TEST(Event, EstimateBytesGrowsWithContent) {
+  Event small(1, 1);
+  small.AppendPart(MakePart("a", Value::OfInt(1)));
+  Event big(2, 1);
+  big.AppendPart(MakePart("a", Value::OfString(std::string(5000, 'x'))));
+  EXPECT_GT(big.EstimateBytes(), small.EstimateBytes() + 4000);
+}
+
+TEST(Event, ConcurrentAppendersAndReaders) {
+  Event event(1, 1);
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 500;
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&event, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        event.AppendPart(MakePart("w" + std::to_string(w), Value::OfInt(i)));
+      }
+    });
+  }
+  std::atomic<bool> stop{false};
+  std::thread reader([&event, &stop] {
+    while (!stop.load()) {
+      const auto parts = event.SnapshotParts();
+      // Snapshot must always be internally consistent (no torn parts).
+      for (const Part& part : parts) {
+        ASSERT_FALSE(part.name.empty());
+      }
+    }
+  });
+  for (auto& t : writers) {
+    t.join();
+  }
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(event.PartCount(), static_cast<size_t>(kWriters * kPerWriter));
+  EXPECT_GE(event.mod_count(), static_cast<uint64_t>(kWriters * kPerWriter));
+}
+
+TEST(Event, DebugStringMentionsPartsAndGrants) {
+  Event event(42, 1);
+  Part part = MakePart("body", Value::OfInt(5));
+  part.grants.push_back({Tag{1, 2}, Privilege::kPlus});
+  event.AppendPart(std::move(part));
+  const std::string debug = event.DebugString();
+  EXPECT_NE(debug.find("event#42"), std::string::npos);
+  EXPECT_NE(debug.find("body"), std::string::npos);
+  EXPECT_NE(debug.find("grants"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace defcon

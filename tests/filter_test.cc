@@ -1,0 +1,179 @@
+// Subscription filter tests: AST evaluation over visible projections, the
+// text parser, and index-key extraction.
+#include <gtest/gtest.h>
+
+#include "src/core/filter.h"
+
+namespace defcon {
+namespace {
+
+Part MakePart(const std::string& name, Value data) {
+  Part part;
+  part.name = name;
+  part.data = std::move(data);
+  return part;
+}
+
+std::vector<const Part*> View(const std::vector<Part>& parts) {
+  std::vector<const Part*> view;
+  view.reserve(parts.size());
+  for (const Part& part : parts) {
+    view.push_back(&part);
+  }
+  return view;
+}
+
+TEST(Filter, ExistsAndCompare) {
+  const std::vector<Part> parts = {MakePart("type", Value::OfString("tick")),
+                                   MakePart("price", Value::OfInt(150))};
+  EXPECT_TRUE(Filter::Exists("type").Matches(View(parts)));
+  EXPECT_FALSE(Filter::Exists("missing").Matches(View(parts)));
+  EXPECT_TRUE(Filter::Eq("type", Value::OfString("tick")).Matches(View(parts)));
+  EXPECT_FALSE(Filter::Eq("type", Value::OfString("trade")).Matches(View(parts)));
+  EXPECT_TRUE(
+      Filter::Compare("price", CompareOp::kGt, Value::OfInt(100)).Matches(View(parts)));
+  EXPECT_FALSE(
+      Filter::Compare("price", CompareOp::kLt, Value::OfInt(100)).Matches(View(parts)));
+  EXPECT_TRUE(
+      Filter::Compare("price", CompareOp::kGe, Value::OfInt(150)).Matches(View(parts)));
+  EXPECT_TRUE(
+      Filter::Compare("price", CompareOp::kNe, Value::OfInt(100)).Matches(View(parts)));
+}
+
+TEST(Filter, BooleanCombinators) {
+  const std::vector<Part> parts = {MakePart("a", Value::OfInt(1))};
+  const Filter has_a = Filter::Exists("a");
+  const Filter has_b = Filter::Exists("b");
+  EXPECT_FALSE(Filter::And(has_a, has_b).Matches(View(parts)));
+  EXPECT_TRUE(Filter::Or(has_a, has_b).Matches(View(parts)));
+  EXPECT_FALSE(Filter::Not(has_a).Matches(View(parts)));
+  EXPECT_TRUE(Filter::Not(has_b).Matches(View(parts)));
+}
+
+TEST(Filter, ExistentialOverSameNamedParts) {
+  // Conflicting versions (§3.1.6): predicate holds if any version satisfies.
+  const std::vector<Part> parts = {MakePart("v", Value::OfInt(1)),
+                                   MakePart("v", Value::OfInt(2))};
+  EXPECT_TRUE(Filter::Eq("v", Value::OfInt(2)).Matches(View(parts)));
+  EXPECT_TRUE(Filter::Eq("v", Value::OfInt(1)).Matches(View(parts)));
+  EXPECT_FALSE(Filter::Eq("v", Value::OfInt(3)).Matches(View(parts)));
+}
+
+TEST(Filter, PrefixPredicate) {
+  const std::vector<Part> parts = {MakePart("sym", Value::OfString("VOD.L"))};
+  EXPECT_TRUE(Filter::Prefix("sym", "VOD").Matches(View(parts)));
+  EXPECT_FALSE(Filter::Prefix("sym", "BP").Matches(View(parts)));
+  EXPECT_TRUE(Filter::Prefix("sym", "").Matches(View(parts)));
+}
+
+TEST(Filter, StringOrderingComparisons) {
+  const std::vector<Part> parts = {MakePart("s", Value::OfString("beta"))};
+  EXPECT_TRUE(
+      Filter::Compare("s", CompareOp::kGt, Value::OfString("alpha")).Matches(View(parts)));
+  EXPECT_FALSE(
+      Filter::Compare("s", CompareOp::kGt, Value::OfString("gamma")).Matches(View(parts)));
+}
+
+TEST(Filter, MixedTypeOrderingIsFalse) {
+  const std::vector<Part> parts = {MakePart("x", Value::OfString("text"))};
+  EXPECT_FALSE(Filter::Compare("x", CompareOp::kLt, Value::OfInt(5)).Matches(View(parts)));
+}
+
+TEST(Filter, EmptyFilterMatchesNothing) {
+  const std::vector<Part> parts = {MakePart("a", Value::OfInt(1))};
+  EXPECT_FALSE(Filter().Matches(View(parts)));
+  EXPECT_TRUE(Filter().IsEmpty());
+}
+
+TEST(Filter, ReferencedNamesAreDeduplicated) {
+  const Filter f = Filter::And(Filter::Exists("a"),
+                               Filter::Or(Filter::Exists("a"), Filter::Exists("b")));
+  EXPECT_EQ(f.referenced_names(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Filter, IndexKeysOnlyFromConjunctionSpine) {
+  const Filter indexed = Filter::And(Filter::Eq("type", Value::OfString("tick")),
+                                     Filter::Eq("symbol", Value::OfString("VOD.L")));
+  auto keys = indexed.CollectIndexKeys();
+  ASSERT_EQ(keys.size(), 2u);
+
+  const Filter disjunct = Filter::Or(Filter::Eq("type", Value::OfString("tick")),
+                                     Filter::Eq("symbol", Value::OfString("VOD.L")));
+  EXPECT_TRUE(disjunct.CollectIndexKeys().empty());
+
+  const Filter negated = Filter::Not(Filter::Eq("type", Value::OfString("tick")));
+  EXPECT_TRUE(negated.CollectIndexKeys().empty());
+
+  // Non-string equality is not an index key.
+  const Filter numeric = Filter::Eq("price", Value::OfInt(5));
+  EXPECT_TRUE(numeric.CollectIndexKeys().empty());
+}
+
+// --- parser --------------------------------------------------------------------
+
+TEST(FilterParser, ParsesPredicates) {
+  const std::vector<Part> parts = {MakePart("type", Value::OfString("tick")),
+                                   MakePart("price", Value::OfInt(150)),
+                                   MakePart("ratio", Value::OfDouble(1.5)),
+                                   MakePart("live", Value::OfBool(true))};
+  auto f1 = ParseFilter("type == 'tick'");
+  ASSERT_TRUE(f1.ok());
+  EXPECT_TRUE(f1->Matches(View(parts)));
+
+  auto f2 = ParseFilter("price >= 100 && price < 200");
+  ASSERT_TRUE(f2.ok());
+  EXPECT_TRUE(f2->Matches(View(parts)));
+
+  auto f3 = ParseFilter("ratio == 1.5 && live == true");
+  ASSERT_TRUE(f3.ok());
+  EXPECT_TRUE(f3->Matches(View(parts)));
+
+  auto f4 = ParseFilter("exists(type) && !exists(missing)");
+  ASSERT_TRUE(f4.ok());
+  EXPECT_TRUE(f4->Matches(View(parts)));
+
+  auto f5 = ParseFilter("prefix(type, 'ti')");
+  ASSERT_TRUE(f5.ok());
+  EXPECT_TRUE(f5->Matches(View(parts)));
+}
+
+TEST(FilterParser, PrecedenceAndParentheses) {
+  const std::vector<Part> parts = {MakePart("a", Value::OfInt(1))};
+  // && binds tighter than ||.
+  auto f = ParseFilter("exists(a) || exists(b) && exists(c)");
+  ASSERT_TRUE(f.ok());
+  EXPECT_TRUE(f->Matches(View(parts)));
+  auto g = ParseFilter("(exists(a) || exists(b)) && exists(c)");
+  ASSERT_TRUE(g.ok());
+  EXPECT_FALSE(g->Matches(View(parts)));
+}
+
+TEST(FilterParser, NegativeNumbers) {
+  const std::vector<Part> parts = {MakePart("z", Value::OfDouble(-2.5))};
+  auto f = ParseFilter("z < -1.0");
+  ASSERT_TRUE(f.ok());
+  EXPECT_TRUE(f->Matches(View(parts)));
+}
+
+TEST(FilterParser, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseFilter("").ok());
+  EXPECT_FALSE(ParseFilter("type ==").ok());
+  EXPECT_FALSE(ParseFilter("type == 'unterminated").ok());
+  EXPECT_FALSE(ParseFilter("(exists(a)").ok());
+  EXPECT_FALSE(ParseFilter("exists(a) extra").ok());
+  EXPECT_FALSE(ParseFilter("&& exists(a)").ok());
+  EXPECT_FALSE(ParseFilter("prefix(a 'x')").ok());
+}
+
+TEST(FilterParser, RoundTripsThroughDebugString) {
+  auto f = ParseFilter("type == 'tick' && (price > 10 || !exists(halt))");
+  ASSERT_TRUE(f.ok());
+  auto g = ParseFilter(f->DebugString());
+  ASSERT_TRUE(g.ok()) << f->DebugString();
+  const std::vector<Part> parts = {MakePart("type", Value::OfString("tick")),
+                                   MakePart("price", Value::OfInt(5))};
+  EXPECT_EQ(f->Matches(View(parts)), g->Matches(View(parts)));
+}
+
+}  // namespace
+}  // namespace defcon

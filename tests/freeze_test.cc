@@ -1,0 +1,197 @@
+// Freezable object system tests (§5): O(1) freeze via shared flags,
+// transitive freezing of nested collections, multi-collection membership,
+// and the immutable Value type.
+#include <gtest/gtest.h>
+
+#include "src/base/random.h"
+#include "src/freeze/freezable.h"
+#include "src/freeze/value.h"
+
+namespace defcon {
+namespace {
+
+TEST(Freezable, MutableUntilFrozen) {
+  auto list = FList::New();
+  EXPECT_FALSE(list->frozen());
+  EXPECT_TRUE(list->Append(Value::OfInt(1)).ok());
+  list->Freeze();
+  EXPECT_TRUE(list->frozen());
+  EXPECT_EQ(list->Append(Value::OfInt(2)).code(), StatusCode::kFrozen);
+  EXPECT_EQ(list->size(), 1u);
+}
+
+TEST(Freezable, FreezingCollectionFreezesElements) {
+  auto outer = FList::New();
+  auto inner = FList::New();
+  ASSERT_TRUE(inner->Append(Value::OfInt(1)).ok());
+  ASSERT_TRUE(outer->Append(Value::OfList(inner)).ok());
+  EXPECT_FALSE(inner->frozen());
+  outer->Freeze();  // O(1): sets one flag; inner watches it
+  EXPECT_TRUE(inner->frozen());
+  EXPECT_EQ(inner->Append(Value::OfInt(2)).code(), StatusCode::kFrozen);
+}
+
+TEST(Freezable, DeeplyNestedCollectionsFreezeTransitively) {
+  // grandchild was attached before child joined outer: flags must propagate
+  // through the attach-time adoption.
+  auto grandchild = FList::New();
+  auto child = FList::New();
+  ASSERT_TRUE(child->Append(Value::OfList(grandchild)).ok());
+  auto outer = FMap::New();
+  ASSERT_TRUE(outer->Set("k", Value::OfList(child)).ok());
+  outer->Freeze();
+  EXPECT_TRUE(child->frozen());
+  EXPECT_TRUE(grandchild->frozen());
+}
+
+TEST(Freezable, MemberOfMultipleCollections) {
+  auto shared = FList::New();
+  auto a = FList::New();
+  auto b = FList::New();
+  ASSERT_TRUE(a->Append(Value::OfList(shared)).ok());
+  ASSERT_TRUE(b->Append(Value::OfList(shared)).ok());
+  // Paper: mutation cost is linear in the number of containing collections.
+  EXPECT_EQ(shared->watch_count(), 3u);  // own flag + a + b
+  a->Freeze();
+  EXPECT_TRUE(shared->frozen());  // either container freezing suffices
+  EXPECT_FALSE(b->frozen());
+}
+
+TEST(Freezable, FreezeIsIdempotent) {
+  auto list = FList::New();
+  list->Freeze();
+  list->Freeze();
+  EXPECT_TRUE(list->frozen());
+}
+
+TEST(Freezable, AttachingToAlreadyFrozenCollectionFails) {
+  auto outer = FList::New();
+  outer->Freeze();
+  EXPECT_EQ(outer->Append(Value::OfInt(1)).code(), StatusCode::kFrozen);
+}
+
+TEST(Value, PrimitivesAlwaysShareable) {
+  EXPECT_TRUE(Value().IsShareable());
+  EXPECT_TRUE(Value::OfBool(true).IsShareable());
+  EXPECT_TRUE(Value::OfInt(7).IsShareable());
+  EXPECT_TRUE(Value::OfDouble(1.5).IsShareable());
+  EXPECT_TRUE(Value::OfString("s").IsShareable());
+  EXPECT_TRUE(Value::OfTag(Tag{1, 2}).IsShareable());
+  EXPECT_TRUE(Value::OfBytes({1, 2, 3}).IsShareable());
+}
+
+TEST(Value, ContainersShareableOnlyWhenFrozen) {
+  auto list = FList::New();
+  Value v = Value::OfList(list);
+  EXPECT_FALSE(v.IsShareable());
+  v.Freeze();
+  EXPECT_TRUE(v.IsShareable());
+  EXPECT_TRUE(v.DeepFrozenForTest());
+}
+
+TEST(Value, DeepCopyIsIndependentAndMutable) {
+  auto map = FMap::New();
+  ASSERT_TRUE(map->Set("k", Value::OfString("original")).ok());
+  Value v = Value::OfMap(map);
+  v.Freeze();
+
+  Value copy = v.DeepCopy();
+  EXPECT_FALSE(copy.map()->frozen());
+  ASSERT_TRUE(copy.map()->Set("k", Value::OfString("changed")).ok());
+  EXPECT_EQ(v.map()->Find("k")->string_value(), "original");
+  EXPECT_EQ(copy.map()->Find("k")->string_value(), "changed");
+}
+
+TEST(Value, DeepCopyCopiesNestedStructures) {
+  auto inner = FList::New();
+  ASSERT_TRUE(inner->Append(Value::OfInt(1)).ok());
+  auto outer = FList::New();
+  ASSERT_TRUE(outer->Append(Value::OfList(inner)).ok());
+  Value v = Value::OfList(outer);
+  v.Freeze();
+
+  Value copy = v.DeepCopy();
+  ASSERT_EQ(copy.list()->size(), 1u);
+  EXPECT_TRUE(copy.list()->at(0).list()->Append(Value::OfInt(2)).ok());
+  EXPECT_EQ(inner->size(), 1u);  // original untouched
+}
+
+TEST(Value, EqualityIsStructural) {
+  auto m1 = FMap::New();
+  ASSERT_TRUE(m1->Set("a", Value::OfInt(1)).ok());
+  auto m2 = FMap::New();
+  ASSERT_TRUE(m2->Set("a", Value::OfInt(1)).ok());
+  EXPECT_TRUE(Value::OfMap(m1).Equals(Value::OfMap(m2)));
+  ASSERT_TRUE(m2->Set("b", Value::OfInt(2)).ok());
+  EXPECT_FALSE(Value::OfMap(m1).Equals(Value::OfMap(m2)));
+}
+
+TEST(Value, NumericCrossKindEquality) {
+  EXPECT_TRUE(Value::OfInt(3).Equals(Value::OfDouble(3.0)));
+  EXPECT_FALSE(Value::OfInt(3).Equals(Value::OfDouble(3.5)));
+  EXPECT_FALSE(Value::OfInt(1).Equals(Value::OfBool(true)));
+}
+
+TEST(Value, EstimateBytesGrowsWithContent) {
+  const size_t small = Value::OfString("x").EstimateBytes();
+  const size_t big = Value::OfString(std::string(10000, 'x')).EstimateBytes();
+  EXPECT_GT(big, small + 9000);
+}
+
+TEST(Value, ToStringRendersStructure) {
+  auto list = FList::New();
+  ASSERT_TRUE(list->Append(Value::OfInt(1)).ok());
+  ASSERT_TRUE(list->Append(Value::OfString("two")).ok());
+  EXPECT_EQ(Value::OfList(list).ToString(), "[1, 'two']");
+}
+
+TEST(FMap, SetOverwritesAndEraseRemoves) {
+  auto map = FMap::New();
+  ASSERT_TRUE(map->Set("k", Value::OfInt(1)).ok());
+  ASSERT_TRUE(map->Set("k", Value::OfInt(2)).ok());
+  EXPECT_EQ(map->size(), 1u);
+  EXPECT_EQ(map->Find("k")->int_value(), 2);
+  ASSERT_TRUE(map->Erase("k").ok());
+  EXPECT_EQ(map->Erase("k").code(), StatusCode::kNotFound);
+  EXPECT_TRUE(map->empty());
+}
+
+TEST(FMap, EntriesStaySorted) {
+  auto map = FMap::New();
+  ASSERT_TRUE(map->Set("b", Value::OfInt(2)).ok());
+  ASSERT_TRUE(map->Set("a", Value::OfInt(1)).ok());
+  ASSERT_TRUE(map->Set("c", Value::OfInt(3)).ok());
+  ASSERT_EQ(map->entries().size(), 3u);
+  EXPECT_EQ(map->entries()[0].first, "a");
+  EXPECT_EQ(map->entries()[2].first, "c");
+}
+
+// Property sweep: for random freeze/attach sequences, a frozen root implies
+// every transitively attached container is frozen.
+class FreezePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FreezePropertyTest, FrozenRootImpliesFrozenSubtree) {
+  Rng rng(GetParam());
+  auto root = FList::New();
+  std::vector<std::shared_ptr<FList>> all = {root};
+  // Random tree construction.
+  for (int i = 0; i < 50; ++i) {
+    auto node = FList::New();
+    auto& parent = all[rng.NextBelow(all.size())];
+    if (parent->Append(Value::OfList(node)).ok()) {
+      all.push_back(node);
+    }
+  }
+  root->Freeze();
+  for (const auto& node : all) {
+    // Every node reachable from the root must be frozen; nodes appended to
+    // never-frozen parents do not exist (append failures were skipped).
+    EXPECT_TRUE(node->frozen());
+    EXPECT_EQ(node->Append(Value::OfInt(1)).code(), StatusCode::kFrozen);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FreezePropertyTest, ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace defcon

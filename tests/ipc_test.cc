@@ -1,0 +1,259 @@
+// IPC substrate tests: wire format round-trips (including fuzz-style random
+// values), framed channels, fork helpers, and the baseline protocol.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/base/random.h"
+#include "src/baseline/protocol.h"
+#include "src/ipc/channel.h"
+#include "src/ipc/wire.h"
+
+namespace defcon {
+namespace {
+
+TEST(Wire, VarintBoundaries) {
+  WireWriter writer;
+  const uint64_t values[] = {0, 1, 127, 128, 16383, 16384, UINT64_MAX};
+  for (uint64_t v : values) {
+    writer.PutVarint(v);
+  }
+  WireReader reader(writer.buffer());
+  for (uint64_t v : values) {
+    auto r = reader.Varint();
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r, v);
+  }
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(Wire, ZigzagNegatives) {
+  WireWriter writer;
+  const int64_t values[] = {0, -1, 1, INT64_MIN, INT64_MAX, -123456789};
+  for (int64_t v : values) {
+    writer.PutZigzag(v);
+  }
+  WireReader reader(writer.buffer());
+  for (int64_t v : values) {
+    auto r = reader.Zigzag();
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r, v);
+  }
+}
+
+TEST(Wire, TruncatedInputFails) {
+  WireWriter writer;
+  writer.PutString("hello");
+  auto buffer = writer.Take();
+  buffer.resize(buffer.size() - 2);
+  WireReader reader(buffer);
+  EXPECT_FALSE(reader.String().ok());
+}
+
+TEST(Wire, AdversarialLengthRejected) {
+  // A huge declared string length must not allocate/overread.
+  WireWriter writer;
+  writer.PutVarint(UINT64_MAX);
+  WireReader reader(writer.buffer());
+  EXPECT_FALSE(reader.String().ok());
+}
+
+Value RandomValue(Rng* rng, int depth) {
+  switch (rng->NextBelow(depth > 2 ? 7 : 9)) {
+    case 0:
+      return Value();
+    case 1:
+      return Value::OfBool(rng->NextBool());
+    case 2:
+      return Value::OfInt(static_cast<int64_t>(rng->NextUint64()));
+    case 3:
+      return Value::OfDouble(rng->NextDouble() * 1e6);
+    case 4: {
+      std::string s;
+      for (size_t i = rng->NextBelow(20); i > 0; --i) {
+        s.push_back(static_cast<char>('a' + rng->NextBelow(26)));
+      }
+      return Value::OfString(std::move(s));
+    }
+    case 5:
+      return Value::OfTag(Tag{rng->NextUint64(), rng->NextUint64()});
+    case 6: {
+      std::vector<uint8_t> bytes(rng->NextBelow(32));
+      for (auto& b : bytes) {
+        b = static_cast<uint8_t>(rng->NextBelow(256));
+      }
+      return Value::OfBytes(std::move(bytes));
+    }
+    case 7: {
+      auto list = FList::New();
+      for (size_t i = rng->NextBelow(4); i > 0; --i) {
+        (void)list->Append(RandomValue(rng, depth + 1));
+      }
+      return Value::OfList(std::move(list));
+    }
+    default: {
+      auto map = FMap::New();
+      for (size_t i = rng->NextBelow(4); i > 0; --i) {
+        (void)map->Set("k" + std::to_string(i), RandomValue(rng, depth + 1));
+      }
+      return Value::OfMap(std::move(map));
+    }
+  }
+}
+
+class WireValueRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WireValueRoundTrip, RandomValuesSurvive) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 100; ++i) {
+    const Value original = RandomValue(&rng, 0);
+    WireWriter writer;
+    EncodeValue(original, &writer);
+    WireReader reader(writer.buffer());
+    auto decoded = DecodeValue(&reader);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_TRUE(original.Equals(*decoded)) << original.ToString();
+    EXPECT_TRUE(reader.AtEnd());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireValueRoundTrip, ::testing::Values(1, 2, 3, 5, 8));
+
+TEST(Wire, EventRoundTrip) {
+  Event event(42, 7);
+  event.set_origin_ns(123456789);
+  Part part;
+  part.name = "body";
+  part.label = Label({Tag{1, 2}}, {Tag{3, 4}});
+  auto map = FMap::New();
+  ASSERT_TRUE(map->Set("price", Value::OfInt(1234)).ok());
+  part.data = Value::OfMap(map);
+  part.data.Freeze();
+  part.grants.push_back({Tag{9, 9}, Privilege::kPlus});
+  event.AppendPart(part);
+
+  WireWriter writer;
+  EncodeEvent(event, &writer);
+  WireReader reader(writer.buffer());
+  auto decoded = DecodeEvent(&reader);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ((*decoded)->id(), 42u);
+  EXPECT_EQ((*decoded)->origin_ns(), 123456789);
+  const auto parts = (*decoded)->SnapshotParts();
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0].name, "body");
+  EXPECT_EQ(parts[0].label, part.label);
+  EXPECT_TRUE(parts[0].data.Equals(part.data));
+  ASSERT_EQ(parts[0].grants.size(), 1u);
+  EXPECT_EQ(parts[0].grants[0].privilege, Privilege::kPlus);
+}
+
+TEST(Channel, FramedRoundTripAcrossThreads) {
+  auto pair = Channel::CreatePair();
+  ASSERT_TRUE(pair.ok());
+  Channel a = std::move(pair->first);
+  Channel b = std::move(pair->second);
+
+  std::thread echo([&b] {
+    for (int i = 0; i < 100; ++i) {
+      auto frame = b.RecvFrame();
+      if (!frame.ok()) {
+        return;
+      }
+      (void)b.SendFrame(*frame);
+    }
+  });
+  for (int i = 0; i < 100; ++i) {
+    std::vector<uint8_t> payload(static_cast<size_t>(i) * 7 + 1, static_cast<uint8_t>(i));
+    ASSERT_TRUE(a.SendFrame(payload).ok());
+    auto back = a.RecvFrame();
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, payload);
+  }
+  echo.join();
+}
+
+TEST(Channel, EofReportedOnPeerClose) {
+  auto pair = Channel::CreatePair();
+  ASSERT_TRUE(pair.ok());
+  Channel a = std::move(pair->first);
+  pair->second.Close();
+  EXPECT_EQ(a.RecvFrame().status().code(), StatusCode::kIoError);
+}
+
+TEST(Channel, ForkedChildEchoes) {
+  auto pair = Channel::CreatePair();
+  ASSERT_TRUE(pair.ok());
+  auto parent_end = std::make_shared<Channel>(std::move(pair->first));
+  auto child_end = std::make_shared<Channel>(std::move(pair->second));
+
+  auto pid = ForkChild([child_end, parent_end] {
+    parent_end->Close();
+    auto frame = child_end->RecvFrame();
+    if (!frame.ok()) {
+      return 1;
+    }
+    for (auto& byte : *frame) {
+      byte ^= 0xFF;
+    }
+    return child_end->SendFrame(*frame).ok() ? 0 : 2;
+  });
+  ASSERT_TRUE(pid.ok());
+  child_end->Close();
+
+  std::vector<uint8_t> payload = {1, 2, 3};
+  ASSERT_TRUE(parent_end->SendFrame(payload).ok());
+  auto back = parent_end->RecvFrame();
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ((*back)[0], 0xFE);
+  EXPECT_EQ(WaitChild(*pid), 0);
+}
+
+TEST(Protocol, MessagesRoundTrip) {
+  TickMsg tick;
+  tick.symbol = 3;
+  tick.price_cents = 12345;
+  tick.sequence = 99;
+  tick.feed_send_ns = 1234567;
+  auto decoded_tick = DecodeMsg(EncodeTick(tick));
+  ASSERT_TRUE(decoded_tick.ok());
+  ASSERT_EQ(decoded_tick->kind, MsgKind::kTick);
+  EXPECT_EQ(decoded_tick->tick.symbol, 3u);
+  EXPECT_EQ(decoded_tick->tick.price_cents, 12345);
+  EXPECT_EQ(decoded_tick->tick.feed_send_ns, 1234567);
+
+  OrderMsg order;
+  order.agent_id = 5;
+  order.order_seq = 17;
+  order.symbol = 2;
+  order.buy = true;
+  order.price_cents = 999;
+  order.quantity = 100;
+  order.feed_send_ns = 1;
+  order.agent_recv_ns = 2;
+  order.agent_send_ns = 3;
+  auto decoded_order = DecodeMsg(EncodeOrder(order));
+  ASSERT_TRUE(decoded_order.ok());
+  ASSERT_EQ(decoded_order->kind, MsgKind::kOrder);
+  EXPECT_EQ(decoded_order->order.agent_id, 5u);
+  EXPECT_TRUE(decoded_order->order.buy);
+  EXPECT_EQ(decoded_order->order.agent_send_ns, 3);
+
+  TradeMsg trade;
+  trade.symbol = 1;
+  trade.price_cents = 10;
+  trade.quantity = 5;
+  trade.buy_agent = 2;
+  trade.sell_agent = 4;
+  auto decoded_trade = DecodeMsg(EncodeTrade(trade));
+  ASSERT_TRUE(decoded_trade.ok());
+  ASSERT_EQ(decoded_trade->kind, MsgKind::kTrade);
+  EXPECT_EQ(decoded_trade->trade.sell_agent, 4u);
+
+  auto decoded_shutdown = DecodeMsg(EncodeShutdown());
+  ASSERT_TRUE(decoded_shutdown.ok());
+  EXPECT_EQ(decoded_shutdown->kind, MsgKind::kShutdown);
+}
+
+}  // namespace
+}  // namespace defcon

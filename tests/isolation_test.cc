@@ -1,0 +1,227 @@
+// Isolation substrate tests: runtime interception, the §4 analysis pipeline
+// on hand-built graphs with known answers, and the synthetic-JDK funnel.
+#include <gtest/gtest.h>
+
+#include "src/isolation/analysis.h"
+#include "src/isolation/class_graph.h"
+#include "src/isolation/runtime.h"
+#include "src/isolation/synthetic_jdk.h"
+
+namespace defcon {
+namespace {
+
+// --- runtime ------------------------------------------------------------------
+
+TEST(IsolationRuntime, ApiCallsTraverseWovenTargets) {
+  IsolationRuntime runtime(DefaultWeavePlan());
+  auto state = runtime.CreateUnitState();
+  ASSERT_TRUE(runtime.CheckApiCall(state.get(), ApiTarget::kReadPart).ok());
+  EXPECT_GT(state->intercept_count(), 0u);
+  EXPECT_GT(runtime.total_intercepts(), 0u);
+}
+
+TEST(IsolationRuntime, BlockedTargetRaisesSecurityViolation) {
+  WeavePlan plan = DefaultWeavePlan();
+  // Block a target on the kReadPart path.
+  const uint32_t victim = plan.path_targets[static_cast<size_t>(ApiTarget::kReadPart)][0];
+  plan.targets[victim].blocked = true;
+  IsolationRuntime runtime(std::move(plan));
+  auto state = runtime.CreateUnitState();
+  EXPECT_EQ(runtime.CheckApiCall(state.get(), ApiTarget::kReadPart).code(),
+            StatusCode::kSecurityViolation);
+}
+
+TEST(IsolationRuntime, SynchronizeOnSharedObjectBlocked) {
+  IsolationRuntime runtime(DefaultWeavePlan());
+  auto state = runtime.CreateUnitState();
+  EXPECT_TRUE(runtime.CheckSynchronize(state.get(), /*never_shared=*/true).ok());
+  EXPECT_EQ(runtime.CheckSynchronize(state.get(), /*never_shared=*/false).code(),
+            StatusCode::kSecurityViolation);
+}
+
+TEST(IsolationRuntime, PerUnitStateAccountsMemory) {
+  MemoryAccountant accountant;
+  {
+    IsolationRuntime runtime(DefaultWeavePlan(), &accountant);
+    const int64_t fixed = accountant.bytes();
+    EXPECT_GT(fixed, 0);
+    auto a = runtime.CreateUnitState();
+    auto b = runtime.CreateUnitState();
+    EXPECT_GT(accountant.bytes(), fixed);
+    const int64_t with_units = accountant.bytes();
+    a.reset();
+    EXPECT_LT(accountant.bytes(), with_units);
+    b.reset();
+    EXPECT_EQ(accountant.bytes(), fixed);
+  }
+}
+
+// --- dependency analysis on a known graph --------------------------------------
+
+TEST(DependencyAnalysis, TrimsUnreferencedClasses) {
+  ClassGraph graph;
+  const uint32_t root = graph.AddClass("Root", "app");
+  const uint32_t used = graph.AddClass("Used", "lib");
+  const uint32_t transitively = graph.AddClass("Transitive", "lib");
+  const uint32_t unused = graph.AddClass("Unused", "gui");
+  graph.AddClassReference(root, used);
+  graph.AddClassReference(used, transitively);
+  graph.AddStaticField(used, "counter");
+  graph.AddStaticField(unused, "cache");
+  graph.AddMethod(transitively, "nativeThing", /*native=*/true);
+  graph.AddMethod(unused, "nativeGui", /*native=*/true);
+
+  const DependencyResult result = RunDependencyAnalysis(graph, {root});
+  EXPECT_EQ(result.used_class_count, 3u);
+  EXPECT_EQ(result.used_static_fields, 1u);
+  EXPECT_EQ(result.used_native_methods, 1u);
+  EXPECT_FALSE(result.class_used[unused]);
+}
+
+TEST(DependencyAnalysis, SuperclassesAreRetained) {
+  ClassGraph graph;
+  const uint32_t base = graph.AddClass("Base", "lib");
+  const uint32_t derived = graph.AddClass("Derived", "lib");
+  graph.SetSuper(derived, base);
+  const uint32_t root = graph.AddClass("Root", "app");
+  graph.AddClassReference(root, derived);
+  const DependencyResult result = RunDependencyAnalysis(graph, {root});
+  EXPECT_TRUE(result.class_used[base]);
+}
+
+// --- reachability with virtual dispatch ----------------------------------------
+
+TEST(Reachability, VirtualCallReachesOverrides) {
+  ClassGraph graph;
+  const uint32_t base = graph.AddClass("Base", "lib");
+  const uint32_t derived = graph.AddClass("Derived", "lib");
+  graph.SetSuper(derived, base);
+  const uint32_t entry_class = graph.AddClass("Entry", "lib");
+
+  const uint32_t base_method = graph.AddMethod(base, "run", false);
+  const uint32_t override_method = graph.AddMethod(derived, "run", false);
+  graph.AddOverride(base_method, override_method);
+  const uint32_t native_leaf = graph.AddMethod(derived, "leaf", true);
+  graph.AddCall(override_method, native_leaf);
+
+  const uint32_t entry = graph.AddMethod(entry_class, "main", false);
+  graph.AddVirtualCall(entry, base_method);
+
+  DependencyResult deps;
+  deps.class_used.assign(graph.classes().size(), true);
+
+  const ReachabilityResult result = RunReachabilityAnalysis(graph, deps, {entry});
+  EXPECT_TRUE(result.method_reachable[base_method]);
+  EXPECT_TRUE(result.method_reachable[override_method]);
+  ASSERT_EQ(result.dangerous_native_methods.size(), 1u);
+  EXPECT_EQ(result.dangerous_native_methods[0], native_leaf);
+}
+
+TEST(Reachability, StaticCallDoesNotReachOverrides) {
+  ClassGraph graph;
+  const uint32_t base = graph.AddClass("Base", "lib");
+  const uint32_t derived = graph.AddClass("Derived", "lib");
+  graph.SetSuper(derived, base);
+  const uint32_t entry_class = graph.AddClass("Entry", "lib");
+
+  const uint32_t base_method = graph.AddMethod(base, "run", false);
+  const uint32_t override_method = graph.AddMethod(derived, "run", false);
+  graph.AddOverride(base_method, override_method);
+
+  const uint32_t entry = graph.AddMethod(entry_class, "main", false);
+  graph.AddCall(entry, base_method);  // devirtualised
+
+  DependencyResult deps;
+  deps.class_used.assign(graph.classes().size(), true);
+  const ReachabilityResult result = RunReachabilityAnalysis(graph, deps, {entry});
+  EXPECT_TRUE(result.method_reachable[base_method]);
+  EXPECT_FALSE(result.method_reachable[override_method]);
+}
+
+TEST(Reachability, RestrictedToUsedClasses) {
+  ClassGraph graph;
+  const uint32_t lib = graph.AddClass("Lib", "lib");
+  const uint32_t gui = graph.AddClass("Gui", "gui");
+  const uint32_t entry = graph.AddMethod(lib, "main", false);
+  const uint32_t gui_method = graph.AddMethod(gui, "paint", true);
+  graph.AddCall(entry, gui_method);
+
+  DependencyResult deps;
+  deps.class_used.assign(graph.classes().size(), false);
+  deps.class_used[lib] = true;  // gui was trimmed
+  const ReachabilityResult result = RunReachabilityAnalysis(graph, deps, {entry});
+  EXPECT_FALSE(result.method_reachable[gui_method]);
+  EXPECT_TRUE(result.dangerous_native_methods.empty());
+}
+
+// --- heuristics ------------------------------------------------------------------
+
+TEST(Heuristics, RulesMatchPaperCategories) {
+  ClassGraph graph;
+  const uint32_t unsafe = graph.AddClass("Unsafe", "sun.misc");
+  graph.mutable_class(unsafe).is_unsafe_class = true;
+  const uint32_t lang = graph.AddClass("String", "java.lang");
+  const uint32_t entry = graph.AddMethod(lang, "entry", false);
+
+  const uint32_t unsafe_field = graph.AddStaticField(unsafe, "theUnsafe");
+  const uint32_t constant = graph.AddStaticField(lang, "CASE_INSENSITIVE_ORDER");
+  graph.mutable_field(constant).is_final = true;
+  graph.mutable_field(constant).immutable_type = true;
+  const uint32_t write_once = graph.AddStaticField(lang, "serialPersistentFields");
+  graph.mutable_field(write_once).is_private = true;
+  graph.mutable_field(write_once).write_once = true;
+  const uint32_t mutable_field = graph.AddStaticField(lang, "threadSeqNum");
+
+  for (uint32_t field : {unsafe_field, constant, write_once, mutable_field}) {
+    graph.AddFieldAccess(entry, field);
+  }
+  DependencyResult deps;
+  deps.class_used.assign(graph.classes().size(), true);
+  const ReachabilityResult reach = RunReachabilityAnalysis(graph, deps, {entry});
+  ASSERT_EQ(reach.dangerous_static_fields.size(), 4u);
+
+  const HeuristicResult result = RunHeuristicWhitelist(graph, reach);
+  EXPECT_EQ(result.whitelisted_unsafe, 1u);
+  EXPECT_EQ(result.whitelisted_final_immutable, 1u);
+  EXPECT_EQ(result.whitelisted_write_once, 1u);
+  ASSERT_EQ(result.remaining_static_fields.size(), 1u);
+  EXPECT_EQ(result.remaining_static_fields[0], mutable_field);
+}
+
+// --- the full synthetic funnel ----------------------------------------------------
+
+TEST(Sec4Funnel, ReproducesPaperShape) {
+  SyntheticJdkParams params;
+  params.seed = 42;
+  WeavePlan plan;
+  const FunnelReport report = RunSec4Pipeline(params, &plan);
+
+  // Population statistics (exact by construction).
+  EXPECT_EQ(report.total_static_fields, 4000u);
+  EXPECT_EQ(report.total_native_methods, 2000u);
+
+  // Funnel stages: compare against the paper's reported counts with slack
+  // for the generator's randomness.
+  EXPECT_GT(report.used_targets, 1500u);          // paper: "more than 2,000"
+  EXPECT_NEAR(static_cast<double>(report.reachable_dangerous_static), 900.0, 120.0);
+  EXPECT_NEAR(static_cast<double>(report.reachable_dangerous_native), 320.0, 60.0);
+  EXPECT_NEAR(static_cast<double>(report.after_heuristics_static), 500.0, 120.0);
+  EXPECT_NEAR(static_cast<double>(report.after_heuristics_native), 300.0, 60.0);
+  EXPECT_EQ(report.manual_total(), 52u);          // paper: 15 + 27 + 10
+  EXPECT_EQ(report.profiling_whitelisted, 15u);   // paper: 6 + 9
+  EXPECT_EQ(report.woven_targets, plan.targets.size());
+  EXPECT_GT(plan.targets.size(), 0u);
+}
+
+TEST(Sec4Funnel, DeterministicForSeed) {
+  SyntheticJdkParams params;
+  params.seed = 7;
+  const FunnelReport a = RunSec4Pipeline(params, nullptr);
+  const FunnelReport b = RunSec4Pipeline(params, nullptr);
+  EXPECT_EQ(a.used_targets, b.used_targets);
+  EXPECT_EQ(a.reachable_dangerous_static, b.reachable_dangerous_static);
+  EXPECT_EQ(a.after_heuristics_native, b.after_heuristics_native);
+}
+
+}  // namespace
+}  // namespace defcon

@@ -1,0 +1,188 @@
+// Tag-set, label-lattice and privilege tests, including property-based
+// verification of the lattice laws from §3.1.1.
+#include <gtest/gtest.h>
+
+#include "src/base/random.h"
+#include "src/core/label.h"
+#include "src/core/privileges.h"
+#include "src/core/tag_store.h"
+
+namespace defcon {
+namespace {
+
+Tag T(uint64_t n) { return Tag{n, n * 31 + 1}; }
+
+TEST(TagSet, InsertEraseContains) {
+  TagSet set;
+  EXPECT_TRUE(set.empty());
+  set.Insert(T(2));
+  set.Insert(T(1));
+  set.Insert(T(2));  // duplicate
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.Contains(T(1)));
+  EXPECT_FALSE(set.Contains(T(3)));
+  EXPECT_TRUE(set.Erase(T(1)));
+  EXPECT_FALSE(set.Erase(T(1)));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(TagSet, SetAlgebra) {
+  const TagSet a = {T(1), T(2), T(3)};
+  const TagSet b = {T(2), T(3), T(4)};
+  EXPECT_EQ(TagSet::Union(a, b), TagSet({T(1), T(2), T(3), T(4)}));
+  EXPECT_EQ(TagSet::Intersection(a, b), TagSet({T(2), T(3)}));
+  EXPECT_EQ(TagSet::Difference(a, b), TagSet({T(1)}));
+  EXPECT_TRUE(TagSet({T(2)}).IsSubsetOf(a));
+  EXPECT_FALSE(a.IsSubsetOf(b));
+  EXPECT_TRUE(TagSet().IsSubsetOf(a));
+  EXPECT_TRUE(TagSet().IsSubsetOf(TagSet()));
+}
+
+TEST(Label, CanFlowToBasics) {
+  const Tag secret = T(1);
+  const Tag trusted = T(2);
+  const Label public_label;
+  const Label secret_label({secret}, {});
+  const Label trusted_label({}, {trusted});
+
+  // Confidentiality is sticky: up is fine, down is not.
+  EXPECT_TRUE(CanFlowTo(public_label, secret_label));
+  EXPECT_FALSE(CanFlowTo(secret_label, public_label));
+  // Integrity is fragile: high-integrity data may flow to low, not back.
+  EXPECT_TRUE(CanFlowTo(trusted_label, public_label));
+  EXPECT_FALSE(CanFlowTo(public_label, trusted_label));
+  EXPECT_TRUE(CanFlowTo(public_label, public_label));
+}
+
+TEST(Label, JoinMatchesPaperExamples) {
+  // §3.1.1: {s-trading, s-client-2402} + {s-trading, s-trader-77} =>
+  // union of confidentiality tags.
+  const Tag trading = T(1);
+  const Tag client = T(2);
+  const Tag trader = T(3);
+  const Label a({trading, client}, {});
+  const Label b({trading, trader}, {});
+  EXPECT_EQ(LabelJoin(a, b).secrecy, TagSet({trading, client, trader}));
+
+  // {i-stockticker} mixed with {i-trader-77} => {} (integrity destroyed).
+  const Label ticker({}, {T(10)});
+  const Label trader_i({}, {T(11)});
+  EXPECT_TRUE(LabelJoin(ticker, trader_i).integrity.empty());
+}
+
+// Property-based lattice laws over random labels.
+class LabelPropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  TagSet RandomSet(Rng* rng) {
+    TagSet set;
+    const size_t n = rng->NextBelow(6);
+    for (size_t i = 0; i < n; ++i) {
+      set.Insert(T(1 + rng->NextBelow(8)));
+    }
+    return set;
+  }
+  Label RandomLabel(Rng* rng) { return Label(RandomSet(rng), RandomSet(rng)); }
+};
+
+TEST_P(LabelPropertyTest, JoinIsLeastUpperBound) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const Label a = RandomLabel(&rng);
+    const Label b = RandomLabel(&rng);
+    const Label j = LabelJoin(a, b);
+    // Upper bound.
+    EXPECT_TRUE(CanFlowTo(a, j));
+    EXPECT_TRUE(CanFlowTo(b, j));
+    // Least: any other upper bound is above the join.
+    const Label c = RandomLabel(&rng);
+    if (CanFlowTo(a, c) && CanFlowTo(b, c)) {
+      EXPECT_TRUE(CanFlowTo(j, c));
+    }
+  }
+}
+
+TEST_P(LabelPropertyTest, MeetIsGreatestLowerBound) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const Label a = RandomLabel(&rng);
+    const Label b = RandomLabel(&rng);
+    const Label m = LabelMeet(a, b);
+    EXPECT_TRUE(CanFlowTo(m, a));
+    EXPECT_TRUE(CanFlowTo(m, b));
+    const Label c = RandomLabel(&rng);
+    if (CanFlowTo(c, a) && CanFlowTo(c, b)) {
+      EXPECT_TRUE(CanFlowTo(c, m));
+    }
+  }
+}
+
+TEST_P(LabelPropertyTest, FlowIsReflexiveTransitiveAntisymmetric) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const Label a = RandomLabel(&rng);
+    const Label b = RandomLabel(&rng);
+    const Label c = RandomLabel(&rng);
+    EXPECT_TRUE(CanFlowTo(a, a));
+    if (CanFlowTo(a, b) && CanFlowTo(b, c)) {
+      EXPECT_TRUE(CanFlowTo(a, c));
+    }
+    if (CanFlowTo(a, b) && CanFlowTo(b, a)) {
+      EXPECT_EQ(a, b);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LabelPropertyTest, ::testing::Values(1, 2, 3, 5, 8, 13));
+
+TEST(Privileges, DelegationRules) {
+  PrivilegeSet set;
+  const Tag t = T(1);
+  set.Grant(t, Privilege::kMinusAuth);
+  // t-auth delegates t- and t-auth, not t+ or t+auth.
+  EXPECT_TRUE(set.CanDelegate(t, Privilege::kMinus));
+  EXPECT_TRUE(set.CanDelegate(t, Privilege::kMinusAuth));
+  EXPECT_FALSE(set.CanDelegate(t, Privilege::kPlus));
+  EXPECT_FALSE(set.CanDelegate(t, Privilege::kPlusAuth));
+  // Holding t- alone delegates nothing.
+  PrivilegeSet minus_only;
+  minus_only.Grant(t, Privilege::kMinus);
+  EXPECT_FALSE(minus_only.CanDelegate(t, Privilege::kMinus));
+}
+
+TEST(Privileges, CreatorRights) {
+  PrivilegeSet set;
+  const Tag t = T(1);
+  set.GrantCreatorRights(t);
+  EXPECT_TRUE(set.Has(t, Privilege::kPlusAuth));
+  EXPECT_TRUE(set.Has(t, Privilege::kMinusAuth));
+  EXPECT_FALSE(set.Has(t, Privilege::kPlus));
+  EXPECT_FALSE(set.Has(t, Privilege::kMinus));
+}
+
+TEST(TagStore, TagsAreUniqueAndNamed) {
+  TagStore store(123);
+  const Tag a = store.CreateTag("alpha");
+  const Tag b = store.CreateTag("beta");
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(a.IsValid());
+  EXPECT_EQ(store.NameOf(a), "alpha");
+  EXPECT_EQ(store.NameOf(Tag{99, 99}), "<unknown>");
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(TagStore, NameRecordingCanBeDisabled) {
+  TagStore store(123);
+  store.set_record_names(false);
+  const Tag a = store.CreateTag("alpha");
+  EXPECT_TRUE(a.IsValid());
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(TagStore, DeterministicForSeed) {
+  TagStore s1(77);
+  TagStore s2(77);
+  EXPECT_EQ(s1.CreateTag("x"), s2.CreateTag("x"));
+}
+
+}  // namespace
+}  // namespace defcon

@@ -1,0 +1,157 @@
+// Multithreaded (pooled executor) engine tests: the actor model must keep
+// unit turns serialised and the dispatcher race-free when turns execute on a
+// worker pool instead of the deterministic manual pump.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "src/core/engine.h"
+#include "src/market/tick_source.h"
+#include "src/trading/platform.h"
+#include "tests/test_util.h"
+
+namespace defcon {
+namespace {
+
+TEST(PooledEngine, DeliveriesAcrossWorkers) {
+  EngineConfig config;
+  config.mode = SecurityMode::kLabels;
+  config.num_threads = 4;
+  Engine engine(config);
+
+  std::atomic<int> received{0};
+  constexpr int kReceivers = 16;
+  for (int i = 0; i < kReceivers; ++i) {
+    engine.AddUnit("r" + std::to_string(i),
+                   std::make_unique<TestUnit>(
+                       [](UnitContext& ctx) {
+                         ASSERT_TRUE(ctx.Subscribe(Filter::Exists("ping")).ok());
+                       },
+                       [&received](UnitContext& ctx, EventHandle e, SubscriptionId) {
+                         received.fetch_add(1);
+                       }));
+  }
+  const UnitId sender = engine.AddUnit("sender", std::make_unique<TestUnit>());
+  engine.Start();
+  engine.WaitIdle();
+
+  constexpr int kEvents = 200;
+  for (int i = 0; i < kEvents; ++i) {
+    engine.InjectTurn(sender, [](UnitContext& ctx) {
+      auto event = ctx.CreateEvent();
+      ASSERT_TRUE(event.ok());
+      ASSERT_TRUE(ctx.AddPart(*event, Label(), "ping", Value::OfInt(1)).ok());
+      ASSERT_TRUE(ctx.Publish(*event).ok());
+    });
+  }
+  engine.WaitIdle();
+  EXPECT_EQ(received.load(), kEvents * kReceivers);
+  engine.Stop();
+}
+
+TEST(PooledEngine, UnitTurnsStaySerialised) {
+  EngineConfig config;
+  config.num_threads = 4;
+  Engine engine(config);
+
+  std::atomic<int> concurrent{0};
+  std::atomic<int> max_concurrent{0};
+  auto* unit = new TestUnit(
+      [](UnitContext& ctx) { ASSERT_TRUE(ctx.Subscribe(Filter::Exists("ping")).ok()); },
+      [&](UnitContext& ctx, EventHandle e, SubscriptionId) {
+        const int now = concurrent.fetch_add(1) + 1;
+        int prev = max_concurrent.load();
+        while (now > prev && !max_concurrent.compare_exchange_weak(prev, now)) {
+        }
+        concurrent.fetch_sub(1);
+      });
+  engine.AddUnit("victim", std::unique_ptr<Unit>(unit));
+  const UnitId sender = engine.AddUnit("sender", std::make_unique<TestUnit>());
+  engine.Start();
+  engine.WaitIdle();
+  for (int i = 0; i < 500; ++i) {
+    engine.InjectTurn(sender, [](UnitContext& ctx) {
+      auto event = ctx.CreateEvent();
+      ASSERT_TRUE(event.ok());
+      ASSERT_TRUE(ctx.AddPart(*event, Label(), "ping", Value::OfInt(1)).ok());
+      ASSERT_TRUE(ctx.Publish(*event).ok());
+    });
+  }
+  engine.WaitIdle();
+  EXPECT_EQ(unit->delivery_count(), 500u);
+  EXPECT_EQ(max_concurrent.load(), 1);
+  engine.Stop();
+}
+
+TEST(PooledEngine, TradingPlatformEndToEnd) {
+  EngineConfig engine_config;
+  engine_config.mode = SecurityMode::kLabels;
+  engine_config.num_threads = 4;
+  Engine engine(engine_config);
+
+  PlatformConfig config;
+  config.num_traders = 8;
+  config.num_symbols = 16;
+  config.seed = 11;
+  TradingPlatform platform(&engine, config);
+  platform.Assemble();
+  engine.Start();
+  engine.WaitIdle();
+
+  TickSource source(config.num_symbols, config.seed);
+  for (int i = 0; i < 3000; ++i) {
+    platform.InjectTick(source.Next());
+    if (i % 256 == 0) {
+      engine.WaitIdle();  // bound the mailbox backlog
+    }
+  }
+  engine.WaitIdle();
+  EXPECT_GT(platform.trades_completed(), 0u);
+  const auto stats = engine.stats();
+  EXPECT_GT(stats.deliveries, 3000u);
+  engine.Stop();
+}
+
+TEST(PooledEngine, ConcurrentSecrecyConfinementHolds) {
+  // A contaminated publisher and a clean spy racing on worker threads: no
+  // interleaving may leak the protected part.
+  EngineConfig config;
+  config.mode = SecurityMode::kLabels;
+  config.num_threads = 4;
+  Engine engine(config);
+  const Tag secret = engine.CreateTag("secret");
+
+  std::atomic<int> spied{0};
+  engine.AddUnit("spy", std::make_unique<TestUnit>(
+                            [](UnitContext& ctx) {
+                              ASSERT_TRUE(ctx.Subscribe(Filter::Exists("open")).ok());
+                            },
+                            [&spied](UnitContext& ctx, EventHandle e, SubscriptionId) {
+                              auto views = ctx.ReadPart(e, "protected");
+                              if (views.ok() && !views->empty()) {
+                                spied.fetch_add(1);
+                              }
+                            }));
+  PrivilegeSet owner;
+  owner.GrantAll(secret);
+  const UnitId publisher = engine.AddUnit("publisher", std::make_unique<TestUnit>(), Label(),
+                                          owner);
+  engine.Start();
+  engine.WaitIdle();
+  for (int i = 0; i < 500; ++i) {
+    engine.InjectTurn(publisher, [secret](UnitContext& ctx) {
+      auto event = ctx.CreateEvent();
+      ASSERT_TRUE(event.ok());
+      ASSERT_TRUE(ctx.AddPart(*event, Label(), "open", Value::OfInt(1)).ok());
+      ASSERT_TRUE(
+          ctx.AddPart(*event, Label({secret}, {}), "protected", Value::OfInt(2)).ok());
+      ASSERT_TRUE(ctx.Publish(*event).ok());
+    });
+  }
+  engine.WaitIdle();
+  EXPECT_EQ(spied.load(), 0);
+  engine.Stop();
+}
+
+}  // namespace
+}  // namespace defcon

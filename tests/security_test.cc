@@ -1,0 +1,367 @@
+// Adversarial security tests: units actively trying to violate DEFC.
+//
+// Each test encodes an attack from the paper's threat model (§2.2 — buggy or
+// intentionally leaking units) and asserts the engine forecloses it. These
+// complement engine_test.cc, which checks the API's positive semantics.
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+#include "tests/test_util.h"
+
+namespace defcon {
+namespace {
+
+// Attack: a unit cleared for a secret re-publishes it on a public part.
+// Contamination independence must stamp the output with its label anyway.
+TEST(Attack, RepublishSecretOnPublicPart) {
+  Engine engine(ManualConfig());
+  const Tag secret = engine.CreateTag("secret");
+
+  // Victim publishes a secret; the mole (cleared, no declassify) re-publishes.
+  std::vector<std::string> mole_got;
+  auto* mole = new TestUnit(
+      [&](UnitContext& ctx) { ASSERT_TRUE(ctx.Subscribe(Filter::Exists("payload")).ok()); },
+      [&](UnitContext& ctx, EventHandle e, SubscriptionId) {
+        auto views = ctx.ReadPart(e, "payload");
+        ASSERT_TRUE(views.ok());
+        for (const auto& view : *views) {
+          mole_got.push_back(view.data.string_value());
+          auto out = ctx.CreateEvent();
+          ASSERT_TRUE(out.ok());
+          // Deliberately requests a PUBLIC label for stolen data.
+          ASSERT_TRUE(ctx.AddPart(*out, Label(), "stolen", view.data).ok());
+          ASSERT_TRUE(ctx.Publish(*out).ok());
+        }
+      });
+  PrivilegeSet cleared;
+  cleared.Grant(secret, Privilege::kPlus);
+  engine.AddUnit("mole", std::unique_ptr<Unit>(mole), Label({secret}, {}), cleared);
+
+  auto* outsider = new TestUnit(
+      [](UnitContext& ctx) { ASSERT_TRUE(ctx.Subscribe(Filter::Exists("stolen")).ok()); });
+  engine.AddUnit("outsider", std::unique_ptr<Unit>(outsider));
+
+  PrivilegeSet owner;
+  owner.GrantAll(secret);
+  const UnitId victim = engine.AddUnit("victim", std::make_unique<TestUnit>(), Label(), owner);
+  engine.Start();
+  engine.RunUntilIdle();
+
+  engine.InjectTurn(victim, [secret](UnitContext& ctx) {
+    auto event = ctx.CreateEvent();
+    ASSERT_TRUE(event.ok());
+    ASSERT_TRUE(
+        ctx.AddPart(*event, Label({secret}, {}), "payload", Value::OfString("account-keys")).ok());
+    ASSERT_TRUE(ctx.Publish(*event).ok());
+  });
+  engine.RunUntilIdle();
+
+  EXPECT_EQ(mole_got.size(), 1u);             // the mole could read it...
+  EXPECT_EQ(outsider->delivery_count(), 0u);  // ...but its copy stayed confined
+}
+
+// Attack: exfiltrate through an event created inside a managed instance.
+// The instance is contaminated by construction; its outputs must be too.
+TEST(Attack, ManagedInstanceExfiltration) {
+  Engine engine(ManualConfig());
+  const Tag secret = engine.CreateTag("secret");
+
+  const UnitId owner_id = engine.AddUnit(
+      "owner", std::make_unique<TestUnit>([](UnitContext& ctx) {
+        auto sub = ctx.SubscribeManaged(
+            [] {
+              return std::make_unique<TestUnit>(
+                  nullptr, [](UnitContext& ictx, EventHandle e, SubscriptionId) {
+                    auto views = ictx.ReadPart(e, "payload");
+                    if (!views.ok() || views->empty()) {
+                      return;
+                    }
+                    auto out = ictx.CreateEvent();
+                    if (!out.ok()) {
+                      return;
+                    }
+                    (void)ictx.AddPart(*out, Label(), "exfil", views->front().data);
+                    (void)ictx.Publish(*out);
+                  });
+            },
+            Filter::Exists("payload"));
+        ASSERT_TRUE(sub.ok());
+      }));
+  (void)owner_id;
+
+  auto* outsider = new TestUnit(
+      [](UnitContext& ctx) { ASSERT_TRUE(ctx.Subscribe(Filter::Exists("exfil")).ok()); });
+  engine.AddUnit("outsider", std::unique_ptr<Unit>(outsider));
+
+  PrivilegeSet owner;
+  owner.GrantAll(secret);
+  const UnitId victim = engine.AddUnit("victim", std::make_unique<TestUnit>(), Label(), owner);
+  engine.Start();
+  engine.RunUntilIdle();
+  engine.InjectTurn(victim, [secret](UnitContext& ctx) {
+    auto event = ctx.CreateEvent();
+    ASSERT_TRUE(event.ok());
+    ASSERT_TRUE(ctx.AddPart(*event, Label({secret}, {}), "payload", Value::OfString("x")).ok());
+    ASSERT_TRUE(ctx.Publish(*event).ok());
+  });
+  engine.RunUntilIdle();
+
+  EXPECT_GT(engine.stats().managed_instances_created, 0u);  // the read happened
+  EXPECT_EQ(outsider->delivery_count(), 0u);                // the exfil event stayed confined
+}
+
+// Attack: infer a secret part's existence via filters (implicit flow).
+// Invisible parts must behave exactly like absent ones, including under
+// negation, so both filters below give the same answer for secret-part
+// events as for no-part events.
+TEST(Attack, ExistenceInferenceViaFilters) {
+  Engine engine(ManualConfig());
+  const Tag secret = engine.CreateTag("secret");
+
+  auto* pos_probe = new TestUnit([](UnitContext& ctx) {
+    ASSERT_TRUE(ctx.Subscribe(Filter::And(Filter::Exists("marker"), Filter::Exists("payload")))
+                    .ok());
+  });
+  engine.AddUnit("pos", std::unique_ptr<Unit>(pos_probe));
+  auto* neg_probe = new TestUnit([](UnitContext& ctx) {
+    ASSERT_TRUE(
+        ctx.Subscribe(Filter::And(Filter::Exists("marker"), Filter::Not(Filter::Exists("payload"))))
+            .ok());
+  });
+  engine.AddUnit("neg", std::unique_ptr<Unit>(neg_probe));
+
+  PrivilegeSet owner;
+  owner.GrantAll(secret);
+  const UnitId victim = engine.AddUnit("victim", std::make_unique<TestUnit>(), Label(), owner);
+  engine.Start();
+  engine.RunUntilIdle();
+
+  // Event A: has a secret payload. Event B: no payload at all.
+  engine.InjectTurn(victim, [secret](UnitContext& ctx) {
+    auto a = ctx.CreateEvent();
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(ctx.AddPart(*a, Label(), "marker", Value::OfInt(1)).ok());
+    ASSERT_TRUE(ctx.AddPart(*a, Label({secret}, {}), "payload", Value::OfString("x")).ok());
+    ASSERT_TRUE(ctx.Publish(*a).ok());
+    auto b = ctx.CreateEvent();
+    ASSERT_TRUE(b.ok());
+    ASSERT_TRUE(ctx.AddPart(*b, Label(), "marker", Value::OfInt(2)).ok());
+    ASSERT_TRUE(ctx.Publish(*b).ok());
+  });
+  engine.RunUntilIdle();
+
+  // The positive probe never fires; the negative probe fires for BOTH events
+  // — the secret part is indistinguishable from absence.
+  EXPECT_EQ(pos_probe->delivery_count(), 0u);
+  EXPECT_EQ(neg_probe->delivery_count(), 2u);
+}
+
+// Attack: steal a privilege by reading a part carrying it across a label
+// wall using a self-created managed subscription — the bestowal must only
+// confer privileges on the contaminated instance, never the owner.
+TEST(Attack, PrivilegeLaunderingViaManagedInstance) {
+  Engine engine(ManualConfig());
+  const Tag secret = engine.CreateTag("secret");
+  const Tag prize = engine.CreateTag("prize");
+
+  UnitId attacker_id = engine.AddUnit(
+      "attacker", std::make_unique<TestUnit>([](UnitContext& ctx) {
+        auto sub = ctx.SubscribeManaged(
+            [] {
+              return std::make_unique<TestUnit>(
+                  nullptr, [](UnitContext& ictx, EventHandle e, SubscriptionId) {
+                    (void)ictx.ReadPart(e, "carrier");  // bestows prize+ on the INSTANCE
+                  });
+            },
+            Filter::Exists("carrier"));
+        ASSERT_TRUE(sub.ok());
+      }));
+
+  PrivilegeSet owner;
+  owner.GrantAll(secret);
+  owner.GrantAll(prize);
+  const UnitId victim = engine.AddUnit("victim", std::make_unique<TestUnit>(), Label(), owner);
+  engine.Start();
+  engine.RunUntilIdle();
+  engine.InjectTurn(victim, [secret, prize](UnitContext& ctx) {
+    auto event = ctx.CreateEvent();
+    ASSERT_TRUE(event.ok());
+    ASSERT_TRUE(ctx.AddPart(*event, Label({secret}, {}), "carrier", Value::OfTag(prize)).ok());
+    ASSERT_TRUE(
+        ctx.AttachPrivilegeToPart(*event, "carrier", Label({secret}, {}), prize, Privilege::kPlus)
+            .ok());
+    ASSERT_TRUE(ctx.Publish(*event).ok());
+  });
+  engine.RunUntilIdle();
+
+  // The attacker's own unit never gains prize+ (the instance did, confined
+  // at {secret}).
+  EXPECT_FALSE(engine.UnitHasPrivilege(attacker_id, prize, Privilege::kPlus));
+}
+
+// Attack: forge integrity by instantiating a child at high output integrity.
+// The child's output integrity is capped by the caller's.
+TEST(Attack, IntegrityForgeryViaInstantiation) {
+  Engine engine(ManualConfig());
+  const Tag s = engine.CreateTag("i-exchange");
+
+  auto* reader = new TestUnit(
+      [](UnitContext& ctx) { ASSERT_TRUE(ctx.Subscribe(Filter::Exists("data")).ok()); });
+  engine.AddUnit("reader", std::unique_ptr<Unit>(reader), Label({}, {s}), PrivilegeSet());
+
+  const UnitId attacker = engine.AddUnit("attacker", std::make_unique<TestUnit>());
+  engine.Start();
+  engine.RunUntilIdle();
+
+  engine.InjectTurn(attacker, [s](UnitContext& ctx) {
+    // Child requested at integrity {s}; the engine intersects with the
+    // caller's output integrity ({}), so the child cannot endorse.
+    auto forger = std::make_unique<TestUnit>([s](UnitContext& cctx) {
+      auto event = cctx.CreateEvent();
+      if (!event.ok()) {
+        return;
+      }
+      (void)cctx.AddPart(*event, Label({}, {s}), "data", Value::OfString("forged tick"));
+      (void)cctx.Publish(*event);
+    });
+    auto child = ctx.InstantiateUnit("forger", std::move(forger), Label({}, {s}), {});
+    ASSERT_TRUE(child.ok());
+  });
+  engine.RunUntilIdle();
+  EXPECT_EQ(reader->delivery_count(), 0u);
+}
+
+// Attack: replay/observe event delivery counts. cloneEvent's restamping
+// prevents correlating the number of events a contaminated unit received.
+TEST(Attack, CloneDoesNotCarryPrivileges) {
+  Engine engine(ManualConfig());
+  const Tag prize = engine.CreateTag("prize");
+
+  std::vector<PrivilegeGrant> leaked_grants;
+  auto* cloner = new TestUnit(
+      [](UnitContext& ctx) { ASSERT_TRUE(ctx.Subscribe(Filter::Exists("carrier")).ok()); },
+      [](UnitContext& ctx, EventHandle e, SubscriptionId) {
+        auto clone = ctx.CloneEvent(e);
+        ASSERT_TRUE(clone.ok());
+        // Re-publishing the clone must NOT re-delegate prize+ to readers.
+        (void)ctx.DelPart(*clone, Label(), "carrier");
+        ASSERT_TRUE(ctx.AddPart(*clone, Label(), "replayed", Value::OfInt(1)).ok());
+        ASSERT_TRUE(ctx.Publish(*clone).ok());
+      });
+  engine.AddUnit("cloner", std::unique_ptr<Unit>(cloner));
+
+  UnitId reader_id = engine.AddUnit(
+      "reader", std::make_unique<TestUnit>(
+                    [](UnitContext& ctx) {
+                      ASSERT_TRUE(ctx.Subscribe(Filter::Exists("replayed")).ok());
+                    },
+                    [](UnitContext& ctx, EventHandle e, SubscriptionId) {
+                      (void)ctx.ReadPart(e, "carrier");
+                      (void)ctx.ReadPart(e, "replayed");
+                    }));
+
+  PrivilegeSet owner;
+  owner.GrantAll(prize);
+  const UnitId victim = engine.AddUnit("victim", std::make_unique<TestUnit>(), Label(), owner);
+  engine.Start();
+  engine.RunUntilIdle();
+  engine.InjectTurn(victim, [prize](UnitContext& ctx) {
+    auto event = ctx.CreateEvent();
+    ASSERT_TRUE(event.ok());
+    ASSERT_TRUE(ctx.AddPart(*event, Label(), "carrier", Value::OfTag(prize)).ok());
+    ASSERT_TRUE(
+        ctx.AttachPrivilegeToPart(*event, "carrier", Label(), prize, Privilege::kPlus).ok());
+    ASSERT_TRUE(ctx.Publish(*event).ok());
+  });
+  engine.RunUntilIdle();
+
+  EXPECT_FALSE(engine.UnitHasPrivilege(reader_id, prize, Privilege::kPlus));
+}
+
+// Attack: widen delivery via main-path augmentation. Parts added to a
+// received event are stamped with the augmenter's output label, so the
+// re-match cannot deliver to units below that level.
+TEST(Attack, AugmentationCannotWidenDelivery) {
+  Engine engine(ManualConfig());
+  const Tag secret = engine.CreateTag("secret");
+
+  // The tainted augmenter tries to add a "beacon" part that a public unit
+  // subscribes to.
+  auto* augmenter = new TestUnit(
+      [](UnitContext& ctx) { ASSERT_TRUE(ctx.Subscribe(Filter::Exists("base")).ok()); },
+      [](UnitContext& ctx, EventHandle e, SubscriptionId) {
+        ASSERT_TRUE(ctx.AddPart(e, Label(), "beacon", Value::OfInt(1)).ok());
+      });
+  PrivilegeSet cleared;
+  cleared.Grant(secret, Privilege::kPlus);
+  engine.AddUnit("augmenter", std::unique_ptr<Unit>(augmenter), Label({secret}, {}), cleared);
+
+  auto* public_unit = new TestUnit(
+      [](UnitContext& ctx) { ASSERT_TRUE(ctx.Subscribe(Filter::Exists("beacon")).ok()); });
+  engine.AddUnit("public", std::unique_ptr<Unit>(public_unit));
+
+  const UnitId source = engine.AddUnit("source", std::make_unique<TestUnit>());
+  engine.Start();
+  engine.RunUntilIdle();
+  engine.InjectTurn(source, [](UnitContext& ctx) {
+    auto event = ctx.CreateEvent();
+    ASSERT_TRUE(event.ok());
+    ASSERT_TRUE(ctx.AddPart(*event, Label(), "base", Value::OfInt(1)).ok());
+    ASSERT_TRUE(ctx.Publish(*event).ok());
+  });
+  engine.RunUntilIdle();
+
+  EXPECT_EQ(augmenter->delivery_count(), 1u);
+  EXPECT_EQ(public_unit->delivery_count(), 0u);  // the beacon is {secret}-stamped
+}
+
+// Attack: mutate shared event data after publication (the storage channel
+// freezing closes). AddPart freezes payloads; later mutation fails.
+TEST(Attack, MutateSharedDataAfterPublish) {
+  Engine engine(ManualConfig());
+  auto payload = FMap::New();
+  ASSERT_TRUE(payload->Set("v", Value::OfInt(1)).ok());
+
+  Status mutation_after_publish;
+  const UnitId sender = engine.AddUnit("sender", std::make_unique<TestUnit>());
+  auto* receiver = new TestUnit(
+      [](UnitContext& ctx) { ASSERT_TRUE(ctx.Subscribe(Filter::Exists("data")).ok()); });
+  engine.AddUnit("receiver", std::unique_ptr<Unit>(receiver));
+  engine.Start();
+  engine.RunUntilIdle();
+
+  engine.InjectTurn(sender, [payload, &mutation_after_publish](UnitContext& ctx) {
+    auto event = ctx.CreateEvent();
+    ASSERT_TRUE(event.ok());
+    ASSERT_TRUE(ctx.AddPart(*event, Label(), "data", Value::OfMap(payload)).ok());
+    ASSERT_TRUE(ctx.Publish(*event).ok());
+    // The sender kept a reference and now tries to change what receivers see.
+    mutation_after_publish = payload->Set("v", Value::OfInt(999));
+  });
+  engine.RunUntilIdle();
+  EXPECT_EQ(mutation_after_publish.code(), StatusCode::kFrozen);
+}
+
+// In isolation mode, unit synchronisation on shared objects is intercepted
+// (§4.3) — the one-bit lock channel is closed.
+TEST(Attack, SyncChannelBlockedInIsolationMode) {
+  Engine engine(ManualConfig(SecurityMode::kLabelsIsolation));
+  Status shared_sync;
+  Status local_sync;
+  struct LocalLock : NeverShared {};
+  const UnitId unit = engine.AddUnit("u", std::make_unique<TestUnit>());
+  engine.Start();
+  engine.RunUntilIdle();
+  engine.InjectTurn(unit, [&](UnitContext& ctx) {
+    auto shared = FList::New();
+    shared_sync = ctx.Synchronize(*shared);
+    LocalLock lock;
+    local_sync = ctx.Synchronize(lock);
+  });
+  engine.RunUntilIdle();
+  EXPECT_EQ(shared_sync.code(), StatusCode::kSecurityViolation);
+  EXPECT_TRUE(local_sync.ok());
+}
+
+}  // namespace
+}  // namespace defcon

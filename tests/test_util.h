@@ -1,0 +1,72 @@
+// Shared helpers for DEFCON tests.
+#ifndef DEFCON_TESTS_TEST_UTIL_H_
+#define DEFCON_TESTS_TEST_UTIL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/core/unit.h"
+
+namespace defcon {
+
+// A unit scripted with std::function hooks; records every delivery.
+class TestUnit : public Unit {
+ public:
+  struct Delivery {
+    EventHandle event;
+    SubscriptionId sub;
+  };
+
+  using StartFn = std::function<void(UnitContext&)>;
+  using EventFn = std::function<void(UnitContext&, EventHandle, SubscriptionId)>;
+
+  explicit TestUnit(StartFn on_start = nullptr, EventFn on_event = nullptr)
+      : on_start_(std::move(on_start)), on_event_(std::move(on_event)) {}
+
+  void OnStart(UnitContext& ctx) override {
+    if (on_start_) {
+      on_start_(ctx);
+    }
+  }
+
+  void OnEvent(UnitContext& ctx, EventHandle event, SubscriptionId sub) override {
+    deliveries_.push_back({event, sub});
+    if (on_event_) {
+      on_event_(ctx, event, sub);
+    }
+  }
+
+  const std::vector<Delivery>& deliveries() const { return deliveries_; }
+  size_t delivery_count() const { return deliveries_.size(); }
+
+ private:
+  StartFn on_start_;
+  EventFn on_event_;
+  std::vector<Delivery> deliveries_;
+};
+
+// Builds a manual-mode engine (deterministic; drive with RunUntilIdle).
+inline EngineConfig ManualConfig(SecurityMode mode = SecurityMode::kLabels) {
+  EngineConfig config;
+  config.mode = mode;
+  config.num_threads = 0;
+  return config;
+}
+
+// Publishes a one-part event from within `unit`'s context; returns status.
+inline Status PublishSimple(UnitContext& ctx, const std::string& type_value,
+                            const Label& label = Label()) {
+  auto event = ctx.CreateEvent();
+  if (!event.ok()) {
+    return event.status();
+  }
+  DEFCON_RETURN_IF_ERROR(ctx.AddPart(*event, label, "type", Value::OfString(type_value)));
+  return ctx.Publish(*event);
+}
+
+}  // namespace defcon
+
+#endif  // DEFCON_TESTS_TEST_UTIL_H_

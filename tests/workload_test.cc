@@ -1,0 +1,64 @@
+// Tests for the benchmark workload driver itself (bench/workload.h): the
+// figure harnesses are only as trustworthy as this loop.
+#include "bench/workload.h"
+
+#include <gtest/gtest.h>
+
+namespace defcon {
+namespace {
+
+WorkloadConfig SmallConfig(SecurityMode mode) {
+  WorkloadConfig config;
+  config.mode = mode;
+  config.traders = 6;
+  config.symbols = 16;
+  config.seed = 11;
+  config.ticks = 2400;
+  config.batch = 600;
+  config.warmup_batches = 1;
+  return config;
+}
+
+TEST(Workload, ProducesSamplesAndTrades) {
+  const WorkloadResult result = RunTradingWorkload(SmallConfig(SecurityMode::kLabels));
+  EXPECT_EQ(result.throughput_samples.size(), 3u);  // 4 batches - 1 warmup
+  EXPECT_GT(result.throughput_samples.Median(), 0.0);
+  EXPECT_GT(result.trades, 0u);
+  EXPECT_GT(result.trade_latency.count(), 0u);
+  EXPECT_GT(result.deliveries, 2400u);
+  EXPECT_GT(result.rss_bytes, 0);
+  EXPECT_GT(result.units, 12u);  // traders + monitors + system units
+}
+
+TEST(Workload, PacedModeRecordsLatencies) {
+  WorkloadConfig config = SmallConfig(SecurityMode::kLabels);
+  config.pace_events_per_sec = 50000.0;
+  const WorkloadResult result = RunTradingWorkload(config);
+  EXPECT_GT(result.trade_latency.count(), 0u);
+  EXPECT_GT(result.trade_latency.PercentileNs(0.7), 0);
+  // p70 below a loose ceiling: a paced 6-trader run must be far from seconds.
+  EXPECT_LT(result.trade_latency.PercentileNs(0.7), int64_t{1} * 1000 * 1000 * 1000);
+}
+
+TEST(Workload, IsolationModeAccountsMemory) {
+  const WorkloadResult labels = RunTradingWorkload(SmallConfig(SecurityMode::kLabels));
+  const WorkloadResult isolation =
+      RunTradingWorkload(SmallConfig(SecurityMode::kLabelsIsolation));
+  EXPECT_GT(isolation.accounted_bytes, labels.accounted_bytes);
+  EXPECT_GT(isolation.accounted_bytes, int64_t{32} * 1024 * 1024);  // fixed weave cost
+}
+
+TEST(Workload, CloneModeCountsCopies) {
+  const WorkloadResult result = RunTradingWorkload(SmallConfig(SecurityMode::kLabelsClone));
+  EXPECT_GT(result.trades, 0u);
+}
+
+TEST(Workload, DeterministicTradeCountForSeedInManualMode) {
+  const WorkloadResult a = RunTradingWorkload(SmallConfig(SecurityMode::kLabels));
+  const WorkloadResult b = RunTradingWorkload(SmallConfig(SecurityMode::kLabels));
+  EXPECT_EQ(a.trades, b.trades);
+  EXPECT_EQ(a.deliveries, b.deliveries);
+}
+
+}  // namespace
+}  // namespace defcon
