@@ -1,10 +1,10 @@
-// Micro: event dispatch. Publish-to-delivery hop cost per security mode and
-// match cost as the subscription population grows — the engine-side numbers
-// behind Figs. 5 and 6.
+// Micro: event dispatch. Publish-to-delivery hop cost per security mode,
+// match cost as the subscription population grows, and the API v2 batched
+// publish path versus per-event Publish — the engine-side numbers behind
+// Figs. 5 and 6 plus the BENCH_dispatch.json trajectory.
 #include <benchmark/benchmark.h>
 
-#include "src/core/engine.h"
-#include "src/core/unit.h"
+#include "src/core/api.h"
 
 namespace defcon {
 namespace {
@@ -112,6 +112,92 @@ void BM_MatchWithIndexedSubscriptions(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MatchWithIndexedSubscriptions)->Arg(10)->Arg(100)->Arg(1000);
+
+// Batched publish (API v2): `batch` compartment-labelled pings per
+// PublishBatch against a population where most subscribers are candidates
+// (same equality key) but label-filtered out — the per-client-filtering
+// shape the paper's dispatcher pays for. batch == 1 goes through the legacy
+// per-event Publish, so events/s at batch >= 64 versus batch == 1 is the
+// DeliveryBatch win (shared index probe, one CanFlowTo per (label,
+// subscription) pair, one wake).
+class BatchPublisherUnit : public Unit {
+ public:
+  explicit BatchPublisherUnit(Tag compartment) : compartment_(compartment) {}
+  void OnEvent(UnitContext& ctx, EventHandle event, SubscriptionId sub) override {}
+
+  Status PublishPings(UnitContext& ctx, size_t batch) {
+    const Label label(/*s=*/{compartment_}, /*i=*/{});
+    if (batch <= 1) {
+      auto event = ctx.CreateEvent();
+      DEFCON_RETURN_IF_ERROR(event.status());
+      DEFCON_RETURN_IF_ERROR(ctx.AddPart(*event, label, "type", Value::OfString("ping")));
+      DEFCON_RETURN_IF_ERROR(ctx.AddPart(*event, label, "seq", Value::OfInt(seq_++)));
+      return ctx.Publish(*event);
+    }
+    std::vector<EventHandle> handles;
+    handles.reserve(batch);
+    for (size_t i = 0; i < batch; ++i) {
+      auto handle = ctx.BuildEvent()
+                        .Part(label, "type", Value::OfString("ping"))
+                        .Part(label, "seq", Value::OfInt(seq_++))
+                        .Build();
+      if (!handle.ok()) {
+        (void)ctx.PublishBatch(handles);  // never strand already-built handles
+        return handle.status();
+      }
+      handles.push_back(*handle);
+    }
+    return ctx.PublishBatch(handles);
+  }
+
+ private:
+  Tag compartment_;
+  int64_t seq_ = 0;
+};
+
+void RunBatchPublishBenchmark(benchmark::State& state, SecurityMode mode) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  EngineConfig config;
+  config.mode = mode;
+  config.num_threads = 0;
+  Engine engine(config);
+  const Tag compartment = engine.CreateTag("compartment");
+  // 4 in-compartment receivers that deliver, 96 outside candidates that the
+  // label checks filter out.
+  for (int i = 0; i < 4; ++i) {
+    engine.AddUnit("in" + std::to_string(i), std::make_unique<CountingUnit>(),
+                   Label({compartment}, {}));
+  }
+  for (int i = 0; i < 96; ++i) {
+    engine.AddUnit("out" + std::to_string(i), std::make_unique<CountingUnit>());
+  }
+  auto* publisher = new BatchPublisherUnit(compartment);
+  const UnitId pub_id = engine.AddUnit("publisher", std::unique_ptr<Unit>(publisher));
+  engine.Start();
+  engine.RunUntilIdle();
+  for (auto _ : state) {
+    engine.InjectTurn(pub_id, [publisher, batch](UnitContext& ctx) {
+      (void)publisher->PublishPings(ctx, batch);
+    });
+    engine.RunUntilIdle();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch));
+  const auto stats = engine.stats();
+  state.counters["label_checks"] = static_cast<double>(stats.label_checks);
+  state.counters["flow_memo_hits"] = static_cast<double>(stats.batch_flow_memo_hits);
+  state.counters["deliveries"] = static_cast<double>(stats.deliveries);
+}
+
+void BM_BatchPublish_Labels(benchmark::State& state) {
+  RunBatchPublishBenchmark(state, SecurityMode::kLabels);
+}
+BENCHMARK(BM_BatchPublish_Labels)->Arg(1)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_BatchPublish_NoSecurity(benchmark::State& state) {
+  RunBatchPublishBenchmark(state, SecurityMode::kNoSecurity);
+}
+BENCHMARK(BM_BatchPublish_NoSecurity)->Arg(1)->Arg(64);
 
 // Fan-out cost: one event matching N subscribers (the tick -> pair monitor
 // pattern whose scaling defines Fig. 5's slope).

@@ -34,6 +34,10 @@ struct WorkloadConfig {
   size_t engine_threads = 0;
   // Paced mode (latency runs): 0 => flood as fast as possible.
   double pace_events_per_sec = 0.0;
+  // Ticks per PublishBatch on the flood path (API v2 batched dispatch); 1
+  // replays through the legacy per-event Publish. Paced (latency) runs
+  // always inject per-event so the pace stays exact.
+  size_t tick_batch = 16;
 };
 
 struct WorkloadResult {
@@ -82,17 +86,26 @@ inline WorkloadResult RunTradingWorkload(const WorkloadConfig& config) {
     const size_t batch_start = position;
     const size_t batch_end = std::min(position + config.batch, trace.size());
     const int64_t window_start = MonotonicNowNs();
-    for (; position < batch_end; ++position) {
+    while (position < batch_end) {
       if (pace_interval_ns > 0) {
         while (MonotonicNowNs() < next_send_ns) {
         }
         next_send_ns += pace_interval_ns;
-        platform.InjectTick(trace[position]);
+        platform.InjectTick(trace[position++]);
         // Manual mode: pump after each tick so latency reflects pipeline
         // traversal, not artificial batching.
         engine->RunUntilIdle();
+      } else if (config.tick_batch > 1) {
+        const size_t chunk_end = std::min(position + config.tick_batch, batch_end);
+        platform.InjectTickBatch(
+            std::vector<Tick>(trace.begin() + static_cast<ptrdiff_t>(position),
+                              trace.begin() + static_cast<ptrdiff_t>(chunk_end)));
+        position = chunk_end;
+        if (config.engine_threads == 0) {
+          engine->RunUntilIdle();  // keep mailboxes bounded while flooding
+        }
       } else {
-        platform.InjectTick(trace[position]);
+        platform.InjectTick(trace[position++]);
         if (config.engine_threads == 0 && (position & 0x3F) == 0) {
           engine->RunUntilIdle();  // keep mailboxes bounded while flooding
         }

@@ -3,13 +3,13 @@
 // Two units communicate through labelled events: a producer publishes a
 // public greeting and a secret note; a consumer with clearance reads both,
 // while an eavesdropper sees only the public part. Demonstrates tags,
-// labels, privileges, subscriptions and the readPart visibility rule.
+// labels, privileges, subscriptions, the readPart visibility rule, and the
+// API v2 fluent EventBuilder / batched publish surface.
 //
-// Build & run:  ./build/examples/quickstart
+// Build & run:  ./build/example_quickstart
 #include <cstdio>
 
-#include "src/core/engine.h"
-#include "src/core/unit.h"
+#include "src/core/api.h"
 
 namespace {
 
@@ -52,18 +52,39 @@ class Producer : public Unit {
   void OnEvent(UnitContext& ctx, EventHandle event, SubscriptionId sub) override {}
 
   void PublishNote(UnitContext& ctx) {
-    auto event = ctx.CreateEvent();
-    if (!event.ok()) {
-      return;
-    }
     // Parts carry their own labels: the greeting is public, the secret part
-    // is protected by the `secret` confidentiality tag.
-    (void)ctx.AddPart(*event, Label(), "type", Value::OfString("note"));
-    (void)ctx.AddPart(*event, Label(), "greeting", Value::OfString("hello, world"));
-    (void)ctx.AddPart(*event, Label({secret_}, {}), "secret",
-                      Value::OfString("the dark pool opens at noon"));
-    const Status published = ctx.Publish(*event);
+    // is protected by the `secret` confidentiality tag. The fluent builder
+    // stamps and freezes each part as it is added; the first error latches
+    // and is returned by Publish().
+    const Status published =
+        ctx.BuildEvent()
+            .Part("type", Value::OfString("note"))
+            .Part("greeting", Value::OfString("hello, world"))
+            .Part(Label({secret_}, {}), "secret",
+                  Value::OfString("the dark pool opens at noon"))
+            .Publish();
     std::printf("[producer] publish: %s\n", published.ToString().c_str());
+  }
+
+  // The batched path: build several notes, hand them to the dispatcher as
+  // one DeliveryBatch (one index probe per distinct key, one label-check
+  // pass per (label, subscription) pair, one worker-pool wake).
+  void PublishNoteBatch(UnitContext& ctx, int count) {
+    std::vector<EventHandle> handles;
+    handles.reserve(static_cast<size_t>(count));
+    for (int i = 0; i < count; ++i) {
+      auto handle = ctx.BuildEvent()
+                        .Part("type", Value::OfString("note"))
+                        .Part("greeting", Value::OfString("hello #" + std::to_string(i)))
+                        .Part(Label({secret_}, {}), "secret", Value::OfInt(i))
+                        .Build();
+      if (handle.ok()) {
+        handles.push_back(*handle);
+      }
+    }
+    const Status published = ctx.PublishBatch(handles);
+    std::printf("[producer] publish batch of %zu: %s\n", handles.size(),
+                published.ToString().c_str());
   }
 
  private:
@@ -101,10 +122,18 @@ int main() {
   engine.InjectTurn(producer_id, [producer](UnitContext& ctx) { producer->PublishNote(ctx); });
   engine.RunUntilIdle();
 
+  engine.InjectTurn(producer_id,
+                    [producer](UnitContext& ctx) { producer->PublishNoteBatch(ctx, 4); });
+  engine.RunUntilIdle();
+
   const auto stats = engine.stats();
-  std::printf("\nengine stats: %llu published, %llu deliveries, %llu label checks\n",
+  std::printf("\nengine stats: %llu published (%llu via %llu batches), %llu deliveries, "
+              "%llu label checks, %llu batch memo hits\n",
               static_cast<unsigned long long>(stats.events_published),
+              static_cast<unsigned long long>(stats.batch_events),
+              static_cast<unsigned long long>(stats.batch_publishes),
               static_cast<unsigned long long>(stats.deliveries),
-              static_cast<unsigned long long>(stats.label_checks));
+              static_cast<unsigned long long>(stats.label_checks),
+              static_cast<unsigned long long>(stats.batch_flow_memo_hits));
   return 0;
 }

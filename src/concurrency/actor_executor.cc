@@ -29,6 +29,40 @@ void ActorExecutor::Post(const std::shared_ptr<Actor>& actor, std::function<void
   }
 }
 
+void ActorExecutor::PostBatch(std::vector<ActorTurn> turns) {
+  if (turns.empty() || shutdown_.load(std::memory_order_acquire)) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    pending_turns_ += turns.size();
+  }
+  std::vector<std::shared_ptr<Actor>> runnable;
+  for (auto& [actor, turn] : turns) {
+    actor->mailbox_.Push(std::move(turn));
+    bool expected = false;
+    if (actor->scheduled_.compare_exchange_strong(expected, true)) {
+      runnable.push_back(actor);
+    }
+  }
+  if (runnable.empty()) {
+    return;  // every target actor was already scheduled
+  }
+  if (pool_ != nullptr) {
+    std::vector<std::function<void()>> drains;
+    drains.reserve(runnable.size());
+    for (auto& actor : runnable) {
+      drains.push_back([this, actor = std::move(actor)]() mutable { DrainActor(actor); });
+    }
+    pool_->PostBatch(std::move(drains));
+  } else {
+    std::lock_guard<std::mutex> lock(ready_mutex_);
+    for (auto& actor : runnable) {
+      ready_.push_back(std::move(actor));
+    }
+  }
+}
+
 void ActorExecutor::Schedule(std::shared_ptr<Actor> actor) {
   if (pool_ != nullptr) {
     pool_->Post([this, actor = std::move(actor)]() mutable { DrainActor(actor); });

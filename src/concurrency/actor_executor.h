@@ -16,6 +16,8 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/concurrency/mpsc_queue.h"
 #include "src/concurrency/thread_pool.h"
@@ -55,6 +57,14 @@ class ActorExecutor {
 
   // Enqueues a turn for the actor. Thread-safe.
   void Post(const std::shared_ptr<Actor>& actor, std::function<void()> turn);
+
+  // A (actor, turn) pair queued by PostBatch.
+  using ActorTurn = std::pair<std::shared_ptr<Actor>, std::function<void()>>;
+
+  // Enqueues every turn, then hands the newly runnable actors to the worker
+  // pool with a single wake (one lock acquisition + one notify), instead of
+  // one wake per turn as repeated Post calls would cost. Thread-safe.
+  void PostBatch(std::vector<ActorTurn> turns);
 
   // Manual mode: runs turns on the calling thread until no actor has work.
   // Returns the number of turns executed.

@@ -26,6 +26,30 @@ bool ThreadPool::Post(std::function<void()> task) {
   return true;
 }
 
+bool ThreadPool::PostBatch(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) {
+    return true;
+  }
+  const bool single = tasks.size() == 1;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) {
+      return false;
+    }
+    for (auto& task : tasks) {
+      tasks_.push_back(std::move(task));
+    }
+  }
+  // One wake for the whole batch; notify_all lets several workers start
+  // draining when more than one task landed.
+  if (single) {
+    work_cv_.notify_one();
+  } else {
+    work_cv_.notify_all();
+  }
+  return true;
+}
+
 void ThreadPool::WaitIdle() {
   std::unique_lock<std::mutex> lock(mutex_);
   idle_cv_.wait(lock, [this] { return tasks_.empty() && active_workers_ == 0; });

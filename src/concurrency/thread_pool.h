@@ -23,6 +23,10 @@ class ThreadPool {
   // Enqueues a task; returns false after Shutdown().
   bool Post(std::function<void()> task);
 
+  // Enqueues all tasks under one lock acquisition and wakes the pool once
+  // (single notify instead of one per task). Returns false after Shutdown().
+  bool PostBatch(std::vector<std::function<void()>> tasks);
+
   // Blocks until the task queue is empty and all workers are idle.
   void WaitIdle();
 

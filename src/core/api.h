@@ -13,6 +13,7 @@
 #include "src/base/status.h"   // Status, StatusCode
 #include "src/core/engine.h"   // Engine, EngineConfig, EngineStatsSnapshot
 #include "src/core/event.h"    // Part (PartView's label/data types)
+#include "src/core/event_builder.h"  // EventBuilder (API v2 fluent construction)
 #include "src/core/filter.h"   // Filter, ParseFilter
 #include "src/core/label.h"    // Label, TagSet, CanFlowTo, LabelJoin/Meet
 #include "src/core/privileges.h"  // Privilege, PrivilegeSet, PrivilegeGrant

@@ -12,6 +12,7 @@
 #include "src/base/logging.h"
 #include "src/concurrency/actor_executor.h"
 #include "src/core/event.h"
+#include "src/core/event_builder.h"
 
 namespace defcon {
 
@@ -66,6 +67,9 @@ namespace engine_internal {
 struct EngineCounters {
   std::atomic<uint64_t> events_published{0};
   std::atomic<uint64_t> events_dropped_empty{0};
+  std::atomic<uint64_t> batch_publishes{0};
+  std::atomic<uint64_t> batch_events{0};
+  std::atomic<uint64_t> batch_flow_memo_hits{0};
   std::atomic<uint64_t> deliveries{0};
   std::atomic<uint64_t> rematches{0};
   std::atomic<uint64_t> label_checks{0};
@@ -82,6 +86,9 @@ struct EngineCounters {
     EngineStatsSnapshot s;
     s.events_published = events_published.load(std::memory_order_relaxed);
     s.events_dropped_empty = events_dropped_empty.load(std::memory_order_relaxed);
+    s.batch_publishes = batch_publishes.load(std::memory_order_relaxed);
+    s.batch_events = batch_events.load(std::memory_order_relaxed);
+    s.batch_flow_memo_hits = batch_flow_memo_hits.load(std::memory_order_relaxed);
     s.deliveries = deliveries.load(std::memory_order_relaxed);
     s.rematches = rematches.load(std::memory_order_relaxed);
     s.label_checks = label_checks.load(std::memory_order_relaxed);
@@ -193,6 +200,18 @@ struct UnitState {
   // latency benches can measure end-to-end delay exactly as the paper does.
   int64_t current_delivery_origin_ns = 0;
 };
+
+namespace {
+
+Result<HandleRecord*> FindHandle(UnitState* state, EventHandle handle) {
+  auto it = state->handles.find(handle);
+  if (it == state->handles.end()) {
+    return NotFound("unknown event handle");
+  }
+  return &it->second;
+}
+
+}  // namespace
 
 // Engine-internal construction of UnitContext (whose constructor is private).
 struct UnitContextFactory {
@@ -369,6 +388,70 @@ struct Engine::Impl {
     return CanFlowTo(part.label, in_label);
   }
 
+  // ---- event construction core ---------------------------------------------
+  // The single implementation behind both the API v2 builder path and the
+  // Table-1 shims (CreateEvent/AddPart/Publish).
+
+  Result<EventHandle> NewCreatedEvent(UnitState* state) {
+    auto event = std::make_shared<Event>(next_event_id.fetch_add(1), state->id);
+    event->set_origin_ns(state->current_delivery_origin_ns != 0
+                             ? state->current_delivery_origin_ns
+                             : MonotonicNowNs());
+    const EventHandle handle = state->next_handle++;
+    HandleRecord record;
+    record.event = event;
+    record.master = std::move(event);
+    record.origin = HandleRecord::Origin::kCreated;
+    state->handles.emplace(handle, std::move(record));
+    return handle;
+  }
+
+  // Label-stamps (S' = S ∪ Sout, I' = I ∩ Iout), freezes the value once, and
+  // appends the part. `record` must belong to `state`.
+  Status AddPartToRecord(UnitState* state, HandleRecord* record, const Label& label,
+                         const std::string& name, Value data) {
+    if (record->closed) {
+      return FailedPrecondition("event is no longer writable (published or released)");
+    }
+    const Label stamped = StampWithOutputLabel(state, label);
+    if (security_on()) {
+      // Shared references are only safe for immutable data (§5).
+      data.Freeze();
+    }
+    Part part;
+    part.name = name;
+    part.label = stamped;
+    part.data = std::move(data);
+    part.author_unit_id = state->id;
+    if (record->event != record->master) {
+      record->event->AppendPart(part);  // unit's local view (clone mode)
+    }
+    record->master->AppendPart(std::move(part));
+    stats.parts_added.fetch_add(1, std::memory_order_relaxed);
+    return OkStatus();
+  }
+
+  // Validates and consumes a created handle for publication. Returns the
+  // event to dispatch, or the same error the per-event publish reports
+  // (unknown handle, delivered origin, already published, empty event).
+  Result<EventPtr> DetachForPublish(UnitState* state, EventHandle handle) {
+    DEFCON_ASSIGN_OR_RETURN(HandleRecord * record, FindHandle(state, handle));
+    if (record->origin != HandleRecord::Origin::kCreated) {
+      return FailedPrecondition("received events propagate via release, not publish");
+    }
+    if (record->closed) {
+      return FailedPrecondition("event already published");
+    }
+    EventPtr master = record->master;
+    state->handles.erase(handle);
+    if (master->Empty()) {
+      stats.events_dropped_empty.fetch_add(1, std::memory_order_relaxed);
+      return InvalidArgument("events without parts are dropped");
+    }
+    stats.events_published.fetch_add(1, std::memory_order_relaxed);
+    return master;
+  }
+
   // ---- subscription matching ----------------------------------------------
 
   std::vector<std::shared_ptr<SubscriptionRecord>> CollectCandidates(
@@ -391,77 +474,241 @@ struct Engine::Impl {
     return candidates;
   }
 
+  // The per-candidate matching core, shared by the single-event and batch
+  // paths so the DEFC semantics cannot drift between them. `lookup_fn`
+  // resolves UnitId -> UnitState (the batch path caches lookups),
+  // `in_label_fn` returns a unit's input label (cached in the batch path;
+  // used for the managed-instance contamination join), and `visible_fn`
+  // decides part visibility for a non-managed unit (the batch path answers
+  // from its (label, unit) memo). Appends to `out` iff the filter matches
+  // the visible projection; `scratch` is caller-owned to avoid per-call
+  // allocation.
+  template <typename LookupFn, typename InLabelFn, typename VisibleFn>
+  void MatchCandidate(const std::shared_ptr<SubscriptionRecord>& sub,
+                      const std::vector<Part>& parts, LookupFn&& lookup_fn,
+                      InLabelFn&& in_label_fn, VisibleFn&& visible_fn,
+                      std::vector<const Part*>* scratch, std::vector<PlannedDelivery>* out) {
+    if (!sub->managed) {
+      const std::shared_ptr<UnitState> unit = lookup_fn(sub->owner);
+      if (unit == nullptr) {
+        return;
+      }
+      scratch->clear();
+      for (size_t p = 0; p < parts.size(); ++p) {
+        if (visible_fn(p, parts[p], unit)) {
+          scratch->push_back(&parts[p]);
+        }
+      }
+      if (sub->filter.Matches(*scratch)) {
+        PlannedDelivery d;
+        d.sub_id = sub->id;
+        d.unit_id = unit->id;
+        d.dedup_key = std::to_string(sub->id);
+        d.dedup_key += '#';
+        d.dedup_key += std::to_string(unit->id);
+        out->push_back(std::move(d));
+      }
+      return;
+    }
+    // Managed subscription: derive the contamination the instance needs —
+    // the join of the labels of every part the filter references — on top
+    // of the owner's own contamination.
+    const std::shared_ptr<UnitState> owner = lookup_fn(sub->owner);
+    if (owner == nullptr) {
+      return;
+    }
+    Label inst_label = in_label_fn(owner);
+    bool referenced_any = false;
+    for (const Part& part : parts) {
+      for (const std::string& name : sub->filter.referenced_names()) {
+        if (part.name == name) {
+          inst_label = LabelJoin(inst_label, part.label);
+          referenced_any = true;
+          break;
+        }
+      }
+    }
+    if (!referenced_any) {
+      return;
+    }
+    scratch->clear();
+    for (const Part& part : parts) {
+      if (PartVisible(part, inst_label)) {
+        scratch->push_back(&part);
+      }
+    }
+    if (sub->filter.Matches(*scratch)) {
+      PlannedDelivery d;
+      d.sub_id = sub->id;
+      d.unit_id = 0;
+      d.managed_label = inst_label;
+      d.dedup_key = std::to_string(sub->id);
+      d.dedup_key += '@';
+      d.dedup_key += LabelKey(inst_label);
+      out->push_back(std::move(d));
+    }
+  }
+
   // Computes the deliveries the event currently matches. Does not lock the
   // plan; the caller merges results under the plan mutex.
   void ComputeMatches(const EventPtr& master, std::vector<PlannedDelivery>* out) {
     const std::vector<Part> parts = master->SnapshotParts();
     std::vector<const Part*> visible;
     visible.reserve(parts.size());
-
+    auto lookup = [this](UnitId id) { return FindUnit(id); };
+    auto in_label_of = [](const std::shared_ptr<UnitState>& unit) {
+      std::lock_guard<std::mutex> lock(unit->label_mutex);
+      return unit->in_label;
+    };
+    // One in-label fetch per candidate (parts of one candidate are checked
+    // consecutively, so a unit-id cache suffices).
+    auto part_visible = [this, cached_id = UnitId{0}, cached_label = Label()](
+                            size_t, const Part& part,
+                            const std::shared_ptr<UnitState>& unit) mutable {
+      if (unit->id != cached_id) {
+        std::lock_guard<std::mutex> lock(unit->label_mutex);
+        cached_label = unit->in_label;
+        cached_id = unit->id;
+      }
+      return PartVisible(part, cached_label);
+    };
     for (const auto& sub : CollectCandidates(parts)) {
-      if (!sub->managed) {
-        auto unit = FindUnit(sub->owner);
-        if (unit == nullptr) {
-          continue;
-        }
-        Label in_label;
-        {
-          std::lock_guard<std::mutex> lock(unit->label_mutex);
-          in_label = unit->in_label;
-        }
-        visible.clear();
-        for (const Part& part : parts) {
-          if (PartVisible(part, in_label)) {
-            visible.push_back(&part);
+      MatchCandidate(sub, parts, lookup, in_label_of, part_visible, &visible, out);
+    }
+  }
+
+  // Batched variant of ComputeMatches (the heart of the DeliveryBatch).
+  // The per-event outcome is identical; the work is shared across the batch:
+  //   * parts are snapshotted once and every distinct part label gets an id;
+  //   * the subscription index is probed once per distinct (name, literal)
+  //     key, and the residual list copied once, under a single subs_mutex
+  //     acquisition for the whole batch;
+  //   * unit lookups and unit input labels are resolved once per unit;
+  //   * CanFlowTo runs once per distinct (part label, subscription owner)
+  //     pair; every other event carrying a same-labelled part reuses the
+  //     decision (batch_flow_memo_hits counts the reuses).
+  void ComputeMatchesBatch(const std::vector<EventPtr>& masters,
+                           std::vector<std::vector<PlannedDelivery>>* out) {
+    const size_t n = masters.size();
+    // 1. Snapshot parts once; intern distinct part labels.
+    std::vector<std::vector<Part>> parts(n);
+    std::vector<std::vector<uint32_t>> label_ids(n);
+    std::unordered_map<std::string, uint32_t> label_intern;
+    for (size_t i = 0; i < n; ++i) {
+      parts[i] = masters[i]->SnapshotParts();
+      label_ids[i].reserve(parts[i].size());
+      for (const Part& part : parts[i]) {
+        const auto it = label_intern.emplace(LabelKey(part.label),
+                                             static_cast<uint32_t>(label_intern.size())).first;
+        label_ids[i].push_back(it->second);
+      }
+    }
+
+    // 2. Candidate sources: one residual copy, one index probe per distinct
+    // (name, literal) key. Each event records the ids of its non-empty
+    // buckets so the per-event pass never re-hashes key strings.
+    std::vector<std::shared_ptr<SubscriptionRecord>> residual;
+    std::unordered_map<std::string, uint32_t> bucket_ids;
+    std::vector<std::vector<std::shared_ptr<SubscriptionRecord>>> bucket_subs;
+    std::vector<std::vector<uint32_t>> event_buckets(n);
+    {
+      std::shared_lock lock(subs_mutex);
+      residual = residual_subs;
+      for (size_t i = 0; i < n; ++i) {
+        for (const Part& part : parts[i]) {
+          if (part.data.kind() != Value::Kind::kString) {
+            continue;
+          }
+          std::string key = IndexKeyString(part.name, part.data.string_value());
+          auto [it, inserted] =
+              bucket_ids.emplace(std::move(key), static_cast<uint32_t>(bucket_subs.size()));
+          if (inserted) {
+            auto probe = index.find(it->first);
+            bucket_subs.push_back(probe == index.end()
+                                      ? std::vector<std::shared_ptr<SubscriptionRecord>>()
+                                      : probe->second);
+          }
+          if (!bucket_subs[it->second].empty()) {
+            event_buckets[i].push_back(it->second);
           }
         }
-        if (sub->filter.Matches(visible)) {
-          PlannedDelivery d;
-          d.sub_id = sub->id;
-          d.unit_id = unit->id;
-          d.dedup_key = std::to_string(sub->id) + "#" + std::to_string(unit->id);
-          out->push_back(std::move(d));
+      }
+    }
+
+    // 3. Batch-scoped caches shared by every event's match pass.
+    std::unordered_map<UnitId, std::shared_ptr<UnitState>> unit_cache;
+    std::unordered_map<UnitId, Label> in_label_cache;
+    auto lookup_unit = [&](UnitId id) {
+      auto it = unit_cache.find(id);
+      if (it == unit_cache.end()) {
+        it = unit_cache.emplace(id, FindUnit(id)).first;
+      }
+      return it->second;
+    };
+    auto unit_in_label = [&](const std::shared_ptr<UnitState>& unit) -> const Label& {
+      auto it = in_label_cache.find(unit->id);
+      if (it == in_label_cache.end()) {
+        std::lock_guard<std::mutex> lock(unit->label_mutex);
+        it = in_label_cache.emplace(unit->id, unit->in_label).first;
+      }
+      return it->second;
+    };
+    // (label id, unit id) -> CanFlowTo, keyed losslessly: a collision here
+    // would reuse another pair's verdict and could leak a part to a
+    // non-cleared subscriber.
+    std::vector<std::unordered_map<UnitId, bool>> flow_memo(label_intern.size());
+    auto part_visible = [&](uint32_t label_id, const Part& part,
+                            const std::shared_ptr<UnitState>& unit) {
+      if (!security_on()) {
+        return true;
+      }
+      auto& memo = flow_memo[label_id];
+      auto it = memo.find(unit->id);
+      if (it != memo.end()) {
+        stats.batch_flow_memo_hits.fetch_add(1, std::memory_order_relaxed);
+        return it->second;
+      }
+      const bool visible = PartVisible(part, unit_in_label(unit));
+      memo.emplace(unit->id, visible);
+      return visible;
+    };
+
+    // 4. Per-event matching through the shared MatchCandidate core: same
+    // candidate order and outcome as the single-event pass. Events touching
+    // the same set of index buckets (a tick feed revisits the same symbols
+    // batch after batch) share one sorted candidate list instead of
+    // re-building and re-sorting it.
+    const std::vector<uint32_t>* current_label_ids = nullptr;
+    auto batch_visible = [&](size_t p, const Part& part,
+                             const std::shared_ptr<UnitState>& unit) {
+      return part_visible((*current_label_ids)[p], part, unit);
+    };
+    std::unordered_map<std::string, std::vector<std::shared_ptr<SubscriptionRecord>>>
+        candidate_cache;
+    std::vector<const Part*> visible;
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<uint32_t>& sig = event_buckets[i];
+      std::sort(sig.begin(), sig.end());
+      sig.erase(std::unique(sig.begin(), sig.end()), sig.end());
+      std::string sig_key(reinterpret_cast<const char*>(sig.data()),
+                          sig.size() * sizeof(uint32_t));
+      auto [cached, inserted] = candidate_cache.try_emplace(std::move(sig_key));
+      if (inserted) {
+        auto& candidates = cached->second;
+        candidates.insert(candidates.end(), residual.begin(), residual.end());
+        for (const uint32_t bucket : sig) {
+          candidates.insert(candidates.end(), bucket_subs[bucket].begin(),
+                            bucket_subs[bucket].end());
         }
-      } else {
-        // Managed subscription: derive the contamination the instance needs —
-        // the join of the labels of every part the filter references — on top
-        // of the owner's own contamination.
-        auto owner = FindUnit(sub->owner);
-        if (owner == nullptr) {
-          continue;
-        }
-        Label inst_label;
-        {
-          std::lock_guard<std::mutex> lock(owner->label_mutex);
-          inst_label = owner->in_label;
-        }
-        bool referenced_any = false;
-        for (const Part& part : parts) {
-          for (const std::string& name : sub->filter.referenced_names()) {
-            if (part.name == name) {
-              inst_label = LabelJoin(inst_label, part.label);
-              referenced_any = true;
-              break;
-            }
-          }
-        }
-        if (!referenced_any) {
-          continue;
-        }
-        visible.clear();
-        for (const Part& part : parts) {
-          if (PartVisible(part, inst_label)) {
-            visible.push_back(&part);
-          }
-        }
-        if (sub->filter.Matches(visible)) {
-          PlannedDelivery d;
-          d.sub_id = sub->id;
-          d.unit_id = 0;
-          d.managed_label = inst_label;
-          d.dedup_key = std::to_string(sub->id) + "@" + LabelKey(inst_label);
-          out->push_back(std::move(d));
-        }
+        std::sort(candidates.begin(), candidates.end(),
+                  [](const auto& a, const auto& b) { return a->id < b->id; });
+        candidates.erase(std::unique(candidates.begin(), candidates.end()), candidates.end());
+      }
+
+      current_label_ids = &label_ids[i];
+      for (const auto& sub : cached->second) {
+        MatchCandidate(sub, parts[i], lookup_unit, unit_in_label, batch_visible, &visible,
+                       &(*out)[i]);
       }
     }
   }
@@ -546,7 +793,49 @@ struct Engine::Impl {
     AdvancePlan(plan);
   }
 
-  void AdvancePlan(const std::shared_ptr<DeliveryPlan>& plan) {
+  // Batched dispatch (API v2): one DeliveryBatch per PublishBatch call. Each
+  // event keeps its own DeliveryPlan (release/re-match semantics are
+  // unchanged), but the match pass is shared across the batch — one
+  // subscription-index probe per distinct filter key, one CanFlowTo per
+  // distinct (part label, subscription) pair — and the initial deliveries of
+  // every plan are handed to the executor with a single wake.
+  void DispatchBatch(std::vector<EventPtr> masters) {
+    if (masters.empty()) {
+      return;
+    }
+    if (masters.size() == 1) {
+      Dispatch(std::move(masters[0]));
+      return;
+    }
+    stats.batch_publishes.fetch_add(1, std::memory_order_relaxed);
+    stats.batch_events.fetch_add(masters.size(), std::memory_order_relaxed);
+
+    std::vector<std::vector<PlannedDelivery>> matches(masters.size());
+    ComputeMatchesBatch(masters, &matches);
+
+    std::vector<ActorExecutor::ActorTurn> turns;
+    turns.reserve(masters.size());
+    for (size_t i = 0; i < masters.size(); ++i) {
+      auto plan = std::make_shared<DeliveryPlan>();
+      plan->master = std::move(masters[i]);
+      plan->matched_mod_count = plan->master->mod_count();
+      {
+        std::lock_guard<std::mutex> lock(plan->mutex);
+        for (auto& m : matches[i]) {
+          if (plan->planned.insert(m.dedup_key).second) {
+            plan->pending.push_back(std::move(m));
+          }
+        }
+      }
+      AdvancePlan(plan, &turns);
+    }
+    executor.PostBatch(std::move(turns));
+  }
+
+  // When `sink` is null the next delivery turn is posted to the executor
+  // immediately; otherwise it is appended for a later single-wake PostBatch.
+  void AdvancePlan(const std::shared_ptr<DeliveryPlan>& plan,
+                   std::vector<ActorExecutor::ActorTurn>* sink = nullptr) {
     for (;;) {
       PlannedDelivery next;
       {
@@ -581,8 +870,12 @@ struct Engine::Impl {
         continue;
       }
       const SubscriptionId sub_id = next.sub_id;
-      executor.Post(unit->actor,
-                    [this, unit, sub_id, plan] { DeliverTurn(unit, sub_id, plan); });
+      auto turn = [this, unit, sub_id, plan] { DeliverTurn(unit, sub_id, plan); };
+      if (sink != nullptr) {
+        sink->emplace_back(unit->actor, std::move(turn));
+      } else {
+        executor.Post(unit->actor, std::move(turn));
+      }
       return;
     }
   }
@@ -780,32 +1073,10 @@ size_t Engine::ManagedInstanceCount() const { return impl_->managed_instance_cou
 // UnitContext — the Table 1 API
 // ---------------------------------------------------------------------------
 
-namespace {
-
-Result<HandleRecord*> FindHandle(UnitState* state, EventHandle handle) {
-  auto it = state->handles.find(handle);
-  if (it == state->handles.end()) {
-    return NotFound("unknown event handle");
-  }
-  return &it->second;
-}
-
-}  // namespace
-
 Result<EventHandle> UnitContext::CreateEvent() {
   Engine::Impl* impl = engine_->impl_.get();
   DEFCON_RETURN_IF_ERROR(impl->CheckApi(state_, ApiTarget::kCreateEvent));
-  auto event = std::make_shared<Event>(impl->next_event_id.fetch_add(1), state_->id);
-  event->set_origin_ns(state_->current_delivery_origin_ns != 0
-                           ? state_->current_delivery_origin_ns
-                           : MonotonicNowNs());
-  const EventHandle handle = state_->next_handle++;
-  HandleRecord record;
-  record.event = event;
-  record.master = std::move(event);
-  record.origin = HandleRecord::Origin::kCreated;
-  state_->handles.emplace(handle, std::move(record));
-  return handle;
+  return impl->NewCreatedEvent(state_);
 }
 
 Status UnitContext::AddPart(EventHandle event, const Label& label, const std::string& name,
@@ -813,25 +1084,7 @@ Status UnitContext::AddPart(EventHandle event, const Label& label, const std::st
   Engine::Impl* impl = engine_->impl_.get();
   DEFCON_RETURN_IF_ERROR(impl->CheckApi(state_, ApiTarget::kAddPart));
   DEFCON_ASSIGN_OR_RETURN(HandleRecord * record, FindHandle(state_, event));
-  if (record->closed) {
-    return FailedPrecondition("event is no longer writable (published or released)");
-  }
-  const Label stamped = impl->StampWithOutputLabel(state_, label);
-  if (impl->security_on()) {
-    // Shared references are only safe for immutable data (§5).
-    data.Freeze();
-  }
-  Part part;
-  part.name = name;
-  part.label = stamped;
-  part.data = std::move(data);
-  part.author_unit_id = state_->id;
-  if (record->event != record->master) {
-    record->event->AppendPart(part);  // unit's local view (clone mode)
-  }
-  record->master->AppendPart(std::move(part));
-  impl->stats.parts_added.fetch_add(1, std::memory_order_relaxed);
-  return OkStatus();
+  return impl->AddPartToRecord(state_, record, label, name, std::move(data));
 }
 
 Status UnitContext::DelPart(EventHandle event, const Label& label, const std::string& name) {
@@ -991,22 +1244,52 @@ Result<EventHandle> UnitContext::CloneEvent(EventHandle event, const TagSet& ext
 Status UnitContext::Publish(EventHandle event) {
   Engine::Impl* impl = engine_->impl_.get();
   DEFCON_RETURN_IF_ERROR(impl->CheckApi(state_, ApiTarget::kPublish));
-  DEFCON_ASSIGN_OR_RETURN(HandleRecord * record, FindHandle(state_, event));
-  if (record->origin != HandleRecord::Origin::kCreated) {
-    return FailedPrecondition("received events propagate via release, not publish");
-  }
-  if (record->closed) {
-    return FailedPrecondition("event already published");
-  }
-  EventPtr master = record->master;
-  state_->handles.erase(event);
-  if (master->Empty()) {
-    impl->stats.events_dropped_empty.fetch_add(1, std::memory_order_relaxed);
-    return InvalidArgument("events without parts are dropped");
-  }
-  impl->stats.events_published.fetch_add(1, std::memory_order_relaxed);
+  DEFCON_ASSIGN_OR_RETURN(EventPtr master, impl->DetachForPublish(state_, event));
   impl->Dispatch(std::move(master));
   return OkStatus();
+}
+
+Status UnitContext::PublishBatch(const std::vector<EventHandle>& events, size_t* published) {
+  Engine::Impl* impl = engine_->impl_.get();
+  if (published != nullptr) {
+    *published = 0;
+  }
+  if (Status check = impl->CheckApi(state_, ApiTarget::kPublish); !check.ok()) {
+    // A denied batch still consumes its created handles, exactly as the
+    // builder's Publish does on denial — otherwise every batch producer
+    // would strand its Build()-detached events in the handle table.
+    for (const EventHandle handle : events) {
+      DiscardCreatedEvent(handle);
+    }
+    return check;
+  }
+  Status first_error;
+  std::vector<EventPtr> masters;
+  masters.reserve(events.size());
+  for (const EventHandle handle : events) {
+    auto master = impl->DetachForPublish(state_, handle);
+    if (!master.ok()) {
+      if (first_error.ok()) {
+        first_error = master.status();
+      }
+      continue;
+    }
+    masters.push_back(std::move(master).value());
+  }
+  if (published != nullptr) {
+    *published = masters.size();
+  }
+  impl->DispatchBatch(std::move(masters));
+  return first_error;
+}
+
+EventBuilder UnitContext::BuildEvent() { return EventBuilder(this, CreateEvent()); }
+
+void UnitContext::DiscardCreatedEvent(EventHandle event) {
+  auto it = state_->handles.find(event);
+  if (it != state_->handles.end() && it->second.origin == HandleRecord::Origin::kCreated) {
+    state_->handles.erase(it);
+  }
 }
 
 Status UnitContext::Release(EventHandle event) {
@@ -1217,6 +1500,79 @@ Status UnitContext::Synchronize(const Freezable& shared_object) {
     return OkStatus();
   }
   return impl->isolation->CheckSynchronize(state_->sandbox.get(), /*never_shared=*/false);
+}
+
+// ---------------------------------------------------------------------------
+// EventBuilder — the API v2 fluent surface over the same engine core
+// ---------------------------------------------------------------------------
+
+EventBuilder& EventBuilder::Part(const Label& label, const std::string& name, Value data) {
+  if (!status_.ok()) {
+    return *this;  // error latched: every later call is a no-op
+  }
+  if (!open_) {
+    status_ = FailedPrecondition("builder already consumed by Publish/Build");
+    return *this;
+  }
+  Status status = ctx_->AddPart(handle_, label, name, std::move(data));
+  if (!status.ok()) {
+    status_ = std::move(status);
+  }
+  return *this;
+}
+
+EventBuilder& EventBuilder::PartPrivilege(const std::string& name, const Label& label, Tag tag,
+                                          Privilege privilege) {
+  if (!status_.ok()) {
+    return *this;
+  }
+  if (!open_) {
+    status_ = FailedPrecondition("builder already consumed by Publish/Build");
+    return *this;
+  }
+  Status status = ctx_->AttachPrivilegeToPart(handle_, name, label, tag, privilege);
+  if (!status.ok()) {
+    status_ = std::move(status);
+  }
+  return *this;
+}
+
+Status EventBuilder::Publish() {
+  if (!status_.ok()) {
+    Abandon();  // a failed construction never publishes a partial event
+    return status_;
+  }
+  if (!open_) {
+    return FailedPrecondition("builder already consumed by Publish/Build");
+  }
+  open_ = false;
+  const Status status = ctx_->Publish(handle_);
+  if (!status.ok()) {
+    // The engine may reject before consuming the handle (e.g. an isolation
+    // interception denial); the event must not stay stranded in the unit's
+    // handle table. No-op when the publish path already erased it.
+    ctx_->DiscardCreatedEvent(handle_);
+  }
+  return status;
+}
+
+Result<EventHandle> EventBuilder::Build() {
+  if (!status_.ok()) {
+    Abandon();
+    return status_;
+  }
+  if (!open_) {
+    return FailedPrecondition("builder already consumed by Publish/Build");
+  }
+  open_ = false;
+  return handle_;
+}
+
+void EventBuilder::Abandon() {
+  if (open_ && ctx_ != nullptr) {
+    ctx_->DiscardCreatedEvent(handle_);
+    open_ = false;
+  }
 }
 
 }  // namespace defcon

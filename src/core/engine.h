@@ -44,6 +44,12 @@ struct EngineConfig {
 struct EngineStatsSnapshot {
   uint64_t events_published = 0;
   uint64_t events_dropped_empty = 0;
+  // Batch-path accounting: dispatch groups of >= 2 events, events dispatched
+  // through them, and CanFlowTo decisions reused (not recomputed) because a
+  // batch already checked the same (part label, subscription) pair.
+  uint64_t batch_publishes = 0;
+  uint64_t batch_events = 0;
+  uint64_t batch_flow_memo_hits = 0;
   uint64_t deliveries = 0;
   uint64_t rematches = 0;
   uint64_t label_checks = 0;

@@ -1,0 +1,118 @@
+// EventBuilder: the API v2 fluent event-construction surface.
+//
+// A builder wraps one created event and replaces the three-call
+// CreateEvent/AddPart/Publish dance of Table 1:
+//
+//   Status s = ctx.BuildEvent()
+//                  .Part(tick_label, "type", Value::OfString("tick"))
+//                  .Part(tick_label, "px", Value::OfInt(10150))
+//                  .Publish();
+//
+// Each Part() call validates and label-stamps the part immediately
+// (S' = S ∪ Sout, I' = I ∩ Iout — identical to AddPart) and freezes the
+// value exactly once, at add time. Errors latch: after the first failure
+// every later call is a no-op and Publish()/Build() return the latched
+// status, so a fluent chain never needs per-call checks.
+//
+// Publish() consumes the builder's event and hands it to the dispatcher;
+// Build() instead detaches the finished handle so the caller can gather
+// several events and submit them together with UnitContext::PublishBatch.
+// A builder destroyed without Publish()/Build() discards its event.
+//
+// Builders are move-only, must stay within the turn that created them, and
+// are not thread-safe (same contract as UnitContext).
+#ifndef DEFCON_SRC_CORE_EVENT_BUILDER_H_
+#define DEFCON_SRC_CORE_EVENT_BUILDER_H_
+
+#include <string>
+#include <utility>
+
+#include "src/base/result.h"
+#include "src/base/status.h"
+#include "src/core/label.h"
+#include "src/core/privileges.h"
+#include "src/core/tag.h"
+#include "src/core/types.h"
+#include "src/core/unit.h"
+#include "src/freeze/value.h"
+
+namespace defcon {
+
+class EventBuilder {
+ public:
+  EventBuilder(const EventBuilder&) = delete;
+  EventBuilder& operator=(const EventBuilder&) = delete;
+
+  EventBuilder(EventBuilder&& other) noexcept
+      : ctx_(other.ctx_), handle_(other.handle_), open_(other.open_), status_(other.status_) {
+    other.ctx_ = nullptr;
+    other.open_ = false;
+  }
+
+  EventBuilder& operator=(EventBuilder&& other) noexcept {
+    if (this != &other) {
+      Abandon();
+      ctx_ = other.ctx_;
+      handle_ = other.handle_;
+      open_ = other.open_;
+      status_ = other.status_;
+      other.ctx_ = nullptr;
+      other.open_ = false;
+    }
+    return *this;
+  }
+
+  ~EventBuilder() { Abandon(); }
+
+  // Adds a part at `label` (stamped with the unit's output label exactly as
+  // addPart does); `data` is frozen by this call.
+  EventBuilder& Part(const Label& label, const std::string& name, Value data);
+
+  // Adds a part requested at the public label (the common case; the stamp
+  // still applies the unit's output contamination).
+  EventBuilder& Part(const std::string& name, Value data) {
+    return Part(Label(), name, std::move(data));
+  }
+
+  // Attaches a privilege grant to the already-added part (name, label),
+  // making it privilege-carrying (§3.1.5). Requires the matching auth
+  // privilege, as attachPrivilegeToPart does.
+  EventBuilder& PartPrivilege(const std::string& name, const Label& label, Tag tag,
+                              Privilege privilege);
+
+  // Publishes the event and consumes the builder. Returns the latched
+  // construction error, if any, without publishing; an event with no parts
+  // is dropped and reported as InvalidArgument (same as publish).
+  Status Publish();
+
+  // Detaches the finished event for later submission (Publish or
+  // PublishBatch on the owning context). Consumes the builder.
+  Result<EventHandle> Build();
+
+  // True while no construction error has latched.
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+ private:
+  friend class UnitContext;
+
+  EventBuilder(UnitContext* ctx, Result<EventHandle> created) : ctx_(ctx) {
+    if (created.ok()) {
+      handle_ = created.value();
+      open_ = true;
+    } else {
+      status_ = created.status();
+    }
+  }
+
+  void Abandon();
+
+  UnitContext* ctx_ = nullptr;
+  EventHandle handle_ = kInvalidEventHandle;
+  bool open_ = false;  // the builder still owns an unconsumed event
+  Status status_;
+};
+
+}  // namespace defcon
+
+#endif  // DEFCON_SRC_CORE_EVENT_BUILDER_H_

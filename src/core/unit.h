@@ -31,6 +31,7 @@
 namespace defcon {
 
 class Engine;
+class EventBuilder;
 class UnitContext;
 struct UnitState;
 
@@ -82,6 +83,18 @@ class UnitContext {
 
   // --- event construction & inspection -----------------------------------
 
+  // API v2: starts a fluent event under construction. Parts are validated
+  // (label-stamped) and frozen at Part() time; the builder latches the first
+  // error and Publish()/Build() report it. See src/core/event_builder.h.
+  //
+  //   ctx.BuildEvent()
+  //      .Part(label, "type", Value::OfString("tick"))
+  //      .Part(label, "px", Value::OfInt(101))
+  //      .Publish();
+  //
+  // The Table-1 calls below remain as thin shims over the same engine path.
+  EventBuilder BuildEvent();
+
   // createEvent() -> e
   Result<EventHandle> CreateEvent();
 
@@ -120,6 +133,23 @@ class UnitContext {
   // parts are dropped (reported as InvalidArgument). The call returns no
   // delivery information (§3.2 — success must not leak who was notified).
   Status Publish(EventHandle event);
+
+  // API v2: publishes every handle in order with the semantics of per-event
+  // Publish, but hands the whole group to the dispatcher as one
+  // DeliveryBatch: the engine groups the batch's parts by distinct label,
+  // performs one subscription-index probe per distinct filter key, reuses
+  // each (part label, subscription) flow decision across the batch, and
+  // wakes the worker pool once. Handles that fail validation (unknown,
+  // already published, delivered-origin, empty) are skipped exactly as their
+  // individual Publish would fail; the first such error is returned after
+  // the remaining events have been dispatched. If the call itself is denied
+  // (isolation interception), every created handle in the batch is
+  // discarded, not left for retry — batch producers are fire-and-forget and
+  // must not accumulate stranded events. Like Publish, the call leaks no
+  // delivery information; `published` (optional) receives the number of the
+  // caller's own events that entered dispatch, which the caller could derive
+  // itself by publishing one at a time.
+  Status PublishBatch(const std::vector<EventHandle>& events, size_t* published = nullptr);
 
   // release(e): lets the dispatcher continue delivering a received event to
   // other units (§3.1.6). Implicit when OnEvent returns.
@@ -187,8 +217,13 @@ class UnitContext {
 
  private:
   friend class Engine;
+  friend class EventBuilder;         // builder operates on the shared engine path
   friend struct UnitContextFactory;  // engine-internal construction helper
   UnitContext(Engine* engine, UnitState* state) : engine_(engine), state_(state) {}
+
+  // Drops an unpublished created event (builder abandonment); no-op for
+  // unknown or delivered handles.
+  void DiscardCreatedEvent(EventHandle event);
 
   Engine* engine_;
   UnitState* state_;

@@ -32,7 +32,9 @@ namespace {
 Status WriteAll(int fd, const uint8_t* data, size_t size) {
   size_t written = 0;
   while (written < size) {
-    const ssize_t n = ::write(fd, data + written, size - written);
+    // MSG_NOSIGNAL: a peer that already closed (shutdown races) must surface
+    // as an EPIPE Status, not kill the process with SIGPIPE.
+    const ssize_t n = ::send(fd, data + written, size - written, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) {
         continue;

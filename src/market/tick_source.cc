@@ -48,13 +48,15 @@ Tick TickSource::Next() {
   return tick;
 }
 
-std::vector<Tick> TickSource::Generate(size_t n) {
-  std::vector<Tick> trace;
-  trace.reserve(n);
+std::vector<Tick> TickSource::NextBatch(size_t n) {
+  std::vector<Tick> batch;
+  batch.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    trace.push_back(Next());
+    batch.push_back(Next());
   }
-  return trace;
+  return batch;
 }
+
+std::vector<Tick> TickSource::Generate(size_t n) { return NextBatch(n); }
 
 }  // namespace defcon

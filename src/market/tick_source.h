@@ -35,6 +35,11 @@ class TickSource {
   // Next tick of the trace. Deterministic for a given seed.
   Tick Next();
 
+  // Next `n` ticks of the trace, as one batch — the natural unit of work for
+  // the API v2 batched publish path (PublishBatch groups a whole batch into
+  // one DeliveryBatch).
+  std::vector<Tick> NextBatch(size_t n);
+
   // Pre-generates a trace of `n` ticks (the benches replay cached traces so
   // generation cost never pollutes the measurement; the paper similarly
   // cached ~300 MiB of tick events).

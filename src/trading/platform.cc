@@ -74,4 +74,11 @@ void TradingPlatform::InjectTick(const Tick& tick) {
                       [exchange, copy](UnitContext& ctx) { (void)exchange->PublishTick(ctx, copy); });
 }
 
+void TradingPlatform::InjectTickBatch(std::vector<Tick> ticks) {
+  StockExchangeUnit* exchange = exchange_;
+  engine_->InjectTurn(exchange_id_, [exchange, ticks = std::move(ticks)](UnitContext& ctx) {
+    (void)exchange->PublishTickBatch(ctx, ticks);
+  });
+}
+
 }  // namespace defcon

@@ -50,6 +50,10 @@ class TradingPlatform {
   // Publishes one tick through the Stock Exchange unit (trusted injection).
   void InjectTick(const Tick& tick);
 
+  // Publishes a batch of ticks in one exchange turn via the API v2 batched
+  // publish path (one DeliveryBatch, one pool wake).
+  void InjectTickBatch(std::vector<Tick> ticks);
+
   // Trade latency samples (ns), recorded by the Broker probe. Thread-safe.
   const LatencyHistogram& trade_latency() const { return trade_latency_; }
   void ResetTradeLatency() { trade_latency_.Reset(); }

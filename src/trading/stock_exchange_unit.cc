@@ -13,18 +13,42 @@ void StockExchangeUnit::OnStart(UnitContext& ctx) {
   }
 }
 
-Status StockExchangeUnit::PublishTick(UnitContext& ctx, const Tick& tick) {
-  DEFCON_ASSIGN_OR_RETURN(EventHandle event, ctx.CreateEvent());
+EventBuilder StockExchangeUnit::BuildTick(UnitContext& ctx, const Tick& tick) {
   const Label tick_label(/*s=*/{}, /*i=*/{s_});
-  DEFCON_RETURN_IF_ERROR(
-      ctx.AddPart(event, tick_label, kPartType, Value::OfString(kTypeTick)));
-  DEFCON_RETURN_IF_ERROR(ctx.AddPart(event, tick_label, kPartSymbol,
-                                     Value::OfString(symbols_->Name(tick.symbol))));
-  DEFCON_RETURN_IF_ERROR(
-      ctx.AddPart(event, tick_label, kPartPrice, Value::OfInt(tick.price_cents)));
-  DEFCON_RETURN_IF_ERROR(ctx.Publish(event));
+  EventBuilder builder = ctx.BuildEvent();
+  builder.Part(tick_label, kPartType, Value::OfString(kTypeTick))
+      .Part(tick_label, kPartSymbol, Value::OfString(symbols_->Name(tick.symbol)))
+      .Part(tick_label, kPartPrice, Value::OfInt(tick.price_cents));
+  return builder;
+}
+
+Status StockExchangeUnit::PublishTick(UnitContext& ctx, const Tick& tick) {
+  DEFCON_RETURN_IF_ERROR(BuildTick(ctx, tick).Publish());
   ++ticks_published_;
   return OkStatus();
+}
+
+Status StockExchangeUnit::PublishTickBatch(UnitContext& ctx, const std::vector<Tick>& ticks) {
+  // A tick whose build fails must not strand the already-built handles in
+  // the unit's handle table: the rest of the batch still publishes, and the
+  // first build error is reported.
+  Status first_error;
+  std::vector<EventHandle> handles;
+  handles.reserve(ticks.size());
+  for (const Tick& tick : ticks) {
+    auto handle = BuildTick(ctx, tick).Build();
+    if (!handle.ok()) {
+      if (first_error.ok()) {
+        first_error = handle.status();
+      }
+      continue;
+    }
+    handles.push_back(*handle);
+  }
+  size_t published = 0;
+  const Status status = ctx.PublishBatch(handles, &published);
+  ticks_published_ += published;
+  return first_error.ok() ? status : first_error;
 }
 
 }  // namespace defcon

@@ -6,7 +6,9 @@
 #define DEFCON_SRC_TRADING_STOCK_EXCHANGE_UNIT_H_
 
 #include <string>
+#include <vector>
 
+#include "src/core/event_builder.h"
 #include "src/core/unit.h"
 #include "src/market/symbols.h"
 #include "src/market/tick_source.h"
@@ -25,9 +27,18 @@ class StockExchangeUnit : public Unit {
   // injects turns via Engine::InjectTurn). Returns the publish status.
   Status PublishTick(UnitContext& ctx, const Tick& tick);
 
+  // Publishes a whole batch of ticks through UnitContext::PublishBatch: one
+  // DeliveryBatch, one index probe per distinct symbol, one label check per
+  // (label, subscription) pair, one worker-pool wake. Returns the first
+  // per-tick error, if any; the remaining ticks still publish.
+  Status PublishTickBatch(UnitContext& ctx, const std::vector<Tick>& ticks);
+
   uint64_t ticks_published() const { return ticks_published_; }
 
  private:
+  // Builds (but does not publish) one tick event.
+  EventBuilder BuildTick(UnitContext& ctx, const Tick& tick);
+
   Tag s_;
   const SymbolTable* symbols_;
   uint64_t ticks_published_ = 0;

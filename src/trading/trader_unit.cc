@@ -1,6 +1,7 @@
 #include "src/trading/trader_unit.h"
 
 #include "src/base/logging.h"
+#include "src/core/event_builder.h"
 #include "src/trading/event_names.h"
 #include "src/trading/pair_monitor_unit.h"
 
@@ -98,12 +99,25 @@ void TraderUnit::OnMatch(UnitContext& ctx, EventHandle event) {
     std::swap(buy_symbol, sell_symbol);
     std::swap(price_buy, price_sell);
   }
-  PlaceOrder(ctx, /*buy=*/true, buy_symbol, price_buy);
-  PlaceOrder(ctx, /*buy=*/false, sell_symbol, price_sell);
+  // Both legs of the pairs trade leave in one batch: the broker-side label
+  // checks and index probes are shared, and the pool wakes once.
+  std::vector<EventHandle> orders;
+  orders.reserve(2);
+  if (auto order = BuildOrder(ctx, /*buy=*/true, buy_symbol, price_buy); order.ok()) {
+    orders.push_back(order.value());
+  }
+  if (auto order = BuildOrder(ctx, /*buy=*/false, sell_symbol, price_sell); order.ok()) {
+    orders.push_back(order.value());
+  }
+  if (!orders.empty()) {
+    size_t published = 0;
+    (void)ctx.PublishBatch(orders, &published);
+    orders_placed_ += published;
+  }
 }
 
-void TraderUnit::PlaceOrder(UnitContext& ctx, bool buy, const std::string& symbol,
-                            int64_t price_cents) {
+Result<EventHandle> TraderUnit::BuildOrder(UnitContext& ctx, bool buy, const std::string& symbol,
+                                           int64_t price_cents) {
   const std::string order_id =
       "o" + std::to_string(index_) + "-" + std::to_string(next_order_seq_++);
 
@@ -111,7 +125,7 @@ void TraderUnit::PlaceOrder(UnitContext& ctx, bool buy, const std::string& symbo
   // the trader recognise its own fill later.
   auto tr_result = ctx.CreateTag(options_.record_tag_names ? order_id : std::string());
   if (!tr_result.ok()) {
-    return;
+    return tr_result.status();
   }
   const Tag tr = tr_result.value();
   (void)ctx.AcquirePrivilege(tr, Privilege::kPlus);
@@ -127,11 +141,6 @@ void TraderUnit::PlaceOrder(UnitContext& ctx, bool buy, const std::string& symbo
     }
   }
 
-  auto event = ctx.CreateEvent();
-  if (!event.ok()) {
-    return;
-  }
-  const EventHandle e = event.value();
   const Label broker_label(/*s=*/{b_}, /*i=*/{});
   const Label identity_label(/*s=*/{b_, tr}, /*i=*/{});
 
@@ -147,16 +156,15 @@ void TraderUnit::PlaceOrder(UnitContext& ctx, bool buy, const std::string& symbo
   (void)identity->Set(kKeyTrader, Value::OfString(name_));
   (void)identity->Set(kKeyOrderId, Value::OfString(order_id));
 
-  bool ok = ctx.AddPart(e, broker_label, kPartType, Value::OfString(kTypeOrder)).ok() &&
-            ctx.AddPart(e, broker_label, kPartDetails, Value::OfMap(details)).ok() &&
-            ctx.AddPart(e, identity_label, kPartName, Value::OfMap(identity)).ok();
   // The details part carries tr+ (read the identity under contamination) and
   // tr+auth (delegate it to the Regulator on demand, step 7).
-  ok = ok && ctx.AttachPrivilegeToPart(e, kPartDetails, broker_label, tr, Privilege::kPlus).ok() &&
-       ctx.AttachPrivilegeToPart(e, kPartDetails, broker_label, tr, Privilege::kPlusAuth).ok();
-  if (ok && ctx.Publish(e).ok()) {
-    ++orders_placed_;
-  }
+  return ctx.BuildEvent()
+      .Part(broker_label, kPartType, Value::OfString(kTypeOrder))
+      .Part(broker_label, kPartDetails, Value::OfMap(details))
+      .Part(identity_label, kPartName, Value::OfMap(identity))
+      .PartPrivilege(kPartDetails, broker_label, tr, Privilege::kPlus)
+      .PartPrivilege(kPartDetails, broker_label, tr, Privilege::kPlusAuth)
+      .Build();
 }
 
 void TraderUnit::OnTrade(UnitContext& ctx, EventHandle event) {

@@ -65,7 +65,10 @@ class TraderUnit : public Unit {
  private:
   void OnMatch(UnitContext& ctx, EventHandle event);
   void OnTrade(UnitContext& ctx, EventHandle event);
-  void PlaceOrder(UnitContext& ctx, bool buy, const std::string& symbol, int64_t price_cents);
+  // Builds one order event (details + tr-protected identity part) without
+  // publishing; OnMatch batches both legs into a single PublishBatch.
+  Result<EventHandle> BuildOrder(UnitContext& ctx, bool buy, const std::string& symbol,
+                                 int64_t price_cents);
   void ForgetOldestPending(UnitContext& ctx);
 
   const size_t index_;

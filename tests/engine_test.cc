@@ -168,7 +168,6 @@ TEST_F(SecrecyFixture, RaisingInputLabelRequiresPlusPrivilege) {
 TEST_F(SecrecyFixture, ContaminationStampsOutput) {
   // A unit contaminated with {secret} cannot produce public parts: the
   // engine stamps its output label onto everything it adds.
-  const Tag secret = secret_;
   const UnitId tainted = engine_->AddUnit("tainted", std::make_unique<TestUnit>(),
                                           Label({secret_}, {}), PrivilegeSet());
   auto* receiver = new TestUnit(

@@ -1,0 +1,346 @@
+// API v2 coverage: the fluent EventBuilder and the batched publish/dispatch
+// pipeline. The load-bearing properties: builder construction behaves
+// exactly like the Table-1 shims (label stamping, freeze-at-add), and a
+// PublishBatch delivers exactly what the same events published one at a
+// time deliver, in every security mode.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/core/api.h"
+#include "tests/test_util.h"
+
+namespace defcon {
+namespace {
+
+class BuilderFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    engine_ = std::make_unique<Engine>(ManualConfig());
+    unit_id_ = engine_->AddUnit("u", std::make_unique<TestUnit>());
+    engine_->Start();
+    engine_->RunUntilIdle();
+  }
+
+  void Run(std::function<void(UnitContext&)> fn) {
+    engine_->InjectTurn(unit_id_, std::move(fn));
+    engine_->RunUntilIdle();
+  }
+
+  std::unique_ptr<Engine> engine_;
+  UnitId unit_id_ = 0;
+};
+
+TEST_F(BuilderFixture, FluentChainPublishesAndDelivers) {
+  auto* receiver = new TestUnit([](UnitContext& ctx) {
+    ASSERT_TRUE(ctx.Subscribe(Filter::Eq("type", Value::OfString("ping"))).ok());
+  });
+  engine_->AddUnit("receiver", std::unique_ptr<Unit>(receiver));
+  engine_->RunUntilIdle();
+
+  Run([](UnitContext& ctx) {
+    EXPECT_TRUE(ctx.BuildEvent()
+                    .Part("type", Value::OfString("ping"))
+                    .Part("seq", Value::OfInt(1))
+                    .Publish()
+                    .ok());
+  });
+  EXPECT_EQ(receiver->delivery_count(), 1u);
+  EXPECT_EQ(engine_->stats().parts_added, 2u);
+}
+
+TEST_F(BuilderFixture, EmptyEventPublishRejected) {
+  Run([](UnitContext& ctx) {
+    EXPECT_EQ(ctx.BuildEvent().Publish().code(), StatusCode::kInvalidArgument);
+  });
+  EXPECT_EQ(engine_->stats().events_dropped_empty, 1u);
+  EXPECT_EQ(engine_->stats().events_published, 0u);
+}
+
+TEST_F(BuilderFixture, EmptyEventRejectedOnBatchPath) {
+  Run([](UnitContext& ctx) {
+    auto empty = ctx.BuildEvent().Build();
+    ASSERT_TRUE(empty.ok());
+    EXPECT_EQ(ctx.PublishBatch({*empty}).code(), StatusCode::kInvalidArgument);
+  });
+  EXPECT_EQ(engine_->stats().events_dropped_empty, 1u);
+}
+
+TEST_F(BuilderFixture, ValuesFrozenAtPartAddTime) {
+  Run([](UnitContext& ctx) {
+    auto map = FMap::New();
+    ASSERT_TRUE(map->Set("k", Value::OfInt(1)).ok());
+    EventBuilder builder = ctx.BuildEvent();
+    builder.Part("data", Value::OfMap(map));
+    // Frozen by Part(), before any publish: later mutation must fail.
+    EXPECT_FALSE(map->Set("k", Value::OfInt(2)).ok());
+    EXPECT_TRUE(std::move(builder).Publish().ok());
+  });
+}
+
+TEST_F(BuilderFixture, ErrorLatchesAndNothingPublishes) {
+  Run([](UnitContext& ctx) {
+    EventBuilder builder = ctx.BuildEvent();
+    const Status publish_status = builder.Part("a", Value::OfInt(1))
+                                      // Unowned privilege: this call fails...
+                                      .PartPrivilege("a", Label(), Tag{}, Privilege::kPlus)
+                                      // ...and later calls are latched no-ops.
+                                      .Part("b", Value::OfInt(2))
+                                      .Publish();
+    EXPECT_EQ(publish_status.code(), StatusCode::kPermissionDenied);
+  });
+  EXPECT_EQ(engine_->stats().events_published, 0u);
+}
+
+TEST_F(BuilderFixture, ConsumedBuilderRefusesFurtherUse) {
+  Run([](UnitContext& ctx) {
+    EventBuilder builder = ctx.BuildEvent();
+    builder.Part("a", Value::OfInt(1));
+    auto handle = builder.Build();
+    ASSERT_TRUE(handle.ok());
+    builder.Part("b", Value::OfInt(2));
+    EXPECT_EQ(builder.status().code(), StatusCode::kFailedPrecondition);
+    EXPECT_EQ(builder.Publish().code(), StatusCode::kFailedPrecondition);
+    // The detached handle is still publishable.
+    EXPECT_TRUE(ctx.Publish(*handle).ok());
+  });
+  EXPECT_EQ(engine_->stats().events_published, 1u);
+}
+
+TEST_F(BuilderFixture, AbandonedBuilderDropsEvent) {
+  Run([](UnitContext& ctx) {
+    { EventBuilder builder = ctx.BuildEvent(); builder.Part("a", Value::OfInt(1)); }
+    // The destructor discarded the half-built event; nothing was published.
+  });
+  EXPECT_EQ(engine_->stats().events_published, 0u);
+  EXPECT_EQ(engine_->stats().events_dropped_empty, 0u);
+}
+
+// S' = S ∪ Sout and I' = I ∩ Iout must come out identical whether a part is
+// added through the legacy AddPart shim or through the builder.
+TEST_F(BuilderFixture, LabelStampIdenticalAcrossBuilderAndShim) {
+  const Tag taint = engine_->CreateTag("taint");
+  const Tag extra = engine_->CreateTag("extra");
+  const Tag vouch = engine_->CreateTag("vouch");
+  const Tag unheld = engine_->CreateTag("unheld");
+
+  PrivilegeSet privileges;
+  privileges.Grant(vouch, Privilege::kPlus);
+  const UnitId publisher = engine_->AddUnit("publisher", std::make_unique<TestUnit>(),
+                                            Label({taint}, {}), privileges);
+
+  std::vector<std::string> seen_labels;
+  auto* receiver = new TestUnit(
+      [](UnitContext& ctx) { ASSERT_TRUE(ctx.Subscribe(Filter::Exists("p")).ok()); },
+      [&seen_labels](UnitContext& ctx, EventHandle e, SubscriptionId) {
+        auto parts = ctx.ReadAllParts(e);
+        ASSERT_TRUE(parts.ok());
+        for (const NamedPartView& view : *parts) {
+          seen_labels.push_back(view.label.DebugString());
+        }
+      });
+  engine_->AddUnit("receiver", std::unique_ptr<Unit>(receiver), Label({taint, extra}, {}));
+  engine_->RunUntilIdle();
+
+  // Requested label: S = {extra}, I = {vouch, unheld}. The publisher's
+  // output label is S = {taint}, I = {vouch} (after endorsing with vouch),
+  // so the stamp must yield S' = {taint, extra}, I' = {vouch}.
+  const Label requested({extra}, {vouch, unheld});
+  engine_->InjectTurn(publisher, [requested, vouch](UnitContext& ctx) {
+    ASSERT_TRUE(ctx.ChangeOutLabel(LabelComponent::kIntegrity, LabelOp::kAdd, vouch).ok());
+    auto legacy = ctx.CreateEvent();
+    ASSERT_TRUE(legacy.ok());
+    ASSERT_TRUE(ctx.AddPart(*legacy, requested, "p", Value::OfInt(1)).ok());
+    ASSERT_TRUE(ctx.Publish(*legacy).ok());
+    ASSERT_TRUE(ctx.BuildEvent().Part(requested, "p", Value::OfInt(2)).Publish().ok());
+  });
+  engine_->RunUntilIdle();
+
+  ASSERT_EQ(seen_labels.size(), 2u);
+  EXPECT_EQ(seen_labels[0], seen_labels[1]);
+  const Label expected({taint, extra}, {vouch});
+  EXPECT_EQ(seen_labels[0], expected.DebugString());
+}
+
+TEST_F(BuilderFixture, BatchErrorSemanticsMatchPerEvent) {
+  Run([](UnitContext& ctx) {
+    // Empty batch is a no-op.
+    EXPECT_TRUE(ctx.PublishBatch({}).ok());
+    // Unknown handle fails like Publish(bogus)...
+    auto good = ctx.BuildEvent().Part("x", Value::OfInt(1)).Build();
+    ASSERT_TRUE(good.ok());
+    size_t published = 0;
+    EXPECT_EQ(ctx.PublishBatch({424242, *good}, &published).code(), StatusCode::kNotFound);
+    EXPECT_EQ(published, 1u);  // the valid event still entered dispatch
+  });
+  // ...but the valid event in the same batch still published.
+  EXPECT_EQ(engine_->stats().events_published, 1u);
+
+  // A received event cannot go through publishBatch (release semantics).
+  Status delivered_status;
+  auto* relay = new TestUnit(
+      [](UnitContext& ctx) { ASSERT_TRUE(ctx.Subscribe(Filter::Exists("x")).ok()); },
+      [&delivered_status](UnitContext& ctx, EventHandle e, SubscriptionId) {
+        delivered_status = ctx.PublishBatch({e});
+      });
+  engine_->AddUnit("relay", std::unique_ptr<Unit>(relay));
+  engine_->RunUntilIdle();
+  Run([](UnitContext& ctx) {
+    ASSERT_TRUE(ctx.BuildEvent().Part("x", Value::OfInt(2)).Publish().ok());
+  });
+  EXPECT_EQ(delivered_status.code(), StatusCode::kFailedPrecondition);
+}
+
+// ---------------------------------------------------------------------------
+// Batch/per-event delivery equivalence across all four security modes
+// ---------------------------------------------------------------------------
+
+struct ScenarioResult {
+  std::vector<std::string> public_seen;
+  std::vector<std::string> compartment_seen;
+  uint64_t deliveries = 0;
+  uint64_t batch_publishes = 0;
+};
+
+// Publishes 8 mixed-label events (even payloads public, odd payloads inside
+// the {p} compartment; every event carries the indexed type part) either one
+// at a time or as one batch, and records what each receiver observed.
+ScenarioResult RunMixedLabelScenario(SecurityMode mode, bool use_batch) {
+  ScenarioResult result;
+  Engine engine(ManualConfig(mode));
+  const Tag p = engine.tag_store().CreateTag("p");
+
+  auto collector = [](std::vector<std::string>* out) {
+    return [out](UnitContext& ctx, EventHandle e, SubscriptionId) {
+      auto parts = ctx.ReadAllParts(e);
+      if (!parts.ok()) {
+        return;
+      }
+      for (const NamedPartView& view : *parts) {
+        out->push_back(view.name + "=" + view.data.ToString());
+      }
+    };
+  };
+  auto subscribe = [](UnitContext& ctx) {
+    ASSERT_TRUE(ctx.Subscribe(Filter::Eq("type", Value::OfString("evt"))).ok());
+  };
+  engine.AddUnit("public-reader",
+                 std::make_unique<TestUnit>(subscribe, collector(&result.public_seen)));
+  engine.AddUnit("compartment-reader",
+                 std::make_unique<TestUnit>(subscribe, collector(&result.compartment_seen)),
+                 Label({p}, {}));
+  const UnitId publisher = engine.AddUnit("publisher", std::make_unique<TestUnit>());
+  engine.Start();
+  engine.RunUntilIdle();
+
+  engine.InjectTurn(publisher, [p, use_batch](UnitContext& ctx) {
+    std::vector<EventHandle> handles;
+    for (int i = 0; i < 8; ++i) {
+      const Label payload_label = (i % 2 == 0) ? Label() : Label({p}, {});
+      auto handle = ctx.BuildEvent()
+                        .Part("type", Value::OfString("evt"))
+                        .Part(payload_label, "payload", Value::OfInt(i))
+                        .Build();
+      ASSERT_TRUE(handle.ok());
+      handles.push_back(*handle);
+    }
+    if (use_batch) {
+      ASSERT_TRUE(ctx.PublishBatch(handles).ok());
+    } else {
+      for (const EventHandle handle : handles) {
+        ASSERT_TRUE(ctx.Publish(handle).ok());
+      }
+    }
+  });
+  engine.RunUntilIdle();
+
+  std::sort(result.public_seen.begin(), result.public_seen.end());
+  std::sort(result.compartment_seen.begin(), result.compartment_seen.end());
+  result.deliveries = engine.stats().deliveries;
+  result.batch_publishes = engine.stats().batch_publishes;
+  return result;
+}
+
+TEST(PublishBatch, MixedLabelBatchEqualsPerEventInAllModes) {
+  for (const SecurityMode mode :
+       {SecurityMode::kNoSecurity, SecurityMode::kLabels, SecurityMode::kLabelsClone,
+        SecurityMode::kLabelsIsolation}) {
+    SCOPED_TRACE(SecurityModeName(mode));
+    const ScenarioResult per_event = RunMixedLabelScenario(mode, /*use_batch=*/false);
+    const ScenarioResult batched = RunMixedLabelScenario(mode, /*use_batch=*/true);
+    EXPECT_EQ(per_event.public_seen, batched.public_seen);
+    EXPECT_EQ(per_event.compartment_seen, batched.compartment_seen);
+    EXPECT_EQ(per_event.deliveries, batched.deliveries);
+    EXPECT_EQ(per_event.batch_publishes, 0u);
+    EXPECT_EQ(batched.batch_publishes, 1u);
+    // Both readers got every event; the compartment reader saw the odd
+    // payloads the public reader must not (modes with label checks only).
+    EXPECT_EQ(batched.compartment_seen.size(), 16u);
+    if (mode == SecurityMode::kNoSecurity) {
+      EXPECT_EQ(batched.public_seen.size(), 16u);
+    } else {
+      EXPECT_EQ(batched.public_seen.size(), 12u);  // 8 type + 4 public payloads
+    }
+  }
+}
+
+TEST(PublishBatch, BatchCountersAndMemoHits) {
+  Engine engine(ManualConfig());
+  auto* receiver = new TestUnit([](UnitContext& ctx) {
+    ASSERT_TRUE(ctx.Subscribe(Filter::Exists("seq")).ok());
+  });
+  engine.AddUnit("receiver", std::unique_ptr<Unit>(receiver));
+  const UnitId publisher = engine.AddUnit("publisher", std::make_unique<TestUnit>());
+  engine.Start();
+  engine.RunUntilIdle();
+  engine.InjectTurn(publisher, [](UnitContext& ctx) {
+    std::vector<EventHandle> handles;
+    for (int i = 0; i < 16; ++i) {
+      auto handle = ctx.BuildEvent().Part("seq", Value::OfInt(i)).Build();
+      ASSERT_TRUE(handle.ok());
+      handles.push_back(*handle);
+    }
+    ASSERT_TRUE(ctx.PublishBatch(handles).ok());
+  });
+  engine.RunUntilIdle();
+  const EngineStatsSnapshot stats = engine.stats();
+  EXPECT_EQ(receiver->delivery_count(), 16u);
+  EXPECT_EQ(stats.batch_publishes, 1u);
+  EXPECT_EQ(stats.batch_events, 16u);
+  // All 16 events share one part label and one subscriber: one real check,
+  // fifteen memo hits.
+  EXPECT_EQ(stats.batch_flow_memo_hits, 15u);
+  EXPECT_EQ(stats.events_published, 16u);
+}
+
+TEST(PublishBatch, PooledEngineDeliversWholeBatchWithOneWake) {
+  EngineConfig config;
+  config.mode = SecurityMode::kLabels;
+  config.num_threads = 2;
+  Engine engine(config);
+  auto* receiver = new TestUnit([](UnitContext& ctx) {
+    ASSERT_TRUE(ctx.Subscribe(Filter::Exists("seq")).ok());
+  });
+  engine.AddUnit("receiver", std::unique_ptr<Unit>(receiver));
+  const UnitId publisher = engine.AddUnit("publisher", std::make_unique<TestUnit>());
+  engine.Start();
+  engine.WaitIdle();
+  engine.InjectTurn(publisher, [](UnitContext& ctx) {
+    std::vector<EventHandle> handles;
+    for (int i = 0; i < 64; ++i) {
+      auto handle = ctx.BuildEvent().Part("seq", Value::OfInt(i)).Build();
+      ASSERT_TRUE(handle.ok());
+      handles.push_back(*handle);
+    }
+    ASSERT_TRUE(ctx.PublishBatch(handles).ok());
+  });
+  engine.WaitIdle();
+  EXPECT_EQ(receiver->delivery_count(), 64u);
+  EXPECT_EQ(engine.stats().deliveries, 64u);
+  engine.Stop();
+}
+
+}  // namespace
+}  // namespace defcon
