@@ -22,6 +22,10 @@ int Main(int argc, char** argv) {
   int64_t symbols = 200;
   int64_t threads = 0;
   int64_t seed = 7;
+  // Pinned to 1 so the figure stays comparable to the paper and to pre-batch
+  // baselines (per-event Publish, one dispatch per tick). Raise explicitly
+  // to measure the API v2 batched-publish path instead.
+  int64_t tick_batch = 1;
   std::string trader_list = "200,600,1000,1400,2000";
   FlagSet flags;
   flags.Register("ticks", &ticks, "ticks replayed per configuration");
@@ -29,6 +33,8 @@ int Main(int argc, char** argv) {
   flags.Register("symbols", &symbols, "symbol universe size");
   flags.Register("threads", &threads, "engine worker threads (0 = single-threaded pump)");
   flags.Register("seed", &seed, "workload seed");
+  flags.Register("tick_batch", &tick_batch,
+                 "ticks per PublishBatch (default 1 = per-event, figure-comparable)");
   flags.Register("traders", &trader_list, "comma-separated trader counts");
   if (!flags.Parse(argc, argv)) {
     return 1;
@@ -64,6 +70,7 @@ int Main(int argc, char** argv) {
       config.ticks = static_cast<size_t>(ticks);
       config.batch = static_cast<size_t>(batch);
       config.engine_threads = static_cast<size_t>(threads);
+      config.tick_batch = static_cast<size_t>(tick_batch);
       const WorkloadResult result = RunTradingWorkload(config);
       row.push_back(Table::Num(result.throughput_samples.Median() / 1000.0, 1));
     }

@@ -20,6 +20,9 @@ int Main(int argc, char** argv) {
   int64_t threads = 0;
   int64_t seed = 7;
   double rate = 1500.0;
+  // Pinned to 1 for figure comparability; paced (latency) runs inject
+  // per-event regardless, so this only matters if --rate is set to 0.
+  int64_t tick_batch = 1;
   std::string trader_list = "200,600,1000,1400,2000";
   FlagSet flags;
   flags.Register("ticks", &ticks, "ticks replayed per configuration");
@@ -27,6 +30,8 @@ int Main(int argc, char** argv) {
   flags.Register("threads", &threads, "engine worker threads (0 = single-threaded pump)");
   flags.Register("seed", &seed, "workload seed");
   flags.Register("rate", &rate, "tick feed rate (events/s)");
+  flags.Register("tick_batch", &tick_batch,
+                 "ticks per PublishBatch (default 1 = per-event, figure-comparable)");
   flags.Register("traders", &trader_list, "comma-separated trader counts");
   if (!flags.Parse(argc, argv)) {
     return 1;
@@ -64,6 +69,7 @@ int Main(int argc, char** argv) {
       config.batch = static_cast<size_t>(ticks) / 6;
       config.engine_threads = static_cast<size_t>(threads);
       config.pace_events_per_sec = rate;
+      config.tick_batch = static_cast<size_t>(tick_batch);
       const WorkloadResult result = RunTradingWorkload(config);
       row.push_back(
           Table::Num(static_cast<double>(result.trade_latency.PercentileNs(0.7)) / 1e6, 3));

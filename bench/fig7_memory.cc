@@ -61,11 +61,16 @@ int Main(int argc, char** argv) {
   int64_t ticks = 6000;
   int64_t symbols = 200;
   int64_t seed = 7;
+  // Pinned to 1 so memory numbers stay comparable to pre-batch baselines
+  // (batching changes peak mailbox and plan footprints).
+  int64_t tick_batch = 1;
   std::string trader_list = "200,600,1000,1400,2000";
   FlagSet flags;
   flags.Register("ticks", &ticks, "ticks replayed per configuration");
   flags.Register("symbols", &symbols, "symbol universe size");
   flags.Register("seed", &seed, "workload seed");
+  flags.Register("tick_batch", &tick_batch,
+                 "ticks per PublishBatch (default 1 = per-event, figure-comparable)");
   flags.Register("traders", &trader_list, "comma-separated trader counts");
   if (!flags.Parse(argc, argv)) {
     return 1;
@@ -101,6 +106,7 @@ int Main(int argc, char** argv) {
       config.seed = static_cast<uint64_t>(seed);
       config.ticks = static_cast<size_t>(ticks);
       config.batch = static_cast<size_t>(ticks) / 4;
+      config.tick_batch = static_cast<size_t>(tick_batch);
       const MemoryReading reading = MeasureInChild(config);
       row.push_back(Table::Num(reading.rss_mib, 1));
       if (mode == SecurityMode::kLabelsIsolation) {

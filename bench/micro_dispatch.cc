@@ -155,11 +155,13 @@ class BatchPublisherUnit : public Unit {
   int64_t seq_ = 0;
 };
 
-void RunBatchPublishBenchmark(benchmark::State& state, SecurityMode mode) {
+void RunBatchPublishBenchmark(benchmark::State& state, SecurityMode mode,
+                              bool use_dispatch_cache = true) {
   const size_t batch = static_cast<size_t>(state.range(0));
   EngineConfig config;
   config.mode = mode;
   config.num_threads = 0;
+  config.use_dispatch_cache = use_dispatch_cache;
   Engine engine(config);
   const Tag compartment = engine.CreateTag("compartment");
   // 4 in-compartment receivers that deliver, 96 outside candidates that the
@@ -186,6 +188,8 @@ void RunBatchPublishBenchmark(benchmark::State& state, SecurityMode mode) {
   const auto stats = engine.stats();
   state.counters["label_checks"] = static_cast<double>(stats.label_checks);
   state.counters["flow_memo_hits"] = static_cast<double>(stats.batch_flow_memo_hits);
+  state.counters["flow_cache_hits"] = static_cast<double>(stats.flow_cache_hits);
+  state.counters["candidate_hits"] = static_cast<double>(stats.candidate_cache_hits);
   state.counters["deliveries"] = static_cast<double>(stats.deliveries);
 }
 
@@ -193,6 +197,14 @@ void BM_BatchPublish_Labels(benchmark::State& state) {
   RunBatchPublishBenchmark(state, SecurityMode::kLabels);
 }
 BENCHMARK(BM_BatchPublish_Labels)->Arg(1)->Arg(16)->Arg(64)->Arg(256);
+
+// Ablation: same workload with the persistent dispatch cache disabled — the
+// PR 1 batch path (per-batch memos only). The gap at each batch size is what
+// the cross-batch candidate/flow caches buy.
+void BM_BatchPublish_Labels_NoCache(benchmark::State& state) {
+  RunBatchPublishBenchmark(state, SecurityMode::kLabels, /*use_dispatch_cache=*/false);
+}
+BENCHMARK(BM_BatchPublish_Labels_NoCache)->Arg(16)->Arg(64)->Arg(256);
 
 void BM_BatchPublish_NoSecurity(benchmark::State& state) {
   RunBatchPublishBenchmark(state, SecurityMode::kNoSecurity);

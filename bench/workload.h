@@ -37,6 +37,11 @@ struct WorkloadConfig {
   // Ticks per PublishBatch on the flood path (API v2 batched dispatch); 1
   // replays through the legacy per-event Publish. Paced (latency) runs
   // always inject per-event so the pace stays exact.
+  //
+  // Default 16 (the throughput-optimal batching for ad-hoc runs), but the
+  // figure drivers (fig5/fig6/fig7) PIN tick_batch = 1 so their numbers stay
+  // comparable to the paper and to pre-batch baselines; pass --tick_batch
+  // there to measure the batched path explicitly.
   size_t tick_batch = 16;
 };
 

@@ -15,11 +15,11 @@ std::shared_ptr<Actor> ActorExecutor::CreateActor(std::string name) {
 }
 
 void ActorExecutor::Post(const std::shared_ptr<Actor>& actor, std::function<void()> turn) {
-  if (shutdown_.load(std::memory_order_acquire)) {
-    return;
-  }
   {
     std::lock_guard<std::mutex> lock(pending_mutex_);
+    if (shutdown_.load(std::memory_order_acquire)) {
+      return;  // rejected before counting: nothing to drain later
+    }
     ++pending_turns_;
   }
   actor->mailbox_.Push(std::move(turn));
@@ -30,11 +30,14 @@ void ActorExecutor::Post(const std::shared_ptr<Actor>& actor, std::function<void
 }
 
 void ActorExecutor::PostBatch(std::vector<ActorTurn> turns) {
-  if (turns.empty() || shutdown_.load(std::memory_order_acquire)) {
+  if (turns.empty()) {
     return;
   }
   {
     std::lock_guard<std::mutex> lock(pending_mutex_);
+    if (shutdown_.load(std::memory_order_acquire)) {
+      return;
+    }
     pending_turns_ += turns.size();
   }
   std::vector<std::shared_ptr<Actor>> runnable;
@@ -51,24 +54,55 @@ void ActorExecutor::PostBatch(std::vector<ActorTurn> turns) {
   if (pool_ != nullptr) {
     std::vector<std::function<void()>> drains;
     drains.reserve(runnable.size());
-    for (auto& actor : runnable) {
-      drains.push_back([this, actor = std::move(actor)]() mutable { DrainActor(actor); });
+    for (const auto& actor : runnable) {
+      drains.push_back([this, actor]() { DrainActor(actor); });
     }
-    pool_->PostBatch(std::move(drains));
+    if (!pool_->PostBatch(std::move(drains))) {
+      // Pool shut down between the pending check and the hand-off: this
+      // thread owns every runnable actor's scheduled_ flag, so it must
+      // drain-and-discard them or their turns would pin pending_turns_.
+      for (const auto& actor : runnable) {
+        DiscardActor(actor);
+      }
+    }
   } else {
-    std::lock_guard<std::mutex> lock(ready_mutex_);
-    for (auto& actor : runnable) {
-      ready_.push_back(std::move(actor));
+    bool discard = false;
+    {
+      std::lock_guard<std::mutex> lock(ready_mutex_);
+      if (shutdown_.load(std::memory_order_acquire)) {
+        discard = true;  // Shutdown already swept ready_; do not re-strand
+      } else {
+        for (const auto& actor : runnable) {
+          ready_.push_back(actor);
+        }
+      }
+    }
+    if (discard) {
+      for (const auto& actor : runnable) {
+        DiscardActor(actor);
+      }
     }
   }
 }
 
-void ActorExecutor::Schedule(std::shared_ptr<Actor> actor) {
+void ActorExecutor::Schedule(const std::shared_ptr<Actor>& actor) {
   if (pool_ != nullptr) {
-    pool_->Post([this, actor = std::move(actor)]() mutable { DrainActor(actor); });
-  } else {
+    if (!pool_->Post([this, actor]() { DrainActor(actor); })) {
+      DiscardActor(actor);  // pool already shut down; see PostBatch
+    }
+    return;
+  }
+  bool discard = false;
+  {
     std::lock_guard<std::mutex> lock(ready_mutex_);
-    ready_.push_back(std::move(actor));
+    if (shutdown_.load(std::memory_order_acquire)) {
+      discard = true;
+    } else {
+      ready_.push_back(actor);
+    }
+  }
+  if (discard) {
+    DiscardActor(actor);
   }
 }
 
@@ -102,6 +136,35 @@ void ActorExecutor::DrainActor(const std::shared_ptr<Actor>& actor) {
   }
 }
 
+void ActorExecutor::DiscardActor(const std::shared_ptr<Actor>& actor) {
+  for (;;) {
+    size_t discarded = 0;
+    while (actor->mailbox_.TryPop().has_value()) {
+      ++discarded;
+    }
+    if (discarded > 0) {
+      turns_discarded_.fetch_add(discarded, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(pending_mutex_);
+      pending_turns_ -= discarded;
+      if (pending_turns_ == 0) {
+        pending_cv_.notify_all();
+      }
+    }
+    // Same release/re-check dance as DrainActor: a producer that lost the
+    // scheduled_ CAS while we were discarding left its (counted) turn in the
+    // mailbox; reclaim the flag and sweep again, or let the producer's own
+    // Schedule-failure path handle it if it wins the reclaim.
+    actor->scheduled_.store(false, std::memory_order_release);
+    if (actor->mailbox_.Empty()) {
+      return;
+    }
+    bool expected = false;
+    if (!actor->scheduled_.compare_exchange_strong(expected, true)) {
+      return;
+    }
+  }
+}
+
 size_t ActorExecutor::RunUntilIdle() {
   size_t total = 0;
   for (;;) {
@@ -131,12 +194,32 @@ void ActorExecutor::WaitIdle() {
 }
 
 void ActorExecutor::Shutdown() {
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mutex_);
+  if (shutdown_done_) {
+    return;
+  }
   shutdown_.store(true, std::memory_order_release);
   if (pool_ != nullptr) {
+    // Drains every accepted drain-task (executing those turns), then joins.
+    // Posts that already counted their turn but lose the race to hand it to
+    // the pool discard it themselves via the Schedule/PostBatch failure path.
     pool_->Shutdown();
   }
-  std::lock_guard<std::mutex> lock(ready_mutex_);
-  ready_.clear();
+  // Manual mode: discard turns stranded on the ready list. Each actor popped
+  // here holds scheduled_ == true, so this thread owns its mailbox.
+  for (;;) {
+    std::shared_ptr<Actor> actor;
+    {
+      std::lock_guard<std::mutex> lock(ready_mutex_);
+      if (ready_.empty()) {
+        break;
+      }
+      actor = std::move(ready_.front());
+      ready_.pop_front();
+    }
+    DiscardActor(actor);
+  }
+  shutdown_done_ = true;
 }
 
 }  // namespace defcon

@@ -6,6 +6,15 @@
 //   * pooled: turns run on a ThreadPool (production / benchmarks);
 //   * manual: turns run only when RunUntilIdle() is called, giving tests a
 //     deterministic, single-threaded schedule.
+//
+// Shutdown/drain protocol: every turn accepted by Post/PostBatch (counted in
+// pending_turns_) is eventually either executed or explicitly discarded with
+// the counter decremented, even when Shutdown() races the enqueue. Ownership
+// of an actor's mailbox is the scheduled_ flag: whoever wins the false->true
+// CAS must hand the actor to a worker, and if that hand-off fails because the
+// pool is already shut down, the owner drains the mailbox into the discard
+// counter instead of dropping it. This is what keeps WaitIdle() from wedging
+// on turns that can no longer run.
 #ifndef DEFCON_SRC_CONCURRENCY_ACTOR_EXECUTOR_H_
 #define DEFCON_SRC_CONCURRENCY_ACTOR_EXECUTOR_H_
 
@@ -55,7 +64,8 @@ class ActorExecutor {
 
   std::shared_ptr<Actor> CreateActor(std::string name);
 
-  // Enqueues a turn for the actor. Thread-safe.
+  // Enqueues a turn for the actor. Thread-safe. After Shutdown() the turn is
+  // silently dropped (never counted, never executed).
   void Post(const std::shared_ptr<Actor>& actor, std::function<void()> turn);
 
   // A (actor, turn) pair queued by PostBatch.
@@ -70,9 +80,13 @@ class ActorExecutor {
   // Returns the number of turns executed.
   size_t RunUntilIdle();
 
-  // Pooled mode: blocks until every posted turn has executed.
+  // Pooled mode: blocks until every accepted turn has been executed or
+  // discarded. Never wedges across a concurrent Shutdown().
   void WaitIdle();
 
+  // Stops accepting turns, joins the pool, and discards any turns that can no
+  // longer run (decrementing the pending counter for each). Idempotent and
+  // safe to call again from the destructor after an explicit call.
   void Shutdown();
 
   bool manual_mode() const { return pool_ == nullptr; }
@@ -80,13 +94,21 @@ class ActorExecutor {
   // Total turns executed since construction (diagnostics).
   uint64_t turns_executed() const { return turns_executed_.load(std::memory_order_relaxed); }
 
+  // Turns accepted but discarded unexecuted because Shutdown() raced the
+  // enqueue (diagnostics; every discard also decremented pending_turns_).
+  uint64_t turns_discarded() const { return turns_discarded_.load(std::memory_order_relaxed); }
+
  private:
   // Max turns drained per scheduling quantum, so one flooded actor cannot
   // starve others on the pool.
   static constexpr size_t kBatchSize = 64;
 
-  void Schedule(std::shared_ptr<Actor> actor);
+  void Schedule(const std::shared_ptr<Actor>& actor);
   void DrainActor(const std::shared_ptr<Actor>& actor);
+  // Empties the actor's mailbox without executing, decrementing the pending
+  // counter per turn. Caller must own the actor's scheduled_ flag; the flag
+  // is released before returning (with the usual re-check/reclaim loop).
+  void DiscardActor(const std::shared_ptr<Actor>& actor);
 
   std::unique_ptr<ThreadPool> pool_;  // null in manual mode
 
@@ -99,7 +121,13 @@ class ActorExecutor {
   std::condition_variable pending_cv_;
   size_t pending_turns_ = 0;
 
+  // Serialises Shutdown(): a second caller (e.g. the destructor after an
+  // explicit Shutdown) blocks until the first completes, then no-ops.
+  std::mutex shutdown_mutex_;
+  bool shutdown_done_ = false;
+
   std::atomic<uint64_t> turns_executed_{0};
+  std::atomic<uint64_t> turns_discarded_{0};
   std::atomic<bool> shutdown_{false};
 };
 

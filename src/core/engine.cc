@@ -4,6 +4,7 @@
 #include <atomic>
 #include <deque>
 #include <list>
+#include <optional>
 #include <shared_mutex>
 #include <unordered_map>
 #include <unordered_set>
@@ -32,18 +33,34 @@ const char* SecurityModeName(SecurityMode mode) {
 
 namespace {
 
-// Stable textual key for a label (managed-instance cache key and delivery
-// de-duplication). Tag sets are sorted, so the rendering is canonical.
+// Full-width hex rendering of a tag. Tag::DebugString truncates to 48 bits
+// (fine for logs), but cache keys must be collision-free: the dispatch cache
+// serves CanFlowTo verdicts by label key, so a truncation collision would be
+// a label-check bypass.
+void AppendTagKey(std::string* out, const Tag& tag) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out->push_back(kHex[(tag.hi >> shift) & 0xF]);
+  }
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out->push_back(kHex[(tag.lo >> shift) & 0xF]);
+  }
+}
+
+// Stable textual key for a label (managed-instance cache key, delivery
+// de-duplication, and the dispatch cache's flow/managed-join keys). Tag sets
+// are sorted and tags render full-width in a separator-free alphabet, so the
+// rendering is canonical and lossless.
 std::string LabelKey(const Label& label) {
   std::string key;
-  key.reserve(16 * (label.secrecy.size() + label.integrity.size()) + 2);
+  key.reserve(33 * (label.secrecy.size() + label.integrity.size()) + 2);
   for (const Tag& tag : label.secrecy) {
-    key += tag.DebugString();
+    AppendTagKey(&key, tag);
     key += ',';
   }
   key += '|';
   for (const Tag& tag : label.integrity) {
-    key += tag.DebugString();
+    AppendTagKey(&key, tag);
     key += ',';
   }
   return key;
@@ -70,6 +87,11 @@ struct EngineCounters {
   std::atomic<uint64_t> batch_publishes{0};
   std::atomic<uint64_t> batch_events{0};
   std::atomic<uint64_t> batch_flow_memo_hits{0};
+  std::atomic<uint64_t> candidate_cache_hits{0};
+  std::atomic<uint64_t> candidate_cache_misses{0};
+  std::atomic<uint64_t> flow_cache_hits{0};
+  std::atomic<uint64_t> managed_join_cache_hits{0};
+  std::atomic<uint64_t> dispatch_cache_invalidations{0};
   std::atomic<uint64_t> deliveries{0};
   std::atomic<uint64_t> rematches{0};
   std::atomic<uint64_t> label_checks{0};
@@ -89,6 +111,12 @@ struct EngineCounters {
     s.batch_publishes = batch_publishes.load(std::memory_order_relaxed);
     s.batch_events = batch_events.load(std::memory_order_relaxed);
     s.batch_flow_memo_hits = batch_flow_memo_hits.load(std::memory_order_relaxed);
+    s.candidate_cache_hits = candidate_cache_hits.load(std::memory_order_relaxed);
+    s.candidate_cache_misses = candidate_cache_misses.load(std::memory_order_relaxed);
+    s.flow_cache_hits = flow_cache_hits.load(std::memory_order_relaxed);
+    s.managed_join_cache_hits = managed_join_cache_hits.load(std::memory_order_relaxed);
+    s.dispatch_cache_invalidations =
+        dispatch_cache_invalidations.load(std::memory_order_relaxed);
     s.deliveries = deliveries.load(std::memory_order_relaxed);
     s.rematches = rematches.load(std::memory_order_relaxed);
     s.label_checks = label_checks.load(std::memory_order_relaxed);
@@ -144,6 +172,49 @@ struct SubscriptionRecord {
   std::unordered_map<std::string, std::list<std::string>::iterator> lru_pos;
 };
 
+// Sorted, de-duplicated match candidates for one index-bucket signature.
+using CandidateList = std::vector<std::shared_ptr<SubscriptionRecord>>;
+
+// CanFlowTo verdicts for one part label, direct-indexed by unit id
+// (kFlowUnknown / kFlowDenied / kFlowAllowed) for an O(1), branch-light
+// lookup on the hot match path. Immutable once published (copy-on-write), so
+// batches read a fetched snapshot without holding any lock. Only units that
+// own subscriptions are recorded (managed instances are matched against
+// their derived label, not through this path), so ids stay small and dense;
+// ids beyond kFlowDenseLimit are never published and fall back to the
+// per-batch overlay.
+using FlowSnapshot = std::vector<uint8_t>;
+constexpr uint8_t kFlowUnknown = 0;
+constexpr uint8_t kFlowDenied = 1;
+constexpr uint8_t kFlowAllowed = 2;
+constexpr UnitId kFlowDenseLimit = 1 << 16;
+
+// The persistent dispatch cache (PR 2). Match state that PR 1 rebuilt per
+// DeliveryBatch now survives across dispatches:
+//   * `candidates`: index-bucket signature -> sorted candidate list;
+//   * `flow`: part-label key -> per-unit CanFlowTo snapshot (the verdicts a
+//     warm batch would otherwise recompute per (part label, unit) pair);
+//   * `managed_join`: (subscription id, owner input label, referenced part
+//     label set) -> derived managed-instance label. The key is lossless
+//     (ids are never reused, filters are immutable, the join is commutative
+//     and idempotent).
+// All three are valid only at `built_generation`. `generation` is bumped by
+// every subscribe/unsubscribe (under subs_mutex) and by every input-label
+// change (flow verdicts depend on unit input labels), and the first
+// candidate miss at a newer generation sweeps all stale entries.
+// Exactness invariant: a cache hit must yield byte-identical delivery sets
+// to the uncached path (EngineConfig::use_dispatch_cache = false) — entries
+// are only ever served at the generation they were built for.
+struct DispatchCache {
+  std::atomic<uint64_t> generation{0};
+
+  mutable std::shared_mutex mutex;
+  uint64_t built_generation = 0;
+  std::unordered_map<std::string, std::shared_ptr<const CandidateList>> candidates;
+  std::unordered_map<std::string, std::shared_ptr<const FlowSnapshot>> flow;
+  std::unordered_map<std::string, Label> managed_join;
+};
+
 // The per-event delivery pipeline (§3.1.6): deliveries happen one at a time
 // in subscription order; after each release the event is re-matched if it was
 // modified, so parts added on the main path reach later (and newly matching)
@@ -161,7 +232,14 @@ struct DeliveryPlan {
 
 }  // namespace engine_internal
 
+using engine_internal::CandidateList;
 using engine_internal::DeliveryPlan;
+using engine_internal::DispatchCache;
+using engine_internal::FlowSnapshot;
+using engine_internal::kFlowAllowed;
+using engine_internal::kFlowDenied;
+using engine_internal::kFlowDenseLimit;
+using engine_internal::kFlowUnknown;
 using engine_internal::EngineCounters;
 using engine_internal::HandleRecord;
 using engine_internal::PlannedDelivery;
@@ -239,6 +317,12 @@ struct Engine::Impl {
   std::atomic<SubscriptionId> next_sub_id{1};
 
   std::atomic<uint64_t> next_event_id{1};
+
+  // Persistent match state (candidate lists, flow verdicts, managed joins).
+  DispatchCache dispatch_cache;
+  static constexpr size_t kCandidateCacheCap = 4096;
+  static constexpr size_t kFlowCacheCap = 4096;  // labels; each holds a dense vector
+  static constexpr size_t kManagedJoinCacheCap = 1 << 15;
 
   std::unique_ptr<IsolationRuntime> isolation;
   EngineCounters stats;
@@ -338,6 +422,9 @@ struct Engine::Impl {
     }
     std::shared_ptr<SubscriptionRecord> record = it->second;
     subs.erase(it);
+    // Inside subs_mutex, after the mutation: a dispatch that captures the new
+    // generation can only read the new subscription state (see GetCandidates).
+    dispatch_cache.generation.fetch_add(1, std::memory_order_release);
     if (record->index_key.empty()) {
       auto pos = std::find(residual_subs.begin(), residual_subs.end(), record);
       if (pos != residual_subs.end()) {
@@ -474,19 +561,270 @@ struct Engine::Impl {
     return candidates;
   }
 
+  // ---- persistent dispatch cache -------------------------------------------
+
+  // Appends one index key to a signature, length-prefixed: part names and
+  // string values are user-controlled bytes, so a bare separator could be
+  // forged and collide two different key sets onto one cache entry.
+  static void AppendSignatureKey(std::string* sig, const std::string& key) {
+    *sig += std::to_string(key.size());
+    *sig += ':';
+    *sig += key;
+  }
+
+  // Stable signature of the index buckets an event can probe: the sorted,
+  // de-duplicated (name, literal) keys of its string-valued parts,
+  // length-prefix framed. At a fixed subscription generation, events with
+  // equal signatures have identical candidate sets, so the signature is the
+  // candidate-cache key.
+  std::string CandidateSignature(const std::vector<Part>& parts) {
+    if (!config.use_subscription_index) {
+      return std::string();  // no index: every event shares the residual set
+    }
+    // Fast path for the dominant shapes (zero or one string part): no
+    // scratch vector, no sort.
+    const Part* only = nullptr;
+    size_t string_parts = 0;
+    for (const Part& part : parts) {
+      if (part.data.kind() == Value::Kind::kString) {
+        only = &part;
+        ++string_parts;
+      }
+    }
+    if (string_parts == 0) {
+      return std::string();
+    }
+    if (string_parts == 1) {
+      std::string sig;
+      AppendSignatureKey(&sig, IndexKeyString(only->name, only->data.string_value()));
+      return sig;
+    }
+    std::vector<std::string> keys;
+    keys.reserve(string_parts);
+    for (const Part& part : parts) {
+      if (part.data.kind() == Value::Kind::kString) {
+        keys.push_back(IndexKeyString(part.name, part.data.string_value()));
+      }
+    }
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    std::string sig;
+    for (const std::string& key : keys) {
+      AppendSignatureKey(&sig, key);
+    }
+    return sig;
+  }
+
+  // Candidate list for `parts`, served from the persistent cache when it is
+  // valid at `gen` (the subscription generation the caller captured before
+  // snapshotting). The generation handshake: mutators bump `generation`
+  // inside subs_mutex after modifying, so a reader that captured gen G and
+  // then acquires subs_mutex can only observe state at generation >= G —
+  // entries stamped G are therefore never older than G, and the first miss
+  // at G+1 sweeps anything older.
+  std::shared_ptr<const CandidateList> GetCandidatesBySignature(
+      std::string sig, const std::vector<Part>& parts, uint64_t gen) {
+    DispatchCache& cache = dispatch_cache;
+    {
+      std::shared_lock lock(cache.mutex);
+      if (cache.built_generation == gen) {
+        auto it = cache.candidates.find(sig);
+        if (it != cache.candidates.end()) {
+          stats.candidate_cache_hits.fetch_add(1, std::memory_order_relaxed);
+          return it->second;
+        }
+      }
+    }
+    stats.candidate_cache_misses.fetch_add(1, std::memory_order_relaxed);
+    auto list = std::make_shared<CandidateList>(CollectCandidates(parts));
+    {
+      std::unique_lock lock(cache.mutex);
+      if (cache.built_generation != gen) {
+        if (cache.built_generation > gen) {
+          // A newer generation already owns the cache; our snapshot may
+          // predate it. Serve it for this dispatch but do not publish it.
+          return list;
+        }
+        stats.dispatch_cache_invalidations.fetch_add(1, std::memory_order_relaxed);
+        cache.candidates.clear();
+        cache.flow.clear();
+        cache.managed_join.clear();
+        cache.built_generation = gen;
+      }
+      if (cache.candidates.size() >= kCandidateCacheCap) {
+        cache.candidates.clear();
+      }
+      cache.candidates.emplace(std::move(sig), list);
+    }
+    return list;
+  }
+
+  std::shared_ptr<const CandidateList> GetCandidates(const std::vector<Part>& parts,
+                                                     uint64_t gen) {
+    if (!config.use_dispatch_cache) {
+      return std::make_shared<const CandidateList>(CollectCandidates(parts));
+    }
+    return GetCandidatesBySignature(CandidateSignature(parts), parts, gen);
+  }
+
+  // Fetches the published per-unit verdict snapshot for every interned part
+  // label in one lock acquisition (null where none exists or the cache is
+  // not at `gen`). Snapshots are immutable; callers index them lock-free
+  // for the rest of the batch.
+  void FetchFlowSnapshots(const std::vector<const std::string*>& label_keys, uint64_t gen,
+                          std::vector<std::shared_ptr<const FlowSnapshot>>* snapshots) {
+    DispatchCache& cache = dispatch_cache;
+    std::shared_lock lock(cache.mutex);
+    if (cache.built_generation != gen) {
+      return;
+    }
+    for (size_t l = 0; l < label_keys.size(); ++l) {
+      auto it = cache.flow.find(*label_keys[l]);
+      if (it != cache.flow.end()) {
+        (*snapshots)[l] = it->second;
+      }
+    }
+  }
+
+  // Publishes the verdicts a batch computed locally (its overlays) by
+  // merging each into a fresh snapshot — copy-on-write, so concurrently
+  // fetched snapshots stay valid. Verdicts are pure per generation, so a
+  // racing merge of the same pair carries the same value and either copy
+  // winning is correct; entries are only published at the generation the
+  // batch ran at.
+  void PublishFlowOverlays(const std::vector<const std::string*>& label_keys,
+                           const std::vector<std::unordered_map<UnitId, bool>>& overlays,
+                           uint64_t gen) {
+    bool any = false;
+    for (const auto& overlay : overlays) {
+      if (!overlay.empty()) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) {
+      return;
+    }
+    DispatchCache& cache = dispatch_cache;
+    std::unique_lock lock(cache.mutex);
+    if (cache.built_generation != gen) {
+      return;  // a newer generation owns the cache; drop the stale verdicts
+    }
+    if (cache.flow.size() >= kFlowCacheCap) {
+      cache.flow.clear();
+    }
+    for (size_t l = 0; l < overlays.size(); ++l) {
+      const auto& overlay = overlays[l];
+      UnitId max_id = 0;
+      for (const auto& [unit_id, verdict] : overlay) {
+        if (unit_id < kFlowDenseLimit && unit_id > max_id) {
+          max_id = unit_id;
+        }
+      }
+      if (max_id == 0) {
+        continue;  // nothing publishable for this label
+      }
+      auto& slot = cache.flow[*label_keys[l]];
+      FlowSnapshot merged = slot != nullptr ? *slot : FlowSnapshot();
+      if (merged.size() < static_cast<size_t>(max_id) + 1) {
+        merged.resize(static_cast<size_t>(max_id) + 1, kFlowUnknown);
+      }
+      for (const auto& [unit_id, verdict] : overlay) {
+        if (unit_id < kFlowDenseLimit) {
+          merged[unit_id] = verdict ? kFlowAllowed : kFlowDenied;
+        }
+      }
+      slot = std::make_shared<const FlowSnapshot>(std::move(merged));
+    }
+  }
+
+  // Derives the contamination a managed instance needs for `parts` — the
+  // join of the owner's input label with the labels of every part the
+  // subscription's filter references — through the persistent managed-join
+  // memo. Returns nullopt when the filter references no part (no delivery).
+  // The memo key (subscription id, owner input label, sorted referenced part
+  // label set) is lossless: ids are never reused, filters are immutable and
+  // the join is commutative and idempotent. `part_key_fn(i)` returns
+  // LabelKey(parts[i].label); `owner_key` is LabelKey(owner_in_label) when
+  // the caller already holds it (null => rendered here).
+  template <typename PartKeyFn>
+  std::optional<Label> ManagedInstanceLabel(const std::shared_ptr<SubscriptionRecord>& sub,
+                                            const std::vector<Part>& parts,
+                                            const Label& owner_in_label,
+                                            const std::string* owner_key, uint64_t gen,
+                                            PartKeyFn&& part_key_fn) {
+    std::vector<size_t> referenced;
+    for (size_t i = 0; i < parts.size(); ++i) {
+      for (const std::string& name : sub->filter.referenced_names()) {
+        if (parts[i].name == name) {
+          referenced.push_back(i);
+          break;
+        }
+      }
+    }
+    if (referenced.empty()) {
+      return std::nullopt;
+    }
+    auto join_all = [&] {
+      Label label = owner_in_label;
+      for (const size_t i : referenced) {
+        label = LabelJoin(label, parts[i].label);
+      }
+      return label;
+    };
+    if (!config.use_dispatch_cache) {
+      return join_all();
+    }
+    std::vector<std::string> part_keys;
+    part_keys.reserve(referenced.size());
+    for (const size_t i : referenced) {
+      part_keys.push_back(part_key_fn(i));
+    }
+    std::sort(part_keys.begin(), part_keys.end());
+    std::string memo_key = std::to_string(sub->id);
+    memo_key += '\x1f';
+    memo_key += owner_key != nullptr ? *owner_key : LabelKey(owner_in_label);
+    for (const std::string& key : part_keys) {
+      memo_key += '\x1f';
+      memo_key += key;
+    }
+    DispatchCache& cache = dispatch_cache;
+    {
+      std::shared_lock lock(cache.mutex);
+      if (cache.built_generation == gen) {
+        auto it = cache.managed_join.find(memo_key);
+        if (it != cache.managed_join.end()) {
+          stats.managed_join_cache_hits.fetch_add(1, std::memory_order_relaxed);
+          return it->second;
+        }
+      }
+    }
+    Label label = join_all();
+    {
+      std::unique_lock lock(cache.mutex);
+      if (cache.built_generation == gen) {  // never publish across generations
+        if (cache.managed_join.size() >= kManagedJoinCacheCap) {
+          cache.managed_join.clear();
+        }
+        cache.managed_join.emplace(std::move(memo_key), label);
+      }
+    }
+    return label;
+  }
+
   // The per-candidate matching core, shared by the single-event and batch
   // paths so the DEFC semantics cannot drift between them. `lookup_fn`
   // resolves UnitId -> UnitState (the batch path caches lookups),
-  // `in_label_fn` returns a unit's input label (cached in the batch path;
-  // used for the managed-instance contamination join), and `visible_fn`
-  // decides part visibility for a non-managed unit (the batch path answers
-  // from its (label, unit) memo). Appends to `out` iff the filter matches
-  // the visible projection; `scratch` is caller-owned to avoid per-call
-  // allocation.
-  template <typename LookupFn, typename InLabelFn, typename VisibleFn>
+  // `managed_label_fn` derives the managed-instance contamination for a
+  // managed subscription (both paths route it through the managed-join
+  // memo), and `visible_fn` decides part visibility for a non-managed unit
+  // (the batch path answers from its flow memos). Appends to `out` iff the
+  // filter matches the visible projection; `scratch` is caller-owned to
+  // avoid per-call allocation.
+  template <typename LookupFn, typename ManagedLabelFn, typename VisibleFn>
   void MatchCandidate(const std::shared_ptr<SubscriptionRecord>& sub,
                       const std::vector<Part>& parts, LookupFn&& lookup_fn,
-                      InLabelFn&& in_label_fn, VisibleFn&& visible_fn,
+                      ManagedLabelFn&& managed_label_fn, VisibleFn&& visible_fn,
                       std::vector<const Part*>* scratch, std::vector<PlannedDelivery>* out) {
     if (!sub->managed) {
       const std::shared_ptr<UnitState> unit = lookup_fn(sub->owner);
@@ -517,20 +855,11 @@ struct Engine::Impl {
     if (owner == nullptr) {
       return;
     }
-    Label inst_label = in_label_fn(owner);
-    bool referenced_any = false;
-    for (const Part& part : parts) {
-      for (const std::string& name : sub->filter.referenced_names()) {
-        if (part.name == name) {
-          inst_label = LabelJoin(inst_label, part.label);
-          referenced_any = true;
-          break;
-        }
-      }
-    }
-    if (!referenced_any) {
+    const std::optional<Label> inst = managed_label_fn(sub, owner);
+    if (!inst.has_value()) {
       return;
     }
+    const Label& inst_label = *inst;
     scratch->clear();
     for (const Part& part : parts) {
       if (PartVisible(part, inst_label)) {
@@ -550,15 +879,25 @@ struct Engine::Impl {
   }
 
   // Computes the deliveries the event currently matches. Does not lock the
-  // plan; the caller merges results under the plan mutex.
+  // plan; the caller merges results under the plan mutex. The candidate list
+  // and managed joins come from the persistent cache; part visibility is
+  // checked directly (a single event revisits each unit label once, so the
+  // flow cache's key rendering would cost more than the check it saves).
   void ComputeMatches(const EventPtr& master, std::vector<PlannedDelivery>* out) {
     const std::vector<Part> parts = master->SnapshotParts();
+    const uint64_t gen = dispatch_cache.generation.load(std::memory_order_acquire);
     std::vector<const Part*> visible;
     visible.reserve(parts.size());
     auto lookup = [this](UnitId id) { return FindUnit(id); };
-    auto in_label_of = [](const std::shared_ptr<UnitState>& unit) {
-      std::lock_guard<std::mutex> lock(unit->label_mutex);
-      return unit->in_label;
+    auto managed_label = [this, &parts, gen](const std::shared_ptr<SubscriptionRecord>& sub,
+                                             const std::shared_ptr<UnitState>& owner) {
+      Label owner_in;
+      {
+        std::lock_guard<std::mutex> lock(owner->label_mutex);
+        owner_in = owner->in_label;
+      }
+      return ManagedInstanceLabel(sub, parts, owner_in, /*owner_key=*/nullptr, gen,
+                                  [&parts](size_t i) { return LabelKey(parts[i].label); });
     };
     // One in-label fetch per candidate (parts of one candidate are checked
     // consecutively, so a unit-id cache suffices).
@@ -572,66 +911,77 @@ struct Engine::Impl {
       }
       return PartVisible(part, cached_label);
     };
-    for (const auto& sub : CollectCandidates(parts)) {
-      MatchCandidate(sub, parts, lookup, in_label_of, part_visible, &visible, out);
+    const auto candidates = GetCandidates(parts, gen);
+    for (const auto& sub : *candidates) {
+      MatchCandidate(sub, parts, lookup, managed_label, part_visible, &visible, out);
     }
   }
 
   // Batched variant of ComputeMatches (the heart of the DeliveryBatch).
-  // The per-event outcome is identical; the work is shared across the batch:
-  //   * parts are snapshotted once and every distinct part label gets an id;
-  //   * the subscription index is probed once per distinct (name, literal)
-  //     key, and the residual list copied once, under a single subs_mutex
-  //     acquisition for the whole batch;
+  // The per-event outcome is identical; the work is shared across the batch
+  // AND, through the persistent dispatch cache, across batches:
+  //   * parts are snapshotted once and every distinct part label gets a
+  //     batch-local id plus its canonical key string;
+  //   * candidate lists come from the cross-batch cache keyed by
+  //     index-bucket signature — a warm batch touches the subscription
+  //     index not at all (one shared-lock cache probe per distinct
+  //     signature, no sort);
   //   * unit lookups and unit input labels are resolved once per unit;
-  //   * CanFlowTo runs once per distinct (part label, subscription owner)
-  //     pair; every other event carrying a same-labelled part reuses the
-  //     decision (batch_flow_memo_hits counts the reuses).
+  //   * CanFlowTo runs once per distinct (part label, input label) pair
+  //     EVER: the batch-local (label id, unit) memo (hits counted in
+  //     batch_flow_memo_hits, exactly as in PR 1) is backed by the
+  //     persistent flow cache (hits counted in flow_cache_hits), so a warm
+  //     batch recomputes no flow decision at all;
+  //   * managed-instance label joins are served from the managed-join memo.
   void ComputeMatchesBatch(const std::vector<EventPtr>& masters,
                            std::vector<std::vector<PlannedDelivery>>* out) {
     const size_t n = masters.size();
-    // 1. Snapshot parts once; intern distinct part labels.
+    const uint64_t gen = dispatch_cache.generation.load(std::memory_order_acquire);
+    // 1. Snapshot parts once; intern distinct part labels. The canonical key
+    // strings live in the intern map's nodes (stable across rehash), so the
+    // id -> key table can hold plain pointers.
     std::vector<std::vector<Part>> parts(n);
     std::vector<std::vector<uint32_t>> label_ids(n);
     std::unordered_map<std::string, uint32_t> label_intern;
+    std::vector<const std::string*> label_keys;
     for (size_t i = 0; i < n; ++i) {
       parts[i] = masters[i]->SnapshotParts();
       label_ids[i].reserve(parts[i].size());
       for (const Part& part : parts[i]) {
         const auto it = label_intern.emplace(LabelKey(part.label),
                                              static_cast<uint32_t>(label_intern.size())).first;
+        if (it->second == label_keys.size()) {
+          label_keys.push_back(&it->first);
+        }
         label_ids[i].push_back(it->second);
       }
     }
 
-    // 2. Candidate sources: one residual copy, one index probe per distinct
-    // (name, literal) key. Each event records the ids of its non-empty
-    // buckets so the per-event pass never re-hashes key strings.
-    std::vector<std::shared_ptr<SubscriptionRecord>> residual;
-    std::unordered_map<std::string, uint32_t> bucket_ids;
-    std::vector<std::vector<std::shared_ptr<SubscriptionRecord>>> bucket_subs;
-    std::vector<std::vector<uint32_t>> event_buckets(n);
+    // 2. Candidate list per event through the persistent cache, de-duplicated
+    // batch-locally so one batch pays at most one cache round per distinct
+    // signature (and per-event probes never re-render signature strings).
+    // With the cache disabled, events with equal signatures still share one
+    // list within the batch (the PR 1 behaviour); the persistent layer is
+    // simply bypassed.
+    std::vector<std::shared_ptr<const CandidateList>> candidates(n);
     {
-      std::shared_lock lock(subs_mutex);
-      residual = residual_subs;
+      std::unordered_map<std::string, std::shared_ptr<const CandidateList>> local;
+      std::string prev_sig;
       for (size_t i = 0; i < n; ++i) {
-        for (const Part& part : parts[i]) {
-          if (part.data.kind() != Value::Kind::kString) {
-            continue;
-          }
-          std::string key = IndexKeyString(part.name, part.data.string_value());
-          auto [it, inserted] =
-              bucket_ids.emplace(std::move(key), static_cast<uint32_t>(bucket_subs.size()));
-          if (inserted) {
-            auto probe = index.find(it->first);
-            bucket_subs.push_back(probe == index.end()
-                                      ? std::vector<std::shared_ptr<SubscriptionRecord>>()
-                                      : probe->second);
-          }
-          if (!bucket_subs[it->second].empty()) {
-            event_buckets[i].push_back(it->second);
-          }
+        std::string sig = CandidateSignature(parts[i]);
+        if (i > 0 && sig == prev_sig) {
+          candidates[i] = candidates[i - 1];  // runs of one shape (tick feeds)
+          continue;
         }
+        auto it = local.find(sig);
+        if (it == local.end()) {
+          auto list = config.use_dispatch_cache
+                          ? GetCandidatesBySignature(sig, parts[i], gen)
+                          : std::make_shared<const CandidateList>(CollectCandidates(parts[i]));
+          it = local.emplace(sig, std::move(list)).first;
+        }
+        candidates[i] = it->second;
+        prev_sig = std::move(sig);
       }
     }
 
@@ -653,63 +1003,70 @@ struct Engine::Impl {
       }
       return it->second;
     };
-    // (label id, unit id) -> CanFlowTo, keyed losslessly: a collision here
-    // would reuse another pair's verdict and could leak a part to a
-    // non-cleared subscriber.
-    std::vector<std::unordered_map<UnitId, bool>> flow_memo(label_intern.size());
-    auto part_visible = [&](uint32_t label_id, const Part& part,
-                            const std::shared_ptr<UnitState>& unit) {
+    // Flow verdicts, two tiers. Tier 1: the persistent per-label snapshots,
+    // fetched once and binary-searched lock-free — a warm batch answers
+    // every check here (flow_cache_hits). Tier 2: the batch-local overlay,
+    // keyed (label id, unit id) losslessly — a collision would reuse another
+    // pair's verdict and could leak a part to a non-cleared subscriber.
+    // Overlay re-reads are the PR 1 per-batch memo hits
+    // (batch_flow_memo_hits); at batch end the overlays are published back
+    // into the snapshots.
+    const bool persist_flow = config.use_dispatch_cache && security_on();
+    std::vector<std::shared_ptr<const FlowSnapshot>> flow_snapshots(label_intern.size());
+    if (persist_flow) {
+      FetchFlowSnapshots(label_keys, gen, &flow_snapshots);
+    }
+    std::vector<std::unordered_map<UnitId, bool>> flow_overlay(label_intern.size());
+    auto part_visible_by_id = [&](uint32_t label_id, const Part& part,
+                                  const std::shared_ptr<UnitState>& unit) {
       if (!security_on()) {
         return true;
       }
-      auto& memo = flow_memo[label_id];
-      auto it = memo.find(unit->id);
-      if (it != memo.end()) {
+      if (const auto& snapshot = flow_snapshots[label_id];
+          snapshot != nullptr && unit->id < snapshot->size()) {
+        const uint8_t verdict = (*snapshot)[unit->id];
+        if (verdict != kFlowUnknown) {
+          stats.flow_cache_hits.fetch_add(1, std::memory_order_relaxed);
+          return verdict == kFlowAllowed;
+        }
+      }
+      auto& overlay = flow_overlay[label_id];
+      auto it = overlay.find(unit->id);
+      if (it != overlay.end()) {
         stats.batch_flow_memo_hits.fetch_add(1, std::memory_order_relaxed);
         return it->second;
       }
       const bool visible = PartVisible(part, unit_in_label(unit));
-      memo.emplace(unit->id, visible);
+      overlay.emplace(unit->id, visible);
       return visible;
     };
 
     // 4. Per-event matching through the shared MatchCandidate core: same
-    // candidate order and outcome as the single-event pass. Events touching
-    // the same set of index buckets (a tick feed revisits the same symbols
-    // batch after batch) share one sorted candidate list instead of
-    // re-building and re-sorting it.
+    // candidate order and outcome as the single-event pass.
     const std::vector<uint32_t>* current_label_ids = nullptr;
+    const std::vector<Part>* current_parts = nullptr;
+    auto managed_label = [&](const std::shared_ptr<SubscriptionRecord>& sub,
+                             const std::shared_ptr<UnitState>& owner) {
+      const std::vector<uint32_t>& ids = *current_label_ids;
+      return ManagedInstanceLabel(
+          sub, *current_parts, unit_in_label(owner), /*owner_key=*/nullptr, gen,
+          [&](size_t i) -> const std::string& { return *label_keys[ids[i]]; });
+    };
     auto batch_visible = [&](size_t p, const Part& part,
                              const std::shared_ptr<UnitState>& unit) {
-      return part_visible((*current_label_ids)[p], part, unit);
+      return part_visible_by_id((*current_label_ids)[p], part, unit);
     };
-    std::unordered_map<std::string, std::vector<std::shared_ptr<SubscriptionRecord>>>
-        candidate_cache;
     std::vector<const Part*> visible;
     for (size_t i = 0; i < n; ++i) {
-      std::vector<uint32_t>& sig = event_buckets[i];
-      std::sort(sig.begin(), sig.end());
-      sig.erase(std::unique(sig.begin(), sig.end()), sig.end());
-      std::string sig_key(reinterpret_cast<const char*>(sig.data()),
-                          sig.size() * sizeof(uint32_t));
-      auto [cached, inserted] = candidate_cache.try_emplace(std::move(sig_key));
-      if (inserted) {
-        auto& candidates = cached->second;
-        candidates.insert(candidates.end(), residual.begin(), residual.end());
-        for (const uint32_t bucket : sig) {
-          candidates.insert(candidates.end(), bucket_subs[bucket].begin(),
-                            bucket_subs[bucket].end());
-        }
-        std::sort(candidates.begin(), candidates.end(),
-                  [](const auto& a, const auto& b) { return a->id < b->id; });
-        candidates.erase(std::unique(candidates.begin(), candidates.end()), candidates.end());
-      }
-
       current_label_ids = &label_ids[i];
-      for (const auto& sub : cached->second) {
-        MatchCandidate(sub, parts[i], lookup_unit, unit_in_label, batch_visible, &visible,
+      current_parts = &parts[i];
+      for (const auto& sub : *candidates[i]) {
+        MatchCandidate(sub, parts[i], lookup_unit, managed_label, batch_visible, &visible,
                        &(*out)[i]);
       }
+    }
+    if (persist_flow) {
+      PublishFlowOverlays(label_keys, flow_overlay, gen);
     }
   }
 
@@ -972,6 +1329,7 @@ struct Engine::Impl {
         record->index_key = IndexKeyString(keys[best].first, keys[best].second);
         index[record->index_key].push_back(record);
       }
+      dispatch_cache.generation.fetch_add(1, std::memory_order_release);
     }
     auto owner_unit = FindUnit(owner);
     if (owner_unit != nullptr) {
@@ -1429,6 +1787,8 @@ Status UnitContext::ChangeInOutLabel(LabelComponent component, LabelOp op, Tag t
     in_set.Erase(tag);
     out_set.Erase(tag);
   }
+  // Cached CanFlowTo verdicts key on this unit's input label: invalidate.
+  impl->dispatch_cache.generation.fetch_add(1, std::memory_order_release);
   return OkStatus();
 }
 

@@ -37,6 +37,16 @@ struct EngineConfig {
   // Disabling it makes every subscription a match candidate for every event
   // (ablation: what per-client filtering costs, cf. Marketcetera in Fig. 8).
   bool use_subscription_index = true;
+  // Persistent dispatch cache (PR 2): candidate lists per index-bucket
+  // signature, per-part-label CanFlowTo verdict snapshots and
+  // managed-subscription label joins survive across dispatches/batches.
+  // All entries are invalidated by one generation counter, bumped on every
+  // subscribe/unsubscribe AND on every input-label change (flow verdicts
+  // depend on the subscriber's current input label — any new path that
+  // mutates an input label must bump the generation too). Disable to force
+  // the uncached match path (debugging aid; the delivery sets must be
+  // byte-identical).
+  bool use_dispatch_cache = true;
 };
 
 // Monotonic counters exposed for tests and benchmarks. Trusted-side only —
@@ -50,6 +60,15 @@ struct EngineStatsSnapshot {
   uint64_t batch_publishes = 0;
   uint64_t batch_events = 0;
   uint64_t batch_flow_memo_hits = 0;
+  // Persistent dispatch-cache accounting: candidate-list lookups served from
+  // (or inserted into) the cross-batch cache, CanFlowTo decisions answered
+  // from the persistent flow cache, managed-subscription label joins reused,
+  // and generation-triggered invalidation sweeps.
+  uint64_t candidate_cache_hits = 0;
+  uint64_t candidate_cache_misses = 0;
+  uint64_t flow_cache_hits = 0;
+  uint64_t managed_join_cache_hits = 0;
+  uint64_t dispatch_cache_invalidations = 0;
   uint64_t deliveries = 0;
   uint64_t rematches = 0;
   uint64_t label_checks = 0;

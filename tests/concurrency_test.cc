@@ -191,6 +191,98 @@ TEST(ActorExecutor, PooledModeParallelAcrossActors) {
   EXPECT_EQ(executor.turns_executed(), 8u * 500u);
 }
 
+// The PR-2 shutdown drain protocol: turns accepted while Shutdown() races
+// Post/PostBatch are either executed or explicitly discarded with the
+// pending counter decremented, so a racing WaitIdle() can never wedge.
+TEST(ActorExecutor, ShutdownRaceNeverWedgesWaitIdle) {
+  for (int round = 0; round < 12; ++round) {
+    ActorExecutor executor(3);
+    std::vector<std::shared_ptr<Actor>> actors;
+    for (int i = 0; i < 4; ++i) {
+      actors.push_back(executor.CreateActor("a" + std::to_string(i)));
+    }
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> body_runs{0};
+    std::vector<std::thread> posters;
+    for (int t = 0; t < 3; ++t) {
+      posters.emplace_back([&, t] {
+        uint64_t i = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          if ((i & 1) == 0) {
+            executor.Post(actors[(t + i) % actors.size()],
+                          [&body_runs] { body_runs.fetch_add(1, std::memory_order_relaxed); });
+          } else {
+            std::vector<ActorExecutor::ActorTurn> turns;
+            for (size_t a = 0; a < actors.size(); ++a) {
+              turns.emplace_back(actors[a], [&body_runs] {
+                body_runs.fetch_add(1, std::memory_order_relaxed);
+              });
+            }
+            executor.PostBatch(std::move(turns));
+          }
+          ++i;
+        }
+      });
+    }
+    // Let the posters get going, then shut down underneath them. WaitIdle
+    // must return: every counted turn is executed or discarded.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2 + round % 3));
+    executor.Shutdown();
+    executor.WaitIdle();
+    stop.store(true);
+    for (auto& t : posters) {
+      t.join();
+    }
+    // Post-join, stragglers that counted turns after Shutdown have discarded
+    // them; WaitIdle must still be idle (and stay non-wedging).
+    executor.WaitIdle();
+    EXPECT_GT(executor.turns_executed() + executor.turns_discarded(), 0u);
+  }
+}
+
+TEST(ActorExecutor, ShutdownIsIdempotentAndDestructorSafe) {
+  {
+    ActorExecutor executor(2);
+    auto actor = executor.CreateActor("a");
+    std::atomic<int> runs{0};
+    for (int i = 0; i < 64; ++i) {
+      executor.Post(actor, [&runs] { runs.fetch_add(1); });
+    }
+    executor.WaitIdle();
+    executor.Shutdown();
+    executor.Shutdown();  // second explicit call is a no-op, no double-join
+    EXPECT_EQ(runs.load(), 64);
+  }  // destructor runs Shutdown() a third time
+
+  // Concurrent Shutdown callers: one does the work, the rest no-op.
+  ActorExecutor executor(2);
+  std::vector<std::thread> closers;
+  for (int t = 0; t < 4; ++t) {
+    closers.emplace_back([&executor] { executor.Shutdown(); });
+  }
+  for (auto& t : closers) {
+    t.join();
+  }
+  executor.WaitIdle();
+}
+
+TEST(ActorExecutor, ManualModeShutdownDiscardsQueuedTurns) {
+  ActorExecutor executor(0);
+  auto actor = executor.CreateActor("a");
+  int runs = 0;
+  for (int i = 0; i < 5; ++i) {
+    executor.Post(actor, [&runs] { ++runs; });
+  }
+  executor.Shutdown();  // nothing ran: all 5 turns discarded, counter drained
+  EXPECT_EQ(executor.RunUntilIdle(), 0u);
+  executor.WaitIdle();  // must not wedge on the never-run turns
+  EXPECT_EQ(runs, 0);
+  EXPECT_EQ(executor.turns_discarded(), 5u);
+  executor.Post(actor, [&runs] { ++runs; });  // post-shutdown: dropped uncounted
+  EXPECT_EQ(executor.RunUntilIdle(), 0u);
+  EXPECT_EQ(runs, 0);
+}
+
 TEST(ActorExecutor, CrossThreadPostsInManualMode) {
   ActorExecutor executor(0);
   auto actor = executor.CreateActor("a");

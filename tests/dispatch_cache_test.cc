@@ -1,0 +1,353 @@
+// PR-2 persistent dispatch cache: candidate lists, flow verdicts and
+// managed-subscription joins survive across dispatches/batches. The
+// load-bearing property is exactness — a cache hit must produce
+// byte-identical delivery sets to the uncached path in all four security
+// modes — enforced here by replaying scripted scenarios (including
+// subscribe/unsubscribe interleaved with batch publishes) with the cache on,
+// with the cache off, and on a cold engine, and demanding identical
+// per-receiver delivery logs.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/api.h"
+#include "tests/test_util.h"
+
+namespace defcon {
+namespace {
+
+constexpr SecurityMode kAllModes[] = {SecurityMode::kNoSecurity, SecurityMode::kLabels,
+                                      SecurityMode::kLabelsClone,
+                                      SecurityMode::kLabelsIsolation};
+
+// Appends "name=value" for every part the receiving unit can see, in
+// delivery order: a byte-exact transcript of what the unit observed.
+TestUnit::EventFn Collector(std::vector<std::string>* log) {
+  return [log](UnitContext& ctx, EventHandle e, SubscriptionId) {
+    auto parts = ctx.ReadAllParts(e);
+    if (!parts.ok()) {
+      return;
+    }
+    for (const NamedPartView& view : *parts) {
+      log->push_back(view.name + "=" + view.data.ToString());
+    }
+  };
+}
+
+// The interleaved scenario. Three numbered rounds of 6 mixed-label events
+// each (two index signatures per round, even payloads public, odd payloads
+// inside the {p} compartment), with subscription churn between rounds:
+//   round 1: reader + compartment reader + doomed reader subscribed
+//   (late reader's unit subscribes)           <- must invalidate candidates
+//   round 2: all four subscribed
+//   (doomed reader unsubscribes)              <- must invalidate again
+//   round 3: doomed reader must see nothing new
+// Returns the concatenated per-receiver logs; every (mode, batch, cached)
+// combination must produce the same transcript for a fixed (mode, batch).
+struct ScenarioLogs {
+  std::vector<std::string> reader;
+  std::vector<std::string> compartment;
+  std::vector<std::string> late;
+  std::vector<std::string> doomed;
+  EngineStatsSnapshot stats;
+};
+
+ScenarioLogs RunInterleavedScenario(SecurityMode mode, bool use_batch, bool use_cache) {
+  ScenarioLogs logs;
+  EngineConfig config = ManualConfig(mode);
+  config.use_dispatch_cache = use_cache;
+  Engine engine(config);
+  const Tag p = engine.tag_store().CreateTag("p");
+
+  auto subscribe = [](UnitContext& ctx) {
+    ASSERT_TRUE(ctx.Subscribe(Filter::Eq("type", Value::OfString("evt"))).ok());
+  };
+  engine.AddUnit("reader", std::make_unique<TestUnit>(subscribe, Collector(&logs.reader)));
+  engine.AddUnit("compartment",
+                 std::make_unique<TestUnit>(subscribe, Collector(&logs.compartment)),
+                 Label({p}, {}));
+  SubscriptionId doomed_sub = 0;
+  const UnitId doomed_id = engine.AddUnit("doomed", std::make_unique<TestUnit>(
+                               [&doomed_sub](UnitContext& ctx) {
+                                 auto sub = ctx.Subscribe(
+                                     Filter::Eq("type", Value::OfString("evt")));
+                                 ASSERT_TRUE(sub.ok());
+                                 doomed_sub = *sub;
+                               },
+                               Collector(&logs.doomed)));
+  const UnitId late_id =
+      engine.AddUnit("late", std::make_unique<TestUnit>(nullptr, Collector(&logs.late)));
+  const UnitId publisher = engine.AddUnit("publisher", std::make_unique<TestUnit>());
+  engine.Start();
+  engine.RunUntilIdle();
+
+  auto publish_round = [&](int round) {
+    engine.InjectTurn(publisher, [p, round, use_batch](UnitContext& ctx) {
+      std::vector<EventHandle> handles;
+      for (int i = 0; i < 6; ++i) {
+        const Label payload_label = (i % 2 == 0) ? Label() : Label({p}, {});
+        // Two signatures per round: half the events carry an extra indexed
+        // symbol part, so the candidate cache holds multiple entries.
+        EventBuilder builder = ctx.BuildEvent();
+        builder.Part("type", Value::OfString("evt"))
+            .Part(payload_label, "payload", Value::OfInt(round * 100 + i));
+        if (i % 3 == 0) {
+          builder.Part("symbol", Value::OfString("SYM" + std::to_string(i % 2)));
+        }
+        auto handle = builder.Build();
+        ASSERT_TRUE(handle.ok());
+        handles.push_back(*handle);
+      }
+      if (use_batch) {
+        ASSERT_TRUE(ctx.PublishBatch(handles).ok());
+      } else {
+        for (const EventHandle handle : handles) {
+          ASSERT_TRUE(ctx.Publish(handle).ok());
+        }
+      }
+    });
+    engine.RunUntilIdle();
+  };
+
+  publish_round(1);
+  // Mid-stream subscribe: the warm candidate lists must be invalidated or
+  // the late reader would silently miss round 2.
+  engine.InjectTurn(late_id, [](UnitContext& ctx) {
+    ASSERT_TRUE(ctx.Subscribe(Filter::Eq("type", Value::OfString("evt"))).ok());
+  });
+  engine.RunUntilIdle();
+  publish_round(2);
+  // Mid-stream unsubscribe: stale candidates would keep delivering.
+  engine.InjectTurn(doomed_id, [&doomed_sub](UnitContext& ctx) {
+    ASSERT_TRUE(ctx.Unsubscribe(doomed_sub).ok());
+  });
+  engine.RunUntilIdle();
+  publish_round(3);
+
+  logs.stats = engine.stats();
+  return logs;
+}
+
+TEST(DispatchCache, InterleavedChurnMatchesUncachedInAllModes) {
+  for (SecurityMode mode : kAllModes) {
+    for (bool use_batch : {false, true}) {
+      SCOPED_TRACE(std::string(SecurityModeName(mode)) +
+                   (use_batch ? " batch" : " per-event"));
+      const ScenarioLogs cached = RunInterleavedScenario(mode, use_batch, /*use_cache=*/true);
+      const ScenarioLogs uncached =
+          RunInterleavedScenario(mode, use_batch, /*use_cache=*/false);
+      // Byte-identical transcripts, receiver by receiver.
+      EXPECT_EQ(cached.reader, uncached.reader);
+      EXPECT_EQ(cached.compartment, uncached.compartment);
+      EXPECT_EQ(cached.late, uncached.late);
+      EXPECT_EQ(cached.doomed, uncached.doomed);
+      EXPECT_EQ(cached.stats.deliveries, uncached.stats.deliveries);
+      // The scenario actually exercised the machinery it claims to test.
+      EXPECT_FALSE(cached.reader.empty());
+      EXPECT_FALSE(cached.late.empty());           // saw rounds 2-3
+      EXPECT_LT(cached.late.size(), cached.reader.size());
+      EXPECT_LT(cached.doomed.size(), cached.reader.size());  // missed round 3
+      EXPECT_GT(cached.stats.candidate_cache_misses, 0u);
+      EXPECT_GT(cached.stats.dispatch_cache_invalidations, 0u);
+      EXPECT_EQ(uncached.stats.candidate_cache_hits, 0u);
+      EXPECT_EQ(uncached.stats.flow_cache_hits, 0u);
+      // Cold replay: a fresh cached engine reproduces the cached transcript
+      // exactly (warm state never changed what was delivered).
+      const ScenarioLogs cold = RunInterleavedScenario(mode, use_batch, /*use_cache=*/true);
+      EXPECT_EQ(cached.reader, cold.reader);
+      EXPECT_EQ(cached.compartment, cold.compartment);
+      EXPECT_EQ(cached.late, cold.late);
+      EXPECT_EQ(cached.doomed, cold.doomed);
+    }
+  }
+}
+
+TEST(DispatchCache, WarmBatchesHitAllThreeCaches) {
+  EngineConfig config = ManualConfig(SecurityMode::kLabels);
+  Engine engine(config);
+  const Tag p = engine.tag_store().CreateTag("p");
+  // The receiver does not read parts, so every label check below is from the
+  // match path — the path the caches are supposed to silence.
+  auto* reader = new TestUnit([](UnitContext& ctx) {
+    ASSERT_TRUE(ctx.Subscribe(Filter::Exists("payload")).ok());
+  });
+  engine.AddUnit("reader", std::unique_ptr<Unit>(reader), Label({p}, {}));
+  const UnitId publisher = engine.AddUnit("publisher", std::make_unique<TestUnit>());
+  engine.Start();
+  engine.RunUntilIdle();
+
+  auto publish_batch = [&] {
+    engine.InjectTurn(publisher, [p](UnitContext& ctx) {
+      std::vector<EventHandle> handles;
+      for (int i = 0; i < 8; ++i) {
+        auto handle = ctx.BuildEvent()
+                          .Part(Label({p}, {}), "payload", Value::OfInt(i))
+                          .Part("type", Value::OfString("tick"))
+                          .Build();
+        ASSERT_TRUE(handle.ok());
+        handles.push_back(*handle);
+      }
+      ASSERT_TRUE(ctx.PublishBatch(handles).ok());
+    });
+    engine.RunUntilIdle();
+  };
+
+  publish_batch();
+  const EngineStatsSnapshot cold = engine.stats();
+  publish_batch();
+  const EngineStatsSnapshot warm = engine.stats();
+
+  // Second, identical batch: candidate list and flow verdicts are all
+  // cross-batch hits — no new misses, no new match-path label checks.
+  EXPECT_GT(warm.candidate_cache_hits, cold.candidate_cache_hits);
+  EXPECT_EQ(warm.candidate_cache_misses, cold.candidate_cache_misses);
+  EXPECT_GT(warm.flow_cache_hits, cold.flow_cache_hits);
+  EXPECT_EQ(warm.label_checks, cold.label_checks);
+  EXPECT_EQ(reader->delivery_count(), 2u * 8u);
+}
+
+TEST(DispatchCache, ManagedJoinsAreMemoisedAndExact) {
+  for (bool use_cache : {true, false}) {
+    SCOPED_TRACE(use_cache ? "cached" : "uncached");
+    EngineConfig config = ManualConfig(SecurityMode::kLabels);
+    config.use_dispatch_cache = use_cache;
+    Engine engine(config);
+    const Tag t1 = engine.tag_store().CreateTag("t1");
+    const Tag t2 = engine.tag_store().CreateTag("t2");
+    engine.AddUnit("owner", std::make_unique<TestUnit>([](UnitContext& ctx) {
+      ASSERT_TRUE(ctx.SubscribeManaged([] { return std::make_unique<TestUnit>(); },
+                                       Filter::Exists("order"))
+                      .ok());
+    }));
+    const UnitId sender = engine.AddUnit("sender", std::make_unique<TestUnit>());
+    engine.Start();
+    engine.RunUntilIdle();
+
+    // Two batches over the same two contamination labels: 2 managed
+    // instances total, and with the memo on, the second batch re-derives no
+    // join. Mixing both tags in one event exercises a real (non-singleton)
+    // join.
+    for (int round = 0; round < 2; ++round) {
+      engine.InjectTurn(sender, [t1, t2](UnitContext& ctx) {
+        std::vector<EventHandle> handles;
+        for (int i = 0; i < 6; ++i) {
+          const Label label = (i % 2 == 0) ? Label({t1}, {}) : Label({t1, t2}, {});
+          auto handle =
+              ctx.BuildEvent().Part(label, "order", Value::OfInt(i)).Build();
+          ASSERT_TRUE(handle.ok());
+          handles.push_back(*handle);
+        }
+        ASSERT_TRUE(ctx.PublishBatch(handles).ok());
+      });
+      engine.RunUntilIdle();
+    }
+    const EngineStatsSnapshot stats = engine.stats();
+    // One instance per distinct contamination, regardless of caching.
+    EXPECT_EQ(stats.managed_instances_created, 2u);
+    EXPECT_EQ(stats.deliveries, 12u);
+    if (use_cache) {
+      EXPECT_GT(stats.managed_join_cache_hits, 0u);
+    } else {
+      EXPECT_EQ(stats.managed_join_cache_hits, 0u);
+    }
+  }
+}
+
+TEST(DispatchCache, SingleEventPathSharesCandidateCache) {
+  EngineConfig config = ManualConfig(SecurityMode::kLabels);
+  Engine engine(config);
+  auto* receiver = new TestUnit([](UnitContext& ctx) {
+    ASSERT_TRUE(ctx.Subscribe(Filter::Eq("type", Value::OfString("ping"))).ok());
+  });
+  engine.AddUnit("receiver", std::unique_ptr<Unit>(receiver));
+  const UnitId publisher = engine.AddUnit("publisher", std::make_unique<TestUnit>());
+  engine.Start();
+  engine.RunUntilIdle();
+  for (int i = 0; i < 4; ++i) {
+    engine.InjectTurn(publisher, [](UnitContext& ctx) {
+      ASSERT_TRUE(
+          ctx.BuildEvent().Part("type", Value::OfString("ping")).Publish().ok());
+    });
+    engine.RunUntilIdle();
+  }
+  const EngineStatsSnapshot stats = engine.stats();
+  EXPECT_EQ(receiver->delivery_count(), 4u);
+  EXPECT_EQ(stats.candidate_cache_misses, 1u);  // first publish builds the list
+  EXPECT_EQ(stats.candidate_cache_hits, 3u);    // later publishes reuse it
+}
+
+TEST(DispatchCache, DisabledCacheReportsNoCacheTraffic) {
+  EngineConfig config = ManualConfig(SecurityMode::kLabels);
+  config.use_dispatch_cache = false;
+  Engine engine(config);
+  auto* receiver = new TestUnit([](UnitContext& ctx) {
+    ASSERT_TRUE(ctx.Subscribe(Filter::Exists("x")).ok());
+  });
+  engine.AddUnit("receiver", std::unique_ptr<Unit>(receiver));
+  const UnitId publisher = engine.AddUnit("publisher", std::make_unique<TestUnit>());
+  engine.Start();
+  engine.RunUntilIdle();
+  engine.InjectTurn(publisher, [](UnitContext& ctx) {
+    std::vector<EventHandle> handles;
+    for (int i = 0; i < 8; ++i) {
+      auto handle = ctx.BuildEvent().Part("x", Value::OfInt(i)).Build();
+      ASSERT_TRUE(handle.ok());
+      handles.push_back(*handle);
+    }
+    ASSERT_TRUE(ctx.PublishBatch(handles).ok());
+  });
+  engine.RunUntilIdle();
+  const EngineStatsSnapshot stats = engine.stats();
+  EXPECT_EQ(receiver->delivery_count(), 8u);
+  EXPECT_EQ(stats.candidate_cache_hits, 0u);
+  EXPECT_EQ(stats.candidate_cache_misses, 0u);
+  EXPECT_EQ(stats.flow_cache_hits, 0u);
+  // The per-batch memo still works without the persistent layer.
+  EXPECT_EQ(stats.batch_flow_memo_hits, 7u);
+}
+
+// Pooled engine: subscription churn from worker threads while batches are in
+// flight must neither crash, nor deadlock, nor deliver to an unsubscribed
+// unit's stale cache entry (smoke-level; the drain-protocol stress lives in
+// concurrency_test).
+TEST(DispatchCache, PooledChurnSmoke) {
+  EngineConfig config;
+  config.mode = SecurityMode::kLabels;
+  config.num_threads = 2;
+  Engine engine(config);
+  auto* receiver = new TestUnit([](UnitContext& ctx) {
+    ASSERT_TRUE(ctx.Subscribe(Filter::Eq("type", Value::OfString("evt"))).ok());
+  });
+  engine.AddUnit("receiver", std::unique_ptr<Unit>(receiver));
+  const UnitId churn_id = engine.AddUnit("churn", std::make_unique<TestUnit>());
+  const UnitId publisher = engine.AddUnit("publisher", std::make_unique<TestUnit>());
+  engine.Start();
+  engine.WaitIdle();
+  for (int round = 0; round < 50; ++round) {
+    engine.InjectTurn(churn_id, [](UnitContext& ctx) {
+      auto sub = ctx.Subscribe(Filter::Eq("type", Value::OfString("evt")));
+      ASSERT_TRUE(sub.ok());
+      ASSERT_TRUE(ctx.Unsubscribe(*sub).ok());
+    });
+    engine.InjectTurn(publisher, [](UnitContext& ctx) {
+      std::vector<EventHandle> handles;
+      for (int i = 0; i < 4; ++i) {
+        auto handle = ctx.BuildEvent()
+                          .Part("type", Value::OfString("evt"))
+                          .Part("seq", Value::OfInt(i))
+                          .Build();
+        ASSERT_TRUE(handle.ok());
+        handles.push_back(*handle);
+      }
+      ASSERT_TRUE(ctx.PublishBatch(handles).ok());
+    });
+  }
+  engine.WaitIdle();
+  EXPECT_EQ(receiver->delivery_count(), 50u * 4u);
+  engine.Stop();
+}
+
+}  // namespace
+}  // namespace defcon
