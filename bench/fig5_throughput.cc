@@ -26,6 +26,7 @@ int Main(int argc, char** argv) {
   // baselines (per-event Publish, one dispatch per tick). Raise explicitly
   // to measure the API v2 batched-publish path instead.
   int64_t tick_batch = 1;
+  int64_t index_shards = 0;
   std::string trader_list = "200,600,1000,1400,2000";
   FlagSet flags;
   flags.Register("ticks", &ticks, "ticks replayed per configuration");
@@ -35,6 +36,8 @@ int Main(int argc, char** argv) {
   flags.Register("seed", &seed, "workload seed");
   flags.Register("tick_batch", &tick_batch,
                  "ticks per PublishBatch (default 1 = per-event, figure-comparable)");
+  flags.Register("index_shards", &index_shards,
+                 "subscription-index/dispatch-cache shards (0 = hardware, 1 = unsharded)");
   flags.Register("traders", &trader_list, "comma-separated trader counts");
   if (!flags.Parse(argc, argv)) {
     return 1;
@@ -71,6 +74,7 @@ int Main(int argc, char** argv) {
       config.batch = static_cast<size_t>(batch);
       config.engine_threads = static_cast<size_t>(threads);
       config.tick_batch = static_cast<size_t>(tick_batch);
+      config.index_shards = static_cast<size_t>(index_shards);
       const WorkloadResult result = RunTradingWorkload(config);
       row.push_back(Table::Num(result.throughput_samples.Median() / 1000.0, 1));
     }

@@ -23,6 +23,7 @@ int Main(int argc, char** argv) {
   // Pinned to 1 for figure comparability; paced (latency) runs inject
   // per-event regardless, so this only matters if --rate is set to 0.
   int64_t tick_batch = 1;
+  int64_t index_shards = 0;
   std::string trader_list = "200,600,1000,1400,2000";
   FlagSet flags;
   flags.Register("ticks", &ticks, "ticks replayed per configuration");
@@ -32,6 +33,8 @@ int Main(int argc, char** argv) {
   flags.Register("rate", &rate, "tick feed rate (events/s)");
   flags.Register("tick_batch", &tick_batch,
                  "ticks per PublishBatch (default 1 = per-event, figure-comparable)");
+  flags.Register("index_shards", &index_shards,
+                 "subscription-index/dispatch-cache shards (0 = hardware, 1 = unsharded)");
   flags.Register("traders", &trader_list, "comma-separated trader counts");
   if (!flags.Parse(argc, argv)) {
     return 1;
@@ -70,6 +73,7 @@ int Main(int argc, char** argv) {
       config.engine_threads = static_cast<size_t>(threads);
       config.pace_events_per_sec = rate;
       config.tick_batch = static_cast<size_t>(tick_batch);
+      config.index_shards = static_cast<size_t>(index_shards);
       const WorkloadResult result = RunTradingWorkload(config);
       row.push_back(
           Table::Num(static_cast<double>(result.trade_latency.PercentileNs(0.7)) / 1e6, 3));

@@ -64,6 +64,7 @@ int Main(int argc, char** argv) {
   // Pinned to 1 so memory numbers stay comparable to pre-batch baselines
   // (batching changes peak mailbox and plan footprints).
   int64_t tick_batch = 1;
+  int64_t index_shards = 0;
   std::string trader_list = "200,600,1000,1400,2000";
   FlagSet flags;
   flags.Register("ticks", &ticks, "ticks replayed per configuration");
@@ -71,6 +72,8 @@ int Main(int argc, char** argv) {
   flags.Register("seed", &seed, "workload seed");
   flags.Register("tick_batch", &tick_batch,
                  "ticks per PublishBatch (default 1 = per-event, figure-comparable)");
+  flags.Register("index_shards", &index_shards,
+                 "subscription-index/dispatch-cache shards (0 = hardware, 1 = unsharded)");
   flags.Register("traders", &trader_list, "comma-separated trader counts");
   if (!flags.Parse(argc, argv)) {
     return 1;
@@ -107,6 +110,7 @@ int Main(int argc, char** argv) {
       config.ticks = static_cast<size_t>(ticks);
       config.batch = static_cast<size_t>(ticks) / 4;
       config.tick_batch = static_cast<size_t>(tick_batch);
+      config.index_shards = static_cast<size_t>(index_shards);
       const MemoryReading reading = MeasureInChild(config);
       row.push_back(Table::Num(reading.rss_mib, 1));
       if (mode == SecurityMode::kLabelsIsolation) {

@@ -162,6 +162,7 @@ void RunBatchPublishBenchmark(benchmark::State& state, SecurityMode mode,
   config.mode = mode;
   config.num_threads = 0;
   config.use_dispatch_cache = use_dispatch_cache;
+  config.index_shards = static_cast<size_t>(state.range(1));
   Engine engine(config);
   const Tag compartment = engine.CreateTag("compartment");
   // 4 in-compartment receivers that deliver, 96 outside candidates that the
@@ -193,10 +194,14 @@ void RunBatchPublishBenchmark(benchmark::State& state, SecurityMode mode,
   state.counters["deliveries"] = static_cast<double>(stats.deliveries);
 }
 
+// Arguments: {events per PublishBatch, index_shards}. Shards = 1 is the
+// unsharded escape hatch; 8 exercises the key-grouped probe-and-merge path
+// (single-threaded here, so the delta is pure sharding overhead — the
+// contention win is measured by BM_ContendedMultiPublisher below).
 void BM_BatchPublish_Labels(benchmark::State& state) {
   RunBatchPublishBenchmark(state, SecurityMode::kLabels);
 }
-BENCHMARK(BM_BatchPublish_Labels)->Arg(1)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_BatchPublish_Labels)->ArgsProduct({{1, 16, 64, 256}, {1, 8}});
 
 // Ablation: same workload with the persistent dispatch cache disabled — the
 // PR 1 batch path (per-batch memos only). The gap at each batch size is what
@@ -204,12 +209,99 @@ BENCHMARK(BM_BatchPublish_Labels)->Arg(1)->Arg(16)->Arg(64)->Arg(256);
 void BM_BatchPublish_Labels_NoCache(benchmark::State& state) {
   RunBatchPublishBenchmark(state, SecurityMode::kLabels, /*use_dispatch_cache=*/false);
 }
-BENCHMARK(BM_BatchPublish_Labels_NoCache)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_BatchPublish_Labels_NoCache)->ArgsProduct({{16, 64, 256}, {1}});
 
 void BM_BatchPublish_NoSecurity(benchmark::State& state) {
   RunBatchPublishBenchmark(state, SecurityMode::kNoSecurity);
 }
-BENCHMARK(BM_BatchPublish_NoSecurity)->Arg(1)->Arg(64);
+BENCHMARK(BM_BatchPublish_NoSecurity)->Args({1, 1})->Args({64, 1});
+
+// Contended dispatch: several publisher units flooding batches through a
+// pooled executor while another unit churns a subscription every iteration.
+// At index_shards == 1 every batch probe and every churn serialise on one
+// subs/cache mutex pair, and each churn sweeps ALL warm state; at higher
+// shard counts the publishers' keys spread over disjoint shards and a churn
+// only sweeps its own. Arguments: {index_shards, events per batch}.
+class KeyedBatchPublisher : public Unit {
+ public:
+  explicit KeyedBatchPublisher(std::string key) : key_(std::move(key)) {}
+  void OnEvent(UnitContext& ctx, EventHandle event, SubscriptionId sub) override {}
+
+  Status PublishPings(UnitContext& ctx, size_t batch) {
+    std::vector<EventHandle> handles;
+    handles.reserve(batch);
+    for (size_t i = 0; i < batch; ++i) {
+      auto handle = ctx.BuildEvent()
+                        .Part(Label(), "inbox", Value::OfString(key_))
+                        .Part(Label(), "seq", Value::OfInt(seq_++))
+                        .Build();
+      if (!handle.ok()) {
+        (void)ctx.PublishBatch(handles);
+        return handle.status();
+      }
+      handles.push_back(*handle);
+    }
+    return ctx.PublishBatch(handles);
+  }
+
+ private:
+  std::string key_;
+  int64_t seq_ = 0;
+};
+
+void BM_ContendedMultiPublisher(benchmark::State& state) {
+  constexpr int kPublishers = 4;
+  constexpr int kReceiversPerKey = 4;
+  const size_t batch = static_cast<size_t>(state.range(1));
+  EngineConfig config;
+  config.mode = SecurityMode::kLabels;
+  config.num_threads = 2;
+  config.index_shards = static_cast<size_t>(state.range(0));
+  Engine engine(config);
+  std::vector<std::pair<UnitId, KeyedBatchPublisher*>> pubs;
+  for (int p = 0; p < kPublishers; ++p) {
+    const std::string key = "inbox-" + std::to_string(p);
+    for (int r = 0; r < kReceiversPerKey; ++r) {
+      engine.AddUnit("rcv-" + std::to_string(p) + "-" + std::to_string(r),
+                     std::make_unique<SelectiveUnit>(key));
+    }
+    auto* publisher = new KeyedBatchPublisher(key);
+    pubs.emplace_back(
+        engine.AddUnit("pub-" + std::to_string(p), std::unique_ptr<Unit>(publisher)),
+        publisher);
+  }
+  const UnitId churner = engine.AddUnit("churner", std::make_unique<PublisherUnit>());
+  engine.Start();
+  engine.WaitIdle();
+  int64_t iter = 0;
+  for (auto _ : state) {
+    engine.InjectTurn(churner, [iter](UnitContext& ctx) {
+      auto sub = ctx.Subscribe(
+          Filter::Eq("churn", Value::OfString("c" + std::to_string(iter % 13))));
+      if (sub.ok()) {
+        (void)ctx.Unsubscribe(*sub);
+      }
+    });
+    for (auto& [id, publisher] : pubs) {
+      engine.InjectTurn(id, [publisher, batch](UnitContext& ctx) {
+        (void)publisher->PublishPings(ctx, batch);
+      });
+    }
+    engine.WaitIdle();
+    ++iter;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kPublishers) * static_cast<int64_t>(batch));
+  const auto stats = engine.stats();
+  state.counters["deliveries"] = static_cast<double>(stats.deliveries);
+  state.counters["candidate_hits"] = static_cast<double>(stats.candidate_cache_hits);
+  state.counters["candidate_misses"] = static_cast<double>(stats.candidate_cache_misses);
+  state.counters["invalidations"] = static_cast<double>(stats.dispatch_cache_invalidations);
+}
+BENCHMARK(BM_ContendedMultiPublisher)
+    ->ArgsProduct({{1, 2, 4, 8}, {32}})
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
 
 // Fan-out cost: one event matching N subscribers (the tick -> pair monitor
 // pattern whose scaling defines Fig. 5's slope).

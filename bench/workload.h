@@ -43,6 +43,11 @@ struct WorkloadConfig {
   // comparable to the paper and to pre-batch baselines; pass --tick_batch
   // there to measure the batched path explicitly.
   size_t tick_batch = 16;
+  // Subscription-index / dispatch-cache shards (EngineConfig::index_shards):
+  // 0 = hardware concurrency, 1 = the unsharded escape hatch. Only moves the
+  // needle with engine_threads > 0 (concurrent batches stop convoying on one
+  // index mutex); the figure drivers expose it as --index_shards.
+  size_t index_shards = 0;
 };
 
 struct WorkloadResult {
@@ -61,6 +66,7 @@ inline WorkloadResult RunTradingWorkload(const WorkloadConfig& config) {
   engine_config.mode = config.mode;
   engine_config.num_threads = config.engine_threads;
   engine_config.seed = config.seed;
+  engine_config.index_shards = config.index_shards;
 
   auto engine = std::make_unique<Engine>(engine_config);
 

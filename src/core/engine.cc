@@ -5,7 +5,9 @@
 #include <deque>
 #include <list>
 #include <optional>
+#include <array>
 #include <shared_mutex>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -147,11 +149,17 @@ struct HandleRecord {
   std::shared_ptr<DeliveryPlan> plan;
 };
 
+struct SubscriptionRecord;
+
 // One queued delivery of an event to a unit (or, for managed subscriptions,
 // to the instance at `managed_label`, resolved when the delivery runs).
 struct PlannedDelivery {
   SubscriptionId sub_id = 0;
   UnitId unit_id = 0;  // 0 => managed
+  // Managed deliveries carry the record itself, so the delivery pipeline
+  // never needs a registry lookup; the record outlives unregistration and
+  // the `unregistered` flag gates late instantiation.
+  std::shared_ptr<SubscriptionRecord> sub;
   Label managed_label;
   std::string dedup_key;
 };
@@ -162,6 +170,13 @@ struct SubscriptionRecord {
   Filter filter;
   // Index bucket key this record was registered under; empty => residual.
   std::string index_key;
+  // Owning index shard for indexed records. Residual records live outside
+  // the shard index; for them this is the home shard of their managed-join
+  // memo entries (assigned round-robin by id).
+  uint32_t shard = 0;
+  // Set exactly once when the subscription is unregistered; deliveries that
+  // were planned before then check it instead of a registry lookup.
+  std::atomic<bool> unregistered{false};
 
   bool managed = false;
   UnitFactory factory;
@@ -189,9 +204,21 @@ constexpr uint8_t kFlowDenied = 1;
 constexpr uint8_t kFlowAllowed = 2;
 constexpr UnitId kFlowDenseLimit = 1 << 16;
 
-// The persistent dispatch cache (PR 2). Match state that PR 1 rebuilt per
-// DeliveryBatch now survives across dispatches:
-//   * `candidates`: index-bucket signature -> sorted candidate list;
+// One shard of the subscription index plus its slice of the persistent
+// dispatch cache (PR 3). Shard assignment is by key hash: equality-index
+// buckets live in the shard of their (name, literal) key, flow snapshots in
+// the shard of their part-label key, and a managed subscription's join memo
+// in the shard owning the subscription. Each shard has its own mutexes and
+// its own generation counter, so concurrent batches probing different
+// shards share no lock, and subscription churn in one shard leaves the
+// others' warm state untouched (the PR 2 engine-global cache swept
+// everything on any generation bump).
+//
+// Cached state per shard, all of it PR 2's design made shard-local:
+//   * `candidates`: per-shard index-key signature -> sorted candidate list
+//     of THIS shard's indexed subscriptions. Residual subscriptions are
+//     merged in at probe time from a copy-on-write snapshot outside any
+//     shard, so residual churn invalidates nothing;
 //   * `flow`: part-label key -> per-unit CanFlowTo snapshot (the verdicts a
 //     warm batch would otherwise recompute per (part label, unit) pair);
 //   * `managed_join`: (subscription id, owner input label, referenced part
@@ -199,16 +226,25 @@ constexpr UnitId kFlowDenseLimit = 1 << 16;
 //     (ids are never reused, filters are immutable, the join is commutative
 //     and idempotent).
 // All three are valid only at `built_generation`. `generation` is bumped by
-// every subscribe/unsubscribe (under subs_mutex) and by every input-label
-// change (flow verdicts depend on unit input labels), and the first
-// candidate miss at a newer generation sweeps all stale entries.
-// Exactness invariant: a cache hit must yield byte-identical delivery sets
-// to the uncached path (EngineConfig::use_dispatch_cache = false) — entries
+// every subscribe/unsubscribe touching this shard (under the shard's
+// subs_mutex) and — for every shard — by every input-label change (flow
+// verdicts depend on unit input labels, which no single shard owns); the
+// first publication at a newer generation sweeps the stale entries.
+// Exactness invariant as in PR 2: a cache hit must yield byte-identical
+// delivery sets to the uncached path (use_dispatch_cache = false) — entries
 // are only ever served at the generation they were built for.
-struct DispatchCache {
+struct IndexShard {
+  // Registration state. Mutators bump `generation` inside `subs_mutex`,
+  // after the mutation, preserving the generation handshake shard-locally.
+  mutable std::shared_mutex subs_mutex;
+  // Subscriptions with an equality key hashing to this shard, bucketed for
+  // O(1) candidate lookup (the shard's subscription map; records also hang
+  // off their owner's owned_subs, so no id-keyed registry is needed).
+  std::unordered_map<std::string, std::vector<std::shared_ptr<SubscriptionRecord>>> index;
   std::atomic<uint64_t> generation{0};
 
-  mutable std::shared_mutex mutex;
+  // Cached match state (valid only at built_generation).
+  mutable std::shared_mutex cache_mutex;
   uint64_t built_generation = 0;
   std::unordered_map<std::string, std::shared_ptr<const CandidateList>> candidates;
   std::unordered_map<std::string, std::shared_ptr<const FlowSnapshot>> flow;
@@ -234,8 +270,8 @@ struct DeliveryPlan {
 
 using engine_internal::CandidateList;
 using engine_internal::DeliveryPlan;
-using engine_internal::DispatchCache;
 using engine_internal::FlowSnapshot;
+using engine_internal::IndexShard;
 using engine_internal::kFlowAllowed;
 using engine_internal::kFlowDenied;
 using engine_internal::kFlowDenseLimit;
@@ -263,8 +299,10 @@ struct UnitState {
   uint64_t next_handle = 1;
   std::unordered_map<EventHandle, HandleRecord> handles;
 
-  // Subscriptions owned by this unit (removed with the unit).
-  std::vector<SubscriptionId> owned_subs;
+  // Subscriptions owned by this unit (removed with the unit). Holding the
+  // records directly lets unsubscribe reach the owning shard without a
+  // global registry.
+  std::vector<std::shared_ptr<SubscriptionRecord>> owned_subs;
 
   bool is_managed_instance = false;
   SubscriptionId managed_sub = 0;
@@ -308,18 +346,27 @@ struct Engine::Impl {
   std::atomic<UnitId> next_unit_id{1};
   std::atomic<size_t> managed_instance_count{0};
 
-  mutable std::shared_mutex subs_mutex;
-  std::unordered_map<SubscriptionId, std::shared_ptr<SubscriptionRecord>> subs;
-  // Subscriptions with an equality key, bucketed for O(1) candidate lookup.
-  std::unordered_map<std::string, std::vector<std::shared_ptr<SubscriptionRecord>>> index;
-  // Subscriptions without an equality key: always candidates.
-  std::vector<std::shared_ptr<SubscriptionRecord>> residual_subs;
+  // Sharded subscription index + dispatch cache. The shard array is fixed at
+  // construction; ShardOfKey routes equality-index keys and part-label keys
+  // to shards.
+  const size_t shard_count;
+  std::vector<std::unique_ptr<IndexShard>> shards;
+
+  // Subscriptions without an equality key match every event, so they live
+  // outside the shard index as a copy-on-write snapshot (sorted by id) that
+  // every dispatch merges in fresh — residual churn therefore invalidates no
+  // cached state anywhere. `has_residuals` lets the (common) residual-free
+  // workload skip the lock with one plain load, so this mutex is not a
+  // global serialisation point on the hot path.
+  mutable std::shared_mutex residual_mutex;
+  std::shared_ptr<const CandidateList> residual_subs;
+  std::atomic<bool> has_residuals{false};
+
   std::atomic<SubscriptionId> next_sub_id{1};
 
   std::atomic<uint64_t> next_event_id{1};
 
-  // Persistent match state (candidate lists, flow verdicts, managed joins).
-  DispatchCache dispatch_cache;
+  // Per-shard caps on the persistent match state.
   static constexpr size_t kCandidateCacheCap = 4096;
   static constexpr size_t kFlowCacheCap = 4096;  // labels; each holds a dense vector
   static constexpr size_t kManagedJoinCacheCap = 1 << 15;
@@ -328,14 +375,56 @@ struct Engine::Impl {
   EngineCounters stats;
   std::atomic<bool> started{false};
 
+  static constexpr size_t kMaxShards = 256;
+
+  static size_t ResolveShardCount(size_t configured) {
+    if (configured > 0) {
+      return std::min<size_t>(configured, kMaxShards);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : std::min<size_t>(hw, 64);
+  }
+
   explicit Impl(Engine* eng, const EngineConfig& cfg)
-      : engine(eng), config(cfg), executor(cfg.num_threads) {
+      : engine(eng), config(cfg), executor(cfg.num_threads),
+        shard_count(ResolveShardCount(cfg.index_shards)) {
+    shards.reserve(shard_count);
+    for (size_t s = 0; s < shard_count; ++s) {
+      shards.push_back(std::make_unique<IndexShard>());
+    }
     if (config.mode == SecurityMode::kLabelsIsolation) {
       isolation = std::make_unique<IsolationRuntime>(DefaultWeavePlan(), &eng->accountant_);
     }
   }
 
   bool security_on() const { return config.mode != SecurityMode::kNoSecurity; }
+
+  size_t ShardOfKey(const std::string& key) const {
+    return shard_count == 1 ? 0 : std::hash<std::string>{}(key) % shard_count;
+  }
+
+  // Per-dispatch snapshot of every shard's generation, captured (acquire)
+  // before the dispatch's first cache probe; all of the dispatch's reads
+  // are served at these generations or rebuilt fresh. Inline storage:
+  // capturing must not allocate on the per-event publish path.
+  struct GenSnapshot {
+    std::array<uint64_t, kMaxShards> gens;
+    uint64_t operator[](size_t s) const { return gens[s]; }
+  };
+
+  GenSnapshot CaptureGenerations() const {
+    GenSnapshot snap;
+    for (size_t s = 0; s < shard_count; ++s) {
+      snap.gens[s] = shards[s]->generation.load(std::memory_order_acquire);
+    }
+    return snap;
+  }
+
+  void BumpAllGenerations() {
+    for (const auto& shard : shards) {
+      shard->generation.fetch_add(1, std::memory_order_release);
+    }
+  }
 
   // ---- unit management ----------------------------------------------------
 
@@ -406,7 +495,7 @@ struct Engine::Impl {
     // turns, so owned_subs is never touched concurrently with a running turn.
     auto* self = this;
     executor.Post(victim->actor, [self, victim] {
-      for (SubscriptionId sub : victim->owned_subs) {
+      for (const auto& sub : victim->owned_subs) {
         self->UnregisterSubscription(sub);
       }
       victim->owned_subs.clear();
@@ -414,34 +503,45 @@ struct Engine::Impl {
     // In-flight turns hold a shared_ptr; the state dies when they finish.
   }
 
-  void UnregisterSubscription(SubscriptionId id) {
-    std::unique_lock lock(subs_mutex);
-    auto it = subs.find(id);
-    if (it == subs.end()) {
+  void UnregisterSubscription(const std::shared_ptr<SubscriptionRecord>& record) {
+    if (record->unregistered.exchange(true, std::memory_order_acq_rel)) {
+      return;  // already unregistered (idempotent)
+    }
+    if (record->index_key.empty()) {
+      // Residual: publish a snapshot without the record. Every dispatch
+      // re-reads the snapshot, so no generation bump is needed anywhere.
+      std::unique_lock lock(residual_mutex);
+      if (residual_subs != nullptr) {
+        auto updated = std::make_shared<CandidateList>();
+        updated->reserve(residual_subs->size());
+        for (const auto& sub : *residual_subs) {
+          if (sub != record) {
+            updated->push_back(sub);
+          }
+        }
+        if (updated->empty()) {
+          has_residuals.store(false, std::memory_order_release);
+        }
+        residual_subs = std::move(updated);
+      }
       return;
     }
-    std::shared_ptr<SubscriptionRecord> record = it->second;
-    subs.erase(it);
-    // Inside subs_mutex, after the mutation: a dispatch that captures the new
-    // generation can only read the new subscription state (see GetCandidates).
-    dispatch_cache.generation.fetch_add(1, std::memory_order_release);
-    if (record->index_key.empty()) {
-      auto pos = std::find(residual_subs.begin(), residual_subs.end(), record);
-      if (pos != residual_subs.end()) {
-        residual_subs.erase(pos);
+    IndexShard& shard = *shards[record->shard];
+    std::unique_lock lock(shard.subs_mutex);
+    auto bucket = shard.index.find(record->index_key);
+    if (bucket != shard.index.end()) {
+      auto pos = std::find(bucket->second.begin(), bucket->second.end(), record);
+      if (pos != bucket->second.end()) {
+        bucket->second.erase(pos);
       }
-    } else {
-      auto bucket = index.find(record->index_key);
-      if (bucket != index.end()) {
-        auto pos = std::find(bucket->second.begin(), bucket->second.end(), record);
-        if (pos != bucket->second.end()) {
-          bucket->second.erase(pos);
-        }
-        if (bucket->second.empty()) {
-          index.erase(bucket);
-        }
+      if (bucket->second.empty()) {
+        shard.index.erase(bucket);
       }
     }
+    // Inside the shard's subs_mutex, after the mutation: a dispatch that
+    // captures the new generation can only read the new subscription state
+    // (see GetShardCandidates). Only this shard goes cold.
+    shard.generation.fetch_add(1, std::memory_order_release);
   }
 
   // ---- isolation hook ------------------------------------------------------
@@ -541,27 +641,27 @@ struct Engine::Impl {
 
   // ---- subscription matching ----------------------------------------------
 
-  std::vector<std::shared_ptr<SubscriptionRecord>> CollectCandidates(
-      const std::vector<Part>& parts) {
-    std::vector<std::shared_ptr<SubscriptionRecord>> candidates;
-    std::shared_lock lock(subs_mutex);
-    candidates = residual_subs;
+  // Sorted, de-duplicated equality-index keys of an event's string-valued
+  // parts — the index buckets its dispatch probes. Empty when the index is
+  // disabled (every subscription is residual then).
+  std::vector<std::string> CollectEventKeys(const std::vector<Part>& parts) const {
+    std::vector<std::string> keys;
+    if (!config.use_subscription_index) {
+      return keys;
+    }
     for (const Part& part : parts) {
-      if (part.data.kind() != Value::Kind::kString) {
-        continue;
-      }
-      auto it = index.find(IndexKeyString(part.name, part.data.string_value()));
-      if (it != index.end()) {
-        candidates.insert(candidates.end(), it->second.begin(), it->second.end());
+      if (part.data.kind() == Value::Kind::kString) {
+        keys.push_back(IndexKeyString(part.name, part.data.string_value()));
       }
     }
-    std::sort(candidates.begin(), candidates.end(),
-              [](const auto& a, const auto& b) { return a->id < b->id; });
-    candidates.erase(std::unique(candidates.begin(), candidates.end()), candidates.end());
-    return candidates;
+    if (keys.size() > 1) {
+      std::sort(keys.begin(), keys.end());
+      keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    }
+    return keys;
   }
 
-  // ---- persistent dispatch cache -------------------------------------------
+  // ---- persistent dispatch cache (sharded) ---------------------------------
 
   // Appends one index key to a signature, length-prefixed: part names and
   // string values are user-controlled bytes, so a bare separator could be
@@ -572,42 +672,12 @@ struct Engine::Impl {
     *sig += key;
   }
 
-  // Stable signature of the index buckets an event can probe: the sorted,
-  // de-duplicated (name, literal) keys of its string-valued parts,
-  // length-prefix framed. At a fixed subscription generation, events with
-  // equal signatures have identical candidate sets, so the signature is the
-  // candidate-cache key.
-  std::string CandidateSignature(const std::vector<Part>& parts) {
-    if (!config.use_subscription_index) {
-      return std::string();  // no index: every event shares the residual set
-    }
-    // Fast path for the dominant shapes (zero or one string part): no
-    // scratch vector, no sort.
-    const Part* only = nullptr;
-    size_t string_parts = 0;
-    for (const Part& part : parts) {
-      if (part.data.kind() == Value::Kind::kString) {
-        only = &part;
-        ++string_parts;
-      }
-    }
-    if (string_parts == 0) {
-      return std::string();
-    }
-    if (string_parts == 1) {
-      std::string sig;
-      AppendSignatureKey(&sig, IndexKeyString(only->name, only->data.string_value()));
-      return sig;
-    }
-    std::vector<std::string> keys;
-    keys.reserve(string_parts);
-    for (const Part& part : parts) {
-      if (part.data.kind() == Value::Kind::kString) {
-        keys.push_back(IndexKeyString(part.name, part.data.string_value()));
-      }
-    }
-    std::sort(keys.begin(), keys.end());
-    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  // Stable signature of a (sorted) key set, length-prefix framed. At fixed
+  // shard generations, events with equal signatures have identical
+  // candidate sets, so signatures key both the per-shard candidate caches
+  // (over the shard's key subset) and the batch-local sharing of merged
+  // lists (over the full key set).
+  static std::string SignatureOfKeys(const std::vector<std::string>& keys) {
     std::string sig;
     for (const std::string& key : keys) {
       AppendSignatureKey(&sig, key);
@@ -615,73 +685,183 @@ struct Engine::Impl {
     return sig;
   }
 
-  // Candidate list for `parts`, served from the persistent cache when it is
-  // valid at `gen` (the subscription generation the caller captured before
-  // snapshotting). The generation handshake: mutators bump `generation`
-  // inside subs_mutex after modifying, so a reader that captured gen G and
-  // then acquires subs_mutex can only observe state at generation >= G —
-  // entries stamped G are therefore never older than G, and the first miss
-  // at G+1 sweeps anything older.
-  std::shared_ptr<const CandidateList> GetCandidatesBySignature(
-      std::string sig, const std::vector<Part>& parts, uint64_t gen) {
-    DispatchCache& cache = dispatch_cache;
+  // Ensures `shard`'s cache is owned by `gen`, sweeping stale entries when
+  // advancing. Returns false when a newer generation already owns the cache
+  // (the caller's state may predate it — serve locally, never publish).
+  // Caller holds shard.cache_mutex exclusively.
+  bool EnsureCacheGenerationLocked(IndexShard& shard, uint64_t gen) {
+    if (shard.built_generation > gen) {
+      return false;
+    }
+    if (shard.built_generation < gen) {
+      stats.dispatch_cache_invalidations.fetch_add(1, std::memory_order_relaxed);
+      shard.candidates.clear();
+      shard.flow.clear();
+      shard.managed_join.clear();
+      shard.built_generation = gen;
+    }
+    return true;
+  }
+
+  // This shard's indexed candidates for `keys`, sorted by id. Each record
+  // has exactly one index key, so buckets of distinct keys are disjoint and
+  // a sort (no de-dup) suffices.
+  std::shared_ptr<CandidateList> CollectShardCandidates(IndexShard& shard,
+                                                        const std::vector<std::string>& keys) {
+    auto list = std::make_shared<CandidateList>();
     {
-      std::shared_lock lock(cache.mutex);
-      if (cache.built_generation == gen) {
-        auto it = cache.candidates.find(sig);
-        if (it != cache.candidates.end()) {
+      std::shared_lock lock(shard.subs_mutex);
+      for (const std::string& key : keys) {
+        auto it = shard.index.find(key);
+        if (it != shard.index.end()) {
+          list->insert(list->end(), it->second.begin(), it->second.end());
+        }
+      }
+    }
+    std::sort(list->begin(), list->end(),
+              [](const auto& a, const auto& b) { return a->id < b->id; });
+    return list;
+  }
+
+  // Cached variant, valid at `gen` (this shard's generation as captured by
+  // the caller). The generation handshake, per shard: mutators bump
+  // `generation` inside subs_mutex after modifying, so a reader that
+  // captured gen G and then acquires subs_mutex can only observe state at
+  // generation >= G — entries stamped G are therefore never older than G,
+  // and the first publication at G+1 sweeps anything older.
+  std::shared_ptr<const CandidateList> GetShardCandidates(IndexShard& shard, std::string subsig,
+                                                          const std::vector<std::string>& keys,
+                                                          uint64_t gen) {
+    {
+      std::shared_lock lock(shard.cache_mutex);
+      if (shard.built_generation == gen) {
+        auto it = shard.candidates.find(subsig);
+        if (it != shard.candidates.end()) {
           stats.candidate_cache_hits.fetch_add(1, std::memory_order_relaxed);
           return it->second;
         }
       }
     }
     stats.candidate_cache_misses.fetch_add(1, std::memory_order_relaxed);
-    auto list = std::make_shared<CandidateList>(CollectCandidates(parts));
+    std::shared_ptr<const CandidateList> list = CollectShardCandidates(shard, keys);
     {
-      std::unique_lock lock(cache.mutex);
-      if (cache.built_generation != gen) {
-        if (cache.built_generation > gen) {
-          // A newer generation already owns the cache; our snapshot may
-          // predate it. Serve it for this dispatch but do not publish it.
-          return list;
-        }
-        stats.dispatch_cache_invalidations.fetch_add(1, std::memory_order_relaxed);
-        cache.candidates.clear();
-        cache.flow.clear();
-        cache.managed_join.clear();
-        cache.built_generation = gen;
+      std::unique_lock lock(shard.cache_mutex);
+      if (!EnsureCacheGenerationLocked(shard, gen)) {
+        return list;
       }
-      if (cache.candidates.size() >= kCandidateCacheCap) {
-        cache.candidates.clear();
+      if (shard.candidates.size() >= kCandidateCacheCap) {
+        shard.candidates.clear();
       }
-      cache.candidates.emplace(std::move(sig), list);
+      shard.candidates.emplace(std::move(subsig), list);
     }
     return list;
   }
 
-  std::shared_ptr<const CandidateList> GetCandidates(const std::vector<Part>& parts,
-                                                     uint64_t gen) {
-    if (!config.use_dispatch_cache) {
-      return std::make_shared<const CandidateList>(CollectCandidates(parts));
+  std::shared_ptr<const CandidateList> ResidualSnapshot() const {
+    if (!has_residuals.load(std::memory_order_acquire)) {
+      return nullptr;  // no lock traffic while no residual subscription exists
     }
-    return GetCandidatesBySignature(CandidateSignature(parts), parts, gen);
+    std::shared_lock lock(residual_mutex);
+    return residual_subs;
   }
 
-  // Fetches the published per-unit verdict snapshot for every interned part
-  // label in one lock acquisition (null where none exists or the cache is
-  // not at `gen`). Snapshots are immutable; callers index them lock-free
-  // for the rest of the batch.
-  void FetchFlowSnapshots(const std::vector<const std::string*>& label_keys, uint64_t gen,
-                          std::vector<std::shared_ptr<const FlowSnapshot>>* snapshots) {
-    DispatchCache& cache = dispatch_cache;
-    std::shared_lock lock(cache.mutex);
-    if (cache.built_generation != gen) {
-      return;
+  // The full candidate list for one key set: the key set is grouped by
+  // shard, each involved shard is probed independently (through its cache,
+  // or directly when the cache is off), and the per-shard lists are merged
+  // with the residual snapshot into one id-sorted list — the same order the
+  // unsharded index produced. Common shapes stay allocation-light: no keys
+  // and no residuals => empty; one shard and no residuals => the shard's
+  // cached list is returned unmerged.
+  std::shared_ptr<const CandidateList> BuildCandidates(
+      const std::vector<std::string>& keys,
+      const std::shared_ptr<const CandidateList>& residual,
+      const GenSnapshot& gens) {
+    auto fetch = [this](IndexShard& shard, const std::vector<std::string>& shard_keys,
+                        uint64_t gen) -> std::shared_ptr<const CandidateList> {
+      if (!config.use_dispatch_cache) {
+        return CollectShardCandidates(shard, shard_keys);
+      }
+      return GetShardCandidates(shard, SignatureOfKeys(shard_keys), shard_keys, gen);
+    };
+    std::vector<std::shared_ptr<const CandidateList>> lists;
+    if (!keys.empty()) {
+      if (shard_count == 1) {
+        lists.push_back(fetch(*shards[0], keys, gens[0]));
+      } else {
+        // Group keys by shard; `keys` is sorted, so each group stays sorted
+        // and its per-shard sub-signature is canonical.
+        std::vector<std::pair<size_t, std::vector<std::string>>> groups;
+        for (const std::string& key : keys) {
+          const size_t s = ShardOfKey(key);
+          auto it = std::find_if(groups.begin(), groups.end(),
+                                 [s](const auto& group) { return group.first == s; });
+          if (it == groups.end()) {
+            groups.emplace_back(s, std::vector<std::string>{key});
+          } else {
+            it->second.push_back(key);
+          }
+        }
+        lists.reserve(groups.size());
+        for (auto& [s, shard_keys] : groups) {
+          lists.push_back(fetch(*shards[s], shard_keys, gens[s]));
+        }
+      }
     }
+    const bool no_residual = residual == nullptr || residual->empty();
+    if (lists.empty()) {
+      return no_residual ? std::make_shared<const CandidateList>() : residual;
+    }
+    if (no_residual && lists.size() == 1) {
+      return lists[0];
+    }
+    auto merged = std::make_shared<CandidateList>();
+    size_t total = no_residual ? 0 : residual->size();
+    for (const auto& list : lists) {
+      total += list->size();
+    }
+    merged->reserve(total);
+    if (!no_residual) {
+      merged->insert(merged->end(), residual->begin(), residual->end());
+    }
+    for (const auto& list : lists) {
+      merged->insert(merged->end(), list->begin(), list->end());
+    }
+    std::sort(merged->begin(), merged->end(),
+              [](const auto& a, const auto& b) { return a->id < b->id; });
+    return merged;
+  }
+
+  std::shared_ptr<const CandidateList> GetCandidates(const std::vector<Part>& parts,
+                                                     const GenSnapshot& gens) {
+    return BuildCandidates(CollectEventKeys(parts), ResidualSnapshot(), gens);
+  }
+
+  // Fetches the published per-unit verdict snapshots for every interned
+  // part label, one lock acquisition per involved flow shard (null where no
+  // snapshot exists or the shard's cache is not at its captured
+  // generation). Snapshots are immutable; callers index them lock-free for
+  // the rest of the batch.
+  void FetchFlowSnapshots(const std::vector<const std::string*>& label_keys,
+                          const GenSnapshot& gens,
+                          std::vector<std::shared_ptr<const FlowSnapshot>>* snapshots) {
+    std::vector<std::vector<size_t>> by_shard(shard_count);
     for (size_t l = 0; l < label_keys.size(); ++l) {
-      auto it = cache.flow.find(*label_keys[l]);
-      if (it != cache.flow.end()) {
-        (*snapshots)[l] = it->second;
+      by_shard[ShardOfKey(*label_keys[l])].push_back(l);
+    }
+    for (size_t s = 0; s < shard_count; ++s) {
+      if (by_shard[s].empty()) {
+        continue;
+      }
+      IndexShard& shard = *shards[s];
+      std::shared_lock lock(shard.cache_mutex);
+      if (shard.built_generation != gens[s]) {
+        continue;
+      }
+      for (const size_t l : by_shard[s]) {
+        auto it = shard.flow.find(*label_keys[l]);
+        if (it != shard.flow.end()) {
+          (*snapshots)[l] = it->second;
+        }
       }
     }
   }
@@ -690,68 +870,79 @@ struct Engine::Impl {
   // merging each into a fresh snapshot — copy-on-write, so concurrently
   // fetched snapshots stay valid. Verdicts are pure per generation, so a
   // racing merge of the same pair carries the same value and either copy
-  // winning is correct; entries are only published at the generation the
-  // batch ran at.
+  // winning is correct; entries are only published at the generations the
+  // batch ran at. Unlike candidates, a flow shard may never see candidate
+  // traffic (labels hash independently of index keys), so publication
+  // advances built_generation itself — otherwise a churned shard's flow
+  // store could stay permanently cold.
   void PublishFlowOverlays(const std::vector<const std::string*>& label_keys,
                            const std::vector<std::unordered_map<UnitId, bool>>& overlays,
-                           uint64_t gen) {
+                           const GenSnapshot& gens) {
+    std::vector<std::vector<size_t>> by_shard(shard_count);
     bool any = false;
-    for (const auto& overlay : overlays) {
-      if (!overlay.empty()) {
+    for (size_t l = 0; l < overlays.size(); ++l) {
+      if (!overlays[l].empty()) {
+        by_shard[ShardOfKey(*label_keys[l])].push_back(l);
         any = true;
-        break;
       }
     }
     if (!any) {
       return;
     }
-    DispatchCache& cache = dispatch_cache;
-    std::unique_lock lock(cache.mutex);
-    if (cache.built_generation != gen) {
-      return;  // a newer generation owns the cache; drop the stale verdicts
-    }
-    if (cache.flow.size() >= kFlowCacheCap) {
-      cache.flow.clear();
-    }
-    for (size_t l = 0; l < overlays.size(); ++l) {
-      const auto& overlay = overlays[l];
-      UnitId max_id = 0;
-      for (const auto& [unit_id, verdict] : overlay) {
-        if (unit_id < kFlowDenseLimit && unit_id > max_id) {
-          max_id = unit_id;
+    for (size_t s = 0; s < shard_count; ++s) {
+      if (by_shard[s].empty()) {
+        continue;
+      }
+      IndexShard& shard = *shards[s];
+      std::unique_lock lock(shard.cache_mutex);
+      if (!EnsureCacheGenerationLocked(shard, gens[s])) {
+        continue;  // a newer generation owns this shard; drop its verdicts
+      }
+      if (shard.flow.size() >= kFlowCacheCap) {
+        shard.flow.clear();
+      }
+      for (const size_t l : by_shard[s]) {
+        const auto& overlay = overlays[l];
+        UnitId max_id = 0;
+        for (const auto& [unit_id, verdict] : overlay) {
+          if (unit_id < kFlowDenseLimit && unit_id > max_id) {
+            max_id = unit_id;
+          }
         }
-      }
-      if (max_id == 0) {
-        continue;  // nothing publishable for this label
-      }
-      auto& slot = cache.flow[*label_keys[l]];
-      FlowSnapshot merged = slot != nullptr ? *slot : FlowSnapshot();
-      if (merged.size() < static_cast<size_t>(max_id) + 1) {
-        merged.resize(static_cast<size_t>(max_id) + 1, kFlowUnknown);
-      }
-      for (const auto& [unit_id, verdict] : overlay) {
-        if (unit_id < kFlowDenseLimit) {
-          merged[unit_id] = verdict ? kFlowAllowed : kFlowDenied;
+        if (max_id == 0) {
+          continue;  // nothing publishable for this label
         }
+        auto& slot = shard.flow[*label_keys[l]];
+        FlowSnapshot merged = slot != nullptr ? *slot : FlowSnapshot();
+        if (merged.size() < static_cast<size_t>(max_id) + 1) {
+          merged.resize(static_cast<size_t>(max_id) + 1, kFlowUnknown);
+        }
+        for (const auto& [unit_id, verdict] : overlay) {
+          if (unit_id < kFlowDenseLimit) {
+            merged[unit_id] = verdict ? kFlowAllowed : kFlowDenied;
+          }
+        }
+        slot = std::make_shared<const FlowSnapshot>(std::move(merged));
       }
-      slot = std::make_shared<const FlowSnapshot>(std::move(merged));
     }
   }
 
   // Derives the contamination a managed instance needs for `parts` — the
   // join of the owner's input label with the labels of every part the
   // subscription's filter references — through the persistent managed-join
-  // memo. Returns nullopt when the filter references no part (no delivery).
-  // The memo key (subscription id, owner input label, sorted referenced part
-  // label set) is lossless: ids are never reused, filters are immutable and
-  // the join is commutative and idempotent. `part_key_fn(i)` returns
-  // LabelKey(parts[i].label); `owner_key` is LabelKey(owner_in_label) when
-  // the caller already holds it (null => rendered here).
+  // memo in the subscription's home shard. Returns nullopt when the filter
+  // references no part (no delivery). The memo key (subscription id, owner
+  // input label, sorted referenced part label set) is lossless: ids are
+  // never reused, filters are immutable and the join is commutative and
+  // idempotent. `part_key_fn(i)` returns LabelKey(parts[i].label);
+  // `owner_key` is LabelKey(owner_in_label) when the caller already holds
+  // it (null => rendered here).
   template <typename PartKeyFn>
   std::optional<Label> ManagedInstanceLabel(const std::shared_ptr<SubscriptionRecord>& sub,
                                             const std::vector<Part>& parts,
                                             const Label& owner_in_label,
-                                            const std::string* owner_key, uint64_t gen,
+                                            const std::string* owner_key,
+                                            const GenSnapshot& gens,
                                             PartKeyFn&& part_key_fn) {
     std::vector<size_t> referenced;
     for (size_t i = 0; i < parts.size(); ++i) {
@@ -788,12 +979,13 @@ struct Engine::Impl {
       memo_key += '\x1f';
       memo_key += key;
     }
-    DispatchCache& cache = dispatch_cache;
+    IndexShard& shard = *shards[sub->shard];
+    const uint64_t gen = gens[sub->shard];
     {
-      std::shared_lock lock(cache.mutex);
-      if (cache.built_generation == gen) {
-        auto it = cache.managed_join.find(memo_key);
-        if (it != cache.managed_join.end()) {
+      std::shared_lock lock(shard.cache_mutex);
+      if (shard.built_generation == gen) {
+        auto it = shard.managed_join.find(memo_key);
+        if (it != shard.managed_join.end()) {
           stats.managed_join_cache_hits.fetch_add(1, std::memory_order_relaxed);
           return it->second;
         }
@@ -801,12 +993,12 @@ struct Engine::Impl {
     }
     Label label = join_all();
     {
-      std::unique_lock lock(cache.mutex);
-      if (cache.built_generation == gen) {  // never publish across generations
-        if (cache.managed_join.size() >= kManagedJoinCacheCap) {
-          cache.managed_join.clear();
+      std::unique_lock lock(shard.cache_mutex);
+      if (EnsureCacheGenerationLocked(shard, gen)) {  // never publish across generations
+        if (shard.managed_join.size() >= kManagedJoinCacheCap) {
+          shard.managed_join.clear();
         }
-        cache.managed_join.emplace(std::move(memo_key), label);
+        shard.managed_join.emplace(std::move(memo_key), label);
       }
     }
     return label;
@@ -870,6 +1062,7 @@ struct Engine::Impl {
       PlannedDelivery d;
       d.sub_id = sub->id;
       d.unit_id = 0;
+      d.sub = sub;
       d.managed_label = inst_label;
       d.dedup_key = std::to_string(sub->id);
       d.dedup_key += '@';
@@ -885,18 +1078,18 @@ struct Engine::Impl {
   // flow cache's key rendering would cost more than the check it saves).
   void ComputeMatches(const EventPtr& master, std::vector<PlannedDelivery>* out) {
     const std::vector<Part> parts = master->SnapshotParts();
-    const uint64_t gen = dispatch_cache.generation.load(std::memory_order_acquire);
+    const GenSnapshot gens = CaptureGenerations();
     std::vector<const Part*> visible;
     visible.reserve(parts.size());
     auto lookup = [this](UnitId id) { return FindUnit(id); };
-    auto managed_label = [this, &parts, gen](const std::shared_ptr<SubscriptionRecord>& sub,
-                                             const std::shared_ptr<UnitState>& owner) {
+    auto managed_label = [this, &parts, &gens](const std::shared_ptr<SubscriptionRecord>& sub,
+                                               const std::shared_ptr<UnitState>& owner) {
       Label owner_in;
       {
         std::lock_guard<std::mutex> lock(owner->label_mutex);
         owner_in = owner->in_label;
       }
-      return ManagedInstanceLabel(sub, parts, owner_in, /*owner_key=*/nullptr, gen,
+      return ManagedInstanceLabel(sub, parts, owner_in, /*owner_key=*/nullptr, gens,
                                   [&parts](size_t i) { return LabelKey(parts[i].label); });
     };
     // One in-label fetch per candidate (parts of one candidate are checked
@@ -911,7 +1104,7 @@ struct Engine::Impl {
       }
       return PartVisible(part, cached_label);
     };
-    const auto candidates = GetCandidates(parts, gen);
+    const auto candidates = GetCandidates(parts, gens);
     for (const auto& sub : *candidates) {
       MatchCandidate(sub, parts, lookup, managed_label, part_visible, &visible, out);
     }
@@ -922,10 +1115,10 @@ struct Engine::Impl {
   // AND, through the persistent dispatch cache, across batches:
   //   * parts are snapshotted once and every distinct part label gets a
   //     batch-local id plus its canonical key string;
-  //   * candidate lists come from the cross-batch cache keyed by
+  //   * candidate lists come from the per-shard cross-batch caches keyed by
   //     index-bucket signature — a warm batch touches the subscription
   //     index not at all (one shared-lock cache probe per distinct
-  //     signature, no sort);
+  //     signature per involved shard, no sort);
   //   * unit lookups and unit input labels are resolved once per unit;
   //   * CanFlowTo runs once per distinct (part label, input label) pair
   //     EVER: the batch-local (label id, unit) memo (hits counted in
@@ -936,7 +1129,7 @@ struct Engine::Impl {
   void ComputeMatchesBatch(const std::vector<EventPtr>& masters,
                            std::vector<std::vector<PlannedDelivery>>* out) {
     const size_t n = masters.size();
-    const uint64_t gen = dispatch_cache.generation.load(std::memory_order_acquire);
+    const GenSnapshot gens = CaptureGenerations();
     // 1. Snapshot parts once; intern distinct part labels. The canonical key
     // strings live in the intern map's nodes (stable across rehash), so the
     // id -> key table can hold plain pointers.
@@ -957,28 +1150,28 @@ struct Engine::Impl {
       }
     }
 
-    // 2. Candidate list per event through the persistent cache, de-duplicated
-    // batch-locally so one batch pays at most one cache round per distinct
-    // signature (and per-event probes never re-render signature strings).
-    // With the cache disabled, events with equal signatures still share one
-    // list within the batch (the PR 1 behaviour); the persistent layer is
-    // simply bypassed.
+    // 2. Candidate list per event: keys grouped by shard, shards probed
+    // through their persistent caches, merged with the residual snapshot —
+    // de-duplicated batch-locally so one batch pays at most one probe-and-
+    // merge round per distinct full signature (and runs of one event shape,
+    // e.g. tick feeds, never re-render signature strings). With the cache
+    // disabled, events with equal signatures still share one list within
+    // the batch (the PR 1 behaviour); the persistent layer is bypassed.
     std::vector<std::shared_ptr<const CandidateList>> candidates(n);
     {
+      const std::shared_ptr<const CandidateList> residual = ResidualSnapshot();
       std::unordered_map<std::string, std::shared_ptr<const CandidateList>> local;
       std::string prev_sig;
       for (size_t i = 0; i < n; ++i) {
-        std::string sig = CandidateSignature(parts[i]);
+        std::vector<std::string> keys = CollectEventKeys(parts[i]);
+        std::string sig = SignatureOfKeys(keys);
         if (i > 0 && sig == prev_sig) {
           candidates[i] = candidates[i - 1];  // runs of one shape (tick feeds)
           continue;
         }
         auto it = local.find(sig);
         if (it == local.end()) {
-          auto list = config.use_dispatch_cache
-                          ? GetCandidatesBySignature(sig, parts[i], gen)
-                          : std::make_shared<const CandidateList>(CollectCandidates(parts[i]));
-          it = local.emplace(sig, std::move(list)).first;
+          it = local.emplace(sig, BuildCandidates(keys, residual, gens)).first;
         }
         candidates[i] = it->second;
         prev_sig = std::move(sig);
@@ -1014,7 +1207,7 @@ struct Engine::Impl {
     const bool persist_flow = config.use_dispatch_cache && security_on();
     std::vector<std::shared_ptr<const FlowSnapshot>> flow_snapshots(label_intern.size());
     if (persist_flow) {
-      FetchFlowSnapshots(label_keys, gen, &flow_snapshots);
+      FetchFlowSnapshots(label_keys, gens, &flow_snapshots);
     }
     std::vector<std::unordered_map<UnitId, bool>> flow_overlay(label_intern.size());
     auto part_visible_by_id = [&](uint32_t label_id, const Part& part,
@@ -1049,7 +1242,7 @@ struct Engine::Impl {
                              const std::shared_ptr<UnitState>& owner) {
       const std::vector<uint32_t>& ids = *current_label_ids;
       return ManagedInstanceLabel(
-          sub, *current_parts, unit_in_label(owner), /*owner_key=*/nullptr, gen,
+          sub, *current_parts, unit_in_label(owner), /*owner_key=*/nullptr, gens,
           [&](size_t i) -> const std::string& { return *label_keys[ids[i]]; });
     };
     auto batch_visible = [&](size_t p, const Part& part,
@@ -1066,7 +1259,7 @@ struct Engine::Impl {
       }
     }
     if (persist_flow) {
-      PublishFlowOverlays(label_keys, flow_overlay, gen);
+      PublishFlowOverlays(label_keys, flow_overlay, gens);
     }
   }
 
@@ -1207,18 +1400,11 @@ struct Engine::Impl {
       std::shared_ptr<UnitState> unit;
       if (next.unit_id != 0) {
         unit = FindUnit(next.unit_id);
-      } else {
-        std::shared_ptr<SubscriptionRecord> sub;
-        {
-          std::shared_lock lock(subs_mutex);
-          auto it = subs.find(next.sub_id);
-          if (it != subs.end()) {
-            sub = it->second;
-          }
-        }
-        if (sub != nullptr) {
-          unit = GetOrCreateManagedInstance(sub, next.managed_label);
-        }
+      } else if (next.sub != nullptr &&
+                 !next.sub->unregistered.load(std::memory_order_acquire)) {
+        // Managed: the delivery carries its record; the flag replaces the
+        // registry lookup (an unsubscribed record must not instantiate).
+        unit = GetOrCreateManagedInstance(next.sub, next.managed_label);
       }
       if (unit == nullptr) {
         // Target vanished; release the slot and keep advancing.
@@ -1307,33 +1493,57 @@ struct Engine::Impl {
     const auto keys =
         config.use_subscription_index ? filter.CollectIndexKeys()
                                       : std::vector<std::pair<std::string, std::string>>();
-    {
-      std::unique_lock lock(subs_mutex);
-      subs.emplace(record->id, record);
-      if (keys.empty()) {
-        residual_subs.push_back(record);
-      } else {
-        // Index under the currently least-crowded equality key: a cheap
-        // selectivity heuristic that puts `symbol == 'X'` ahead of
-        // `type == 'tick'` once symbols outnumber types.
-        size_t best = 0;
-        size_t best_size = SIZE_MAX;
-        for (size_t i = 0; i < keys.size(); ++i) {
-          const auto it = index.find(IndexKeyString(keys[i].first, keys[i].second));
-          const size_t bucket = it == index.end() ? 0 : it->second.size();
-          if (bucket < best_size) {
-            best_size = bucket;
-            best = i;
-          }
+    if (keys.empty()) {
+      // Residual: matched against every event through the copy-on-write
+      // snapshot, which every dispatch re-reads — no generation bump, no
+      // cache sweep anywhere. The managed-join memo still needs a home
+      // shard (round-robin by id).
+      record->shard = static_cast<uint32_t>(record->id % shard_count);
+      std::unique_lock lock(residual_mutex);
+      auto updated = residual_subs != nullptr ? std::make_shared<CandidateList>(*residual_subs)
+                                              : std::make_shared<CandidateList>();
+      // Sorted insert: ids are assigned before this lock, so two concurrent
+      // residual subscribes may arrive here out of id order.
+      const auto pos = std::lower_bound(updated->begin(), updated->end(), record,
+                                        [](const auto& a, const auto& b) { return a->id < b->id; });
+      updated->insert(pos, record);
+      residual_subs = std::move(updated);
+      has_residuals.store(true, std::memory_order_release);
+    } else {
+      // Index under the currently least-crowded equality key: a cheap
+      // selectivity heuristic that puts `symbol == 'X'` ahead of
+      // `type == 'tick'` once symbols outnumber types. Bucket sizes are
+      // read shard by shard (advisory only; the heuristic tolerates races).
+      size_t best = 0;
+      size_t best_size = SIZE_MAX;
+      std::vector<std::string> rendered;
+      rendered.reserve(keys.size());
+      for (size_t i = 0; i < keys.size(); ++i) {
+        rendered.push_back(IndexKeyString(keys[i].first, keys[i].second));
+        IndexShard& shard = *shards[ShardOfKey(rendered[i])];
+        size_t bucket = 0;
+        {
+          std::shared_lock lock(shard.subs_mutex);
+          const auto it = shard.index.find(rendered[i]);
+          bucket = it == shard.index.end() ? 0 : it->second.size();
         }
-        record->index_key = IndexKeyString(keys[best].first, keys[best].second);
-        index[record->index_key].push_back(record);
+        if (bucket < best_size) {
+          best_size = bucket;
+          best = i;
+        }
       }
-      dispatch_cache.generation.fetch_add(1, std::memory_order_release);
+      record->index_key = std::move(rendered[best]);
+      record->shard = static_cast<uint32_t>(ShardOfKey(record->index_key));
+      IndexShard& shard = *shards[record->shard];
+      std::unique_lock lock(shard.subs_mutex);
+      shard.index[record->index_key].push_back(record);
+      // Inside the shard's subs_mutex, after the mutation (generation
+      // handshake; see GetShardCandidates). Only this shard goes cold.
+      shard.generation.fetch_add(1, std::memory_order_release);
     }
     auto owner_unit = FindUnit(owner);
     if (owner_unit != nullptr) {
-      owner_unit->owned_subs.push_back(record->id);
+      owner_unit->owned_subs.push_back(record);
     }
     return record->id;
   }
@@ -1426,6 +1636,16 @@ size_t Engine::UnitCount() const {
 }
 
 size_t Engine::ManagedInstanceCount() const { return impl_->managed_instance_count.load(); }
+
+size_t Engine::index_shard_count() const { return impl_->shard_count; }
+
+size_t Engine::DebugIndexShardOfKey(const std::string& name, const std::string& value) const {
+  return impl_->ShardOfKey(IndexKeyString(name, value));
+}
+
+size_t Engine::DebugFlowShardOfLabel(const Label& label) const {
+  return impl_->ShardOfKey(LabelKey(label));
+}
 
 // ---------------------------------------------------------------------------
 // UnitContext — the Table 1 API
@@ -1689,12 +1909,14 @@ Result<SubscriptionId> UnitContext::SubscribeManaged(UnitFactory factory, const 
 Status UnitContext::Unsubscribe(SubscriptionId subscription) {
   Engine::Impl* impl = engine_->impl_.get();
   DEFCON_RETURN_IF_ERROR(impl->CheckApi(state_, ApiTarget::kSubscribe));
-  auto it = std::find(state_->owned_subs.begin(), state_->owned_subs.end(), subscription);
+  auto it = std::find_if(state_->owned_subs.begin(), state_->owned_subs.end(),
+                         [subscription](const auto& sub) { return sub->id == subscription; });
   if (it == state_->owned_subs.end()) {
     return NotFound("unsubscribe: not this unit's subscription");
   }
+  const std::shared_ptr<SubscriptionRecord> record = *it;
   state_->owned_subs.erase(it);
-  impl->UnregisterSubscription(subscription);
+  impl->UnregisterSubscription(record);
   return OkStatus();
 }
 
@@ -1787,8 +2009,10 @@ Status UnitContext::ChangeInOutLabel(LabelComponent component, LabelOp op, Tag t
     in_set.Erase(tag);
     out_set.Erase(tag);
   }
-  // Cached CanFlowTo verdicts key on this unit's input label: invalidate.
-  impl->dispatch_cache.generation.fetch_add(1, std::memory_order_release);
+  // Cached CanFlowTo verdicts key on this unit's input label, and flow
+  // snapshots are spread across every shard by label hash: invalidate all
+  // shards (label changes are rare; subscription churn stays shard-local).
+  impl->BumpAllGenerations();
   return OkStatus();
 }
 

@@ -40,13 +40,22 @@ struct EngineConfig {
   // Persistent dispatch cache (PR 2): candidate lists per index-bucket
   // signature, per-part-label CanFlowTo verdict snapshots and
   // managed-subscription label joins survive across dispatches/batches.
-  // All entries are invalidated by one generation counter, bumped on every
-  // subscribe/unsubscribe AND on every input-label change (flow verdicts
-  // depend on the subscriber's current input label — any new path that
-  // mutates an input label must bump the generation too). Disable to force
-  // the uncached match path (debugging aid; the delivery sets must be
-  // byte-identical).
+  // Entries are invalidated by per-shard generation counters, bumped on
+  // every subscribe/unsubscribe in the owning shard AND (for every shard) on
+  // every input-label change (flow verdicts depend on the subscriber's
+  // current input label — any new path that mutates an input label must bump
+  // the generations too). Disable to force the uncached match path
+  // (debugging aid; the delivery sets must be byte-identical).
   bool use_dispatch_cache = true;
+  // Number of independent shards for the subscription index and the dispatch
+  // cache. Each shard owns its slice of the equality index, its candidate /
+  // flow-snapshot / managed-join caches, its mutexes and its generation
+  // counter, so concurrent PublishBatch calls probing different filter keys
+  // do not serialise, and subscription churn in one shard does not sweep
+  // warm cache state in the others.
+  //   0 (default) => one shard per hardware thread (capped at 64);
+  //   1           => the pre-sharding single-index behaviour.
+  size_t index_shards = 0;
 };
 
 // Monotonic counters exposed for tests and benchmarks. Trusted-side only —
@@ -130,6 +139,16 @@ class Engine {
   bool UnitHasPrivilege(UnitId id, Tag tag, Privilege privilege) const;
   size_t UnitCount() const;
   size_t ManagedInstanceCount() const;
+
+  // Sharding introspection (trusted side; tests assert churn locality with
+  // these). `index_shard_count` is the resolved shard count (config 0 =>
+  // hardware concurrency). `DebugIndexShardOfKey` is the shard owning the
+  // equality-index bucket for a `name == "value"` filter key;
+  // `DebugFlowShardOfLabel` is the shard whose flow-snapshot store holds
+  // CanFlowTo verdicts for parts at `label`.
+  size_t index_shard_count() const;
+  size_t DebugIndexShardOfKey(const std::string& name, const std::string& value) const;
+  size_t DebugFlowShardOfLabel(const Label& label) const;
 
  private:
   friend class UnitContext;

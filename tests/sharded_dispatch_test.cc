@@ -1,0 +1,411 @@
+// PR-3 sharded subscription index + dispatch cache. Three properties are
+// load-bearing:
+//   1. Exactness: for any shard count, cached dispatch produces
+//      byte-identical per-receiver transcripts to the uncached path, in all
+//      four security modes, through subscription churn and managed
+//      subscriptions (the sharding must be invisible except in cost).
+//   2. Churn locality: subscribing/unsubscribing in one shard must not
+//      evict cached candidate lists or flow snapshots whose keys hash to
+//      other shards (asserted through the engine's hit/miss/invalidation
+//      counters and the DebugIndexShardOfKey/DebugFlowShardOfLabel hooks).
+//   3. Concurrency: subscription churn racing pooled batch publishes is
+//      crash-, deadlock- and TSan-clean (the CI TSan job repeats the stress
+//      test here).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/api.h"
+#include "tests/test_util.h"
+
+namespace defcon {
+namespace {
+
+constexpr SecurityMode kAllModes[] = {SecurityMode::kNoSecurity, SecurityMode::kLabels,
+                                      SecurityMode::kLabelsClone,
+                                      SecurityMode::kLabelsIsolation};
+
+// Appends "name=value" for every part the receiving unit can see, in
+// delivery order: a byte-exact transcript of what the unit observed.
+TestUnit::EventFn Collector(std::vector<std::string>* log) {
+  return [log](UnitContext& ctx, EventHandle e, SubscriptionId) {
+    auto parts = ctx.ReadAllParts(e);
+    if (!parts.ok()) {
+      return;
+    }
+    for (const NamedPartView& view : *parts) {
+      log->push_back(view.name + "=" + view.data.ToString());
+    }
+  };
+}
+
+// The scripted scenario: three rounds of 6 mixed-key, mixed-label events
+// (topics alpha/beta/gamma spread the candidate probes over several index
+// buckets — and, at shards > 1, over several shards; odd payloads are inside
+// the {p} compartment; every third event carries an "order" part feeding a
+// residual managed subscription). Subscription churn between rounds:
+//   round 1: alice(alpha) + carol(alpha, in-compartment) + mallory(gamma)
+//   (late subscribes to gamma)      <- must invalidate the gamma shard
+//   round 2: all of the above + late
+//   (mallory unsubscribes)          <- must invalidate the gamma shard
+//   round 3: mallory must see nothing new
+struct ScenarioLogs {
+  std::vector<std::string> alice;
+  std::vector<std::string> carol;
+  std::vector<std::string> late;
+  std::vector<std::string> mallory;
+  EngineStatsSnapshot stats;
+};
+
+ScenarioLogs RunShardedScenario(SecurityMode mode, bool use_batch, bool use_cache,
+                                size_t index_shards) {
+  ScenarioLogs logs;
+  EngineConfig config = ManualConfig(mode);
+  config.use_dispatch_cache = use_cache;
+  config.index_shards = index_shards;
+  Engine engine(config);
+  const Tag p = engine.tag_store().CreateTag("p");
+
+  auto subscribe_topic = [](const char* topic) {
+    return [topic](UnitContext& ctx) {
+      ASSERT_TRUE(ctx.Subscribe(Filter::Eq("topic", Value::OfString(topic))).ok());
+    };
+  };
+  engine.AddUnit("alice",
+                 std::make_unique<TestUnit>(subscribe_topic("alpha"), Collector(&logs.alice)));
+  engine.AddUnit("carol",
+                 std::make_unique<TestUnit>(subscribe_topic("alpha"), Collector(&logs.carol)),
+                 Label({p}, {}));
+  SubscriptionId mallory_sub = 0;
+  const UnitId mallory_id = engine.AddUnit(
+      "mallory", std::make_unique<TestUnit>(
+                     [&mallory_sub](UnitContext& ctx) {
+                       auto sub = ctx.Subscribe(Filter::Eq("topic", Value::OfString("gamma")));
+                       ASSERT_TRUE(sub.ok());
+                       mallory_sub = *sub;
+                     },
+                     Collector(&logs.mallory)));
+  const UnitId late_id =
+      engine.AddUnit("late", std::make_unique<TestUnit>(nullptr, Collector(&logs.late)));
+  engine.AddUnit("manager", std::make_unique<TestUnit>([](UnitContext& ctx) {
+    ASSERT_TRUE(ctx.SubscribeManaged([] { return std::make_unique<TestUnit>(); },
+                                     Filter::Exists("order"))
+                    .ok());
+  }));
+  const UnitId publisher = engine.AddUnit("publisher", std::make_unique<TestUnit>());
+  engine.Start();
+  engine.RunUntilIdle();
+
+  auto publish_round = [&](int round) {
+    engine.InjectTurn(publisher, [p, round, use_batch](UnitContext& ctx) {
+      static const char* kTopics[] = {"alpha", "beta", "gamma"};
+      std::vector<EventHandle> handles;
+      for (int i = 0; i < 6; ++i) {
+        const Label payload_label = (i % 2 == 0) ? Label() : Label({p}, {});
+        EventBuilder builder = ctx.BuildEvent();
+        builder.Part("topic", Value::OfString(kTopics[i % 3]))
+            .Part(payload_label, "payload", Value::OfInt(round * 100 + i));
+        if (i % 3 == 0) {
+          builder.Part(payload_label, "order", Value::OfInt(round * 10 + i));
+        }
+        auto handle = builder.Build();
+        ASSERT_TRUE(handle.ok());
+        handles.push_back(*handle);
+      }
+      if (use_batch) {
+        ASSERT_TRUE(ctx.PublishBatch(handles).ok());
+      } else {
+        for (const EventHandle handle : handles) {
+          ASSERT_TRUE(ctx.Publish(handle).ok());
+        }
+      }
+    });
+    engine.RunUntilIdle();
+  };
+
+  publish_round(1);
+  engine.InjectTurn(late_id, [](UnitContext& ctx) {
+    ASSERT_TRUE(ctx.Subscribe(Filter::Eq("topic", Value::OfString("gamma"))).ok());
+  });
+  engine.RunUntilIdle();
+  publish_round(2);
+  engine.InjectTurn(mallory_id, [&mallory_sub](UnitContext& ctx) {
+    ASSERT_TRUE(ctx.Unsubscribe(mallory_sub).ok());
+  });
+  engine.RunUntilIdle();
+  publish_round(3);
+
+  logs.stats = engine.stats();
+  return logs;
+}
+
+// Sharded dispatch (1 and 4 shards) must be byte-identical to the uncached
+// path, mode by mode, for both the per-event and the batched publish path.
+TEST(ShardedDispatch, TranscriptsMatchUncachedAtAllShardCounts) {
+  for (SecurityMode mode : kAllModes) {
+    for (bool use_batch : {false, true}) {
+      SCOPED_TRACE(std::string(SecurityModeName(mode)) +
+                   (use_batch ? " batch" : " per-event"));
+      const ScenarioLogs uncached =
+          RunShardedScenario(mode, use_batch, /*use_cache=*/false, /*index_shards=*/4);
+      for (size_t shards : {size_t{1}, size_t{4}}) {
+        SCOPED_TRACE("shards=" + std::to_string(shards));
+        const ScenarioLogs cached =
+            RunShardedScenario(mode, use_batch, /*use_cache=*/true, shards);
+        EXPECT_EQ(cached.alice, uncached.alice);
+        EXPECT_EQ(cached.carol, uncached.carol);
+        EXPECT_EQ(cached.late, uncached.late);
+        EXPECT_EQ(cached.mallory, uncached.mallory);
+        EXPECT_EQ(cached.stats.deliveries, uncached.stats.deliveries);
+        EXPECT_EQ(cached.stats.managed_instances_created,
+                  uncached.stats.managed_instances_created);
+        // The scenario exercised what it claims to: all readers saw events,
+        // churn changed delivery sets, and the cache did real work.
+        EXPECT_FALSE(cached.alice.empty());
+        EXPECT_FALSE(cached.late.empty());
+        EXPECT_LT(cached.late.size(), cached.alice.size());
+        EXPECT_LT(cached.mallory.size(), cached.alice.size());
+        EXPECT_GT(cached.stats.candidate_cache_misses, 0u);
+        EXPECT_GT(cached.stats.dispatch_cache_invalidations, 0u);
+      }
+      EXPECT_EQ(uncached.stats.candidate_cache_hits, 0u);
+      EXPECT_EQ(uncached.stats.flow_cache_hits, 0u);
+    }
+  }
+}
+
+// Finds a string value v such that ShardOf(IndexKey(name, v)) == `want`
+// (and != every shard in `avoid`).
+std::string FindKeyInShard(const Engine& engine, const std::string& name, size_t want) {
+  for (int i = 0; i < 1024; ++i) {
+    const std::string value = "k" + std::to_string(i);
+    if (engine.DebugIndexShardOfKey(name, value) == want) {
+      return value;
+    }
+  }
+  ADD_FAILURE() << "no key found hashing to shard " << want;
+  return "";
+}
+
+// Subscribing/unsubscribing in one shard must not evict cached candidate
+// lists whose keys hash to other shards: warm entries keep HITTING, the
+// miss counter stays flat, and exactly the churned shard is swept.
+TEST(ShardedDispatch, ChurnLeavesOtherShardsCandidatesWarm) {
+  EngineConfig config = ManualConfig(SecurityMode::kLabels);
+  config.index_shards = 4;
+  Engine engine(config);
+  ASSERT_EQ(engine.index_shard_count(), 4u);
+
+  // Two inbox keys in different shards, plus a churn key colocated with A.
+  const std::string key_a = FindKeyInShard(engine, "inbox", 0);
+  const std::string key_b = FindKeyInShard(engine, "inbox", 1);
+  const std::string churn_key = FindKeyInShard(engine, "churn", 0);
+  ASSERT_FALSE(key_a.empty());
+  ASSERT_FALSE(key_b.empty());
+  ASSERT_FALSE(churn_key.empty());
+  ASSERT_EQ(engine.DebugIndexShardOfKey("churn", churn_key),
+            engine.DebugIndexShardOfKey("inbox", key_a));
+  ASSERT_NE(engine.DebugIndexShardOfKey("churn", churn_key),
+            engine.DebugIndexShardOfKey("inbox", key_b));
+
+  auto subscribe_inbox = [](const std::string& key) {
+    return [key](UnitContext& ctx) {
+      ASSERT_TRUE(ctx.Subscribe(Filter::Eq("inbox", Value::OfString(key))).ok());
+    };
+  };
+  engine.AddUnit("ra", std::make_unique<TestUnit>(subscribe_inbox(key_a)));
+  engine.AddUnit("rb", std::make_unique<TestUnit>(subscribe_inbox(key_b)));
+  const UnitId churner = engine.AddUnit("churner", std::make_unique<TestUnit>());
+  const UnitId publisher = engine.AddUnit("publisher", std::make_unique<TestUnit>());
+  engine.Start();
+  engine.RunUntilIdle();
+
+  auto publish_to = [&](const std::string& key) {
+    engine.InjectTurn(publisher, [key](UnitContext& ctx) {
+      ASSERT_TRUE(ctx.BuildEvent().Part("inbox", Value::OfString(key)).Publish().ok());
+    });
+    engine.RunUntilIdle();
+  };
+
+  // Warm both shards' candidate caches.
+  publish_to(key_a);
+  publish_to(key_b);
+  publish_to(key_a);
+  publish_to(key_b);
+  const EngineStatsSnapshot warm = engine.stats();
+  EXPECT_EQ(warm.candidate_cache_misses, 2u);
+  EXPECT_EQ(warm.candidate_cache_hits, 2u);
+
+  // Churn confined to shard(A): subscribe + unsubscribe on churn_key.
+  engine.InjectTurn(churner, [&churn_key](UnitContext& ctx) {
+    auto sub = ctx.Subscribe(Filter::Eq("churn", Value::OfString(churn_key)));
+    ASSERT_TRUE(sub.ok());
+    ASSERT_TRUE(ctx.Unsubscribe(*sub).ok());
+  });
+  engine.RunUntilIdle();
+
+  // Shard(B) stayed warm: another B publish is a pure hit.
+  publish_to(key_b);
+  const EngineStatsSnapshot after_b = engine.stats();
+  EXPECT_EQ(after_b.candidate_cache_misses, warm.candidate_cache_misses);
+  EXPECT_EQ(after_b.candidate_cache_hits, warm.candidate_cache_hits + 1);
+  EXPECT_EQ(after_b.dispatch_cache_invalidations, warm.dispatch_cache_invalidations);
+
+  // Shard(A) went cold: the next A publish rebuilds (exactly one sweep).
+  publish_to(key_a);
+  const EngineStatsSnapshot after_a = engine.stats();
+  EXPECT_EQ(after_a.candidate_cache_misses, warm.candidate_cache_misses + 1);
+  EXPECT_EQ(after_a.candidate_cache_hits, warm.candidate_cache_hits + 1);
+  EXPECT_EQ(after_a.dispatch_cache_invalidations, warm.dispatch_cache_invalidations + 1);
+}
+
+// Flow snapshots live in the shard of their part-label key: churn in a
+// different shard must leave them warm (no new match-path label checks).
+TEST(ShardedDispatch, ChurnLeavesOtherShardsFlowSnapshotsWarm) {
+  EngineConfig config = ManualConfig(SecurityMode::kLabels);
+  config.index_shards = 4;
+  Engine engine(config);
+  const Tag p = engine.tag_store().CreateTag("p");
+
+  const size_t flow_shard_p = engine.DebugFlowShardOfLabel(Label({p}, {}));
+  const size_t flow_shard_public = engine.DebugFlowShardOfLabel(Label());
+  // A churn key whose index shard is neither label's flow shard.
+  std::string churn_key;
+  for (int i = 0; i < 1024 && churn_key.empty(); ++i) {
+    const std::string value = "c" + std::to_string(i);
+    const size_t s = engine.DebugIndexShardOfKey("churn", value);
+    if (s != flow_shard_p && s != flow_shard_public) {
+      churn_key = value;
+    }
+  }
+  ASSERT_FALSE(churn_key.empty());
+
+  // The reader never reads parts, so every label check is from the match
+  // path — the path the flow snapshots are supposed to silence.
+  engine.AddUnit("reader", std::make_unique<TestUnit>([](UnitContext& ctx) {
+                   ASSERT_TRUE(ctx.Subscribe(Filter::Exists("payload")).ok());
+                 }),
+                 Label({p}, {}));
+  const UnitId churner = engine.AddUnit("churner", std::make_unique<TestUnit>());
+  const UnitId publisher = engine.AddUnit("publisher", std::make_unique<TestUnit>());
+  engine.Start();
+  engine.RunUntilIdle();
+
+  auto publish_batch = [&] {
+    engine.InjectTurn(publisher, [p](UnitContext& ctx) {
+      std::vector<EventHandle> handles;
+      for (int i = 0; i < 8; ++i) {
+        auto handle = ctx.BuildEvent()
+                          .Part(Label({p}, {}), "payload", Value::OfInt(i))
+                          .Part("type", Value::OfString("tick"))
+                          .Build();
+        ASSERT_TRUE(handle.ok());
+        handles.push_back(*handle);
+      }
+      ASSERT_TRUE(ctx.PublishBatch(handles).ok());
+    });
+    engine.RunUntilIdle();
+  };
+
+  publish_batch();  // cold: computes and publishes the verdicts
+  publish_batch();  // warm: all verdicts from the flow snapshots
+  const EngineStatsSnapshot warm = engine.stats();
+
+  engine.InjectTurn(churner, [&churn_key](UnitContext& ctx) {
+    auto sub = ctx.Subscribe(Filter::Eq("churn", Value::OfString(churn_key)));
+    ASSERT_TRUE(sub.ok());
+    ASSERT_TRUE(ctx.Unsubscribe(*sub).ok());
+  });
+  engine.RunUntilIdle();
+
+  publish_batch();  // flow shards untouched by the churn: still warm
+  const EngineStatsSnapshot after = engine.stats();
+  EXPECT_EQ(after.label_checks, warm.label_checks);
+  EXPECT_GT(after.flow_cache_hits, warm.flow_cache_hits);
+}
+
+// Concurrent subscription churn (across several shards) racing pooled batch
+// publishes: no crash, no deadlock, no lost delivery to the stable
+// subscriber. This is the test the CI TSan job repeats with --gtest_repeat.
+TEST(ShardedDispatch, ConcurrentChurnVsPublishStress) {
+  EngineConfig config;
+  config.mode = SecurityMode::kLabels;
+  config.num_threads = 2;
+  config.index_shards = 4;
+  Engine engine(config);
+  auto* receiver = new TestUnit([](UnitContext& ctx) {
+    ASSERT_TRUE(ctx.Subscribe(Filter::Eq("type", Value::OfString("evt"))).ok());
+  });
+  engine.AddUnit("receiver", std::unique_ptr<Unit>(receiver));
+  std::vector<UnitId> churners;
+  for (int c = 0; c < 3; ++c) {
+    churners.push_back(engine.AddUnit("churn" + std::to_string(c),
+                                      std::make_unique<TestUnit>()));
+  }
+  const UnitId pub_a = engine.AddUnit("pub_a", std::make_unique<TestUnit>());
+  const UnitId pub_b = engine.AddUnit("pub_b", std::make_unique<TestUnit>());
+  engine.Start();
+  engine.WaitIdle();
+
+  auto publish_turn = [](UnitContext& ctx) {
+    std::vector<EventHandle> handles;
+    for (int i = 0; i < 4; ++i) {
+      auto handle = ctx.BuildEvent()
+                        .Part("type", Value::OfString("evt"))
+                        .Part("seq", Value::OfInt(i))
+                        .Build();
+      ASSERT_TRUE(handle.ok());
+      handles.push_back(*handle);
+    }
+    ASSERT_TRUE(ctx.PublishBatch(handles).ok());
+  };
+  for (int round = 0; round < 50; ++round) {
+    for (size_t c = 0; c < churners.size(); ++c) {
+      // Distinct keys per churner spread the churn over several shards.
+      const std::string key = "key" + std::to_string(c) + "_" + std::to_string(round % 7);
+      engine.InjectTurn(churners[c], [key](UnitContext& ctx) {
+        auto sub = ctx.Subscribe(Filter::Eq("topic", Value::OfString(key)));
+        ASSERT_TRUE(sub.ok());
+        ASSERT_TRUE(ctx.Unsubscribe(*sub).ok());
+      });
+    }
+    engine.InjectTurn(pub_a, publish_turn);
+    engine.InjectTurn(pub_b, publish_turn);
+  }
+  engine.WaitIdle();
+  EXPECT_EQ(receiver->delivery_count(), 2u * 50u * 4u);
+  engine.Stop();
+}
+
+// The 1-shard escape hatch and the hardware default both resolve sanely.
+TEST(ShardedDispatch, ShardCountResolution) {
+  {
+    EngineConfig config = ManualConfig();
+    config.index_shards = 1;
+    Engine engine(config);
+    EXPECT_EQ(engine.index_shard_count(), 1u);
+    EXPECT_EQ(engine.DebugIndexShardOfKey("any", "key"), 0u);
+  }
+  {
+    EngineConfig config = ManualConfig();
+    config.index_shards = 0;  // default: hardware concurrency, >= 1
+    Engine engine(config);
+    EXPECT_GE(engine.index_shard_count(), 1u);
+  }
+  {
+    EngineConfig config = ManualConfig();
+    config.index_shards = 7;
+    Engine engine(config);
+    EXPECT_EQ(engine.index_shard_count(), 7u);
+    bool all_in_range = true;
+    for (int i = 0; i < 64; ++i) {
+      all_in_range &= engine.DebugIndexShardOfKey("k", std::to_string(i)) < 7u;
+    }
+    EXPECT_TRUE(all_in_range);
+  }
+}
+
+}  // namespace
+}  // namespace defcon
