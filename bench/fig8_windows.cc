@@ -1,0 +1,167 @@
+// Figure 8 (windows): throughput of the trading platform with the CEP
+// operator layer engaged, as a function of the VWAP window size, for the
+// four security configurations.
+//
+// The workload is the Fig. 5 trading pipeline plus:
+//   * per-symbol standalone windowed VWAP monitors over the endorsed tick
+//     feed (src/cep/ WindowAggregateUnit, tumbling count windows);
+//   * the Regulator's windowed VWAP republish (RegulatorOptions::vwap_window)
+//     instead of the per-trade sampling of step 9.
+// Derived aggregates are emitted at the join of their windows' labels
+// through the CEP gate, so the run also counts gate-suppressed emissions
+// (expected 0 here — ticks and fills are public/s-endorsed).
+//
+// --json writes a google-benchmark-shaped summary ({"benchmarks": [...]})
+// consumed by the CI perf smoke gate (structural validation + artifact).
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/workload.h"
+#include "src/base/flags.h"
+#include "src/base/table.h"
+
+namespace defcon {
+namespace {
+
+struct RunRow {
+  std::string name;
+  double events_per_sec = 0;
+  uint64_t cep_emissions = 0;
+  uint64_t cep_blocked = 0;
+  uint64_t ticks_republished = 0;
+  uint64_t trades = 0;
+};
+
+int Main(int argc, char** argv) {
+  int64_t ticks = 12000;
+  int64_t batch = 2000;
+  int64_t symbols = 32;
+  int64_t traders = 64;
+  int64_t threads = 0;
+  int64_t seed = 7;
+  int64_t tick_batch = 16;
+  int64_t index_shards = 0;
+  int64_t monitors = 32;
+  std::string window_list = "8,32,128";
+  std::string json_path;
+  FlagSet flags;
+  flags.Register("ticks", &ticks, "ticks replayed per configuration");
+  flags.Register("batch", &batch, "ticks per throughput window");
+  flags.Register("symbols", &symbols, "symbol universe size");
+  flags.Register("traders", &traders, "trader count");
+  flags.Register("threads", &threads, "engine worker threads (0 = single-threaded pump)");
+  flags.Register("seed", &seed, "workload seed");
+  flags.Register("tick_batch", &tick_batch, "ticks per PublishBatch (API v2 batched dispatch)");
+  flags.Register("index_shards", &index_shards,
+                 "subscription-index/dispatch-cache shards (0 = hardware, 1 = unsharded)");
+  flags.Register("monitors", &monitors, "standalone windowed VWAP monitor units");
+  flags.Register("windows", &window_list, "comma-separated VWAP window sizes (ticks per window)");
+  flags.Register("json", &json_path, "write a google-benchmark-shaped JSON summary here");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+
+  std::vector<size_t> windows;
+  size_t start = 0;
+  while (start < window_list.size()) {
+    size_t comma = window_list.find(',', start);
+    if (comma == std::string::npos) {
+      comma = window_list.size();
+    }
+    const std::string token = window_list.substr(start, comma - start);
+    start = comma + 1;
+    if (token.empty()) {
+      continue;
+    }
+    if (token.find_first_not_of("0123456789") != std::string::npos) {
+      std::fprintf(stderr, "--windows: '%s' is not a window size\n", token.c_str());
+      return 1;
+    }
+    windows.push_back(static_cast<size_t>(std::stoul(token)));
+  }
+  if (windows.empty()) {
+    std::fprintf(stderr, "--windows: no window sizes given\n");
+    return 1;
+  }
+
+  std::printf("Figure 8 (windows): trading throughput with the CEP operator layer\n");
+  std::printf("(%lld VWAP monitors, regulator windowed republish, %lld ticks per point)\n\n",
+              static_cast<long long>(monitors), static_cast<long long>(ticks));
+
+  const SecurityMode modes[] = {SecurityMode::kNoSecurity, SecurityMode::kLabels,
+                                SecurityMode::kLabelsClone, SecurityMode::kLabelsIsolation};
+  Table table({"window", "mode", "kev/s", "cep emissions", "gate blocked", "vwap ticks",
+               "trades"});
+  std::vector<RunRow> rows;
+  for (size_t window : windows) {
+    for (SecurityMode mode : modes) {
+      WorkloadConfig config;
+      config.mode = mode;
+      config.traders = static_cast<size_t>(traders);
+      config.symbols = static_cast<size_t>(symbols);
+      config.seed = static_cast<uint64_t>(seed);
+      config.ticks = static_cast<size_t>(ticks);
+      config.batch = static_cast<size_t>(batch);
+      config.engine_threads = static_cast<size_t>(threads);
+      config.tick_batch = static_cast<size_t>(tick_batch);
+      config.index_shards = static_cast<size_t>(index_shards);
+      config.vwap_window = window;
+      config.vwap_monitors = static_cast<size_t>(monitors);
+      config.vwap_monitor_window = window;
+      const WorkloadResult result = RunTradingWorkload(config);
+
+      RunRow row;
+      row.name = std::string("fig8_windows/mode=") + SecurityModeName(mode) +
+                 "/window=" + std::to_string(window);
+      row.events_per_sec = result.throughput_samples.Median();
+      row.cep_emissions = result.cep_emissions;
+      row.cep_blocked = result.cep_blocked;
+      row.ticks_republished = result.ticks_republished;
+      row.trades = result.trades;
+      rows.push_back(row);
+      table.AddRow({Table::Int(static_cast<int64_t>(window)), SecurityModeName(mode),
+                    Table::Num(row.events_per_sec / 1000.0, 1),
+                    Table::Int(static_cast<int64_t>(row.cep_emissions)),
+                    Table::Int(static_cast<int64_t>(row.cep_blocked)),
+                    Table::Int(static_cast<int64_t>(row.ticks_republished)),
+                    Table::Int(static_cast<int64_t>(row.trades))});
+    }
+  }
+  table.RenderText(std::cout);
+  std::printf(
+      "\nExpected shape: smaller windows emit more derived events and cost more\n"
+      "throughput; gate-blocked stays 0 (public fills, s-endorsed republish).\n");
+
+  if (!json_path.empty()) {
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(out, "{\n  \"benchmarks\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const RunRow& row = rows[i];
+      std::fprintf(out,
+                   "    {\"name\": \"%s\", \"events_per_sec\": %.1f, "
+                   "\"cep_emissions\": %llu, \"cep_blocked\": %llu, "
+                   "\"ticks_republished\": %llu, \"trades\": %llu}%s\n",
+                   row.name.c_str(), row.events_per_sec,
+                   static_cast<unsigned long long>(row.cep_emissions),
+                   static_cast<unsigned long long>(row.cep_blocked),
+                   static_cast<unsigned long long>(row.ticks_republished),
+                   static_cast<unsigned long long>(row.trades),
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("JSON summary written to %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace defcon
+
+int main(int argc, char** argv) { return defcon::Main(argc, argv); }

@@ -4,6 +4,10 @@
 // Figs. 5 and 6 plus the BENCH_dispatch.json trajectory.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <memory>
+
+#include "src/base/clock.h"
 #include "src/core/api.h"
 
 namespace defcon {
@@ -302,6 +306,110 @@ BENCHMARK(BM_ContendedMultiPublisher)
     ->ArgsProduct({{1, 2, 4, 8}, {32}})
     ->UseRealTime()
     ->MeasureProcessCPUTime();
+
+// ---------------------------------------------------------------------------
+// Paired A/B mode. Host load on this container swings absolute timings by
+// ±15-20%, so comparing two configurations from two separate process runs
+// cannot tell a real 10% regression from drift. Here the two configurations
+// alternate within ONE process: every iteration times the same work on
+// engine A then engine B back-to-back, under (nearly) the same instantaneous
+// host load, and the reported statistic is the MEDIAN OF PER-PAIR RATIOS —
+// drift slower than one pair cancels out of every ratio. Counters:
+//   ab_ratio_med   — median of (B ns / A ns) per pair; ~1.0 = parity,
+//                    > 1.0 = B slower than A;
+//   a_med_ns/b_med_ns — median absolute per-side times (context only).
+// ---------------------------------------------------------------------------
+
+struct ABEngine {
+  std::unique_ptr<Engine> engine;
+  BatchPublisherUnit* publisher = nullptr;
+  UnitId pub_id = 0;
+};
+
+// Same population as RunBatchPublishBenchmark: 4 in-compartment receivers
+// that deliver, 96 outside candidates the label checks filter out.
+ABEngine MakeABEngine(const EngineConfig& config) {
+  ABEngine ab;
+  ab.engine = std::make_unique<Engine>(config);
+  const Tag compartment = ab.engine->CreateTag("compartment");
+  for (int i = 0; i < 4; ++i) {
+    ab.engine->AddUnit("in" + std::to_string(i), std::make_unique<CountingUnit>(),
+                       Label({compartment}, {}));
+  }
+  for (int i = 0; i < 96; ++i) {
+    ab.engine->AddUnit("out" + std::to_string(i), std::make_unique<CountingUnit>());
+  }
+  ab.publisher = new BatchPublisherUnit(compartment);
+  ab.pub_id = ab.engine->AddUnit("publisher", std::unique_ptr<Unit>(ab.publisher));
+  ab.engine->Start();
+  ab.engine->RunUntilIdle();
+  return ab;
+}
+
+double MedianOf(std::vector<double> v) {
+  if (v.empty()) {
+    return 0.0;
+  }
+  const size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<ptrdiff_t>(mid), v.end());
+  return v[mid];
+}
+
+void RunPairedAB(benchmark::State& state, EngineConfig config_a, EngineConfig config_b) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  ABEngine a = MakeABEngine(config_a);
+  ABEngine b = MakeABEngine(config_b);
+  auto run_once = [batch](ABEngine& e) {
+    const int64_t start = MonotonicNowNs();
+    e.engine->InjectTurn(e.pub_id, [publisher = e.publisher, batch](UnitContext& ctx) {
+      (void)publisher->PublishPings(ctx, batch);
+    });
+    e.engine->RunUntilIdle();
+    return static_cast<double>(MonotonicNowNs() - start);
+  };
+  // One warmup pair outside the measurement (cold caches would bias side A).
+  run_once(a);
+  run_once(b);
+  std::vector<double> a_ns, b_ns, ratios;
+  for (auto _ : state) {
+    const double na = run_once(a);
+    const double nb = run_once(b);
+    a_ns.push_back(na);
+    b_ns.push_back(nb);
+    ratios.push_back(na > 0 ? nb / na : 0.0);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch) * 2);
+  state.counters["ab_ratio_med"] = MedianOf(std::move(ratios));
+  state.counters["a_med_ns"] = MedianOf(std::move(a_ns));
+  state.counters["b_med_ns"] = MedianOf(std::move(b_ns));
+}
+
+// A = persistent dispatch cache on, B = off: ab_ratio_med is the warm-cache
+// win as a load-immune ratio.
+void BM_PairedAB_CacheVsNoCache(benchmark::State& state) {
+  EngineConfig a;
+  a.mode = SecurityMode::kLabels;
+  a.num_threads = 0;
+  a.index_shards = 1;
+  EngineConfig b = a;
+  b.use_dispatch_cache = false;
+  RunPairedAB(state, a, b);
+}
+BENCHMARK(BM_PairedAB_CacheVsNoCache)->Arg(64);
+
+// A = unsharded, B = 8 shards (single-threaded, so the ratio is the pure
+// sharding overhead the ROADMAP wants regression-gated).
+void BM_PairedAB_Shards1Vs8(benchmark::State& state) {
+  EngineConfig a;
+  a.mode = SecurityMode::kLabels;
+  a.num_threads = 0;
+  a.index_shards = 1;
+  EngineConfig b = a;
+  b.index_shards = 8;
+  RunPairedAB(state, a, b);
+}
+BENCHMARK(BM_PairedAB_Shards1Vs8)->Arg(64);
 
 // Fan-out cost: one event matching N subscribers (the tick -> pair monitor
 // pattern whose scaling defines Fig. 5's slope).

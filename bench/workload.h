@@ -48,6 +48,14 @@ struct WorkloadConfig {
   // needle with engine_threads > 0 (concurrent batches stop convoying on one
   // index mutex); the figure drivers expose it as --index_shards.
   size_t index_shards = 0;
+  // CEP windowed-workload knobs (src/cep/, fig8_windows):
+  //   * vwap_window  — regulator per-symbol tumbling VWAP republish window
+  //     (RegulatorOptions::vwap_window; 0 = the per-trade republish path);
+  //   * vwap_monitors / vwap_monitor_window — standalone windowed VWAP
+  //     monitor units over the endorsed tick feed.
+  size_t vwap_window = 0;
+  size_t vwap_monitors = 0;
+  size_t vwap_monitor_window = 32;
 };
 
 struct WorkloadResult {
@@ -59,6 +67,10 @@ struct WorkloadResult {
   int64_t accounted_bytes = 0;
   size_t units = 0;
   size_t managed_instances = 0;
+  // CEP operator totals (zero unless the CEP knobs are set).
+  uint64_t cep_emissions = 0;
+  uint64_t cep_blocked = 0;
+  uint64_t ticks_republished = 0;
 };
 
 inline WorkloadResult RunTradingWorkload(const WorkloadConfig& config) {
@@ -76,6 +88,9 @@ inline WorkloadResult RunTradingWorkload(const WorkloadConfig& config) {
   platform_config.seed = config.seed;
   platform_config.trader.trade_feedback = false;  // latency is measured at the broker
   platform_config.trader.record_tag_names = false;
+  platform_config.regulator.vwap_window = config.vwap_window;
+  platform_config.num_vwap_monitors = config.vwap_monitors;
+  platform_config.vwap_monitor_window = config.vwap_monitor_window;
   TradingPlatform platform(engine.get(), platform_config);
   platform.Assemble();
   engine->Start();
@@ -142,6 +157,11 @@ inline WorkloadResult RunTradingWorkload(const WorkloadConfig& config) {
   result.accounted_bytes = engine->accountant().bytes();
   result.units = engine->UnitCount();
   result.managed_instances = engine->ManagedInstanceCount();
+  result.cep_emissions = platform.cep_vwap_emissions();
+  result.cep_blocked = platform.cep_vwap_blocked();
+  if (platform.regulator() != nullptr) {
+    result.ticks_republished = platform.regulator()->ticks_republished();
+  }
   engine->Stop();
   return result;
 }

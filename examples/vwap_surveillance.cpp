@@ -1,0 +1,165 @@
+// VWAP surveillance: the CEP operator layer on mixed-secrecy market data.
+//
+// Two traders publish ticks protected by their own confidentiality tags. A
+// windowed VWAP operator aggregates across both feeds, so its accumulated
+// state is labelled with the JOIN of both tags. Three consumers show the
+// three possible outcomes:
+//   1. joined-up      — the aggregate emits at {alice, bob}; only a reader
+//                       cleared for both tags sees it;
+//   2. blocked        — an operator told to emit publicly but holding no
+//                       declassification privileges emits NOTHING (the gate
+//                       suppresses the event; mixed-secrecy state is never
+//                       silently leaked);
+//   3. declassified   — the same operator, granted alice- and bob-, emits a
+//                       public market-wide VWAP anyone can read.
+// A sequence detector rides the same feed, flagging three rising prices in
+// a row within a tick-time window.
+//
+// Build & run:  ./build/example_vwap_surveillance
+#include <cstdio>
+
+#include "src/cep/cep.h"
+#include "src/core/api.h"
+
+namespace {
+
+using namespace defcon;  // example code; library code never does this
+
+class TickPublisher : public Unit {
+ public:
+  TickPublisher(Tag mine, int64_t base_price) : mine_(mine), price_(base_price) {}
+  void OnEvent(UnitContext& ctx, EventHandle event, SubscriptionId sub) override {}
+
+  void PublishTicks(UnitContext& ctx, int count) {
+    std::vector<EventHandle> handles;
+    for (int i = 0; i < count; ++i) {
+      price_ += 3 + (i % 5);  // drifting upward: the sequence will fire
+      auto handle = ctx.BuildEvent()
+                        .Part(Label({mine_}, {}), "px", Value::OfInt(price_))
+                        .Part(Label({mine_}, {}), "qty", Value::OfInt(1 + i % 7))
+                        .Part("ts", Value::OfInt(next_ts_ += 1000))
+                        .Build();
+      if (handle.ok()) {
+        handles.push_back(*handle);
+      }
+    }
+    (void)ctx.PublishBatch(handles);  // one DeliveryBatch, one pool wake
+  }
+
+ private:
+  Tag mine_;
+  int64_t price_;
+  int64_t next_ts_ = 0;
+};
+
+class AggReader : public Unit {
+ public:
+  AggReader(std::string who, std::string type) : who_(std::move(who)), type_(std::move(type)) {}
+
+  void OnStart(UnitContext& ctx) override {
+    (void)ctx.Subscribe(Filter::Eq("type", Value::OfString(type_)));
+  }
+
+  void OnEvent(UnitContext& ctx, EventHandle event, SubscriptionId sub) override {
+    auto value = ctx.ReadPart(event, cep::kCepPartValue);
+    auto count = ctx.ReadPart(event, cep::kCepPartCount);
+    if (value.ok() && !value->empty() && count.ok() && !count->empty()) {
+      std::printf("[%s] %s = %.2f over %lld samples (label %s)\n", who_.c_str(), type_.c_str(),
+                  value->front().data.AsDouble(),
+                  static_cast<long long>(count->front().data.int_value()),
+                  value->front().label.DebugString().c_str());
+    }
+  }
+
+ private:
+  std::string who_;
+  std::string type_;
+};
+
+int Main() {
+  EngineConfig config;
+  config.mode = SecurityMode::kLabels;
+  Engine engine(config);
+
+  const Tag alice = engine.CreateTag("s-alice");
+  const Tag bob = engine.CreateTag("s-bob");
+
+  // 1. Joined-up: aggregate across both compartments, emit at the join.
+  cep::WindowAggregateOptions joined;
+  joined.filter = Filter::Exists("px");
+  joined.value_part = "px";
+  joined.qty_part = "qty";
+  joined.time_part = "ts";
+  joined.window = cep::WindowSpec::TumblingCount(8);
+  joined.aggregate = cep::AggregateKind::kVwap;
+  joined.out_type = "vwap";
+  engine.AddUnit("vwap-joined", std::make_unique<cep::WindowAggregateUnit>(joined),
+                 Label({alice, bob}, {}));
+
+  // 2. Blocked: same aggregate, told to emit publicly, no privileges — the
+  // gate suppresses every emission (watch emissions_blocked grow).
+  cep::WindowAggregateOptions blocked = joined;
+  blocked.out_type = "vwap-public";
+  blocked.emit.emit_label = Label();
+  auto* blocked_unit = new cep::WindowAggregateUnit(blocked);
+  engine.AddUnit("vwap-blocked", std::unique_ptr<Unit>(blocked_unit), Label({alice, bob}, {}));
+
+  // 3. Declassified: identical configuration plus alice-/bob- and the
+  // declassification hook — now the public emission is authorised.
+  cep::WindowAggregateOptions declassified = blocked;
+  declassified.out_type = "vwap-market";
+  declassified.declassify_out = {alice, bob};
+  PrivilegeSet declass_privileges;
+  declass_privileges.Grant(alice, Privilege::kMinus);
+  declass_privileges.Grant(bob, Privilege::kMinus);
+  engine.AddUnit("vwap-declass", std::make_unique<cep::WindowAggregateUnit>(declassified),
+                 Label({alice, bob}, {}), declass_privileges);
+
+  // Sequence: three strictly rising prices within 5us of tick time.
+  cep::SequenceOptions momentum;
+  momentum.subscription = Filter::Exists("px");
+  for (int i = 0; i < 3; ++i) {
+    momentum.steps.push_back(
+        {"rising", Filter::Compare("px", CompareOp::kGt, Value::OfInt(10'000 + 40 * i))});
+  }
+  momentum.within_ns = 5'000;
+  momentum.time_part = "ts";
+  momentum.out_type = "momentum";
+  auto* momentum_unit = new cep::SequenceDetectorUnit(momentum);
+  engine.AddUnit("momentum", std::unique_ptr<Unit>(momentum_unit), Label({alice, bob}, {}));
+
+  // Readers: cleared (both tags) vs the general public.
+  engine.AddUnit("cleared", std::make_unique<AggReader>("cleared", "vwap"),
+                 Label({alice, bob}, {}));
+  engine.AddUnit("public-1", std::make_unique<AggReader>("public", "vwap"));  // sees nothing
+  engine.AddUnit("public-2", std::make_unique<AggReader>("public", "vwap-public"));
+  engine.AddUnit("public-3", std::make_unique<AggReader>("public", "vwap-market"));
+
+  auto* alice_pub = new TickPublisher(alice, 10'000);
+  auto* bob_pub = new TickPublisher(bob, 10'100);
+  const UnitId alice_id = engine.AddUnit("alice-feed", std::unique_ptr<Unit>(alice_pub));
+  const UnitId bob_id = engine.AddUnit("bob-feed", std::unique_ptr<Unit>(bob_pub));
+
+  engine.Start();
+  engine.RunUntilIdle();
+  // Interleave half-window batches so every VWAP window mixes both
+  // compartments — each aggregate's state label is genuinely the join.
+  for (int round = 0; round < 8; ++round) {
+    engine.InjectTurn(alice_id, [alice_pub](UnitContext& ctx) { alice_pub->PublishTicks(ctx, 4); });
+    engine.RunUntilIdle();
+    engine.InjectTurn(bob_id, [bob_pub](UnitContext& ctx) { bob_pub->PublishTicks(ctx, 4); });
+    engine.RunUntilIdle();
+  }
+
+  std::printf("\nblocked operator: %llu emissions, %llu suppressed by the gate\n",
+              static_cast<unsigned long long>(blocked_unit->emissions()),
+              static_cast<unsigned long long>(blocked_unit->emissions_blocked()));
+  std::printf("momentum detections: %llu\n",
+              static_cast<unsigned long long>(momentum_unit->detections()));
+  engine.Stop();
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Main(); }

@@ -1,0 +1,98 @@
+#include "src/cep/aggregate.h"
+
+namespace defcon {
+namespace cep {
+
+const char* AggregateKindName(AggregateKind kind) {
+  switch (kind) {
+    case AggregateKind::kCount:
+      return "count";
+    case AggregateKind::kSum:
+      return "sum";
+    case AggregateKind::kMin:
+      return "min";
+    case AggregateKind::kMax:
+      return "max";
+    case AggregateKind::kVwap:
+      return "vwap";
+  }
+  return "?";
+}
+
+AggregateResult Aggregate(AggregateKind kind, const std::vector<WindowItem>& items) {
+  AggregateResult result;
+  if (items.empty()) {
+    return result;
+  }
+  LabelAccumulator joined;
+  double sum = 0.0;
+  double weighted = 0.0;
+  double min = items.front().value;
+  double max = items.front().value;
+  for (const WindowItem& item : items) {
+    joined.Add(item.label);
+    sum += item.value;
+    weighted += item.value * static_cast<double>(item.qty);
+    result.volume += item.qty;
+    if (item.value < min) {
+      min = item.value;
+    }
+    if (item.value > max) {
+      max = item.value;
+    }
+  }
+  result.count = static_cast<int64_t>(items.size());
+  result.label = joined.label();
+  switch (kind) {
+    case AggregateKind::kCount:
+      result.value = static_cast<double>(result.count);
+      break;
+    case AggregateKind::kSum:
+      result.value = sum;
+      break;
+    case AggregateKind::kMin:
+      result.value = min;
+      break;
+    case AggregateKind::kMax:
+      result.value = max;
+      break;
+    case AggregateKind::kVwap:
+      result.value = result.volume > 0 ? weighted / static_cast<double>(result.volume)
+                                       : sum / static_cast<double>(result.count);
+      break;
+  }
+  return result;
+}
+
+std::optional<Label> GateEmission(const UnitContext& ctx, const Label& state_label,
+                                  const EmitPolicy& policy, uint64_t* blocked) {
+  if (!policy.emit_label.has_value()) {
+    return state_label;  // joined-up: carries every contributing restriction
+  }
+  const Label& target = *policy.emit_label;
+  if (CanFlowTo(state_label, target)) {
+    return target;
+  }
+  // Dropping a secrecy tag the state carries is declassification (t-).
+  for (const Tag& tag : state_label.secrecy) {
+    if (!target.secrecy.Contains(tag) && !ctx.HasPrivilege(tag, Privilege::kMinus)) {
+      if (blocked != nullptr) {
+        ++*blocked;
+      }
+      return std::nullopt;
+    }
+  }
+  // Claiming an integrity tag the state lacks is endorsement (t+).
+  for (const Tag& tag : target.integrity) {
+    if (!state_label.integrity.Contains(tag) && !ctx.HasPrivilege(tag, Privilege::kPlus)) {
+      if (blocked != nullptr) {
+        ++*blocked;
+      }
+      return std::nullopt;
+    }
+  }
+  return target;
+}
+
+}  // namespace cep
+}  // namespace defcon

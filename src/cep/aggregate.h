@@ -1,0 +1,86 @@
+// Label-aware aggregation over window spans (the CEP operator layer).
+//
+// Folding a window produces both the numeric aggregate AND the running
+// LabelJoin of every contributing sample's label: secrecy accumulates,
+// integrity survives only where every sample carries it. An aggregate over
+// mixed-secrecy inputs is therefore born at the joined label; whether it may
+// leave the operator below that label is decided by GateEmission, which
+// consults the unit's privileges through the existing DEFCON privileges API —
+// declassification (dropping a secrecy tag requires t-) and endorsement
+// (claiming an integrity tag the state lacks requires t+) are explicit,
+// never implicit.
+#ifndef DEFCON_SRC_CEP_AGGREGATE_H_
+#define DEFCON_SRC_CEP_AGGREGATE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/cep/window.h"
+#include "src/core/label.h"
+#include "src/core/unit.h"
+
+namespace defcon {
+namespace cep {
+
+enum class AggregateKind : uint8_t { kCount, kSum, kMin, kMax, kVwap };
+
+const char* AggregateKindName(AggregateKind kind);
+
+// The fold of one completed window.
+struct AggregateResult {
+  double value = 0.0;   // the aggregate (count/sum/min/max/vwap)
+  int64_t count = 0;    // samples folded
+  int64_t volume = 0;   // total quantity (VWAP denominator)
+  Label label;          // LabelJoin of every contributing sample's label
+};
+
+// Folds a window span. Empty spans return count == 0 (callers skip them).
+// VWAP is sum(value*qty)/sum(qty); with zero total quantity it degrades to
+// the unweighted mean.
+AggregateResult Aggregate(AggregateKind kind, const std::vector<WindowItem>& items);
+
+// Running LabelJoin of contributing labels — the accumulator-state label for
+// operators that fold incrementally (sequence detectors, pair monitors).
+class LabelAccumulator {
+ public:
+  void Add(const Label& label) {
+    label_ = empty_ ? label : LabelJoin(label_, label);
+    empty_ = false;
+  }
+  void Reset() {
+    label_ = Label();
+    empty_ = true;
+  }
+  const Label& label() const { return label_; }
+  bool empty() const { return empty_; }
+
+ private:
+  Label label_;
+  bool empty_ = true;
+};
+
+// Where a derived event is allowed to be emitted.
+struct EmitPolicy {
+  // Unset: emit at the joined state label — always safe, the derived event
+  // simply carries every contributing restriction. Set: emit at exactly this
+  // label, which GateEmission only permits when the state can flow there or
+  // the unit holds the privileges to bridge the difference.
+  std::optional<Label> emit_label;
+};
+
+// Decides the label a derived event may carry, or nullopt when emission must
+// be suppressed. With no requested emit label the joined state label is
+// returned unconditionally. With one, the gate passes iff
+// CanFlowTo(state_label, emit_label), or the unit holds t- for every secrecy
+// tag being dropped (declassification) and t+ for every integrity tag being
+// claimed (endorsement) — checked against the unit's live privilege set, so a
+// privilege bestowed mid-stream (e.g. by reading a delegation part) takes
+// effect immediately. A blocked emission increments `*blocked` when provided.
+std::optional<Label> GateEmission(const UnitContext& ctx, const Label& state_label,
+                                  const EmitPolicy& policy, uint64_t* blocked = nullptr);
+
+}  // namespace cep
+}  // namespace defcon
+
+#endif  // DEFCON_SRC_CEP_AGGREGATE_H_

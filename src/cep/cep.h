@@ -1,0 +1,16 @@
+// Umbrella header: the label-aware CEP operator layer.
+//
+//   #include "src/cep/cep.h"
+//
+// brings in the window shapes (window.h), label-joining aggregation and the
+// emission gate (aggregate.h), and the operator units (operators.h). The
+// operators are plain DEFCON units — compose them with application units
+// freely; see README "The CEP operator layer".
+#ifndef DEFCON_SRC_CEP_CEP_H_
+#define DEFCON_SRC_CEP_CEP_H_
+
+#include "src/cep/aggregate.h"  // AggregateKind, Aggregate, LabelAccumulator, GateEmission
+#include "src/cep/operators.h"  // WindowAggregateUnit, SequenceDetectorUnit
+#include "src/cep/window.h"     // WindowSpec, Window, WindowItem
+
+#endif  // DEFCON_SRC_CEP_CEP_H_

@@ -1,0 +1,227 @@
+#include "src/cep/operators.h"
+
+#include "src/base/logging.h"
+#include "src/core/event.h"
+#include "src/core/event_builder.h"
+
+namespace defcon {
+namespace cep {
+namespace {
+
+// Tick time of a delivered event: the designated time part when configured
+// (int64 nanoseconds), the event's origin timestamp otherwise.
+int64_t EventTickTime(UnitContext& ctx, EventHandle event, const std::string& time_part) {
+  if (!time_part.empty()) {
+    auto views = ctx.ReadPart(event, time_part);
+    if (views.ok() && !views->empty() && views->front().data.kind() == Value::Kind::kInt) {
+      return views->front().data.int_value();
+    }
+  }
+  auto origin = ctx.EventOrigin(event);
+  return origin.ok() ? *origin : ctx.NowNs();
+}
+
+// Emits one derived event at `label`: the type part, the caller-specific
+// parts appended by `fill`, and the operator's configured extras — all at the
+// gated label (the engine stamp still applies the unit's output label on
+// top). Collected handles go out in one PublishBatch per turn.
+template <typename FillFn>
+void BuildDerived(UnitContext& ctx, const Label& label, const std::string& out_type,
+                  const std::vector<std::pair<std::string, Value>>& extra, FillFn&& fill,
+                  std::vector<EventHandle>* handles) {
+  EventBuilder builder = ctx.BuildEvent();
+  builder.Part(label, kCepPartType, Value::OfString(out_type));
+  fill(builder, label);
+  for (const auto& [name, value] : extra) {
+    builder.Part(label, name, value);
+  }
+  auto handle = builder.Build();
+  if (handle.ok()) {
+    handles->push_back(*handle);
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// WindowAggregateUnit
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Runs the declassification hook: drops the listed secrecy tags from the
+// unit's output label. The engine enforces t- per tag; a missing privilege
+// simply leaves the tag in place (the gate will then keep the operator's
+// emissions joined-up — failure is confinement, never leakage).
+void ApplyDeclassifyOut(UnitContext& ctx, const std::vector<Tag>& tags) {
+  for (const Tag& tag : tags) {
+    (void)ctx.ChangeOutLabel(LabelComponent::kSecrecy, LabelOp::kRemove, tag);
+  }
+}
+
+}  // namespace
+
+void WindowAggregateUnit::OnStart(UnitContext& ctx) {
+  ApplyDeclassifyOut(ctx, options_.declassify_out);
+  if (!ctx.Subscribe(options_.filter).ok()) {
+    DEFCON_LOG(kError) << "window-aggregate unit failed to subscribe";
+  }
+}
+
+void WindowAggregateUnit::OnEvent(UnitContext& ctx, EventHandle event, SubscriptionId sub) {
+  auto value_views = ctx.ReadPart(event, options_.value_part);
+  if (!value_views.ok() || value_views->empty() || !value_views->front().data.IsNumeric()) {
+    return;
+  }
+  WindowItem item;
+  item.value = value_views->front().data.AsDouble();
+  item.label = value_views->front().label;
+  if (!options_.qty_part.empty()) {
+    auto qty_views = ctx.ReadPart(event, options_.qty_part);
+    if (qty_views.ok() && !qty_views->empty() &&
+        qty_views->front().data.kind() == Value::Kind::kInt) {
+      item.qty = qty_views->front().data.int_value();
+      // The quantity co-determines the aggregate, so its label joins in.
+      item.label = LabelJoin(item.label, qty_views->front().label);
+    }
+  }
+  item.ts_ns = EventTickTime(ctx, event, options_.time_part);
+  ++samples_;
+
+  std::vector<std::vector<WindowItem>> closed;
+  window_.Add(std::move(item), &closed);
+  if (closed.empty()) {
+    return;
+  }
+  std::vector<EventHandle> handles;
+  handles.reserve(closed.size());
+  for (const auto& span : closed) {
+    const AggregateResult agg = Aggregate(options_.aggregate, span);
+    if (agg.count == 0) {
+      continue;
+    }
+    const auto label = GateEmission(ctx, agg.label, options_.emit, &emissions_blocked_);
+    if (!label.has_value()) {
+      continue;  // mixed-secrecy state with no declassification right: suppress
+    }
+    BuildDerived(
+        ctx, *label, options_.out_type, options_.out_extra,
+        [&agg](EventBuilder& builder, const Label& at) {
+          builder.Part(at, kCepPartValue, Value::OfDouble(agg.value))
+              .Part(at, kCepPartCount, Value::OfInt(agg.count))
+              .Part(at, kCepPartVolume, Value::OfInt(agg.volume));
+        },
+        &handles);
+  }
+  if (!handles.empty()) {
+    size_t published = 0;
+    (void)ctx.PublishBatch(handles, &published);
+    emissions_ += published;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SequenceDetectorUnit
+// ---------------------------------------------------------------------------
+
+void SequenceDetectorUnit::OnStart(UnitContext& ctx) {
+  ApplyDeclassifyOut(ctx, options_.declassify_out);
+  if (options_.steps.empty() || !ctx.Subscribe(options_.subscription).ok()) {
+    DEFCON_LOG(kError) << "sequence detector misconfigured or failed to subscribe";
+  }
+}
+
+void SequenceDetectorUnit::OnEvent(UnitContext& ctx, EventHandle event, SubscriptionId sub) {
+  if (options_.steps.empty()) {
+    return;
+  }
+  // The visible projection this unit observes; step filters run against it
+  // exactly as subscription filters do (absence of invisible parts included).
+  auto views = ctx.ReadAllParts(event);
+  if (!views.ok() || views->empty()) {
+    return;
+  }
+  std::vector<Part> parts;
+  parts.reserve(views->size());
+  std::vector<const Part*> visible;
+  visible.reserve(views->size());
+  LabelAccumulator observed;  // the decision consumed every visible part
+  for (auto& view : *views) {
+    Part part;
+    part.name = std::move(view.name);
+    part.label = view.label;
+    part.data = std::move(view.data);
+    observed.Add(part.label);
+    parts.push_back(std::move(part));
+  }
+  for (const Part& part : parts) {
+    visible.push_back(&part);
+  }
+  const int64_t now = EventTickTime(ctx, event, options_.time_part);
+
+  std::vector<EventHandle> handles;
+  // Advance existing partials (each at most one step per event), pruning the
+  // ones whose within-window budget this event's tick time exhausts.
+  for (auto it = partials_.begin(); it != partials_.end();) {
+    if (options_.within_ns > 0 && now - it->start_ts_ns > options_.within_ns) {
+      ++partials_expired_;
+      it = partials_.erase(it);
+      continue;
+    }
+    if (options_.steps[it->next_step].filter.Matches(visible)) {
+      it->label = LabelJoin(it->label, observed.label());
+      if (++it->next_step == options_.steps.size()) {
+        ++detections_;
+        const auto label = GateEmission(ctx, it->label, options_.emit, &emissions_blocked_);
+        if (label.has_value()) {
+          const int64_t span = now - it->start_ts_ns;
+          const int64_t steps = static_cast<int64_t>(options_.steps.size());
+          BuildDerived(
+              ctx, *label, options_.out_type, options_.out_extra,
+              [steps, span](EventBuilder& builder, const Label& at) {
+                builder.Part(at, kCepPartSteps, Value::OfInt(steps))
+                    .Part(at, kCepPartSpanNs, Value::OfInt(span));
+              },
+              &handles);
+        }
+        it = partials_.erase(it);
+        continue;
+      }
+    }
+    ++it;
+  }
+  // Every event matching step 0 opens a fresh partial (overlapping matches);
+  // a one-step pattern completes on the spot via the loop above next event,
+  // so complete it here directly instead.
+  if (options_.steps.front().filter.Matches(visible)) {
+    if (options_.steps.size() == 1) {
+      ++detections_;
+      const auto label = GateEmission(ctx, observed.label(), options_.emit, &emissions_blocked_);
+      if (label.has_value()) {
+        BuildDerived(
+            ctx, *label, options_.out_type, options_.out_extra,
+            [](EventBuilder& builder, const Label& at) {
+              builder.Part(at, kCepPartSteps, Value::OfInt(1))
+                  .Part(at, kCepPartSpanNs, Value::OfInt(0));
+            },
+            &handles);
+      }
+    } else {
+      Partial partial;
+      partial.next_step = 1;
+      partial.start_ts_ns = now;
+      partial.label = observed.label();
+      partials_.push_back(std::move(partial));
+      while (partials_.size() > options_.max_partials) {
+        ++partials_dropped_;
+        partials_.pop_front();
+      }
+    }
+  }
+  if (!handles.empty()) {
+    (void)ctx.PublishBatch(handles);
+  }
+}
+
+}  // namespace cep
+}  // namespace defcon

@@ -1,0 +1,143 @@
+// Label-aware stream operators, packaged as DEFCON units.
+//
+// These are ordinary Units programmed purely against the Table-1 / API-v2
+// surface (subscribe, ReadPart, BuildEvent, PublishBatch) — the engine
+// enforces the DEFC model around them exactly as it does for application
+// units. What the operators add is *stateful* discipline: their accumulated
+// state carries the running LabelJoin of every contributing event part, and
+// every derived event passes through GateEmission before it is built, so an
+// aggregate over mixed-secrecy inputs is either emitted joined-up or
+// explicitly declassified via the privileges API — never silently leaked.
+//
+// Timestamps are tick time: by default an event's origin timestamp, or, when
+// `time_part` names a part, the int64 nanoseconds carried in that part
+// (deterministic replays; the paper's trading feeds carry their own time).
+#ifndef DEFCON_SRC_CEP_OPERATORS_H_
+#define DEFCON_SRC_CEP_OPERATORS_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/cep/aggregate.h"
+#include "src/cep/window.h"
+#include "src/core/filter.h"
+#include "src/core/unit.h"
+
+namespace defcon {
+namespace cep {
+
+// Part names of derived events emitted by the operators.
+inline constexpr char kCepPartType[] = "type";
+inline constexpr char kCepPartValue[] = "value";    // the aggregate (double)
+inline constexpr char kCepPartCount[] = "count";    // samples folded (int)
+inline constexpr char kCepPartVolume[] = "volume";  // total quantity (int)
+inline constexpr char kCepPartSteps[] = "steps";    // sequence: steps matched (int)
+inline constexpr char kCepPartSpanNs[] = "span_ns"; // sequence: first->last tick time (int)
+
+// ---------------------------------------------------------------------------
+// WindowAggregateUnit: window + aggregate + gated emission.
+// ---------------------------------------------------------------------------
+
+struct WindowAggregateOptions {
+  Filter filter;           // subscription (must be non-empty)
+  std::string value_part;  // numeric part to aggregate (e.g. "price")
+  std::string qty_part;    // optional quantity part (VWAP weights); empty => 1
+  std::string time_part;   // optional int64 tick-time part; empty => event origin
+  WindowSpec window = WindowSpec::TumblingCount(16);
+  AggregateKind aggregate = AggregateKind::kVwap;
+  std::string out_type = "agg";  // value of the emitted "type" part
+  // Constant parts stamped onto every derived event (e.g. the symbol).
+  std::vector<std::pair<std::string, Value>> out_extra;
+  EmitPolicy emit;
+  // Declassification hook: secrecy tags removed from the unit's OUTPUT label
+  // at start via ChangeOutLabel — the engine enforces t- for each (§3.1.3).
+  // Without this, an operator contaminated at {t} re-stamps t onto every
+  // emission no matter what the gate decided; with it (plus an emit_label
+  // below the join), the operator is an explicit declassifier.
+  std::vector<Tag> declassify_out;
+};
+
+class WindowAggregateUnit : public Unit {
+ public:
+  explicit WindowAggregateUnit(WindowAggregateOptions options)
+      : options_(std::move(options)), window_(options_.window) {}
+
+  void OnStart(UnitContext& ctx) override;
+  void OnEvent(UnitContext& ctx, EventHandle event, SubscriptionId sub) override;
+
+  uint64_t samples() const { return samples_; }
+  uint64_t emissions() const { return emissions_; }
+  uint64_t emissions_blocked() const { return emissions_blocked_; }
+
+ private:
+  const WindowAggregateOptions options_;
+  Window window_;
+  uint64_t samples_ = 0;
+  uint64_t emissions_ = 0;
+  uint64_t emissions_blocked_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// SequenceDetectorUnit: ordered event patterns with a within-window bound.
+// ---------------------------------------------------------------------------
+
+struct SequenceStep {
+  std::string name;  // diagnostic label for the step
+  Filter filter;     // evaluated against the event's visible parts
+};
+
+struct SequenceOptions {
+  Filter subscription;  // what the detector listens to (must be non-empty)
+  std::vector<SequenceStep> steps;  // matched strictly in order
+  // Tick-time budget from the step-0 event to the final step; 0 = unbounded.
+  int64_t within_ns = 0;
+  std::string time_part;  // optional int64 tick-time part; empty => event origin
+  std::string out_type = "seq";
+  std::vector<std::pair<std::string, Value>> out_extra;
+  EmitPolicy emit;
+  // Declassification hook (see WindowAggregateOptions::declassify_out).
+  std::vector<Tag> declassify_out;
+  // Concurrent partial matches kept alive (oldest dropped beyond this).
+  size_t max_partials = 256;
+};
+
+class SequenceDetectorUnit : public Unit {
+ public:
+  explicit SequenceDetectorUnit(SequenceOptions options) : options_(std::move(options)) {}
+
+  void OnStart(UnitContext& ctx) override;
+  void OnEvent(UnitContext& ctx, EventHandle event, SubscriptionId sub) override;
+
+  uint64_t detections() const { return detections_; }
+  uint64_t emissions_blocked() const { return emissions_blocked_; }
+  // Partials dropped by the within_ns time bound vs. by max_partials
+  // capacity pressure — distinct causes, distinct counters (the second
+  // means pattern matches were LOST, not timed out).
+  uint64_t partials_expired() const { return partials_expired_; }
+  uint64_t partials_dropped() const { return partials_dropped_; }
+  size_t partials_live() const { return partials_.size(); }
+
+ private:
+  // One partial match: the next step to satisfy, when the sequence started,
+  // and the join of every observed part label that fed its decisions.
+  struct Partial {
+    size_t next_step = 0;
+    int64_t start_ts_ns = 0;
+    Label label;
+  };
+
+  const SequenceOptions options_;
+  std::deque<Partial> partials_;
+  uint64_t detections_ = 0;
+  uint64_t emissions_blocked_ = 0;
+  uint64_t partials_expired_ = 0;
+  uint64_t partials_dropped_ = 0;
+};
+
+}  // namespace cep
+}  // namespace defcon
+
+#endif  // DEFCON_SRC_CEP_OPERATORS_H_

@@ -1,0 +1,114 @@
+#include "src/cep/window.h"
+
+namespace defcon {
+namespace cep {
+
+WindowSpec WindowSpec::TumblingCount(size_t count) {
+  WindowSpec spec;
+  spec.kind = WindowKind::kTumblingCount;
+  spec.count = count > 0 ? count : 1;
+  return spec;
+}
+
+WindowSpec WindowSpec::SlidingCount(size_t count, size_t slide) {
+  WindowSpec spec;
+  spec.kind = WindowKind::kSlidingCount;
+  spec.count = count > 0 ? count : 1;
+  spec.slide = slide > 0 ? slide : 1;
+  return spec;
+}
+
+WindowSpec WindowSpec::TumblingTime(int64_t span_ns) {
+  WindowSpec spec;
+  spec.kind = WindowKind::kTumblingTime;
+  spec.span_ns = span_ns > 0 ? span_ns : 1;
+  return spec;
+}
+
+WindowSpec WindowSpec::SlidingTime(int64_t span_ns, int64_t slide_ns) {
+  WindowSpec spec;
+  spec.kind = WindowKind::kSlidingTime;
+  spec.span_ns = span_ns > 0 ? span_ns : 1;
+  spec.slide_ns = slide_ns > 0 ? slide_ns : spec.span_ns;
+  return spec;
+}
+
+const char* WindowKindName(WindowKind kind) {
+  switch (kind) {
+    case WindowKind::kTumblingCount:
+      return "tumbling-count";
+    case WindowKind::kSlidingCount:
+      return "sliding-count";
+    case WindowKind::kTumblingTime:
+      return "tumbling-time";
+    case WindowKind::kSlidingTime:
+      return "sliding-time";
+  }
+  return "?";
+}
+
+void Window::Add(WindowItem item, std::vector<std::vector<WindowItem>>* closed) {
+  switch (spec_.kind) {
+    case WindowKind::kTumblingCount: {
+      items_.push_back(std::move(item));
+      if (items_.size() >= spec_.count) {
+        closed->emplace_back(items_.begin(), items_.end());
+        items_.clear();
+      }
+      return;
+    }
+    case WindowKind::kSlidingCount: {
+      items_.push_back(std::move(item));
+      while (items_.size() > spec_.count) {
+        items_.pop_front();
+      }
+      ++arrivals_;
+      if (items_.size() == spec_.count && arrivals_ % spec_.slide == 0) {
+        closed->emplace_back(items_.begin(), items_.end());
+      }
+      return;
+    }
+    case WindowKind::kTumblingTime: {
+      if (window_start_ns_ == kUnset) {
+        window_start_ns_ = item.ts_ns;
+      }
+      if (item.ts_ns >= window_start_ns_ + spec_.span_ns) {
+        if (!items_.empty()) {
+          closed->emplace_back(items_.begin(), items_.end());
+          items_.clear();
+        }
+        // Advance whole (possibly empty) intervals until the item fits; empty
+        // intervals emit nothing.
+        const int64_t elapsed = item.ts_ns - window_start_ns_;
+        window_start_ns_ += (elapsed / spec_.span_ns) * spec_.span_ns;
+      }
+      items_.push_back(std::move(item));
+      return;
+    }
+    case WindowKind::kSlidingTime: {
+      const int64_t now = item.ts_ns;
+      while (!items_.empty() && items_.front().ts_ns <= now - spec_.span_ns) {
+        items_.pop_front();
+      }
+      items_.push_back(std::move(item));
+      if (next_emit_ns_ == kUnset || now >= next_emit_ns_) {
+        closed->emplace_back(items_.begin(), items_.end());
+        next_emit_ns_ = now + spec_.slide_ns;
+      }
+      return;
+    }
+  }
+}
+
+void Window::Flush(std::vector<std::vector<WindowItem>>* closed) {
+  if (!items_.empty()) {
+    closed->emplace_back(items_.begin(), items_.end());
+  }
+  items_.clear();
+  arrivals_ = 0;
+  window_start_ns_ = kUnset;
+  next_emit_ns_ = kUnset;
+}
+
+}  // namespace cep
+}  // namespace defcon

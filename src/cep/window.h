@@ -1,0 +1,96 @@
+// Stream windows over labelled event data (the CEP operator layer).
+//
+// A Window buffers labelled samples and decides when a batch of them forms a
+// completed window to aggregate over. Four shapes, the classic CEP family
+// ("Foundations of Complex Event Processing"):
+//   * tumbling count  — every `count` items close one disjoint window;
+//   * sliding count   — the last `count` items, re-emitted every `slide`
+//                       arrivals once full;
+//   * tumbling time   — disjoint [start, start+span) tick-time intervals;
+//   * sliding time    — the trailing `span_ns` of items, emitted at most once
+//                       per `slide_ns` of tick time.
+//
+// Time windows run on *tick time* (the timestamp carried by the items, not
+// the wall clock), so replays are deterministic: a time window only closes
+// when a later item arrives and proves the interval is over. Window performs
+// no aggregation itself — completed windows are handed back as item spans so
+// the caller can fold values AND labels (see aggregate.h); this keeps
+// label-join bookkeeping exact even for sliding windows, where a running
+// accumulator could not "un-join" an evicted item's label.
+#ifndef DEFCON_SRC_CEP_WINDOW_H_
+#define DEFCON_SRC_CEP_WINDOW_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/core/label.h"
+
+namespace defcon {
+namespace cep {
+
+// One labelled sample: a numeric value (plus a quantity for volume-weighted
+// aggregates) and the label of the event data it came from. The label rides
+// with the sample so every aggregate can report the exact join of its
+// contributing labels.
+struct WindowItem {
+  int64_t ts_ns = 0;   // tick time (event origin or a designated time part)
+  double value = 0.0;
+  int64_t qty = 1;
+  Label label;
+};
+
+enum class WindowKind : uint8_t {
+  kTumblingCount,
+  kSlidingCount,
+  kTumblingTime,
+  kSlidingTime,
+};
+
+struct WindowSpec {
+  WindowKind kind = WindowKind::kTumblingCount;
+  size_t count = 0;      // count windows: items per window
+  size_t slide = 0;      // sliding count: arrivals between emissions
+  int64_t span_ns = 0;   // time windows: window span
+  int64_t slide_ns = 0;  // sliding time: minimum tick time between emissions
+
+  static WindowSpec TumblingCount(size_t count);
+  static WindowSpec SlidingCount(size_t count, size_t slide);
+  static WindowSpec TumblingTime(int64_t span_ns);
+  static WindowSpec SlidingTime(int64_t span_ns, int64_t slide_ns);
+};
+
+const char* WindowKindName(WindowKind kind);
+
+class Window {
+ public:
+  explicit Window(const WindowSpec& spec) : spec_(spec) {}
+
+  // Feeds one sample. Every window this arrival completes is appended to
+  // `closed` (oldest first) as the span of items to aggregate over. Time
+  // windows assume non-decreasing ts_ns; a late (out-of-order) item is
+  // counted into the current window rather than a past one.
+  void Add(WindowItem item, std::vector<std::vector<WindowItem>>* closed);
+
+  // Force-closes the current buffer (end-of-stream): appends the pending
+  // items, if any, to `closed` and resets. Sliding windows emit their
+  // current trailing contents.
+  void Flush(std::vector<std::vector<WindowItem>>* closed);
+
+  size_t size() const { return items_.size(); }
+  const WindowSpec& spec() const { return spec_; }
+
+ private:
+  static constexpr int64_t kUnset = INT64_MIN;
+
+  WindowSpec spec_;
+  std::deque<WindowItem> items_;
+  size_t arrivals_ = 0;                 // sliding count: slide phase
+  int64_t window_start_ns_ = kUnset;    // tumbling time: current interval start
+  int64_t next_emit_ns_ = kUnset;       // sliding time: earliest next emission
+};
+
+}  // namespace cep
+}  // namespace defcon
+
+#endif  // DEFCON_SRC_CEP_WINDOW_H_

@@ -1073,40 +1073,102 @@ struct Engine::Impl {
 
   // Computes the deliveries the event currently matches. Does not lock the
   // plan; the caller merges results under the plan mutex. The candidate list
-  // and managed joins come from the persistent cache; part visibility is
-  // checked directly (a single event revisits each unit label once, so the
-  // flow cache's key rendering would cost more than the check it saves).
+  // and managed joins come from the persistent cache, and (cache on,
+  // security on) so do the flow verdicts: each distinct part label's
+  // snapshot is fetched ONCE per Dispatch and indexed lock-free per
+  // candidate, so a warm single-event publish recomputes no CanFlowTo at all
+  // — the key rendering that used to make this a loss per check is now
+  // amortised over every candidate of the dispatch. Verdicts computed here
+  // are published back, warming the batch path too.
   void ComputeMatches(const EventPtr& master, std::vector<PlannedDelivery>* out) {
     const std::vector<Part> parts = master->SnapshotParts();
     const GenSnapshot gens = CaptureGenerations();
+    const bool persist_flow = config.use_dispatch_cache && security_on();
+
+    // Intern the distinct part labels (canonical key strings live in the
+    // intern map's nodes, stable across rehash).
+    std::vector<uint32_t> label_ids;
+    std::unordered_map<std::string, uint32_t> label_intern;
+    std::vector<const std::string*> label_keys;
+    std::vector<std::shared_ptr<const FlowSnapshot>> flow_snapshots;
+    std::vector<std::unordered_map<UnitId, bool>> flow_overlay;
+    if (persist_flow) {
+      label_ids.reserve(parts.size());
+      for (const Part& part : parts) {
+        const auto it = label_intern.emplace(LabelKey(part.label),
+                                             static_cast<uint32_t>(label_intern.size())).first;
+        if (it->second == label_keys.size()) {
+          label_keys.push_back(&it->first);
+        }
+        label_ids.push_back(it->second);
+      }
+      flow_snapshots.resize(label_intern.size());
+      FetchFlowSnapshots(label_keys, gens, &flow_snapshots);
+      flow_overlay.resize(label_intern.size());
+    }
+
     std::vector<const Part*> visible;
     visible.reserve(parts.size());
     auto lookup = [this](UnitId id) { return FindUnit(id); };
-    auto managed_label = [this, &parts, &gens](const std::shared_ptr<SubscriptionRecord>& sub,
-                                               const std::shared_ptr<UnitState>& owner) {
+    auto managed_label = [&](const std::shared_ptr<SubscriptionRecord>& sub,
+                             const std::shared_ptr<UnitState>& owner) {
       Label owner_in;
       {
         std::lock_guard<std::mutex> lock(owner->label_mutex);
         owner_in = owner->in_label;
+      }
+      if (persist_flow) {  // reuse the interned keys instead of re-rendering
+        return ManagedInstanceLabel(
+            sub, parts, owner_in, /*owner_key=*/nullptr, gens,
+            [&](size_t i) -> const std::string& { return *label_keys[label_ids[i]]; });
       }
       return ManagedInstanceLabel(sub, parts, owner_in, /*owner_key=*/nullptr, gens,
                                   [&parts](size_t i) { return LabelKey(parts[i].label); });
     };
     // One in-label fetch per candidate (parts of one candidate are checked
     // consecutively, so a unit-id cache suffices).
-    auto part_visible = [this, cached_id = UnitId{0}, cached_label = Label()](
-                            size_t, const Part& part,
-                            const std::shared_ptr<UnitState>& unit) mutable {
+    auto unit_in_label = [cached_id = UnitId{0}, cached_label = Label()](
+                             const std::shared_ptr<UnitState>& unit) mutable -> const Label& {
       if (unit->id != cached_id) {
         std::lock_guard<std::mutex> lock(unit->label_mutex);
         cached_label = unit->in_label;
         cached_id = unit->id;
       }
-      return PartVisible(part, cached_label);
+      return cached_label;
+    };
+    auto part_visible = [&](size_t p, const Part& part,
+                            const std::shared_ptr<UnitState>& unit) {
+      if (!persist_flow) {
+        return PartVisible(part, unit_in_label(unit));
+      }
+      const uint32_t label_id = label_ids[p];
+      if (const auto& snapshot = flow_snapshots[label_id];
+          snapshot != nullptr && unit->id < snapshot->size()) {
+        const uint8_t verdict = (*snapshot)[unit->id];
+        if (verdict != kFlowUnknown) {
+          stats.flow_cache_hits.fetch_add(1, std::memory_order_relaxed);
+          return verdict == kFlowAllowed;
+        }
+      }
+      auto& overlay = flow_overlay[label_id];
+      auto it = overlay.find(unit->id);
+      if (it != overlay.end()) {
+        // Same counter as the batch path's per-dispatch memo reuse, so
+        // label_checks + flow_cache_hits + memo hits accounts for every
+        // match-path visibility decision on both paths.
+        stats.batch_flow_memo_hits.fetch_add(1, std::memory_order_relaxed);
+        return it->second;
+      }
+      const bool allowed = PartVisible(part, unit_in_label(unit));
+      overlay.emplace(unit->id, allowed);
+      return allowed;
     };
     const auto candidates = GetCandidates(parts, gens);
     for (const auto& sub : *candidates) {
       MatchCandidate(sub, parts, lookup, managed_label, part_visible, &visible, out);
+    }
+    if (persist_flow) {
+      PublishFlowOverlays(label_keys, flow_overlay, gens);
     }
   }
 

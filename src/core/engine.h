@@ -64,8 +64,9 @@ struct EngineStatsSnapshot {
   uint64_t events_published = 0;
   uint64_t events_dropped_empty = 0;
   // Batch-path accounting: dispatch groups of >= 2 events, events dispatched
-  // through them, and CanFlowTo decisions reused (not recomputed) because a
-  // batch already checked the same (part label, subscription) pair.
+  // through them, and CanFlowTo decisions reused (not recomputed) because
+  // the same dispatch — batch or single-event — already checked the same
+  // (part label, subscription) pair.
   uint64_t batch_publishes = 0;
   uint64_t batch_events = 0;
   uint64_t batch_flow_memo_hits = 0;

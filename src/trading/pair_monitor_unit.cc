@@ -1,6 +1,7 @@
 #include "src/trading/pair_monitor_unit.h"
 
 #include "src/base/logging.h"
+#include "src/core/event_builder.h"
 #include "src/trading/event_names.h"
 
 namespace defcon {
@@ -33,8 +34,10 @@ void PairMonitorUnit::OnEvent(UnitContext& ctx, EventHandle event, SubscriptionI
   const SymbolId symbol = sub == sub_first_ ? tracker_.pair().first : tracker_.pair().second;
   if (sub == sub_first_) {
     last_price_first_ = price_cents;
+    last_label_first_ = price_parts->front().label;
   } else {
     last_price_second_ = price_cents;
+    last_label_second_ = price_parts->front().label;
   }
   auto signal = tracker_.OnTick(symbol, static_cast<double>(price_cents) / 100.0);
   if (signal.has_value()) {
@@ -43,29 +46,32 @@ void PairMonitorUnit::OnEvent(UnitContext& ctx, EventHandle event, SubscriptionI
 }
 
 void PairMonitorUnit::EmitMatch(UnitContext& ctx, const PairsSignal& signal) {
-  auto event = ctx.CreateEvent();
-  if (!event.ok()) {
-    return;
-  }
   const int64_t price_of_buy =
       signal.buy == tracker_.pair().first ? last_price_first_ : last_price_second_;
   const int64_t price_of_sell =
       signal.sell == tracker_.pair().first ? last_price_first_ : last_price_second_;
-  // Parts are requested public; the engine stamps them with this unit's
-  // output label — which carries the owning trader's tag by instantiation —
-  // so the match is readable by that trader alone (Fig. 4 step 3).
-  const Label public_label;
+  // The signal derives from both legs' tick data, so it is emitted at the
+  // tracker state's label: the join of the last tick label per leg (the CEP
+  // layer's join-at-emit discipline — if a secrecy-tagged tick ever feeds a
+  // leg, its tag now propagates to the match instead of being dropped by a
+  // public request). Genuine exchange ticks are public-secrecy, so in Fig. 4
+  // the request is unchanged; the integrity they carry is intersected away
+  // by the stamp (this monitor's output integrity is empty). The stamp also
+  // adds the owning trader's tag, keeping the match readable by that trader
+  // alone (step 3).
   const std::string& buy_name = signal.buy == tracker_.pair().first ? first_name_ : second_name_;
   const std::string& sell_name = signal.sell == tracker_.pair().first ? first_name_ : second_name_;
-  EventHandle e = event.value();
-  bool ok = ctx.AddPart(e, public_label, kPartType, Value::OfString(kTypeMatch)).ok() &&
-            ctx.AddPart(e, public_label, kPartInbox, Value::OfString(inbox_token_)).ok() &&
-            ctx.AddPart(e, public_label, kPartBuy, Value::OfString(buy_name)).ok() &&
-            ctx.AddPart(e, public_label, kPartSell, Value::OfString(sell_name)).ok() &&
-            ctx.AddPart(e, public_label, kPartPriceBuy, Value::OfInt(price_of_buy)).ok() &&
-            ctx.AddPart(e, public_label, kPartPriceSell, Value::OfInt(price_of_sell)).ok() &&
-            ctx.AddPart(e, public_label, kPartZscore, Value::OfDouble(signal.zscore)).ok();
-  if (ok && ctx.Publish(e).ok()) {
+  const Label at = LabelJoin(last_label_first_, last_label_second_);
+  if (ctx.BuildEvent()
+          .Part(at, kPartType, Value::OfString(kTypeMatch))
+          .Part(at, kPartInbox, Value::OfString(inbox_token_))
+          .Part(at, kPartBuy, Value::OfString(buy_name))
+          .Part(at, kPartSell, Value::OfString(sell_name))
+          .Part(at, kPartPriceBuy, Value::OfInt(price_of_buy))
+          .Part(at, kPartPriceSell, Value::OfInt(price_of_sell))
+          .Part(at, kPartZscore, Value::OfDouble(signal.zscore))
+          .Publish()
+          .ok()) {
     ++signals_emitted_;
   }
 }

@@ -49,6 +49,11 @@ class PairMonitorUnit : public Unit {
   SubscriptionId sub_second_ = 0;
   int64_t last_price_first_ = 0;
   int64_t last_price_second_ = 0;
+  // Labels of the last tick consumed per leg: a signal derives from both
+  // legs, so it is emitted at their LabelJoin — the tracker state's label,
+  // kept exact (the CEP layer's join-at-emit discipline).
+  Label last_label_first_;
+  Label last_label_second_;
   uint64_t signals_emitted_ = 0;
 };
 

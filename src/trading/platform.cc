@@ -1,5 +1,7 @@
 #include "src/trading/platform.h"
 
+#include "src/trading/event_names.h"
+
 namespace defcon {
 
 TradingPlatform::TradingPlatform(Engine* engine, const PlatformConfig& config)
@@ -50,6 +52,29 @@ void TradingPlatform::Assemble() {
     regulator_id_ = engine_->AddUnit("regulator", std::move(regulator), Label(), privileges);
   }
 
+  // CEP surveillance monitors: windowed VWAP aggregates over the endorsed
+  // tick feed (src/cep/), one per symbol round-robin. Input integrity {s}
+  // means a monitor only ever perceives genuine exchange ticks; the emitted
+  // aggregate carries the join of its window's tick labels.
+  if (config_.num_vwap_monitors > 0 && symbols_.size() > 0) {
+    vwap_monitors_.reserve(config_.num_vwap_monitors);
+    for (size_t i = 0; i < config_.num_vwap_monitors; ++i) {
+      const std::string symbol = symbols_.Name(static_cast<SymbolId>(i % symbols_.size()));
+      cep::WindowAggregateOptions options;
+      options.filter = Filter::And(Filter::Eq(kPartType, Value::OfString(kTypeTick)),
+                                   Filter::Eq(kPartSymbol, Value::OfString(symbol)));
+      options.value_part = kPartPrice;
+      options.window = cep::WindowSpec::TumblingCount(config_.vwap_monitor_window);
+      options.aggregate = cep::AggregateKind::kVwap;
+      options.out_type = "vwap";
+      options.out_extra.emplace_back(kPartSymbol, Value::OfString(symbol));
+      auto monitor = std::make_unique<cep::WindowAggregateUnit>(std::move(options));
+      vwap_monitors_.push_back(monitor.get());
+      engine_->AddUnit("vwap-monitor-" + std::to_string(i), std::move(monitor),
+                       Label(/*s=*/{}, /*i=*/{s_}));
+    }
+  }
+
   // Traders: Zipf-assigned pairs; odd-indexed traders are contrarian so
   // dark-pool flow crosses.
   const auto pair_universe = MakePairUniverse(symbols_.size());
@@ -65,6 +90,22 @@ void TradingPlatform::Assemble() {
                                                options);
     trader_ids_.push_back(engine_->AddUnit("trader-" + std::to_string(i), std::move(trader)));
   }
+}
+
+uint64_t TradingPlatform::cep_vwap_emissions() const {
+  uint64_t total = 0;
+  for (const auto* monitor : vwap_monitors_) {
+    total += monitor->emissions();
+  }
+  return total;
+}
+
+uint64_t TradingPlatform::cep_vwap_blocked() const {
+  uint64_t total = 0;
+  for (const auto* monitor : vwap_monitors_) {
+    total += monitor->emissions_blocked();
+  }
+  return total;
 }
 
 void TradingPlatform::InjectTick(const Tick& tick) {

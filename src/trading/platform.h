@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/base/histogram.h"
+#include "src/cep/operators.h"
 #include "src/core/engine.h"
 #include "src/market/pairs_stat.h"
 #include "src/market/symbols.h"
@@ -37,6 +38,11 @@ struct PlatformConfig {
   TraderOptions trader;
   RegulatorOptions regulator;
   bool enable_regulator = true;
+  // CEP surveillance monitors (src/cep/): standalone windowed VWAP units
+  // over the endorsed tick feed, one per symbol round-robin. 0 disables.
+  size_t num_vwap_monitors = 0;
+  // Ticks per tumbling VWAP window in those monitors.
+  size_t vwap_monitor_window = 32;
 };
 
 class TradingPlatform {
@@ -70,6 +76,11 @@ class TradingPlatform {
   const BrokerUnit* broker() const { return broker_; }
   const RegulatorUnit* regulator() const { return regulator_; }
 
+  // CEP VWAP monitor totals (engine must be idle): derived aggregates
+  // emitted and emissions the label gate suppressed.
+  uint64_t cep_vwap_emissions() const;
+  uint64_t cep_vwap_blocked() const;
+
   Tag tag_s() const { return s_; }
   Tag tag_b() const { return b_; }
   Tag tag_r() const { return r_; }
@@ -90,6 +101,7 @@ class TradingPlatform {
   StockExchangeUnit* exchange_ = nullptr;  // owned by the engine
   BrokerUnit* broker_ = nullptr;           // owned by the engine
   RegulatorUnit* regulator_ = nullptr;     // owned by the engine
+  std::vector<const cep::WindowAggregateUnit*> vwap_monitors_;  // owned by the engine
 
   // Latency instrumentation, fed from the Broker's probe callback.
   mutable std::mutex latency_mutex_;

@@ -1,6 +1,9 @@
 #include "src/trading/regulator_unit.h"
 
+#include <cmath>
+
 #include "src/base/logging.h"
+#include "src/core/event_builder.h"
 #include "src/trading/event_names.h"
 
 namespace defcon {
@@ -52,9 +55,23 @@ void RegulatorUnit::OnTrade(UnitContext& ctx, EventHandle event) {
   const Value* price = fill.Find(kKeyPrice);
 
   const Value* sym = fill.Find(kKeySymbol);
-  if (options_.republish_every != 0 && trades_observed_ % options_.republish_every == 0 &&
-      price != nullptr && price->kind() == Value::Kind::kInt && sym != nullptr &&
-      sym->kind() == Value::Kind::kString) {
+  if (options_.vwap_window > 0) {
+    // CEP republish: fold fills into the symbol's tumbling VWAP window
+    // instead of sampling every Nth trade.
+    const Value* qty = fill.Find(kKeyQty);
+    if (price != nullptr && price->kind() == Value::Kind::kInt && sym != nullptr &&
+        sym->kind() == Value::Kind::kString) {
+      cep::WindowItem item;
+      item.value = static_cast<double>(price->int_value());
+      item.qty = qty != nullptr && qty->kind() == Value::Kind::kInt ? qty->int_value() : 1;
+      item.label = fill_views->front().label;
+      item.ts_ns = static_cast<int64_t>(trades_observed_);
+      OnFillWindowed(ctx, sym->string_value(), item);
+    }
+  } else if (options_.republish_every != 0 &&
+             trades_observed_ % options_.republish_every == 0 && price != nullptr &&
+             price->kind() == Value::Kind::kInt && sym != nullptr &&
+             sym->kind() == Value::Kind::kString) {
     // Step 9: republish the local trade as a valid, s-endorsed stock tick.
     auto tick = ctx.CreateEvent();
     if (tick.ok()) {
@@ -83,6 +100,45 @@ void RegulatorUnit::OnTrade(UnitContext& ctx, EventHandle event) {
           ++audits_requested_;
         }
       }
+    }
+  }
+}
+
+void RegulatorUnit::OnFillWindowed(UnitContext& ctx, const std::string& symbol,
+                                   const cep::WindowItem& fill) {
+  auto window_it = vwap_windows_.find(symbol);
+  if (window_it == vwap_windows_.end()) {
+    window_it = vwap_windows_
+                    .emplace(symbol, cep::Window(cep::WindowSpec::TumblingCount(
+                                         options_.vwap_window)))
+                    .first;
+  }
+  std::vector<std::vector<cep::WindowItem>> closed;
+  window_it->second.Add(fill, &closed);
+  for (const auto& span : closed) {
+    const cep::AggregateResult agg = cep::Aggregate(cep::AggregateKind::kVwap, span);
+    if (agg.count == 0) {
+      continue;
+    }
+    // Step 9, windowed: the republished tick must be public and s-endorsed.
+    // The gate allows the endorsement because the regulator holds s+; if a
+    // tainted fill ever joined the window, its secrecy tag survives in the
+    // state label, the regulator holds no t- for it, and the tick is
+    // suppressed instead of leaking through the public feed.
+    cep::EmitPolicy policy;
+    policy.emit_label = Label(/*s=*/{}, /*i=*/{s_});
+    const auto emit_label = cep::GateEmission(ctx, agg.label, policy, &vwap_blocked_);
+    if (!emit_label.has_value()) {
+      continue;
+    }
+    const int64_t vwap_cents = static_cast<int64_t>(std::llround(agg.value));
+    if (ctx.BuildEvent()
+            .Part(*emit_label, kPartType, Value::OfString(kTypeTick))
+            .Part(*emit_label, kPartSymbol, Value::OfString(symbol))
+            .Part(*emit_label, kPartPrice, Value::OfInt(vwap_cents))
+            .Publish()
+            .ok()) {
+      ++ticks_republished_;
     }
   }
 }

@@ -15,7 +15,10 @@
 #define DEFCON_SRC_TRADING_REGULATOR_UNIT_H_
 
 #include <string>
+#include <unordered_map>
 
+#include "src/cep/aggregate.h"
+#include "src/cep/window.h"
 #include "src/core/unit.h"
 
 namespace defcon {
@@ -27,6 +30,14 @@ struct RegulatorOptions {
   uint64_t audit_every = 64;
   // Per-trade quantity quota checked by the managed quota instances.
   int64_t quota_qty = 1'000'000;
+  // CEP republish mode: > 0 replaces the every-Nth republish with a
+  // per-symbol tumbling window of this many fills, republishing each closed
+  // window's volume-weighted average price as one s-endorsed tick. The
+  // emission runs through the CEP gate: the window state's joined label must
+  // flow to (public, {s}) — the s endorsement is covered by the regulator's
+  // s+, and a tainted fill ever entering a window blocks the tick instead of
+  // leaking. 0 keeps the paper's per-trade republish (step 9) exactly.
+  size_t vwap_window = 0;
 };
 
 class RegulatorUnit : public Unit {
@@ -42,10 +53,14 @@ class RegulatorUnit : public Unit {
   uint64_t ticks_republished() const { return ticks_republished_; }
   uint64_t audits_requested() const { return audits_requested_; }
   uint64_t delegations_received() const { return delegations_received_; }
+  uint64_t vwap_blocked() const { return vwap_blocked_; }
 
  private:
   void OnTrade(UnitContext& ctx, EventHandle event);
   void OnDelegation(UnitContext& ctx, EventHandle event);
+  // CEP republish: feeds the fill into the symbol's tumbling VWAP window and
+  // republishes each closed window as one endorsed tick.
+  void OnFillWindowed(UnitContext& ctx, const std::string& symbol, const cep::WindowItem& fill);
 
   const Tag r_;
   const Tag s_;
@@ -55,10 +70,14 @@ class RegulatorUnit : public Unit {
   SubscriptionId trade_sub_ = 0;
   SubscriptionId delegation_sub_ = 0;
 
+  // Per-symbol VWAP windows (vwap_window > 0 only).
+  std::unordered_map<std::string, cep::Window> vwap_windows_;
+
   uint64_t trades_observed_ = 0;
   uint64_t ticks_republished_ = 0;
   uint64_t audits_requested_ = 0;
   uint64_t delegations_received_ = 0;
+  uint64_t vwap_blocked_ = 0;
 };
 
 // Managed per-trade quota checker, confined to {r, tr}.

@@ -1,0 +1,634 @@
+// Tests for the label-aware CEP operator layer (src/cep/).
+//
+// Covers: the window shapes and aggregate folds as a library; operator
+// transcripts byte-identical across all four security modes x shards {1,4} x
+// dispatch cache {on,off}; label-join correctness for aggregates over
+// mixed-secrecy inputs including the must-NOT-emit leak case and the
+// explicit-declassification path; sequence detection with the within-window
+// bound; and a pooled (multi-threaded) windowed stress with deterministic
+// totals (the TSan CI target).
+#include "src/cep/cep.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "src/trading/platform.h"
+#include "tests/test_util.h"
+
+namespace defcon {
+namespace {
+
+using cep::Aggregate;
+using cep::AggregateKind;
+using cep::AggregateResult;
+using cep::EmitPolicy;
+using cep::SequenceDetectorUnit;
+using cep::SequenceOptions;
+using cep::SequenceStep;
+using cep::Window;
+using cep::WindowAggregateOptions;
+using cep::WindowAggregateUnit;
+using cep::WindowItem;
+using cep::WindowSpec;
+
+constexpr SecurityMode kAllModes[] = {SecurityMode::kNoSecurity, SecurityMode::kLabels,
+                                      SecurityMode::kLabelsClone,
+                                      SecurityMode::kLabelsIsolation};
+
+std::vector<WindowItem> Items(std::initializer_list<double> values) {
+  std::vector<WindowItem> items;
+  int64_t ts = 0;
+  for (double v : values) {
+    WindowItem item;
+    item.ts_ns = ts++;
+    item.value = v;
+    items.push_back(item);
+  }
+  return items;
+}
+
+// ---------------------------------------------------------------------------
+// Window / Aggregate as a library
+// ---------------------------------------------------------------------------
+
+TEST(CepWindow, TumblingCountClosesDisjointWindows) {
+  Window window(WindowSpec::TumblingCount(3));
+  std::vector<std::vector<WindowItem>> closed;
+  for (const WindowItem& item : Items({1, 2, 3, 4, 5, 6, 7})) {
+    window.Add(item, &closed);
+  }
+  ASSERT_EQ(closed.size(), 2u);
+  EXPECT_EQ(Aggregate(AggregateKind::kSum, closed[0]).value, 6.0);
+  EXPECT_EQ(Aggregate(AggregateKind::kSum, closed[1]).value, 15.0);
+  EXPECT_EQ(window.size(), 1u);  // the 7 is buffered, not lost
+  window.Flush(&closed);
+  ASSERT_EQ(closed.size(), 3u);
+  EXPECT_EQ(Aggregate(AggregateKind::kSum, closed[2]).value, 7.0);
+}
+
+TEST(CepWindow, SlidingCountReemitsTrailingItems) {
+  Window window(WindowSpec::SlidingCount(/*count=*/3, /*slide=*/2));
+  std::vector<std::vector<WindowItem>> closed;
+  for (const WindowItem& item : Items({1, 2, 3, 4, 5, 6})) {
+    window.Add(item, &closed);
+  }
+  // Full at arrival 3; slide phase emits at arrivals 4 and 6.
+  ASSERT_EQ(closed.size(), 2u);
+  EXPECT_EQ(Aggregate(AggregateKind::kSum, closed[0]).value, 2 + 3 + 4.0);
+  EXPECT_EQ(Aggregate(AggregateKind::kSum, closed[1]).value, 4 + 5 + 6.0);
+}
+
+TEST(CepWindow, TumblingTimeClosesOnTickTime) {
+  Window window(WindowSpec::TumblingTime(100));
+  std::vector<std::vector<WindowItem>> closed;
+  auto add = [&](int64_t ts, double value) {
+    WindowItem item;
+    item.ts_ns = ts;
+    item.value = value;
+    window.Add(item, &closed);
+  };
+  add(0, 1);
+  add(50, 2);
+  add(120, 3);  // closes [0,100)
+  add(460, 4);  // closes [100,200); empty intervals in between emit nothing
+  ASSERT_EQ(closed.size(), 2u);
+  EXPECT_EQ(Aggregate(AggregateKind::kSum, closed[0]).value, 3.0);
+  EXPECT_EQ(Aggregate(AggregateKind::kSum, closed[1]).value, 3.0);
+  EXPECT_EQ(window.size(), 1u);
+}
+
+TEST(CepWindow, SlidingTimeEvictsAndPacesEmissions) {
+  Window window(WindowSpec::SlidingTime(/*span=*/100, /*slide=*/50));
+  std::vector<std::vector<WindowItem>> closed;
+  auto add = [&](int64_t ts, double value) {
+    WindowItem item;
+    item.ts_ns = ts;
+    item.value = value;
+    window.Add(item, &closed);
+  };
+  add(0, 1);    // first arrival emits {1}
+  add(20, 2);   // before next_emit: no emission
+  add(60, 3);   // emits {1,2,3}
+  add(170, 4);  // evicts everything <= 70: emits {4}
+  ASSERT_EQ(closed.size(), 3u);
+  EXPECT_EQ(Aggregate(AggregateKind::kCount, closed[0]).count, 1);
+  EXPECT_EQ(Aggregate(AggregateKind::kSum, closed[1]).value, 6.0);
+  EXPECT_EQ(Aggregate(AggregateKind::kSum, closed[2]).value, 4.0);
+}
+
+TEST(CepAggregate, FoldsValuesQuantitiesAndLabels) {
+  TagStore store(1);
+  const Tag a = store.CreateTag("a");
+  const Tag b = store.CreateTag("b");
+  std::vector<WindowItem> items(3);
+  items[0].value = 100;
+  items[0].qty = 1;
+  items[0].label = Label({a}, {a, b});
+  items[1].value = 200;
+  items[1].qty = 3;
+  items[1].label = Label({b}, {a});
+  items[2].value = 50;
+  items[2].qty = 0;
+  items[2].label = Label();
+
+  const AggregateResult vwap = Aggregate(AggregateKind::kVwap, items);
+  EXPECT_DOUBLE_EQ(vwap.value, (100.0 * 1 + 200.0 * 3 + 50.0 * 0) / 4.0);
+  EXPECT_EQ(vwap.count, 3);
+  EXPECT_EQ(vwap.volume, 4);
+  // Secrecy accumulates; integrity survives only where every sample has it.
+  EXPECT_TRUE(vwap.label.secrecy.Contains(a));
+  EXPECT_TRUE(vwap.label.secrecy.Contains(b));
+  EXPECT_TRUE(vwap.label.integrity.empty());
+
+  EXPECT_EQ(Aggregate(AggregateKind::kMin, items).value, 50.0);
+  EXPECT_EQ(Aggregate(AggregateKind::kMax, items).value, 200.0);
+  EXPECT_EQ(Aggregate(AggregateKind::kCount, items).value, 3.0);
+  // Zero total quantity degrades VWAP to the unweighted mean.
+  for (auto& item : items) {
+    item.qty = 0;
+  }
+  EXPECT_DOUBLE_EQ(Aggregate(AggregateKind::kVwap, items).value, 350.0 / 3.0);
+}
+
+// ---------------------------------------------------------------------------
+// Operator transcripts: modes x shards x cache
+// ---------------------------------------------------------------------------
+
+// Builds a fixed mixed-label windowed + sequence scenario and returns the
+// transcript a high-clearance recorder observes, plus operator counters.
+struct CepScenario {
+  std::vector<std::string> transcript;
+  uint64_t agg_emissions = 0;
+  uint64_t seq_detections = 0;
+  uint64_t deliveries = 0;
+};
+
+CepScenario RunCepScenario(SecurityMode mode, size_t shards, bool use_cache) {
+  EngineConfig config = ManualConfig(mode);
+  config.index_shards = shards;
+  config.use_dispatch_cache = use_cache;
+  Engine engine(config);
+  const Tag a = engine.tag_store().CreateTag("a");
+  const Tag b = engine.tag_store().CreateTag("b");
+
+  WindowAggregateOptions agg_options;
+  agg_options.filter = Filter::Exists("px");
+  agg_options.value_part = "px";
+  agg_options.qty_part = "qty";
+  agg_options.time_part = "ts";
+  agg_options.window = WindowSpec::TumblingCount(4);
+  agg_options.aggregate = AggregateKind::kVwap;
+  agg_options.out_type = "agg";
+  auto* agg_unit = new WindowAggregateUnit(agg_options);
+  engine.AddUnit("agg", std::unique_ptr<Unit>(agg_unit), Label({a, b}, {}));
+
+  SequenceOptions seq_options;
+  seq_options.subscription = Filter::Exists("px");
+  seq_options.steps.push_back({"low", Filter::Compare("px", CompareOp::kLt, Value::OfInt(110))});
+  seq_options.steps.push_back({"high", Filter::Compare("px", CompareOp::kGt, Value::OfInt(160))});
+  seq_options.within_ns = 100'000;
+  seq_options.time_part = "ts";
+  seq_options.out_type = "seq";
+  auto* seq_unit = new SequenceDetectorUnit(seq_options);
+  engine.AddUnit("seq", std::unique_ptr<Unit>(seq_unit), Label({a, b}, {}));
+
+  auto transcript = std::make_shared<std::vector<std::string>>();
+  auto* recorder = new TestUnit(
+      [](UnitContext& ctx) {
+        ASSERT_TRUE(ctx.Subscribe(Filter::Eq("type", Value::OfString("agg"))).ok());
+        ASSERT_TRUE(ctx.Subscribe(Filter::Eq("type", Value::OfString("seq"))).ok());
+      },
+      [transcript](UnitContext& ctx, EventHandle e, SubscriptionId) {
+        std::string line;
+        auto views = ctx.ReadAllParts(e);
+        ASSERT_TRUE(views.ok());
+        for (const auto& view : *views) {
+          line += view.name + "=" + view.data.ToString() + "@" + view.label.DebugString() + " ";
+        }
+        transcript->push_back(std::move(line));
+      });
+  engine.AddUnit("recorder", std::unique_ptr<Unit>(recorder), Label({a, b}, {}));
+
+  const UnitId publisher = engine.AddUnit("publisher", std::make_unique<TestUnit>());
+  engine.Start();
+  engine.RunUntilIdle();
+
+  // 12 mixed-label ticks, published per-event (the single-event dispatch
+  // path) with deterministic tick times.
+  for (int i = 0; i < 12; ++i) {
+    engine.InjectTurn(publisher, [i, a, b](UnitContext& ctx) {
+      const Label label = i % 3 == 0 ? Label({a}, {}) : i % 3 == 1 ? Label({b}, {}) : Label();
+      ASSERT_TRUE(ctx.BuildEvent()
+                      .Part(label, "px", Value::OfInt(100 + 10 * i))
+                      .Part(label, "qty", Value::OfInt(1 + i % 4))
+                      .Part("ts", Value::OfInt(i * 1000))
+                      .Publish()
+                      .ok());
+    });
+    engine.RunUntilIdle();
+  }
+  engine.RunUntilIdle();
+
+  CepScenario result;
+  result.transcript = *transcript;
+  result.agg_emissions = agg_unit->emissions();
+  result.seq_detections = seq_unit->detections();
+  result.deliveries = engine.stats().deliveries;
+  return result;
+}
+
+TEST(CepOperators, TranscriptsIdenticalAcrossShardsAndCacheInAllModes) {
+  for (SecurityMode mode : kAllModes) {
+    SCOPED_TRACE(SecurityModeName(mode));
+    const CepScenario reference = RunCepScenario(mode, /*shards=*/1, /*use_cache=*/false);
+    EXPECT_FALSE(reference.transcript.empty());
+    EXPECT_GT(reference.agg_emissions, 0u);
+    EXPECT_GT(reference.seq_detections, 0u);
+    for (size_t shards : {size_t{1}, size_t{4}}) {
+      for (bool use_cache : {true, false}) {
+        SCOPED_TRACE("shards=" + std::to_string(shards) + " cache=" + std::to_string(use_cache));
+        const CepScenario run = RunCepScenario(mode, shards, use_cache);
+        EXPECT_EQ(run.transcript, reference.transcript);
+        EXPECT_EQ(run.agg_emissions, reference.agg_emissions);
+        EXPECT_EQ(run.seq_detections, reference.seq_detections);
+        EXPECT_EQ(run.deliveries, reference.deliveries);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Label-join correctness, the leak gate, and declassification
+// ---------------------------------------------------------------------------
+
+// A VWAP over mixed-secrecy ticks must emit at the joined label: a
+// high-clearance reader sees it carrying BOTH tags, a public spy sees
+// nothing (in the label-enforcing modes).
+TEST(CepOperators, MixedSecrecyAggregateEmitsAtJoinedLabel) {
+  for (SecurityMode mode : kAllModes) {
+    SCOPED_TRACE(SecurityModeName(mode));
+    EngineConfig config = ManualConfig(mode);
+    Engine engine(config);
+    const Tag a = engine.tag_store().CreateTag("a");
+    const Tag b = engine.tag_store().CreateTag("b");
+
+    WindowAggregateOptions options;
+    options.filter = Filter::Exists("px");
+    options.value_part = "px";
+    options.window = WindowSpec::TumblingCount(2);
+    options.aggregate = AggregateKind::kVwap;
+    options.out_type = "vwap";
+    auto* unit = new WindowAggregateUnit(options);
+    engine.AddUnit("vwap", std::unique_ptr<Unit>(unit), Label({a, b}, {}));
+
+    auto joined_labels = std::make_shared<std::vector<Label>>();
+    engine.AddUnit("reader",
+                   std::make_unique<TestUnit>(
+                       [](UnitContext& ctx) {
+                         ASSERT_TRUE(
+                             ctx.Subscribe(Filter::Eq("type", Value::OfString("vwap"))).ok());
+                       },
+                       [joined_labels](UnitContext& ctx, EventHandle e, SubscriptionId) {
+                         auto views = ctx.ReadPart(e, "value");
+                         ASSERT_TRUE(views.ok());
+                         for (const auto& view : *views) {
+                           joined_labels->push_back(view.label);
+                         }
+                       }),
+                   Label({a, b}, {}));
+    auto* spy = new TestUnit([](UnitContext& ctx) {
+      ASSERT_TRUE(ctx.Subscribe(Filter::Eq("type", Value::OfString("vwap"))).ok());
+    });
+    engine.AddUnit("spy", std::unique_ptr<Unit>(spy));
+    const UnitId publisher = engine.AddUnit("publisher", std::make_unique<TestUnit>());
+    engine.Start();
+    engine.RunUntilIdle();
+
+    engine.InjectTurn(publisher, [a, b](UnitContext& ctx) {
+      ASSERT_TRUE(
+          ctx.BuildEvent().Part(Label({a}, {}), "px", Value::OfInt(100)).Publish().ok());
+      ASSERT_TRUE(
+          ctx.BuildEvent().Part(Label({b}, {}), "px", Value::OfInt(200)).Publish().ok());
+    });
+    engine.RunUntilIdle();
+
+    EXPECT_EQ(unit->emissions(), 1u);
+    EXPECT_EQ(unit->emissions_blocked(), 0u);
+    ASSERT_EQ(joined_labels->size(), 1u);
+    EXPECT_TRUE(joined_labels->front().secrecy.Contains(a));
+    EXPECT_TRUE(joined_labels->front().secrecy.Contains(b));
+    if (mode != SecurityMode::kNoSecurity) {
+      EXPECT_EQ(spy->delivery_count(), 0u)
+          << "a mixed-secrecy aggregate leaked to a public subscriber";
+    }
+  }
+}
+
+// The must-NOT-emit case: the operator is asked to emit publicly but holds
+// no declassification privileges — the gate suppresses the event entirely,
+// in every mode (the gate is library logic over the tracked join).
+TEST(CepOperators, MixedSecrecyAggregateBlockedWithoutDeclassification) {
+  for (SecurityMode mode : kAllModes) {
+    SCOPED_TRACE(SecurityModeName(mode));
+    EngineConfig config = ManualConfig(mode);
+    Engine engine(config);
+    const Tag a = engine.tag_store().CreateTag("a");
+    const Tag b = engine.tag_store().CreateTag("b");
+
+    WindowAggregateOptions options;
+    options.filter = Filter::Exists("px");
+    options.value_part = "px";
+    options.window = WindowSpec::TumblingCount(2);
+    options.aggregate = AggregateKind::kVwap;
+    options.out_type = "vwap";
+    options.emit.emit_label = Label();  // demand a public emission
+    auto* unit = new WindowAggregateUnit(options);
+    engine.AddUnit("vwap", std::unique_ptr<Unit>(unit), Label({a, b}, {}));
+    auto* spy = new TestUnit([](UnitContext& ctx) {
+      ASSERT_TRUE(ctx.Subscribe(Filter::Eq("type", Value::OfString("vwap"))).ok());
+    });
+    engine.AddUnit("spy", std::unique_ptr<Unit>(spy));
+    const UnitId publisher = engine.AddUnit("publisher", std::make_unique<TestUnit>());
+    engine.Start();
+    engine.RunUntilIdle();
+
+    engine.InjectTurn(publisher, [a, b](UnitContext& ctx) {
+      ASSERT_TRUE(
+          ctx.BuildEvent().Part(Label({a}, {}), "px", Value::OfInt(100)).Publish().ok());
+      ASSERT_TRUE(
+          ctx.BuildEvent().Part(Label({b}, {}), "px", Value::OfInt(200)).Publish().ok());
+    });
+    engine.RunUntilIdle();
+
+    EXPECT_EQ(unit->emissions(), 0u) << "gate failed: mixed-secrecy state emitted publicly";
+    EXPECT_EQ(unit->emissions_blocked(), 1u);
+    EXPECT_EQ(spy->delivery_count(), 0u);
+  }
+}
+
+// With t- for both tags (granted through the ordinary privileges API) the
+// same operator becomes an explicit declassifier: the aggregate emits
+// publicly and the spy may read it.
+TEST(CepOperators, DeclassificationPrivilegesUnlockPublicEmission) {
+  for (SecurityMode mode : kAllModes) {
+    SCOPED_TRACE(SecurityModeName(mode));
+    EngineConfig config = ManualConfig(mode);
+    Engine engine(config);
+    const Tag a = engine.tag_store().CreateTag("a");
+    const Tag b = engine.tag_store().CreateTag("b");
+
+    WindowAggregateOptions options;
+    options.filter = Filter::Exists("px");
+    options.value_part = "px";
+    options.window = WindowSpec::TumblingCount(2);
+    options.aggregate = AggregateKind::kVwap;
+    options.out_type = "vwap";
+    options.emit.emit_label = Label();
+    options.declassify_out = {a, b};  // drop the contamination from Sout too
+    auto* unit = new WindowAggregateUnit(options);
+    PrivilegeSet privileges;
+    privileges.Grant(a, Privilege::kMinus);
+    privileges.Grant(b, Privilege::kMinus);
+    engine.AddUnit("vwap", std::unique_ptr<Unit>(unit), Label({a, b}, {}), privileges);
+    auto spy_labels = std::make_shared<std::vector<Label>>();
+    auto* spy = new TestUnit(
+        [](UnitContext& ctx) {
+          ASSERT_TRUE(ctx.Subscribe(Filter::Eq("type", Value::OfString("vwap"))).ok());
+        },
+        [spy_labels](UnitContext& ctx, EventHandle e, SubscriptionId) {
+          auto views = ctx.ReadPart(e, "value");
+          ASSERT_TRUE(views.ok());
+          for (const auto& view : *views) {
+            spy_labels->push_back(view.label);
+          }
+        });
+    engine.AddUnit("spy", std::unique_ptr<Unit>(spy));
+    const UnitId publisher = engine.AddUnit("publisher", std::make_unique<TestUnit>());
+    engine.Start();
+    engine.RunUntilIdle();
+
+    engine.InjectTurn(publisher, [a, b](UnitContext& ctx) {
+      ASSERT_TRUE(
+          ctx.BuildEvent().Part(Label({a}, {}), "px", Value::OfInt(100)).Publish().ok());
+      ASSERT_TRUE(
+          ctx.BuildEvent().Part(Label({b}, {}), "px", Value::OfInt(200)).Publish().ok());
+    });
+    engine.RunUntilIdle();
+
+    EXPECT_EQ(unit->emissions(), 1u);
+    EXPECT_EQ(unit->emissions_blocked(), 0u);
+    ASSERT_EQ(spy->delivery_count(), 1u);
+    ASSERT_EQ(spy_labels->size(), 1u);
+    EXPECT_TRUE(spy_labels->front().secrecy.empty());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sequence patterns
+// ---------------------------------------------------------------------------
+
+TEST(CepSequence, WithinWindowBoundsDetection) {
+  EngineConfig config = ManualConfig(SecurityMode::kLabels);
+  Engine engine(config);
+
+  SequenceOptions options;
+  options.subscription = Filter::Exists("k");
+  options.steps.push_back({"a", Filter::Eq("k", Value::OfString("a"))});
+  options.steps.push_back({"b", Filter::Eq("k", Value::OfString("b"))});
+  options.steps.push_back({"c", Filter::Eq("k", Value::OfString("c"))});
+  options.within_ns = 500;
+  options.time_part = "ts";
+  auto* detector = new SequenceDetectorUnit(options);
+  engine.AddUnit("detector", std::unique_ptr<Unit>(detector));
+
+  auto spans = std::make_shared<std::vector<int64_t>>();
+  engine.AddUnit("listener",
+                 std::make_unique<TestUnit>(
+                     [](UnitContext& ctx) {
+                       ASSERT_TRUE(
+                           ctx.Subscribe(Filter::Eq("type", Value::OfString("seq"))).ok());
+                     },
+                     [spans](UnitContext& ctx, EventHandle e, SubscriptionId) {
+                       auto views = ctx.ReadPart(e, cep::kCepPartSpanNs);
+                       ASSERT_TRUE(views.ok());
+                       ASSERT_FALSE(views->empty());
+                       spans->push_back(views->front().data.int_value());
+                     }));
+  const UnitId publisher = engine.AddUnit("publisher", std::make_unique<TestUnit>());
+  engine.Start();
+  engine.RunUntilIdle();
+
+  auto publish = [&](const std::string& k, int64_t ts) {
+    engine.InjectTurn(publisher, [k, ts](UnitContext& ctx) {
+      ASSERT_TRUE(ctx.BuildEvent()
+                      .Part("k", Value::OfString(k))
+                      .Part("ts", Value::OfInt(ts))
+                      .Publish()
+                      .ok());
+    });
+    engine.RunUntilIdle();
+  };
+
+  // First attempt times out: the c arrives 600ns after the a.
+  publish("a", 0);
+  publish("b", 100);
+  publish("c", 601);
+  EXPECT_EQ(detector->detections(), 0u);
+  EXPECT_EQ(detector->partials_expired(), 1u);
+  // Second attempt fits the window.
+  publish("a", 1000);
+  publish("x", 1100);  // non-matching events are skipped, not fatal
+  publish("b", 1200);
+  publish("c", 1400);
+  EXPECT_EQ(detector->detections(), 1u);
+  ASSERT_EQ(spans->size(), 1u);
+  EXPECT_EQ(spans->front(), 400);
+}
+
+TEST(CepSequence, OverlappingPartialsAllDetected) {
+  EngineConfig config = ManualConfig(SecurityMode::kLabels);
+  Engine engine(config);
+
+  SequenceOptions options;
+  options.subscription = Filter::Exists("k");
+  options.steps.push_back({"a", Filter::Eq("k", Value::OfString("a"))});
+  options.steps.push_back({"b", Filter::Eq("k", Value::OfString("b"))});
+  options.time_part = "ts";
+  auto* detector = new SequenceDetectorUnit(options);
+  engine.AddUnit("detector", std::unique_ptr<Unit>(detector));
+  const UnitId publisher = engine.AddUnit("publisher", std::make_unique<TestUnit>());
+  engine.Start();
+  engine.RunUntilIdle();
+
+  auto publish = [&](const std::string& k, int64_t ts) {
+    engine.InjectTurn(publisher, [k, ts](UnitContext& ctx) {
+      ASSERT_TRUE(ctx.BuildEvent()
+                      .Part("k", Value::OfString(k))
+                      .Part("ts", Value::OfInt(ts))
+                      .Publish()
+                      .ok());
+    });
+    engine.RunUntilIdle();
+  };
+  publish("a", 0);
+  publish("a", 10);  // two live partials
+  publish("b", 20);  // completes both
+  EXPECT_EQ(detector->detections(), 2u);
+  EXPECT_EQ(detector->partials_live(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Trading integration: the regulator's windowed VWAP republish
+// ---------------------------------------------------------------------------
+
+TEST(CepTrading, RegulatorWindowedVwapRepublishes) {
+  EngineConfig config = ManualConfig(SecurityMode::kLabels);
+  Engine engine(config);
+  PlatformConfig platform_config;
+  platform_config.num_traders = 8;
+  platform_config.num_symbols = 16;
+  platform_config.seed = 11;
+  platform_config.regulator.vwap_window = 4;  // CEP republish path
+  platform_config.num_vwap_monitors = 8;      // plus standalone monitors
+  platform_config.vwap_monitor_window = 16;
+  TradingPlatform platform(&engine, platform_config);
+  platform.Assemble();
+  engine.Start();
+  engine.RunUntilIdle();
+
+  TickSource source(platform_config.num_symbols, platform_config.seed);
+  for (size_t i = 0; i < 2500; ++i) {
+    platform.InjectTick(source.Next());
+    engine.RunUntilIdle();
+  }
+
+  EXPECT_GT(platform.trades_completed(), 0u);
+  EXPECT_GT(platform.regulator()->trades_observed(), 0u);
+  EXPECT_GT(platform.regulator()->ticks_republished(), 0u)
+      << "windowed VWAP republish produced no ticks";
+  EXPECT_EQ(platform.regulator()->vwap_blocked(), 0u);  // fills are public
+  EXPECT_GT(platform.cep_vwap_emissions(), 0u) << "VWAP monitors never closed a window";
+  EXPECT_EQ(platform.cep_vwap_blocked(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Pooled windowed stress (the TSan target): deterministic operator totals
+// under a multi-threaded executor.
+// ---------------------------------------------------------------------------
+
+TEST(CepOperators, PooledWindowedStressHasDeterministicTotals) {
+  constexpr int kPublishers = 4;
+  constexpr int kRounds = 40;
+  constexpr int kBatch = 16;
+  constexpr int kSymbols = 4;
+  EngineConfig config;
+  config.mode = SecurityMode::kLabels;
+  config.num_threads = 4;
+  Engine engine(config);
+
+  std::vector<WindowAggregateUnit*> monitors;
+  for (int s = 0; s < kSymbols; ++s) {
+    WindowAggregateOptions options;
+    options.filter = Filter::Eq("sym", Value::OfString("S" + std::to_string(s)));
+    options.value_part = "px";
+    options.time_part = "ts";
+    options.window = WindowSpec::SlidingCount(/*count=*/8, /*slide=*/4);
+    options.aggregate = AggregateKind::kMax;
+    options.out_type = "agg";
+    auto* unit = new WindowAggregateUnit(options);
+    monitors.push_back(unit);
+    engine.AddUnit("monitor-" + std::to_string(s), std::unique_ptr<Unit>(unit));
+  }
+  SequenceOptions seq_options;
+  seq_options.subscription = Filter::Exists("px");
+  seq_options.steps.push_back({"any", Filter::Exists("px")});
+  seq_options.time_part = "ts";
+  auto* detector = new SequenceDetectorUnit(seq_options);
+  engine.AddUnit("detector", std::unique_ptr<Unit>(detector));
+
+  std::vector<UnitId> publishers;
+  for (int p = 0; p < kPublishers; ++p) {
+    publishers.push_back(engine.AddUnit("pub-" + std::to_string(p),
+                                        std::make_unique<TestUnit>()));
+  }
+  engine.Start();
+  engine.WaitIdle();
+
+  for (int round = 0; round < kRounds; ++round) {
+    for (int p = 0; p < kPublishers; ++p) {
+      engine.InjectTurn(publishers[p], [p, round](UnitContext& ctx) {
+        std::vector<EventHandle> handles;
+        for (int i = 0; i < kBatch; ++i) {
+          const int seq = (p * kRounds + round) * kBatch + i;
+          auto handle = ctx.BuildEvent()
+                            .Part("sym", Value::OfString("S" + std::to_string(seq % kSymbols)))
+                            .Part("px", Value::OfInt(100 + seq % 50))
+                            .Part("ts", Value::OfInt(seq))
+                            .Build();
+          ASSERT_TRUE(handle.ok());
+          handles.push_back(*handle);
+        }
+        ASSERT_TRUE(ctx.PublishBatch(handles).ok());
+      });
+    }
+  }
+  engine.WaitIdle();
+
+  const uint64_t per_symbol =
+      static_cast<uint64_t>(kPublishers) * kRounds * kBatch / kSymbols;
+  uint64_t emissions = 0;
+  for (const auto* monitor : monitors) {
+    EXPECT_EQ(monitor->samples(), per_symbol);
+    emissions += monitor->emissions();
+  }
+  // Sliding(8, 4): first emission at arrival 8, then every 4th arrival.
+  const uint64_t expected_per_monitor = (per_symbol - 8) / 4 + 1;
+  EXPECT_EQ(emissions, kSymbols * expected_per_monitor);
+  EXPECT_EQ(detector->detections(),
+            static_cast<uint64_t>(kPublishers) * kRounds * kBatch);
+  engine.Stop();
+}
+
+}  // namespace
+}  // namespace defcon

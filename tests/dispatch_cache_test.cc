@@ -278,6 +278,50 @@ TEST(DispatchCache, SingleEventPathSharesCandidateCache) {
   EXPECT_EQ(stats.candidate_cache_hits, 3u);    // later publishes reuse it
 }
 
+// ROADMAP close-out: the single-event publish path now fetches each part
+// label's flow snapshot once per Dispatch instead of always skipping the
+// flow cache. A warm single-event publish answers every match-path label
+// check from the snapshots — hits counted, no new CanFlowTo evaluations.
+TEST(DispatchCache, SingleEventPathHitsFlowCache) {
+  EngineConfig config = ManualConfig(SecurityMode::kLabels);
+  Engine engine(config);
+  const Tag p = engine.tag_store().CreateTag("p");
+  // One in-compartment reader plus three public candidates the label checks
+  // filter out; none of them read parts, so every label check is match-path.
+  engine.AddUnit("reader", std::make_unique<TestUnit>([](UnitContext& ctx) {
+                   ASSERT_TRUE(ctx.Subscribe(Filter::Exists("payload")).ok());
+                 }),
+                 Label({p}, {}));
+  for (int i = 0; i < 3; ++i) {
+    engine.AddUnit("out" + std::to_string(i), std::make_unique<TestUnit>([](UnitContext& ctx) {
+                     ASSERT_TRUE(ctx.Subscribe(Filter::Exists("payload")).ok());
+                   }));
+  }
+  const UnitId publisher = engine.AddUnit("publisher", std::make_unique<TestUnit>());
+  engine.Start();
+  engine.RunUntilIdle();
+
+  auto publish_one = [&] {
+    engine.InjectTurn(publisher, [p](UnitContext& ctx) {
+      ASSERT_TRUE(ctx.BuildEvent()
+                      .Part(Label({p}, {}), "payload", Value::OfInt(7))
+                      .Publish()
+                      .ok());
+    });
+    engine.RunUntilIdle();
+  };
+
+  publish_one();  // cold: computes the 4 verdicts, publishes the snapshot
+  const EngineStatsSnapshot cold = engine.stats();
+  EXPECT_EQ(cold.flow_cache_hits, 0u);
+  EXPECT_GT(cold.label_checks, 0u);
+  publish_one();  // warm: every verdict served from the snapshot
+  const EngineStatsSnapshot warm = engine.stats();
+  EXPECT_GE(warm.flow_cache_hits, cold.flow_cache_hits + 4);
+  EXPECT_EQ(warm.label_checks, cold.label_checks);
+  EXPECT_EQ(warm.deliveries, cold.deliveries + 1);  // reader only, both times
+}
+
 TEST(DispatchCache, DisabledCacheReportsNoCacheTraffic) {
   EngineConfig config = ManualConfig(SecurityMode::kLabels);
   config.use_dispatch_cache = false;

@@ -246,14 +246,19 @@ TEST(ShardedDispatch, ChurnLeavesOtherShardsCandidatesWarm) {
   });
   engine.RunUntilIdle();
 
-  // Shard(B) stayed warm: another B publish is a pure hit.
+  // Shard(B) stayed warm: another B publish is a pure candidate hit. The
+  // publish may still sweep the CHURNED shard once: the single-event path
+  // publishes its flow verdicts too, and the public part label's flow store
+  // can hash to the churned shard — that is the churned shard's one
+  // legitimate sweep happening early, not a B-side eviction.
   publish_to(key_b);
   const EngineStatsSnapshot after_b = engine.stats();
   EXPECT_EQ(after_b.candidate_cache_misses, warm.candidate_cache_misses);
   EXPECT_EQ(after_b.candidate_cache_hits, warm.candidate_cache_hits + 1);
-  EXPECT_EQ(after_b.dispatch_cache_invalidations, warm.dispatch_cache_invalidations);
+  EXPECT_LE(after_b.dispatch_cache_invalidations, warm.dispatch_cache_invalidations + 1);
 
-  // Shard(A) went cold: the next A publish rebuilds (exactly one sweep).
+  // Shard(A) went cold: the next A publish rebuilds. Across both publishes
+  // the churn cost exactly one sweep — the churned shard's own.
   publish_to(key_a);
   const EngineStatsSnapshot after_a = engine.stats();
   EXPECT_EQ(after_a.candidate_cache_misses, warm.candidate_cache_misses + 1);
