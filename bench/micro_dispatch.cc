@@ -253,27 +253,35 @@ class KeyedBatchPublisher : public Unit {
   int64_t seq_ = 0;
 };
 
-void BM_ContendedMultiPublisher(benchmark::State& state) {
+// The contended-dispatch topology shared by BM_ContendedMultiPublisher and
+// BM_PairedAB_StealVsGlobal: 4 keyed batch publishers, each with 4 receivers
+// selecting on its key.
+std::vector<std::pair<UnitId, KeyedBatchPublisher*>> AddContendedTopology(Engine* engine) {
   constexpr int kPublishers = 4;
   constexpr int kReceiversPerKey = 4;
-  const size_t batch = static_cast<size_t>(state.range(1));
-  EngineConfig config;
-  config.mode = SecurityMode::kLabels;
-  config.num_threads = 2;
-  config.index_shards = static_cast<size_t>(state.range(0));
-  Engine engine(config);
   std::vector<std::pair<UnitId, KeyedBatchPublisher*>> pubs;
   for (int p = 0; p < kPublishers; ++p) {
     const std::string key = "inbox-" + std::to_string(p);
     for (int r = 0; r < kReceiversPerKey; ++r) {
-      engine.AddUnit("rcv-" + std::to_string(p) + "-" + std::to_string(r),
-                     std::make_unique<SelectiveUnit>(key));
+      engine->AddUnit("rcv-" + std::to_string(p) + "-" + std::to_string(r),
+                      std::make_unique<SelectiveUnit>(key));
     }
     auto* publisher = new KeyedBatchPublisher(key);
     pubs.emplace_back(
-        engine.AddUnit("pub-" + std::to_string(p), std::unique_ptr<Unit>(publisher)),
+        engine->AddUnit("pub-" + std::to_string(p), std::unique_ptr<Unit>(publisher)),
         publisher);
   }
+  return pubs;
+}
+
+void BM_ContendedMultiPublisher(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(1));
+  EngineConfig config;
+  config.mode = SecurityMode::kLabels;
+  config.num_threads = static_cast<size_t>(state.range(2));
+  config.index_shards = static_cast<size_t>(state.range(0));
+  Engine engine(config);
+  auto pubs = AddContendedTopology(&engine);
   const UnitId churner = engine.AddUnit("churner", std::make_unique<PublisherUnit>());
   engine.Start();
   engine.WaitIdle();
@@ -295,15 +303,26 @@ void BM_ContendedMultiPublisher(benchmark::State& state) {
     ++iter;
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(kPublishers) * static_cast<int64_t>(batch));
+                          static_cast<int64_t>(pubs.size()) * static_cast<int64_t>(batch));
   const auto stats = engine.stats();
   state.counters["deliveries"] = static_cast<double>(stats.deliveries);
   state.counters["candidate_hits"] = static_cast<double>(stats.candidate_cache_hits);
   state.counters["candidate_misses"] = static_cast<double>(stats.candidate_cache_misses);
   state.counters["invalidations"] = static_cast<double>(stats.dispatch_cache_invalidations);
+  const auto executor = engine.executor_stats();
+  state.counters["steals"] = static_cast<double>(executor.steals);
+  state.counters["parks"] = static_cast<double>(executor.parks);
+  state.counters["local_hits"] = static_cast<double>(executor.local_hits);
 }
+// Arguments: {index_shards, events per batch, worker threads}. The shard
+// sweep (workers pinned at 2) is the PR 3 contention story; the worker sweep
+// (shards pinned at 8) is the PR 5 executor-scaling story — with the
+// dispatcher sharded, throughput growth across {1,2,4,8} workers is bounded
+// by runnable-actor hand-off, which is exactly what the stealing executor
+// decentralises (steals/parks/local_hits counters tell the story).
 BENCHMARK(BM_ContendedMultiPublisher)
-    ->ArgsProduct({{1, 2, 4, 8}, {32}})
+    ->ArgsProduct({{1, 2, 4, 8}, {32}, {2}})
+    ->ArgsProduct({{8}, {32}, {1, 4, 8}})  // /8/32/2 already covered above
     ->UseRealTime()
     ->MeasureProcessCPUTime();
 
@@ -410,6 +429,73 @@ void BM_PairedAB_Shards1Vs8(benchmark::State& state) {
   RunPairedAB(state, a, b);
 }
 BENCHMARK(BM_PairedAB_Shards1Vs8)->Arg(64);
+
+// Pooled paired A/B: the contended multi-publisher workload on A = the
+// global single-queue executor vs B = the work-stealing executor, alternated
+// within one process. ab_ratio_med < 1.0 means stealing is faster; on a
+// multi-core host the PR 5 acceptance bar is <= 1/1.3. Arguments:
+// {events per batch, worker threads}.
+struct ABPooledEngine {
+  std::unique_ptr<Engine> engine;
+  std::vector<std::pair<UnitId, KeyedBatchPublisher*>> pubs;
+};
+
+ABPooledEngine MakeABPooledEngine(const EngineConfig& config) {
+  ABPooledEngine ab;
+  ab.engine = std::make_unique<Engine>(config);
+  ab.pubs = AddContendedTopology(ab.engine.get());
+  ab.engine->Start();
+  ab.engine->WaitIdle();
+  return ab;
+}
+
+void BM_PairedAB_StealVsGlobal(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  EngineConfig config_a;
+  config_a.mode = SecurityMode::kLabels;
+  config_a.num_threads = static_cast<size_t>(state.range(1));
+  config_a.index_shards = 8;
+  config_a.executor_mode = ExecutorMode::kGlobal;
+  EngineConfig config_b = config_a;
+  config_b.executor_mode = ExecutorMode::kStealing;
+  ABPooledEngine a = MakeABPooledEngine(config_a);
+  ABPooledEngine b = MakeABPooledEngine(config_b);
+  auto run_once = [batch](ABPooledEngine& e) {
+    const int64_t start = MonotonicNowNs();
+    for (auto& [id, publisher] : e.pubs) {
+      e.engine->InjectTurn(id, [publisher, batch](UnitContext& ctx) {
+        (void)publisher->PublishPings(ctx, batch);
+      });
+    }
+    e.engine->WaitIdle();
+    return static_cast<double>(MonotonicNowNs() - start);
+  };
+  run_once(a);
+  run_once(b);  // warmup pair
+  std::vector<double> a_ns, b_ns, ratios;
+  for (auto _ : state) {
+    const double na = run_once(a);
+    const double nb = run_once(b);
+    a_ns.push_back(na);
+    b_ns.push_back(nb);
+    ratios.push_back(na > 0 ? nb / na : 0.0);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(a.pubs.size()) * static_cast<int64_t>(batch) *
+                          2);
+  state.counters["ab_ratio_med"] = MedianOf(std::move(ratios));
+  state.counters["a_med_ns"] = MedianOf(std::move(a_ns));
+  state.counters["b_med_ns"] = MedianOf(std::move(b_ns));
+  const auto stealing = b.engine->executor_stats();
+  state.counters["steals"] = static_cast<double>(stealing.steals);
+  state.counters["parks"] = static_cast<double>(stealing.parks);
+  state.counters["local_hits"] = static_cast<double>(stealing.local_hits);
+}
+BENCHMARK(BM_PairedAB_StealVsGlobal)
+    ->Args({32, 2})
+    ->Args({32, 4})
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
 
 // Fan-out cost: one event matching N subscribers (the tick -> pair monitor
 // pattern whose scaling defines Fig. 5's slope).

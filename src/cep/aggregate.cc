@@ -64,6 +64,157 @@ AggregateResult Aggregate(AggregateKind kind, const std::vector<WindowItem>& ite
   return result;
 }
 
+bool AggregateSupportsUnfold(AggregateKind kind) {
+  switch (kind) {
+    case AggregateKind::kCount:
+    case AggregateKind::kSum:
+    case AggregateKind::kVwap:
+      return true;
+    case AggregateKind::kMin:
+    case AggregateKind::kMax:
+      return false;
+  }
+  return false;
+}
+
+SlidingAggregate::SlidingAggregate(const WindowSpec& spec, AggregateKind kind)
+    : spec_(spec), kind_(kind) {}
+
+bool SlidingAggregate::Supports(const WindowSpec& spec, AggregateKind kind) {
+  return (spec.kind == WindowKind::kSlidingCount || spec.kind == WindowKind::kSlidingTime) &&
+         AggregateSupportsUnfold(kind);
+}
+
+void SlidingAggregate::Fold(const WindowItem& item) {
+  ++count_;
+  volume_ += item.qty;
+  sum_ += item.value;
+  weighted_ += item.value * static_cast<double>(item.qty);
+  for (LabelEntry& entry : labels_) {
+    if (entry.label == item.label) {
+      ++entry.refs;
+      return;
+    }
+  }
+  labels_.push_back({item.label, 1});
+  if (!join_dirty_) {
+    // A new distinct label joins into the cached join directly (joining is
+    // monotone on the add side; only eviction can shrink the join).
+    joined_ = labels_.size() == 1 ? item.label : LabelJoin(joined_, item.label);
+  }
+}
+
+void SlidingAggregate::Unfold(const WindowItem& item) {
+  --count_;
+  volume_ -= item.qty;
+  sum_ -= item.value;
+  weighted_ -= item.value * static_cast<double>(item.qty);
+  ++evictions_since_refresh_;
+  if (count_ == 0) {
+    // Fresh start: exact numeric state, drift from double cancellation reset.
+    sum_ = 0.0;
+    weighted_ = 0.0;
+    volume_ = 0;
+    evictions_since_refresh_ = 0;
+  }
+  for (size_t i = 0; i < labels_.size(); ++i) {
+    if (labels_[i].label == item.label) {
+      if (--labels_[i].refs == 0) {
+        // The last sample carrying this label left: only now can the join
+        // have shrunk, so only now does it need recomputing.
+        labels_[i] = labels_.back();
+        labels_.pop_back();
+        join_dirty_ = true;
+        ++label_rejoins_;
+      }
+      return;
+    }
+  }
+}
+
+// Discards the drifting double accumulators and refolds them from the live
+// items. Called from Add once the eviction loop has finished (items_ and the
+// accumulators agree there); a full sliding window never empties, so without
+// this the Fold/Unfold rounding residue would grow for the stream's
+// lifetime.
+void SlidingAggregate::RefreshDoubles() {
+  sum_ = 0.0;
+  weighted_ = 0.0;
+  for (const WindowItem& item : items_) {
+    sum_ += item.value;
+    weighted_ += item.value * static_cast<double>(item.qty);
+  }
+  evictions_since_refresh_ = 0;
+}
+
+AggregateResult SlidingAggregate::Emit() {
+  if (join_dirty_) {
+    LabelAccumulator acc;
+    for (const LabelEntry& entry : labels_) {
+      acc.Add(entry.label);
+    }
+    joined_ = acc.label();
+    join_dirty_ = false;
+  }
+  AggregateResult result;
+  result.count = count_;
+  result.volume = volume_;
+  result.label = joined_;
+  switch (kind_) {
+    case AggregateKind::kCount:
+      result.value = static_cast<double>(count_);
+      break;
+    case AggregateKind::kSum:
+      result.value = sum_;
+      break;
+    case AggregateKind::kVwap:
+      result.value = volume_ > 0 ? weighted_ / static_cast<double>(volume_)
+                                 : sum_ / static_cast<double>(count_);
+      break;
+    case AggregateKind::kMin:
+    case AggregateKind::kMax:
+      break;  // unreachable: Supports() rejects non-subtractable kinds
+  }
+  return result;
+}
+
+std::optional<AggregateResult> SlidingAggregate::Add(WindowItem item) {
+  // Mirrors Window::Add's sliding shapes exactly (push/evict order and
+  // emission cadence), with Fold/Unfold replacing the span copy + refold.
+  if (spec_.kind == WindowKind::kSlidingCount) {
+    Fold(item);
+    items_.push_back(std::move(item));
+    while (items_.size() > spec_.count) {
+      Unfold(items_.front());
+      items_.pop_front();
+    }
+    if (evictions_since_refresh_ >= kRefreshEvictions) {
+      RefreshDoubles();
+    }
+    ++arrivals_;
+    if (items_.size() == spec_.count && arrivals_ % spec_.slide == 0) {
+      return Emit();
+    }
+    return std::nullopt;
+  }
+  // kSlidingTime
+  const int64_t now = item.ts_ns;
+  while (!items_.empty() && items_.front().ts_ns <= now - spec_.span_ns) {
+    Unfold(items_.front());
+    items_.pop_front();
+  }
+  Fold(item);
+  items_.push_back(std::move(item));
+  if (evictions_since_refresh_ >= kRefreshEvictions) {
+    RefreshDoubles();
+  }
+  if (next_emit_ns_ == kUnset || now >= next_emit_ns_) {
+    next_emit_ns_ = now + spec_.slide_ns;
+    return Emit();
+  }
+  return std::nullopt;
+}
+
 std::optional<Label> GateEmission(const UnitContext& ctx, const Label& state_label,
                                   const EmitPolicy& policy, uint64_t* blocked) {
   if (!policy.emit_label.has_value()) {

@@ -13,6 +13,7 @@
 #define DEFCON_SRC_CEP_AGGREGATE_H_
 
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <vector>
 
@@ -67,6 +68,83 @@ struct EmitPolicy {
   // label, which GateEmission only permits when the state can flow there or
   // the unit holds the privileges to bridge the difference.
   std::optional<Label> emit_label;
+};
+
+// True for kinds with an exact inverse fold (count/sum/vwap): evicting a
+// sample can subtract its contribution instead of refolding the window.
+// min/max have no inverse and keep the refold path.
+bool AggregateSupportsUnfold(AggregateKind kind);
+
+// Incremental sliding-window aggregation: the fold/Unfold fast path for
+// subtractable aggregates over sliding windows, making each emission
+// O(evicted) instead of refold-O(window) (and skipping the O(window) span
+// copy the generic Window hands back).
+//
+// Label exactness is preserved without an "un-join" (which the label lattice
+// does not have): the accumulator keeps a refcount per DISTINCT contributing
+// label. Adding a sample with a known label is O(distinct); adding a new
+// label joins it into the cached running join; evicting a sample only forces
+// a re-join when it was the LAST sample carrying its label — i.e. when a
+// label-contributing sample leaves — and that re-join folds the distinct
+// labels (not the window items). Numeric state is subtract-exact for count
+// and volume (integers); sum/vwap accumulate in double, so each Fold/Unfold
+// pair can leave a rounding residue — a full sliding window never empties,
+// so drift is bounded by refreshing the double accumulators with a fresh
+// fold over the live items every kRefreshEvictions evictions (amortised
+// O(window / kRefreshEvictions) per arrival) and whenever the window
+// empties.
+//
+// Emission cadence replicates Window::Add for the two sliding shapes
+// verbatim, so swapping the refold path for this one changes no transcript
+// timing.
+class SlidingAggregate {
+ public:
+  SlidingAggregate(const WindowSpec& spec, AggregateKind kind);
+
+  // True when (spec, kind) is a sliding window over a subtractable fold.
+  static bool Supports(const WindowSpec& spec, AggregateKind kind);
+
+  // Feeds one sample; returns the window's aggregate when this arrival
+  // completes an emission (same cadence as Window::Add + Aggregate()).
+  std::optional<AggregateResult> Add(WindowItem item);
+
+  size_t size() const { return items_.size(); }
+  // Evictions that removed the last sample of a distinct label and therefore
+  // forced a re-join over the remaining distinct labels (diagnostics).
+  uint64_t label_rejoins() const { return label_rejoins_; }
+
+ private:
+  static constexpr int64_t kUnset = INT64_MIN;
+  // Evictions between refolds of the double accumulators (drift bound).
+  static constexpr uint64_t kRefreshEvictions = 4096;
+
+  void Fold(const WindowItem& item);
+  void Unfold(const WindowItem& item);
+  void RefreshDoubles();
+  AggregateResult Emit();
+
+  const WindowSpec spec_;
+  const AggregateKind kind_;
+  std::deque<WindowItem> items_;
+  size_t arrivals_ = 0;          // sliding count: slide phase
+  int64_t next_emit_ns_ = kUnset;  // sliding time: earliest next emission
+
+  // Running numeric state.
+  int64_t count_ = 0;
+  int64_t volume_ = 0;
+  double sum_ = 0.0;
+  double weighted_ = 0.0;
+  uint64_t evictions_since_refresh_ = 0;
+
+  // Distinct-label refcounts + cached join (recomputed only when dirty).
+  struct LabelEntry {
+    Label label;
+    size_t refs = 0;
+  };
+  std::vector<LabelEntry> labels_;
+  Label joined_;
+  bool join_dirty_ = false;
+  uint64_t label_rejoins_ = 0;
 };
 
 // Decides the label a derived event may carry, or nullopt when emission must

@@ -88,36 +88,50 @@ void WindowAggregateUnit::OnEvent(UnitContext& ctx, EventHandle event, Subscript
   item.ts_ns = EventTickTime(ctx, event, options_.time_part);
   ++samples_;
 
-  std::vector<std::vector<WindowItem>> closed;
-  window_.Add(std::move(item), &closed);
-  if (closed.empty()) {
-    return;
-  }
   std::vector<EventHandle> handles;
-  handles.reserve(closed.size());
-  for (const auto& span : closed) {
-    const AggregateResult agg = Aggregate(options_.aggregate, span);
-    if (agg.count == 0) {
-      continue;
+  if (incremental_.has_value()) {
+    // Sliding + subtractable: O(evicted) Fold/Unfold, no span copy.
+    const auto agg = incremental_->Add(std::move(item));
+    if (!agg.has_value() || agg->count == 0) {
+      return;
     }
-    const auto label = GateEmission(ctx, agg.label, options_.emit, &emissions_blocked_);
-    if (!label.has_value()) {
-      continue;  // mixed-secrecy state with no declassification right: suppress
+    EmitResult(ctx, *agg, &handles);
+  } else {
+    std::vector<std::vector<WindowItem>> closed;
+    window_.Add(std::move(item), &closed);
+    if (closed.empty()) {
+      return;
     }
-    BuildDerived(
-        ctx, *label, options_.out_type, options_.out_extra,
-        [&agg](EventBuilder& builder, const Label& at) {
-          builder.Part(at, kCepPartValue, Value::OfDouble(agg.value))
-              .Part(at, kCepPartCount, Value::OfInt(agg.count))
-              .Part(at, kCepPartVolume, Value::OfInt(agg.volume));
-        },
-        &handles);
+    handles.reserve(closed.size());
+    for (const auto& span : closed) {
+      const AggregateResult agg = Aggregate(options_.aggregate, span);
+      if (agg.count == 0) {
+        continue;
+      }
+      EmitResult(ctx, agg, &handles);
+    }
   }
   if (!handles.empty()) {
     size_t published = 0;
     (void)ctx.PublishBatch(handles, &published);
     emissions_ += published;
   }
+}
+
+void WindowAggregateUnit::EmitResult(UnitContext& ctx, const AggregateResult& agg,
+                                     std::vector<EventHandle>* handles) {
+  const auto label = GateEmission(ctx, agg.label, options_.emit, &emissions_blocked_);
+  if (!label.has_value()) {
+    return;  // mixed-secrecy state with no declassification right: suppress
+  }
+  BuildDerived(
+      ctx, *label, options_.out_type, options_.out_extra,
+      [&agg](EventBuilder& builder, const Label& at) {
+        builder.Part(at, kCepPartValue, Value::OfDouble(agg.value))
+            .Part(at, kCepPartCount, Value::OfInt(agg.count))
+            .Part(at, kCepPartVolume, Value::OfInt(agg.volume));
+      },
+      handles);
 }
 
 // ---------------------------------------------------------------------------

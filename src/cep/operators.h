@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -58,12 +59,24 @@ struct WindowAggregateOptions {
   // emission no matter what the gate decided; with it (plus an emit_label
   // below the join), the operator is an explicit declassifier.
   std::vector<Tag> declassify_out;
+  // Sliding windows over subtractable folds (count/sum/VWAP) use the
+  // incremental Fold/Unfold accumulator — O(evicted) per emission instead of
+  // a refold over the whole window (min/max always refold; label joins stay
+  // exact, see SlidingAggregate). Disable to force the refold path (the
+  // emission cadence and labels are identical; sum/VWAP values may differ in
+  // the last double bits under adversarial cancellation).
+  bool incremental_fold = true;
 };
 
 class WindowAggregateUnit : public Unit {
  public:
   explicit WindowAggregateUnit(WindowAggregateOptions options)
-      : options_(std::move(options)), window_(options_.window) {}
+      : options_(std::move(options)), window_(options_.window) {
+    if (options_.incremental_fold &&
+        SlidingAggregate::Supports(options_.window, options_.aggregate)) {
+      incremental_.emplace(options_.window, options_.aggregate);
+    }
+  }
 
   void OnStart(UnitContext& ctx) override;
   void OnEvent(UnitContext& ctx, EventHandle event, SubscriptionId sub) override;
@@ -71,10 +84,19 @@ class WindowAggregateUnit : public Unit {
   uint64_t samples() const { return samples_; }
   uint64_t emissions() const { return emissions_; }
   uint64_t emissions_blocked() const { return emissions_blocked_; }
+  // True when this unit runs the O(evicted) Fold/Unfold path.
+  bool incremental_active() const { return incremental_.has_value(); }
+  uint64_t label_rejoins() const {
+    return incremental_.has_value() ? incremental_->label_rejoins() : 0;
+  }
 
  private:
+  void EmitResult(UnitContext& ctx, const AggregateResult& agg,
+                  std::vector<EventHandle>* handles);
+
   const WindowAggregateOptions options_;
-  Window window_;
+  Window window_;                              // refold path
+  std::optional<SlidingAggregate> incremental_;  // Fold/Unfold fast path
   uint64_t samples_ = 0;
   uint64_t emissions_ = 0;
   uint64_t emissions_blocked_ = 0;

@@ -1,10 +1,27 @@
 #include "src/concurrency/actor_executor.h"
 
+#include <algorithm>
+
 namespace defcon {
 
-ActorExecutor::ActorExecutor(size_t num_threads) {
-  if (num_threads > 0) {
+thread_local ActorExecutor* ActorExecutor::tls_owner_ = nullptr;
+thread_local size_t ActorExecutor::tls_worker_ = ActorExecutor::kNoWorker;
+
+ActorExecutor::ActorExecutor(size_t num_threads, ExecutorMode mode) : mode_(mode) {
+  if (num_threads == 0) {
+    return;  // manual mode
+  }
+  if (mode_ == ExecutorMode::kGlobal) {
     pool_ = std::make_unique<ThreadPool>(num_threads);
+    return;
+  }
+  const size_t count = std::min(num_threads, kMaxWorkers);
+  workers_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    workers_.push_back(std::make_unique<Worker>(/*seed=*/0x2545f4914f6cdd1dULL * (i + 1)));
+  }
+  for (size_t i = 0; i < count; ++i) {
+    workers_[i]->thread = std::thread([this, i] { StealingWorkerLoop(i); });
   }
 }
 
@@ -14,14 +31,23 @@ std::shared_ptr<Actor> ActorExecutor::CreateActor(std::string name) {
   return std::make_shared<Actor>(std::move(name));
 }
 
-void ActorExecutor::Post(const std::shared_ptr<Actor>& actor, std::function<void()> turn) {
-  {
+void ActorExecutor::FinishTurns(size_t n) {
+  if (pending_turns_.fetch_sub(n, std::memory_order_acq_rel) == n) {
+    // Zero crossing: notify under the mutex so a WaitIdle caller that just
+    // checked the counter cannot miss the wake.
     std::lock_guard<std::mutex> lock(pending_mutex_);
-    if (shutdown_.load(std::memory_order_acquire)) {
-      return;  // rejected before counting: nothing to drain later
-    }
-    ++pending_turns_;
+    pending_cv_.notify_all();
   }
+}
+
+void ActorExecutor::Post(const std::shared_ptr<Actor>& actor, std::function<void()> turn) {
+  if (shutdown_.load(std::memory_order_acquire)) {
+    return;  // rejected before counting: nothing to drain later
+  }
+  AcceptTurns(1);
+  // A Shutdown() racing past the check above is fine: the counted turn is in
+  // the mailbox, and whoever owns scheduled_ will execute or discard it (the
+  // failed-enqueue path below, or the current owner's release/re-check).
   actor->mailbox_.Push(std::move(turn));
   bool expected = false;
   if (actor->scheduled_.compare_exchange_strong(expected, true)) {
@@ -33,13 +59,10 @@ void ActorExecutor::PostBatch(std::vector<ActorTurn> turns) {
   if (turns.empty()) {
     return;
   }
-  {
-    std::lock_guard<std::mutex> lock(pending_mutex_);
-    if (shutdown_.load(std::memory_order_acquire)) {
-      return;
-    }
-    pending_turns_ += turns.size();
+  if (shutdown_.load(std::memory_order_acquire)) {
+    return;
   }
+  AcceptTurns(turns.size());
   std::vector<std::shared_ptr<Actor>> runnable;
   for (auto& [actor, turn] : turns) {
     actor->mailbox_.Push(std::move(turn));
@@ -51,6 +74,47 @@ void ActorExecutor::PostBatch(std::vector<ActorTurn> turns) {
   if (runnable.empty()) {
     return;  // every target actor was already scheduled
   }
+
+  if (!workers_.empty()) {
+    if (tls_owner_ == this && tls_worker_ != kNoWorker) {
+      // On a pool thread: everything goes onto this worker's own deque;
+      // StealingEnqueue wakes at most one sleeper per newly runnable actor,
+      // and idle peers steal the surplus.
+      for (const auto& actor : runnable) {
+        if (!StealingEnqueue(actor)) {
+          DiscardActor(actor);
+        }
+      }
+      return;
+    }
+    // External thread: group the runnable actors by round-robin target so
+    // each receiving inbox takes one lock for its whole slice, then wake at
+    // most one parked worker per actor (the target first, so an actor never
+    // strands in a sleeping worker's inbox).
+    const size_t n = runnable.size();
+    const size_t width = workers_.size();
+    const size_t base = rr_next_.fetch_add(n, std::memory_order_relaxed);
+    std::vector<std::shared_ptr<Actor>> slice;
+    for (size_t offset = 0; offset < width && offset < n; ++offset) {
+      const size_t target = (base + offset) % width;
+      slice.clear();
+      for (size_t i = offset; i < n; i += width) {
+        slice.push_back(std::move(runnable[i]));
+      }
+      const size_t accepted = queues_closed_.load(std::memory_order_seq_cst)
+                                  ? 0
+                                  : workers_[target]->inbox.PushAllIfOpen(slice.begin(),
+                                                                          slice.end());
+      for (size_t j = accepted; j < slice.size(); ++j) {
+        DiscardActor(slice[j]);  // queues closed: this thread owns the flags
+      }
+      for (size_t j = 0; j < accepted; ++j) {
+        WakeOne(target);
+      }
+    }
+    return;
+  }
+
   if (pool_ != nullptr) {
     std::vector<std::function<void()>> drains;
     drains.reserve(runnable.size());
@@ -65,27 +129,34 @@ void ActorExecutor::PostBatch(std::vector<ActorTurn> turns) {
         DiscardActor(actor);
       }
     }
-  } else {
-    bool discard = false;
-    {
-      std::lock_guard<std::mutex> lock(ready_mutex_);
-      if (shutdown_.load(std::memory_order_acquire)) {
-        discard = true;  // Shutdown already swept ready_; do not re-strand
-      } else {
-        for (const auto& actor : runnable) {
-          ready_.push_back(actor);
-        }
+    return;
+  }
+
+  bool discard = false;
+  {
+    std::lock_guard<std::mutex> lock(ready_mutex_);
+    if (shutdown_.load(std::memory_order_acquire)) {
+      discard = true;  // Shutdown already swept ready_; do not re-strand
+    } else {
+      for (const auto& actor : runnable) {
+        ready_.push_back(actor);
       }
     }
-    if (discard) {
-      for (const auto& actor : runnable) {
-        DiscardActor(actor);
-      }
+  }
+  if (discard) {
+    for (const auto& actor : runnable) {
+      DiscardActor(actor);
     }
   }
 }
 
-void ActorExecutor::Schedule(const std::shared_ptr<Actor>& actor) {
+void ActorExecutor::Schedule(const std::shared_ptr<Actor>& actor, bool fifo) {
+  if (!workers_.empty()) {
+    if (!StealingEnqueue(actor, fifo)) {
+      DiscardActor(actor);  // queues closed; see header protocol note
+    }
+    return;
+  }
   if (pool_ != nullptr) {
     if (!pool_->Post([this, actor]() { DrainActor(actor); })) {
       DiscardActor(actor);  // pool already shut down; see PostBatch
@@ -106,6 +177,197 @@ void ActorExecutor::Schedule(const std::shared_ptr<Actor>& actor) {
   }
 }
 
+// --- stealing scheduler -----------------------------------------------------
+
+bool ActorExecutor::StealingEnqueue(const std::shared_ptr<Actor>& actor, bool fifo) {
+  if (queues_closed_.load(std::memory_order_seq_cst)) {
+    return false;
+  }
+  const bool on_pool = tls_owner_ == this && tls_worker_ != kNoWorker;
+  if (on_pool && !fifo) {
+    // Local LIFO push: the actor's mailbox is hot; run it next on this
+    // worker unless a thief gets there first.
+    Worker& w = *workers_[tls_worker_];
+    actor->self_ref_ = actor;
+    w.local.PushBottom(actor.get());
+    WakeOne(kNoWorker);
+    return true;
+  }
+  // Cross-thread submission round-robins across inboxes; a quantum requeue
+  // (fifo) goes to the back of this worker's own inbox so a flooded actor
+  // cannot monopolise the LIFO slot.
+  const size_t target = (on_pool && fifo)
+                            ? tls_worker_
+                            : rr_next_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
+  if (!workers_[target]->inbox.PushIfOpen(actor)) {
+    return false;
+  }
+  WakeOne(target);
+  return true;
+}
+
+std::shared_ptr<Actor> ActorExecutor::FindWork(Worker& w, size_t index) {
+  // 1. Own deque, LIFO.
+  if (auto local = w.local.PopBottom()) {
+    w.local_hits.fetch_add(1, std::memory_order_relaxed);
+    return TakeDequeRef(*local);
+  }
+  // 2. Own inbox: swap the whole backlog out in one lock, run the first
+  // actor now and expose the rest on the deque for thieves.
+  w.inbox.DrainInto(&w.scratch);
+  if (!w.scratch.empty()) {
+    w.inbox_hits.fetch_add(1, std::memory_order_relaxed);
+    std::shared_ptr<Actor> first = std::move(w.scratch.front());
+    const size_t surplus = w.scratch.size() - 1;
+    for (size_t i = 1; i < w.scratch.size(); ++i) {
+      std::shared_ptr<Actor>& actor = w.scratch[i];
+      Actor* raw = actor.get();
+      raw->self_ref_ = std::move(actor);
+      w.local.PushBottom(raw);
+    }
+    w.scratch.clear();
+    // The surplus was invisible during the swap window (neither in the inbox
+    // nor on the deque), so peers that parked meanwhile missed it: re-issue
+    // one wake per exposed actor (no-ops when nobody is parked).
+    for (size_t i = 0; i < surplus; ++i) {
+      WakeOne(kNoWorker);
+    }
+    return first;
+  }
+  // 3. Steal, visiting victims in randomized order.
+  return StealFrom(w, index);
+}
+
+std::shared_ptr<Actor> ActorExecutor::StealFrom(Worker& w, size_t index) {
+  const size_t width = workers_.size();
+  if (width <= 1) {
+    return nullptr;
+  }
+  w.rng ^= w.rng << 13;
+  w.rng ^= w.rng >> 7;
+  w.rng ^= w.rng << 17;
+  const size_t start = static_cast<size_t>(w.rng % width);
+  for (size_t k = 0; k < width; ++k) {
+    const size_t v = (start + k) % width;
+    if (v == index) {
+      continue;
+    }
+    Worker& victim = *workers_[v];
+    if (auto stolen = victim.local.Steal()) {
+      w.steals.fetch_add(1, std::memory_order_relaxed);
+      return TakeDequeRef(*stolen);
+    }
+    // A worker stuck in a long turn cannot drain its own inbox; the
+    // mutex-guarded pop is MPMC-safe, so relieve it of one actor.
+    if (auto from_inbox = victim.inbox.TryPop()) {
+      w.steals.fetch_add(1, std::memory_order_relaxed);
+      return *from_inbox;
+    }
+  }
+  return nullptr;
+}
+
+bool ActorExecutor::HasVisibleWork(size_t self_index) const {
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    const Worker& w = *workers_[i];
+    if (i != self_index && !w.local.EmptyApprox()) {
+      return true;
+    }
+    if (!w.inbox.Empty()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void ActorExecutor::Park(Worker& w, size_t index) {
+  const uint64_t bit = 1ULL << index;
+  // Publish the parked bit FIRST, then re-scan (Dekker): a producer either
+  // sees the bit (and wakes this worker) or enqueued before the scan below
+  // (and the scan sees the work). Both sides are in one seq_cst total
+  // order: producers publish with a seq_cst store/mutex (deque bottom_,
+  // inbox mutex) before loading the mask, and this RMW precedes the scan's
+  // seq_cst deque loads / inbox mutex acquisitions.
+  parked_mask_.fetch_or(bit, std::memory_order_seq_cst);
+  if (HasVisibleWork(index) || queues_closed_.load(std::memory_order_seq_cst)) {
+    parked_mask_.fetch_and(~bit, std::memory_order_seq_cst);
+    return;
+  }
+  w.parks.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::unique_lock<std::mutex> lock(w.park_mutex);
+    w.park_cv.wait(lock, [&] {
+      return w.notify_token || queues_closed_.load(std::memory_order_acquire);
+    });
+    w.notify_token = false;
+  }
+  parked_mask_.fetch_and(~bit, std::memory_order_seq_cst);
+}
+
+void ActorExecutor::WakeOne(size_t preferred) {
+  uint64_t mask = parked_mask_.load(std::memory_order_seq_cst);
+  while (mask != 0) {
+    size_t idx;
+    if (preferred != kNoWorker && (mask >> preferred) & 1ULL) {
+      idx = preferred;
+    } else {
+      idx = static_cast<size_t>(__builtin_ctzll(mask));
+    }
+    const uint64_t bit = 1ULL << idx;
+    if (parked_mask_.fetch_and(~bit, std::memory_order_seq_cst) & bit) {
+      // We cleared the bit, so we own this wake: hand the worker a token.
+      Worker& w = *workers_[idx];
+      {
+        std::lock_guard<std::mutex> lock(w.park_mutex);
+        w.notify_token = true;
+      }
+      w.park_cv.notify_one();
+      w.wakes.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    preferred = kNoWorker;
+    mask = parked_mask_.load(std::memory_order_seq_cst);
+  }
+}
+
+void ActorExecutor::WakeAllForShutdown() {
+  for (auto& w : workers_) {
+    {
+      std::lock_guard<std::mutex> lock(w->park_mutex);
+      w->notify_token = true;
+    }
+    w->park_cv.notify_one();
+  }
+}
+
+void ActorExecutor::StealingWorkerLoop(size_t index) {
+  tls_owner_ = this;
+  tls_worker_ = index;
+  Worker& w = *workers_[index];
+  for (;;) {
+    std::shared_ptr<Actor> actor = FindWork(w, index);
+    if (actor != nullptr) {
+      DrainActor(actor);
+      continue;
+    }
+    if (queues_closed_.load(std::memory_order_seq_cst)) {
+      // Exit only when this worker's own queues can never refill: the deque
+      // has a single producer (this thread), and ClosedAndEmpty certifies —
+      // under the inbox mutex — that the close beat every in-flight push.
+      if (w.local.EmptyApprox() && w.inbox.ClosedAndEmpty()) {
+        break;
+      }
+      std::this_thread::yield();  // Shutdown is mid-close; re-scan
+      continue;
+    }
+    Park(w, index);
+  }
+  tls_owner_ = nullptr;
+  tls_worker_ = kNoWorker;
+}
+
+// --- turn execution ---------------------------------------------------------
+
 void ActorExecutor::DrainActor(const std::shared_ptr<Actor>& actor) {
   size_t executed = 0;
   while (executed < kBatchSize) {
@@ -116,22 +378,20 @@ void ActorExecutor::DrainActor(const std::shared_ptr<Actor>& actor) {
     (*turn)();
     ++executed;
     turns_executed_.fetch_add(1, std::memory_order_relaxed);
-    {
-      std::lock_guard<std::mutex> lock(pending_mutex_);
-      --pending_turns_;
-      if (pending_turns_ == 0) {
-        pending_cv_.notify_all();
-      }
-    }
+    FinishTurns(1);
   }
   // Release the scheduling flag, then re-check: a producer may have enqueued
   // between the final TryPop and the store, in which case this thread must
-  // reschedule (the producer saw scheduled_ == true and did not).
-  actor->scheduled_.store(false, std::memory_order_release);
+  // reschedule (the producer saw scheduled_ == true and did not). The store
+  // and the Empty() load are seq_cst to pair with the producer's Push/CAS —
+  // see the ordering contract in mailbox.h.
+  actor->scheduled_.store(false, std::memory_order_seq_cst);
   if (!actor->mailbox_.Empty()) {
     bool expected = false;
     if (actor->scheduled_.compare_exchange_strong(expected, true)) {
-      Schedule(actor);
+      // Quantum requeue: fifo routes a flooded actor to the back of the
+      // worker's inbox instead of the LIFO slot it would otherwise hog.
+      Schedule(actor, /*fifo=*/true);
     }
   }
 }
@@ -144,17 +404,13 @@ void ActorExecutor::DiscardActor(const std::shared_ptr<Actor>& actor) {
     }
     if (discarded > 0) {
       turns_discarded_.fetch_add(discarded, std::memory_order_relaxed);
-      std::lock_guard<std::mutex> lock(pending_mutex_);
-      pending_turns_ -= discarded;
-      if (pending_turns_ == 0) {
-        pending_cv_.notify_all();
-      }
+      FinishTurns(discarded);
     }
     // Same release/re-check dance as DrainActor: a producer that lost the
     // scheduled_ CAS while we were discarding left its (counted) turn in the
     // mailbox; reclaim the flag and sweep again, or let the producer's own
     // Schedule-failure path handle it if it wins the reclaim.
-    actor->scheduled_.store(false, std::memory_order_release);
+    actor->scheduled_.store(false, std::memory_order_seq_cst);
     if (actor->mailbox_.Empty()) {
       return;
     }
@@ -185,12 +441,16 @@ size_t ActorExecutor::RunUntilIdle() {
 }
 
 void ActorExecutor::WaitIdle() {
-  if (pool_ == nullptr) {
+  if (manual_mode()) {
     RunUntilIdle();
     return;
   }
+  if (pending_turns_.load(std::memory_order_acquire) == 0) {
+    return;
+  }
   std::unique_lock<std::mutex> lock(pending_mutex_);
-  pending_cv_.wait(lock, [this] { return pending_turns_ == 0; });
+  pending_cv_.wait(lock,
+                   [this] { return pending_turns_.load(std::memory_order_acquire) == 0; });
 }
 
 void ActorExecutor::Shutdown() {
@@ -199,7 +459,23 @@ void ActorExecutor::Shutdown() {
     return;
   }
   shutdown_.store(true, std::memory_order_release);
-  if (pool_ != nullptr) {
+  if (!workers_.empty()) {
+    // Stop accepting run-queue entries, then close every inbox under its own
+    // mutex (so in-flight pushes either landed — and will be drained — or
+    // fail and discard at the poster). Workers drain their queues to empty,
+    // executing remaining accepted turns exactly like the global pool's
+    // shutdown drain, then exit.
+    queues_closed_.store(true, std::memory_order_seq_cst);
+    for (auto& w : workers_) {
+      w->inbox.Close();
+    }
+    WakeAllForShutdown();
+    for (auto& w : workers_) {
+      if (w->thread.joinable()) {
+        w->thread.join();
+      }
+    }
+  } else if (pool_ != nullptr) {
     // Drains every accepted drain-task (executing those turns), then joins.
     // Posts that already counted their turn but lose the race to hand it to
     // the pool discard it themselves via the Schedule/PostBatch failure path.
@@ -220,6 +496,20 @@ void ActorExecutor::Shutdown() {
     DiscardActor(actor);
   }
   shutdown_done_ = true;
+}
+
+ExecutorStats ActorExecutor::stats() const {
+  ExecutorStats s;
+  s.turns_executed = turns_executed_.load(std::memory_order_relaxed);
+  s.turns_discarded = turns_discarded_.load(std::memory_order_relaxed);
+  for (const auto& w : workers_) {
+    s.local_hits += w->local_hits.load(std::memory_order_relaxed);
+    s.inbox_hits += w->inbox_hits.load(std::memory_order_relaxed);
+    s.steals += w->steals.load(std::memory_order_relaxed);
+    s.parks += w->parks.load(std::memory_order_relaxed);
+    s.wakes += w->wakes.load(std::memory_order_relaxed);
+  }
+  return s;
 }
 
 }  // namespace defcon

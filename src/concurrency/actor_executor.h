@@ -2,38 +2,72 @@
 //
 // DEFCON units behave like actors — each unit processes one delivery at a
 // time (so unit state needs no locking) while different units run in
-// parallel. The executor supports two modes:
-//   * pooled: turns run on a ThreadPool (production / benchmarks);
-//   * manual: turns run only when RunUntilIdle() is called, giving tests a
-//     deterministic, single-threaded schedule.
+// parallel. The executor supports three modes:
+//   * stealing (default pooled): workers own per-worker run queues — a
+//     Chase-Lev deque of runnable actors (local LIFO push/pop for cache
+//     locality, FIFO steal by idle peers) fed by a per-worker inbox for
+//     cross-thread submissions. A parked-worker bitmap wakes at most one
+//     sleeper per newly-runnable actor instead of broadcasting on a global
+//     condvar, so runnable hand-off no longer serialises on one mutex.
+//   * global: the pre-PR-5 single-queue ThreadPool (escape hatch, and the
+//     baseline side of the BM_PairedAB_StealVsGlobal benchmark);
+//   * manual (num_threads == 0): turns run only when RunUntilIdle() is
+//     called, giving tests a deterministic, single-threaded schedule.
 //
-// Shutdown/drain protocol: every turn accepted by Post/PostBatch (counted in
-// pending_turns_) is eventually either executed or explicitly discarded with
-// the counter decremented, even when Shutdown() races the enqueue. Ownership
-// of an actor's mailbox is the scheduled_ flag: whoever wins the false->true
-// CAS must hand the actor to a worker, and if that hand-off fails because the
-// pool is already shut down, the owner drains the mailbox into the discard
-// counter instead of dropping it. This is what keeps WaitIdle() from wedging
-// on turns that can no longer run.
+// Shutdown/drain protocol (PR 2 invariants, preserved verbatim): every turn
+// accepted by Post/PostBatch (counted in pending_turns_) is eventually either
+// executed or explicitly discarded with the counter decremented, even when
+// Shutdown() races the enqueue. Ownership of an actor's mailbox is the
+// scheduled_ flag: whoever wins the false->true CAS must hand the actor to a
+// worker, and if that hand-off fails because the executor is already shut
+// down, the owner drains the mailbox into the discard counter instead of
+// dropping it. This is what keeps WaitIdle() from wedging on turns that can
+// no longer run. In stealing mode the hand-off failure surface is the
+// queues_closed_ flag plus per-inbox close (checked atomically under the
+// inbox mutex), and each worker drains its own deque and inbox to empty
+// before exiting — so every enqueued actor is either executed by some worker
+// or never entered a queue and is discarded by the poster.
 #ifndef DEFCON_SRC_CONCURRENCY_ACTOR_EXECUTOR_H_
 #define DEFCON_SRC_CONCURRENCY_ACTOR_EXECUTOR_H_
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "src/concurrency/mailbox.h"
 #include "src/concurrency/mpsc_queue.h"
 #include "src/concurrency/thread_pool.h"
+#include "src/concurrency/work_stealing_deque.h"
 
 namespace defcon {
 
 class ActorExecutor;
+
+// How pooled turns are scheduled (ignored in manual mode).
+enum class ExecutorMode : uint8_t {
+  kGlobal,    // one shared ThreadPool queue (single mutex + condvar)
+  kStealing,  // per-worker run queues with work stealing (default)
+};
+
+// Scheduling counters (diagnostics; aggregated over workers on read).
+struct ExecutorStats {
+  uint64_t turns_executed = 0;
+  uint64_t turns_discarded = 0;
+  // Stealing mode only (zero in global/manual):
+  uint64_t local_hits = 0;  // actors taken from the worker's own deque
+  uint64_t inbox_hits = 0;  // actors taken from the worker's own inbox
+  uint64_t steals = 0;      // actors taken from another worker's deque/inbox
+  uint64_t parks = 0;       // times a worker went to sleep
+  uint64_t wakes = 0;       // targeted wake-ups issued to parked workers
+};
 
 // One mailbox + scheduling flag. Created via ActorExecutor::CreateActor.
 class Actor {
@@ -47,16 +81,23 @@ class Actor {
   friend class ActorExecutor;
 
   std::string name_;
-  MpscQueue<std::function<void()>> mailbox_;
+  TurnMailbox mailbox_;
   // True while the actor is scheduled on (or running on) a worker; guarantees
   // at most one thread drains the mailbox at any time.
   std::atomic<bool> scheduled_{false};
+  // Keep-alive for run-queue residency: the local deques store raw Actor*,
+  // and this reference (set by the enqueuer, taken by the dequeuer) is what
+  // keeps the actor alive in between. The scheduled_ flag makes at most one
+  // run-queue entry exist per actor, so exactly one thread touches self_ref_
+  // at a time; the deque's release/acquire on bottom_ orders the hand-off.
+  std::shared_ptr<Actor> self_ref_;
 };
 
 class ActorExecutor {
  public:
-  // num_threads == 0 selects manual mode.
-  explicit ActorExecutor(size_t num_threads);
+  // num_threads == 0 selects manual mode. Stealing mode supports at most 64
+  // workers (the parked bitmap is one word); larger counts are clamped.
+  explicit ActorExecutor(size_t num_threads, ExecutorMode mode = ExecutorMode::kStealing);
   ~ActorExecutor();
 
   ActorExecutor(const ActorExecutor&) = delete;
@@ -71,9 +112,11 @@ class ActorExecutor {
   // A (actor, turn) pair queued by PostBatch.
   using ActorTurn = std::pair<std::shared_ptr<Actor>, std::function<void()>>;
 
-  // Enqueues every turn, then hands the newly runnable actors to the worker
-  // pool with a single wake (one lock acquisition + one notify), instead of
-  // one wake per turn as repeated Post calls would cost. Thread-safe.
+  // Enqueues every turn, then hands the newly runnable actors to the workers
+  // in one pass: on a pool thread they go straight onto the calling worker's
+  // local deque; from outside the pool they are grouped by target worker
+  // (round-robin) so each receiving inbox takes one lock and each sleeping
+  // worker gets at most one wake. Thread-safe.
   void PostBatch(std::vector<ActorTurn> turns);
 
   // Manual mode: runs turns on the calling thread until no actor has work.
@@ -84,12 +127,17 @@ class ActorExecutor {
   // discarded. Never wedges across a concurrent Shutdown().
   void WaitIdle();
 
-  // Stops accepting turns, joins the pool, and discards any turns that can no
-  // longer run (decrementing the pending counter for each). Idempotent and
-  // safe to call again from the destructor after an explicit call.
+  // Stops accepting turns, drains and joins the workers, and discards any
+  // turns that can no longer run (decrementing the pending counter for
+  // each). Idempotent and safe to call again from the destructor after an
+  // explicit call.
   void Shutdown();
 
-  bool manual_mode() const { return pool_ == nullptr; }
+  bool manual_mode() const { return pool_ == nullptr && workers_.empty(); }
+  ExecutorMode mode() const { return mode_; }
+  size_t num_workers() const { return workers_.size(); }
+
+  ExecutorStats stats() const;
 
   // Total turns executed since construction (diagnostics).
   uint64_t turns_executed() const { return turns_executed_.load(std::memory_order_relaxed); }
@@ -102,24 +150,96 @@ class ActorExecutor {
   // Max turns drained per scheduling quantum, so one flooded actor cannot
   // starve others on the pool.
   static constexpr size_t kBatchSize = 64;
+  static constexpr size_t kMaxWorkers = 64;  // parked bitmap width
+  static constexpr size_t kNoWorker = static_cast<size_t>(-1);
 
-  void Schedule(const std::shared_ptr<Actor>& actor);
+  struct Worker {
+    explicit Worker(uint64_t seed) : rng(seed != 0 ? seed : 0x9e3779b97f4a7c15ULL) {}
+
+    // Owner: LIFO push/pop at the bottom. Thieves: FIFO steal at the top.
+    WorkStealingDeque<Actor*> local;
+    // Cross-thread submissions land here (and quantum-requeues, so a flooded
+    // actor goes to the back of the line instead of monopolising the LIFO
+    // slot). The mutex-guarded drain is MPMC-safe, which lets idle peers
+    // steal from a busy worker's inbox.
+    MpscQueue<std::shared_ptr<Actor>> inbox;
+    // Reused across drains: the swap-based DrainInto moves the backlog here
+    // without per-dispatch allocation churn.
+    std::deque<std::shared_ptr<Actor>> scratch;
+
+    std::mutex park_mutex;
+    std::condition_variable park_cv;
+    bool notify_token = false;  // binary semaphore; spurious tokens are benign
+
+    uint64_t rng;  // xorshift state for randomized victim order
+
+    std::atomic<uint64_t> local_hits{0};
+    std::atomic<uint64_t> inbox_hits{0};
+    std::atomic<uint64_t> steals{0};
+    std::atomic<uint64_t> parks{0};
+    std::atomic<uint64_t> wakes{0};
+
+    std::thread thread;
+  };
+
+  // --- shared protocol ------------------------------------------------------
+  // Hands a runnable actor (whose scheduled_ flag the caller owns) to the
+  // configured scheduler, discarding its turns if the hand-off fails.
+  // `fifo` routes stealing-mode quantum requeues through the worker inbox;
+  // the global pool and manual mode ignore it (their queues are FIFO).
+  void Schedule(const std::shared_ptr<Actor>& actor, bool fifo = false);
   void DrainActor(const std::shared_ptr<Actor>& actor);
   // Empties the actor's mailbox without executing, decrementing the pending
   // counter per turn. Caller must own the actor's scheduled_ flag; the flag
   // is released before returning (with the usual re-check/reclaim loop).
   void DiscardActor(const std::shared_ptr<Actor>& actor);
+  void AcceptTurns(size_t n) { pending_turns_.fetch_add(n, std::memory_order_seq_cst); }
+  void FinishTurns(size_t n);
 
-  std::unique_ptr<ThreadPool> pool_;  // null in manual mode
+  // --- stealing scheduler ---------------------------------------------------
+  void StealingWorkerLoop(size_t index);
+  // Hands a runnable actor (whose scheduled_ flag the caller owns) to the
+  // stealing scheduler. Returns false when the queues are closed — the
+  // caller must then DiscardActor. `fifo` forces the inbox path (quantum
+  // requeues); otherwise pool threads push LIFO onto their own deque.
+  bool StealingEnqueue(const std::shared_ptr<Actor>& actor, bool fifo = false);
+  std::shared_ptr<Actor> FindWork(Worker& w, size_t index);
+  std::shared_ptr<Actor> StealFrom(Worker& w, size_t index);
+  void Park(Worker& w, size_t index);
+  // Wakes at most one parked worker (preferring `preferred` when parked).
+  void WakeOne(size_t preferred);
+  void WakeAllForShutdown();
+  bool HasVisibleWork(size_t self_index) const;
+
+  static std::shared_ptr<Actor> TakeDequeRef(Actor* actor) {
+    return std::move(actor->self_ref_);
+  }
+
+  const ExecutorMode mode_;
+
+  std::unique_ptr<ThreadPool> pool_;                // global mode only
+  std::vector<std::unique_ptr<Worker>> workers_;    // stealing mode only
+  std::atomic<uint64_t> parked_mask_{0};
+  std::atomic<size_t> rr_next_{0};
+  // Set (before the per-inbox closes) once Shutdown starts: enqueues fail
+  // from here on and their turns are discarded by the poster.
+  std::atomic<bool> queues_closed_{false};
+
+  // Identifies the worker slot when the current thread belongs to *this*
+  // executor's pool (several executors can coexist in one process).
+  static thread_local ActorExecutor* tls_owner_;
+  static thread_local size_t tls_worker_;
 
   // Manual-mode ready list.
   std::mutex ready_mutex_;
   std::deque<std::shared_ptr<Actor>> ready_;
 
-  // Outstanding turn accounting for WaitIdle().
+  // Outstanding-turn accounting for WaitIdle(): lock-free counting on the
+  // turn path, with the mutex/condvar pair only for sleepers at the zero
+  // crossing.
+  std::atomic<size_t> pending_turns_{0};
   std::mutex pending_mutex_;
   std::condition_variable pending_cv_;
-  size_t pending_turns_ = 0;
 
   // Serialises Shutdown(): a second caller (e.g. the destructor after an
   // explicit Shutdown) blocks until the first completes, then no-ops.

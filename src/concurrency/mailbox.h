@@ -1,0 +1,114 @@
+// Intrusive lock-free MPSC mailbox for actor turns.
+//
+// Replaces the mutex-guarded MpscQueue on the executor hot path (the generic
+// MpscQueue stays for IPC and for the worker inboxes, where its swap-based
+// drain under a short lock is the right tool). The algorithm is Vyukov's
+// non-blocking MPSC queue: producers publish with a single atomic exchange on
+// the tail, the unique consumer advances a private head through the linked
+// nodes. Push is wait-free; Pop is lock-free with one caveat — a producer
+// that has exchanged the tail but not yet linked `next` leaves the queue
+// momentarily "non-empty but unwalkable", and TryPop spins through that
+// two-instruction window.
+//
+// Memory-ordering contract with ActorExecutor (the argument the TSan matrix
+// leans on, see README "Executor"):
+//   * producer: Push (size_.fetch_add seq_cst) THEN scheduled_ CAS (seq_cst);
+//   * consumer: scheduled_.store(false, seq_cst) THEN Empty() (seq_cst load).
+// Because all four are seq_cst they have one total order; if the producer's
+// CAS observed scheduled_ == true (so it did NOT schedule the actor), the
+// consumer's later Empty() is ordered after the producer's size increment and
+// must see the mailbox non-empty — so exactly one side reschedules and no
+// accepted turn is stranded. The node link itself (release store of `next`,
+// acquire load in TryPop) orders the turn's payload.
+#ifndef DEFCON_SRC_CONCURRENCY_MAILBOX_H_
+#define DEFCON_SRC_CONCURRENCY_MAILBOX_H_
+
+#include <atomic>
+#include <functional>
+#include <optional>
+#include <thread>
+#include <utility>
+
+namespace defcon {
+
+class TurnMailbox {
+ public:
+  TurnMailbox() {
+    Node* stub = new Node();
+    head_ = stub;
+    tail_.store(stub, std::memory_order_relaxed);
+  }
+
+  TurnMailbox(const TurnMailbox&) = delete;
+  TurnMailbox& operator=(const TurnMailbox&) = delete;
+
+  ~TurnMailbox() {
+    // No concurrent access by now (the executor has shut down); free the
+    // chain, including any never-executed turns (their pending counts were
+    // already drained by the discard protocol).
+    Node* node = head_;
+    while (node != nullptr) {
+      Node* next = node->next.load(std::memory_order_relaxed);
+      delete node;
+      node = next;
+    }
+  }
+
+  // Any thread. Wait-free (one allocation, one exchange).
+  void Push(std::function<void()> turn) {
+    Node* node = new Node(std::move(turn));
+    // seq_cst so the size increment participates in the total order the
+    // scheduled_-flag handshake relies on (see file comment).
+    size_.fetch_add(1, std::memory_order_seq_cst);
+    Node* prev = tail_.exchange(node, std::memory_order_acq_rel);
+    prev->next.store(node, std::memory_order_release);
+  }
+
+  // Consumer only (the thread owning the actor's scheduled_ flag).
+  std::optional<std::function<void()>> TryPop() {
+    Node* head = head_;
+    Node* next = head->next.load(std::memory_order_acquire);
+    if (next == nullptr) {
+      if (tail_.load(std::memory_order_acquire) == head) {
+        return std::nullopt;  // empty
+      }
+      // A producer exchanged the tail but has not linked yet; its very next
+      // instruction is the link, so spin (yielding if it was preempted).
+      int spins = 0;
+      do {
+        if (++spins > 128) {
+          std::this_thread::yield();
+        }
+        next = head->next.load(std::memory_order_acquire);
+      } while (next == nullptr);
+    }
+    std::function<void()> turn = std::move(next->turn);
+    head_ = next;  // `next` becomes the new stub; its payload was moved out
+    delete head;
+    size_.fetch_sub(1, std::memory_order_relaxed);
+    return turn;
+  }
+
+  // Any thread; exact for a quiescent queue, a racy hint otherwise. The
+  // consumer's post-release Empty() check must never dereference nodes
+  // (another consumer may already own and be freeing them), so emptiness is
+  // answered from the counter alone.
+  bool Empty() const { return size_.load(std::memory_order_seq_cst) == 0; }
+  size_t Size() const { return size_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Node {
+    Node() = default;
+    explicit Node(std::function<void()> t) : turn(std::move(t)) {}
+    std::atomic<Node*> next{nullptr};
+    std::function<void()> turn;
+  };
+
+  alignas(64) std::atomic<Node*> tail_;   // producers exchange here
+  alignas(64) Node* head_;                // consumer-private (guarded by scheduled_)
+  alignas(64) std::atomic<size_t> size_{0};
+};
+
+}  // namespace defcon
+
+#endif  // DEFCON_SRC_CONCURRENCY_MAILBOX_H_

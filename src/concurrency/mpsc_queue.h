@@ -1,13 +1,19 @@
-// Multi-producer single-consumer mailbox used for per-unit event delivery.
+// Multi-producer queue with a mutex + swap design.
 //
-// The DEFCON dispatcher enqueues deliveries from any engine thread; the actor
-// executor drains a unit's mailbox from exactly one thread at a time. A mutex
-// + swap design keeps the consumer path allocation-free and contention short.
+// Historically the per-unit mailbox; the executor hot path now uses the
+// intrusive lock-free TurnMailbox (mailbox.h) instead. MpscQueue remains the
+// right tool where a short lock is fine and multi-consumer drains must be
+// safe: IPC mailboxes, and the stealing executor's per-worker inboxes (a
+// mutex-guarded drain is MPMC-safe, which is what lets idle workers steal
+// from a busy peer's inbox). The drain path is swap-based: the whole backlog
+// moves out in O(1) under the lock, into caller-owned storage that can be
+// reused across drains (no per-dispatch allocation churn).
 #ifndef DEFCON_SRC_CONCURRENCY_MPSC_QUEUE_H_
 #define DEFCON_SRC_CONCURRENCY_MPSC_QUEUE_H_
 
 #include <condition_variable>
 #include <deque>
+#include <iterator>
 #include <mutex>
 #include <optional>
 #include <utility>
@@ -25,6 +31,38 @@ class MpscQueue {
     queue_.push_back(std::move(item));
     cv_.notify_one();
     return queue_.size();
+  }
+
+  // Enqueues only while the queue is open; the closed check and the insert
+  // are atomic under the queue mutex, so a producer can never slip an item
+  // into a queue whose consumer has already done its final post-close drain.
+  bool PushIfOpen(T item) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) {
+      return false;
+    }
+    queue_.push_back(std::move(item));
+    cv_.notify_one();
+    return true;
+  }
+
+  // Batched PushIfOpen: the whole [first, last) range lands under one lock
+  // acquisition (all-or-nothing). Returns the number of items enqueued —
+  // 0 when the queue is closed, the range size otherwise.
+  template <typename It>
+  size_t PushAllIfOpen(It first, It last) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) {
+      return 0;
+    }
+    size_t n = 0;
+    for (It it = first; it != last; ++it, ++n) {
+      queue_.push_back(std::move(*it));
+    }
+    if (n > 0) {
+      cv_.notify_one();
+    }
+    return n;
   }
 
   // Non-blocking pop.
@@ -50,19 +88,36 @@ class MpscQueue {
     return item;
   }
 
-  // Moves the whole backlog out in one lock acquisition.
-  std::vector<T> DrainAll() {
+  // Swap-based drain: the backlog exchanges into `*out` (cleared first) in
+  // O(1) under the lock — no element copies or moves while the mutex is
+  // held, and a caller that reuses `*out` across drains reuses its spine.
+  void DrainInto(std::deque<T>* out) {
+    out->clear();
     std::lock_guard<std::mutex> lock(mutex_);
-    std::vector<T> items(std::make_move_iterator(queue_.begin()),
-                         std::make_move_iterator(queue_.end()));
-    queue_.clear();
-    return items;
+    std::swap(queue_, *out);
+  }
+
+  // Moves the whole backlog out in one lock acquisition. The lock is held
+  // only for the O(1) swap; the vector is built outside it.
+  std::vector<T> DrainAll() {
+    std::deque<T> drained;
+    DrainInto(&drained);
+    return std::vector<T>(std::make_move_iterator(drained.begin()),
+                          std::make_move_iterator(drained.end()));
   }
 
   void Close() {
     std::lock_guard<std::mutex> lock(mutex_);
     closed_ = true;
     cv_.notify_all();
+  }
+
+  // True once Close() has happened AND the backlog is empty — after which
+  // PushIfOpen can never make the queue non-empty again. The stealing
+  // executor's workers use this as their shutdown exit condition.
+  bool ClosedAndEmpty() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_ && queue_.empty();
   }
 
   size_t Size() const {

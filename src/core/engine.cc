@@ -386,7 +386,7 @@ struct Engine::Impl {
   }
 
   explicit Impl(Engine* eng, const EngineConfig& cfg)
-      : engine(eng), config(cfg), executor(cfg.num_threads),
+      : engine(eng), config(cfg), executor(cfg.num_threads, cfg.executor_mode),
         shard_count(ResolveShardCount(cfg.index_shards)) {
     shards.reserve(shard_count);
     for (size_t s = 0; s < shard_count; ++s) {
@@ -1664,6 +1664,8 @@ void Engine::WaitIdle() { impl_->executor.WaitIdle(); }
 void Engine::Stop() { impl_->executor.Shutdown(); }
 
 EngineStatsSnapshot Engine::stats() const { return impl_->stats.Snapshot(); }
+
+ExecutorStats Engine::executor_stats() const { return impl_->executor.stats(); }
 
 Result<Label> Engine::UnitInputLabel(UnitId id) const {
   auto state = impl_->FindUnit(id);

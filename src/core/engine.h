@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/base/memory_meter.h"
+#include "src/concurrency/actor_executor.h"
 #include "src/core/label.h"
 #include "src/core/privileges.h"
 #include "src/core/tag_store.h"
@@ -29,6 +30,12 @@ struct EngineConfig {
   // Worker threads executing unit turns; 0 selects manual mode, where the
   // caller drives execution with RunUntilIdle() (deterministic tests).
   size_t num_threads = 0;
+  // Pooled scheduling discipline (PR 5). kStealing (default) gives each
+  // worker its own run queue with work stealing — runnable-actor hand-off no
+  // longer serialises on one pool mutex. kGlobal is the pre-stealing single
+  // shared queue, kept as an escape hatch and as the baseline side of the
+  // BM_PairedAB_StealVsGlobal benchmark. Ignored when num_threads == 0.
+  ExecutorMode executor_mode = ExecutorMode::kStealing;
   // Seed for the tag store's random tag minting.
   uint64_t seed = 0xdefc01dULL;
   // Managed-subscription instance cache per subscription (LRU beyond this).
@@ -132,6 +139,9 @@ class Engine {
 
   const EngineConfig& config() const { return config_; }
   EngineStatsSnapshot stats() const;
+  // Scheduling counters of the underlying executor (steals, parks, local
+  // hits...; trusted side — units cannot reach these).
+  ExecutorStats executor_stats() const;
   TagStore& tag_store() { return tag_store_; }
   MemoryAccountant& accountant() { return accountant_; }
 
