@@ -1,0 +1,507 @@
+// Distributed mesh benchmark: the trading workload scaled across N engine
+// processes (src/distributed/).
+//
+// Topology (one coordinator process + N forked worker processes):
+//   * the coordinator mints the platform tags, runs a Stock Exchange feed
+//     unit and shards the tick stream across the workers with a partitioned
+//     mesh export routed by symbol (PartitionOfSymbol — pairs stay local);
+//   * each worker assembles a partitioned TradingPlatform
+//     (partition_count=N, partition_index=w), imports the tick feed under
+//     an integrity-{s} trust grant, and exports its trade events back to
+//     the coordinator's fan-in listener;
+//   * the coordinator counts collected trades and label violations
+//     (integrity clips / frame errors — both must be 0 in an honest mesh).
+//
+// Control runs over a socketpair per worker: address exchange, a start
+// barrier, a drain barrier, then a stats frame. Event flow runs over real
+// mesh links ("unix:" by default, --tcp for TCP loopback).
+//
+// --json writes a google-benchmark-shaped summary ({"benchmarks": [...]})
+// consumed by the CI mesh smoke job (events_relayed > 0, zero violations).
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/flags.h"
+#include "src/base/table.h"
+#include "src/core/engine.h"
+#include "src/distributed/mesh.h"
+#include "src/ipc/channel.h"
+#include "src/ipc/wire.h"
+#include "src/market/tick_source.h"
+#include "src/trading/event_names.h"
+#include "src/trading/platform.h"
+
+namespace defcon {
+namespace {
+
+struct BenchOptions {
+  size_t nodes = 2;
+  size_t ticks = 6000;
+  size_t tick_batch = 16;
+  size_t symbols = 32;
+  size_t traders = 64;
+  size_t worker_threads = 1;
+  uint64_t seed = 7;
+  bool tcp = false;
+};
+
+struct WorkerStats {
+  uint64_t ticks_imported = 0;
+  uint64_t trades_completed = 0;
+  uint64_t trades_exported = 0;
+  uint64_t integrity_clipped = 0;
+  uint64_t decode_errors = 0;
+  uint64_t frame_errors = 0;
+  uint64_t link_reconnects = 0;
+};
+
+// Counts trade events republished on the coordinator by the fan-in import.
+class TradeCollectorUnit : public Unit {
+ public:
+  void OnStart(UnitContext& ctx) override {
+    (void)ctx.Subscribe(Filter::Eq(kPartType, Value::OfString(kTypeTrade)));
+  }
+  void OnEvent(UnitContext& ctx, EventHandle, SubscriptionId) override {
+    trades_.fetch_add(1, std::memory_order_relaxed);
+  }
+  uint64_t trades() const { return trades_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> trades_{0};
+};
+
+TransportOptions BenchTransport() {
+  TransportOptions options;
+  options.send_queue_capacity = 4096;
+  options.replay_buffer_capacity = 8192;
+  options.connect_timeout_ms = 2000;
+  options.io_timeout_ms = 10000;
+  return options;
+}
+
+std::string WorkerAddress(const BenchOptions& options, SecurityMode mode, size_t worker) {
+  if (options.tcp) {
+    return "tcp:127.0.0.1:0";
+  }
+  return "unix:/tmp/defcon_figdist_" + std::to_string(::getpid()) + "_m" +
+         std::to_string(static_cast<int>(mode)) + "_w" + std::to_string(worker) + ".sock";
+}
+
+std::string CoordinatorAddress(const BenchOptions& options, SecurityMode mode) {
+  if (options.tcp) {
+    return "tcp:127.0.0.1:0";
+  }
+  return "unix:/tmp/defcon_figdist_" + std::to_string(::getpid()) + "_m" +
+         std::to_string(static_cast<int>(mode)) + "_coord.sock";
+}
+
+Status SendText(Channel* channel, const std::string& text) {
+  return channel->SendFrame(reinterpret_cast<const uint8_t*>(text.data()), text.size());
+}
+
+Result<std::string> RecvText(Channel* channel) {
+  auto frame = channel->RecvFrame();
+  if (!frame.ok()) {
+    return frame.status();
+  }
+  return std::string(frame->begin(), frame->end());
+}
+
+int WorkerMain(const BenchOptions& options, SecurityMode mode, size_t worker_index,
+               std::shared_ptr<Channel> control) {
+  EngineConfig engine_config;
+  engine_config.mode = mode;
+  engine_config.num_threads = options.worker_threads;
+  Engine engine(engine_config);
+
+  PlatformConfig platform_config;
+  platform_config.num_traders = options.traders;
+  platform_config.num_symbols = options.symbols;
+  platform_config.seed = options.seed;
+  platform_config.partition_count = options.nodes;
+  platform_config.partition_index = worker_index;
+  TradingPlatform platform(&engine, platform_config);
+  platform.Assemble();
+
+  // Import side: the coordinator's tick feed, trusted to carry the exchange
+  // integrity tag s (the same 128-bit value — both engines mint from the
+  // same seed in the same order).
+  BridgeConfig tick_trust;
+  tick_trust.filter = Filter::Eq(kPartType, Value::OfString(kTypeTick));
+  tick_trust.import_integrity = TagSet({platform.tag_s()});
+  tick_trust.import_privileges.Grant(platform.tag_s(), Privilege::kPlus);
+
+  MeshConfig mesh_config;
+  mesh_config.node_id = 100 + worker_index;
+  mesh_config.transport = BenchTransport();
+  MeshNode node(&engine, mesh_config);
+  if (!node.StartImport(WorkerAddress(options, mode, worker_index), tick_trust).ok()) {
+    return 10;
+  }
+  if (!SendText(control.get(), node.listen_address()).ok()) {
+    return 11;
+  }
+
+  // Fan-in: relay this partition's trade events (public parts only — trader
+  // identity parts stay secrecy-protected) back to the coordinator.
+  auto coordinator_address = RecvText(control.get());
+  if (!coordinator_address.ok()) {
+    return 12;
+  }
+  BridgeConfig trade_trust;
+  trade_trust.filter = Filter::Eq(kPartType, Value::OfString(kTypeTrade));
+  if (!node.AddExport(*coordinator_address, trade_trust).ok()) {
+    return 13;
+  }
+
+  engine.Start();
+  engine.WaitIdle();  // OnStart subscriptions land async; settle before "ready"
+  if (!SendText(control.get(), "ready").ok()) {
+    return 14;
+  }
+
+  // Drain barrier: every tick has been acked by our receiver, so WaitIdle
+  // covers the full trader/broker cascade; then flush the trade fan-in.
+  auto drain = RecvText(control.get());
+  if (!drain.ok() || *drain != "drain") {
+    return 15;
+  }
+  engine.WaitIdle();
+  if (!node.FlushExports(60000).ok()) {
+    return 16;
+  }
+
+  const MeshStats mesh = node.stats();
+  WireWriter stats;
+  stats.PutVarint(mesh.events_imported);
+  stats.PutVarint(platform.trades_completed());
+  stats.PutVarint(mesh.events_exported);
+  stats.PutVarint(mesh.integrity_clipped);
+  stats.PutVarint(mesh.decode_errors);
+  stats.PutVarint(mesh.frame_errors);
+  stats.PutVarint(mesh.link_reconnects);
+  if (!control->SendFrame(stats.buffer()).ok()) {
+    return 17;
+  }
+  node.Shutdown();
+  return 0;
+}
+
+struct RunRow {
+  std::string name;
+  size_t nodes = 0;
+  double ticks_per_sec = 0;
+  uint64_t ticks_relayed = 0;
+  uint64_t trades_workers = 0;
+  uint64_t trades_collected = 0;
+  uint64_t label_violations = 0;
+  uint64_t link_reconnects = 0;
+};
+
+Result<RunRow> RunOneMode(const BenchOptions& options, SecurityMode mode) {
+  // Fork all workers before the coordinator engine exists: forking a
+  // process with live engine/transport threads is undefined behaviour.
+  std::vector<pid_t> pids;
+  std::vector<std::shared_ptr<Channel>> controls;
+  for (size_t w = 0; w < options.nodes; ++w) {
+    auto pair = Channel::CreatePair();
+    if (!pair.ok()) {
+      return pair.status();
+    }
+    auto parent_end = std::make_shared<Channel>(std::move(pair->first));
+    auto child_end = std::make_shared<Channel>(std::move(pair->second));
+    auto pid = ForkChild([&options, mode, w, child_end, parent_end] {
+      parent_end->Close();
+      return WorkerMain(options, mode, w, child_end);
+    });
+    if (!pid.ok()) {
+      return pid.status();
+    }
+    child_end->Close();
+    pids.push_back(*pid);
+    controls.push_back(std::move(parent_end));
+  }
+
+  std::vector<std::string> worker_addresses;
+  for (const auto& control : controls) {
+    auto address = RecvText(control.get());
+    if (!address.ok()) {
+      return address.status();
+    }
+    worker_addresses.push_back(*address);
+  }
+
+  // Coordinator node: mint the platform tags in assembly order so the tag
+  // namespace matches every worker, then feed ticks through a real
+  // StockExchangeUnit so relayed events have the exact platform shape.
+  EngineConfig engine_config;
+  engine_config.mode = mode;
+  engine_config.num_threads = 1;
+  Engine engine(engine_config);
+  const Tag s = engine.CreateTag("i-exchange");
+  (void)engine.CreateTag("s-broker");
+  (void)engine.CreateTag("s-regulator");
+  SymbolTable symbols(options.symbols & ~size_t{1}, options.seed ^ 0x5f5f5f5fULL);
+
+  PrivilegeSet exchange_privileges;
+  exchange_privileges.Grant(s, Privilege::kPlus);
+  auto exchange_owned = std::make_unique<StockExchangeUnit>(s, &symbols);
+  StockExchangeUnit* exchange = exchange_owned.get();
+  const UnitId exchange_id =
+      engine.AddUnit("feed", std::move(exchange_owned), Label(), exchange_privileges);
+  auto collector_owned = std::make_unique<TradeCollectorUnit>();
+  TradeCollectorUnit* collector = collector_owned.get();
+  engine.AddUnit("collector", std::move(collector_owned));
+
+  MeshConfig mesh_config;
+  mesh_config.node_id = 1;
+  mesh_config.transport = BenchTransport();
+  MeshNode node(&engine, mesh_config);
+  BridgeConfig fanin_trust;  // trades arrive as plain public parts
+  fanin_trust.filter = Filter::Eq(kPartType, Value::OfString(kTypeTrade));
+  DEFCON_RETURN_IF_ERROR(node.StartImport(CoordinatorAddress(options, mode), fanin_trust));
+
+  BridgeConfig tick_trust;
+  tick_trust.filter = Filter::Eq(kPartType, Value::OfString(kTypeTick));
+  DEFCON_RETURN_IF_ERROR(node.AddPartitionedExport(
+      worker_addresses, tick_trust, kPartSymbol, [&symbols](const Value& key, size_t n) {
+        return PartitionOfSymbol(symbols, key.string_value(), n);
+      }));
+  engine.Start();
+  // Start() posts OnStart turns asynchronously; without this barrier the
+  // injection loop below can outrun the mesh-export unit's subscription and
+  // ticks published before it lands are silently undeliverable.
+  engine.WaitIdle();
+
+  // Start barrier: workers add their fan-in export and start their engines
+  // before the first tick is published.
+  for (const auto& control : controls) {
+    DEFCON_RETURN_IF_ERROR(SendText(control.get(), node.listen_address()));
+  }
+  for (const auto& control : controls) {
+    auto ready = RecvText(control.get());
+    if (!ready.ok()) {
+      return ready.status();
+    }
+    if (*ready != "ready") {
+      return IoError("worker failed to start: " + *ready);
+    }
+  }
+
+  TickSource source(symbols.size(), options.seed);
+  const std::vector<Tick> trace = source.Generate(options.ticks);
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < trace.size(); i += options.tick_batch) {
+    const size_t end = std::min(trace.size(), i + options.tick_batch);
+    std::vector<Tick> batch(trace.begin() + static_cast<ptrdiff_t>(i),
+                            trace.begin() + static_cast<ptrdiff_t>(end));
+    engine.InjectTurn(exchange_id, [exchange, batch = std::move(batch)](UnitContext& ctx) {
+      (void)exchange->PublishTickBatch(ctx, batch);
+    });
+  }
+  engine.WaitIdle();
+  DEFCON_RETURN_IF_ERROR(node.FlushExports(120000));  // every tick acked
+
+  // Drain barrier: workers finish their cascades and flush trades back.
+  for (const auto& control : controls) {
+    DEFCON_RETURN_IF_ERROR(SendText(control.get(), "drain"));
+  }
+  RunRow row;
+  row.nodes = options.nodes;
+  for (const auto& control : controls) {
+    auto frame = control->RecvFrame();
+    if (!frame.ok()) {
+      return frame.status();
+    }
+    WireReader reader(*frame);
+    WorkerStats stats;
+    auto read = [&reader](uint64_t* out) {
+      auto v = reader.Varint();
+      if (v.ok()) {
+        *out = *v;
+      }
+      return v.ok();
+    };
+    if (!read(&stats.ticks_imported) || !read(&stats.trades_completed) ||
+        !read(&stats.trades_exported) || !read(&stats.integrity_clipped) ||
+        !read(&stats.decode_errors) || !read(&stats.frame_errors) ||
+        !read(&stats.link_reconnects)) {
+      return IoError("malformed worker stats frame");
+    }
+    row.trades_workers += stats.trades_completed;
+    row.label_violations += stats.integrity_clipped + stats.decode_errors + stats.frame_errors;
+    row.link_reconnects += stats.link_reconnects;
+  }
+  engine.WaitIdle();  // flushed fan-in frames are injected; settle republish
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  for (const pid_t pid : pids) {
+    const int status = WaitChild(pid);
+    if (status != 0) {
+      return IoError("worker exited with status " + std::to_string(status));
+    }
+  }
+
+  const MeshStats coord = node.stats();
+  row.name = std::string("fig_distributed/mode=") + SecurityModeName(mode) +
+             "/nodes=" + std::to_string(options.nodes);
+  const double seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(elapsed).count();
+  row.ticks_per_sec = seconds > 0 ? static_cast<double>(options.ticks) / seconds : 0;
+  row.ticks_relayed = coord.events_exported;
+  row.trades_collected = collector->trades();
+  row.label_violations += coord.integrity_clipped + coord.decode_errors + coord.frame_errors;
+  row.link_reconnects += coord.link_reconnects;
+  node.Shutdown();
+  return row;
+}
+
+Result<SecurityMode> ParseMode(const std::string& name) {
+  if (name == "none") {
+    return SecurityMode::kNoSecurity;
+  }
+  if (name == "labels") {
+    return SecurityMode::kLabels;
+  }
+  if (name == "clone") {
+    return SecurityMode::kLabelsClone;
+  }
+  if (name == "isolation") {
+    return SecurityMode::kLabelsIsolation;
+  }
+  return InvalidArgument("unknown mode '" + name + "' (none|labels|clone|isolation)");
+}
+
+int Main(int argc, char** argv) {
+  int64_t nodes = 2;
+  int64_t ticks = 6000;
+  int64_t tick_batch = 16;
+  int64_t symbols = 32;
+  int64_t traders = 64;
+  int64_t worker_threads = 1;
+  int64_t seed = 7;
+  bool tcp = false;
+  std::string mode_list = "none,labels";
+  std::string json_path;
+  FlagSet flags;
+  flags.Register("nodes", &nodes, "worker engine processes (2-4 reproduces the figure)");
+  flags.Register("ticks", &ticks, "ticks sharded across the mesh");
+  flags.Register("tick_batch", &tick_batch, "ticks per batched exchange turn");
+  flags.Register("symbols", &symbols, "symbol universe size");
+  flags.Register("traders", &traders, "global trader count (partitioned across nodes)");
+  flags.Register("worker_threads", &worker_threads, "engine worker threads per node");
+  flags.Register("seed", &seed, "workload seed (also fixes the shared tag namespace)");
+  flags.Register("tcp", &tcp, "use TCP loopback links instead of unix sockets");
+  flags.Register("modes", &mode_list, "comma-separated: none,labels,clone,isolation");
+  flags.Register("json", &json_path, "write a google-benchmark-shaped JSON summary here");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+  if (nodes < 1 || nodes > 16) {
+    std::fprintf(stderr, "--nodes must be in [1, 16]\n");
+    return 1;
+  }
+
+  BenchOptions options;
+  options.nodes = static_cast<size_t>(nodes);
+  options.ticks = static_cast<size_t>(ticks);
+  options.tick_batch = static_cast<size_t>(tick_batch);
+  options.symbols = static_cast<size_t>(symbols);
+  options.traders = static_cast<size_t>(traders);
+  options.worker_threads = static_cast<size_t>(worker_threads);
+  options.seed = static_cast<uint64_t>(seed);
+  options.tcp = tcp;
+
+  std::vector<SecurityMode> modes;
+  size_t start = 0;
+  while (start < mode_list.size()) {
+    size_t comma = mode_list.find(',', start);
+    if (comma == std::string::npos) {
+      comma = mode_list.size();
+    }
+    const std::string token = mode_list.substr(start, comma - start);
+    start = comma + 1;
+    if (token.empty()) {
+      continue;
+    }
+    auto mode = ParseMode(token);
+    if (!mode.ok()) {
+      std::fprintf(stderr, "%s\n", mode.status().ToString().c_str());
+      return 1;
+    }
+    modes.push_back(*mode);
+  }
+  if (modes.empty()) {
+    std::fprintf(stderr, "--modes: no modes given\n");
+    return 1;
+  }
+
+  std::printf("Distributed mesh: trading workload across %lld node processes (%s links)\n",
+              static_cast<long long>(nodes), tcp ? "tcp" : "unix");
+  std::printf("(%lld ticks sharded by symbol, trades fanned back in)\n\n",
+              static_cast<long long>(ticks));
+
+  Table table({"mode", "nodes", "kticks/s", "ticks relayed", "trades", "collected",
+               "violations", "reconnects"});
+  std::vector<RunRow> rows;
+  for (SecurityMode mode : modes) {
+    auto row = RunOneMode(options, mode);
+    if (!row.ok()) {
+      std::fprintf(stderr, "mode %s failed: %s\n", SecurityModeName(mode),
+                   row.status().ToString().c_str());
+      return 1;
+    }
+    rows.push_back(*row);
+    table.AddRow({SecurityModeName(mode), Table::Int(static_cast<int64_t>(row->nodes)),
+                  Table::Num(row->ticks_per_sec / 1000.0, 1),
+                  Table::Int(static_cast<int64_t>(row->ticks_relayed)),
+                  Table::Int(static_cast<int64_t>(row->trades_workers)),
+                  Table::Int(static_cast<int64_t>(row->trades_collected)),
+                  Table::Int(static_cast<int64_t>(row->label_violations)),
+                  Table::Int(static_cast<int64_t>(row->link_reconnects))});
+  }
+  table.RenderText(std::cout);
+  std::printf(
+      "\nExpected shape: every tick relayed exactly once, violations 0 (an\n"
+      "honest mesh never trips the integrity cap), collected == trades with\n"
+      "only the public fill parts crossing back.\n");
+
+  if (!json_path.empty()) {
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(out, "{\n  \"benchmarks\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const RunRow& row = rows[i];
+      std::fprintf(out,
+                   "    {\"name\": \"%s\", \"nodes\": %llu, \"ticks_per_sec\": %.1f, "
+                   "\"events_relayed\": %llu, \"trades\": %llu, \"trades_collected\": %llu, "
+                   "\"label_violations\": %llu, \"link_reconnects\": %llu}%s\n",
+                   row.name.c_str(), static_cast<unsigned long long>(row.nodes),
+                   row.ticks_per_sec, static_cast<unsigned long long>(row.ticks_relayed),
+                   static_cast<unsigned long long>(row.trades_workers),
+                   static_cast<unsigned long long>(row.trades_collected),
+                   static_cast<unsigned long long>(row.label_violations),
+                   static_cast<unsigned long long>(row.link_reconnects),
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("JSON summary written to %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace defcon
+
+int main(int argc, char** argv) { return defcon::Main(argc, argv); }

@@ -1,0 +1,100 @@
+#include "src/distributed/mesh.h"
+
+namespace defcon {
+
+MeshNode::MeshNode(Engine* engine, MeshConfig config)
+    : engine_(engine), config_(std::move(config)) {}
+
+MeshNode::~MeshNode() { Shutdown(); }
+
+Status MeshNode::StartImport(const std::string& address, const BridgeConfig& trust) {
+  if (receiver_ != nullptr) {
+    return FailedPrecondition("mesh node already importing");
+  }
+  importer_ = std::make_unique<RemoteBridgeImporter>(engine_, trust);
+  receiver_ = std::make_unique<LinkReceiver>(config_.node_id, config_.transport);
+  const Status listening = receiver_->Listen(address, importer_->handler());
+  if (!listening.ok()) {
+    receiver_.reset();
+    return listening;
+  }
+  return OkStatus();
+}
+
+std::string MeshNode::listen_address() const {
+  return receiver_ != nullptr ? receiver_->address() : std::string();
+}
+
+Status MeshNode::AddExport(const std::string& peer_address, const BridgeConfig& trust) {
+  return AddPartitionedExport({peer_address}, trust, /*key_part=*/"");
+}
+
+Status MeshNode::AddPartitionedExport(const std::vector<std::string>& peer_addresses,
+                                      const BridgeConfig& trust, const std::string& key_part,
+                                      PartitionRouter router) {
+  if (peer_addresses.empty()) {
+    return InvalidArgument("partitioned export needs at least one peer");
+  }
+  ExportRoute route;
+  route.partition_part = key_part;
+  route.router = std::move(router);
+  for (const std::string& address : peer_addresses) {
+    senders_.push_back(
+        std::make_unique<LinkSender>(address, config_.node_id, config_.transport));
+    route.links.push_back(senders_.back().get());
+  }
+  exporters_.push_back(
+      std::make_unique<RemoteBridgeExporter>(engine_, trust, std::move(route)));
+  return OkStatus();
+}
+
+Status MeshNode::FlushExports(int timeout_ms) {
+  for (const auto& sender : senders_) {
+    DEFCON_RETURN_IF_ERROR(sender->Flush(timeout_ms));
+  }
+  return OkStatus();
+}
+
+MeshStats MeshNode::stats() const {
+  MeshStats stats;
+  for (const auto& exporter : exporters_) {
+    stats.events_exported += exporter->events_exported();
+    stats.parts_exported += exporter->parts_exported();
+    stats.overflow_notices += exporter->overflow_notices();
+  }
+  if (importer_ != nullptr) {
+    stats.events_imported = importer_->events_imported();
+    stats.parts_imported = importer_->parts_imported();
+    stats.decode_errors = importer_->decode_errors();
+    stats.integrity_clipped = importer_->integrity_clipped();
+  }
+  for (const auto& sender : senders_) {
+    const LinkSenderStats link = sender->stats();
+    stats.link_reconnects += link.reconnects;
+    stats.frames_replayed += link.replayed;
+    stats.frames_dropped_overflow += link.dropped_overflow;
+  }
+  if (receiver_ != nullptr) {
+    const LinkReceiverStats recv = receiver_->stats();
+    stats.duplicates_filtered = recv.duplicates;
+    stats.frame_errors = recv.frame_errors;
+  }
+  return stats;
+}
+
+void MeshNode::KillInboundLinks() {
+  if (receiver_ != nullptr) {
+    receiver_->CloseActiveLinks();
+  }
+}
+
+void MeshNode::Shutdown() {
+  for (const auto& sender : senders_) {
+    sender->Shutdown();
+  }
+  if (receiver_ != nullptr) {
+    receiver_->Shutdown();
+  }
+}
+
+}  // namespace defcon

@@ -1,0 +1,106 @@
+// MeshNode: one DEFCON engine process as a member of a distributed mesh.
+//
+// A node owns at most one LinkReceiver (its import side: every inbound link
+// funnels into one RemoteBridgeImporter whose BridgeConfig caps what the
+// whole mesh may claim on this node) and any number of outbound exports:
+//   * AddExport       — relay matching events to one peer;
+//   * AddPartitionedExport — shard matching events across N peers by the
+//     value of a key part (symbol-partitioned dispatch), with fan-in being
+//     nothing more than every worker holding an AddExport back to the
+//     coordinator's listen address.
+//
+// Tag identity across nodes: tags are 128-bit values minted deterministically
+// from EngineConfig::seed, so engines assembled with the same seed and the
+// same mint order share a tag namespace (the deployment-time analogue of the
+// operator installing the same clearances on every node). A remote tag
+// AUTHORITY — minting and privilege transfer across nodes — remains the
+// paper's open problem and is out of scope here.
+#ifndef DEFCON_SRC_DISTRIBUTED_MESH_H_
+#define DEFCON_SRC_DISTRIBUTED_MESH_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/distributed/remote_bridge.h"
+#include "src/distributed/transport.h"
+
+namespace defcon {
+
+struct MeshConfig {
+  // Identifies this node in link HELLOs; receivers key replay cursors by it,
+  // so ids must be unique across the mesh.
+  uint64_t node_id = 0;
+  TransportOptions transport;
+};
+
+struct MeshStats {
+  uint64_t events_exported = 0;
+  uint64_t parts_exported = 0;
+  uint64_t overflow_notices = 0;
+  uint64_t events_imported = 0;
+  uint64_t parts_imported = 0;
+  uint64_t decode_errors = 0;
+  uint64_t integrity_clipped = 0;
+  uint64_t link_reconnects = 0;
+  uint64_t frames_replayed = 0;
+  uint64_t frames_dropped_overflow = 0;
+  uint64_t duplicates_filtered = 0;
+  uint64_t frame_errors = 0;
+};
+
+class MeshNode {
+ public:
+  // The engine must outlive the node.
+  MeshNode(Engine* engine, MeshConfig config);
+  ~MeshNode();
+
+  MeshNode(const MeshNode&) = delete;
+  MeshNode& operator=(const MeshNode&) = delete;
+
+  // Starts the import side: binds `address` and republishes every inbound
+  // relay under `trust` (import integrity cap). Call at most once.
+  Status StartImport(const std::string& address, const BridgeConfig& trust);
+
+  // Resolved listen address (actual port for tcp:...:0); empty until
+  // StartImport succeeds.
+  std::string listen_address() const;
+
+  // Relays events matching trust.filter (visible at trust.export_clearance)
+  // to the peer listening at `peer_address`.
+  Status AddExport(const std::string& peer_address, const BridgeConfig& trust);
+
+  // Shards matching events across `peer_addresses` by the value of
+  // `key_part` (router defaults to HashPartitionRouter; pass a custom router
+  // to align routing with an application partition map). Events without the
+  // key part are broadcast to every peer.
+  Status AddPartitionedExport(const std::vector<std::string>& peer_addresses,
+                              const BridgeConfig& trust, const std::string& key_part,
+                              PartitionRouter router = HashPartitionRouter);
+
+  // Blocks until every export link has drained and been acked (kIoError on
+  // timeout). Call before tearing a node down to make delivery durable.
+  Status FlushExports(int timeout_ms);
+
+  MeshStats stats() const;
+
+  // Test hook: hard-close every accepted inbound link (senders reconnect and
+  // replay; cursors guarantee exactly-once across the cut).
+  void KillInboundLinks();
+
+  void Shutdown();
+
+ private:
+  Engine* engine_;
+  const MeshConfig config_;
+
+  std::unique_ptr<LinkReceiver> receiver_;
+  std::unique_ptr<RemoteBridgeImporter> importer_;
+  std::vector<std::unique_ptr<LinkSender>> senders_;
+  std::vector<std::unique_ptr<RemoteBridgeExporter>> exporters_;
+};
+
+}  // namespace defcon
+
+#endif  // DEFCON_SRC_DISTRIBUTED_MESH_H_

@@ -1,0 +1,40 @@
+#include "src/distributed/relay_codec.h"
+
+#include "src/ipc/wire.h"
+
+namespace defcon {
+
+std::vector<uint8_t> EncodeRelay(int64_t origin_ns, const std::vector<NamedPartView>& parts) {
+  WireWriter writer;
+  writer.PutZigzag(origin_ns);
+  writer.PutVarint(parts.size());
+  for (const NamedPartView& part : parts) {
+    writer.PutString(part.name);
+    EncodeLabel(part.label, &writer);
+    EncodeValue(part.data, &writer);
+  }
+  return writer.Take();
+}
+
+Result<std::vector<RelayedPart>> DecodeRelay(const std::vector<uint8_t>& payload,
+                                             int64_t* origin_ns) {
+  WireReader reader(payload);
+  DEFCON_ASSIGN_OR_RETURN(*origin_ns, reader.Zigzag());
+  DEFCON_ASSIGN_OR_RETURN(uint64_t count, reader.Varint());
+  if (count > reader.remaining()) {
+    return IoError("relay part count exceeds payload");
+  }
+  std::vector<RelayedPart> parts;
+  parts.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    RelayedPart part;
+    DEFCON_ASSIGN_OR_RETURN(part.name, reader.String());
+    DEFCON_ASSIGN_OR_RETURN(part.label, DecodeLabel(&reader));
+    DEFCON_ASSIGN_OR_RETURN(part.data, DecodeValue(&reader));
+    part.data.Freeze();
+    parts.push_back(std::move(part));
+  }
+  return parts;
+}
+
+}  // namespace defcon

@@ -1,0 +1,39 @@
+// Relay payload codec shared by the in-process EventBridge and the socket
+// RemoteBridge: one relayed event is origin_ns + (name, label, value)*.
+//
+// Privilege grants are deliberately NOT part of the relay format: privilege
+// transfer across nodes would require the remote tag authority the paper
+// leaves open (§7), so grants never cross a bridge of either kind.
+#ifndef DEFCON_SRC_DISTRIBUTED_RELAY_CODEC_H_
+#define DEFCON_SRC_DISTRIBUTED_RELAY_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/core/label.h"
+#include "src/core/unit.h"
+#include "src/freeze/value.h"
+
+namespace defcon {
+
+struct RelayedPart {
+  std::string name;
+  Label label;
+  Value data;
+};
+
+// Serialises one relayed event's visible parts.
+std::vector<uint8_t> EncodeRelay(int64_t origin_ns, const std::vector<NamedPartView>& parts);
+
+// Decodes a relay payload. The input is untrusted (it may have crossed a
+// hostile wire): every length is validated against the remaining payload and
+// decoded values arrive frozen. Label *semantics* are not decided here — the
+// importing unit's clearances cap what the decoded labels may claim.
+Result<std::vector<RelayedPart>> DecodeRelay(const std::vector<uint8_t>& payload,
+                                             int64_t* origin_ns);
+
+}  // namespace defcon
+
+#endif  // DEFCON_SRC_DISTRIBUTED_RELAY_CODEC_H_

@@ -1,0 +1,197 @@
+#include "src/distributed/remote_bridge.h"
+
+#include "src/base/logging.h"
+#include "src/distributed/relay_codec.h"
+#include "src/ipc/wire.h"
+
+namespace defcon {
+
+size_t HashPartitionRouter(const Value& key, size_t num_links) {
+  WireWriter writer;
+  EncodeValue(key, &writer);
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const uint8_t byte : writer.buffer()) {
+    hash = (hash ^ byte) * 0x100000001b3ULL;
+  }
+  return static_cast<size_t>(hash % num_links);
+}
+
+namespace {
+
+// Source-side exporter: an ordinary (trusted, cleared) unit whose only
+// authority over remote data is its clearance — what it cannot read, it
+// cannot serialise.
+class RemoteExportUnit : public Unit {
+ public:
+  RemoteExportUnit(Filter filter, ExportRoute route,
+                   std::shared_ptr<std::atomic<uint64_t>> exported,
+                   std::shared_ptr<std::atomic<uint64_t>> parts,
+                   std::shared_ptr<std::atomic<uint64_t>> overflow)
+      : filter_(std::move(filter)),
+        route_(std::move(route)),
+        exported_(std::move(exported)),
+        parts_(std::move(parts)),
+        overflow_(std::move(overflow)) {}
+
+  void OnStart(UnitContext& ctx) override {
+    const auto sub = ctx.Subscribe(filter_);
+    if (!sub.ok()) {
+      DEFCON_LOG(kError) << "remote bridge export: subscribe failed: "
+                         << sub.status().ToString();
+    }
+  }
+
+  void OnEvent(UnitContext& ctx, EventHandle event, SubscriptionId sub) override {
+    auto parts = ctx.ReadAllParts(event);
+    if (!parts.ok() || parts->empty()) {
+      return;
+    }
+    const int64_t origin = ctx.EventOrigin(event).value_or(0);
+    auto payload = EncodeRelay(origin, *parts);
+
+    // Route: by key-part value when configured and present, link 0 when no
+    // key is configured, broadcast when the key part is invisible/absent.
+    const size_t n = route_.links.size();
+    size_t target = 0;
+    bool broadcast = false;
+    if (!route_.partition_part.empty()) {
+      broadcast = true;
+      for (const NamedPartView& part : *parts) {
+        if (part.name == route_.partition_part) {
+          target = route_.router(part.data, n);
+          broadcast = false;
+          break;
+        }
+      }
+    }
+    exported_->fetch_add(1, std::memory_order_relaxed);
+    parts_->fetch_add(parts->size(), std::memory_order_relaxed);
+    for (size_t i = 0; i < n; ++i) {
+      if (!broadcast && i != target) {
+        continue;
+      }
+      const Status sent = route_.links[i]->Send(
+          broadcast && i + 1 < n ? payload : std::move(payload));
+      if (sent.code() == StatusCode::kResourceExhausted) {
+        // The link dropped the payload (explicit overflow policy). Publish a
+        // labelled notice on the source node: the loss is observable at the
+        // exporter's own output label, never silent.
+        overflow_->fetch_add(1, std::memory_order_relaxed);
+        auto notice = ctx.CreateEvent();
+        if (notice.ok()) {
+          (void)ctx.AddPart(*notice, Label(), "mesh_overflow",
+                            Value::OfInt(static_cast<int64_t>(
+                                overflow_->load(std::memory_order_relaxed))));
+          (void)ctx.Publish(*notice);
+        }
+      }
+    }
+  }
+
+ private:
+  Filter filter_;
+  ExportRoute route_;
+  std::shared_ptr<std::atomic<uint64_t>> exported_;
+  std::shared_ptr<std::atomic<uint64_t>> parts_;
+  std::shared_ptr<std::atomic<uint64_t>> overflow_;
+};
+
+}  // namespace
+
+RemoteBridgeExporter::RemoteBridgeExporter(Engine* source, const BridgeConfig& config,
+                                           ExportRoute route) {
+  auto unit = std::make_unique<RemoteExportUnit>(config.filter, std::move(route), exported_,
+                                                 parts_, overflow_);
+  source->AddUnit("mesh-export", std::move(unit), config.export_clearance,
+                  config.export_privileges);
+}
+
+// Sink-side republisher: raises its output integrity to the granted relay
+// tags at start, so decoded integrity survives the I' = I ∩ Iout stamping
+// exactly when the operator granted it — and is stripped (and counted)
+// otherwise. Runs uncontaminated; decoded secrecy accumulates via S' = S ∪
+// Sout and republished parts keep their wire secrecy tags verbatim.
+class RemoteImportUnit : public Unit {
+ public:
+  RemoteImportUnit(TagSet relay_integrity, std::shared_ptr<std::atomic<uint64_t>> imported,
+                   std::shared_ptr<std::atomic<uint64_t>> parts,
+                   std::shared_ptr<std::atomic<uint64_t>> decode_errors,
+                   std::shared_ptr<std::atomic<uint64_t>> clipped)
+      : relay_integrity_(std::move(relay_integrity)),
+        imported_(std::move(imported)),
+        parts_(std::move(parts)),
+        decode_errors_(std::move(decode_errors)),
+        clipped_(std::move(clipped)) {}
+
+  void OnStart(UnitContext& ctx) override {
+    for (const Tag& tag : relay_integrity_) {
+      const Status endorsed = ctx.ChangeOutLabel(LabelComponent::kIntegrity, LabelOp::kAdd, tag);
+      if (!endorsed.ok()) {
+        DEFCON_LOG(kWarning) << "remote bridge import: integrity tag not endorsable: "
+                             << endorsed.ToString();
+      }
+    }
+  }
+
+  void OnEvent(UnitContext& ctx, EventHandle event, SubscriptionId sub) override {}
+
+  // Invoked through Engine::InjectTurn by the transport handler.
+  void Republish(UnitContext& ctx, const std::vector<uint8_t>& payload) {
+    int64_t origin_ns = 0;
+    auto parts = DecodeRelay(payload, &origin_ns);
+    if (!parts.ok()) {
+      decode_errors_->fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (parts->empty()) {
+      return;
+    }
+    auto event = ctx.CreateEvent();
+    if (!event.ok()) {
+      return;
+    }
+    for (const RelayedPart& part : *parts) {
+      for (const Tag& tag : part.label.integrity) {
+        if (!relay_integrity_.Contains(tag)) {
+          clipped_->fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+      }
+      (void)ctx.AddPart(*event, part.label, part.name, part.data);
+    }
+    if (ctx.Publish(*event).ok()) {
+      imported_->fetch_add(1, std::memory_order_relaxed);
+      parts_->fetch_add(parts->size(), std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  TagSet relay_integrity_;
+  std::shared_ptr<std::atomic<uint64_t>> imported_;
+  std::shared_ptr<std::atomic<uint64_t>> parts_;
+  std::shared_ptr<std::atomic<uint64_t>> decode_errors_;
+  std::shared_ptr<std::atomic<uint64_t>> clipped_;
+};
+
+RemoteBridgeImporter::RemoteBridgeImporter(Engine* sink, const BridgeConfig& config)
+    : sink_(sink) {
+  auto unit = std::make_unique<RemoteImportUnit>(config.import_integrity, imported_, parts_,
+                                                 decode_errors_, clipped_);
+  import_unit_ = unit.get();
+  import_id_ =
+      sink->AddUnit("mesh-import", std::move(unit), Label(), config.import_privileges);
+}
+
+LinkReceiver::Handler RemoteBridgeImporter::handler() {
+  Engine* sink = sink_;
+  const UnitId import_id = import_id_;
+  RemoteImportUnit* unit = import_unit_;
+  return [sink, import_id, unit](uint64_t sender_node, std::vector<uint8_t> payload) {
+    (void)sender_node;
+    sink->InjectTurn(import_id, [unit, payload = std::move(payload)](UnitContext& ctx) {
+      unit->Republish(ctx, payload);
+    });
+  };
+}
+
+}  // namespace defcon

@@ -1,0 +1,101 @@
+// RemoteBridge: the cross-host realisation of EventBridge — the same
+// BridgeConfig trust model, but the two halves live in different processes
+// and the queue between them is a mesh transport link (transport.h).
+//
+// Trust model (identical to EventBridge, restated for the hostile wire):
+//   * the EXPORTING half runs as a unit of the source engine at
+//     BridgeConfig::export_clearance — only parts visible at that clearance
+//     are ever serialised, so a secret part never reaches the socket at all
+//     (byte-level property, tested against the raw transcript);
+//   * the IMPORTING half republishes through a unit whose output integrity
+//     is capped at BridgeConfig::import_integrity — decoded integrity claims
+//     beyond the grant are stripped by the ordinary I' = I ∩ Iout stamping
+//     (and counted: an honest mesh never trips it);
+//   * secrecy tags decode verbatim (128-bit global identity survives the
+//     hop) and can only ACCUMULATE on import (S' = S ∪ Sout) — the wire can
+//     never widen visibility on the importing node;
+//   * privilege grants are never relayed (remote tag authority: open, §7).
+#ifndef DEFCON_SRC_DISTRIBUTED_REMOTE_BRIDGE_H_
+#define DEFCON_SRC_DISTRIBUTED_REMOTE_BRIDGE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/core/unit.h"
+#include "src/distributed/event_bridge.h"
+#include "src/distributed/transport.h"
+
+namespace defcon {
+
+// Routes an exported event to one of N partition links by the value of a
+// designated key part, e.g. hash(symbol) % N. Events missing the key part
+// are broadcast to every link (control/marker events reach all partitions).
+using PartitionRouter = std::function<size_t(const Value& key, size_t num_links)>;
+
+// Default router: FNV-1a over the wire encoding of the key value.
+size_t HashPartitionRouter(const Value& key, size_t num_links);
+
+struct ExportRoute {
+  // Non-owning; links must outlive the exporter's engine.
+  std::vector<LinkSender*> links;
+  // Part name whose value selects the partition; empty routes everything to
+  // links[0] (single-link bridge).
+  std::string partition_part;
+  PartitionRouter router = HashPartitionRouter;
+};
+
+// Source-process half: installs an export unit on `source` that serialises
+// events matching config.filter (visible parts only) into the route's links.
+// A full link in drop mode publishes a labelled "mesh_overflow" event on the
+// source engine instead of dropping silently.
+class RemoteBridgeExporter {
+ public:
+  RemoteBridgeExporter(Engine* source, const BridgeConfig& config, ExportRoute route);
+
+  uint64_t events_exported() const { return exported_->load(std::memory_order_relaxed); }
+  uint64_t parts_exported() const { return parts_->load(std::memory_order_relaxed); }
+  uint64_t overflow_notices() const { return overflow_->load(std::memory_order_relaxed); }
+
+ private:
+  std::shared_ptr<std::atomic<uint64_t>> exported_ = std::make_shared<std::atomic<uint64_t>>(0);
+  std::shared_ptr<std::atomic<uint64_t>> parts_ = std::make_shared<std::atomic<uint64_t>>(0);
+  std::shared_ptr<std::atomic<uint64_t>> overflow_ = std::make_shared<std::atomic<uint64_t>>(0);
+};
+
+// Sink-process half: an import unit on `sink` plus a transport handler that
+// injects decoded payloads into it. Register `handler()` with the node's
+// LinkReceiver (LinkReceiver::Listen); the handler is thread-safe.
+class RemoteBridgeImporter {
+ public:
+  RemoteBridgeImporter(Engine* sink, const BridgeConfig& config);
+
+  LinkReceiver::Handler handler();
+
+  uint64_t events_imported() const { return imported_->load(std::memory_order_relaxed); }
+  uint64_t parts_imported() const { return parts_->load(std::memory_order_relaxed); }
+  // Rejected relay payloads (truncated/corrupt after CRC — hostile input).
+  uint64_t decode_errors() const { return decode_errors_->load(std::memory_order_relaxed); }
+  // Parts whose wire integrity claimed tags beyond the import grant; the
+  // claims were stripped. Zero in an honest mesh — the CI smoke job asserts
+  // on it as "label violations".
+  uint64_t integrity_clipped() const { return clipped_->load(std::memory_order_relaxed); }
+
+ private:
+  Engine* sink_;
+  UnitId import_id_ = 0;
+  class RemoteImportUnit* import_unit_ = nullptr;  // owned by the engine
+  std::shared_ptr<std::atomic<uint64_t>> imported_ = std::make_shared<std::atomic<uint64_t>>(0);
+  std::shared_ptr<std::atomic<uint64_t>> parts_ = std::make_shared<std::atomic<uint64_t>>(0);
+  std::shared_ptr<std::atomic<uint64_t>> decode_errors_ =
+      std::make_shared<std::atomic<uint64_t>>(0);
+  std::shared_ptr<std::atomic<uint64_t>> clipped_ = std::make_shared<std::atomic<uint64_t>>(0);
+};
+
+}  // namespace defcon
+
+#endif  // DEFCON_SRC_DISTRIBUTED_REMOTE_BRIDGE_H_

@@ -1,0 +1,477 @@
+#include "src/distributed/transport.h"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/base/logging.h"
+#include "src/ipc/wire.h"
+
+namespace defcon {
+
+namespace {
+
+constexpr uint8_t Kind(LinkFrameKind kind) { return static_cast<uint8_t>(kind); }
+
+std::vector<uint8_t> EncodeHello(uint64_t node_id, uint64_t last_seq) {
+  WireWriter writer;
+  writer.PutVarint(node_id);
+  writer.PutVarint(last_seq);
+  return writer.Take();
+}
+
+struct Hello {
+  uint64_t node_id = 0;
+  uint64_t last_seq = 0;
+};
+
+Result<Hello> DecodeHello(const std::vector<uint8_t>& payload) {
+  WireReader reader(payload);
+  Hello hello;
+  DEFCON_ASSIGN_OR_RETURN(hello.node_id, reader.Varint());
+  DEFCON_ASSIGN_OR_RETURN(hello.last_seq, reader.Varint());
+  return hello;
+}
+
+}  // namespace
+
+// --- LinkSender --------------------------------------------------------------
+
+LinkSender::LinkSender(std::string address, uint64_t node_id, TransportOptions options)
+    : address_(std::move(address)), node_id_(node_id), options_(options) {
+  writer_ = std::thread([this] { WriterLoop(); });
+}
+
+LinkSender::~LinkSender() { Shutdown(); }
+
+Status LinkSender::Send(std::vector<uint8_t> payload) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (shutdown_) {
+    return FailedPrecondition("link sender shut down");
+  }
+  if (queue_.size() >= options_.send_queue_capacity) {
+    if (options_.block_on_full) {
+      send_cv_.wait(lock, [this] {
+        return shutdown_ || queue_.size() < options_.send_queue_capacity;
+      });
+      if (shutdown_) {
+        return FailedPrecondition("link sender shut down");
+      }
+    } else {
+      ++stats_.dropped_overflow;
+      const uint64_t total = stats_.dropped_overflow;
+      auto handler = overflow_handler_;
+      lock.unlock();
+      if (handler) {
+        handler(total);
+      }
+      return ResourceExhausted("link send queue full (dropped, total " +
+                               std::to_string(total) + ")");
+    }
+  }
+  PendingFrame frame;
+  frame.seq = next_seq_++;
+  frame.payload = std::move(payload);
+  queue_.push_back(std::move(frame));
+  ++stats_.enqueued;
+  queue_cv_.notify_all();
+  return OkStatus();
+}
+
+Status LinkSender::Flush(int timeout_ms) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  const bool drained = send_cv_.wait_until(lock, deadline, [this] {
+    return shutdown_ || (queue_.empty() && unacked_.empty());
+  });
+  if (shutdown_) {
+    return FailedPrecondition("link sender shut down");
+  }
+  if (!drained) {
+    return IoError("flush timeout: " + std::to_string(queue_.size()) + " queued, " +
+                   std::to_string(unacked_.size()) + " unacked");
+  }
+  return OkStatus();
+}
+
+void LinkSender::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) {
+      return;
+    }
+    shutdown_ = true;
+    queue_cv_.notify_all();
+    send_cv_.notify_all();
+  }
+  if (writer_.joinable()) {
+    writer_.join();
+  }
+}
+
+LinkSenderStats LinkSender::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void LinkSender::HandleAck(uint64_t seq) {
+  while (!unacked_.empty() && unacked_.front().seq <= seq) {
+    unacked_.pop_front();
+    ++stats_.acked;
+  }
+  send_cv_.notify_all();
+}
+
+bool LinkSender::DrainAcks(int blocking_ms) {
+  bool saw_frame = false;
+  for (;;) {
+    auto readable = channel_.Readable(saw_frame ? 0 : blocking_ms);
+    if (!readable.ok()) {
+      return false;
+    }
+    if (!*readable) {
+      // Timeout with no frame while the caller insisted on progress (replay
+      // buffer full) means a peer that accepts data but never acks: treat as
+      // dead and reconnect (replay makes this safe).
+      return saw_frame || blocking_ms < options_.io_timeout_ms;
+    }
+    auto frame = channel_.RecvChecked();
+    if (!frame.ok()) {
+      return false;
+    }
+    if (frame->kind != Kind(LinkFrameKind::kAck)) {
+      return false;  // protocol violation from an untrusted peer
+    }
+    WireReader reader(frame->payload);
+    auto seq = reader.Varint();
+    if (!seq.ok()) {
+      return false;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      HandleAck(*seq);
+    }
+    saw_frame = true;
+  }
+}
+
+bool LinkSender::EstablishLocked(std::unique_lock<std::mutex>& lock) {
+  lock.unlock();
+  bool ok = false;
+  Channel channel;
+  Hello peer;
+  auto connected = Channel::Connect(address_, options_.connect_timeout_ms);
+  if (connected.ok()) {
+    channel = std::move(*connected);
+    ok = channel.SetNoDelay().ok() && channel.SetRecvTimeout(options_.io_timeout_ms).ok() &&
+         channel.SendChecked(Kind(LinkFrameKind::kHello), EncodeHello(node_id_, 0)).ok();
+    if (ok) {
+      auto reply = channel.RecvChecked();
+      ok = reply.ok() && reply->kind == Kind(LinkFrameKind::kHello);
+      if (ok) {
+        auto hello = DecodeHello(reply->payload);
+        ok = hello.ok();
+        if (ok) {
+          peer = *hello;
+        }
+      }
+    }
+  }
+  lock.lock();
+  if (!ok || shutdown_) {
+    return false;
+  }
+  channel_ = std::move(channel);
+  // The peer's cursor acks everything at or below it; replay the rest.
+  HandleAck(peer.last_seq);
+  if (connected_once_) {
+    ++stats_.reconnects;
+  }
+  connected_once_ = true;
+  if (!unacked_.empty()) {
+    std::vector<PendingFrame> replay(unacked_.begin(), unacked_.end());
+    lock.unlock();
+    bool replay_ok = true;
+    for (const PendingFrame& frame : replay) {
+      WireWriter writer;
+      writer.PutVarint(frame.seq);
+      auto buffer = writer.Take();
+      buffer.insert(buffer.end(), frame.payload.begin(), frame.payload.end());
+      if (!channel_.SendChecked(Kind(LinkFrameKind::kData), buffer).ok()) {
+        replay_ok = false;
+        break;
+      }
+    }
+    lock.lock();
+    stats_.replayed += replay.size();
+    if (!replay_ok) {
+      channel_.Close();
+      return false;
+    }
+  }
+  return true;
+}
+
+void LinkSender::WriterLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  int backoff_ms = options_.reconnect_backoff_ms;
+  while (!shutdown_) {
+    if (!channel_.valid()) {
+      if (queue_.empty() && unacked_.empty()) {
+        // Nothing to deliver: stay disconnected until work arrives (a node
+        // with no traffic must not spin reconnecting to a late-starting peer).
+        queue_cv_.wait_for(lock, std::chrono::milliseconds(100));
+        continue;
+      }
+      if (!EstablishLocked(lock)) {
+        queue_cv_.wait_for(lock, std::chrono::milliseconds(backoff_ms),
+                           [this] { return shutdown_; });
+        backoff_ms = std::min(backoff_ms * 2, options_.reconnect_backoff_max_ms);
+        continue;
+      }
+      backoff_ms = options_.reconnect_backoff_ms;
+    }
+    if (queue_.empty() && unacked_.empty()) {
+      queue_cv_.wait_for(lock, std::chrono::milliseconds(100));
+      continue;
+    }
+    const bool at_capacity = unacked_.size() >= options_.replay_buffer_capacity;
+    if (queue_.empty() || at_capacity) {
+      // Nothing writable: wait on the socket for acks. At capacity this is
+      // the backpressure point — the queue stops draining, Send() blocks.
+      const int wait_ms = at_capacity ? options_.io_timeout_ms : 50;
+      lock.unlock();
+      const bool ok = DrainAcks(wait_ms);
+      lock.lock();
+      if (!ok) {
+        channel_.Close();
+      }
+      continue;
+    }
+    PendingFrame frame = std::move(queue_.front());
+    queue_.pop_front();
+    send_cv_.notify_all();
+    lock.unlock();
+    WireWriter writer;
+    writer.PutVarint(frame.seq);
+    auto buffer = writer.Take();
+    buffer.insert(buffer.end(), frame.payload.begin(), frame.payload.end());
+    const Status sent = channel_.SendChecked(Kind(LinkFrameKind::kData), buffer);
+    const bool acks_ok = sent.ok() && DrainAcks(0);
+    lock.lock();
+    if (sent.ok()) {
+      ++stats_.sent;
+      unacked_.push_back(std::move(frame));
+    } else {
+      queue_.push_front(std::move(frame));  // never lose an accepted payload
+    }
+    if (!sent.ok() || !acks_ok) {
+      channel_.Close();
+    }
+  }
+  if (channel_.valid()) {
+    (void)channel_.SendChecked(Kind(LinkFrameKind::kBye), nullptr, 0);
+    channel_.Close();
+  }
+}
+
+// --- LinkReceiver ------------------------------------------------------------
+
+LinkReceiver::LinkReceiver(uint64_t node_id, TransportOptions options)
+    : node_id_(node_id), options_(options) {}
+
+LinkReceiver::~LinkReceiver() { Shutdown(); }
+
+Status LinkReceiver::Listen(const std::string& address, Handler handler) {
+  DEFCON_ASSIGN_OR_RETURN(Listener listener, Listener::Bind(address));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) {
+      return FailedPrecondition("receiver shut down");
+    }
+    if (acceptor_.joinable()) {
+      return FailedPrecondition("receiver already listening");
+    }
+    handler_ = std::move(handler);
+    listener_ = std::move(listener);
+    address_ = listener_.address();
+  }
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return OkStatus();
+}
+
+void LinkReceiver::AcceptLoop() {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (shutdown_) {
+        return;
+      }
+    }
+    auto accepted = listener_.Accept(/*timeout_ms=*/100);
+    if (!accepted.ok()) {
+      continue;  // timeout (poll tick) or transient error; re-check shutdown
+    }
+    auto channel = std::make_shared<Channel>(std::move(*accepted));
+    (void)channel->SetNoDelay();
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) {
+      return;
+    }
+    ++stats_.links_accepted;
+    active_.push_back(channel);
+    serving_.emplace_back([this, channel] { ServeLink(channel); });
+  }
+}
+
+void LinkReceiver::ServeLink(std::shared_ptr<Channel> channel) {
+  uint64_t sender_node = 0;
+  bool greeted = false;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (shutdown_) {
+        break;
+      }
+    }
+    auto readable = channel->Readable(/*timeout_ms=*/100);
+    if (!readable.ok()) {
+      break;
+    }
+    if (!*readable) {
+      continue;  // idle link: keep polling so Shutdown stays responsive
+    }
+    auto frame = channel->RecvChecked();
+    if (!frame.ok()) {
+      // EOF is the normal end of a link; anything else is rejected
+      // untrusted input (bad magic/version/CRC/truncation).
+      if (frame.status().message() != "peer closed") {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.frame_errors;
+      }
+      break;
+    }
+    if (!greeted) {
+      if (frame->kind != Kind(LinkFrameKind::kHello)) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.frame_errors;
+        break;
+      }
+      auto hello = DecodeHello(frame->payload);
+      if (!hello.ok()) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.frame_errors;
+        break;
+      }
+      sender_node = hello->node_id;
+      uint64_t cursor;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        cursor = delivered_seq_[sender_node];
+      }
+      if (!channel->SendChecked(Kind(LinkFrameKind::kHello), EncodeHello(node_id_, cursor))
+               .ok()) {
+        break;
+      }
+      greeted = true;
+      continue;
+    }
+    if (frame->kind == Kind(LinkFrameKind::kBye)) {
+      break;
+    }
+    if (frame->kind != Kind(LinkFrameKind::kData)) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.frame_errors;
+      break;
+    }
+    WireReader reader(frame->payload);
+    auto seq = reader.Varint();
+    if (!seq.ok()) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.frame_errors;
+      break;
+    }
+    std::vector<uint8_t> payload(frame->payload.end() - static_cast<ptrdiff_t>(reader.remaining()),
+                                 frame->payload.end());
+    uint64_t cursor;
+    bool deliver = false;
+    bool gap = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      uint64_t& last = delivered_seq_[sender_node];
+      if (*seq == last + 1) {
+        // Advance the cursor before invoking the handler: exactly-once is
+        // decided here, and a duplicate arriving on a racing stale link must
+        // see the new cursor.
+        last = *seq;
+        ++stats_.delivered;
+        deliver = true;
+      } else if (*seq <= last) {
+        ++stats_.duplicates;
+      } else {
+        ++stats_.frame_errors;  // gap: replay protocol violated
+        gap = true;
+      }
+      cursor = last;
+    }
+    if (gap) {
+      break;
+    }
+    if (deliver && handler_) {
+      handler_(sender_node, std::move(payload));
+    }
+    WireWriter ack;
+    ack.PutVarint(cursor);
+    if (!channel->SendChecked(Kind(LinkFrameKind::kAck), ack.buffer()).ok()) {
+      break;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  active_.erase(std::remove(active_.begin(), active_.end(), channel), active_.end());
+}
+
+void LinkReceiver::CloseActiveLinks() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& channel : active_) {
+    if (channel->valid()) {
+      ::shutdown(channel->fd(), SHUT_RDWR);
+    }
+  }
+}
+
+void LinkReceiver::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) {
+      return;
+    }
+    shutdown_ = true;
+    for (const auto& channel : active_) {
+      if (channel->valid()) {
+        ::shutdown(channel->fd(), SHUT_RDWR);
+      }
+    }
+  }
+  if (acceptor_.joinable()) {
+    acceptor_.join();
+  }
+  std::vector<std::thread> serving;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    serving.swap(serving_);
+  }
+  for (std::thread& thread : serving) {
+    if (thread.joinable()) {
+      thread.join();
+    }
+  }
+  listener_.Close();
+}
+
+LinkReceiverStats LinkReceiver::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace defcon

@@ -1,0 +1,207 @@
+// Socket transport for the distributed DEFCON mesh: reliable, ordered,
+// exactly-once payload links layered on Channel (src/ipc/channel.h).
+//
+// Topology: a LinkReceiver listens at one address and accepts any number of
+// inbound links; a LinkSender owns exactly one outbound link (a writer
+// thread, a bounded send queue, a replay buffer) and reconnects on failure.
+//
+// Protocol (all frames use the checked wire framing — magic/version/CRC):
+//   sender  -> HELLO{sender_node, 0}          on every (re)connect
+//   receiver-> HELLO{receiver_node, last_seq} last contiguously delivered seq
+//   sender  -> DATA{seq, payload}             seq is per-link, monotonic from 1
+//   receiver-> ACK{seq}                       cumulative
+//
+// Exactly-once across reconnects: the sender retains every un-acked DATA
+// frame in a bounded replay buffer and, after the HELLO exchange, re-sends
+// everything above the receiver's last_seq; the receiver delivers seq ==
+// last_seq + 1 only, acking and dropping duplicates. A gap (seq > last + 1)
+// is a protocol violation and closes the link, forcing replay.
+//
+// Backpressure is explicit, never silent: when the send queue is full the
+// sender either blocks (TransportOptions::block_on_full, default — socket
+// backpressure propagates to the publisher) or drops the NEWEST payload,
+// counting it and invoking the overflow handler so the caller can publish a
+// labelled overflow event. When the replay buffer is full (peer alive but
+// not acking) the writer stops draining the queue until acks arrive, which
+// escalates into queue backpressure.
+#ifndef DEFCON_SRC_DISTRIBUTED_TRANSPORT_H_
+#define DEFCON_SRC_DISTRIBUTED_TRANSPORT_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/ipc/channel.h"
+
+namespace defcon {
+
+struct TransportOptions {
+  // Bounded send queue (payloads accepted by Send but not yet written).
+  size_t send_queue_capacity = 1024;
+  // Full-queue policy: true blocks the caller, false drops the new payload
+  // with an overflow notification (labelled drop, never silent).
+  bool block_on_full = true;
+  // Un-acked DATA frames retained for replay; when full, the writer pauses
+  // until the peer acks (bounded memory per link).
+  size_t replay_buffer_capacity = 4096;
+  // Reconnect backoff, doubled per consecutive failure up to the max.
+  int reconnect_backoff_ms = 10;
+  int reconnect_backoff_max_ms = 1000;
+  // Bound on one connect attempt and on waiting for the peer's HELLO/ACKs.
+  int connect_timeout_ms = 2000;
+  int io_timeout_ms = 5000;
+};
+
+// Transport frame opcodes, carried in the checked frame header's kind byte.
+enum class LinkFrameKind : uint8_t {
+  kHello = 1,
+  kData = 2,
+  kAck = 3,
+  kBye = 4,  // graceful close: receiver drops the link without logging noise
+};
+
+struct LinkSenderStats {
+  uint64_t enqueued = 0;
+  uint64_t sent = 0;
+  uint64_t acked = 0;
+  uint64_t replayed = 0;
+  uint64_t dropped_overflow = 0;
+  uint64_t reconnects = 0;  // successful HELLO exchanges after the first
+};
+
+// Outbound end of one mesh link. Thread-safe Send; one writer thread.
+class LinkSender {
+ public:
+  // `node_id` identifies this sender in HELLO frames; the receiver keys its
+  // per-sender delivery cursor by it, so a node must keep one id per link
+  // lifetime for replay to resume correctly.
+  LinkSender(std::string address, uint64_t node_id, TransportOptions options);
+  ~LinkSender();
+
+  LinkSender(const LinkSender&) = delete;
+  LinkSender& operator=(const LinkSender&) = delete;
+
+  // Enqueues one payload; assigns the next per-link sequence number. Blocks
+  // on a full queue (block_on_full) or returns ResourceExhausted after
+  // counting the drop and invoking the overflow handler.
+  Status Send(std::vector<uint8_t> payload);
+
+  // Called (from Send's caller thread) with the number of payloads dropped
+  // so far when a drop happens; the mesh bridge publishes a labelled
+  // overflow event from it. Set before first Send.
+  void set_overflow_handler(std::function<void(uint64_t total_dropped)> handler) {
+    overflow_handler_ = std::move(handler);
+  }
+
+  // Blocks until every enqueued payload has been sent AND acked, or the
+  // timeout expires (kIoError). The link keeps retrying/reconnecting
+  // underneath while the caller waits.
+  Status Flush(int timeout_ms);
+
+  // Stops the writer thread; un-acked payloads are dropped (the peer's
+  // cursor makes a later process-restart resume safe only if the caller
+  // Flush()ed first — shutdown is not durable delivery).
+  void Shutdown();
+
+  LinkSenderStats stats() const;
+  const std::string& address() const { return address_; }
+
+ private:
+  struct PendingFrame {
+    uint64_t seq = 0;
+    std::vector<uint8_t> payload;
+  };
+
+  void WriterLoop();
+  // Connects + HELLO exchange + replay. Returns false to retry with backoff.
+  bool EstablishLocked(std::unique_lock<std::mutex>& lock);
+  // Drains any ACK frames already readable; blocking_ms > 0 waits for one.
+  bool DrainAcks(int blocking_ms);  // false => link error, reconnect
+  void HandleAck(uint64_t seq);
+
+  const std::string address_;
+  const uint64_t node_id_;
+  const TransportOptions options_;
+  std::function<void(uint64_t)> overflow_handler_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable send_cv_;   // signalled when queue gains room / acks
+  std::condition_variable queue_cv_;  // signalled when queue gains work
+  std::deque<PendingFrame> queue_;    // not yet written
+  std::deque<PendingFrame> unacked_;  // written, awaiting cumulative ack
+  uint64_t next_seq_ = 1;
+  bool shutdown_ = false;
+  bool connected_once_ = false;
+  LinkSenderStats stats_;
+
+  Channel channel_;  // writer-thread only (except Shutdown's Close)
+  std::thread writer_;
+};
+
+struct LinkReceiverStats {
+  uint64_t delivered = 0;
+  uint64_t duplicates = 0;
+  uint64_t frame_errors = 0;  // CRC/decode/protocol rejects (untrusted input)
+  uint64_t links_accepted = 0;
+};
+
+// Inbound end of a mesh node: accepts links, validates frames, deduplicates
+// by per-sender cursor and hands payloads to the handler in seq order.
+class LinkReceiver {
+ public:
+  // Handler runs on the per-link service thread; it must be thread-safe
+  // against other links (the mesh importer injects engine turns, which is).
+  using Handler = std::function<void(uint64_t sender_node, std::vector<uint8_t> payload)>;
+
+  LinkReceiver(uint64_t node_id, TransportOptions options);
+  ~LinkReceiver();
+
+  LinkReceiver(const LinkReceiver&) = delete;
+  LinkReceiver& operator=(const LinkReceiver&) = delete;
+
+  // Binds `address` ("unix:<path>" / "tcp:host:port") and starts accepting.
+  Status Listen(const std::string& address, Handler handler);
+
+  // Resolved address (actual port for tcp:...:0).
+  const std::string& address() const { return address_; }
+
+  // Test hook ("kill the wire"): hard-closes every active link; senders see
+  // an IO error and reconnect+replay. Delivery cursors survive, so this
+  // must never cause loss or duplication downstream.
+  void CloseActiveLinks();
+
+  void Shutdown();
+  LinkReceiverStats stats() const;
+
+ private:
+  void AcceptLoop();
+  void ServeLink(std::shared_ptr<Channel> channel);
+
+  const uint64_t node_id_;
+  const TransportOptions options_;
+  Handler handler_;
+  std::string address_;
+  Listener listener_;
+
+  mutable std::mutex mutex_;
+  // Last contiguously delivered seq per sender node: the exactly-once cursor.
+  std::unordered_map<uint64_t, uint64_t> delivered_seq_;
+  std::vector<std::shared_ptr<Channel>> active_;
+  std::vector<std::thread> serving_;
+  bool shutdown_ = false;
+  LinkReceiverStats stats_;
+
+  std::thread acceptor_;
+};
+
+}  // namespace defcon
+
+#endif  // DEFCON_SRC_DISTRIBUTED_TRANSPORT_H_

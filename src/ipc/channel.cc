@@ -1,8 +1,13 @@
 #include "src/ipc/channel.h"
 
+#include <arpa/inet.h>
 #include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/un.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -27,9 +32,7 @@ void Channel::Close() {
   }
 }
 
-namespace {
-
-Status WriteAll(int fd, const uint8_t* data, size_t size) {
+Status WriteFull(int fd, const uint8_t* data, size_t size) {
   size_t written = 0;
   while (written < size) {
     // MSG_NOSIGNAL: a peer that already closed (shutdown races) must surface
@@ -46,13 +49,17 @@ Status WriteAll(int fd, const uint8_t* data, size_t size) {
   return OkStatus();
 }
 
-Status ReadAll(int fd, uint8_t* data, size_t size) {
+Status ReadFull(int fd, uint8_t* data, size_t size) {
   size_t got = 0;
   while (got < size) {
     const ssize_t n = ::read(fd, data + got, size - got);
     if (n < 0) {
       if (errno == EINTR) {
         continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_RCVTIMEO expired mid-read: the peer is wedged or dead.
+        return IoError("read: timeout");
       }
       return IoError(std::string("read: ") + std::strerror(errno));
     }
@@ -63,8 +70,6 @@ Status ReadAll(int fd, uint8_t* data, size_t size) {
   }
   return OkStatus();
 }
-
-}  // namespace
 
 Status Channel::SendFrame(const uint8_t* data, size_t size) {
   if (fd_ < 0) {
@@ -79,8 +84,8 @@ Status Channel::SendFrame(const uint8_t* data, size_t size) {
   header[1] = static_cast<uint8_t>(len >> 8);
   header[2] = static_cast<uint8_t>(len >> 16);
   header[3] = static_cast<uint8_t>(len >> 24);
-  DEFCON_RETURN_IF_ERROR(WriteAll(fd_, header, sizeof(header)));
-  return WriteAll(fd_, data, size);
+  DEFCON_RETURN_IF_ERROR(WriteFull(fd_, header, sizeof(header)));
+  return WriteFull(fd_, data, size);
 }
 
 Result<std::vector<uint8_t>> Channel::RecvFrame() {
@@ -88,15 +93,50 @@ Result<std::vector<uint8_t>> Channel::RecvFrame() {
     return FailedPrecondition("channel closed");
   }
   uint8_t header[4];
-  DEFCON_RETURN_IF_ERROR(ReadAll(fd_, header, sizeof(header)));
+  DEFCON_RETURN_IF_ERROR(ReadFull(fd_, header, sizeof(header)));
   const uint32_t len = static_cast<uint32_t>(header[0]) | (static_cast<uint32_t>(header[1]) << 8) |
                        (static_cast<uint32_t>(header[2]) << 16) |
                        (static_cast<uint32_t>(header[3]) << 24);
   std::vector<uint8_t> payload(len);
   if (len > 0) {
-    DEFCON_RETURN_IF_ERROR(ReadAll(fd_, payload.data(), payload.size()));
+    DEFCON_RETURN_IF_ERROR(ReadFull(fd_, payload.data(), payload.size()));
   }
   return payload;
+}
+
+Status Channel::SendChecked(uint8_t kind, const uint8_t* data, size_t size) {
+  if (fd_ < 0) {
+    return FailedPrecondition("channel closed");
+  }
+  if (size > kMaxFramePayload) {
+    return InvalidArgument("frame payload exceeds cap");
+  }
+  FrameHeader header;
+  header.kind = kind;
+  header.payload_size = static_cast<uint32_t>(size);
+  header.crc32 = Crc32(data, size);
+  uint8_t encoded[kFrameHeaderBytes];
+  EncodeFrameHeader(header, encoded);
+  DEFCON_RETURN_IF_ERROR(WriteFull(fd_, encoded, sizeof(encoded)));
+  return WriteFull(fd_, data, size);
+}
+
+Result<CheckedFrame> Channel::RecvChecked() {
+  if (fd_ < 0) {
+    return FailedPrecondition("channel closed");
+  }
+  uint8_t encoded[kFrameHeaderBytes];
+  DEFCON_RETURN_IF_ERROR(ReadFull(fd_, encoded, sizeof(encoded)));
+  DEFCON_ASSIGN_OR_RETURN(FrameHeader header, DecodeFrameHeader(encoded, sizeof(encoded)));
+  CheckedFrame frame;
+  frame.kind = header.kind;
+  frame.payload.resize(header.payload_size);
+  if (header.payload_size > 0) {
+    DEFCON_RETURN_IF_ERROR(ReadFull(fd_, frame.payload.data(), frame.payload.size()));
+  }
+  DEFCON_RETURN_IF_ERROR(
+      ValidateFramePayload(header, frame.payload.data(), frame.payload.size()));
+  return frame;
 }
 
 Result<bool> Channel::Readable(int timeout_ms) const {
@@ -109,9 +149,42 @@ Result<bool> Channel::Readable(int timeout_ms) const {
   pfd.revents = 0;
   const int rc = ::poll(&pfd, 1, timeout_ms);
   if (rc < 0) {
+    if (errno == EINTR) {
+      return false;
+    }
     return IoError(std::string("poll: ") + std::strerror(errno));
   }
   return rc > 0;
+}
+
+Status Channel::SetNoDelay() {
+  if (fd_ < 0) {
+    return FailedPrecondition("channel closed");
+  }
+  int domain = 0;
+  socklen_t len = sizeof(domain);
+  if (::getsockopt(fd_, SOL_SOCKET, SO_DOMAIN, &domain, &len) == 0 && domain != AF_INET &&
+      domain != AF_INET6) {
+    return OkStatus();  // AF_UNIX et al.: Nagle does not exist there
+  }
+  const int one = 1;
+  if (::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) != 0) {
+    return IoError(std::string("TCP_NODELAY: ") + std::strerror(errno));
+  }
+  return OkStatus();
+}
+
+Status Channel::SetRecvTimeout(int timeout_ms) {
+  if (fd_ < 0) {
+    return FailedPrecondition("channel closed");
+  }
+  struct timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return IoError(std::string("SO_RCVTIMEO: ") + std::strerror(errno));
+  }
+  return OkStatus();
 }
 
 Result<std::pair<Channel, Channel>> Channel::CreatePair() {
@@ -120,6 +193,214 @@ Result<std::pair<Channel, Channel>> Channel::CreatePair() {
     return IoError(std::string("socketpair: ") + std::strerror(errno));
   }
   return std::make_pair(Channel(fds[0]), Channel(fds[1]));
+}
+
+namespace {
+
+// Parsed "unix:<path>" / "tcp:<host>:<port>" address. Host must be a
+// numeric IPv4 literal — the mesh links nodes by explicit address, never by
+// name lookup (no resolver in the trusted path).
+struct ParsedAddress {
+  bool is_unix = false;
+  std::string path;
+  struct sockaddr_storage addr = {};
+  socklen_t addr_len = 0;
+};
+
+Result<ParsedAddress> ParseAddress(const std::string& address) {
+  ParsedAddress parsed;
+  if (address.rfind("unix:", 0) == 0) {
+    parsed.is_unix = true;
+    parsed.path = address.substr(5);
+    auto* sun = reinterpret_cast<struct sockaddr_un*>(&parsed.addr);
+    if (parsed.path.empty() || parsed.path.size() >= sizeof(sun->sun_path)) {
+      return InvalidArgument("unix socket path empty or too long: " + address);
+    }
+    sun->sun_family = AF_UNIX;
+    std::memcpy(sun->sun_path, parsed.path.c_str(), parsed.path.size() + 1);
+    parsed.addr_len = static_cast<socklen_t>(offsetof(struct sockaddr_un, sun_path) +
+                                             parsed.path.size() + 1);
+    return parsed;
+  }
+  if (address.rfind("tcp:", 0) == 0) {
+    const std::string rest = address.substr(4);
+    const size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 == rest.size()) {
+      return InvalidArgument("expected tcp:<host>:<port>, got " + address);
+    }
+    const std::string host = rest.substr(0, colon);
+    const std::string port_str = rest.substr(colon + 1);
+    if (port_str.find_first_not_of("0123456789") != std::string::npos) {
+      return InvalidArgument("bad port in " + address);
+    }
+    const unsigned long port = std::stoul(port_str);
+    if (port > 65535) {
+      return InvalidArgument("port out of range in " + address);
+    }
+    auto* sin = reinterpret_cast<struct sockaddr_in*>(&parsed.addr);
+    sin->sin_family = AF_INET;
+    sin->sin_port = htons(static_cast<uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &sin->sin_addr) != 1) {
+      return InvalidArgument("host must be a numeric IPv4 literal: " + address);
+    }
+    parsed.addr_len = sizeof(struct sockaddr_in);
+    return parsed;
+  }
+  return InvalidArgument("address must start with unix: or tcp:, got " + address);
+}
+
+}  // namespace
+
+Result<Channel> Channel::Connect(const std::string& address, int timeout_ms) {
+  DEFCON_ASSIGN_OR_RETURN(ParsedAddress parsed, ParseAddress(address));
+  const int fd = ::socket(parsed.is_unix ? AF_UNIX : AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  Channel channel(fd);  // closes on every early return
+
+  if (timeout_ms < 0) {
+    int rc;
+    do {
+      rc = ::connect(fd, reinterpret_cast<struct sockaddr*>(&parsed.addr), parsed.addr_len);
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+      return IoError("connect " + address + ": " + std::strerror(errno));
+    }
+    return channel;
+  }
+
+  // Bounded connect: non-blocking connect, poll for writability, then check
+  // SO_ERROR — a dead or unroutable peer fails within timeout_ms instead of
+  // wedging the caller in the kernel's (minutes-long) TCP timeout.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return IoError(std::string("fcntl: ") + std::strerror(errno));
+  }
+  int rc = ::connect(fd, reinterpret_cast<struct sockaddr*>(&parsed.addr), parsed.addr_len);
+  if (rc != 0 && errno != EINPROGRESS && errno != EAGAIN) {
+    return IoError("connect " + address + ": " + std::strerror(errno));
+  }
+  if (rc != 0) {
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    pfd.revents = 0;
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0) {
+      return IoError(std::string("poll: ") + std::strerror(errno));
+    }
+    if (ready == 0) {
+      return IoError("connect " + address + ": timeout");
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0 || so_error != 0) {
+      return IoError("connect " + address + ": " +
+                     std::strerror(so_error != 0 ? so_error : errno));
+    }
+  }
+  if (::fcntl(fd, F_SETFL, flags) < 0) {
+    return IoError(std::string("fcntl: ") + std::strerror(errno));
+  }
+  return channel;
+}
+
+Listener::~Listener() { Close(); }
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      address_(std::move(other.address_)),
+      unix_path_(std::move(other.unix_path_)) {
+  other.address_.clear();
+  other.unix_path_.clear();
+}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    address_ = std::move(other.address_);
+    unix_path_ = std::move(other.unix_path_);
+    other.address_.clear();
+    other.unix_path_.clear();
+  }
+  return *this;
+}
+
+void Listener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (!unix_path_.empty()) {
+    ::unlink(unix_path_.c_str());
+    unix_path_.clear();
+  }
+}
+
+Result<Listener> Listener::Bind(const std::string& address) {
+  DEFCON_ASSIGN_OR_RETURN(ParsedAddress parsed, ParseAddress(address));
+  const int fd = ::socket(parsed.is_unix ? AF_UNIX : AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  Listener listener;
+  listener.fd_ = fd;
+  if (parsed.is_unix) {
+    ::unlink(parsed.path.c_str());  // stale socket from a crashed predecessor
+  } else {
+    const int one = 1;
+    (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  }
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&parsed.addr), parsed.addr_len) != 0) {
+    return IoError("bind " + address + ": " + std::strerror(errno));
+  }
+  if (::listen(fd, 64) != 0) {
+    return IoError("listen " + address + ": " + std::strerror(errno));
+  }
+  if (parsed.is_unix) {
+    listener.unix_path_ = parsed.path;
+    listener.address_ = address;
+  } else {
+    struct sockaddr_in bound = {};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&bound), &len) != 0) {
+      return IoError(std::string("getsockname: ") + std::strerror(errno));
+    }
+    char host[INET_ADDRSTRLEN] = {};
+    ::inet_ntop(AF_INET, &bound.sin_addr, host, sizeof(host));
+    listener.address_ =
+        std::string("tcp:") + host + ":" + std::to_string(ntohs(bound.sin_port));
+  }
+  return listener;
+}
+
+Result<Channel> Listener::Accept(int timeout_ms) {
+  if (fd_ < 0) {
+    return FailedPrecondition("listener closed");
+  }
+  if (timeout_ms >= 0) {
+    struct pollfd pfd;
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0 && errno != EINTR) {
+      return IoError(std::string("poll: ") + std::strerror(errno));
+    }
+    if (rc <= 0) {
+      return FailedPrecondition("accept timeout");
+    }
+  }
+  int client;
+  do {
+    client = ::accept(fd_, nullptr, nullptr);
+  } while (client < 0 && errno == EINTR);
+  if (client < 0) {
+    return IoError(std::string("accept: ") + std::strerror(errno));
+  }
+  return Channel(client);
 }
 
 Result<pid_t> ForkChild(const std::function<int()>& child_main) {

@@ -1,5 +1,13 @@
-// Framed Unix-domain-socket channels and fork helpers — the inter-process
-// substrate of the Marketcetera-style baseline (one process per trader).
+// Framed socket channels and fork helpers — the inter-process substrate of
+// the Marketcetera-style baseline (one process per trader) and of the
+// distributed DEFCON mesh (src/distributed/transport.h).
+//
+// Two framing levels coexist:
+//   * SendFrame/RecvFrame — bare u32 length prefix, kept for the trusted
+//     in-machine baseline protocol;
+//   * SendChecked/RecvChecked — the validated mesh framing of
+//     src/ipc/wire.h (magic, version, kind, length cap, CRC32), for links
+//     whose far side is untrusted input.
 #ifndef DEFCON_SRC_IPC_CHANNEL_H_
 #define DEFCON_SRC_IPC_CHANNEL_H_
 
@@ -7,13 +15,28 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "src/base/result.h"
 #include "src/base/status.h"
+#include "src/ipc/wire.h"
 
 namespace defcon {
+
+// EINTR-safe full-length IO loops, shared by Channel and the mesh transport.
+// WriteFull uses send(MSG_NOSIGNAL) so a closed peer surfaces as EPIPE, not
+// SIGPIPE. ReadFull reports EOF and — when a receive timeout is armed via
+// Channel::SetRecvTimeout — EAGAIN/EWOULDBLOCK as kIoError ("timeout").
+Status WriteFull(int fd, const uint8_t* data, size_t size);
+Status ReadFull(int fd, uint8_t* data, size_t size);
+
+// A (kind, payload) frame as received by RecvChecked after validation.
+struct CheckedFrame {
+  uint8_t kind = 0;
+  std::vector<uint8_t> payload;
+};
 
 // One end of a byte-stream socket with length-prefixed message framing.
 // Blocking by default; movable, closes on destruction.
@@ -42,14 +65,67 @@ class Channel {
   // Receives one frame; blocks. Returns kIoError on EOF/peer close.
   Result<std::vector<uint8_t>> RecvFrame();
 
+  // Checked framing (wire.h header: magic, version, kind, length, CRC32).
+  // RecvChecked validates the header before allocating and the CRC before
+  // returning; truncated/oversized/corrupted input is a Status, never data.
+  Status SendChecked(uint8_t kind, const uint8_t* data, size_t size);
+  Status SendChecked(uint8_t kind, const std::vector<uint8_t>& payload) {
+    return SendChecked(kind, payload.data(), payload.size());
+  }
+  Result<CheckedFrame> RecvChecked();
+
   // True if a frame (or EOF) is ready within timeout_ms (0 = poll).
   Result<bool> Readable(int timeout_ms) const;
+
+  // Disables Nagle batching on TCP sockets (no-op Status on AF_UNIX, where
+  // the option does not exist). Mesh links are latency-bound request/ack
+  // streams, so the transport sets this on every TCP link.
+  Status SetNoDelay();
+
+  // Arms SO_RCVTIMEO so a dead peer cannot wedge a blocking read; a read
+  // that exceeds the timeout fails with kIoError ("timeout"). 0 disarms.
+  Status SetRecvTimeout(int timeout_ms);
 
   // Creates a connected pair (parent end, child end).
   static Result<std::pair<Channel, Channel>> CreatePair();
 
+  // Connects to "unix:<path>" or "tcp:<host>:<port>". A non-negative
+  // timeout bounds the connect (non-blocking connect + poll), so a dead
+  // listener address fails instead of hanging; -1 blocks indefinitely.
+  static Result<Channel> Connect(const std::string& address, int timeout_ms = -1);
+
  private:
   int fd_ = -1;
+};
+
+// A listening socket accepting mesh links. Addresses use the same
+// "unix:<path>" / "tcp:<host>:<port>" syntax as Channel::Connect; binding
+// "tcp:127.0.0.1:0" picks a free port, reported by address().
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener();
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  static Result<Listener> Bind(const std::string& address);
+
+  // Accepts one connection; a non-negative timeout returns kFailedPrecondition
+  // ("accept timeout") when nothing arrives in time; -1 blocks.
+  Result<Channel> Accept(int timeout_ms = -1);
+
+  // The resolved connectable address (actual TCP port after Bind).
+  const std::string& address() const { return address_; }
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void Close();
+
+ private:
+  int fd_ = -1;
+  std::string address_;
+  std::string unix_path_;  // unlinked on Close
 };
 
 // Forks a child that runs `child_main` and exits with its return value.

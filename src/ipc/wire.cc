@@ -290,4 +290,83 @@ Result<EventPtr> DecodeEvent(WireReader* reader) {
   return event;
 }
 
+// --- checked frame header ----------------------------------------------------
+
+namespace {
+
+struct Crc32Table {
+  uint32_t entries[256];
+  Crc32Table() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      entries[i] = c;
+    }
+  }
+};
+
+void PutU32Le(uint32_t v, uint8_t* out) {
+  out[0] = static_cast<uint8_t>(v);
+  out[1] = static_cast<uint8_t>(v >> 8);
+  out[2] = static_cast<uint8_t>(v >> 16);
+  out[3] = static_cast<uint8_t>(v >> 24);
+}
+
+uint32_t GetU32Le(const uint8_t* data) {
+  return static_cast<uint32_t>(data[0]) | (static_cast<uint32_t>(data[1]) << 8) |
+         (static_cast<uint32_t>(data[2]) << 16) | (static_cast<uint32_t>(data[3]) << 24);
+}
+
+}  // namespace
+
+uint32_t Crc32(const uint8_t* data, size_t size) {
+  static const Crc32Table table;
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = table.entries[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void EncodeFrameHeader(const FrameHeader& header, uint8_t out[kFrameHeaderBytes]) {
+  PutU32Le(kFrameMagic, out);
+  out[4] = header.version;
+  out[5] = header.kind;
+  PutU32Le(header.payload_size, out + 6);
+  PutU32Le(header.crc32, out + 10);
+}
+
+Result<FrameHeader> DecodeFrameHeader(const uint8_t* data, size_t size) {
+  if (size < kFrameHeaderBytes) {
+    return IoError("truncated frame header (" + std::to_string(size) + " bytes)");
+  }
+  if (GetU32Le(data) != kFrameMagic) {
+    return IoError("bad frame magic");
+  }
+  FrameHeader header;
+  header.version = data[4];
+  if (header.version != kWireVersion) {
+    return IoError("unsupported wire version " + std::to_string(header.version));
+  }
+  header.kind = data[5];
+  header.payload_size = GetU32Le(data + 6);
+  if (header.payload_size > kMaxFramePayload) {
+    return IoError("frame payload " + std::to_string(header.payload_size) + " exceeds cap");
+  }
+  header.crc32 = GetU32Le(data + 10);
+  return header;
+}
+
+Status ValidateFramePayload(const FrameHeader& header, const uint8_t* payload, size_t size) {
+  if (size != header.payload_size) {
+    return IoError("frame payload length mismatch");
+  }
+  if (Crc32(payload, size) != header.crc32) {
+    return IoError("frame CRC mismatch");
+  }
+  return OkStatus();
+}
+
 }  // namespace defcon

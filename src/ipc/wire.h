@@ -79,6 +79,49 @@ Result<Value> DecodeValue(WireReader* reader);
 void EncodeEvent(const Event& event, WireWriter* writer);
 Result<EventPtr> DecodeEvent(WireReader* reader);
 
+// --- checked frame header ----------------------------------------------------
+//
+// Framing for data that crosses a host boundary. The in-process baseline
+// trusted its peer and used a bare u32 length; the distributed mesh treats
+// the remote side as untrusted input, so every frame carries a fixed header
+// the receiver validates *before* allocating or decoding anything:
+//
+//   magic   u32 LE   kFrameMagic — rejects desynchronised / foreign streams
+//   version u8       kWireVersion — rejects incompatible peers
+//   kind    u8       caller-defined frame discriminator (transport opcodes)
+//   length  u32 LE   payload byte count, capped at kMaxFramePayload
+//   crc32   u32 LE   CRC-32 (IEEE) of the payload — rejects corruption
+//
+// Decoding a truncated, oversized or corrupted frame returns a Status; it
+// never reads garbage and never allocates more than kMaxFramePayload.
+
+inline constexpr uint32_t kFrameMagic = 0xDEFC0DE5u;
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 14;
+// Upper bound on a single frame's payload; a hostile length field cannot
+// force a larger allocation.
+inline constexpr uint32_t kMaxFramePayload = 64u * 1024u * 1024u;
+
+struct FrameHeader {
+  uint8_t version = kWireVersion;
+  uint8_t kind = 0;
+  uint32_t payload_size = 0;
+  uint32_t crc32 = 0;
+};
+
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+uint32_t Crc32(const uint8_t* data, size_t size);
+
+// Writes the 14-byte header (magic included) into `out`.
+void EncodeFrameHeader(const FrameHeader& header, uint8_t out[kFrameHeaderBytes]);
+
+// Validates magic, version and length cap. `data` must hold at least
+// kFrameHeaderBytes (shorter input is a truncated-frame error).
+Result<FrameHeader> DecodeFrameHeader(const uint8_t* data, size_t size);
+
+// Verifies the payload length and CRC claimed by a decoded header.
+Status ValidateFramePayload(const FrameHeader& header, const uint8_t* payload, size_t size);
+
 }  // namespace defcon
 
 #endif  // DEFCON_SRC_IPC_WIRE_H_

@@ -4,10 +4,29 @@
 
 namespace defcon {
 
+size_t PartitionOfSymbol(const SymbolTable& symbols, const std::string& name,
+                         size_t partition_count) {
+  if (partition_count <= 1) {
+    return 0;
+  }
+  const int64_t id = symbols.Lookup(name);
+  if (id < 0) {
+    return 0;
+  }
+  return (static_cast<size_t>(id) / 2) % partition_count;
+}
+
 TradingPlatform::TradingPlatform(Engine* engine, const PlatformConfig& config)
     : engine_(engine),
       config_(config),
-      symbols_(config.num_symbols & ~size_t{1}, config.seed ^ 0x5f5f5f5fULL) {}
+      symbols_(config.num_symbols & ~size_t{1}, config.seed ^ 0x5f5f5f5fULL) {
+  if (config_.partition_count == 0) {
+    config_.partition_count = 1;
+  }
+  if (config_.partition_index >= config_.partition_count) {
+    config_.partition_index = 0;
+  }
+}
 
 void TradingPlatform::Assemble() {
   s_ = engine_->CreateTag("i-exchange");
@@ -59,7 +78,11 @@ void TradingPlatform::Assemble() {
   if (config_.num_vwap_monitors > 0 && symbols_.size() > 0) {
     vwap_monitors_.reserve(config_.num_vwap_monitors);
     for (size_t i = 0; i < config_.num_vwap_monitors; ++i) {
-      const std::string symbol = symbols_.Name(static_cast<SymbolId>(i % symbols_.size()));
+      const SymbolId symbol_id = static_cast<SymbolId>(i % symbols_.size());
+      if ((symbol_id / 2) % config_.partition_count != config_.partition_index) {
+        continue;  // the pair owning this symbol lives on another node
+      }
+      const std::string symbol = symbols_.Name(symbol_id);
       cep::WindowAggregateOptions options;
       options.filter = Filter::And(Filter::Eq(kPartType, Value::OfString(kTypeTick)),
                                    Filter::Eq(kPartSymbol, Value::OfString(symbol)));
@@ -82,7 +105,11 @@ void TradingPlatform::Assemble() {
   Rng rng(config_.seed ^ 0x9e3779b9ULL);
   trader_ids_.reserve(config_.num_traders);
   for (size_t i = 0; i < config_.num_traders; ++i) {
-    const SymbolPair pair = pair_universe[zipf.Sample(&rng)];
+    const size_t pair_index = zipf.Sample(&rng);
+    if (pair_index % config_.partition_count != config_.partition_index) {
+      continue;  // trader i lives on the node owning its pair
+    }
+    const SymbolPair pair = pair_universe[pair_index];
     TraderOptions options = config_.trader;
     options.contrarian = (i % 2) == 1;
     auto trader = std::make_unique<TraderUnit>(i, pair, symbols_.Name(pair.first),

@@ -43,7 +43,21 @@ struct PlatformConfig {
   size_t num_vwap_monitors = 0;
   // Ticks per tumbling VWAP window in those monitors.
   size_t vwap_monitor_window = 32;
+  // Mesh partitioning (src/distributed/): with partition_count > 1 this node
+  // assembles only its slice of the platform. Pairs (2k, 2k+1) are owned by
+  // partition (k % partition_count), so both legs of every pair are local;
+  // traders and VWAP monitors whose pair lives elsewhere are skipped. The
+  // global assignment stays deterministic — every node runs the same sampler
+  // sequence and keeps only its share — so N partitioned nodes together
+  // instantiate exactly the units one unpartitioned node would.
+  size_t partition_count = 1;
+  size_t partition_index = 0;
 };
+
+// Partition owning a symbol under the pair-locality rule above. Unknown
+// symbols map to partition 0 (they reach some node rather than vanishing).
+size_t PartitionOfSymbol(const SymbolTable& symbols, const std::string& name,
+                         size_t partition_count);
 
 class TradingPlatform {
  public:

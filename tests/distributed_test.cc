@@ -1,8 +1,20 @@
 // Distributed bridge tests (§7 future work): label-preserving event relay
-// between two DEFCON nodes, with the trust boundaries made explicit.
+// between two DEFCON nodes, with the trust boundaries made explicit —
+// first in-process (EventBridge), then across real sockets and processes
+// (RemoteBridge / MeshNode), including the byte-level transcript check that
+// secrecy-tagged parts never reach an uncleared node.
 #include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
 
 #include "src/distributed/event_bridge.h"
+#include "src/distributed/mesh.h"
+#include "src/ipc/channel.h"
 #include "tests/test_util.h"
 
 namespace defcon {
@@ -205,6 +217,543 @@ TEST(EventBridge, ImportIntegrityCappedByGrants) {
   EXPECT_EQ(s_reader->delivery_count(), 1u);
   EXPECT_EQ(forged_reader->delivery_count(), 0u);
 }
+
+// --- RemoteBridge / MeshNode: the same trust model across real sockets -----
+
+TransportOptions FastTransport() {
+  TransportOptions options;
+  options.connect_timeout_ms = 500;
+  options.io_timeout_ms = 2000;
+  options.reconnect_backoff_ms = 5;
+  options.reconnect_backoff_max_ms = 50;
+  return options;
+}
+
+EngineConfig PooledConfig(SecurityMode mode = SecurityMode::kLabels) {
+  EngineConfig config;
+  config.mode = mode;
+  config.num_threads = 1;
+  return config;
+}
+
+MeshConfig NodeConfig(uint64_t node_id) {
+  MeshConfig config;
+  config.node_id = node_id;
+  config.transport = FastTransport();
+  return config;
+}
+
+bool WaitFor(const std::function<bool()>& done, int timeout_ms = 15000) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (done()) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return done();
+}
+
+TEST(RemoteMesh, RelaysLabelledEventsOverSockets) {
+  Engine sink_engine(PooledConfig());
+  Engine source_engine(PooledConfig());
+  // Both engines mint from the same seed in the same order: the tag has the
+  // same 128-bit value on both sides of the wire.
+  const Tag secret_sink = sink_engine.CreateTag("secret");
+  const Tag secret_source = source_engine.CreateTag("secret");
+  ASSERT_EQ(secret_sink, secret_source);
+
+  BridgeConfig trust;
+  trust.filter = Filter::Exists("marker");
+  trust.export_clearance = Label({secret_source}, {});
+  trust.export_privileges.Grant(secret_source, Privilege::kPlus);
+
+  MeshNode sink_node(&sink_engine, NodeConfig(1));
+  ASSERT_TRUE(sink_node.StartImport("tcp:127.0.0.1:0", trust).ok());
+  MeshNode source_node(&source_engine, NodeConfig(2));
+  ASSERT_TRUE(source_node.AddExport(sink_node.listen_address(), trust).ok());
+
+  // Sink side: a cleared reader and an uncleared spy.
+  std::atomic<uint64_t> cleared_payloads{0};
+  std::atomic<uint64_t> spy_events{0};
+  std::atomic<uint64_t> spy_payloads{0};
+  auto* cleared_reader = new TestUnit(
+      [](UnitContext& ctx) { ASSERT_TRUE(ctx.Subscribe(Filter::Exists("marker")).ok()); },
+      [&](UnitContext& ctx, EventHandle e, SubscriptionId) {
+        auto views = ctx.ReadPart(e, "payload");
+        ASSERT_TRUE(views.ok());
+        for (const auto& view : *views) {
+          if (view.data.string_value() == "move the book") {
+            cleared_payloads.fetch_add(1);
+          }
+        }
+      });
+  PrivilegeSet cleared;
+  cleared.Grant(secret_sink, Privilege::kPlus);
+  sink_engine.AddUnit("cleared", std::unique_ptr<Unit>(cleared_reader),
+                      Label({secret_sink}, {}), cleared);
+  auto* spy = new TestUnit(
+      [](UnitContext& ctx) { ASSERT_TRUE(ctx.Subscribe(Filter::Exists("marker")).ok()); },
+      [&](UnitContext& ctx, EventHandle e, SubscriptionId) {
+        spy_events.fetch_add(1);
+        auto views = ctx.ReadPart(e, "payload");
+        ASSERT_TRUE(views.ok());
+        spy_payloads.fetch_add(views->size());
+      });
+  sink_engine.AddUnit("spy", std::unique_ptr<Unit>(spy));
+
+  PrivilegeSet owner;
+  owner.GrantAll(secret_source);
+  const UnitId publisher =
+      source_engine.AddUnit("pub", std::make_unique<TestUnit>(), Label(), owner);
+  sink_engine.Start();
+  source_engine.Start();
+  // OnStart subscriptions land asynchronously; publishing before they do
+  // loses the event (pub/sub has no retroactive delivery).
+  sink_engine.WaitIdle();
+  source_engine.WaitIdle();
+
+  source_engine.InjectTurn(publisher, [secret_source](UnitContext& ctx) {
+    auto event = ctx.CreateEvent();
+    ASSERT_TRUE(event.ok());
+    ASSERT_TRUE(ctx.AddPart(*event, Label(), "marker", Value::OfInt(1)).ok());
+    ASSERT_TRUE(ctx.AddPart(*event, Label({secret_source}, {}), "payload",
+                            Value::OfString("move the book"))
+                    .ok());
+    ASSERT_TRUE(ctx.Publish(*event).ok());
+  });
+  ASSERT_TRUE(WaitFor([&] { return cleared_payloads.load() >= 1 && spy_events.load() >= 1; }));
+  sink_engine.WaitIdle();
+
+  // The secrecy label crossed the wire intact: the cleared unit read the
+  // payload, the uncleared spy saw the event but never the secret part.
+  EXPECT_EQ(cleared_payloads.load(), 1u);
+  EXPECT_EQ(spy_events.load(), 1u);
+  EXPECT_EQ(spy_payloads.load(), 0u);
+  const MeshStats source_stats = source_node.stats();
+  const MeshStats sink_stats = sink_node.stats();
+  EXPECT_EQ(source_stats.events_exported, 1u);
+  EXPECT_EQ(source_stats.parts_exported, 2u);
+  EXPECT_EQ(sink_stats.events_imported, 1u);
+  EXPECT_EQ(sink_stats.integrity_clipped, 0u);
+  source_node.Shutdown();
+  sink_node.Shutdown();
+}
+
+TEST(RemoteMesh, ImportIntegrityCappedByGrantsOverSockets) {
+  Engine sink_engine(PooledConfig());
+  Engine source_engine(PooledConfig());
+  const Tag s = source_engine.CreateTag("i-exchange");
+  const Tag forged = source_engine.CreateTag("i-forged");
+  ASSERT_EQ(sink_engine.CreateTag("i-exchange"), s);
+  ASSERT_EQ(sink_engine.CreateTag("i-forged"), forged);
+
+  BridgeConfig trust;
+  trust.filter = Filter::Exists("tick");
+  trust.import_integrity = TagSet({s});  // the link may vouch for s only
+  trust.import_privileges.Grant(s, Privilege::kPlus);
+
+  MeshNode sink_node(&sink_engine, NodeConfig(1));
+  ASSERT_TRUE(sink_node.StartImport("tcp:127.0.0.1:0", trust).ok());
+  MeshNode source_node(&source_engine, NodeConfig(2));
+  ASSERT_TRUE(source_node.AddExport(sink_node.listen_address(), trust).ok());
+
+  std::atomic<uint64_t> s_reader_events{0};
+  std::atomic<uint64_t> forged_reader_events{0};
+  auto* s_reader = new TestUnit(
+      [](UnitContext& ctx) { ASSERT_TRUE(ctx.Subscribe(Filter::Exists("tick")).ok()); },
+      [&](UnitContext&, EventHandle, SubscriptionId) { s_reader_events.fetch_add(1); });
+  sink_engine.AddUnit("s-reader", std::unique_ptr<Unit>(s_reader), Label({}, {s}),
+                      PrivilegeSet());
+  auto* forged_reader = new TestUnit(
+      [](UnitContext& ctx) { ASSERT_TRUE(ctx.Subscribe(Filter::Exists("tick")).ok()); },
+      [&](UnitContext&, EventHandle, SubscriptionId) { forged_reader_events.fetch_add(1); });
+  sink_engine.AddUnit("forged-reader", std::unique_ptr<Unit>(forged_reader),
+                      Label({}, {forged}), PrivilegeSet());
+
+  PrivilegeSet endorser;
+  endorser.Grant(s, Privilege::kPlus);
+  endorser.Grant(forged, Privilege::kPlus);
+  const UnitId publisher =
+      source_engine.AddUnit("pub", std::make_unique<TestUnit>(), Label(), endorser);
+  sink_engine.Start();
+  source_engine.Start();
+  sink_engine.WaitIdle();
+  source_engine.WaitIdle();
+
+  source_engine.InjectTurn(publisher, [s, forged](UnitContext& ctx) {
+    ASSERT_TRUE(ctx.ChangeOutLabel(LabelComponent::kIntegrity, LabelOp::kAdd, s).ok());
+    ASSERT_TRUE(ctx.ChangeOutLabel(LabelComponent::kIntegrity, LabelOp::kAdd, forged).ok());
+    auto event = ctx.CreateEvent();
+    ASSERT_TRUE(event.ok());
+    ASSERT_TRUE(ctx.AddPart(*event, Label({}, {s, forged}), "tick", Value::OfInt(1)).ok());
+    ASSERT_TRUE(ctx.Publish(*event).ok());
+  });
+  ASSERT_TRUE(WaitFor([&] { return s_reader_events.load() >= 1; }));
+  sink_engine.WaitIdle();
+
+  // The wire claimed {s, forged}; the import grant covers s only, so the
+  // forged claim was stripped (and counted) — integrity cannot be laundered
+  // through a mesh link.
+  EXPECT_EQ(s_reader_events.load(), 1u);
+  EXPECT_EQ(forged_reader_events.load(), 0u);
+  EXPECT_GE(sink_node.stats().integrity_clipped, 1u);
+  source_node.Shutdown();
+  sink_node.Shutdown();
+}
+
+TEST(RemoteMesh, PartitionedExportShardsByKeyAndBroadcastsKeyless) {
+  Engine source_engine(PooledConfig());
+  Engine sink_a(PooledConfig());
+  Engine sink_b(PooledConfig());
+
+  BridgeConfig trust;
+  trust.filter = Filter::Exists("relay");
+
+  MeshNode node_a(&sink_a, NodeConfig(10));
+  MeshNode node_b(&sink_b, NodeConfig(11));
+  ASSERT_TRUE(node_a.StartImport("tcp:127.0.0.1:0", trust).ok());
+  ASSERT_TRUE(node_b.StartImport("tcp:127.0.0.1:0", trust).ok());
+
+  MeshNode source_node(&source_engine, NodeConfig(1));
+  // Deterministic router: symbol id modulo the partition count.
+  ASSERT_TRUE(source_node
+                  .AddPartitionedExport(
+                      {node_a.listen_address(), node_b.listen_address()}, trust, "symbol",
+                      [](const Value& key, size_t n) {
+                        return static_cast<size_t>(key.int_value()) % n;
+                      })
+                  .ok());
+
+  struct SinkRecorder {
+    std::mutex mutex;
+    std::vector<int64_t> symbols;
+    uint64_t keyless = 0;
+  };
+  SinkRecorder rec_a;
+  SinkRecorder rec_b;
+  auto make_reader = [](SinkRecorder* rec) {
+    return new TestUnit(
+        [](UnitContext& ctx) { ASSERT_TRUE(ctx.Subscribe(Filter::Exists("relay")).ok()); },
+        [rec](UnitContext& ctx, EventHandle e, SubscriptionId) {
+          auto views = ctx.ReadPart(e, "symbol");
+          ASSERT_TRUE(views.ok());
+          std::lock_guard<std::mutex> lock(rec->mutex);
+          if (views->empty()) {
+            ++rec->keyless;
+          } else {
+            rec->symbols.push_back(views->front().data.int_value());
+          }
+        });
+  };
+  sink_a.AddUnit("reader", std::unique_ptr<Unit>(make_reader(&rec_a)));
+  sink_b.AddUnit("reader", std::unique_ptr<Unit>(make_reader(&rec_b)));
+
+  const UnitId publisher = source_engine.AddUnit("pub", std::make_unique<TestUnit>());
+  sink_a.Start();
+  sink_b.Start();
+  source_engine.Start();
+  sink_a.WaitIdle();
+  sink_b.WaitIdle();
+  source_engine.WaitIdle();
+
+  const int64_t kSymbols = 10;
+  for (int64_t i = 0; i < kSymbols; ++i) {
+    source_engine.InjectTurn(publisher, [i](UnitContext& ctx) {
+      auto event = ctx.CreateEvent();
+      ASSERT_TRUE(event.ok());
+      ASSERT_TRUE(ctx.AddPart(*event, Label(), "relay", Value::OfInt(1)).ok());
+      ASSERT_TRUE(ctx.AddPart(*event, Label(), "symbol", Value::OfInt(i)).ok());
+      ASSERT_TRUE(ctx.Publish(*event).ok());
+    });
+  }
+  // A control event without the key part must reach every partition.
+  source_engine.InjectTurn(publisher, [](UnitContext& ctx) {
+    auto event = ctx.CreateEvent();
+    ASSERT_TRUE(event.ok());
+    ASSERT_TRUE(ctx.AddPart(*event, Label(), "relay", Value::OfString("epoch-end")).ok());
+    ASSERT_TRUE(ctx.Publish(*event).ok());
+  });
+  source_engine.WaitIdle();
+  ASSERT_TRUE(source_node.FlushExports(10000).ok());
+  auto count = [](SinkRecorder* rec) {
+    std::lock_guard<std::mutex> lock(rec->mutex);
+    return rec->symbols.size() + rec->keyless;
+  };
+  ASSERT_TRUE(WaitFor([&] { return count(&rec_a) >= 6 && count(&rec_b) >= 6; }));
+  sink_a.WaitIdle();
+  sink_b.WaitIdle();
+
+  std::lock_guard<std::mutex> lock_a(rec_a.mutex);
+  std::lock_guard<std::mutex> lock_b(rec_b.mutex);
+  // Shard discipline: node A owns even symbols, node B odd ones.
+  EXPECT_EQ(rec_a.symbols.size(), 5u);
+  EXPECT_EQ(rec_b.symbols.size(), 5u);
+  for (int64_t symbol : rec_a.symbols) {
+    EXPECT_EQ(symbol % 2, 0) << symbol;
+  }
+  for (int64_t symbol : rec_b.symbols) {
+    EXPECT_EQ(symbol % 2, 1) << symbol;
+  }
+  EXPECT_EQ(rec_a.keyless, 1u);  // broadcast reached both partitions
+  EXPECT_EQ(rec_b.keyless, 1u);
+  source_node.Shutdown();
+  node_a.Shutdown();
+  node_b.Shutdown();
+}
+
+TEST(RemoteMesh, ExactlyOnceAcrossForcedReconnect) {
+  Engine sink_engine(PooledConfig());
+  Engine source_engine(PooledConfig());
+  BridgeConfig trust;
+  trust.filter = Filter::Exists("n");
+
+  MeshNode sink_node(&sink_engine, NodeConfig(1));
+  ASSERT_TRUE(sink_node.StartImport("tcp:127.0.0.1:0", trust).ok());
+  MeshNode source_node(&source_engine, NodeConfig(2));
+  ASSERT_TRUE(source_node.AddExport(sink_node.listen_address(), trust).ok());
+
+  std::mutex mutex;
+  std::vector<int64_t> received;
+  auto* reader = new TestUnit(
+      [](UnitContext& ctx) { ASSERT_TRUE(ctx.Subscribe(Filter::Exists("n")).ok()); },
+      [&](UnitContext& ctx, EventHandle e, SubscriptionId) {
+        auto views = ctx.ReadPart(e, "n");
+        ASSERT_TRUE(views.ok());
+        ASSERT_EQ(views->size(), 1u);
+        std::lock_guard<std::mutex> lock(mutex);
+        received.push_back(views->front().data.int_value());
+      });
+  sink_engine.AddUnit("reader", std::unique_ptr<Unit>(reader));
+  const UnitId publisher = source_engine.AddUnit("pub", std::make_unique<TestUnit>());
+  sink_engine.Start();
+  source_engine.Start();
+  sink_engine.WaitIdle();
+  source_engine.WaitIdle();
+
+  auto publish = [&](int64_t n) {
+    source_engine.InjectTurn(publisher, [n](UnitContext& ctx) {
+      auto event = ctx.CreateEvent();
+      ASSERT_TRUE(event.ok());
+      ASSERT_TRUE(ctx.AddPart(*event, Label(), "n", Value::OfInt(n)).ok());
+      ASSERT_TRUE(ctx.Publish(*event).ok());
+    });
+  };
+  auto received_count = [&] {
+    std::lock_guard<std::mutex> lock(mutex);
+    return received.size();
+  };
+
+  const int64_t kTotal = 120;
+  for (int64_t n = 0; n < kTotal / 2; ++n) {
+    publish(n);
+  }
+  ASSERT_TRUE(WaitFor([&] { return received_count() >= 20; }));
+  // Cut the wire mid-stream: the sender must reconnect and replay un-acked
+  // frames; the sink's delivery cursor must filter every duplicate.
+  sink_node.KillInboundLinks();
+  for (int64_t n = kTotal / 2; n < kTotal; ++n) {
+    publish(n);
+  }
+  source_engine.WaitIdle();
+  ASSERT_TRUE(source_node.FlushExports(15000).ok());
+  ASSERT_TRUE(WaitFor([&] { return received_count() >= static_cast<size_t>(kTotal); }));
+  sink_engine.WaitIdle();
+
+  std::lock_guard<std::mutex> lock(mutex);
+  ASSERT_EQ(received.size(), static_cast<size_t>(kTotal));  // no loss
+  std::vector<int64_t> sorted = received;
+  std::sort(sorted.begin(), sorted.end());
+  for (int64_t n = 0; n < kTotal; ++n) {
+    EXPECT_EQ(sorted[static_cast<size_t>(n)], n);  // no duplicates
+  }
+  EXPECT_GE(source_node.stats().link_reconnects, 1u);
+  EXPECT_EQ(sink_node.stats().events_imported, static_cast<uint64_t>(kTotal));
+  source_node.Shutdown();
+  sink_node.Shutdown();
+}
+
+TEST(RemoteMesh, OverflowDropPublishesLabelledNotice) {
+  Engine source_engine(PooledConfig());
+  BridgeConfig trust;
+  trust.filter = Filter::Exists("n");
+
+  MeshConfig config = NodeConfig(1);
+  config.transport.send_queue_capacity = 2;
+  config.transport.block_on_full = false;
+  MeshNode source_node(&source_engine, config);
+  // Nothing listens on port 1: the queue fills and drop mode engages.
+  ASSERT_TRUE(source_node.AddExport("tcp:127.0.0.1:1", trust).ok());
+
+  std::atomic<uint64_t> notices{0};
+  auto* watcher = new TestUnit(
+      [](UnitContext& ctx) { ASSERT_TRUE(ctx.Subscribe(Filter::Exists("mesh_overflow")).ok()); },
+      [&](UnitContext&, EventHandle, SubscriptionId) { notices.fetch_add(1); });
+  source_engine.AddUnit("watcher", std::unique_ptr<Unit>(watcher));
+  const UnitId publisher = source_engine.AddUnit("pub", std::make_unique<TestUnit>());
+  source_engine.Start();
+  source_engine.WaitIdle();
+
+  for (int64_t n = 0; n < 64; ++n) {
+    source_engine.InjectTurn(publisher, [n](UnitContext& ctx) {
+      auto event = ctx.CreateEvent();
+      ASSERT_TRUE(event.ok());
+      ASSERT_TRUE(ctx.AddPart(*event, Label(), "n", Value::OfInt(n)).ok());
+      ASSERT_TRUE(ctx.Publish(*event).ok());
+    });
+  }
+  source_engine.WaitIdle();
+
+  // Backpressure was explicit: drops were counted AND announced on-engine
+  // as labelled events, never silent.
+  const MeshStats stats = source_node.stats();
+  EXPECT_GT(stats.frames_dropped_overflow, 0u);
+  EXPECT_EQ(stats.overflow_notices, stats.frames_dropped_overflow);
+  EXPECT_GT(notices.load(), 0u);
+  source_node.Shutdown();
+}
+
+// --- Multi-process end-to-end: the byte-level secrecy property -------------
+//
+// A child process runs the uncleared sink node; the parent runs the source.
+// The child scans every raw wire payload for the secret's bytes. Under every
+// label-enforcing mode the secret part must never reach the socket (the
+// export unit cannot even see it); kNoSecurity is the control that proves
+// the scanner would catch a leak.
+
+constexpr const char* kSecretText = "move the dark book to venue-7";
+
+int SinkNodeMain(SecurityMode mode, const std::string& address) {
+  EngineConfig engine_config;
+  engine_config.mode = mode;
+  engine_config.num_threads = 1;
+  Engine engine(engine_config);
+  (void)engine.CreateTag("secret");  // same seed, same mint order as parent
+
+  BridgeConfig trust;
+  trust.filter = Filter::Exists("marker");
+  RemoteBridgeImporter importer(&engine, trust);
+
+  std::atomic<uint64_t> spy_events{0};
+  std::atomic<uint64_t> spy_payloads{0};
+  auto* spy = new TestUnit(
+      [](UnitContext& ctx) { (void)ctx.Subscribe(Filter::Exists("marker")); },
+      [&](UnitContext& ctx, EventHandle e, SubscriptionId) {
+        spy_events.fetch_add(1);
+        auto views = ctx.ReadPart(e, "payload");
+        if (views.ok()) {
+          spy_payloads.fetch_add(views->size());
+        }
+      });
+  engine.AddUnit("spy", std::unique_ptr<Unit>(spy));
+  engine.Start();
+  engine.WaitIdle();  // the spy must be subscribed before the relay arrives
+
+  // Wrap the import handler with the transcript scanner: every DATA payload
+  // that survives CRC passes through here, so this sees exactly the bytes
+  // the far side put on the wire.
+  std::atomic<uint64_t> leaked_frames{0};
+  const std::string secret(kSecretText);
+  auto import_handler = importer.handler();
+  TransportOptions transport = FastTransport();
+  LinkReceiver receiver(/*node_id=*/2, transport);
+  const Status listening = receiver.Listen(
+      address, [&, import_handler](uint64_t sender, std::vector<uint8_t> payload) {
+        if (std::search(payload.begin(), payload.end(), secret.begin(), secret.end()) !=
+            payload.end()) {
+          leaked_frames.fetch_add(1);
+        }
+        import_handler(sender, std::move(payload));
+      });
+  if (!listening.ok()) {
+    return 10;
+  }
+
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (importer.events_imported() < 1 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  engine.WaitIdle();
+  receiver.Shutdown();
+
+  if (importer.events_imported() < 1) {
+    return 11;  // relay never arrived
+  }
+  const bool protected_mode = mode != SecurityMode::kNoSecurity;
+  if (protected_mode && leaked_frames.load() > 0) {
+    return 12;  // secret bytes reached an uncleared node's socket
+  }
+  if (protected_mode && spy_payloads.load() > 0) {
+    return 13;  // uncleared unit read the secret part
+  }
+  if (!protected_mode && leaked_frames.load() == 0) {
+    return 14;  // control: without labels the leak MUST be observable
+  }
+  if (spy_events.load() < 1) {
+    return 15;  // the public marker itself should have been delivered
+  }
+  return 0;
+}
+
+class MeshSecrecyE2E : public ::testing::TestWithParam<SecurityMode> {};
+
+TEST_P(MeshSecrecyE2E, SecretPartsNeverReachUnclearedNode) {
+  const SecurityMode mode = GetParam();
+  const std::string address = "unix:/tmp/defcon_mesh_e2e_" + std::to_string(::getpid()) +
+                              "_" + std::to_string(static_cast<int>(mode)) + ".sock";
+  auto pid = ForkChild([mode, address] { return SinkNodeMain(mode, address); });
+  ASSERT_TRUE(pid.ok());
+
+  EngineConfig engine_config;
+  engine_config.mode = mode;
+  engine_config.num_threads = 1;
+  Engine engine(engine_config);
+  const Tag secret = engine.CreateTag("secret");
+
+  BridgeConfig trust;  // public export clearance: secrets must stay home
+  trust.filter = Filter::Exists("marker");
+  MeshNode source_node(&engine, NodeConfig(1));
+  ASSERT_TRUE(source_node.AddExport(address, trust).ok());
+
+  PrivilegeSet owner;
+  owner.GrantAll(secret);
+  const UnitId publisher =
+      engine.AddUnit("pub", std::make_unique<TestUnit>(), Label(), owner);
+  engine.Start();
+  engine.WaitIdle();  // the export unit must be subscribed before publishing
+  engine.InjectTurn(publisher, [secret](UnitContext& ctx) {
+    auto event = ctx.CreateEvent();
+    ASSERT_TRUE(event.ok());
+    ASSERT_TRUE(ctx.AddPart(*event, Label(), "marker", Value::OfInt(1)).ok());
+    ASSERT_TRUE(ctx.AddPart(*event, Label({secret}, {}), "payload",
+                            Value::OfString(kSecretText))
+                    .ok());
+    ASSERT_TRUE(ctx.Publish(*event).ok());
+  });
+  engine.WaitIdle();
+  ASSERT_TRUE(source_node.FlushExports(15000).ok());
+  EXPECT_EQ(WaitChild(*pid), 0);
+  source_node.Shutdown();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSecurityModes, MeshSecrecyE2E,
+                         ::testing::Values(SecurityMode::kNoSecurity, SecurityMode::kLabels,
+                                           SecurityMode::kLabelsClone,
+                                           SecurityMode::kLabelsIsolation),
+                         [](const ::testing::TestParamInfo<SecurityMode>& info) {
+                           switch (info.param) {
+                             case SecurityMode::kNoSecurity:
+                               return std::string("NoSecurity");
+                             case SecurityMode::kLabels:
+                               return std::string("Labels");
+                             case SecurityMode::kLabelsClone:
+                               return std::string("LabelsClone");
+                             case SecurityMode::kLabelsIsolation:
+                               return std::string("LabelsIsolation");
+                           }
+                           return std::string("Unknown");
+                         });
 
 }  // namespace
 }  // namespace defcon

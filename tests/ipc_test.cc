@@ -209,6 +209,116 @@ TEST(Channel, ForkedChildEchoes) {
   EXPECT_EQ(WaitChild(*pid), 0);
 }
 
+TEST(Wire, FrameHeaderRoundTrip) {
+  const std::vector<uint8_t> payload = {1, 2, 3, 4, 5};
+  FrameHeader header;
+  header.kind = 7;
+  header.payload_size = static_cast<uint32_t>(payload.size());
+  header.crc32 = Crc32(payload.data(), payload.size());
+  uint8_t raw[kFrameHeaderBytes];
+  EncodeFrameHeader(header, raw);
+
+  auto decoded = DecodeFrameHeader(raw, sizeof(raw));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->version, kWireVersion);
+  EXPECT_EQ(decoded->kind, 7);
+  EXPECT_EQ(decoded->payload_size, payload.size());
+  EXPECT_TRUE(ValidateFramePayload(*decoded, payload.data(), payload.size()).ok());
+}
+
+TEST(Wire, FrameHeaderRejectsTruncatedInput) {
+  uint8_t raw[kFrameHeaderBytes] = {0};
+  EncodeFrameHeader(FrameHeader{}, raw);
+  EXPECT_FALSE(DecodeFrameHeader(raw, kFrameHeaderBytes - 1).ok());
+  EXPECT_FALSE(DecodeFrameHeader(raw, 0).ok());
+}
+
+TEST(Wire, FrameHeaderRejectsBadMagic) {
+  uint8_t raw[kFrameHeaderBytes];
+  EncodeFrameHeader(FrameHeader{}, raw);
+  raw[0] ^= 0x01;  // flip one magic bit
+  EXPECT_EQ(DecodeFrameHeader(raw, sizeof(raw)).status().code(), StatusCode::kIoError);
+}
+
+TEST(Wire, FrameHeaderRejectsBadVersion) {
+  FrameHeader header;
+  header.version = kWireVersion + 1;
+  uint8_t raw[kFrameHeaderBytes];
+  EncodeFrameHeader(header, raw);
+  EXPECT_FALSE(DecodeFrameHeader(raw, sizeof(raw)).ok());
+}
+
+TEST(Wire, FrameHeaderRejectsOversizedLength) {
+  // A hostile length field must be rejected before any allocation.
+  FrameHeader header;
+  header.payload_size = kMaxFramePayload + 1;
+  uint8_t raw[kFrameHeaderBytes];
+  EncodeFrameHeader(header, raw);
+  EXPECT_FALSE(DecodeFrameHeader(raw, sizeof(raw)).ok());
+}
+
+TEST(Wire, FramePayloadCrcMismatchRejected) {
+  std::vector<uint8_t> payload = {10, 20, 30, 40};
+  FrameHeader header;
+  header.payload_size = static_cast<uint32_t>(payload.size());
+  header.crc32 = Crc32(payload.data(), payload.size());
+  payload[2] ^= 0x80;  // corrupt one bit in transit
+  EXPECT_FALSE(ValidateFramePayload(header, payload.data(), payload.size()).ok());
+  // Wrong length is also a mismatch, even with a fixed-up CRC.
+  EXPECT_FALSE(ValidateFramePayload(header, payload.data(), payload.size() - 1).ok());
+}
+
+TEST(Channel, CheckedFrameRoundTrip) {
+  auto pair = Channel::CreatePair();
+  ASSERT_TRUE(pair.ok());
+  const std::vector<uint8_t> payload = {9, 8, 7, 6};
+  ASSERT_TRUE(pair->first.SendChecked(3, payload).ok());
+  auto frame = pair->second.RecvChecked();
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->kind, 3);
+  EXPECT_EQ(frame->payload, payload);
+}
+
+TEST(Channel, CheckedFrameRejectsCorruptedPayload) {
+  auto pair = Channel::CreatePair();
+  ASSERT_TRUE(pair.ok());
+  // Hand-craft a frame whose CRC does not match the payload.
+  const std::vector<uint8_t> payload = {1, 2, 3, 4};
+  FrameHeader header;
+  header.kind = 2;
+  header.payload_size = static_cast<uint32_t>(payload.size());
+  header.crc32 = Crc32(payload.data(), payload.size()) ^ 0xFFFFFFFFu;
+  uint8_t raw[kFrameHeaderBytes];
+  EncodeFrameHeader(header, raw);
+  ASSERT_TRUE(WriteFull(pair->first.fd(), raw, sizeof(raw)).ok());
+  ASSERT_TRUE(WriteFull(pair->first.fd(), payload.data(), payload.size()).ok());
+  EXPECT_FALSE(pair->second.RecvChecked().ok());
+}
+
+TEST(Channel, CheckedFrameRejectsTruncatedPayload) {
+  auto pair = Channel::CreatePair();
+  ASSERT_TRUE(pair.ok());
+  // Header promises 100 bytes; only 4 ever arrive before the peer dies.
+  FrameHeader header;
+  header.payload_size = 100;
+  uint8_t raw[kFrameHeaderBytes];
+  EncodeFrameHeader(header, raw);
+  ASSERT_TRUE(WriteFull(pair->first.fd(), raw, sizeof(raw)).ok());
+  const uint8_t partial[4] = {1, 2, 3, 4};
+  ASSERT_TRUE(WriteFull(pair->first.fd(), partial, sizeof(partial)).ok());
+  pair->first.Close();
+  EXPECT_EQ(pair->second.RecvChecked().status().code(), StatusCode::kIoError);
+}
+
+TEST(Channel, RecvTimeoutUnwedgesDeadPeer) {
+  auto pair = Channel::CreatePair();
+  ASSERT_TRUE(pair.ok());
+  ASSERT_TRUE(pair->second.SetRecvTimeout(50).ok());
+  const auto result = pair->second.RecvChecked();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
 TEST(Protocol, MessagesRoundTrip) {
   TickMsg tick;
   tick.symbol = 3;
