@@ -39,8 +39,12 @@ Status MeshNode::AddPartitionedExport(const std::vector<std::string>& peer_addre
   route.partition_part = key_part;
   route.router = std::move(router);
   for (const std::string& address : peer_addresses) {
-    senders_.push_back(
-        std::make_unique<LinkSender>(address, config_.node_id, config_.transport));
+    // Links get distinct ids (creation order, stable across a process
+    // restart that re-assembles the same mesh): each carries its own
+    // sequence space, so the receiver must not share a delivery cursor
+    // between two links from this node.
+    senders_.push_back(std::make_unique<LinkSender>(address, config_.node_id,
+                                                    config_.transport, ++next_link_id_));
     route.links.push_back(senders_.back().get());
   }
   exporters_.push_back(

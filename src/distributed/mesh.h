@@ -29,8 +29,9 @@
 namespace defcon {
 
 struct MeshConfig {
-  // Identifies this node in link HELLOs; receivers key replay cursors by it,
-  // so ids must be unique across the mesh.
+  // Identifies this node in link HELLOs; receivers key replay cursors by
+  // (node_id, link_id), so node ids must be unique across the mesh (the
+  // node assigns link ids in creation order).
   uint64_t node_id = 0;
   TransportOptions transport;
 };
@@ -99,6 +100,7 @@ class MeshNode {
   std::unique_ptr<RemoteBridgeImporter> importer_;
   std::vector<std::unique_ptr<LinkSender>> senders_;
   std::vector<std::unique_ptr<RemoteBridgeExporter>> exporters_;
+  uint64_t next_link_id_ = 0;
 };
 
 }  // namespace defcon

@@ -14,15 +14,17 @@ namespace {
 
 constexpr uint8_t Kind(LinkFrameKind kind) { return static_cast<uint8_t>(kind); }
 
-std::vector<uint8_t> EncodeHello(uint64_t node_id, uint64_t last_seq) {
+std::vector<uint8_t> EncodeHello(uint64_t node_id, uint64_t link_id, uint64_t last_seq) {
   WireWriter writer;
   writer.PutVarint(node_id);
+  writer.PutVarint(link_id);
   writer.PutVarint(last_seq);
   return writer.Take();
 }
 
 struct Hello {
   uint64_t node_id = 0;
+  uint64_t link_id = 0;
   uint64_t last_seq = 0;
 };
 
@@ -30,6 +32,7 @@ Result<Hello> DecodeHello(const std::vector<uint8_t>& payload) {
   WireReader reader(payload);
   Hello hello;
   DEFCON_ASSIGN_OR_RETURN(hello.node_id, reader.Varint());
+  DEFCON_ASSIGN_OR_RETURN(hello.link_id, reader.Varint());
   DEFCON_ASSIGN_OR_RETURN(hello.last_seq, reader.Varint());
   return hello;
 }
@@ -38,8 +41,9 @@ Result<Hello> DecodeHello(const std::vector<uint8_t>& payload) {
 
 // --- LinkSender --------------------------------------------------------------
 
-LinkSender::LinkSender(std::string address, uint64_t node_id, TransportOptions options)
-    : address_(std::move(address)), node_id_(node_id), options_(options) {
+LinkSender::LinkSender(std::string address, uint64_t node_id, TransportOptions options,
+                       uint64_t link_id)
+    : address_(std::move(address)), node_id_(node_id), link_id_(link_id), options_(options) {
   writer_ = std::thread([this] { WriterLoop(); });
 }
 
@@ -165,7 +169,9 @@ bool LinkSender::EstablishLocked(std::unique_lock<std::mutex>& lock) {
   if (connected.ok()) {
     channel = std::move(*connected);
     ok = channel.SetNoDelay().ok() && channel.SetRecvTimeout(options_.io_timeout_ms).ok() &&
-         channel.SendChecked(Kind(LinkFrameKind::kHello), EncodeHello(node_id_, 0)).ok();
+         channel.SetSendTimeout(options_.io_timeout_ms).ok() &&
+         channel.SendChecked(Kind(LinkFrameKind::kHello), EncodeHello(node_id_, link_id_, 0))
+             .ok();
     if (ok) {
       auto reply = channel.RecvChecked();
       ok = reply.ok() && reply->kind == Kind(LinkFrameKind::kHello);
@@ -193,6 +199,7 @@ bool LinkSender::EstablishLocked(std::unique_lock<std::mutex>& lock) {
     std::vector<PendingFrame> replay(unacked_.begin(), unacked_.end());
     lock.unlock();
     bool replay_ok = true;
+    size_t since_drain = 0;
     for (const PendingFrame& frame : replay) {
       WireWriter writer;
       writer.PutVarint(frame.seq);
@@ -201,6 +208,16 @@ bool LinkSender::EstablishLocked(std::unique_lock<std::mutex>& lock) {
       if (!channel_.SendChecked(Kind(LinkFrameKind::kData), buffer).ok()) {
         replay_ok = false;
         break;
+      }
+      // The receiver acks every replayed frame; if we only write, its ack
+      // writes can fill our receive buffer until both sides block in send()
+      // — a mutual-write deadlock no io_timeout breaks. Drain acks as we go.
+      if (++since_drain >= 64) {
+        since_drain = 0;
+        if (!DrainAcks(0)) {
+          replay_ok = false;
+          break;
+        }
       }
     }
     lock.lock();
@@ -249,22 +266,26 @@ void LinkSender::WriterLoop() {
       }
       continue;
     }
-    PendingFrame frame = std::move(queue_.front());
+    // Move the frame into the replay buffer BEFORE writing: queue_ ∪
+    // unacked_ must cover every accepted payload at all times, or Flush can
+    // observe both empty while the frame is mid-send and report "delivered"
+    // early. A cumulative ack cannot cover a seq that has not been written,
+    // so nothing pops it prematurely; on send failure it simply stays here
+    // and the reconnect replay resends it.
+    unacked_.push_back(std::move(queue_.front()));
     queue_.pop_front();
     send_cv_.notify_all();
-    lock.unlock();
     WireWriter writer;
-    writer.PutVarint(frame.seq);
+    writer.PutVarint(unacked_.back().seq);
     auto buffer = writer.Take();
-    buffer.insert(buffer.end(), frame.payload.begin(), frame.payload.end());
+    buffer.insert(buffer.end(), unacked_.back().payload.begin(),
+                  unacked_.back().payload.end());
+    lock.unlock();
     const Status sent = channel_.SendChecked(Kind(LinkFrameKind::kData), buffer);
     const bool acks_ok = sent.ok() && DrainAcks(0);
     lock.lock();
     if (sent.ok()) {
       ++stats_.sent;
-      unacked_.push_back(std::move(frame));
-    } else {
-      queue_.push_front(std::move(frame));  // never lose an accepted payload
     }
     if (!sent.ok() || !acks_ok) {
       channel_.Close();
@@ -315,18 +336,55 @@ void LinkReceiver::AcceptLoop() {
     }
     auto channel = std::make_shared<Channel>(std::move(*accepted));
     (void)channel->SetNoDelay();
+    // Bound blocking IO: a peer that sends a header and then stalls must
+    // time out instead of wedging this link's service thread until Shutdown,
+    // and a peer that stops reading acks must not block writes forever.
+    (void)channel->SetRecvTimeout(options_.io_timeout_ms);
+    (void)channel->SetSendTimeout(options_.io_timeout_ms);
     std::lock_guard<std::mutex> lock(mutex_);
     if (shutdown_) {
       return;
     }
     ++stats_.links_accepted;
     active_.push_back(channel);
-    serving_.emplace_back([this, channel] { ServeLink(channel); });
+    ReapFinishedLocked();
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    ServingThread serving;
+    serving.done = done;
+    serving.thread = std::thread([this, channel, done] { ServeLink(channel, done); });
+    serving_.push_back(std::move(serving));
   }
 }
 
-void LinkReceiver::ServeLink(std::shared_ptr<Channel> channel) {
+void LinkReceiver::ReapFinishedLocked() {
+  // Joining a finished thread is cheap; without this a flapping sender
+  // accumulates one dead std::thread per accepted link until Shutdown.
+  for (auto it = serving_.begin(); it != serving_.end();) {
+    if (it->done->load(std::memory_order_acquire)) {
+      if (it->thread.joinable()) {
+        it->thread.join();
+      }
+      it = serving_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::shared_ptr<LinkReceiver::SenderCursor> LinkReceiver::CursorFor(uint64_t node_id,
+                                                                    uint64_t link_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_ptr<SenderCursor>& entry = cursors_[{node_id, link_id}];
+  if (entry == nullptr) {
+    entry = std::make_shared<SenderCursor>();
+  }
+  return entry;
+}
+
+void LinkReceiver::ServeLink(std::shared_ptr<Channel> channel,
+                             std::shared_ptr<std::atomic<bool>> done) {
   uint64_t sender_node = 0;
+  std::shared_ptr<SenderCursor> cursor_entry;
   bool greeted = false;
   for (;;) {
     {
@@ -365,12 +423,15 @@ void LinkReceiver::ServeLink(std::shared_ptr<Channel> channel) {
         break;
       }
       sender_node = hello->node_id;
+      cursor_entry = CursorFor(hello->node_id, hello->link_id);
       uint64_t cursor;
       {
-        std::lock_guard<std::mutex> lock(mutex_);
-        cursor = delivered_seq_[sender_node];
+        std::lock_guard<std::mutex> cursor_lock(cursor_entry->mutex);
+        cursor = cursor_entry->last;
       }
-      if (!channel->SendChecked(Kind(LinkFrameKind::kHello), EncodeHello(node_id_, cursor))
+      if (!channel
+               ->SendChecked(Kind(LinkFrameKind::kHello),
+                             EncodeHello(node_id_, hello->link_id, cursor))
                .ok()) {
         break;
       }
@@ -395,31 +456,34 @@ void LinkReceiver::ServeLink(std::shared_ptr<Channel> channel) {
     std::vector<uint8_t> payload(frame->payload.end() - static_cast<ptrdiff_t>(reader.remaining()),
                                  frame->payload.end());
     uint64_t cursor;
-    bool deliver = false;
     bool gap = false;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
-      uint64_t& last = delivered_seq_[sender_node];
-      if (*seq == last + 1) {
-        // Advance the cursor before invoking the handler: exactly-once is
-        // decided here, and a duplicate arriving on a racing stale link must
-        // see the new cursor.
-        last = *seq;
-        ++stats_.delivered;
-        deliver = true;
-      } else if (*seq <= last) {
+      // Cursor-advance and handler invocation happen under the per-sender
+      // cursor mutex: after a reconnect, a fresh link must not deliver seq
+      // N+1 while a stale link's handler for seq N is still in flight —
+      // delivery stays in seq order per (node, link).
+      std::lock_guard<std::mutex> cursor_lock(cursor_entry->mutex);
+      if (*seq == cursor_entry->last + 1) {
+        cursor_entry->last = *seq;
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          ++stats_.delivered;
+        }
+        if (handler_) {
+          handler_(sender_node, std::move(payload));
+        }
+      } else if (*seq <= cursor_entry->last) {
+        std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.duplicates;
       } else {
+        std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.frame_errors;  // gap: replay protocol violated
         gap = true;
       }
-      cursor = last;
+      cursor = cursor_entry->last;
     }
     if (gap) {
       break;
-    }
-    if (deliver && handler_) {
-      handler_(sender_node, std::move(payload));
     }
     WireWriter ack;
     ack.PutVarint(cursor);
@@ -427,8 +491,11 @@ void LinkReceiver::ServeLink(std::shared_ptr<Channel> channel) {
       break;
     }
   }
-  std::lock_guard<std::mutex> lock(mutex_);
-  active_.erase(std::remove(active_.begin(), active_.end(), channel), active_.end());
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    active_.erase(std::remove(active_.begin(), active_.end(), channel), active_.end());
+  }
+  done->store(true, std::memory_order_release);
 }
 
 void LinkReceiver::CloseActiveLinks() {
@@ -449,21 +516,26 @@ void LinkReceiver::Shutdown() {
     shutdown_ = true;
     for (const auto& channel : active_) {
       if (channel->valid()) {
-        ::shutdown(channel->fd(), SHUT_RDWR);
+        // SHUT_RD, not SHUT_RDWR: unblock pending reads so service threads
+        // exit, but let an in-flight ACK write for an already-delivered
+        // frame reach the sender — otherwise a receiver shutting down right
+        // after delivery strands the sender with an unacked frame it can
+        // never replay anywhere. Writes are bounded by SO_SNDTIMEO.
+        ::shutdown(channel->fd(), SHUT_RD);
       }
     }
   }
   if (acceptor_.joinable()) {
     acceptor_.join();
   }
-  std::vector<std::thread> serving;
+  std::vector<ServingThread> serving;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     serving.swap(serving_);
   }
-  for (std::thread& thread : serving) {
-    if (thread.joinable()) {
-      thread.join();
+  for (ServingThread& entry : serving) {
+    if (entry.thread.joinable()) {
+      entry.thread.join();
     }
   }
   listener_.Close();

@@ -6,10 +6,14 @@
 // thread, a bounded send queue, a replay buffer) and reconnects on failure.
 //
 // Protocol (all frames use the checked wire framing — magic/version/CRC):
-//   sender  -> HELLO{sender_node, 0}          on every (re)connect
-//   receiver-> HELLO{receiver_node, last_seq} last contiguously delivered seq
+//   sender  -> HELLO{sender_node, link_id, 0}          on every (re)connect
+//   receiver-> HELLO{receiver_node, link_id, last_seq} last delivered seq
 //   sender  -> DATA{seq, payload}             seq is per-link, monotonic from 1
 //   receiver-> ACK{seq}                       cumulative
+//
+// The receiver keys its delivery cursor by (sender_node, link_id), so one
+// node may hold several independent links (each its own sequence space) to
+// the same receiver without their cursors colliding.
 //
 // Exactly-once across reconnects: the sender retains every un-acked DATA
 // frame in a bounded replay buffer and, after the HELLO exchange, re-sends
@@ -27,15 +31,17 @@
 #ifndef DEFCON_SRC_DISTRIBUTED_TRANSPORT_H_
 #define DEFCON_SRC_DISTRIBUTED_TRANSPORT_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/base/status.h"
@@ -80,10 +86,14 @@ struct LinkSenderStats {
 // Outbound end of one mesh link. Thread-safe Send; one writer thread.
 class LinkSender {
  public:
-  // `node_id` identifies this sender in HELLO frames; the receiver keys its
-  // per-sender delivery cursor by it, so a node must keep one id per link
-  // lifetime for replay to resume correctly.
-  LinkSender(std::string address, uint64_t node_id, TransportOptions options);
+  // `node_id` identifies this sender in HELLO frames and `link_id`
+  // distinguishes independent links from the same node; the receiver keys
+  // its delivery cursor by the pair, so a node must keep (node_id, link_id)
+  // stable per link lifetime for replay to resume correctly, and two
+  // concurrent links from one node must use distinct link ids or the
+  // receiver will treat the second link's frames as duplicates.
+  LinkSender(std::string address, uint64_t node_id, TransportOptions options,
+             uint64_t link_id = 0);
   ~LinkSender();
 
   LinkSender(const LinkSender&) = delete;
@@ -129,6 +139,7 @@ class LinkSender {
 
   const std::string address_;
   const uint64_t node_id_;
+  const uint64_t link_id_;
   const TransportOptions options_;
   std::function<void(uint64_t)> overflow_handler_;
 
@@ -136,7 +147,10 @@ class LinkSender {
   std::condition_variable send_cv_;   // signalled when queue gains room / acks
   std::condition_variable queue_cv_;  // signalled when queue gains work
   std::deque<PendingFrame> queue_;    // not yet written
-  std::deque<PendingFrame> unacked_;  // written, awaiting cumulative ack
+  // In flight or written, awaiting cumulative ack. Frames move here BEFORE
+  // the socket write so queue_ ∪ unacked_ always covers every accepted
+  // payload (Flush's emptiness test depends on that invariant).
+  std::deque<PendingFrame> unacked_;
   uint64_t next_seq_ = 1;
   bool shutdown_ = false;
   bool connected_once_ = false;
@@ -182,8 +196,23 @@ class LinkReceiver {
   LinkReceiverStats stats() const;
 
  private:
+  // Exactly-once delivery state for one (sender node, link id) pair. The
+  // mutex serializes cursor-advance + handler invocation, so a fresh link
+  // racing a stale one after a reconnect cannot deliver seq N+1 while the
+  // stale link's handler for seq N is still in flight.
+  struct SenderCursor {
+    std::mutex mutex;
+    uint64_t last = 0;  // last contiguously delivered seq
+  };
+  struct ServingThread {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+
   void AcceptLoop();
-  void ServeLink(std::shared_ptr<Channel> channel);
+  void ServeLink(std::shared_ptr<Channel> channel, std::shared_ptr<std::atomic<bool>> done);
+  std::shared_ptr<SenderCursor> CursorFor(uint64_t node_id, uint64_t link_id);
+  void ReapFinishedLocked();
 
   const uint64_t node_id_;
   const TransportOptions options_;
@@ -192,10 +221,11 @@ class LinkReceiver {
   Listener listener_;
 
   mutable std::mutex mutex_;
-  // Last contiguously delivered seq per sender node: the exactly-once cursor.
-  std::unordered_map<uint64_t, uint64_t> delivered_seq_;
+  // Exactly-once cursors, keyed by (sender node, link id). Entries persist
+  // across reconnects — that persistence is what makes replay safe.
+  std::map<std::pair<uint64_t, uint64_t>, std::shared_ptr<SenderCursor>> cursors_;
   std::vector<std::shared_ptr<Channel>> active_;
-  std::vector<std::thread> serving_;
+  std::vector<ServingThread> serving_;
   bool shutdown_ = false;
   LinkReceiverStats stats_;
 

@@ -42,6 +42,11 @@ Status WriteFull(int fd, const uint8_t* data, size_t size) {
       if (errno == EINTR) {
         continue;
       }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_SNDTIMEO expired: the peer stopped reading (wedged or mutual
+        // write stall); fail the link instead of blocking forever.
+        return IoError("write: timeout");
+      }
       return IoError(std::string("write: ") + std::strerror(errno));
     }
     written += static_cast<size_t>(n);
@@ -183,6 +188,19 @@ Status Channel::SetRecvTimeout(int timeout_ms) {
   tv.tv_usec = (timeout_ms % 1000) * 1000;
   if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
     return IoError(std::string("SO_RCVTIMEO: ") + std::strerror(errno));
+  }
+  return OkStatus();
+}
+
+Status Channel::SetSendTimeout(int timeout_ms) {
+  if (fd_ < 0) {
+    return FailedPrecondition("channel closed");
+  }
+  struct timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  if (::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    return IoError(std::string("SO_SNDTIMEO: ") + std::strerror(errno));
   }
   return OkStatus();
 }

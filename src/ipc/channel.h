@@ -86,6 +86,11 @@ class Channel {
   // that exceeds the timeout fails with kIoError ("timeout"). 0 disarms.
   Status SetRecvTimeout(int timeout_ms);
 
+  // Arms SO_SNDTIMEO so a peer that stops reading cannot wedge a blocking
+  // write (e.g. both sides writing into full buffers); a write that exceeds
+  // the timeout fails with kIoError ("timeout"). 0 disarms.
+  Status SetSendTimeout(int timeout_ms);
+
   // Creates a connected pair (parent end, child end).
   static Result<std::pair<Channel, Channel>> CreatePair();
 

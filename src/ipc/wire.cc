@@ -179,7 +179,12 @@ void EncodeValue(const Value& value, WireWriter* writer) {
   }
 }
 
-Result<Value> DecodeValue(WireReader* reader) {
+namespace {
+
+Result<Value> DecodeValueAtDepth(WireReader* reader, int depth) {
+  if (depth > kMaxValueDepth) {
+    return IoError("value nesting exceeds depth limit");
+  }
   DEFCON_ASSIGN_OR_RETURN(uint64_t kind_raw, reader->Varint());
   switch (static_cast<Value::Kind>(kind_raw)) {
     case Value::Kind::kNull:
@@ -215,7 +220,7 @@ Result<Value> DecodeValue(WireReader* reader) {
       }
       auto list = FList::New();
       for (uint64_t i = 0; i < count; ++i) {
-        DEFCON_ASSIGN_OR_RETURN(Value item, DecodeValue(reader));
+        DEFCON_ASSIGN_OR_RETURN(Value item, DecodeValueAtDepth(reader, depth + 1));
         DEFCON_RETURN_IF_ERROR(list->Append(std::move(item)));
       }
       return Value::OfList(std::move(list));
@@ -228,7 +233,7 @@ Result<Value> DecodeValue(WireReader* reader) {
       auto map = FMap::New();
       for (uint64_t i = 0; i < count; ++i) {
         DEFCON_ASSIGN_OR_RETURN(std::string key, reader->String());
-        DEFCON_ASSIGN_OR_RETURN(Value item, DecodeValue(reader));
+        DEFCON_ASSIGN_OR_RETURN(Value item, DecodeValueAtDepth(reader, depth + 1));
         DEFCON_RETURN_IF_ERROR(map->Set(key, std::move(item)));
       }
       return Value::OfMap(std::move(map));
@@ -236,6 +241,10 @@ Result<Value> DecodeValue(WireReader* reader) {
   }
   return IoError("unknown value kind " + std::to_string(kind_raw));
 }
+
+}  // namespace
+
+Result<Value> DecodeValue(WireReader* reader) { return DecodeValueAtDepth(reader, 0); }
 
 void EncodeEvent(const Event& event, WireWriter* writer) {
   writer->PutVarint(event.id());

@@ -101,6 +101,12 @@ inline constexpr size_t kFrameHeaderBytes = 14;
 // Upper bound on a single frame's payload; a hostile length field cannot
 // force a larger allocation.
 inline constexpr uint32_t kMaxFramePayload = 64u * 1024u * 1024u;
+// Upper bound on Value nesting (lists/maps) accepted by DecodeValue. A
+// hostile frame of ~2 bytes per level could otherwise force millions of
+// recursion levels and crash the receiver via stack overflow before any
+// per-element validation runs (the CRC only proves the bytes arrived
+// intact, not that they are sane).
+inline constexpr int kMaxValueDepth = 64;
 
 struct FrameHeader {
   uint8_t version = kWireVersion;

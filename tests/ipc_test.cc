@@ -58,6 +58,35 @@ TEST(Wire, AdversarialLengthRejected) {
   EXPECT_FALSE(reader.String().ok());
 }
 
+TEST(Wire, HostileNestingDepthRejected) {
+  // ~2 bytes per level buys one nesting level; a hostile frame could nest
+  // millions deep within the payload cap, so decode must fail at the depth
+  // limit instead of overflowing the stack.
+  WireWriter writer;
+  for (int i = 0; i < 100000; ++i) {
+    writer.PutVarint(static_cast<uint64_t>(Value::Kind::kList));
+    writer.PutVarint(1);
+  }
+  writer.PutVarint(static_cast<uint64_t>(Value::Kind::kNull));
+  WireReader reader(writer.buffer());
+  EXPECT_FALSE(DecodeValue(&reader).ok());
+}
+
+TEST(Wire, NestingWithinDepthLimitDecodes) {
+  Value value = Value::OfInt(7);
+  for (int i = 0; i < kMaxValueDepth; ++i) {
+    auto list = FList::New();
+    ASSERT_TRUE(list->Append(std::move(value)).ok());
+    value = Value::OfList(std::move(list));
+  }
+  WireWriter writer;
+  EncodeValue(value, &writer);
+  WireReader reader(writer.buffer());
+  auto decoded = DecodeValue(&reader);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(value.Equals(*decoded));
+}
+
 Value RandomValue(Rng* rng, int depth) {
   switch (rng->NextBelow(depth > 2 ? 7 : 9)) {
     case 0:

@@ -139,6 +139,31 @@ TEST(Transport, KillAndReconnectReplaysExactlyOnce) {
   EXPECT_EQ(receiver.stats().links_accepted, sender.stats().reconnects + 1);
 }
 
+TEST(Transport, TwoLinksFromOneNodeKeepIndependentCursors) {
+  // Regression: the delivery cursor is keyed by (node, link), not node
+  // alone. Two concurrent links from the same node carry independent
+  // sequence spaces; with a shared cursor the second link's frames would be
+  // silently dropped as duplicates.
+  Recorder recorder;
+  LinkReceiver receiver(/*node_id=*/1, FastOptions());
+  ASSERT_TRUE(receiver.Listen("tcp:127.0.0.1:0", recorder.handler()).ok());
+
+  LinkSender first(receiver.address(), /*node_id=*/2, FastOptions(), /*link_id=*/1);
+  LinkSender second(receiver.address(), /*node_id=*/2, FastOptions(), /*link_id=*/2);
+  const uint64_t kCount = 50;
+  for (uint64_t i = 1; i <= kCount; ++i) {
+    ASSERT_TRUE(first.Send(Payload(i)).ok());
+    ASSERT_TRUE(second.Send(Payload(kCount + i)).ok());
+  }
+  ASSERT_TRUE(first.Flush(10000).ok());
+  ASSERT_TRUE(second.Flush(10000).ok());
+  ASSERT_TRUE(WaitFor([&] { return recorder.count() >= 2 * kCount; }));
+
+  EXPECT_EQ(recorder.count(), 2 * kCount);
+  EXPECT_EQ(receiver.stats().delivered, 2 * kCount);
+  EXPECT_EQ(receiver.stats().duplicates, 0u);
+}
+
 TEST(Transport, OverflowDropIsCountedAndNotified) {
   // No receiver exists: the queue fills, and drop mode must reject loudly.
   TransportOptions options = FastOptions();
