@@ -65,6 +65,11 @@ int Main(int argc, char** argv) {
   // (batching changes peak mailbox and plan footprints).
   int64_t tick_batch = 1;
   int64_t index_shards = 0;
+  // Columnar batch plane (PR 7): on by default; 0 measures the part-map
+  // escape hatch. The plane holds the batch arena + columns accounted across
+  // dispatch (EventBatch::EstimateBytes), so this is a memory dimension, not
+  // just a speed one. Only moves the needle with --tick_batch > 1.
+  int64_t batch_plane = 1;
   std::string trader_list = "200,600,1000,1400,2000";
   FlagSet flags;
   flags.Register("ticks", &ticks, "ticks replayed per configuration");
@@ -72,6 +77,8 @@ int Main(int argc, char** argv) {
   flags.Register("seed", &seed, "workload seed");
   flags.Register("tick_batch", &tick_batch,
                  "ticks per PublishBatch (default 1 = per-event, figure-comparable)");
+  flags.Register("batch_plane", &batch_plane,
+                 "columnar batch plane (1 = on, 0 = part-map escape hatch)");
   flags.Register("index_shards", &index_shards,
                  "subscription-index/dispatch-cache shards (0 = hardware, 1 = unsharded)");
   flags.Register("traders", &trader_list, "comma-separated trader counts");
@@ -110,6 +117,7 @@ int Main(int argc, char** argv) {
       config.ticks = static_cast<size_t>(ticks);
       config.batch = static_cast<size_t>(ticks) / 4;
       config.tick_batch = static_cast<size_t>(tick_batch);
+      config.batch_plane = batch_plane != 0;
       config.index_shards = static_cast<size_t>(index_shards);
       const MemoryReading reading = MeasureInChild(config);
       row.push_back(Table::Num(reading.rss_mib, 1));

@@ -50,6 +50,9 @@ struct BenchOptions {
   size_t worker_threads = 1;
   uint64_t seed = 7;
   bool tcp = false;
+  // Relay wire version for every bridge in the mesh (PR 7): true = v2
+  // columnar frames, false = v1 per-part. Importers accept both regardless.
+  bool columnar_wire = true;
 };
 
 struct WorkerStats {
@@ -137,6 +140,7 @@ int WorkerMain(const BenchOptions& options, SecurityMode mode, size_t worker_ind
   tick_trust.filter = Filter::Eq(kPartType, Value::OfString(kTypeTick));
   tick_trust.import_integrity = TagSet({platform.tag_s()});
   tick_trust.import_privileges.Grant(platform.tag_s(), Privilege::kPlus);
+  tick_trust.columnar_wire = options.columnar_wire;
 
   MeshConfig mesh_config;
   mesh_config.node_id = 100 + worker_index;
@@ -157,6 +161,7 @@ int WorkerMain(const BenchOptions& options, SecurityMode mode, size_t worker_ind
   }
   BridgeConfig trade_trust;
   trade_trust.filter = Filter::Eq(kPartType, Value::OfString(kTypeTrade));
+  trade_trust.columnar_wire = options.columnar_wire;
   if (!node.AddExport(*coordinator_address, trade_trust).ok()) {
     return 13;
   }
@@ -266,10 +271,12 @@ Result<RunRow> RunOneMode(const BenchOptions& options, SecurityMode mode) {
   MeshNode node(&engine, mesh_config);
   BridgeConfig fanin_trust;  // trades arrive as plain public parts
   fanin_trust.filter = Filter::Eq(kPartType, Value::OfString(kTypeTrade));
+  fanin_trust.columnar_wire = options.columnar_wire;
   DEFCON_RETURN_IF_ERROR(node.StartImport(CoordinatorAddress(options, mode), fanin_trust));
 
   BridgeConfig tick_trust;
   tick_trust.filter = Filter::Eq(kPartType, Value::OfString(kTypeTick));
+  tick_trust.columnar_wire = options.columnar_wire;
   DEFCON_RETURN_IF_ERROR(node.AddPartitionedExport(
       worker_addresses, tick_trust, kPartSymbol, [&symbols](const Value& key, size_t n) {
         return PartitionOfSymbol(symbols, key.string_value(), n);
@@ -351,7 +358,8 @@ Result<RunRow> RunOneMode(const BenchOptions& options, SecurityMode mode) {
 
   const MeshStats coord = node.stats();
   row.name = std::string("fig_distributed/mode=") + SecurityModeName(mode) +
-             "/nodes=" + std::to_string(options.nodes);
+             "/nodes=" + std::to_string(options.nodes) +
+             "/wire=" + (options.columnar_wire ? "v2" : "v1");
   const double seconds =
       std::chrono::duration_cast<std::chrono::duration<double>>(elapsed).count();
   row.ticks_per_sec = seconds > 0 ? static_cast<double>(options.ticks) / seconds : 0;
@@ -389,6 +397,7 @@ int Main(int argc, char** argv) {
   int64_t seed = 7;
   bool tcp = false;
   std::string mode_list = "none,labels";
+  std::string wire = "v2";
   std::string json_path;
   FlagSet flags;
   flags.Register("nodes", &nodes, "worker engine processes (2-4 reproduces the figure)");
@@ -400,6 +409,7 @@ int Main(int argc, char** argv) {
   flags.Register("seed", &seed, "workload seed (also fixes the shared tag namespace)");
   flags.Register("tcp", &tcp, "use TCP loopback links instead of unix sockets");
   flags.Register("modes", &mode_list, "comma-separated: none,labels,clone,isolation");
+  flags.Register("wire", &wire, "relay wire version: v2 (columnar) or v1 (per-part)");
   flags.Register("json", &json_path, "write a google-benchmark-shaped JSON summary here");
   if (!flags.Parse(argc, argv)) {
     return 1;
@@ -418,6 +428,11 @@ int Main(int argc, char** argv) {
   options.worker_threads = static_cast<size_t>(worker_threads);
   options.seed = static_cast<uint64_t>(seed);
   options.tcp = tcp;
+  if (wire != "v1" && wire != "v2") {
+    std::fprintf(stderr, "--wire must be v1 or v2\n");
+    return 1;
+  }
+  options.columnar_wire = wire == "v2";
 
   std::vector<SecurityMode> modes;
   size_t start = 0;
@@ -483,10 +498,12 @@ int Main(int argc, char** argv) {
     for (size_t i = 0; i < rows.size(); ++i) {
       const RunRow& row = rows[i];
       std::fprintf(out,
-                   "    {\"name\": \"%s\", \"nodes\": %llu, \"ticks_per_sec\": %.1f, "
+                   "    {\"name\": \"%s\", \"nodes\": %llu, \"wire\": \"%s\", "
+                   "\"ticks_per_sec\": %.1f, "
                    "\"events_relayed\": %llu, \"trades\": %llu, \"trades_collected\": %llu, "
                    "\"label_violations\": %llu, \"link_reconnects\": %llu}%s\n",
                    row.name.c_str(), static_cast<unsigned long long>(row.nodes),
+                   options.columnar_wire ? "v2" : "v1",
                    row.ticks_per_sec, static_cast<unsigned long long>(row.ticks_relayed),
                    static_cast<unsigned long long>(row.trades_workers),
                    static_cast<unsigned long long>(row.trades_collected),

@@ -9,6 +9,7 @@
 
 #include "src/base/clock.h"
 #include "src/core/api.h"
+#include "src/core/event_batch.h"
 
 namespace defcon {
 namespace {
@@ -152,6 +153,21 @@ class BatchPublisherUnit : public Unit {
       handles.push_back(*handle);
     }
     return ctx.PublishBatch(handles);
+  }
+
+  // Same pings as one columnar EventBatch: the compartment label interns
+  // once, so the batch-plane dispatcher stamps/keys per distinct id. With
+  // EngineConfig::batch_plane off the identical batch lowers through the
+  // part-map plane — the B side of BM_PairedAB_BatchPlaneVsParts.
+  Status PublishPingsColumnar(UnitContext& ctx, size_t batch) {
+    const Label label(/*s=*/{compartment_}, /*i=*/{});
+    BatchBuilder builder;
+    for (size_t i = 0; i < batch; ++i) {
+      builder.BeginEvent()
+          .Part(label, "type", Value::OfString("ping"))
+          .Part(label, "seq", Value::OfInt(seq_++));
+    }
+    return ctx.PublishEventBatch(builder.Build());
   }
 
  private:
@@ -416,6 +432,54 @@ void BM_PairedAB_CacheVsNoCache(benchmark::State& state) {
   RunPairedAB(state, a, b);
 }
 BENCHMARK(BM_PairedAB_CacheVsNoCache)->Arg(64);
+
+// A = columnar batch plane, B = the part-map escape hatch, both publishing
+// through PublishEventBatch from one columnar build — so the ratio isolates
+// the dispatch-side win (per-distinct stamping/keying/index probing) from
+// the build-side one. ab_ratio_med > 1.0 means the batch plane is faster
+// (B = plane off is the slower side); the PR 7 acceptance bar on a 1-cpu
+// container is >= 1.0 (no regression).
+void BM_PairedAB_BatchPlaneVsParts(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  EngineConfig config_a;
+  config_a.mode = SecurityMode::kLabels;
+  config_a.num_threads = 0;
+  config_a.index_shards = 1;
+  config_a.batch_plane = true;
+  EngineConfig config_b = config_a;
+  config_b.batch_plane = false;
+  ABEngine a = MakeABEngine(config_a);
+  ABEngine b = MakeABEngine(config_b);
+  auto run_once = [batch](ABEngine& e) {
+    const int64_t start = MonotonicNowNs();
+    e.engine->InjectTurn(e.pub_id, [publisher = e.publisher, batch](UnitContext& ctx) {
+      (void)publisher->PublishPingsColumnar(ctx, batch);
+    });
+    e.engine->RunUntilIdle();
+    return static_cast<double>(MonotonicNowNs() - start);
+  };
+  run_once(a);
+  run_once(b);  // warmup pair
+  std::vector<double> a_ns, b_ns, ratios;
+  for (auto _ : state) {
+    const double na = run_once(a);
+    const double nb = run_once(b);
+    a_ns.push_back(na);
+    b_ns.push_back(nb);
+    ratios.push_back(na > 0 ? nb / na : 0.0);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch) * 2);
+  state.counters["ab_ratio_med"] = MedianOf(std::move(ratios));
+  state.counters["a_med_ns"] = MedianOf(std::move(a_ns));
+  state.counters["b_med_ns"] = MedianOf(std::move(b_ns));
+  // Sanity: side A actually took the hinted plane, side B never did.
+  state.counters["a_plane_publishes"] =
+      static_cast<double>(a.engine->stats().batch_plane_publishes);
+  state.counters["b_plane_publishes"] =
+      static_cast<double>(b.engine->stats().batch_plane_publishes);
+}
+BENCHMARK(BM_PairedAB_BatchPlaneVsParts)->Arg(64)->Arg(256);
 
 // A = unsharded, B = 8 shards (single-threaded, so the ratio is the pure
 // sharding overhead the ROADMAP wants regression-gated).

@@ -48,6 +48,11 @@ struct WorkloadConfig {
   // needle with engine_threads > 0 (concurrent batches stop convoying on one
   // index mutex); the figure drivers expose it as --index_shards.
   size_t index_shards = 0;
+  // Columnar batch data plane (EngineConfig::batch_plane, PR 7): when on,
+  // InjectTickBatch flows through the interned-column dispatch path; off is
+  // the part-map escape hatch (the A/B baseline — fig7 exposes it as a
+  // dimension). Only moves the needle with tick_batch > 1.
+  bool batch_plane = true;
   // CEP windowed-workload knobs (src/cep/, fig8_windows):
   //   * vwap_window  — regulator per-symbol tumbling VWAP republish window
   //     (RegulatorOptions::vwap_window; 0 = the per-trade republish path);
@@ -79,6 +84,7 @@ inline WorkloadResult RunTradingWorkload(const WorkloadConfig& config) {
   engine_config.num_threads = config.engine_threads;
   engine_config.seed = config.seed;
   engine_config.index_shards = config.index_shards;
+  engine_config.batch_plane = config.batch_plane;
 
   auto engine = std::make_unique<Engine>(engine_config);
 

@@ -81,8 +81,11 @@ SlidingAggregate::SlidingAggregate(const WindowSpec& spec, AggregateKind kind)
     : spec_(spec), kind_(kind) {}
 
 bool SlidingAggregate::Supports(const WindowSpec& spec, AggregateKind kind) {
-  return (spec.kind == WindowKind::kSlidingCount || spec.kind == WindowKind::kSlidingTime) &&
-         AggregateSupportsUnfold(kind);
+  // All kinds: subtractable ones (count/sum/vwap) unfold in O(1) per
+  // eviction; min/max keep incremental count/volume/label state and rescan
+  // the value column at emission time.
+  (void)kind;
+  return spec.kind == WindowKind::kSlidingCount || spec.kind == WindowKind::kSlidingTime;
 }
 
 void SlidingAggregate::Fold(const WindowItem& item) {
@@ -90,25 +93,23 @@ void SlidingAggregate::Fold(const WindowItem& item) {
   volume_ += item.qty;
   sum_ += item.value;
   weighted_ += item.value * static_cast<double>(item.qty);
-  for (LabelEntry& entry : labels_) {
-    if (entry.label == item.label) {
-      ++entry.refs;
-      return;
-    }
-  }
-  labels_.push_back({item.label, 1});
-  if (!join_dirty_) {
-    // A new distinct label joins into the cached join directly (joining is
-    // monotone on the add side; only eviction can shrink the join).
-    joined_ = labels_.size() == 1 ? item.label : LabelJoin(joined_, item.label);
+  const uint32_t id = labels_.Acquire(item.label);
+  ts_ns_.push_back(item.ts_ns);
+  values_.push_back(item.value);
+  qtys_.push_back(item.qty);
+  label_ids_.push_back(id);
+  if (labels_.refs(id) == 1 && !join_dirty_) {
+    // First live sample carrying this label: join it into the cached join
+    // directly (joining is monotone on the add side; only eviction shrinks).
+    joined_ = labels_.live() == 1 ? item.label : LabelJoin(joined_, item.label);
   }
 }
 
-void SlidingAggregate::Unfold(const WindowItem& item) {
+void SlidingAggregate::EvictFront() {
   --count_;
-  volume_ -= item.qty;
-  sum_ -= item.value;
-  weighted_ -= item.value * static_cast<double>(item.qty);
+  volume_ -= qtys_.front();
+  sum_ -= values_.front();
+  weighted_ -= values_.front() * static_cast<double>(qtys_.front());
   ++evictions_since_refresh_;
   if (count_ == 0) {
     // Fresh start: exact numeric state, drift from double cancellation reset.
@@ -117,32 +118,29 @@ void SlidingAggregate::Unfold(const WindowItem& item) {
     volume_ = 0;
     evictions_since_refresh_ = 0;
   }
-  for (size_t i = 0; i < labels_.size(); ++i) {
-    if (labels_[i].label == item.label) {
-      if (--labels_[i].refs == 0) {
-        // The last sample carrying this label left: only now can the join
-        // have shrunk, so only now does it need recomputing.
-        labels_[i] = labels_.back();
-        labels_.pop_back();
-        join_dirty_ = true;
-        ++label_rejoins_;
-      }
-      return;
-    }
+  if (labels_.Release(label_ids_.front())) {
+    // The last sample carrying this label left: only now can the join have
+    // shrunk, so only now does it need recomputing (the id was recycled).
+    join_dirty_ = true;
+    ++label_rejoins_;
   }
+  ts_ns_.pop_front();
+  values_.pop_front();
+  qtys_.pop_front();
+  label_ids_.pop_front();
 }
 
-// Discards the drifting double accumulators and refolds them from the live
-// items. Called from Add once the eviction loop has finished (items_ and the
-// accumulators agree there); a full sliding window never empties, so without
-// this the Fold/Unfold rounding residue would grow for the stream's
-// lifetime.
+// Discards the drifting double accumulators and refolds them from the value
+// and quantity columns. Called from Add once the eviction loop has finished
+// (the columns and the accumulators agree there); a full sliding window
+// never empties, so without this the Fold/Unfold rounding residue would grow
+// for the stream's lifetime.
 void SlidingAggregate::RefreshDoubles() {
   sum_ = 0.0;
   weighted_ = 0.0;
-  for (const WindowItem& item : items_) {
-    sum_ += item.value;
-    weighted_ += item.value * static_cast<double>(item.qty);
+  for (size_t i = 0; i < values_.size(); ++i) {
+    sum_ += values_[i];
+    weighted_ += values_[i] * static_cast<double>(qtys_[i]);
   }
   evictions_since_refresh_ = 0;
 }
@@ -150,9 +148,8 @@ void SlidingAggregate::RefreshDoubles() {
 AggregateResult SlidingAggregate::Emit() {
   if (join_dirty_) {
     LabelAccumulator acc;
-    for (const LabelEntry& entry : labels_) {
-      acc.Add(entry.label);
-    }
+    labels_.ForEachLive(
+        [&acc](uint32_t, const Label& label, size_t) { acc.Add(label); });
     joined_ = acc.label();
     join_dirty_ = false;
   }
@@ -172,39 +169,46 @@ AggregateResult SlidingAggregate::Emit() {
                                  : sum_ / static_cast<double>(count_);
       break;
     case AggregateKind::kMin:
-    case AggregateKind::kMax:
-      break;  // unreachable: Supports() rejects non-subtractable kinds
+    case AggregateKind::kMax: {
+      // No inverse fold exists; rescan the value column. Same comparisons in
+      // the same arrival order as Aggregate(), so the doubles are identical.
+      double extremum = values_.front();
+      for (const double value : values_) {
+        if (kind_ == AggregateKind::kMin ? value < extremum : value > extremum) {
+          extremum = value;
+        }
+      }
+      result.value = extremum;
+      break;
+    }
   }
   return result;
 }
 
 std::optional<AggregateResult> SlidingAggregate::Add(WindowItem item) {
   // Mirrors Window::Add's sliding shapes exactly (push/evict order and
-  // emission cadence), with Fold/Unfold replacing the span copy + refold.
+  // emission cadence), with column Fold/EvictFront replacing the span copy +
+  // refold.
   if (spec_.kind == WindowKind::kSlidingCount) {
     Fold(item);
-    items_.push_back(std::move(item));
-    while (items_.size() > spec_.count) {
-      Unfold(items_.front());
-      items_.pop_front();
+    while (values_.size() > spec_.count) {
+      EvictFront();
     }
     if (evictions_since_refresh_ >= kRefreshEvictions) {
       RefreshDoubles();
     }
     ++arrivals_;
-    if (items_.size() == spec_.count && arrivals_ % spec_.slide == 0) {
+    if (values_.size() == spec_.count && arrivals_ % spec_.slide == 0) {
       return Emit();
     }
     return std::nullopt;
   }
   // kSlidingTime
   const int64_t now = item.ts_ns;
-  while (!items_.empty() && items_.front().ts_ns <= now - spec_.span_ns) {
-    Unfold(items_.front());
-    items_.pop_front();
+  while (!ts_ns_.empty() && ts_ns_.front() <= now - spec_.span_ns) {
+    EvictFront();
   }
   Fold(item);
-  items_.push_back(std::move(item));
   if (evictions_since_refresh_ >= kRefreshEvictions) {
     RefreshDoubles();
   }

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/cep/window.h"
+#include "src/core/event_batch.h"
 #include "src/core/label.h"
 #include "src/core/unit.h"
 
@@ -75,24 +76,28 @@ struct EmitPolicy {
 // min/max have no inverse and keep the refold path.
 bool AggregateSupportsUnfold(AggregateKind kind);
 
-// Incremental sliding-window aggregation: the fold/Unfold fast path for
-// subtractable aggregates over sliding windows, making each emission
-// O(evicted) instead of refold-O(window) (and skipping the O(window) span
-// copy the generic Window hands back).
+// Incremental sliding-window aggregation over structure-of-arrays columns
+// (PR 7): the window keeps four parallel columns (timestamp, value, quantity,
+// interned label id) instead of a deque of WindowItem structs, so the
+// eviction loop touches two small columns, the drift refold streams one
+// contiguous-ish value column, and labels are tracked by id.
 //
 // Label exactness is preserved without an "un-join" (which the label lattice
-// does not have): the accumulator keeps a refcount per DISTINCT contributing
-// label. Adding a sample with a known label is O(distinct); adding a new
-// label joins it into the cached running join; evicting a sample only forces
-// a re-join when it was the LAST sample carrying its label — i.e. when a
-// label-contributing sample leaves — and that re-join folds the distinct
-// labels (not the window items). Numeric state is subtract-exact for count
-// and volume (integers); sum/vwap accumulate in double, so each Fold/Unfold
-// pair can leave a rounding residue — a full sliding window never empties,
-// so drift is bounded by refreshing the double accumulators with a fresh
-// fold over the live items every kRefreshEvictions evictions (amortised
-// O(window / kRefreshEvictions) per arrival) and whenever the window
-// empties.
+// does not have): the refcounted LabelInterner (shared with the engine's
+// columnar batch plane) keeps one id per DISTINCT live contributing label.
+// Adding a sample with a known label is one hash probe; the first sample of a
+// new label joins it into the cached running join; evicting a sample only
+// forces a re-join when it was the LAST sample carrying its label — and that
+// re-join folds the distinct live labels (not the window items). Numeric
+// state is subtract-exact for count and volume (integers); sum/vwap
+// accumulate in double, so each Fold/Unfold pair can leave a rounding
+// residue — a full sliding window never empties, so drift is bounded by
+// refreshing the double accumulators with a fresh fold over the value column
+// every kRefreshEvictions evictions (amortised O(window / kRefreshEvictions)
+// per arrival) and whenever the window empties. min/max have no inverse fold;
+// they keep exact count/volume/label state incrementally and recompute the
+// extremum with a straight scan of the value column at each emission — no
+// span copy, no per-item label re-join, same doubles as Aggregate().
 //
 // Emission cadence replicates Window::Add for the two sliding shapes
 // verbatim, so swapping the refold path for this one changes no transcript
@@ -101,17 +106,21 @@ class SlidingAggregate {
  public:
   SlidingAggregate(const WindowSpec& spec, AggregateKind kind);
 
-  // True when (spec, kind) is a sliding window over a subtractable fold.
+  // True when `spec` is one of the two sliding shapes (all aggregate kinds
+  // are supported: subtractable kinds unfold, min/max rescan the column).
   static bool Supports(const WindowSpec& spec, AggregateKind kind);
 
   // Feeds one sample; returns the window's aggregate when this arrival
   // completes an emission (same cadence as Window::Add + Aggregate()).
   std::optional<AggregateResult> Add(WindowItem item);
 
-  size_t size() const { return items_.size(); }
+  size_t size() const { return values_.size(); }
   // Evictions that removed the last sample of a distinct label and therefore
   // forced a re-join over the remaining distinct labels (diagnostics).
   uint64_t label_rejoins() const { return label_rejoins_; }
+  // Distinct live contributing labels (diagnostics; tests assert the interner
+  // stays dense under label churn).
+  size_t distinct_labels() const { return labels_.live(); }
 
  private:
   static constexpr int64_t kUnset = INT64_MIN;
@@ -119,13 +128,17 @@ class SlidingAggregate {
   static constexpr uint64_t kRefreshEvictions = 4096;
 
   void Fold(const WindowItem& item);
-  void Unfold(const WindowItem& item);
+  void EvictFront();
   void RefreshDoubles();
   AggregateResult Emit();
 
   const WindowSpec spec_;
   const AggregateKind kind_;
-  std::deque<WindowItem> items_;
+  // Window columns (deques: O(1) evict-front, stable amortised push-back).
+  std::deque<int64_t> ts_ns_;
+  std::deque<double> values_;
+  std::deque<int64_t> qtys_;
+  std::deque<uint32_t> label_ids_;
   size_t arrivals_ = 0;          // sliding count: slide phase
   int64_t next_emit_ns_ = kUnset;  // sliding time: earliest next emission
 
@@ -136,12 +149,8 @@ class SlidingAggregate {
   double weighted_ = 0.0;
   uint64_t evictions_since_refresh_ = 0;
 
-  // Distinct-label refcounts + cached join (recomputed only when dirty).
-  struct LabelEntry {
-    Label label;
-    size_t refs = 0;
-  };
-  std::vector<LabelEntry> labels_;
+  // Refcounted distinct-label ids + cached join (recomputed only when dirty).
+  LabelInterner labels_;
   Label joined_;
   bool join_dirty_ = false;
   uint64_t label_rejoins_ = 0;

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <deque>
 #include <list>
+#include <map>
 #include <optional>
 #include <array>
 #include <shared_mutex>
@@ -15,6 +16,7 @@
 #include "src/base/logging.h"
 #include "src/concurrency/actor_executor.h"
 #include "src/core/event.h"
+#include "src/core/event_batch.h"
 #include "src/core/event_builder.h"
 
 namespace defcon {
@@ -35,38 +37,12 @@ const char* SecurityModeName(SecurityMode mode) {
 
 namespace {
 
-// Full-width hex rendering of a tag. Tag::DebugString truncates to 48 bits
-// (fine for logs), but cache keys must be collision-free: the dispatch cache
-// serves CanFlowTo verdicts by label key, so a truncation collision would be
-// a label-check bypass.
-void AppendTagKey(std::string* out, const Tag& tag) {
-  static constexpr char kHex[] = "0123456789abcdef";
-  for (int shift = 60; shift >= 0; shift -= 4) {
-    out->push_back(kHex[(tag.hi >> shift) & 0xF]);
-  }
-  for (int shift = 60; shift >= 0; shift -= 4) {
-    out->push_back(kHex[(tag.lo >> shift) & 0xF]);
-  }
-}
-
 // Stable textual key for a label (managed-instance cache key, delivery
-// de-duplication, and the dispatch cache's flow/managed-join keys). Tag sets
-// are sorted and tags render full-width in a separator-free alphabet, so the
-// rendering is canonical and lossless.
-std::string LabelKey(const Label& label) {
-  std::string key;
-  key.reserve(33 * (label.secrecy.size() + label.integrity.size()) + 2);
-  for (const Tag& tag : label.secrecy) {
-    AppendTagKey(&key, tag);
-    key += ',';
-  }
-  key += '|';
-  for (const Tag& tag : label.integrity) {
-    AppendTagKey(&key, tag);
-    key += ',';
-  }
-  return key;
-}
+// de-duplication, and the dispatch cache's flow/managed-join keys). The
+// rendering lives in event_batch.h as CanonicalLabelKey — the batch plane
+// pre-renders these keys per distinct interned label, and the two planes'
+// keys must agree byte-for-byte or their delivery transcripts diverge.
+std::string LabelKey(const Label& label) { return CanonicalLabelKey(label); }
 
 std::string IndexKeyString(const std::string& name, const std::string& literal) {
   std::string key;
@@ -89,6 +65,10 @@ struct EngineCounters {
   std::atomic<uint64_t> batch_publishes{0};
   std::atomic<uint64_t> batch_events{0};
   std::atomic<uint64_t> batch_flow_memo_hits{0};
+  std::atomic<uint64_t> batch_plane_publishes{0};
+  std::atomic<uint64_t> batch_plane_events{0};
+  std::atomic<uint64_t> flow_slots_reused{0};
+  std::atomic<uint64_t> flow_slot_high_water{0};
   std::atomic<uint64_t> candidate_cache_hits{0};
   std::atomic<uint64_t> candidate_cache_misses{0};
   std::atomic<uint64_t> flow_cache_hits{0};
@@ -113,6 +93,10 @@ struct EngineCounters {
     s.batch_publishes = batch_publishes.load(std::memory_order_relaxed);
     s.batch_events = batch_events.load(std::memory_order_relaxed);
     s.batch_flow_memo_hits = batch_flow_memo_hits.load(std::memory_order_relaxed);
+    s.batch_plane_publishes = batch_plane_publishes.load(std::memory_order_relaxed);
+    s.batch_plane_events = batch_plane_events.load(std::memory_order_relaxed);
+    s.flow_slots_reused = flow_slots_reused.load(std::memory_order_relaxed);
+    s.flow_slot_high_water = flow_slot_high_water.load(std::memory_order_relaxed);
     s.candidate_cache_hits = candidate_cache_hits.load(std::memory_order_relaxed);
     s.candidate_cache_misses = candidate_cache_misses.load(std::memory_order_relaxed);
     s.flow_cache_hits = flow_cache_hits.load(std::memory_order_relaxed);
@@ -190,19 +174,22 @@ struct SubscriptionRecord {
 // Sorted, de-duplicated match candidates for one index-bucket signature.
 using CandidateList = std::vector<std::shared_ptr<SubscriptionRecord>>;
 
-// CanFlowTo verdicts for one part label, direct-indexed by unit id
-// (kFlowUnknown / kFlowDenied / kFlowAllowed) for an O(1), branch-light
-// lookup on the hot match path. Immutable once published (copy-on-write), so
-// batches read a fetched snapshot without holding any lock. Only units that
-// own subscriptions are recorded (managed instances are matched against
-// their derived label, not through this path), so ids stay small and dense;
-// ids beyond kFlowDenseLimit are never published and fall back to the
-// per-batch overlay.
+// CanFlowTo verdicts for one part label, direct-indexed by the subscribing
+// unit's FLOW SLOT (kFlowUnknown / kFlowDenied / kFlowAllowed) for an O(1),
+// branch-light lookup on the hot match path. Immutable once published
+// (copy-on-write), so batches read a fetched snapshot without holding any
+// lock. Only units that own subscriptions get a slot (managed instances are
+// matched against their derived label, not through this path). Slots — not
+// unit ids — keep the vectors dense under churn: a removed unit's slot is
+// recycled through a free list after a quiescence barrier proves no in-
+// flight dispatch still holds a snapshot naming it (see ReleaseFlowSlot), so
+// long-churn runs never creep past EngineConfig::flow_dense_limit into the
+// per-batch-overlay fallback.
 using FlowSnapshot = std::vector<uint8_t>;
 constexpr uint8_t kFlowUnknown = 0;
 constexpr uint8_t kFlowDenied = 1;
 constexpr uint8_t kFlowAllowed = 2;
-constexpr UnitId kFlowDenseLimit = 1 << 16;
+constexpr uint32_t kNoFlowSlot = UINT32_MAX;
 
 // One shard of the subscription index plus its slice of the persistent
 // dispatch cache (PR 3). Shard assignment is by key hash: equality-index
@@ -274,8 +261,8 @@ using engine_internal::FlowSnapshot;
 using engine_internal::IndexShard;
 using engine_internal::kFlowAllowed;
 using engine_internal::kFlowDenied;
-using engine_internal::kFlowDenseLimit;
 using engine_internal::kFlowUnknown;
+using engine_internal::kNoFlowSlot;
 using engine_internal::EngineCounters;
 using engine_internal::HandleRecord;
 using engine_internal::PlannedDelivery;
@@ -303,6 +290,11 @@ struct UnitState {
   // records directly lets unsubscribe reach the owning shard without a
   // global registry.
   std::vector<std::shared_ptr<SubscriptionRecord>> owned_subs;
+
+  // Dense flow-snapshot index, allocated on the unit's first subscription
+  // (kNoFlowSlot until then) and recycled when the unit is removed. Written
+  // under the engine's slot mutex, read lock-free on the match path.
+  std::atomic<uint32_t> flow_slot{engine_internal::kNoFlowSlot};
 
   bool is_managed_instance = false;
   SubscriptionId managed_sub = 0;
@@ -366,6 +358,24 @@ struct Engine::Impl {
 
   std::atomic<uint64_t> next_event_id{1};
 
+  // Flow-slot allocator: dense snapshot indices handed to subscribing units,
+  // recycled through a free list when their unit is removed. Allocation is
+  // rare (first subscription per unit), so one mutex suffices.
+  std::mutex flow_slot_mutex;
+  std::vector<uint32_t> free_flow_slots;
+  uint32_t next_flow_slot = 0;
+  // Quiescence barrier for slot recycling. Every ComputeMatches /
+  // ComputeMatchesBatch body holds it shared for its exact extent (snapshot
+  // fetch through overlay publication). Freeing a slot bumps every shard
+  // generation FIRST, then acquires this exclusively: once granted, every
+  // dispatch that might have captured pre-bump generations — and could
+  // therefore consult a stale snapshot naming the slot — has finished, and
+  // any later dispatch sees post-bump generations that no stale snapshot can
+  // match. Only then does the slot enter the free list. The match path never
+  // allocates slots (RegisterSubscription does, from unit turns), so the
+  // shared and exclusive sides share no other lock.
+  std::shared_mutex flow_quiesce_mutex;
+
   // Per-shard caps on the persistent match state.
   static constexpr size_t kCandidateCacheCap = 4096;
   static constexpr size_t kFlowCacheCap = 4096;  // labels; each holds a dense vector
@@ -420,10 +430,82 @@ struct Engine::Impl {
     return snap;
   }
 
+  // Columnar-plane dispatch hints: what PublishEventBatch already knows from
+  // the batch's interned columns, handed to ComputeMatchesBatch so it can
+  // skip step 1 (per-part label-key rendering + interning) and step 2's
+  // per-event key collection + signature rendering. The hint tables are
+  // constructed to be byte-identical to what the un-hinted pass derives from
+  // the materialised events — same label-id first-appearance order, same
+  // sorted key sets, same signature strings — so hinted and un-hinted
+  // dispatch produce identical delivery transcripts (the batch_plane A/B
+  // correctness gate).
+  struct BatchDispatchHints {
+    // Distinct STAMPED part-label canonical keys, first-appearance order.
+    std::vector<std::string> label_keys;
+    // Per event, per part (append order): index into label_keys.
+    std::vector<std::vector<uint32_t>> event_label_ids;
+    // Distinct index-key shapes: sorted de-duplicated equality-index keys
+    // and their length-prefixed signature.
+    std::vector<std::vector<std::string>> shape_keys;
+    std::vector<std::string> shape_sigs;
+    // Per event: index into shape_keys / shape_sigs.
+    std::vector<uint32_t> event_shape;
+  };
+
   void BumpAllGenerations() {
     for (const auto& shard : shards) {
       shard->generation.fetch_add(1, std::memory_order_release);
     }
+  }
+
+  // ---- flow slots ----------------------------------------------------------
+
+  // Gives `unit` its dense flow-snapshot slot if it has none yet. Called
+  // BEFORE the subscription record becomes discoverable, so any dispatch
+  // that can match one of the unit's subscriptions observes a valid slot
+  // (the release store here happens-before the record insertion under the
+  // registration mutex, which happens-before any reader that finds it).
+  void EnsureFlowSlot(UnitState* unit) {
+    if (unit->flow_slot.load(std::memory_order_acquire) != kNoFlowSlot) {
+      return;
+    }
+    std::lock_guard<std::mutex> lock(flow_slot_mutex);
+    if (unit->flow_slot.load(std::memory_order_relaxed) != kNoFlowSlot) {
+      return;
+    }
+    uint32_t slot;
+    if (!free_flow_slots.empty()) {
+      slot = free_flow_slots.back();
+      free_flow_slots.pop_back();
+      stats.flow_slots_reused.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      slot = next_flow_slot++;
+      uint64_t seen = stats.flow_slot_high_water.load(std::memory_order_relaxed);
+      while (seen < static_cast<uint64_t>(slot) + 1 &&
+             !stats.flow_slot_high_water.compare_exchange_weak(
+                 seen, static_cast<uint64_t>(slot) + 1, std::memory_order_relaxed)) {
+      }
+    }
+    unit->flow_slot.store(slot, std::memory_order_release);
+  }
+
+  // Returns a removed unit's slot to the free list. The unit is already out
+  // of the unit map (no candidate resolves to it), so the only hazard is an
+  // in-flight dispatch serving a STALE snapshot verdict at this slot to a
+  // future unit that reuses it. The quiescence protocol closes that: bump
+  // every generation (stale snapshots become unreachable to any dispatch
+  // that captures generations from now on), then wait out — via one
+  // exclusive acquisition of flow_quiesce_mutex — every dispatch that
+  // captured earlier, and only then recycle the slot.
+  void ReleaseFlowSlot(UnitState* unit) {
+    const uint32_t slot = unit->flow_slot.load(std::memory_order_acquire);
+    if (slot == kNoFlowSlot) {
+      return;
+    }
+    BumpAllGenerations();
+    { std::unique_lock<std::shared_mutex> quiesce(flow_quiesce_mutex); }
+    std::lock_guard<std::mutex> lock(flow_slot_mutex);
+    free_flow_slots.push_back(slot);
   }
 
   // ---- unit management ----------------------------------------------------
@@ -491,6 +573,9 @@ struct Engine::Impl {
       managed_instance_count.fetch_sub(1);
     }
     engine->accountant_.Release(static_cast<int64_t>(sizeof(UnitState) + 512));
+    // Recycle the dense flow slot (no-op for units that never subscribed —
+    // the common case for managed instances, so eviction stays cheap).
+    ReleaseFlowSlot(victim.get());
     // Retire the unit's subscriptions on its own actor, after any queued
     // turns, so owned_subs is never touched concurrently with a running turn.
     auto* self = this;
@@ -876,7 +961,7 @@ struct Engine::Impl {
   // advances built_generation itself — otherwise a churned shard's flow
   // store could stay permanently cold.
   void PublishFlowOverlays(const std::vector<const std::string*>& label_keys,
-                           const std::vector<std::unordered_map<UnitId, bool>>& overlays,
+                           const std::vector<std::unordered_map<uint32_t, bool>>& overlays,
                            const GenSnapshot& gens) {
     std::vector<std::vector<size_t>> by_shard(shard_count);
     bool any = false;
@@ -903,26 +988,30 @@ struct Engine::Impl {
       }
       for (const size_t l : by_shard[s]) {
         const auto& overlay = overlays[l];
-        UnitId max_id = 0;
-        for (const auto& [unit_id, verdict] : overlay) {
-          if (unit_id < kFlowDenseLimit && unit_id > max_id) {
-            max_id = unit_id;
+        uint32_t max_slot = 0;
+        bool any_dense = false;
+        for (const auto& [flow_slot, verdict] : overlay) {
+          if (flow_slot < config.flow_dense_limit) {
+            any_dense = true;
+            if (flow_slot > max_slot) {
+              max_slot = flow_slot;
+            }
           }
         }
-        if (max_id == 0) {
+        if (!any_dense) {
           continue;  // nothing publishable for this label
         }
-        auto& slot = shard.flow[*label_keys[l]];
-        FlowSnapshot merged = slot != nullptr ? *slot : FlowSnapshot();
-        if (merged.size() < static_cast<size_t>(max_id) + 1) {
-          merged.resize(static_cast<size_t>(max_id) + 1, kFlowUnknown);
+        auto& entry = shard.flow[*label_keys[l]];
+        FlowSnapshot merged = entry != nullptr ? *entry : FlowSnapshot();
+        if (merged.size() < static_cast<size_t>(max_slot) + 1) {
+          merged.resize(static_cast<size_t>(max_slot) + 1, kFlowUnknown);
         }
-        for (const auto& [unit_id, verdict] : overlay) {
-          if (unit_id < kFlowDenseLimit) {
-            merged[unit_id] = verdict ? kFlowAllowed : kFlowDenied;
+        for (const auto& [flow_slot, verdict] : overlay) {
+          if (flow_slot < config.flow_dense_limit) {
+            merged[flow_slot] = verdict ? kFlowAllowed : kFlowDenied;
           }
         }
-        slot = std::make_shared<const FlowSnapshot>(std::move(merged));
+        entry = std::make_shared<const FlowSnapshot>(std::move(merged));
       }
     }
   }
@@ -1081,6 +1170,10 @@ struct Engine::Impl {
   // amortised over every candidate of the dispatch. Verdicts computed here
   // are published back, warming the batch path too.
   void ComputeMatches(const EventPtr& master, std::vector<PlannedDelivery>* out) {
+    // Shared side of the slot-recycling quiescence barrier: generations are
+    // captured inside it, so ReleaseFlowSlot's bump-then-exclusive protocol
+    // can prove no dispatch still reads snapshots naming a freed slot.
+    std::shared_lock<std::shared_mutex> quiesce(flow_quiesce_mutex);
     const std::vector<Part> parts = master->SnapshotParts();
     const GenSnapshot gens = CaptureGenerations();
     const bool persist_flow = config.use_dispatch_cache && security_on();
@@ -1091,7 +1184,7 @@ struct Engine::Impl {
     std::unordered_map<std::string, uint32_t> label_intern;
     std::vector<const std::string*> label_keys;
     std::vector<std::shared_ptr<const FlowSnapshot>> flow_snapshots;
-    std::vector<std::unordered_map<UnitId, bool>> flow_overlay;
+    std::vector<std::unordered_map<uint32_t, bool>> flow_overlay;
     if (persist_flow) {
       label_ids.reserve(parts.size());
       for (const Part& part : parts) {
@@ -1141,17 +1234,23 @@ struct Engine::Impl {
       if (!persist_flow) {
         return PartVisible(part, unit_in_label(unit));
       }
+      const uint32_t slot = unit->flow_slot.load(std::memory_order_acquire);
+      if (slot == kNoFlowSlot) {
+        // Registration in flight: the record was visible before the slot
+        // store landed here. Compute directly; nothing to memoise under.
+        return PartVisible(part, unit_in_label(unit));
+      }
       const uint32_t label_id = label_ids[p];
       if (const auto& snapshot = flow_snapshots[label_id];
-          snapshot != nullptr && unit->id < snapshot->size()) {
-        const uint8_t verdict = (*snapshot)[unit->id];
+          snapshot != nullptr && slot < snapshot->size()) {
+        const uint8_t verdict = (*snapshot)[slot];
         if (verdict != kFlowUnknown) {
           stats.flow_cache_hits.fetch_add(1, std::memory_order_relaxed);
           return verdict == kFlowAllowed;
         }
       }
       auto& overlay = flow_overlay[label_id];
-      auto it = overlay.find(unit->id);
+      auto it = overlay.find(slot);
       if (it != overlay.end()) {
         // Same counter as the batch path's per-dispatch memo reuse, so
         // label_checks + flow_cache_hits + memo hits accounts for every
@@ -1160,7 +1259,7 @@ struct Engine::Impl {
         return it->second;
       }
       const bool allowed = PartVisible(part, unit_in_label(unit));
-      overlay.emplace(unit->id, allowed);
+      overlay.emplace(slot, allowed);
       return allowed;
     };
     const auto candidates = GetCandidates(parts, gens);
@@ -1189,27 +1288,47 @@ struct Engine::Impl {
   //     batch recomputes no flow decision at all;
   //   * managed-instance label joins are served from the managed-join memo.
   void ComputeMatchesBatch(const std::vector<EventPtr>& masters,
-                           std::vector<std::vector<PlannedDelivery>>* out) {
+                           std::vector<std::vector<PlannedDelivery>>* out,
+                           const BatchDispatchHints* hints = nullptr) {
     const size_t n = masters.size();
+    // Shared side of the slot-recycling quiescence barrier (see
+    // ComputeMatches); generations must be captured inside it.
+    std::shared_lock<std::shared_mutex> quiesce(flow_quiesce_mutex);
     const GenSnapshot gens = CaptureGenerations();
     // 1. Snapshot parts once; intern distinct part labels. The canonical key
     // strings live in the intern map's nodes (stable across rehash), so the
-    // id -> key table can hold plain pointers.
+    // id -> key table can hold plain pointers. The columnar plane already
+    // interned the labels at build time: its hints carry the stamped keys in
+    // the same first-appearance order, so the whole per-part rendering loop
+    // — the dominant per-event cost of this step — is skipped.
     std::vector<std::vector<Part>> parts(n);
-    std::vector<std::vector<uint32_t>> label_ids(n);
-    std::unordered_map<std::string, uint32_t> label_intern;
-    std::vector<const std::string*> label_keys;
     for (size_t i = 0; i < n; ++i) {
       parts[i] = masters[i]->SnapshotParts();
-      label_ids[i].reserve(parts[i].size());
-      for (const Part& part : parts[i]) {
-        const auto it = label_intern.emplace(LabelKey(part.label),
-                                             static_cast<uint32_t>(label_intern.size())).first;
-        if (it->second == label_keys.size()) {
-          label_keys.push_back(&it->first);
-        }
-        label_ids[i].push_back(it->second);
+    }
+    std::vector<std::vector<uint32_t>> owned_label_ids;
+    std::unordered_map<std::string, uint32_t> label_intern;
+    std::vector<const std::string*> label_keys;
+    const std::vector<std::vector<uint32_t>>* label_ids = nullptr;
+    if (hints != nullptr) {
+      label_keys.reserve(hints->label_keys.size());
+      for (const std::string& key : hints->label_keys) {
+        label_keys.push_back(&key);
       }
+      label_ids = &hints->event_label_ids;
+    } else {
+      owned_label_ids.resize(n);
+      for (size_t i = 0; i < n; ++i) {
+        owned_label_ids[i].reserve(parts[i].size());
+        for (const Part& part : parts[i]) {
+          const auto it = label_intern.emplace(LabelKey(part.label),
+                                               static_cast<uint32_t>(label_intern.size())).first;
+          if (it->second == label_keys.size()) {
+            label_keys.push_back(&it->first);
+          }
+          owned_label_ids[i].push_back(it->second);
+        }
+      }
+      label_ids = &owned_label_ids;
     }
 
     // 2. Candidate list per event: keys grouped by shard, shards probed
@@ -1219,8 +1338,20 @@ struct Engine::Impl {
     // e.g. tick feeds, never re-render signature strings). With the cache
     // disabled, events with equal signatures still share one list within
     // the batch (the PR 1 behaviour); the persistent layer is bypassed.
+    // Hinted batches resolve each distinct key shape exactly once — the
+    // per-event key collection and signature rendering are precomputed.
     std::vector<std::shared_ptr<const CandidateList>> candidates(n);
-    {
+    if (hints != nullptr) {
+      const std::shared_ptr<const CandidateList> residual = ResidualSnapshot();
+      std::vector<std::shared_ptr<const CandidateList>> by_shape(hints->shape_keys.size());
+      for (size_t i = 0; i < n; ++i) {
+        const uint32_t shape = hints->event_shape[i];
+        if (by_shape[shape] == nullptr) {
+          by_shape[shape] = BuildCandidates(hints->shape_keys[shape], residual, gens);
+        }
+        candidates[i] = by_shape[shape];
+      }
+    } else {
       const std::shared_ptr<const CandidateList> residual = ResidualSnapshot();
       std::unordered_map<std::string, std::shared_ptr<const CandidateList>> local;
       std::string prev_sig;
@@ -1267,32 +1398,36 @@ struct Engine::Impl {
     // (batch_flow_memo_hits); at batch end the overlays are published back
     // into the snapshots.
     const bool persist_flow = config.use_dispatch_cache && security_on();
-    std::vector<std::shared_ptr<const FlowSnapshot>> flow_snapshots(label_intern.size());
+    std::vector<std::shared_ptr<const FlowSnapshot>> flow_snapshots(label_keys.size());
     if (persist_flow) {
       FetchFlowSnapshots(label_keys, gens, &flow_snapshots);
     }
-    std::vector<std::unordered_map<UnitId, bool>> flow_overlay(label_intern.size());
+    std::vector<std::unordered_map<uint32_t, bool>> flow_overlay(label_keys.size());
     auto part_visible_by_id = [&](uint32_t label_id, const Part& part,
                                   const std::shared_ptr<UnitState>& unit) {
       if (!security_on()) {
         return true;
       }
+      const uint32_t slot = unit->flow_slot.load(std::memory_order_acquire);
+      if (slot == kNoFlowSlot) {
+        return PartVisible(part, unit_in_label(unit));  // registration in flight
+      }
       if (const auto& snapshot = flow_snapshots[label_id];
-          snapshot != nullptr && unit->id < snapshot->size()) {
-        const uint8_t verdict = (*snapshot)[unit->id];
+          snapshot != nullptr && slot < snapshot->size()) {
+        const uint8_t verdict = (*snapshot)[slot];
         if (verdict != kFlowUnknown) {
           stats.flow_cache_hits.fetch_add(1, std::memory_order_relaxed);
           return verdict == kFlowAllowed;
         }
       }
       auto& overlay = flow_overlay[label_id];
-      auto it = overlay.find(unit->id);
+      auto it = overlay.find(slot);
       if (it != overlay.end()) {
         stats.batch_flow_memo_hits.fetch_add(1, std::memory_order_relaxed);
         return it->second;
       }
       const bool visible = PartVisible(part, unit_in_label(unit));
-      overlay.emplace(unit->id, visible);
+      overlay.emplace(slot, visible);
       return visible;
     };
 
@@ -1313,7 +1448,7 @@ struct Engine::Impl {
     };
     std::vector<const Part*> visible;
     for (size_t i = 0; i < n; ++i) {
-      current_label_ids = &label_ids[i];
+      current_label_ids = &(*label_ids)[i];
       current_parts = &parts[i];
       for (const auto& sub : *candidates[i]) {
         MatchCandidate(sub, parts[i], lookup_unit, managed_label, batch_visible, &visible,
@@ -1411,7 +1546,7 @@ struct Engine::Impl {
   // subscription-index probe per distinct filter key, one CanFlowTo per
   // distinct (part label, subscription) pair — and the initial deliveries of
   // every plan are handed to the executor with a single wake.
-  void DispatchBatch(std::vector<EventPtr> masters) {
+  void DispatchBatch(std::vector<EventPtr> masters, const BatchDispatchHints* hints = nullptr) {
     if (masters.empty()) {
       return;
     }
@@ -1421,9 +1556,13 @@ struct Engine::Impl {
     }
     stats.batch_publishes.fetch_add(1, std::memory_order_relaxed);
     stats.batch_events.fetch_add(masters.size(), std::memory_order_relaxed);
+    if (hints != nullptr) {
+      stats.batch_plane_publishes.fetch_add(1, std::memory_order_relaxed);
+      stats.batch_plane_events.fetch_add(masters.size(), std::memory_order_relaxed);
+    }
 
     std::vector<std::vector<PlannedDelivery>> matches(masters.size());
-    ComputeMatchesBatch(masters, &matches);
+    ComputeMatchesBatch(masters, &matches, hints);
 
     std::vector<ActorExecutor::ActorTurn> turns;
     turns.reserve(masters.size());
@@ -1442,6 +1581,165 @@ struct Engine::Impl {
       AdvancePlan(plan, &turns);
     }
     executor.PostBatch(std::move(turns));
+  }
+
+  // ---- columnar batch publication ------------------------------------------
+
+  // Publishes an EventBatch for `state`: one Event per row, stamped, frozen
+  // and counted exactly as the part-map path (AddPartToRecord +
+  // DetachForPublish) would, then dispatched as one group. What the interned
+  // columns buy is per-DISTINCT work where the part-map plane pays per part:
+  // one StampWithOutputLabel + one canonical key rendering per distinct
+  // label id, one equality-index key rendering per distinct (name, literal)
+  // pair, one signature + candidate probe per distinct key shape. With
+  // config.batch_plane the results ride into ComputeMatchesBatch as
+  // BatchDispatchHints; without it the same materialised events take the
+  // un-hinted path — delivery transcripts are identical either way.
+  Status PublishEventBatch(UnitState* state, const EventBatch& batch, size_t* published) {
+    if (published != nullptr) {
+      *published = 0;
+    }
+    if (Status check = CheckApi(state, ApiTarget::kPublish); !check.ok()) {
+      return check;  // a batch holds no engine handles, so nothing to discard
+    }
+    const size_t rows = batch.event_count();
+    if (rows == 0) {
+      return OkStatus();
+    }
+    // The arena + columns are live across dispatch; the accountant sees them
+    // for that window (fig7's batch-plane memory column reads this).
+    const int64_t batch_bytes = static_cast<int64_t>(batch.EstimateBytes());
+    engine->accountant_.Charge(batch_bytes);
+
+    // Stamp and render each DISTINCT label once (vs once per part).
+    const size_t distinct_labels = batch.distinct_labels();
+    const bool hinted = config.batch_plane;
+    std::vector<Label> stamped(distinct_labels);
+    std::vector<std::string> stamped_keys(hinted ? distinct_labels : 0);
+    for (uint32_t l = 0; l < distinct_labels; ++l) {
+      stamped[l] = StampWithOutputLabel(state, batch.label(l));
+      if (hinted) {
+        stamped_keys[l] = CanonicalLabelKey(stamped[l]);
+      }
+    }
+
+    BatchDispatchHints hints;
+    // Original label id -> hint id, assigned lazily in part order so the
+    // hint table's first-appearance order matches what interning the
+    // materialised events would produce (distinct originals can stamp to
+    // one label, so this is a second, order-sensitive de-duplication).
+    std::vector<uint32_t> hint_id_of(hinted ? distinct_labels : 0, UINT32_MAX);
+    std::unordered_map<std::string, uint32_t> hint_intern;
+    // Rendered equality-index key per distinct (name id, string-literal id)
+    // pair; rows reference pairs, shapes are sorted de-duplicated pair sets.
+    std::unordered_map<uint64_t, uint32_t> pair_of;
+    std::vector<std::string> pair_keys;
+    std::map<std::vector<uint32_t>, uint32_t> shape_of;
+    const bool index_on = config.use_subscription_index;
+
+    Status first_error = OkStatus();
+    std::vector<EventPtr> masters;
+    masters.reserve(rows);
+    std::vector<uint32_t> row_pairs;
+    for (size_t r = 0; r < rows; ++r) {
+      const size_t begin = batch.parts_begin(r);
+      const size_t end = batch.parts_end(r);
+      if (begin == end) {
+        stats.events_dropped_empty.fetch_add(1, std::memory_order_relaxed);
+        if (first_error.ok()) {
+          first_error = InvalidArgument("events without parts are dropped");
+        }
+        continue;
+      }
+      auto event = std::make_shared<Event>(next_event_id.fetch_add(1), state->id);
+      event->set_origin_ns(batch.origin_ns(r) != 0
+                               ? batch.origin_ns(r)
+                               : (state->current_delivery_origin_ns != 0
+                                      ? state->current_delivery_origin_ns
+                                      : MonotonicNowNs()));
+      std::vector<uint32_t> row_label_ids;
+      if (hinted) {
+        row_label_ids.reserve(end - begin);
+        row_pairs.clear();
+      }
+      for (size_t p = begin; p < end; ++p) {
+        const uint32_t orig = batch.label_id(p);
+        Part part;
+        part.name.assign(batch.name(batch.name_id(p)));
+        part.label = stamped[orig];
+        Value data = batch.value(p);
+        if (security_on()) {
+          data.Freeze();  // shared references are only safe for immutable data
+        }
+        part.data = std::move(data);
+        part.author_unit_id = state->id;
+        event->AppendPart(std::move(part));
+        stats.parts_added.fetch_add(1, std::memory_order_relaxed);
+        if (!hinted) {
+          continue;
+        }
+        uint32_t hid = hint_id_of[orig];
+        if (hid == UINT32_MAX) {
+          const auto [it, inserted] = hint_intern.emplace(
+              stamped_keys[orig], static_cast<uint32_t>(hints.label_keys.size()));
+          if (inserted) {
+            hints.label_keys.push_back(stamped_keys[orig]);
+          }
+          hid = it->second;
+          hint_id_of[orig] = hid;
+        }
+        row_label_ids.push_back(hid);
+        if (index_on && batch.svalue_id(p) != EventBatch::kNoStringValue) {
+          const uint64_t pair = (static_cast<uint64_t>(batch.name_id(p)) << 32) |
+                                batch.svalue_id(p);
+          const auto [it, inserted] =
+              pair_of.emplace(pair, static_cast<uint32_t>(pair_keys.size()));
+          if (inserted) {
+            const std::string_view name = batch.name(batch.name_id(p));
+            const std::string_view literal = batch.svalue(batch.svalue_id(p));
+            std::string key;
+            key.reserve(name.size() + literal.size() + 1);
+            key.append(name);
+            key += '\x1f';
+            key.append(literal);
+            pair_keys.push_back(std::move(key));
+          }
+          row_pairs.push_back(it->second);
+        }
+      }
+      stats.events_published.fetch_add(1, std::memory_order_relaxed);
+      masters.push_back(std::move(event));
+      if (hinted) {
+        hints.event_label_ids.push_back(std::move(row_label_ids));
+        // Distinct pairs render distinct key strings, so the sorted
+        // de-duplicated pair set identifies the key set losslessly.
+        std::sort(row_pairs.begin(), row_pairs.end());
+        row_pairs.erase(std::unique(row_pairs.begin(), row_pairs.end()), row_pairs.end());
+        const auto [it, inserted] =
+            shape_of.emplace(row_pairs, static_cast<uint32_t>(hints.shape_keys.size()));
+        if (inserted) {
+          std::vector<std::string> keys;
+          keys.reserve(row_pairs.size());
+          for (const uint32_t k : row_pairs) {
+            keys.push_back(pair_keys[k]);
+          }
+          std::sort(keys.begin(), keys.end());  // CollectEventKeys sorts by string
+          hints.shape_sigs.push_back(SignatureOfKeys(keys));
+          hints.shape_keys.push_back(std::move(keys));
+        }
+        hints.event_shape.push_back(it->second);
+      }
+    }
+    if (published != nullptr) {
+      *published = masters.size();
+    }
+    if (hinted && masters.size() > 1) {
+      DispatchBatch(std::move(masters), &hints);
+    } else {
+      DispatchBatch(std::move(masters));
+    }
+    engine->accountant_.Release(batch_bytes);
+    return first_error;
   }
 
   // When `sink` is null the next delivery turn is posted to the executor
@@ -1552,6 +1850,14 @@ struct Engine::Impl {
     record->managed = managed;
     record->factory = std::move(factory);
 
+    // Slot BEFORE the record becomes discoverable: a dispatch that matches
+    // this subscription must observe the owner's flow slot (see
+    // EnsureFlowSlot for the ordering argument).
+    auto owner_unit = FindUnit(owner);
+    if (owner_unit != nullptr) {
+      EnsureFlowSlot(owner_unit.get());
+    }
+
     const auto keys =
         config.use_subscription_index ? filter.CollectIndexKeys()
                                       : std::vector<std::pair<std::string, std::string>>();
@@ -1603,7 +1909,6 @@ struct Engine::Impl {
       // handshake; see GetShardCandidates). Only this shard goes cold.
       shard.generation.fetch_add(1, std::memory_order_release);
     }
-    auto owner_unit = FindUnit(owner);
     if (owner_unit != nullptr) {
       owner_unit->owned_subs.push_back(record);
     }
@@ -1923,6 +2228,10 @@ Status UnitContext::PublishBatch(const std::vector<EventHandle>& events, size_t*
   }
   impl->DispatchBatch(std::move(masters));
   return first_error;
+}
+
+Status UnitContext::PublishEventBatch(const EventBatch& batch, size_t* published) {
+  return engine_->impl_->PublishEventBatch(state_, batch, published);
 }
 
 EventBuilder UnitContext::BuildEvent() { return EventBuilder(this, CreateEvent()); }

@@ -63,6 +63,22 @@ struct EngineConfig {
   //   0 (default) => one shard per hardware thread (capped at 64);
   //   1           => the pre-sharding single-index behaviour.
   size_t index_shards = 0;
+  // Columnar batch data plane (PR 7). When on, UnitContext::PublishEventBatch
+  // dispatches straight off the batch's interned columns: one label stamp and
+  // one rendered label key per DISTINCT label id, one rendered index key per
+  // distinct (name, literal) pair, flow verdicts served per distinct label id
+  // instead of per part. When off, batches are lowered to the part-map plane
+  // event by event — the escape hatch and the A/B baseline. Delivery
+  // transcripts must be byte-identical either way (tests enforce this in all
+  // four security modes).
+  bool batch_plane = true;
+  // Flow snapshots (the dispatch cache's per-label CanFlowTo verdict vectors)
+  // are dense arrays indexed by a unit's flow slot; slots above this limit
+  // fall back to per-batch verdicts. Slots are compacted through a free list
+  // (see EngineStatsSnapshot::flow_slots_reused), so long-churn runs stay
+  // under the cap; the knob is configurable so tests can exercise the
+  // fallback without creating 2^16 units.
+  uint32_t flow_dense_limit = 1u << 16;
 };
 
 // Monotonic counters exposed for tests and benchmarks. Trusted-side only —
@@ -77,6 +93,15 @@ struct EngineStatsSnapshot {
   uint64_t batch_publishes = 0;
   uint64_t batch_events = 0;
   uint64_t batch_flow_memo_hits = 0;
+  // Columnar-plane accounting: PublishEventBatch calls that dispatched with
+  // precomputed column hints (label keys / index keys reused per distinct
+  // id), and events that flowed through them.
+  uint64_t batch_plane_publishes = 0;
+  uint64_t batch_plane_events = 0;
+  // Flow-slot compaction: slots recycled from removed units' free list, and
+  // the densest slot ever issued (the dense-snapshot footprint high water).
+  uint64_t flow_slots_reused = 0;
+  uint64_t flow_slot_high_water = 0;
   // Persistent dispatch-cache accounting: candidate-list lookups served from
   // (or inserted into) the cross-batch cache, CanFlowTo decisions answered
   // from the persistent flow cache, managed-subscription label joins reused,

@@ -1,0 +1,159 @@
+#include "src/core/event_batch.h"
+
+#include <cstring>
+
+namespace defcon {
+
+void AppendCanonicalTagKey(std::string* out, const Tag& tag) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out->push_back(kHex[(tag.hi >> shift) & 0xF]);
+  }
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out->push_back(kHex[(tag.lo >> shift) & 0xF]);
+  }
+}
+
+std::string CanonicalLabelKey(const Label& label) {
+  std::string key;
+  key.reserve(33 * (label.secrecy.size() + label.integrity.size()) + 2);
+  for (const Tag& tag : label.secrecy) {
+    AppendCanonicalTagKey(&key, tag);
+    key += ',';
+  }
+  key += '|';
+  for (const Tag& tag : label.integrity) {
+    AppendCanonicalTagKey(&key, tag);
+    key += ',';
+  }
+  return key;
+}
+
+// --- Arena -------------------------------------------------------------------
+
+std::string_view Arena::Intern(std::string_view bytes) {
+  if (bytes.empty()) {
+    return std::string_view();
+  }
+  if (chunks_.empty() || last_used_ + bytes.size() > last_capacity_) {
+    const size_t capacity = bytes.size() > kChunkBytes ? bytes.size() : kChunkBytes;
+    chunks_.push_back(std::make_unique<char[]>(capacity));
+    last_capacity_ = capacity;
+    last_used_ = 0;
+    reserved_ += capacity;
+  }
+  char* dest = chunks_.back().get() + last_used_;
+  std::memcpy(dest, bytes.data(), bytes.size());
+  last_used_ += bytes.size();
+  used_ += bytes.size();
+  return std::string_view(dest, bytes.size());
+}
+
+// --- StringInterner ----------------------------------------------------------
+
+uint32_t StringInterner::Intern(std::string_view bytes) {
+  auto it = ids_.find(bytes);
+  if (it != ids_.end()) {
+    return it->second;
+  }
+  const std::string_view stable = arena_->Intern(bytes);
+  const uint32_t id = static_cast<uint32_t>(entries_.size());
+  entries_.push_back(stable);
+  ids_.emplace(stable, id);
+  return id;
+}
+
+// --- LabelInterner -----------------------------------------------------------
+
+uint32_t LabelInterner::Acquire(const Label& label) {
+  std::string key = CanonicalLabelKey(label);
+  auto it = ids_.find(key);
+  if (it != ids_.end()) {
+    if (entries_[it->second].refs++ == 0) {
+      ++live_;
+    }
+    return it->second;
+  }
+  uint32_t id;
+  if (!free_ids_.empty()) {
+    id = free_ids_.back();
+    free_ids_.pop_back();
+    entries_[id].label = label;
+    entries_[id].key = key;
+    entries_[id].refs = 1;
+  } else {
+    id = static_cast<uint32_t>(entries_.size());
+    entries_.push_back(Entry{label, key, 1});
+  }
+  ids_.emplace(std::move(key), id);
+  ++live_;
+  return id;
+}
+
+bool LabelInterner::Release(uint32_t id) {
+  Entry& entry = entries_[id];
+  if (--entry.refs > 0) {
+    return false;
+  }
+  ids_.erase(entry.key);
+  entry.label = Label();
+  entry.key.clear();
+  free_ids_.push_back(id);
+  --live_;
+  return true;
+}
+
+size_t LabelInterner::EstimateBytes() const {
+  size_t bytes = sizeof(LabelInterner) + entries_.capacity() * sizeof(Entry) +
+                 free_ids_.capacity() * sizeof(uint32_t);
+  for (const Entry& entry : entries_) {
+    bytes += entry.label.EstimateBytes() + entry.key.capacity();
+  }
+  // The key->id map duplicates each live key.
+  for (const auto& [key, id] : ids_) {
+    bytes += key.capacity() + sizeof(uint32_t);
+  }
+  return bytes;
+}
+
+// --- EventBatch --------------------------------------------------------------
+
+size_t EventBatch::EstimateBytes() const {
+  return sizeof(EventBatch) + arena_.bytes_reserved() + labels_.EstimateBytes() +
+         origins_.capacity() * sizeof(int64_t) +
+         part_offsets_.capacity() * sizeof(uint32_t) +
+         (name_ids_.capacity() + label_ids_.capacity() + svalue_ids_.capacity()) *
+             sizeof(uint32_t) +
+         values_.capacity() * sizeof(Value) + value_bytes_;
+}
+
+// --- BatchBuilder ------------------------------------------------------------
+
+BatchBuilder& BatchBuilder::BeginEvent(int64_t origin_ns) {
+  batch_.origins_.push_back(origin_ns);
+  batch_.part_offsets_.push_back(static_cast<uint32_t>(batch_.values_.size()));
+  return *this;
+}
+
+BatchBuilder& BatchBuilder::Part(const Label& label, std::string_view name, Value value) {
+  if (batch_.origins_.empty()) {
+    BeginEvent();
+  }
+  batch_.name_ids_.push_back(batch_.names_.Intern(name));
+  batch_.label_ids_.push_back(batch_.labels_.Acquire(label));
+  batch_.svalue_ids_.push_back(value.kind() == Value::Kind::kString
+                                   ? batch_.svalues_.Intern(value.string_value())
+                                   : EventBatch::kNoStringValue);
+  batch_.value_bytes_ += value.EstimateBytes();
+  batch_.values_.push_back(std::move(value));
+  batch_.part_offsets_.back() = static_cast<uint32_t>(batch_.values_.size());
+  return *this;
+}
+
+EventBatch BatchBuilder::Build() {
+  EventBatch out = std::move(batch_);
+  batch_ = EventBatch();
+  return out;
+}
+
+}  // namespace defcon

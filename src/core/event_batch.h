@@ -1,0 +1,207 @@
+// Columnar event batches: the arena-backed structure-of-arrays data plane.
+//
+// A part-map Event is the right *sharing* unit for the DEFC model (per-part
+// labels, append-only concurrency, freeze-and-share), but it is a poor
+// *production* unit: a source emitting thousands of ticks per turn allocates
+// a part vector, copies the part name, and re-renders the label for every
+// single part, even though a tick batch has a handful of distinct names,
+// labels and symbols. EventBatch keeps one arena and four contiguous columns:
+//
+//   origins   : int64  per event  — origin timestamp (0 = "assign at publish")
+//   offsets   : uint32 per event  — part range [offsets[e], offsets[e+1])
+//   name_ids  : uint32 per part   — id into the interned-name table
+//   label_ids : uint32 per part   — id into the interned-label vector
+//   values    : Value  per part   — payload (string payloads also interned)
+//
+// Interning happens once at build time, so the publish path can stamp and
+// render each DISTINCT label once, render each distinct (name, literal) index
+// key once, and serve flow verdicts per distinct label id instead of per
+// event. LabelInterner is refcounted so long-lived consumers (the CEP sliding
+// accumulator) can track distinct live labels exactly and recycle ids.
+//
+// A batch is a *pre-publication* structure: it is built and published by one
+// unit inside one turn and never shared across isolates, so it carries no
+// locks. The engine materialises per-event Events at publish time (identity
+// and delivery semantics are byte-identical to the part-map plane — that is
+// the correctness gate for EngineConfig::batch_plane).
+#ifndef DEFCON_SRC_CORE_EVENT_BATCH_H_
+#define DEFCON_SRC_CORE_EVENT_BATCH_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/label.h"
+#include "src/freeze/value.h"
+
+namespace defcon {
+
+// Canonical textual key for a label: tag sets are sorted and tags render
+// full-width (32 hex digits) in a separator-free alphabet, ',' between tags
+// and '|' between the secrecy and integrity components, so the rendering is
+// lossless — no truncation, no collisions. The dispatch cache serves
+// CanFlowTo verdicts by this key, so collision-freedom is security-critical.
+// (Single source of truth; the engine's caches and the batch plane must agree
+// byte-for-byte or transcript equality between the planes breaks.)
+void AppendCanonicalTagKey(std::string* out, const Tag& tag);
+std::string CanonicalLabelKey(const Label& label);
+
+// Chunked bump allocator for interned byte strings. Returned views stay
+// stable for the arena's lifetime: chunks are never reallocated, only added.
+class Arena {
+ public:
+  std::string_view Intern(std::string_view bytes);
+
+  // Bytes reserved by all chunks (the accountant's view) / bytes handed out.
+  size_t bytes_reserved() const { return reserved_; }
+  size_t bytes_used() const { return used_; }
+
+ private:
+  static constexpr size_t kChunkBytes = 16 * 1024;
+
+  std::vector<std::unique_ptr<char[]>> chunks_;
+  size_t last_capacity_ = 0;
+  size_t last_used_ = 0;
+  size_t reserved_ = 0;
+  size_t used_ = 0;
+};
+
+// String interner over an Arena: id <-> bytes, first-appearance id order.
+class StringInterner {
+ public:
+  explicit StringInterner(Arena* arena) : arena_(arena) {}
+
+  uint32_t Intern(std::string_view bytes);
+  std::string_view at(uint32_t id) const { return entries_[id]; }
+  size_t size() const { return entries_.size(); }
+
+ private:
+  Arena* arena_;
+  std::unordered_map<std::string_view, uint32_t> ids_;  // keys live in arena_
+  std::vector<std::string_view> entries_;
+};
+
+// Refcounted label interner: one id per distinct label, the canonical key
+// rendered once, ids recycled when their refcount drains (a sliding window's
+// set of distinct live labels stays dense no matter how many labels pass
+// through over the stream's lifetime).
+class LabelInterner {
+ public:
+  // Interns (first sight) and adds one reference. Returns the label's id.
+  uint32_t Acquire(const Label& label);
+  // Drops one reference; returns true when this was the last (the id is
+  // recycled and must not be dereferenced afterwards).
+  bool Release(uint32_t id);
+
+  const Label& label(uint32_t id) const { return entries_[id].label; }
+  const std::string& key(uint32_t id) const { return entries_[id].key; }
+  size_t refs(uint32_t id) const { return entries_[id].refs; }
+
+  // Number of distinct live labels / upper bound on ever-issued ids.
+  size_t live() const { return live_; }
+  size_t slot_count() const { return entries_.size(); }
+
+  // Visits every live (id, label, refs) entry.
+  template <typename Fn>
+  void ForEachLive(Fn&& fn) const {
+    for (uint32_t id = 0; id < entries_.size(); ++id) {
+      if (entries_[id].refs > 0) {
+        fn(id, entries_[id].label, entries_[id].refs);
+      }
+    }
+  }
+
+  size_t EstimateBytes() const;
+
+ private:
+  struct Entry {
+    Label label;
+    std::string key;
+    size_t refs = 0;
+  };
+
+  std::unordered_map<std::string, uint32_t> ids_;
+  std::vector<Entry> entries_;
+  std::vector<uint32_t> free_ids_;
+  size_t live_ = 0;
+};
+
+class BatchBuilder;
+
+class EventBatch {
+ public:
+  static constexpr uint32_t kNoStringValue = UINT32_MAX;
+
+  EventBatch() { part_offsets_.push_back(0); }
+
+  size_t event_count() const { return origins_.size(); }
+  size_t size() const { return event_count(); }
+  bool empty() const { return origins_.empty(); }
+  size_t part_count() const { return values_.size(); }
+
+  // Per-event accessors.
+  int64_t origin_ns(size_t event) const { return origins_[event]; }
+  size_t parts_begin(size_t event) const { return part_offsets_[event]; }
+  size_t parts_end(size_t event) const { return part_offsets_[event + 1]; }
+
+  // Per-part columns (global part index).
+  uint32_t name_id(size_t part) const { return name_ids_[part]; }
+  uint32_t label_id(size_t part) const { return label_ids_[part]; }
+  // Interned-string id of a kString value, kNoStringValue otherwise (lets the
+  // publish path render each distinct (name, literal) index key once).
+  uint32_t svalue_id(size_t part) const { return svalue_ids_[part]; }
+  const Value& value(size_t part) const { return values_[part]; }
+
+  // Interned tables.
+  std::string_view name(uint32_t name_id) const { return names_.at(name_id); }
+  std::string_view svalue(uint32_t svalue_id) const { return svalues_.at(svalue_id); }
+  const Label& label(uint32_t label_id) const { return labels_.label(label_id); }
+  const std::string& label_key(uint32_t label_id) const { return labels_.key(label_id); }
+  size_t distinct_names() const { return names_.size(); }
+  size_t distinct_svalues() const { return svalues_.size(); }
+  size_t distinct_labels() const { return labels_.slot_count(); }
+
+  // Approximate heap footprint: arena chunks, columns, interned labels and
+  // value payloads — what the memory accountant charges for the batch's
+  // lifetime across dispatch (fig7's batch-plane column reads this).
+  size_t EstimateBytes() const;
+
+ private:
+  friend class BatchBuilder;
+
+  Arena arena_;
+  StringInterner names_{&arena_};
+  StringInterner svalues_{&arena_};
+  LabelInterner labels_;
+  std::vector<int64_t> origins_;
+  std::vector<uint32_t> part_offsets_;  // event_count() + 1 entries
+  std::vector<uint32_t> name_ids_;
+  std::vector<uint32_t> label_ids_;
+  std::vector<uint32_t> svalue_ids_;
+  std::vector<Value> values_;
+  size_t value_bytes_ = 0;
+};
+
+// Builds an EventBatch row by row. Part() before any BeginEvent() opens an
+// event with origin 0 ("assign at publish", same rule as NewCreatedEvent).
+class BatchBuilder {
+ public:
+  BatchBuilder& BeginEvent(int64_t origin_ns = 0);
+  BatchBuilder& Part(const Label& label, std::string_view name, Value value);
+
+  size_t event_count() const { return batch_.event_count(); }
+  size_t part_count() const { return batch_.part_count(); }
+
+  // Finalises and hands the batch over; the builder resets to empty.
+  EventBatch Build();
+
+ private:
+  EventBatch batch_;
+};
+
+}  // namespace defcon
+
+#endif  // DEFCON_SRC_CORE_EVENT_BATCH_H_

@@ -31,6 +31,7 @@
 namespace defcon {
 
 class Engine;
+class EventBatch;
 class EventBuilder;
 class UnitContext;
 struct UnitState;
@@ -150,6 +151,18 @@ class UnitContext {
   // caller's own events that entered dispatch, which the caller could derive
   // itself by publishing one at a time.
   Status PublishBatch(const std::vector<EventHandle>& events, size_t* published = nullptr);
+
+  // Publishes a columnar EventBatch (see src/core/event_batch.h): every row
+  // becomes one event, stamped with the unit's output label and dispatched
+  // as a group. With EngineConfig::batch_plane the dispatcher reuses the
+  // batch's interned columns — one stamp / rendered key per distinct label,
+  // one index key per distinct (name, literal) — instead of re-deriving them
+  // per part; without it the batch is lowered event by event through the
+  // part-map plane. Delivery semantics, event identity and counters are
+  // byte-identical either way. Rows with no parts are dropped (first such
+  // error is returned, as in PublishBatch); `published` receives the number
+  // of rows that entered dispatch.
+  Status PublishEventBatch(const EventBatch& batch, size_t* published = nullptr);
 
   // release(e): lets the dispatcher continue delivering a received event to
   // other units (§3.1.6). Implicit when OnEvent returns.

@@ -25,21 +25,27 @@ class ImportUnit : public Unit {
 
   void OnEvent(UnitContext& ctx, EventHandle event, SubscriptionId sub) override {}
 
-  // Invoked through Engine::InjectTurn by the export side.
+  // Invoked through Engine::InjectTurn by the export side. Decodes either
+  // wire version (the in-process exporter stays on v1, but the importer is
+  // deliberately version-agnostic — live mixed-version coverage).
   void Republish(UnitContext& ctx, const std::vector<uint8_t>& payload) {
-    int64_t origin_ns = 0;
-    auto parts = DecodeRelay(payload, &origin_ns);
-    if (!parts.ok() || parts->empty()) {
+    auto events = DecodeRelayAny(payload);
+    if (!events.ok()) {
       return;
     }
-    auto event = ctx.CreateEvent();
-    if (!event.ok()) {
-      return;
+    for (const RelayEvent& relayed : *events) {
+      if (relayed.parts.empty()) {
+        continue;
+      }
+      auto event = ctx.CreateEvent();
+      if (!event.ok()) {
+        return;
+      }
+      for (const RelayedPart& part : relayed.parts) {
+        (void)ctx.AddPart(*event, part.label, part.name, part.data);
+      }
+      (void)ctx.Publish(*event);
     }
-    for (const RelayedPart& part : *parts) {
-      (void)ctx.AddPart(*event, part.label, part.name, part.data);
-    }
-    (void)ctx.Publish(*event);
   }
 
  private:

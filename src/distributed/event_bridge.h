@@ -44,6 +44,13 @@ struct BridgeConfig {
   PrivilegeSet export_privileges;
   TagSet import_integrity;
   PrivilegeSet import_privileges;
+  // Relay wire version for the EXPORT side (PR 7): true encodes v2 columnar
+  // frames (interned name/label tables + per-part id columns, see
+  // relay_codec.h), false the v1 per-part format. Importers always accept
+  // both (DecodeRelayAny), so a mesh can mix versions node by node. The
+  // in-process EventBridge ignores this and stays on v1 — it is the living
+  // mixed-version coverage in every bridge test.
+  bool columnar_wire = true;
 };
 
 // Connects two engines in-process (the distributed substrate is the wire

@@ -1,5 +1,8 @@
 #include "src/distributed/relay_codec.h"
 
+#include <unordered_map>
+
+#include "src/core/event_batch.h"
 #include "src/ipc/wire.h"
 
 namespace defcon {
@@ -35,6 +38,211 @@ Result<std::vector<RelayedPart>> DecodeRelay(const std::vector<uint8_t>& payload
     parts.push_back(std::move(part));
   }
   return parts;
+}
+
+// --- relay wire v2: columnar frames ------------------------------------------
+
+namespace {
+
+// Borrowed view of one part, so both encoder entry points (RelayEvent vectors
+// and the exporters' NamedPartView projections) share one core without
+// copying names, labels or values.
+struct PartRef {
+  const std::string* name;
+  const Label* label;
+  const Value* data;
+};
+
+// Build-side interning tables. Labels intern by canonical key (the same
+// collision-free rendering the engine's caches use).
+struct ColumnTables {
+  std::unordered_map<std::string, uint32_t> name_ids;
+  std::vector<const std::string*> names;
+  std::unordered_map<std::string, uint32_t> label_ids;
+  std::vector<const Label*> labels;
+
+  uint32_t NameId(const std::string& name) {
+    const auto [it, inserted] = name_ids.emplace(name, static_cast<uint32_t>(names.size()));
+    if (inserted) {
+      names.push_back(&name);
+    }
+    return it->second;
+  }
+  uint32_t LabelId(const Label& label) {
+    const auto [it, inserted] =
+        label_ids.emplace(CanonicalLabelKey(label), static_cast<uint32_t>(labels.size()));
+    if (inserted) {
+      labels.push_back(&label);
+    }
+    return it->second;
+  }
+};
+
+std::vector<uint8_t> EncodeRelayColumnarImpl(const std::vector<int64_t>& origins,
+                                             const std::vector<std::vector<PartRef>>& events) {
+  ColumnTables tables;
+  std::vector<uint32_t> name_col;
+  std::vector<uint32_t> label_col;
+  for (const std::vector<PartRef>& parts : events) {
+    for (const PartRef& part : parts) {
+      name_col.push_back(tables.NameId(*part.name));
+      label_col.push_back(tables.LabelId(*part.label));
+    }
+  }
+  WireWriter body;
+  body.PutVarint(events.size());
+  body.PutVarint(tables.names.size());
+  for (const std::string* name : tables.names) {
+    body.PutString(*name);
+  }
+  body.PutVarint(tables.labels.size());
+  for (const Label* label : tables.labels) {
+    EncodeLabel(*label, &body);
+  }
+  for (const int64_t origin : origins) {
+    body.PutZigzag(origin);
+  }
+  for (const std::vector<PartRef>& parts : events) {
+    body.PutVarint(parts.size());
+  }
+  for (const uint32_t id : name_col) {
+    body.PutVarint(id);
+  }
+  for (const uint32_t id : label_col) {
+    body.PutVarint(id);
+  }
+  for (const std::vector<PartRef>& parts : events) {
+    for (const PartRef& part : parts) {
+      EncodeValue(*part.data, &body);
+    }
+  }
+  std::vector<uint8_t> out;
+  out.reserve(2 + body.size());
+  out.push_back(kRelayColumnarMagic0);
+  out.push_back(kRelayColumnarMagic1);
+  const std::vector<uint8_t>& bytes = body.buffer();
+  out.insert(out.end(), bytes.begin(), bytes.end());
+  return out;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeRelayColumnar(const std::vector<RelayEvent>& events) {
+  std::vector<int64_t> origins;
+  std::vector<std::vector<PartRef>> refs;
+  origins.reserve(events.size());
+  refs.reserve(events.size());
+  for (const RelayEvent& event : events) {
+    origins.push_back(event.origin_ns);
+    std::vector<PartRef> parts;
+    parts.reserve(event.parts.size());
+    for (const RelayedPart& part : event.parts) {
+      parts.push_back(PartRef{&part.name, &part.label, &part.data});
+    }
+    refs.push_back(std::move(parts));
+  }
+  return EncodeRelayColumnarImpl(origins, refs);
+}
+
+std::vector<uint8_t> EncodeRelayColumnar(int64_t origin_ns,
+                                         const std::vector<NamedPartView>& parts) {
+  std::vector<PartRef> refs;
+  refs.reserve(parts.size());
+  for (const NamedPartView& part : parts) {
+    refs.push_back(PartRef{&part.name, &part.label, &part.data});
+  }
+  return EncodeRelayColumnarImpl({origin_ns}, {std::move(refs)});
+}
+
+Result<std::vector<RelayEvent>> DecodeRelayBatch(const std::vector<uint8_t>& payload) {
+  if (!IsColumnarRelayPayload(payload.data(), payload.size())) {
+    return IoError("columnar relay payload lacks the v2 magic");
+  }
+  WireReader reader(payload.data() + 2, payload.size() - 2);
+  DEFCON_ASSIGN_OR_RETURN(uint64_t event_count, reader.Varint());
+  if (event_count > reader.remaining()) {
+    return IoError("columnar relay event count exceeds payload");
+  }
+  DEFCON_ASSIGN_OR_RETURN(uint64_t name_count, reader.Varint());
+  if (name_count > reader.remaining()) {
+    return IoError("columnar relay name count exceeds payload");
+  }
+  std::vector<std::string> names;
+  names.reserve(static_cast<size_t>(name_count));
+  for (uint64_t i = 0; i < name_count; ++i) {
+    DEFCON_ASSIGN_OR_RETURN(std::string name, reader.String());
+    names.push_back(std::move(name));
+  }
+  DEFCON_ASSIGN_OR_RETURN(uint64_t label_count, reader.Varint());
+  if (label_count > reader.remaining()) {
+    return IoError("columnar relay label count exceeds payload");
+  }
+  std::vector<Label> labels;
+  labels.reserve(static_cast<size_t>(label_count));
+  for (uint64_t i = 0; i < label_count; ++i) {
+    DEFCON_ASSIGN_OR_RETURN(Label label, DecodeLabel(&reader));
+    labels.push_back(std::move(label));
+  }
+  std::vector<RelayEvent> events(static_cast<size_t>(event_count));
+  for (RelayEvent& event : events) {
+    DEFCON_ASSIGN_OR_RETURN(event.origin_ns, reader.Zigzag());
+  }
+  uint64_t total_parts = 0;
+  std::vector<uint64_t> part_counts(static_cast<size_t>(event_count));
+  for (uint64_t i = 0; i < event_count; ++i) {
+    DEFCON_ASSIGN_OR_RETURN(part_counts[i], reader.Varint());
+    // Per-event check BEFORE summing: each count is bounded by the payload,
+    // so the running total cannot wrap uint64 no matter how many events a
+    // hostile frame declares. Each part still owes >= 2 id bytes and >= 1
+    // value byte downstream.
+    if (part_counts[i] > reader.remaining()) {
+      return IoError("columnar relay part count exceeds payload");
+    }
+    total_parts += part_counts[i];
+    if (total_parts > reader.remaining()) {
+      return IoError("columnar relay part count exceeds payload");
+    }
+  }
+  std::vector<uint32_t> name_col(static_cast<size_t>(total_parts));
+  for (uint64_t i = 0; i < total_parts; ++i) {
+    DEFCON_ASSIGN_OR_RETURN(uint64_t id, reader.Varint());
+    if (id >= name_count) {
+      return IoError("columnar relay name id out of range");
+    }
+    name_col[i] = static_cast<uint32_t>(id);
+  }
+  std::vector<uint32_t> label_col(static_cast<size_t>(total_parts));
+  for (uint64_t i = 0; i < total_parts; ++i) {
+    DEFCON_ASSIGN_OR_RETURN(uint64_t id, reader.Varint());
+    if (id >= label_count) {
+      return IoError("columnar relay label id out of range");
+    }
+    label_col[i] = static_cast<uint32_t>(id);
+  }
+  uint64_t part = 0;
+  for (uint64_t i = 0; i < event_count; ++i) {
+    events[i].parts.reserve(static_cast<size_t>(part_counts[i]));
+    for (uint64_t j = 0; j < part_counts[i]; ++j, ++part) {
+      RelayedPart out;
+      out.name = names[name_col[part]];
+      out.label = labels[label_col[part]];
+      DEFCON_ASSIGN_OR_RETURN(out.data, DecodeValue(&reader));
+      out.data.Freeze();
+      events[i].parts.push_back(std::move(out));
+    }
+  }
+  return events;
+}
+
+Result<std::vector<RelayEvent>> DecodeRelayAny(const std::vector<uint8_t>& payload) {
+  if (IsColumnarRelayPayload(payload.data(), payload.size())) {
+    return DecodeRelayBatch(payload);
+  }
+  RelayEvent event;
+  DEFCON_ASSIGN_OR_RETURN(event.parts, DecodeRelay(payload, &event.origin_ns));
+  std::vector<RelayEvent> events;
+  events.push_back(std::move(event));
+  return events;
 }
 
 }  // namespace defcon

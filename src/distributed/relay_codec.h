@@ -34,6 +34,57 @@ std::vector<uint8_t> EncodeRelay(int64_t origin_ns, const std::vector<NamedPartV
 Result<std::vector<RelayedPart>> DecodeRelay(const std::vector<uint8_t>& payload,
                                              int64_t* origin_ns);
 
+// --- relay wire v2: columnar frames (PR 7) -----------------------------------
+//
+// The v1 payload re-encodes the part name and the full label for every part;
+// a tick batch has three distinct names and ONE distinct label, so nearly the
+// whole payload is redundant label bytes. The v2 payload is columnar: after
+// the two magic bytes (kRelayColumnarMagic0/1, see wire.h) come interned
+// name and label tables, then per-event origin and part-count columns, then
+// per-part name-id / label-id columns, then the concatenated value column:
+//
+//   0xAD 0x02
+//   varint event_count
+//   varint name_count,  name_count  × string     (interned part names)
+//   varint label_count, label_count × label      (interned labels)
+//   event_count × zigzag origin_ns
+//   event_count × varint part_count
+//   total_parts × varint name_id                 (id < name_count)
+//   total_parts × varint label_id                (id < label_count)
+//   total_parts × value
+//
+// Export-clearance filtering happens BEFORE encoding (the exporter encodes
+// its visible projection), so an invisible part contributes no bytes to any
+// column or table — the byte-level "secrets never reach the wire" property
+// of the v1 path is preserved verbatim. Grants are still never relayed.
+//
+// The decoder validates every count against the remaining payload before
+// allocating, bounds-checks every id against its table, and decodes values
+// through the depth-limited DecodeValue — the corrupt/truncated/hostile
+// input treatment matches the v1 hardening suite.
+
+// One relayed event of a columnar frame.
+struct RelayEvent {
+  int64_t origin_ns = 0;
+  std::vector<RelayedPart> parts;
+};
+
+// Serialises a batch of relayed events as one v2 columnar payload.
+std::vector<uint8_t> EncodeRelayColumnar(const std::vector<RelayEvent>& events);
+
+// Single-event convenience for the export units (visible projection in,
+// frame out) — avoids copying the projection into a RelayEvent.
+std::vector<uint8_t> EncodeRelayColumnar(int64_t origin_ns,
+                                         const std::vector<NamedPartView>& parts);
+
+// Decodes a v2 columnar payload (the magic bytes are required).
+Result<std::vector<RelayEvent>> DecodeRelayBatch(const std::vector<uint8_t>& payload);
+
+// Version-dispatching decoder: v2 payloads (by magic) decode as a batch, v1
+// payloads as a single-event batch. This is what importers call, so one mesh
+// can mix v1 and v2 exporters (mixed-version rolling upgrade).
+Result<std::vector<RelayEvent>> DecodeRelayAny(const std::vector<uint8_t>& payload);
+
 }  // namespace defcon
 
 #endif  // DEFCON_SRC_DISTRIBUTED_RELAY_CODEC_H_

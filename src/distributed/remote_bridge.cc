@@ -23,12 +23,13 @@ namespace {
 // cannot serialise.
 class RemoteExportUnit : public Unit {
  public:
-  RemoteExportUnit(Filter filter, ExportRoute route,
+  RemoteExportUnit(Filter filter, ExportRoute route, bool columnar_wire,
                    std::shared_ptr<std::atomic<uint64_t>> exported,
                    std::shared_ptr<std::atomic<uint64_t>> parts,
                    std::shared_ptr<std::atomic<uint64_t>> overflow)
       : filter_(std::move(filter)),
         route_(std::move(route)),
+        columnar_wire_(columnar_wire),
         exported_(std::move(exported)),
         parts_(std::move(parts)),
         overflow_(std::move(overflow)) {}
@@ -47,7 +48,10 @@ class RemoteExportUnit : public Unit {
       return;
     }
     const int64_t origin = ctx.EventOrigin(event).value_or(0);
-    auto payload = EncodeRelay(origin, *parts);
+    // Both encoders see only the visible projection: a part this unit's
+    // clearance cannot read contributes no bytes to either wire version.
+    auto payload = columnar_wire_ ? EncodeRelayColumnar(origin, *parts)
+                                  : EncodeRelay(origin, *parts);
 
     // Route: by key-part value when configured and present, link 0 when no
     // key is configured, broadcast when the key part is invisible/absent.
@@ -91,6 +95,7 @@ class RemoteExportUnit : public Unit {
  private:
   Filter filter_;
   ExportRoute route_;
+  bool columnar_wire_;
   std::shared_ptr<std::atomic<uint64_t>> exported_;
   std::shared_ptr<std::atomic<uint64_t>> parts_;
   std::shared_ptr<std::atomic<uint64_t>> overflow_;
@@ -100,8 +105,9 @@ class RemoteExportUnit : public Unit {
 
 RemoteBridgeExporter::RemoteBridgeExporter(Engine* source, const BridgeConfig& config,
                                            ExportRoute route) {
-  auto unit = std::make_unique<RemoteExportUnit>(config.filter, std::move(route), exported_,
-                                                 parts_, overflow_);
+  auto unit = std::make_unique<RemoteExportUnit>(config.filter, std::move(route),
+                                                 config.columnar_wire, exported_, parts_,
+                                                 overflow_);
   source->AddUnit("mesh-export", std::move(unit), config.export_clearance,
                   config.export_privileges);
 }
@@ -135,33 +141,36 @@ class RemoteImportUnit : public Unit {
 
   void OnEvent(UnitContext& ctx, EventHandle event, SubscriptionId sub) override {}
 
-  // Invoked through Engine::InjectTurn by the transport handler.
+  // Invoked through Engine::InjectTurn by the transport handler. Accepts
+  // both wire versions (v2 columnar by magic, v1 otherwise), so the mesh can
+  // mix exporter versions node by node.
   void Republish(UnitContext& ctx, const std::vector<uint8_t>& payload) {
-    int64_t origin_ns = 0;
-    auto parts = DecodeRelay(payload, &origin_ns);
-    if (!parts.ok()) {
+    auto events = DecodeRelayAny(payload);
+    if (!events.ok()) {
       decode_errors_->fetch_add(1, std::memory_order_relaxed);
       return;
     }
-    if (parts->empty()) {
-      return;
-    }
-    auto event = ctx.CreateEvent();
-    if (!event.ok()) {
-      return;
-    }
-    for (const RelayedPart& part : *parts) {
-      for (const Tag& tag : part.label.integrity) {
-        if (!relay_integrity_.Contains(tag)) {
-          clipped_->fetch_add(1, std::memory_order_relaxed);
-          break;
-        }
+    for (const RelayEvent& relayed : *events) {
+      if (relayed.parts.empty()) {
+        continue;
       }
-      (void)ctx.AddPart(*event, part.label, part.name, part.data);
-    }
-    if (ctx.Publish(*event).ok()) {
-      imported_->fetch_add(1, std::memory_order_relaxed);
-      parts_->fetch_add(parts->size(), std::memory_order_relaxed);
+      auto event = ctx.CreateEvent();
+      if (!event.ok()) {
+        return;
+      }
+      for (const RelayedPart& part : relayed.parts) {
+        for (const Tag& tag : part.label.integrity) {
+          if (!relay_integrity_.Contains(tag)) {
+            clipped_->fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+        }
+        (void)ctx.AddPart(*event, part.label, part.name, part.data);
+      }
+      if (ctx.Publish(*event).ok()) {
+        imported_->fetch_add(1, std::memory_order_relaxed);
+        parts_->fetch_add(relayed.parts.size(), std::memory_order_relaxed);
+      }
     }
   }
 

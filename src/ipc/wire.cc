@@ -330,6 +330,10 @@ uint32_t GetU32Le(const uint8_t* data) {
 
 }  // namespace
 
+bool IsColumnarRelayPayload(const uint8_t* data, size_t size) {
+  return size >= 2 && data[0] == kRelayColumnarMagic0 && data[1] == kRelayColumnarMagic1;
+}
+
 uint32_t Crc32(const uint8_t* data, size_t size) {
   static const Crc32Table table;
   uint32_t crc = 0xFFFFFFFFu;

@@ -108,6 +108,22 @@ inline constexpr uint32_t kMaxFramePayload = 64u * 1024u * 1024u;
 // intact, not that they are sane).
 inline constexpr int kMaxValueDepth = 64;
 
+// --- columnar relay discrimination (relay wire v2) ---------------------------
+//
+// A v1 relay payload begins with zigzag(origin_ns); origins are non-negative
+// in every honest encoder, so the first payload byte always has its low bit
+// CLEAR. The v2 columnar relay payload (relay_codec.h) prefixes two magic
+// bytes whose first has the low bit SET, making version dispatch on the
+// leading byte unambiguous between honest peers — which is what lets one
+// mesh mix v1 and v2 nodes. Hostile payloads can of course claim either
+// version; they then face that version's full validation (length, id bounds,
+// value-depth limits), so misdispatch costs nothing but a decode error.
+inline constexpr uint8_t kRelayColumnarMagic0 = 0xAD;
+inline constexpr uint8_t kRelayColumnarMagic1 = 0x02;
+
+// True when `data` carries the v2 columnar relay prefix.
+bool IsColumnarRelayPayload(const uint8_t* data, size_t size);
+
 struct FrameHeader {
   uint8_t version = kWireVersion;
   uint8_t kind = 0;

@@ -28,27 +28,27 @@ Status StockExchangeUnit::PublishTick(UnitContext& ctx, const Tick& tick) {
   return OkStatus();
 }
 
-Status StockExchangeUnit::PublishTickBatch(UnitContext& ctx, const std::vector<Tick>& ticks) {
-  // A tick whose build fails must not strand the already-built handles in
-  // the unit's handle table: the rest of the batch still publishes, and the
-  // first build error is reported.
-  Status first_error;
-  std::vector<EventHandle> handles;
-  handles.reserve(ticks.size());
+EventBatch StockExchangeUnit::BuildTickBatch(const std::vector<Tick>& ticks) const {
+  const Label tick_label(/*s=*/{}, /*i=*/{s_});
+  BatchBuilder builder;
   for (const Tick& tick : ticks) {
-    auto handle = BuildTick(ctx, tick).Build();
-    if (!handle.ok()) {
-      if (first_error.ok()) {
-        first_error = handle.status();
-      }
-      continue;
-    }
-    handles.push_back(*handle);
+    builder.BeginEvent()
+        .Part(tick_label, kPartType, Value::OfString(kTypeTick))
+        .Part(tick_label, kPartSymbol, Value::OfString(symbols_->Name(tick.symbol)))
+        .Part(tick_label, kPartPrice, Value::OfInt(tick.price_cents));
   }
+  return builder.Build();
+}
+
+Status StockExchangeUnit::PublishTickBatch(UnitContext& ctx, const std::vector<Tick>& ticks) {
+  // One columnar batch: the tick label and each symbol literal intern once,
+  // so the engine stamps/keys per distinct id rather than per part. Rows
+  // cannot be empty (every tick has three parts), so the only errors are
+  // publish-level ones.
   size_t published = 0;
-  const Status status = ctx.PublishBatch(handles, &published);
+  const Status status = ctx.PublishEventBatch(BuildTickBatch(ticks), &published);
   ticks_published_ += published;
-  return first_error.ok() ? status : first_error;
+  return status;
 }
 
 }  // namespace defcon

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/event_batch.h"
 #include "src/core/event_builder.h"
 #include "src/core/unit.h"
 #include "src/market/symbols.h"
@@ -27,11 +28,17 @@ class StockExchangeUnit : public Unit {
   // injects turns via Engine::InjectTurn). Returns the publish status.
   Status PublishTick(UnitContext& ctx, const Tick& tick);
 
-  // Publishes a whole batch of ticks through UnitContext::PublishBatch: one
-  // DeliveryBatch, one index probe per distinct symbol, one label check per
-  // (label, subscription) pair, one worker-pool wake. Returns the first
-  // per-tick error, if any; the remaining ticks still publish.
+  // Publishes a whole batch of ticks as one columnar EventBatch (PR 7): the
+  // tick label is interned once, each symbol literal once, and the dispatcher
+  // (with EngineConfig::batch_plane) works per distinct id — one stamp and
+  // one rendered key per label, one index probe per distinct symbol — instead
+  // of per part. With batch_plane off, the same batch lowers through the
+  // part-map plane event by event; delivery transcripts are identical.
   Status PublishTickBatch(UnitContext& ctx, const std::vector<Tick>& ticks);
+
+  // Builds (but does not publish) the columnar batch for `ticks` — exposed so
+  // benches can pre-build batches outside the measured region.
+  EventBatch BuildTickBatch(const std::vector<Tick>& ticks) const;
 
   uint64_t ticks_published() const { return ticks_published_; }
 

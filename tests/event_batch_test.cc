@@ -1,0 +1,716 @@
+// Columnar batch data plane (PR 7): the EventBatch structure itself, the
+// transcript byte-equality gate between the batch plane and the part-map
+// plane, CEP exactness over columns, and the v2 columnar relay wire's
+// hostile-input hardening.
+#include "src/core/event_batch.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/cep/aggregate.h"
+#include "src/cep/window.h"
+#include "src/core/engine.h"
+#include "src/distributed/relay_codec.h"
+#include "src/ipc/wire.h"
+#include "tests/test_util.h"
+
+namespace defcon {
+namespace {
+
+using cep::Aggregate;
+using cep::AggregateKind;
+using cep::AggregateResult;
+using cep::EmitPolicy;
+using cep::GateEmission;
+using cep::SlidingAggregate;
+using cep::Window;
+using cep::WindowItem;
+using cep::WindowSpec;
+
+// ---------------------------------------------------------------------------
+// EventBatch structure: arena, interners, canonical keys
+// ---------------------------------------------------------------------------
+
+TEST(CanonicalLabelKey, FullWidthRenderingSeparatesNearIdenticalTags) {
+  // The dispatch cache serves CanFlowTo verdicts by this key; a collision
+  // would serve one label's verdict for another. Tags that agree on the
+  // 12-hex DebugString prefix (and differ only in low bits) must still
+  // render distinctly.
+  const Tag a{0x1111222233334444ULL, 0x0000000000000001ULL};
+  const Tag b{0x1111222233334444ULL, 0x0000000000000002ULL};
+  EXPECT_EQ(a.DebugString(), b.DebugString());  // the log rendering collides...
+  EXPECT_NE(CanonicalLabelKey(Label({a}, {})), CanonicalLabelKey(Label({b}, {})));
+
+  // Secrecy and integrity components must not alias each other.
+  EXPECT_NE(CanonicalLabelKey(Label({a}, {})), CanonicalLabelKey(Label({}, {a})));
+  // Tag-set membership is order-free: {a,b} and {b,a} are the same label.
+  EXPECT_EQ(CanonicalLabelKey(Label({a, b}, {})), CanonicalLabelKey(Label({b, a}, {})));
+  EXPECT_EQ(CanonicalLabelKey(Label()), CanonicalLabelKey(Label::Public()));
+}
+
+TEST(Arena, InternedViewsStayStableAcrossChunkGrowth) {
+  Arena arena;
+  std::vector<std::string_view> views;
+  std::vector<std::string> originals;
+  // Far more than one 16 KiB chunk's worth, so chunks are added mid-loop.
+  for (int i = 0; i < 4000; ++i) {
+    originals.push_back("interned-string-" + std::to_string(i));
+  }
+  for (const std::string& s : originals) {
+    views.push_back(arena.Intern(s));
+  }
+  for (size_t i = 0; i < views.size(); ++i) {
+    EXPECT_EQ(views[i], originals[i]);
+  }
+  EXPECT_GE(arena.bytes_reserved(), arena.bytes_used());
+}
+
+TEST(StringInterner, FirstAppearanceIdsAndDeduplication) {
+  Arena arena;
+  StringInterner interner(&arena);
+  EXPECT_EQ(interner.Intern("alpha"), 0u);
+  EXPECT_EQ(interner.Intern("beta"), 1u);
+  EXPECT_EQ(interner.Intern("alpha"), 0u);
+  EXPECT_EQ(interner.size(), 2u);
+  EXPECT_EQ(interner.at(1), "beta");
+}
+
+TEST(LabelInterner, RefcountsRecycleIdsAndKeepLiveSetDense) {
+  LabelInterner interner;
+  const Tag t1{1, 1};
+  const Tag t2{2, 2};
+  const uint32_t a = interner.Acquire(Label({t1}, {}));
+  const uint32_t b = interner.Acquire(Label({t2}, {}));
+  EXPECT_NE(a, b);
+  EXPECT_EQ(interner.Acquire(Label({t1}, {})), a);  // same label, same id
+  EXPECT_EQ(interner.refs(a), 2u);
+  EXPECT_EQ(interner.live(), 2u);
+
+  EXPECT_FALSE(interner.Release(a));  // one ref remains
+  EXPECT_TRUE(interner.Release(a));   // last ref: id recycled
+  EXPECT_EQ(interner.live(), 1u);
+
+  // The freed id is reused for the next distinct label; the slot table does
+  // not grow (this is what keeps a long-lived sliding window dense).
+  const uint32_t c = interner.Acquire(Label({t1}, {t2}));
+  EXPECT_EQ(c, a);
+  EXPECT_EQ(interner.slot_count(), 2u);
+
+  size_t visited = 0;
+  interner.ForEachLive([&](uint32_t, const Label&, size_t refs) {
+    ++visited;
+    EXPECT_GT(refs, 0u);
+  });
+  EXPECT_EQ(visited, 2u);
+  EXPECT_GT(interner.EstimateBytes(), 0u);
+}
+
+TEST(BatchBuilder, ColumnsInternNamesLabelsAndStringLiterals) {
+  const Tag t{7, 7};
+  const Label secret({t}, {});
+  BatchBuilder builder;
+  builder.BeginEvent(100)
+      .Part(Label(), "type", Value::OfString("tick"))
+      .Part(secret, "px", Value::OfInt(101));
+  builder.BeginEvent(200)
+      .Part(Label(), "type", Value::OfString("tick"))
+      .Part(secret, "px", Value::OfInt(102));
+  const EventBatch batch = builder.Build();
+
+  ASSERT_EQ(batch.event_count(), 2u);
+  ASSERT_EQ(batch.part_count(), 4u);
+  EXPECT_EQ(batch.origin_ns(0), 100);
+  EXPECT_EQ(batch.origin_ns(1), 200);
+  EXPECT_EQ(batch.parts_begin(1), 2u);
+  EXPECT_EQ(batch.parts_end(1), 4u);
+  // Two distinct names, two distinct labels, one distinct string literal —
+  // no matter how many rows repeat them.
+  EXPECT_EQ(batch.distinct_names(), 2u);
+  EXPECT_EQ(batch.distinct_labels(), 2u);
+  EXPECT_EQ(batch.distinct_svalues(), 1u);
+  EXPECT_EQ(batch.name_id(0), batch.name_id(2));
+  EXPECT_EQ(batch.label_id(1), batch.label_id(3));
+  EXPECT_EQ(batch.svalue_id(0), batch.svalue_id(2));
+  EXPECT_EQ(batch.svalue_id(1), EventBatch::kNoStringValue);  // ints have none
+  EXPECT_EQ(batch.name(batch.name_id(1)), "px");
+  EXPECT_EQ(batch.label_key(batch.label_id(1)), CanonicalLabelKey(secret));
+  EXPECT_GT(batch.EstimateBytes(), 0u);
+
+  // Build() hands the batch over and resets the builder.
+  EXPECT_EQ(builder.event_count(), 0u);
+}
+
+TEST(BatchBuilder, PartBeforeBeginEventOpensAnOriginlessEvent) {
+  BatchBuilder builder;
+  builder.Part(Label(), "type", Value::OfString("x"));
+  const EventBatch batch = builder.Build();
+  ASSERT_EQ(batch.event_count(), 1u);
+  EXPECT_EQ(batch.origin_ns(0), 0);  // "assign at publish"
+}
+
+// ---------------------------------------------------------------------------
+// Transcript byte-equality: batch plane vs part-map plane
+// ---------------------------------------------------------------------------
+
+// The correctness gate for EngineConfig::batch_plane: an identical topology
+// fed an identical EventBatch must produce a byte-identical delivery
+// transcript whether the engine dispatches off the interned columns or
+// lowers the batch through the part-map plane — in every security mode, with
+// and without the dispatch cache, sharded and unsharded.
+struct PlaneRun {
+  std::string transcript;
+  EngineStatsSnapshot stats;
+  size_t published = 0;
+  Status publish_status;
+};
+
+PlaneRun RunTranscriptScenario(SecurityMode mode, size_t shards, bool cache, bool plane) {
+  EngineConfig config = ManualConfig(mode);
+  config.index_shards = shards;
+  config.use_dispatch_cache = cache;
+  config.batch_plane = plane;
+  Engine engine(config);
+
+  const Tag secret = engine.CreateTag("secret");
+  const Tag audit = engine.CreateTag("audit");
+
+  PlaneRun run;
+  auto record = [&run](const char* who) {
+    return [&run, who](UnitContext& ctx, EventHandle e, SubscriptionId) {
+      auto parts = ctx.ReadAllParts(e);
+      if (!parts.ok()) {
+        run.transcript += std::string(who) + "!" + parts.status().ToString() + "\n";
+        return;
+      }
+      run.transcript += who;
+      run.transcript += '#';
+      run.transcript += std::to_string(ctx.EventOrigin(e).value_or(-1));
+      for (const NamedPartView& part : *parts) {
+        run.transcript += '|';
+        run.transcript += part.name;
+        run.transcript += '@';
+        run.transcript += CanonicalLabelKey(part.label);
+        run.transcript += '=';
+        run.transcript += part.data.ToString();
+      }
+      run.transcript += '\n';
+    };
+  };
+
+  // An indexed public subscriber, a residual cleared subscriber, and a
+  // high-integrity subscriber: together they exercise the index probe, the
+  // residual path and both CanFlowTo directions.
+  engine.AddUnit("public", std::make_unique<TestUnit>(
+                               [](UnitContext& ctx) {
+                                 ASSERT_TRUE(
+                                     ctx.Subscribe(Filter::Eq("type", Value::OfString("tick")))
+                                         .ok());
+                               },
+                               record("public")));
+
+  PrivilegeSet cleared_priv;
+  cleared_priv.Grant(secret, Privilege::kPlus);
+  const Tag secret_copy = secret;
+  engine.AddUnit("cleared",
+                 std::make_unique<TestUnit>(
+                     [secret_copy](UnitContext& ctx) {
+                       ASSERT_TRUE(ctx.ChangeInOutLabel(LabelComponent::kSecrecy, LabelOp::kAdd,
+                                                        secret_copy)
+                                       .ok());
+                       ASSERT_TRUE(ctx.Subscribe(Filter::Exists("sym")).ok());
+                     },
+                     record("cleared")),
+                 Label(), cleared_priv);
+
+  engine.AddUnit("auditor", std::make_unique<TestUnit>(
+                                [](UnitContext& ctx) {
+                                  ASSERT_TRUE(
+                                      ctx.Subscribe(Filter::Eq("type", Value::OfString("tick")))
+                                          .ok());
+                                },
+                                record("auditor")),
+                 Label({}, {audit}), PrivilegeSet());
+
+  PrivilegeSet pub_priv;
+  pub_priv.GrantAll(secret);
+  pub_priv.GrantAll(audit);
+  const UnitId publisher =
+      engine.AddUnit("publisher", std::make_unique<TestUnit>(), Label(), pub_priv);
+
+  engine.Start();
+  engine.RunUntilIdle();
+
+  engine.InjectTurn(publisher, [&run, secret, audit](UnitContext& ctx) {
+    ASSERT_TRUE(ctx.ChangeOutLabel(LabelComponent::kIntegrity, LabelOp::kAdd, audit).ok());
+    const Label pub;
+    const Label sec({secret}, {});
+    const Label endorsed({}, {audit});
+    BatchBuilder builder;
+    builder.BeginEvent(1001)
+        .Part(pub, "type", Value::OfString("tick"))
+        .Part(pub, "sym", Value::OfString("AAPL"))
+        .Part(sec, "px", Value::OfInt(101));
+    builder.BeginEvent(1002)
+        .Part(endorsed, "type", Value::OfString("tick"))
+        .Part(sec, "sym", Value::OfString("MSFT"))
+        .Part(endorsed, "px", Value::OfInt(202));
+    builder.BeginEvent(1003)
+        .Part(pub, "type", Value::OfString("quote"))
+        .Part(pub, "sym", Value::OfString("AAPL"))
+        .Part(pub, "px", Value::OfDouble(3.5));
+    builder.BeginEvent(1004).Part(sec, "note", Value::OfString("dark"));
+    // Repeats of earlier (name, label, literal) combinations: the interned
+    // tables must dedup these, the transcript must not care.
+    for (int i = 0; i < 4; ++i) {
+      builder.BeginEvent(1005 + i)
+          .Part(i % 2 == 0 ? pub : endorsed, "type", Value::OfString("tick"))
+          .Part(pub, "sym", Value::OfString(i % 2 == 0 ? "AAPL" : "MSFT"))
+          .Part(sec, "px", Value::OfInt(300 + i));
+    }
+    run.publish_status = ctx.PublishEventBatch(builder.Build(), &run.published);
+  });
+  engine.RunUntilIdle();
+
+  run.stats = engine.stats();
+  return run;
+}
+
+TEST(BatchPlaneTranscripts, ByteIdenticalAcrossModesShardsAndCache) {
+  const SecurityMode kModes[] = {SecurityMode::kNoSecurity, SecurityMode::kLabels,
+                                 SecurityMode::kLabelsClone, SecurityMode::kLabelsIsolation};
+  for (SecurityMode mode : kModes) {
+    for (size_t shards : {size_t{1}, size_t{4}}) {
+      for (bool cache : {false, true}) {
+        SCOPED_TRACE(std::string(SecurityModeName(mode)) + " shards=" + std::to_string(shards) +
+                     " cache=" + (cache ? std::string("on") : std::string("off")));
+        const PlaneRun on = RunTranscriptScenario(mode, shards, cache, /*plane=*/true);
+        const PlaneRun off = RunTranscriptScenario(mode, shards, cache, /*plane=*/false);
+
+        EXPECT_TRUE(on.publish_status.ok()) << on.publish_status.ToString();
+        EXPECT_TRUE(off.publish_status.ok()) << off.publish_status.ToString();
+        EXPECT_EQ(on.published, 8u);
+        EXPECT_EQ(off.published, 8u);
+        EXPECT_FALSE(on.transcript.empty());
+        EXPECT_EQ(on.transcript, off.transcript);
+
+        // The same events flowed, but only the plane run took the hinted
+        // columnar path.
+        EXPECT_EQ(on.stats.events_published, off.stats.events_published);
+        EXPECT_EQ(on.stats.deliveries, off.stats.deliveries);
+        EXPECT_GE(on.stats.batch_plane_publishes, 1u);
+        EXPECT_EQ(on.stats.batch_plane_events, 8u);
+        EXPECT_EQ(off.stats.batch_plane_publishes, 0u);
+      }
+    }
+  }
+}
+
+TEST(BatchPlanePublish, EmptyRowsDroppedWithFirstErrorReported) {
+  for (bool plane : {true, false}) {
+    SCOPED_TRACE(plane ? "plane" : "part-map");
+    EngineConfig config = ManualConfig();
+    config.batch_plane = plane;
+    Engine engine(config);
+    auto* receiver = new TestUnit([](UnitContext& ctx) {
+      ASSERT_TRUE(ctx.Subscribe(Filter::Exists("type")).ok());
+    });
+    engine.AddUnit("receiver", std::unique_ptr<Unit>(receiver));
+    const UnitId sender = engine.AddUnit("sender", std::make_unique<TestUnit>());
+    engine.Start();
+    engine.RunUntilIdle();
+
+    engine.InjectTurn(sender, [](UnitContext& ctx) {
+      BatchBuilder builder;
+      builder.BeginEvent(1).Part(Label(), "type", Value::OfString("a"));
+      builder.BeginEvent(2);  // empty row: dropped, reported, others still flow
+      builder.BeginEvent(3).Part(Label(), "type", Value::OfString("b"));
+      size_t published = 0;
+      const Status status = ctx.PublishEventBatch(builder.Build(), &published);
+      EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+      EXPECT_EQ(published, 2u);
+    });
+    engine.RunUntilIdle();
+
+    EXPECT_EQ(receiver->delivery_count(), 2u);
+    EXPECT_EQ(engine.stats().events_dropped_empty, 1u);
+    EXPECT_EQ(engine.stats().events_published, 2u);
+  }
+}
+
+TEST(BatchPlanePublish, ZeroOriginRowsGetPublishTimestamps) {
+  Engine engine(ManualConfig());
+  std::vector<int64_t> origins;
+  auto* receiver = new TestUnit(
+      [](UnitContext& ctx) { ASSERT_TRUE(ctx.Subscribe(Filter::Exists("type")).ok()); },
+      [&origins](UnitContext& ctx, EventHandle e, SubscriptionId) {
+        origins.push_back(ctx.EventOrigin(e).value_or(-1));
+      });
+  engine.AddUnit("receiver", std::unique_ptr<Unit>(receiver));
+  const UnitId sender = engine.AddUnit("sender", std::make_unique<TestUnit>());
+  engine.Start();
+  engine.RunUntilIdle();
+  engine.InjectTurn(sender, [](UnitContext& ctx) {
+    BatchBuilder builder;
+    builder.BeginEvent().Part(Label(), "type", Value::OfString("a"));
+    builder.BeginEvent(424242).Part(Label(), "type", Value::OfString("b"));
+    ASSERT_TRUE(ctx.PublishEventBatch(builder.Build()).ok());
+  });
+  engine.RunUntilIdle();
+  ASSERT_EQ(origins.size(), 2u);
+  EXPECT_GT(origins[0], 0);          // assigned at publish
+  EXPECT_EQ(origins[1], 424242);     // explicit origin preserved
+}
+
+// ---------------------------------------------------------------------------
+// CEP exactness over columns
+// ---------------------------------------------------------------------------
+
+// Feeds the same mixed-secrecy stream to the columnar SlidingAggregate and a
+// reference Window + Aggregate() refold; every emission must agree exactly —
+// value, count, volume AND the joined label.
+void ExpectSlidingMatchesRefold(const WindowSpec& spec, AggregateKind kind) {
+  TagStore store(99);
+  const Tag a = store.CreateTag("a");
+  const Tag b = store.CreateTag("b");
+  const Tag c = store.CreateTag("c");
+  const Label labels[] = {Label(), Label({a}, {c}), Label({b}, {c}), Label({a, b}, {})};
+
+  SlidingAggregate sliding(spec, kind);
+  Window reference(spec);
+  size_t emissions = 0;
+  for (int i = 0; i < 400; ++i) {
+    WindowItem item;
+    item.ts_ns = 1000 + i * 17;
+    item.value = 50.0 + (i * 13) % 97;
+    item.qty = (i % 5 == 0) ? 0 : 1 + i % 3;
+    item.label = labels[i % 4];
+
+    std::vector<std::vector<WindowItem>> closed;
+    reference.Add(item, &closed);
+    const auto emitted = sliding.Add(item);
+    ASSERT_EQ(emitted.has_value(), !closed.empty()) << "cadence diverged at item " << i;
+    for (const auto& span : closed) {
+      const AggregateResult want = Aggregate(kind, span);
+      ASSERT_TRUE(emitted.has_value());
+      EXPECT_DOUBLE_EQ(emitted->value, want.value) << "item " << i;
+      EXPECT_EQ(emitted->count, want.count);
+      EXPECT_EQ(emitted->volume, want.volume);
+      EXPECT_EQ(CanonicalLabelKey(emitted->label), CanonicalLabelKey(want.label));
+      ++emissions;
+    }
+  }
+  EXPECT_GT(emissions, 0u);
+  // The interner stays dense under label churn: only the distinct labels
+  // still inside the window are live, regardless of how many passed through.
+  EXPECT_LE(sliding.distinct_labels(), 4u);
+}
+
+TEST(CepColumns, SlidingCountVwapMatchesRefoldUnderMixedSecrecy) {
+  ExpectSlidingMatchesRefold(WindowSpec::SlidingCount(16, 4), AggregateKind::kVwap);
+}
+
+TEST(CepColumns, SlidingTimeVwapMatchesRefoldUnderMixedSecrecy) {
+  ExpectSlidingMatchesRefold(WindowSpec::SlidingTime(500, 100), AggregateKind::kVwap);
+}
+
+TEST(CepColumns, MinMaxRescanTheValueColumnExactly) {
+  // min/max have no inverse fold; the columnar path recomputes the extremum
+  // by scanning the value column. Must match the refold bit for bit.
+  ExpectSlidingMatchesRefold(WindowSpec::SlidingCount(16, 4), AggregateKind::kMin);
+  ExpectSlidingMatchesRefold(WindowSpec::SlidingCount(16, 4), AggregateKind::kMax);
+  ExpectSlidingMatchesRefold(WindowSpec::SlidingTime(500, 100), AggregateKind::kMax);
+}
+
+TEST(CepColumns, SumAndCountMatchRefold) {
+  ExpectSlidingMatchesRefold(WindowSpec::SlidingCount(8, 2), AggregateKind::kSum);
+  ExpectSlidingMatchesRefold(WindowSpec::SlidingCount(8, 2), AggregateKind::kCount);
+}
+
+TEST(CepColumns, LabelRejoinTracksLastSampleEviction) {
+  // A label whose last window sample is evicted forces one re-join over the
+  // distinct live labels; the cached join is reused otherwise.
+  TagStore store(5);
+  const Tag t = store.CreateTag("t");
+  SlidingAggregate sliding(WindowSpec::SlidingCount(4, 1), AggregateKind::kSum);
+  // One secret sample, then a long public run: evicting the secret sample is
+  // exactly one forced re-join, and the join drops the secrecy tag.
+  WindowItem secret_item;
+  secret_item.value = 1;
+  secret_item.label = Label({t}, {});
+  (void)sliding.Add(secret_item);
+  std::optional<AggregateResult> last;
+  for (int i = 0; i < 8; ++i) {
+    WindowItem pub;
+    pub.value = 1;
+    if (auto r = sliding.Add(pub)) {
+      last = r;
+    }
+  }
+  EXPECT_GE(sliding.label_rejoins(), 1u);
+  ASSERT_TRUE(last.has_value());
+  EXPECT_TRUE(last->label.secrecy.empty());  // the evicted taint is gone
+  EXPECT_EQ(sliding.distinct_labels(), 1u);
+}
+
+TEST(CepColumns, MixedSecrecyEmissionGateBlocksWithoutDeclassification) {
+  // The columnar fold's joined label feeds the same GateEmission as the
+  // refold path: a unit without t- cannot emit a mixed-secrecy aggregate at
+  // the public label, and the blocked counter says so.
+  Engine engine(ManualConfig());
+  const Tag secret = engine.CreateTag("secret");
+  const UnitId unit = engine.AddUnit("op", std::make_unique<TestUnit>());
+  engine.Start();
+  engine.RunUntilIdle();
+  engine.InjectTurn(unit, [secret](UnitContext& ctx) {
+    SlidingAggregate sliding(WindowSpec::SlidingCount(2, 1), AggregateKind::kVwap);
+    WindowItem pub;
+    pub.value = 100;
+    WindowItem sec;
+    sec.value = 200;
+    sec.label = Label({secret}, {});
+    (void)sliding.Add(pub);
+    const auto result = sliding.Add(sec);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_TRUE(result->label.secrecy.Contains(secret));
+
+    EmitPolicy public_out;
+    public_out.emit_label = Label();
+    uint64_t blocked = 0;
+    EXPECT_FALSE(GateEmission(ctx, result->label, public_out, &blocked).has_value());
+    EXPECT_EQ(blocked, 1u);
+    // Unconstrained emission is always allowed — at the joined label.
+    const auto at_joined = GateEmission(ctx, result->label, EmitPolicy{}, &blocked);
+    ASSERT_TRUE(at_joined.has_value());
+    EXPECT_EQ(CanonicalLabelKey(*at_joined), CanonicalLabelKey(result->label));
+  });
+  engine.RunUntilIdle();
+}
+
+// ---------------------------------------------------------------------------
+// Relay wire v2: columnar frames
+// ---------------------------------------------------------------------------
+
+std::vector<RelayEvent> SampleRelayEvents() {
+  const Tag t{0xabc, 0xdef};
+  const Label secret({t}, {});
+  std::vector<RelayEvent> events(3);
+  events[0].origin_ns = 1111;
+  events[0].parts.push_back({"type", Label(), Value::OfString("tick")});
+  events[0].parts.push_back({"px", secret, Value::OfInt(101)});
+  events[1].origin_ns = -5;  // zigzag: negative origins survive
+  events[1].parts.push_back({"type", Label(), Value::OfString("tick")});
+  events[1].parts.push_back({"px", secret, Value::OfDouble(2.5)});
+  events[1].parts.push_back({"flag", Label(), Value::OfBool(true)});
+  events[2].origin_ns = 2222;
+  events[2].parts.push_back({"blob", secret, Value::OfBytes({1, 2, 3, 4})});
+  return events;
+}
+
+void ExpectSameRelayEvents(const std::vector<RelayEvent>& got,
+                           const std::vector<RelayEvent>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].origin_ns, want[i].origin_ns);
+    ASSERT_EQ(got[i].parts.size(), want[i].parts.size());
+    for (size_t j = 0; j < want[i].parts.size(); ++j) {
+      EXPECT_EQ(got[i].parts[j].name, want[i].parts[j].name);
+      EXPECT_EQ(CanonicalLabelKey(got[i].parts[j].label),
+                CanonicalLabelKey(want[i].parts[j].label));
+      EXPECT_TRUE(got[i].parts[j].data.Equals(want[i].parts[j].data));
+    }
+  }
+}
+
+TEST(RelayWireV2, BatchRoundTripPreservesEverything) {
+  const auto events = SampleRelayEvents();
+  const auto payload = EncodeRelayColumnar(events);
+  ASSERT_TRUE(IsColumnarRelayPayload(payload.data(), payload.size()));
+  auto decoded = DecodeRelayBatch(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ExpectSameRelayEvents(*decoded, events);
+}
+
+TEST(RelayWireV2, SingleEventConvenienceMatchesBatchForm) {
+  const Tag t{9, 9};
+  std::vector<NamedPartView> parts;
+  parts.push_back({"type", Label(), Value::OfString("trade")});
+  parts.push_back({"qty", Label({t}, {}), Value::OfInt(7)});
+  const auto payload = EncodeRelayColumnar(31337, parts);
+  auto decoded = DecodeRelayBatch(payload);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), 1u);
+  EXPECT_EQ((*decoded)[0].origin_ns, 31337);
+  ASSERT_EQ((*decoded)[0].parts.size(), 2u);
+  EXPECT_EQ((*decoded)[0].parts[1].name, "qty");
+}
+
+TEST(RelayWireV2, DecodeRelayAnyAcceptsBothWireVersions) {
+  // Mixed-version mesh: one importer, either exporter vintage.
+  const auto v2 = EncodeRelayColumnar(SampleRelayEvents());
+  auto from_v2 = DecodeRelayAny(v2);
+  ASSERT_TRUE(from_v2.ok());
+  EXPECT_EQ(from_v2->size(), 3u);
+
+  std::vector<NamedPartView> parts;
+  parts.push_back({"type", Label(), Value::OfString("tick")});
+  const auto v1 = EncodeRelay(777, parts);
+  ASSERT_FALSE(IsColumnarRelayPayload(v1.data(), v1.size()));
+  auto from_v1 = DecodeRelayAny(v1);
+  ASSERT_TRUE(from_v1.ok());
+  ASSERT_EQ(from_v1->size(), 1u);
+  EXPECT_EQ((*from_v1)[0].origin_ns, 777);
+}
+
+TEST(RelayWireV2, V1PayloadsNeverAliasTheColumnarMagic) {
+  // A v1 payload starts with zigzag(origin): non-negative origins produce an
+  // even first byte, so 0xAD (odd) cannot collide for any honest exporter.
+  std::vector<NamedPartView> parts;
+  parts.push_back({"type", Label(), Value::OfString("x")});
+  for (int64_t origin : {int64_t{0}, int64_t{1}, int64_t{86}, int64_t{1'000'000'000}}) {
+    const auto payload = EncodeRelay(origin, parts);
+    EXPECT_FALSE(IsColumnarRelayPayload(payload.data(), payload.size())) << origin;
+  }
+}
+
+TEST(RelayWireV2, ExportProjectionLeavesNoSecretBytesOnTheWire) {
+  // Export-clearance filtering happens before encoding: a part the exporter
+  // cannot see contributes no bytes to any table or column. Byte-level check:
+  // the secret literal appears in the unfiltered frame and nowhere in the
+  // filtered one.
+  const std::string secret_literal = "the-hidden-order-book";
+  std::vector<NamedPartView> visible;
+  visible.push_back({"type", Label(), Value::OfString("tick")});
+  std::vector<NamedPartView> full = visible;
+  full.push_back({"book", Label(), Value::OfString(secret_literal)});
+
+  const auto leaked = EncodeRelayColumnar(1, full);
+  const auto clean = EncodeRelayColumnar(1, visible);
+  auto contains = [&secret_literal](const std::vector<uint8_t>& payload) {
+    return std::search(payload.begin(), payload.end(), secret_literal.begin(),
+                       secret_literal.end()) != payload.end();
+  };
+  EXPECT_TRUE(contains(leaked));
+  EXPECT_FALSE(contains(clean));
+}
+
+// --- hostile inputs ----------------------------------------------------------
+
+TEST(RelayWireV2Hostile, EveryTruncationIsRejectedWithoutCrashing) {
+  const auto payload = EncodeRelayColumnar(SampleRelayEvents());
+  for (size_t len = 0; len < payload.size(); ++len) {
+    const std::vector<uint8_t> prefix(payload.begin(),
+                                      payload.begin() + static_cast<ptrdiff_t>(len));
+    auto decoded = DecodeRelayBatch(prefix);
+    EXPECT_FALSE(decoded.ok()) << "prefix length " << len;
+    // The dispatching decoder must be equally safe on truncated v2 frames.
+    (void)DecodeRelayAny(prefix);
+  }
+}
+
+TEST(RelayWireV2Hostile, SingleByteCorruptionNeverCrashes) {
+  // Any byte may be flipped in transit (below the CRC) or by a hostile peer.
+  // Decoding may fail or may yield a different-but-well-formed batch; it must
+  // never read out of bounds (the sanitizer jobs are the real assertion).
+  const auto payload = EncodeRelayColumnar(SampleRelayEvents());
+  for (size_t i = 0; i < payload.size(); ++i) {
+    std::vector<uint8_t> corrupt = payload;
+    corrupt[i] ^= 0xFF;
+    (void)DecodeRelayAny(corrupt);
+  }
+}
+
+TEST(RelayWireV2Hostile, HugeDeclaredCountsRejectedBeforeAllocation) {
+  {
+    WireWriter body;
+    body.PutVarint(uint64_t{1} << 60);  // event_count
+    std::vector<uint8_t> payload = {kRelayColumnarMagic0, kRelayColumnarMagic1};
+    payload.insert(payload.end(), body.buffer().begin(), body.buffer().end());
+    EXPECT_FALSE(DecodeRelayBatch(payload).ok());
+  }
+  {
+    WireWriter body;
+    body.PutVarint(1);                  // event_count
+    body.PutVarint(uint64_t{1} << 60);  // name_count
+    std::vector<uint8_t> payload = {kRelayColumnarMagic0, kRelayColumnarMagic1};
+    payload.insert(payload.end(), body.buffer().begin(), body.buffer().end());
+    EXPECT_FALSE(DecodeRelayBatch(payload).ok());
+  }
+}
+
+TEST(RelayWireV2Hostile, PartCountOverflowCannotWrapPastTheBoundsCheck) {
+  // Two part counts of 2^63 sum to 0 in uint64; the per-event check must
+  // reject each count against the remaining payload before summing.
+  WireWriter body;
+  body.PutVarint(2);  // event_count
+  body.PutVarint(0);  // name_count
+  body.PutVarint(0);  // label_count
+  body.PutZigzag(0);
+  body.PutZigzag(0);
+  body.PutVarint(uint64_t{1} << 63);
+  body.PutVarint(uint64_t{1} << 63);
+  std::vector<uint8_t> payload = {kRelayColumnarMagic0, kRelayColumnarMagic1};
+  payload.insert(payload.end(), body.buffer().begin(), body.buffer().end());
+  EXPECT_FALSE(DecodeRelayBatch(payload).ok());
+}
+
+TEST(RelayWireV2Hostile, OutOfRangeTableIdsRejected) {
+  auto craft = [](uint64_t name_id, uint64_t label_id) {
+    WireWriter body;
+    body.PutVarint(1);  // event_count
+    body.PutVarint(1);  // name_count
+    body.PutString("t");
+    body.PutVarint(1);  // label_count
+    EncodeLabel(Label(), &body);
+    body.PutZigzag(0);      // origin
+    body.PutVarint(1);      // part_count
+    body.PutVarint(name_id);
+    body.PutVarint(label_id);
+    EncodeValue(Value::OfInt(1), &body);
+    std::vector<uint8_t> payload = {kRelayColumnarMagic0, kRelayColumnarMagic1};
+    payload.insert(payload.end(), body.buffer().begin(), body.buffer().end());
+    return payload;
+  };
+  EXPECT_TRUE(DecodeRelayBatch(craft(0, 0)).ok());       // the frame is well-formed...
+  EXPECT_FALSE(DecodeRelayBatch(craft(5, 0)).ok());      // ...bad name id rejected
+  EXPECT_FALSE(DecodeRelayBatch(craft(0, 5)).ok());      // ...bad label id rejected
+}
+
+TEST(RelayWireV2Hostile, NestingBombInValueColumnRejectedAtDepthLimit) {
+  WireWriter body;
+  body.PutVarint(1);  // event_count
+  body.PutVarint(1);  // name_count
+  body.PutString("v");
+  body.PutVarint(1);  // label_count
+  EncodeLabel(Label(), &body);
+  body.PutZigzag(0);  // origin
+  body.PutVarint(1);  // part_count
+  body.PutVarint(0);  // name_id
+  body.PutVarint(0);  // label_id
+  for (int i = 0; i < 100000; ++i) {
+    body.PutVarint(static_cast<uint64_t>(Value::Kind::kList));
+    body.PutVarint(1);
+  }
+  std::vector<uint8_t> payload = {kRelayColumnarMagic0, kRelayColumnarMagic1};
+  payload.insert(payload.end(), body.buffer().begin(), body.buffer().end());
+  EXPECT_FALSE(DecodeRelayBatch(payload).ok());
+}
+
+TEST(RelayWireV2Hostile, LegalNestingWithinDepthLimitRoundTrips) {
+  Value value = Value::OfInt(7);
+  for (int i = 0; i < kMaxValueDepth; ++i) {
+    auto list = FList::New();
+    ASSERT_TRUE(list->Append(std::move(value)).ok());
+    value = Value::OfList(std::move(list));
+  }
+  std::vector<RelayEvent> events(1);
+  events[0].parts.push_back({"deep", Label(), value});
+  auto decoded = DecodeRelayBatch(EncodeRelayColumnar(events));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE((*decoded)[0].parts[0].data.Equals(value));
+}
+
+}  // namespace
+}  // namespace defcon

@@ -1,0 +1,191 @@
+// Flow-slot compaction (PR 7 satellite): dense flow-snapshot slots are
+// recycled through a free list, so subscription and unit churn cannot walk
+// the slot space toward the dense cap.
+//
+// Note the compaction unit is the flow SLOT, not the UnitId: unit ids stay
+// unique forever because an in-flight PlannedDelivery still names its target
+// by id — recycling ids could deliver a label-checked event to the wrong
+// unit. Slots carry no identity, only cache residency, so they are the safe
+// thing to reuse (guarded by the bump-then-quiesce protocol in engine.cc).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/core/event_batch.h"
+#include "tests/test_util.h"
+
+namespace defcon {
+namespace {
+
+TEST(FlowSlots, HighWaterBoundedAfter100kSubscribeUnsubscribeCycles) {
+  Engine engine(ManualConfig());
+  const UnitId unit = engine.AddUnit("churner", std::make_unique<TestUnit>());
+  engine.Start();
+  engine.RunUntilIdle();
+
+  engine.InjectTurn(unit, [](UnitContext& ctx) {
+    for (int i = 0; i < 100000; ++i) {
+      // Alternate the indexed and the residual registration paths.
+      const Filter filter = (i % 2 == 0) ? Filter::Eq("type", Value::OfString("tick"))
+                                         : Filter::Exists("type");
+      auto sub = ctx.Subscribe(filter);
+      ASSERT_TRUE(sub.ok());
+      ASSERT_TRUE(ctx.Unsubscribe(*sub).ok());
+    }
+  });
+  engine.RunUntilIdle();
+
+  // One unit, one slot — no matter how many subscriptions passed through.
+  const EngineStatsSnapshot stats = engine.stats();
+  EXPECT_LE(stats.flow_slot_high_water, 2u);
+  EXPECT_LT(stats.flow_slot_high_water, uint64_t{1} << 16);
+}
+
+TEST(FlowSlots, ManagedInstanceChurnRecyclesSlotsThroughTheFreeList) {
+  // Managed instances are the unit-churn path: the LRU cap evicts instances
+  // (RemoveUnit), each eviction returns the instance's slot, and later
+  // instances must reuse freed slots instead of growing the slot space.
+  EngineConfig config = ManualConfig();
+  config.managed_instance_cap = 4;
+  Engine engine(config);
+
+  size_t instance_deliveries = 0;
+  const UnitId owner = engine.AddUnit(
+      "owner", std::make_unique<TestUnit>([&instance_deliveries](UnitContext& ctx) {
+        auto sub = ctx.SubscribeManaged(
+            [&instance_deliveries] {
+              return std::make_unique<TestUnit>(
+                  [](UnitContext& ictx) {
+                    // Each instance registers its own interest, so it holds a
+                    // flow slot that eviction must hand back.
+                    ASSERT_TRUE(ictx.Subscribe(Filter::Exists("follow-up")).ok());
+                  },
+                  [&instance_deliveries](UnitContext&, EventHandle, SubscriptionId) {
+                    ++instance_deliveries;
+                  });
+            },
+            Filter::Exists("payload"));
+        ASSERT_TRUE(sub.ok());
+      }));
+  (void)owner;
+
+  constexpr int kDistinctContaminations = 64;
+  std::vector<Tag> tags;
+  PrivilegeSet sender_privileges;
+  for (int i = 0; i < kDistinctContaminations; ++i) {
+    tags.push_back(engine.CreateTag("taint-" + std::to_string(i)));
+    sender_privileges.GrantAll(tags.back());
+  }
+  const UnitId sender =
+      engine.AddUnit("sender", std::make_unique<TestUnit>(), Label(), sender_privileges);
+  engine.Start();
+  engine.RunUntilIdle();
+
+  // Each distinct contamination forces a fresh instance; the cap of 4 evicts
+  // the trailing ones, churning 60+ units through their slots.
+  for (const Tag tag : tags) {
+    engine.InjectTurn(sender, [tag](UnitContext& ctx) {
+      auto event = ctx.CreateEvent();
+      ASSERT_TRUE(event.ok());
+      ASSERT_TRUE(ctx.AddPart(*event, Label({tag}, {}), "payload", Value::OfInt(1)).ok());
+      ASSERT_TRUE(ctx.Publish(*event).ok());
+    });
+    engine.RunUntilIdle();
+  }
+
+  const EngineStatsSnapshot stats = engine.stats();
+  EXPECT_EQ(instance_deliveries, static_cast<size_t>(kDistinctContaminations));
+  EXPECT_EQ(stats.managed_instances_created, static_cast<uint64_t>(kDistinctContaminations));
+  EXPECT_GT(stats.managed_instances_evicted, 0u);
+  EXPECT_GT(stats.flow_slots_reused, 0u);
+  // Slots stay compact: bounded by the live population (cap + the static
+  // units + slack for instances whose eviction lags a cycle), nowhere near
+  // one slot per instance ever created.
+  EXPECT_LT(stats.flow_slot_high_water, static_cast<uint64_t>(kDistinctContaminations));
+  EXPECT_LE(stats.flow_slot_high_water, 16u);
+}
+
+TEST(FlowSlots, DenseLimitFallbackPreservesDeliverySemantics) {
+  // Units whose slot falls at/above flow_dense_limit use the direct
+  // per-batch visibility path instead of dense snapshots. Semantics —
+  // including transcript equality between the two batch planes — must not
+  // depend on which side of the limit a subscriber landed on.
+  auto run = [](bool plane) {
+    EngineConfig config = ManualConfig();
+    config.flow_dense_limit = 2;  // slots 0,1 dense; later subscribers fall back
+    config.batch_plane = plane;
+    Engine engine(config);
+    const Tag secret = engine.CreateTag("secret");
+
+    std::string transcript;
+    auto recorder = [&transcript](std::string who) {
+      return [&transcript, who = std::move(who)](UnitContext& ctx, EventHandle e,
+                                                 SubscriptionId) {
+        auto parts = ctx.ReadAllParts(e);
+        ASSERT_TRUE(parts.ok());
+        transcript += who;
+        for (const NamedPartView& part : *parts) {
+          transcript += '|' + part.name + '=' + part.data.ToString();
+        }
+        transcript += '\n';
+      };
+    };
+
+    for (int i = 0; i < 6; ++i) {
+      const std::string name = "r" + std::to_string(i);
+      const bool cleared = i % 2 == 0;
+      PrivilegeSet priv;
+      if (cleared) {
+        priv.Grant(secret, Privilege::kPlus);
+      }
+      const Tag secret_copy = secret;
+      engine.AddUnit(name,
+                     std::make_unique<TestUnit>(
+                         [cleared, secret_copy](UnitContext& ctx) {
+                           if (cleared) {
+                             ASSERT_TRUE(ctx.ChangeInOutLabel(LabelComponent::kSecrecy,
+                                                              LabelOp::kAdd, secret_copy)
+                                             .ok());
+                           }
+                           ASSERT_TRUE(
+                               ctx.Subscribe(Filter::Eq("type", Value::OfString("tick"))).ok());
+                         },
+                         recorder(name)),
+                     Label(), priv);
+    }
+
+    PrivilegeSet pub_priv;
+    pub_priv.GrantAll(secret);
+    const UnitId publisher =
+        engine.AddUnit("pub", std::make_unique<TestUnit>(), Label(), pub_priv);
+    engine.Start();
+    engine.RunUntilIdle();
+
+    engine.InjectTurn(publisher, [secret](UnitContext& ctx) {
+      BatchBuilder builder;
+      for (int i = 0; i < 4; ++i) {
+        builder.BeginEvent(100 + i)
+            .Part(Label(), "type", Value::OfString("tick"))
+            .Part(Label({secret}, {}), "px", Value::OfInt(500 + i));
+      }
+      ASSERT_TRUE(ctx.PublishEventBatch(builder.Build()).ok());
+    });
+    engine.RunUntilIdle();
+    return transcript;
+  };
+
+  const std::string with_plane = run(true);
+  const std::string without_plane = run(false);
+  EXPECT_FALSE(with_plane.empty());
+  EXPECT_EQ(with_plane, without_plane);
+  // Cleared subscribers saw the secret column, uncleared ones only the
+  // public part — the fallback path enforced the same flow verdicts.
+  EXPECT_NE(with_plane.find("r0|type='tick'|px=500"), std::string::npos) << with_plane;
+  EXPECT_NE(with_plane.find("r1|type='tick'\n"), std::string::npos) << with_plane;
+}
+
+}  // namespace
+}  // namespace defcon
