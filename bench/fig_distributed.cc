@@ -63,6 +63,9 @@ struct WorkerStats {
   uint64_t decode_errors = 0;
   uint64_t frame_errors = 0;
   uint64_t link_reconnects = 0;
+  // Inbound v2 frames the worker's import republished batch-natively via
+  // PublishEventBatch — the CI mesh gate asserts > 0 on wire v2, == 0 on v1.
+  uint64_t batch_plane_publishes = 0;
 };
 
 // Counts trade events republished on the coordinator by the fan-in import.
@@ -192,6 +195,7 @@ int WorkerMain(const BenchOptions& options, SecurityMode mode, size_t worker_ind
   stats.PutVarint(mesh.decode_errors);
   stats.PutVarint(mesh.frame_errors);
   stats.PutVarint(mesh.link_reconnects);
+  stats.PutVarint(mesh.batch_plane_publishes);
   if (!control->SendFrame(stats.buffer()).ok()) {
     return 17;
   }
@@ -208,6 +212,9 @@ struct RunRow {
   uint64_t trades_collected = 0;
   uint64_t label_violations = 0;
   uint64_t link_reconnects = 0;
+  // Import-side batch-native republishes across the whole mesh (workers'
+  // tick imports + the coordinator's trade fan-in).
+  uint64_t batch_plane_publishes = 0;
 };
 
 Result<RunRow> RunOneMode(const BenchOptions& options, SecurityMode mode) {
@@ -339,12 +346,13 @@ Result<RunRow> RunOneMode(const BenchOptions& options, SecurityMode mode) {
     if (!read(&stats.ticks_imported) || !read(&stats.trades_completed) ||
         !read(&stats.trades_exported) || !read(&stats.integrity_clipped) ||
         !read(&stats.decode_errors) || !read(&stats.frame_errors) ||
-        !read(&stats.link_reconnects)) {
+        !read(&stats.link_reconnects) || !read(&stats.batch_plane_publishes)) {
       return IoError("malformed worker stats frame");
     }
     row.trades_workers += stats.trades_completed;
     row.label_violations += stats.integrity_clipped + stats.decode_errors + stats.frame_errors;
     row.link_reconnects += stats.link_reconnects;
+    row.batch_plane_publishes += stats.batch_plane_publishes;
   }
   engine.WaitIdle();  // flushed fan-in frames are injected; settle republish
   const auto elapsed = std::chrono::steady_clock::now() - start;
@@ -367,6 +375,7 @@ Result<RunRow> RunOneMode(const BenchOptions& options, SecurityMode mode) {
   row.trades_collected = collector->trades();
   row.label_violations += coord.integrity_clipped + coord.decode_errors + coord.frame_errors;
   row.link_reconnects += coord.link_reconnects;
+  row.batch_plane_publishes += coord.batch_plane_publishes;  // trade fan-in import
   node.Shutdown();
   return row;
 }
@@ -501,7 +510,8 @@ int Main(int argc, char** argv) {
                    "    {\"name\": \"%s\", \"nodes\": %llu, \"wire\": \"%s\", "
                    "\"ticks_per_sec\": %.1f, "
                    "\"events_relayed\": %llu, \"trades\": %llu, \"trades_collected\": %llu, "
-                   "\"label_violations\": %llu, \"link_reconnects\": %llu}%s\n",
+                   "\"label_violations\": %llu, \"link_reconnects\": %llu, "
+                   "\"batch_plane_publishes\": %llu}%s\n",
                    row.name.c_str(), static_cast<unsigned long long>(row.nodes),
                    options.columnar_wire ? "v2" : "v1",
                    row.ticks_per_sec, static_cast<unsigned long long>(row.ticks_relayed),
@@ -509,6 +519,7 @@ int Main(int argc, char** argv) {
                    static_cast<unsigned long long>(row.trades_collected),
                    static_cast<unsigned long long>(row.label_violations),
                    static_cast<unsigned long long>(row.link_reconnects),
+                   static_cast<unsigned long long>(row.batch_plane_publishes),
                    i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(out, "  ]\n}\n");

@@ -481,6 +481,100 @@ void BM_PairedAB_BatchPlaneVsParts(benchmark::State& state) {
 }
 BENCHMARK(BM_PairedAB_BatchPlaneVsParts)->Arg(64)->Arg(256);
 
+// CountingUnit that can consume columnar views natively — the receivers of
+// BM_PairedAB_BatchViewVsPartMap. The per-event work is one counter bump on
+// both paths, so the ratio isolates the delivery edge itself: one view turn
+// per (subscriber, slice) vs. one OnEvent turn + part-map read per event.
+class ViewCountingUnit : public Unit {
+ public:
+  explicit ViewCountingUnit(bool consume_views) : consume_views_(consume_views) {}
+  void OnStart(UnitContext& ctx) override {
+    (void)ctx.Subscribe(Filter::Eq("type", Value::OfString("ping")));
+  }
+  bool ConsumesEventBatches() const override { return consume_views_; }
+  void OnEvent(UnitContext& ctx, EventHandle event, SubscriptionId sub) override { ++count_; }
+  void OnEventBatch(UnitContext& ctx, const BatchView& view, SubscriptionId sub) override {
+    count_ += view.size();
+  }
+  uint64_t count() const { return count_; }
+
+ private:
+  const bool consume_views_;
+  uint64_t count_ = 0;
+};
+
+// A = subscribers opted into OnEventBatch, B = the same fleet on the OnEvent
+// compatibility shim. Both sides run the columnar batch plane and publish the
+// identical donated batch, so the ratio isolates the delivery-API redesign
+// (PR 8) from the dispatch-side batch-plane win measured above. The CI gate
+// asserts a_view_deliveries > 0 and b_view_deliveries == 0 (the A/B really
+// measured the two delivery paths); the ratio's value stays ungated.
+void BM_PairedAB_BatchViewVsPartMap(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  EngineConfig config;
+  config.mode = SecurityMode::kLabels;
+  config.num_threads = 0;
+  config.index_shards = 1;
+  config.batch_plane = true;
+  struct Side {
+    std::unique_ptr<Engine> engine;
+    BatchPublisherUnit* publisher = nullptr;
+    UnitId pub_id = 0;
+  };
+  auto make_side = [&config](bool consume_views) {
+    Side side;
+    side.engine = std::make_unique<Engine>(config);
+    const Tag compartment = side.engine->CreateTag("compartment");
+    for (int i = 0; i < 4; ++i) {
+      side.engine->AddUnit("in" + std::to_string(i),
+                           std::make_unique<ViewCountingUnit>(consume_views),
+                           Label({compartment}, {}));
+    }
+    for (int i = 0; i < 96; ++i) {
+      side.engine->AddUnit("out" + std::to_string(i),
+                           std::make_unique<ViewCountingUnit>(consume_views));
+    }
+    side.publisher = new BatchPublisherUnit(compartment);
+    side.pub_id = side.engine->AddUnit("publisher", std::unique_ptr<Unit>(side.publisher));
+    side.engine->Start();
+    side.engine->RunUntilIdle();
+    return side;
+  };
+  Side a = make_side(/*consume_views=*/true);
+  Side b = make_side(/*consume_views=*/false);
+  auto run_once = [batch](Side& side) {
+    const int64_t start = MonotonicNowNs();
+    side.engine->InjectTurn(side.pub_id, [publisher = side.publisher, batch](UnitContext& ctx) {
+      (void)publisher->PublishPingsColumnar(ctx, batch);
+    });
+    side.engine->RunUntilIdle();
+    return static_cast<double>(MonotonicNowNs() - start);
+  };
+  run_once(a);
+  run_once(b);  // warmup pair
+  std::vector<double> a_ns, b_ns, ratios;
+  for (auto _ : state) {
+    const double na = run_once(a);
+    const double nb = run_once(b);
+    a_ns.push_back(na);
+    b_ns.push_back(nb);
+    ratios.push_back(na > 0 ? nb / na : 0.0);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch) * 2);
+  state.counters["ab_ratio_med"] = MedianOf(std::move(ratios));
+  state.counters["a_med_ns"] = MedianOf(std::move(a_ns));
+  state.counters["b_med_ns"] = MedianOf(std::move(b_ns));
+  // Sanity: side A delivered through views, side B only through part maps.
+  state.counters["a_view_deliveries"] =
+      static_cast<double>(a.engine->stats().batch_view_deliveries);
+  state.counters["b_view_deliveries"] =
+      static_cast<double>(b.engine->stats().batch_view_deliveries);
+  state.counters["a_deliveries"] = static_cast<double>(a.engine->stats().deliveries);
+  state.counters["b_deliveries"] = static_cast<double>(b.engine->stats().deliveries);
+}
+BENCHMARK(BM_PairedAB_BatchViewVsPartMap)->Arg(64)->Arg(256);
+
 // A = unsharded, B = 8 shards (single-threaded, so the ratio is the pure
 // sharding overhead the ROADMAP wants regression-gated).
 void BM_PairedAB_Shards1Vs8(benchmark::State& state) {

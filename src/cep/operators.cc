@@ -1,7 +1,10 @@
 #include "src/cep/operators.h"
 
+#include <unordered_map>
+
 #include "src/base/logging.h"
 #include "src/core/event.h"
+#include "src/core/event_batch.h"
 #include "src/core/event_builder.h"
 
 namespace defcon {
@@ -86,35 +89,100 @@ void WindowAggregateUnit::OnEvent(UnitContext& ctx, EventHandle event, Subscript
     }
   }
   item.ts_ns = EventTickTime(ctx, event, options_.time_part);
-  ++samples_;
 
   std::vector<EventHandle> handles;
-  if (incremental_.has_value()) {
-    // Sliding + subtractable: O(evicted) Fold/Unfold, no span copy.
-    const auto agg = incremental_->Add(std::move(item));
-    if (!agg.has_value() || agg->count == 0) {
-      return;
+  FoldSample(ctx, std::move(item), &handles);
+  if (!handles.empty()) {
+    size_t published = 0;
+    (void)ctx.PublishBatch(handles, &published);
+    emissions_ += published;
+  }
+}
+
+void WindowAggregateUnit::OnEventBatch(UnitContext& ctx, const BatchView& view,
+                                       SubscriptionId sub) {
+  // Classify each DISTINCT interned name once; the per-part loop below then
+  // routes on ids alone. A tick batch has a handful of distinct names, so
+  // this is a few string compares per view instead of a few per part.
+  enum : uint8_t { kOther = 0, kValue, kQty, kTime };
+  std::unordered_map<uint32_t, uint8_t> roles;
+  const auto role_of = [&](uint32_t name_id) -> uint8_t {
+    const auto it = roles.find(name_id);
+    if (it != roles.end()) {
+      return it->second;
     }
-    EmitResult(ctx, *agg, &handles);
-  } else {
-    std::vector<std::vector<WindowItem>> closed;
-    window_.Add(std::move(item), &closed);
-    if (closed.empty()) {
-      return;
+    const std::string_view name = view.name_of(name_id);
+    uint8_t role = kOther;
+    if (name == options_.value_part) {
+      role = kValue;
+    } else if (!options_.qty_part.empty() && name == options_.qty_part) {
+      role = kQty;
+    } else if (!options_.time_part.empty() && name == options_.time_part) {
+      role = kTime;
     }
-    handles.reserve(closed.size());
-    for (const auto& span : closed) {
-      const AggregateResult agg = Aggregate(options_.aggregate, span);
-      if (agg.count == 0) {
-        continue;
+    roles.emplace(name_id, role);
+    return role;
+  };
+
+  std::vector<EventHandle> handles;
+  for (size_t e = 0; e < view.size(); ++e) {
+    const size_t begin = view.parts_begin(e);
+    const size_t end = view.parts_end(e);
+    // First visible part of each role, matching the per-event path's
+    // ReadPart(...).front() picks.
+    size_t value_p = end;
+    size_t qty_p = end;
+    size_t time_p = end;
+    for (size_t p = begin; p < end; ++p) {
+      switch (role_of(view.name_id(p))) {
+        case kValue: value_p = value_p == end ? p : value_p; break;
+        case kQty: qty_p = qty_p == end ? p : qty_p; break;
+        case kTime: time_p = time_p == end ? p : time_p; break;
+        default: break;
       }
-      EmitResult(ctx, agg, &handles);
     }
+    if (value_p == end || !view.value(value_p).IsNumeric()) {
+      continue;
+    }
+    WindowItem item;
+    item.value = view.value(value_p).AsDouble();
+    item.label = view.label(value_p);
+    if (qty_p != end && view.value(qty_p).kind() == Value::Kind::kInt) {
+      item.qty = view.value(qty_p).int_value();
+      // The quantity co-determines the aggregate, so its label joins in.
+      item.label = LabelJoin(item.label, view.label(qty_p));
+    }
+    item.ts_ns = time_p != end && view.value(time_p).kind() == Value::Kind::kInt
+                     ? view.value(time_p).int_value()
+                     : view.origin_ns(e);
+    FoldSample(ctx, std::move(item), &handles);
   }
   if (!handles.empty()) {
     size_t published = 0;
     (void)ctx.PublishBatch(handles, &published);
     emissions_ += published;
+  }
+}
+
+void WindowAggregateUnit::FoldSample(UnitContext& ctx, WindowItem item,
+                                     std::vector<EventHandle>* handles) {
+  ++samples_;
+  if (incremental_.has_value()) {
+    // Sliding + subtractable: O(evicted) Fold/Unfold, no span copy.
+    const auto agg = incremental_->Add(std::move(item));
+    if (agg.has_value() && agg->count > 0) {
+      EmitResult(ctx, *agg, handles);
+    }
+  } else {
+    std::vector<std::vector<WindowItem>> closed;
+    window_.Add(std::move(item), &closed);
+    for (const auto& span : closed) {
+      const AggregateResult agg = Aggregate(options_.aggregate, span);
+      if (agg.count == 0) {
+        continue;
+      }
+      EmitResult(ctx, agg, handles);
+    }
   }
 }
 

@@ -80,6 +80,13 @@ class WindowAggregateUnit : public Unit {
 
   void OnStart(UnitContext& ctx) override;
   void OnEvent(UnitContext& ctx, EventHandle event, SubscriptionId sub) override;
+  // Native columnar consumption: when the engine delivers a BatchView, the
+  // unit classifies each DISTINCT interned part name once and folds samples
+  // straight off the id columns — no per-event part-map materialisation. The
+  // fold, gating and emission labels are shared with the per-event path, so
+  // which delivery path ran is unobservable downstream.
+  bool ConsumesEventBatches() const override { return true; }
+  void OnEventBatch(UnitContext& ctx, const BatchView& view, SubscriptionId sub) override;
 
   uint64_t samples() const { return samples_; }
   uint64_t emissions() const { return emissions_; }
@@ -91,6 +98,10 @@ class WindowAggregateUnit : public Unit {
   }
 
  private:
+  // Folds one sample into the window state (incremental or refold path) and
+  // appends any resulting gated emissions — the single fold core both
+  // delivery paths share.
+  void FoldSample(UnitContext& ctx, WindowItem item, std::vector<EventHandle>* handles);
   void EmitResult(UnitContext& ctx, const AggregateResult& agg,
                   std::vector<EventHandle>* handles);
 

@@ -6,6 +6,26 @@
 // needs: the engine, the unit/context API (Table 1), labels/tags/privileges,
 // filters and values. Engine internals (dispatcher, subscription records,
 // delivery plans) stay private to src/core/engine.cc.
+//
+// DEPRECATION NOTE — raw Table-1 read shims (API v3 migration).
+//
+// The per-call read shims on UnitContext are superseded by the unified read
+// wrappers and remain only as compatibility shims; each one costs a separate
+// visibility walk (and ReadPart a separate name probe) per call, where the
+// v3 wrappers take one snapshot per event — or zero copies per batch:
+//
+//   deprecated shim                    migrate to
+//   ---------------------------------  --------------------------------------
+//   ReadPart(e, name)                  ReadEvent(e) -> EventView::Find/FindAll
+//   ReadAllParts(e)                    ReadEvent(e) -> EventView::parts()
+//   per-event OnEvent part reads       ConsumesEventBatches() + OnEventBatch
+//     (hot subscribers)                  (BatchView columns / ReadBatchColumn*)
+//
+// One deliberate exception: ReadPart is still the ONLY read that bestows a
+// part's carried privileges (§3.1.5) — keep an explicit ReadPart call for
+// privilege transfer; EventView and BatchView reads never bestow. The shims
+// stay functional (no attribute, no removal date) because the DEFC model is
+// enforced identically on every path; new units should target the v3 surface.
 #ifndef DEFCON_SRC_CORE_API_H_
 #define DEFCON_SRC_CORE_API_H_
 

@@ -67,6 +67,8 @@ struct EngineCounters {
   std::atomic<uint64_t> batch_flow_memo_hits{0};
   std::atomic<uint64_t> batch_plane_publishes{0};
   std::atomic<uint64_t> batch_plane_events{0};
+  std::atomic<uint64_t> batch_view_deliveries{0};
+  std::atomic<uint64_t> part_map_deliveries{0};
   std::atomic<uint64_t> flow_slots_reused{0};
   std::atomic<uint64_t> flow_slot_high_water{0};
   std::atomic<uint64_t> candidate_cache_hits{0};
@@ -95,6 +97,8 @@ struct EngineCounters {
     s.batch_flow_memo_hits = batch_flow_memo_hits.load(std::memory_order_relaxed);
     s.batch_plane_publishes = batch_plane_publishes.load(std::memory_order_relaxed);
     s.batch_plane_events = batch_plane_events.load(std::memory_order_relaxed);
+    s.batch_view_deliveries = batch_view_deliveries.load(std::memory_order_relaxed);
+    s.part_map_deliveries = part_map_deliveries.load(std::memory_order_relaxed);
     s.flow_slots_reused = flow_slots_reused.load(std::memory_order_relaxed);
     s.flow_slot_high_water = flow_slot_high_water.load(std::memory_order_relaxed);
     s.candidate_cache_hits = candidate_cache_hits.load(std::memory_order_relaxed);
@@ -253,6 +257,18 @@ struct DeliveryPlan {
   bool in_flight = false;
 };
 
+// A donated columnar batch (rvalue PublishEventBatch) kept alive across
+// dispatch so opted-in subscribers (Unit::ConsumesEventBatches) read their
+// BatchViews straight off its columns — the zero-copy delivery edge. `rows`
+// and `origins` are indexed by dispatched-master position (empty batch rows
+// are dropped before dispatch, so master index and batch row can diverge).
+struct SharedBatch {
+  EventBatch batch;
+  std::vector<Label> stamped;    // engine-stamped label per original label id
+  std::vector<uint32_t> rows;    // batch row per dispatched master
+  std::vector<int64_t> origins;  // resolved origin per dispatched master
+};
+
 }  // namespace engine_internal
 
 using engine_internal::CandidateList;
@@ -266,6 +282,7 @@ using engine_internal::kNoFlowSlot;
 using engine_internal::EngineCounters;
 using engine_internal::HandleRecord;
 using engine_internal::PlannedDelivery;
+using engine_internal::SharedBatch;
 using engine_internal::SubscriptionRecord;
 
 struct UnitState {
@@ -306,7 +323,13 @@ struct UnitState {
   // delivery turn). Events created during a delivery inherit it, so the
   // "originating tick time" flows tick -> match -> order -> trade and the
   // latency benches can measure end-to-end delay exactly as the paper does.
+  // An OnEventBatch turn covers several events; creations inside it inherit
+  // the first covered event's origin.
   int64_t current_delivery_origin_ns = 0;
+
+  // The BatchView being delivered by the current OnEventBatch turn (null
+  // outside one); what UnitContext::ReadBatchView exposes.
+  const BatchView* current_batch_view = nullptr;
 };
 
 namespace {
@@ -1546,7 +1569,8 @@ struct Engine::Impl {
   // subscription-index probe per distinct filter key, one CanFlowTo per
   // distinct (part label, subscription) pair — and the initial deliveries of
   // every plan are handed to the executor with a single wake.
-  void DispatchBatch(std::vector<EventPtr> masters, const BatchDispatchHints* hints = nullptr) {
+  void DispatchBatch(std::vector<EventPtr> masters, const BatchDispatchHints* hints = nullptr,
+                     std::shared_ptr<SharedBatch> shared = nullptr) {
     if (masters.empty()) {
       return;
     }
@@ -1564,8 +1588,46 @@ struct Engine::Impl {
     std::vector<std::vector<PlannedDelivery>> matches(masters.size());
     ComputeMatchesBatch(masters, &matches, hints);
 
+    // Columnar delivery diversion (API v3): matches against a regular
+    // subscription whose unit opts in (ConsumesEventBatches) are pulled out
+    // of the per-event plans and served as BatchViews over the donated batch
+    // — one OnEventBatch turn per (subscription, contiguous run). Their
+    // dedup keys still enter each plan's `planned` set, so a mid-flight
+    // re-match cannot deliver the same event to the same subscription a
+    // second time through the per-event path; only units that newly match
+    // after a modification arrive via OnEvent. Managed subscriptions always
+    // take the per-event path (their instance resolution is per-label).
+    std::unordered_map<UnitId, std::shared_ptr<UnitState>> opted;
+    auto opted_unit = [&](UnitId id) -> UnitState* {
+      auto it = opted.find(id);
+      if (it == opted.end()) {
+        auto unit = FindUnit(id);
+        if (unit != nullptr && !unit->logic->ConsumesEventBatches()) {
+          unit = nullptr;
+        }
+        it = opted.emplace(id, std::move(unit)).first;
+      }
+      return it->second.get();
+    };
+
     std::vector<ActorExecutor::ActorTurn> turns;
     turns.reserve(masters.size());
+    if (shared != nullptr) {
+      // (unit id, subscription id) -> ascending dispatched-master indices.
+      // Ordered so the turn sequence is deterministic.
+      std::map<std::pair<UnitId, SubscriptionId>, std::vector<uint32_t>> view_events;
+      for (size_t i = 0; i < masters.size(); ++i) {
+        for (const auto& m : matches[i]) {
+          if (m.unit_id != 0 && opted_unit(m.unit_id) != nullptr) {
+            view_events[{m.unit_id, m.sub_id}].push_back(static_cast<uint32_t>(i));
+          }
+        }
+      }
+      for (const auto& [key, events] : view_events) {
+        AppendBatchViewTurns(shared, opted[key.first], key.second, events, &turns);
+      }
+    }
+
     for (size_t i = 0; i < masters.size(); ++i) {
       auto plan = std::make_shared<DeliveryPlan>();
       plan->master = std::move(masters[i]);
@@ -1573,7 +1635,9 @@ struct Engine::Impl {
       {
         std::lock_guard<std::mutex> lock(plan->mutex);
         for (auto& m : matches[i]) {
-          if (plan->planned.insert(m.dedup_key).second) {
+          const bool diverted =
+              shared != nullptr && m.unit_id != 0 && opted_unit(m.unit_id) != nullptr;
+          if (plan->planned.insert(m.dedup_key).second && !diverted) {
             plan->pending.push_back(std::move(m));
           }
         }
@@ -1581,6 +1645,91 @@ struct Engine::Impl {
       AdvancePlan(plan, &turns);
     }
     executor.PostBatch(std::move(turns));
+  }
+
+  // Builds the OnEventBatch turns for one opted-in (unit, subscription):
+  // `events` (ascending master indices) is split into maximal runs of
+  // consecutive indices, and each run becomes one BatchView turn. Row-wise
+  // label filtering happens HERE, before any view exists: a part whose
+  // stamped label cannot flow to the subscriber's input label never enters
+  // the view's part index, so no accessor or span can expose it. Verdicts
+  // are memoized per distinct original label id (the columnar win: one
+  // CanFlowTo per distinct label instead of one per part).
+  void AppendBatchViewTurns(const std::shared_ptr<SharedBatch>& shared,
+                            const std::shared_ptr<UnitState>& unit, SubscriptionId sub_id,
+                            const std::vector<uint32_t>& events,
+                            std::vector<ActorExecutor::ActorTurn>* turns) {
+    const EventBatch& batch = shared->batch;
+    Label in_label;
+    {
+      std::lock_guard<std::mutex> lock(unit->label_mutex);
+      in_label = unit->in_label;
+    }
+    constexpr uint8_t kUnknown = 0, kBlocked = 1, kVisible = 2;
+    std::vector<uint8_t> verdict(shared->stamped.size(), kUnknown);
+    auto visible = [&](uint32_t orig) {
+      uint8_t& v = verdict[orig];
+      if (v == kUnknown) {
+        if (!security_on()) {
+          v = kVisible;
+        } else {
+          stats.label_checks.fetch_add(1, std::memory_order_relaxed);
+          v = CanFlowTo(shared->stamped[orig], in_label) ? kVisible : kBlocked;
+        }
+      }
+      return v == kVisible;
+    };
+    size_t start = 0;
+    while (start < events.size()) {
+      size_t stop = start + 1;
+      while (stop < events.size() && events[stop] == events[stop - 1] + 1) {
+        ++stop;
+      }
+      std::vector<int64_t> origins;
+      std::vector<uint32_t> offsets{0};
+      std::vector<uint32_t> parts;
+      bool all_visible = true;
+      origins.reserve(stop - start);
+      offsets.reserve(stop - start + 1);
+      for (size_t e = start; e < stop; ++e) {
+        const uint32_t master = events[e];
+        origins.push_back(shared->origins[master]);
+        const uint32_t row = shared->rows[master];
+        for (size_t p = batch.parts_begin(row); p < batch.parts_end(row); ++p) {
+          if (visible(batch.label_id(p))) {
+            parts.push_back(static_cast<uint32_t>(p));
+          } else {
+            all_visible = false;
+          }
+        }
+        offsets.push_back(static_cast<uint32_t>(parts.size()));
+      }
+      // Dropped (empty) batch rows between consecutive masters contribute no
+      // parts, so an all-visible run is an unbroken slice of the batch's
+      // part columns even across them — that is what `contiguous` promises.
+      BatchView view = BatchViewFactory::Make(
+          std::shared_ptr<const void>(shared, shared.get()), &shared->batch,
+          shared->stamped.data(), std::move(origins), std::move(offsets), std::move(parts),
+          all_visible);
+      turns->emplace_back(unit->actor, [this, unit, sub_id, view = std::move(view)] {
+        DeliverBatchViewTurn(unit, sub_id, view);
+      });
+      start = stop;
+    }
+  }
+
+  void DeliverBatchViewTurn(const std::shared_ptr<UnitState>& unit, SubscriptionId sub_id,
+                            const BatchView& view) {
+    stats.batch_view_deliveries.fetch_add(1, std::memory_order_relaxed);
+    // `deliveries` counts events-per-subscriber path-neutrally: this one turn
+    // delivers view.size() events that the part-map path would have delivered
+    // as view.size() OnEvent turns.
+    stats.deliveries.fetch_add(view.size(), std::memory_order_relaxed);
+    unit->current_delivery_origin_ns = view.empty() ? 0 : view.origin_ns(0);
+    unit->current_batch_view = &view;
+    unit->logic->OnEventBatch(*unit->ctx, view, sub_id);
+    unit->current_batch_view = nullptr;
+    unit->current_delivery_origin_ns = 0;
   }
 
   // ---- columnar batch publication ------------------------------------------
@@ -1596,6 +1745,18 @@ struct Engine::Impl {
   // BatchDispatchHints; without it the same materialised events take the
   // un-hinted path — delivery transcripts are identical either way.
   Status PublishEventBatch(UnitState* state, const EventBatch& batch, size_t* published) {
+    return PublishEventBatch(state, batch, /*owned=*/nullptr, published);
+  }
+
+  // Rvalue path: the caller donates the batch, so view-consuming subscribers
+  // (Unit::ConsumesEventBatches) can be served zero-copy BatchViews over its
+  // columns, which stay alive until the last view turn completes.
+  Status PublishEventBatch(UnitState* state, EventBatch&& batch, size_t* published) {
+    return PublishEventBatch(state, batch, /*owned=*/&batch, published);
+  }
+
+  Status PublishEventBatch(UnitState* state, const EventBatch& batch, EventBatch* owned,
+                           size_t* published) {
     if (published != nullptr) {
       *published = 0;
     }
@@ -1637,6 +1798,12 @@ struct Engine::Impl {
     std::map<std::vector<uint32_t>, uint32_t> shape_of;
     const bool index_on = config.use_subscription_index;
 
+    // Rows/origins per dispatched master, collected for the view path (the
+    // batch row diverges from the master index once an empty row drops).
+    const bool viewable = owned != nullptr && hinted;
+    std::vector<uint32_t> rows_of_master;
+    std::vector<int64_t> origins_of_master;
+
     Status first_error = OkStatus();
     std::vector<EventPtr> masters;
     masters.reserve(rows);
@@ -1651,12 +1818,17 @@ struct Engine::Impl {
         }
         continue;
       }
+      const int64_t origin_ns = batch.origin_ns(r) != 0
+                                    ? batch.origin_ns(r)
+                                    : (state->current_delivery_origin_ns != 0
+                                           ? state->current_delivery_origin_ns
+                                           : MonotonicNowNs());
       auto event = std::make_shared<Event>(next_event_id.fetch_add(1), state->id);
-      event->set_origin_ns(batch.origin_ns(r) != 0
-                               ? batch.origin_ns(r)
-                               : (state->current_delivery_origin_ns != 0
-                                      ? state->current_delivery_origin_ns
-                                      : MonotonicNowNs()));
+      event->set_origin_ns(origin_ns);
+      if (viewable) {
+        rows_of_master.push_back(static_cast<uint32_t>(r));
+        origins_of_master.push_back(origin_ns);
+      }
       std::vector<uint32_t> row_label_ids;
       if (hinted) {
         row_label_ids.reserve(end - begin);
@@ -1734,7 +1906,15 @@ struct Engine::Impl {
       *published = masters.size();
     }
     if (hinted && masters.size() > 1) {
-      DispatchBatch(std::move(masters), &hints);
+      std::shared_ptr<SharedBatch> shared;
+      if (viewable) {
+        shared = std::make_shared<SharedBatch>();
+        shared->batch = std::move(*owned);  // `batch` must not be read past here
+        shared->stamped = std::move(stamped);
+        shared->rows = std::move(rows_of_master);
+        shared->origins = std::move(origins_of_master);
+      }
+      DispatchBatch(std::move(masters), &hints, std::move(shared));
     } else {
       DispatchBatch(std::move(masters));
     }
@@ -1786,6 +1966,7 @@ struct Engine::Impl {
   void DeliverTurn(const std::shared_ptr<UnitState>& unit, SubscriptionId sub_id,
                    const std::shared_ptr<DeliveryPlan>& plan) {
     stats.deliveries.fetch_add(1, std::memory_order_relaxed);
+    stats.part_map_deliveries.fetch_add(1, std::memory_order_relaxed);
     EventPtr view = plan->master;
     if (config.mode == SecurityMode::kLabelsClone) {
       view = plan->master->DeepCopy(next_event_id.fetch_add(1));
@@ -2123,6 +2304,42 @@ Result<std::vector<NamedPartView>> UnitContext::ReadAllParts(EventHandle event) 
   return views;
 }
 
+Result<EventView> UnitContext::ReadEvent(EventHandle event) {
+  DEFCON_ASSIGN_OR_RETURN(std::vector<NamedPartView> parts, ReadAllParts(event));
+  return EventView(std::move(parts));
+}
+
+Result<const BatchView*> UnitContext::ReadBatchView() {
+  Engine::Impl* impl = engine_->impl_.get();
+  DEFCON_RETURN_IF_ERROR(impl->CheckApi(state_, ApiTarget::kReadPart));
+  if (state_->current_batch_view == nullptr) {
+    return FailedPrecondition("no batch view in flight (only valid inside OnEventBatch)");
+  }
+  impl->stats.parts_read.fetch_add(state_->current_batch_view->part_count(),
+                                   std::memory_order_relaxed);
+  return state_->current_batch_view;
+}
+
+Result<std::span<const int64_t>> UnitContext::ReadBatchColumnOrigins() {
+  DEFCON_ASSIGN_OR_RETURN(const BatchView* view, ReadBatchView());
+  return view->origins();
+}
+
+Result<std::span<const uint32_t>> UnitContext::ReadBatchColumnNameIds() {
+  DEFCON_ASSIGN_OR_RETURN(const BatchView* view, ReadBatchView());
+  return view->name_ids();
+}
+
+Result<std::span<const uint32_t>> UnitContext::ReadBatchColumnLabelIds() {
+  DEFCON_ASSIGN_OR_RETURN(const BatchView* view, ReadBatchView());
+  return view->label_ids();
+}
+
+Result<std::span<const Value>> UnitContext::ReadBatchColumnValues() {
+  DEFCON_ASSIGN_OR_RETURN(const BatchView* view, ReadBatchView());
+  return view->values();
+}
+
 Status UnitContext::AttachPrivilegeToPart(EventHandle event, const std::string& name,
                                           const Label& label, Tag tag, Privilege privilege) {
   Engine::Impl* impl = engine_->impl_.get();
@@ -2232,6 +2449,10 @@ Status UnitContext::PublishBatch(const std::vector<EventHandle>& events, size_t*
 
 Status UnitContext::PublishEventBatch(const EventBatch& batch, size_t* published) {
   return engine_->impl_->PublishEventBatch(state_, batch, published);
+}
+
+Status UnitContext::PublishEventBatch(EventBatch&& batch, size_t* published) {
+  return engine_->impl_->PublishEventBatch(state_, std::move(batch), published);
 }
 
 EventBuilder UnitContext::BuildEvent() { return EventBuilder(this, CreateEvent()); }

@@ -98,6 +98,14 @@ struct EngineStatsSnapshot {
   // id), and events that flowed through them.
   uint64_t batch_plane_publishes = 0;
   uint64_t batch_plane_events = 0;
+  // Delivery-path accounting: turns delivered as columnar BatchViews to
+  // opted-in subscribers (one per (subscription, contiguous slice)) vs.
+  // per-event part-map turns (OnEvent). The A/B perf gate asserts which path
+  // ran. `deliveries` below stays path-neutral — it counts EVENTS delivered
+  // per subscriber (a view turn contributes its covered event count), so it
+  // is comparable across the two paths and across the batch-plane A/B.
+  uint64_t batch_view_deliveries = 0;
+  uint64_t part_map_deliveries = 0;
   // Flow-slot compaction: slots recycled from removed units' free list, and
   // the densest slot ever issued (the dense-snapshot footprint high water).
   uint64_t flow_slots_reused = 0;

@@ -150,6 +150,30 @@ BatchBuilder& BatchBuilder::Part(const Label& label, std::string_view name, Valu
   return *this;
 }
 
+uint32_t BatchBuilder::InternName(std::string_view name) {
+  return batch_.names_.Intern(name);
+}
+
+uint32_t BatchBuilder::InternLabel(const Label& label) {
+  return batch_.labels_.Acquire(label);
+}
+
+BatchBuilder& BatchBuilder::PartById(uint32_t name_id, uint32_t label_id, Value value) {
+  if (batch_.origins_.empty()) {
+    BeginEvent();
+  }
+  batch_.name_ids_.push_back(name_id);
+  batch_.labels_.AddRef(label_id);
+  batch_.label_ids_.push_back(label_id);
+  batch_.svalue_ids_.push_back(value.kind() == Value::Kind::kString
+                                   ? batch_.svalues_.Intern(value.string_value())
+                                   : EventBatch::kNoStringValue);
+  batch_.value_bytes_ += value.EstimateBytes();
+  batch_.values_.push_back(std::move(value));
+  batch_.part_offsets_.back() = static_cast<uint32_t>(batch_.values_.size());
+  return *this;
+}
+
 EventBatch BatchBuilder::Build() {
   EventBatch out = std::move(batch_);
   batch_ = EventBatch();

@@ -29,6 +29,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -92,6 +93,9 @@ class LabelInterner {
  public:
   // Interns (first sight) and adds one reference. Returns the label's id.
   uint32_t Acquire(const Label& label);
+  // Adds one reference to an id that is already live (skips the key render
+  // and map probe — the table-interning fast path for decoded wire frames).
+  void AddRef(uint32_t id) { ++entries_[id].refs; }
   // Drops one reference; returns true when this was the last (the id is
   // recycled and must not be dereferenced afterwards).
   bool Release(uint32_t id);
@@ -164,6 +168,16 @@ class EventBatch {
   size_t distinct_svalues() const { return svalues_.size(); }
   size_t distinct_labels() const { return labels_.slot_count(); }
 
+  // Whole-column spans (valid while the batch is alive and unmoved). These
+  // are what BatchView slices; unit code normally reads through the view so
+  // label filtering has already been applied.
+  std::span<const int64_t> origins() const { return origins_; }
+  std::span<const uint32_t> part_offsets() const { return part_offsets_; }
+  std::span<const uint32_t> name_id_column() const { return name_ids_; }
+  std::span<const uint32_t> label_id_column() const { return label_ids_; }
+  std::span<const uint32_t> svalue_id_column() const { return svalue_ids_; }
+  std::span<const Value> value_column() const { return values_; }
+
   // Approximate heap footprint: arena chunks, columns, interned labels and
   // value payloads — what the memory accountant charges for the batch's
   // lifetime across dispatch (fig7's batch-plane column reads this).
@@ -192,6 +206,15 @@ class BatchBuilder {
   BatchBuilder& BeginEvent(int64_t origin_ns = 0);
   BatchBuilder& Part(const Label& label, std::string_view name, Value value);
 
+  // Table-level interning: pre-intern a frame's name/label tables once, then
+  // append parts by id. This is the mesh-import fast path — per part the cost
+  // is two id copies instead of a hash probe plus a canonical label render.
+  // InternLabel holds one builder-side reference so the id stays live even if
+  // no part ends up using it (clipped rows); PartById adds one per part.
+  uint32_t InternName(std::string_view name);
+  uint32_t InternLabel(const Label& label);
+  BatchBuilder& PartById(uint32_t name_id, uint32_t label_id, Value value);
+
   size_t event_count() const { return batch_.event_count(); }
   size_t part_count() const { return batch_.part_count(); }
 
@@ -200,6 +223,109 @@ class BatchBuilder {
 
  private:
   EventBatch batch_;
+};
+
+// Read-only columnar window over an in-flight EventBatch, scoped to the rows
+// one subscriber is allowed to see. The engine hands one BatchView per
+// (subscriber, contiguous run of batch events) to Unit::OnEventBatch when the
+// unit opts in via ConsumesEventBatches().
+//
+// Label filtering happens row-wise BEFORE the view is built: a part whose
+// stamped label fails the subscriber's CanFlowTo check is simply absent from
+// the view's part index — no accessor, span or id table exposes it. Labels
+// read through the view are the engine-stamped labels (S∪Sout / I∩Iout),
+// exactly what ReadAllParts would return, and origins are the resolved
+// publish-time origins, so a view transcript is byte-identical to the
+// part-map transcript for the same rows.
+//
+// The view shares the batch's arena and interner storage (zero copies of
+// names, string payloads or values). It keeps the underlying storage alive
+// via an internal shared handle, but the engine-facing contract is to consume
+// it inside OnEventBatch; there is no EventHandle, so view subscribers cannot
+// modify or release the delivered events.
+class BatchView {
+ public:
+  BatchView() = default;
+
+  // Events in this view (a contiguous run of the published batch).
+  size_t size() const { return origins_.size(); }
+  bool empty() const { return origins_.empty(); }
+  int64_t origin_ns(size_t event) const { return origins_[event]; }
+  // Visible-part range of one event, as view-part indices.
+  size_t parts_begin(size_t event) const { return offsets_[event]; }
+  size_t parts_end(size_t event) const { return offsets_[event + 1]; }
+  size_t part_count() const { return parts_.size(); }
+
+  // Per view-part columns.
+  uint32_t name_id(size_t part) const { return batch_->name_id(parts_[part]); }
+  uint32_t label_id(size_t part) const { return batch_->label_id(parts_[part]); }
+  uint32_t svalue_id(size_t part) const { return batch_->svalue_id(parts_[part]); }
+  const Value& value(size_t part) const { return batch_->value(parts_[part]); }
+
+  // Interner lookups. label_of returns the STAMPED label — what ReadAllParts
+  // shows a part-map subscriber — not the publisher's pre-stamp original.
+  std::string_view name_of(uint32_t name_id) const { return batch_->name(name_id); }
+  const Label& label_of(uint32_t label_id) const { return stamped_[label_id]; }
+  std::string_view svalue_of(uint32_t svalue_id) const { return batch_->svalue(svalue_id); }
+
+  // Convenience per-part row reads (lookup composed with the id columns).
+  std::string_view name(size_t part) const { return name_of(name_id(part)); }
+  const Label& label(size_t part) const { return label_of(label_id(part)); }
+
+  // Zero-copy column spans. origins() is always available. The per-part id
+  // and value spans point straight into the batch columns and exist only when
+  // the view is contiguous (every part of every covered event passed the
+  // label check, so the view is an unbroken slice of the batch's part
+  // columns); otherwise they return empty and callers fall back to the
+  // per-part accessors above, which skip blocked rows by construction.
+  bool contiguous() const { return contiguous_; }
+  std::span<const int64_t> origins() const { return origins_; }
+  std::span<const uint32_t> name_ids() const {
+    return contiguous_ ? batch_->name_id_column().subspan(parts_.front(), parts_.size())
+                       : std::span<const uint32_t>();
+  }
+  std::span<const uint32_t> label_ids() const {
+    return contiguous_ ? batch_->label_id_column().subspan(parts_.front(), parts_.size())
+                       : std::span<const uint32_t>();
+  }
+  std::span<const uint32_t> svalue_ids() const {
+    return contiguous_ ? batch_->svalue_id_column().subspan(parts_.front(), parts_.size())
+                       : std::span<const uint32_t>();
+  }
+  std::span<const Value> values() const {
+    return contiguous_ ? batch_->value_column().subspan(parts_.front(), parts_.size())
+                       : std::span<const Value>();
+  }
+
+ private:
+  friend struct BatchViewFactory;
+
+  std::shared_ptr<const void> keepalive_;  // owns batch_ and stamped_ storage
+  const EventBatch* batch_ = nullptr;
+  const Label* stamped_ = nullptr;      // indexed by batch label id
+  std::vector<int64_t> origins_;        // resolved origin per view event
+  std::vector<uint32_t> offsets_;       // size() + 1 view-part offsets
+  std::vector<uint32_t> parts_;         // batch part index per visible part
+  bool contiguous_ = false;
+};
+
+// Engine-side constructor access (keeps BatchView's invariants — notably
+// "parts_ only holds label-check-passing rows" — out of unit code's reach).
+struct BatchViewFactory {
+  static BatchView Make(std::shared_ptr<const void> keepalive, const EventBatch* batch,
+                        const Label* stamped, std::vector<int64_t> origins,
+                        std::vector<uint32_t> offsets, std::vector<uint32_t> parts,
+                        bool contiguous) {
+    BatchView view;
+    view.keepalive_ = std::move(keepalive);
+    view.batch_ = batch;
+    view.stamped_ = stamped;
+    view.origins_ = std::move(origins);
+    view.offsets_ = std::move(offsets);
+    view.parts_ = std::move(parts);
+    view.contiguous_ = contiguous && !view.parts_.empty();
+    return view;
+  }
 };
 
 }  // namespace defcon

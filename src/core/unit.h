@@ -16,7 +16,9 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/base/result.h"
@@ -30,6 +32,7 @@
 
 namespace defcon {
 
+class BatchView;
 class Engine;
 class EventBatch;
 class EventBuilder;
@@ -46,6 +49,23 @@ class Unit {
 
   // Called for every delivered event matching subscription `sub`.
   virtual void OnEvent(UnitContext& ctx, EventHandle event, SubscriptionId sub) = 0;
+
+  // Opt-in columnar delivery (API v3). A unit that returns true receives one
+  // OnEventBatch call per (subscription, contiguous batch slice) whenever a
+  // batch-plane publish matches one of its regular subscriptions, instead of
+  // per-event OnEvent calls. Managed subscriptions, per-event publishes and
+  // events that match only after a mid-flight modification still arrive via
+  // OnEvent, so an opted-in unit must implement both hooks.
+  virtual bool ConsumesEventBatches() const { return false; }
+
+  // Columnar delivery hook: `batch` exposes only rows whose stamped labels
+  // pass this unit's input-label check (filtering happens before the view is
+  // built — see BatchView). There is no EventHandle, so view consumers
+  // cannot modify or re-label the delivered events; labels and origins read
+  // through the view are byte-identical to what OnEvent + ReadAllParts would
+  // observe for the same rows. Only invoked when ConsumesEventBatches() is
+  // true.
+  virtual void OnEventBatch(UnitContext& ctx, const BatchView& batch, SubscriptionId sub) {}
 };
 
 // Factory for managed subscriptions (Table 1, subscribeManaged): the engine
@@ -63,6 +83,50 @@ struct NamedPartView {
   std::string name;
   Label label;
   Value data;
+};
+
+// Unified read wrapper over one delivered event (API v3): a single snapshot
+// of every part visible at the unit's input label, with the name-keyed
+// getters layered over that snapshot so one enumeration serves both access
+// styles (the Table-1 shims cost one visibility walk per call). Rows are
+// NamedPartViews in event part order. Like ReadAllParts — and unlike
+// ReadPart — lookups through an EventView do NOT bestow carried privileges;
+// invisible parts are simply absent.
+class EventView {
+ public:
+  EventView() = default;
+  explicit EventView(std::vector<NamedPartView> parts) : parts_(std::move(parts)) {}
+
+  size_t size() const { return parts_.size(); }
+  bool empty() const { return parts_.empty(); }
+  const NamedPartView& operator[](size_t i) const { return parts_[i]; }
+  const std::vector<NamedPartView>& parts() const { return parts_; }
+  std::vector<NamedPartView>::const_iterator begin() const { return parts_.begin(); }
+  std::vector<NamedPartView>::const_iterator end() const { return parts_.end(); }
+
+  // First visible part with this name, or nullptr.
+  const NamedPartView* Find(std::string_view name) const {
+    for (const NamedPartView& part : parts_) {
+      if (part.name == name) {
+        return &part;
+      }
+    }
+    return nullptr;
+  }
+
+  // Every visible part with this name, in event order.
+  std::vector<const NamedPartView*> FindAll(std::string_view name) const {
+    std::vector<const NamedPartView*> out;
+    for (const NamedPartView& part : parts_) {
+      if (part.name == name) {
+        out.push_back(&part);
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::vector<NamedPartView> parts_;
 };
 
 // Marker base class for types a unit may synchronise on (§4.3): a
@@ -113,12 +177,21 @@ class UnitContext {
   // whose label can flow to this unit's input label. Reading a
   // privilege-carrying part bestows its privileges (§3.1.5). An empty result
   // is not an error — invisible parts behave exactly like absent ones.
+  // Deprecated for plain data reads — use ReadEvent (see api.h migration
+  // note); keep ReadPart where privilege bestowal is the point.
   Result<std::vector<PartView>> ReadPart(EventHandle event, const std::string& name);
 
   // Enumerates every part visible at this unit's input label. Unlike
   // ReadPart, enumeration does NOT bestow carried privileges — privilege
   // transfer stays tied to an explicit named read.
+  // Deprecated — use ReadEvent, which wraps this snapshot with name-keyed
+  // getters (see api.h migration note).
   Result<std::vector<NamedPartView>> ReadAllParts(EventHandle event);
+
+  // API v3: one-shot read wrapper — the ReadAllParts snapshot packaged with
+  // name-keyed getters (EventView::Find/FindAll), so a unit that reads
+  // several parts pays one visibility walk instead of one per ReadPart call.
+  Result<EventView> ReadEvent(EventHandle event);
 
   // attachPrivilegeToPart(e, name, S, I, t, p): requires t^{p auth}.
   Status AttachPrivilegeToPart(EventHandle event, const std::string& name, const Label& label,
@@ -164,9 +237,35 @@ class UnitContext {
   // of rows that entered dispatch.
   Status PublishEventBatch(const EventBatch& batch, size_t* published = nullptr);
 
+  // Rvalue overload: donates the batch to the engine, which keeps its arena
+  // and columns alive across dispatch and serves opted-in subscribers
+  // (Unit::ConsumesEventBatches) zero-copy BatchViews over them. Semantics
+  // are otherwise identical to the const& overload — which, unable to extend
+  // the batch's lifetime, always delivers through the per-event part-map
+  // path. Prefer this overload for fire-and-forget batch producers.
+  Status PublishEventBatch(EventBatch&& batch, size_t* published = nullptr);
+
   // release(e): lets the dispatcher continue delivering a received event to
   // other units (§3.1.6). Implicit when OnEvent returns.
   Status Release(EventHandle event);
+
+  // --- columnar delivery reads (API v3) -----------------------------------
+
+  // The BatchView being delivered by the current OnEventBatch turn, or
+  // FailedPrecondition outside one. Equivalent to reading the hook's `batch`
+  // parameter, but routed through the API interception layer (isolation mode
+  // charges it like ReadAllParts) and accounted in stats().parts_read.
+  Result<const BatchView*> ReadBatchView();
+
+  // Typed column spans over the in-flight batch view — ReadBatchView()
+  // composed with the matching span accessor. The per-part spans are empty
+  // when the view is non-contiguous (a blocked row split the slice); callers
+  // then fall back to BatchView's per-part accessors, which skip blocked
+  // rows by construction.
+  Result<std::span<const int64_t>> ReadBatchColumnOrigins();
+  Result<std::span<const uint32_t>> ReadBatchColumnNameIds();
+  Result<std::span<const uint32_t>> ReadBatchColumnLabelIds();
+  Result<std::span<const Value>> ReadBatchColumnValues();
 
   // --- subscriptions -------------------------------------------------------
 

@@ -71,6 +71,7 @@ MeshStats MeshNode::stats() const {
     stats.parts_imported = importer_->parts_imported();
     stats.decode_errors = importer_->decode_errors();
     stats.integrity_clipped = importer_->integrity_clipped();
+    stats.batch_plane_publishes = importer_->batch_plane_publishes();
   }
   for (const auto& sender : senders_) {
     const LinkSenderStats link = sender->stats();

@@ -44,6 +44,9 @@ struct MeshStats {
   uint64_t parts_imported = 0;
   uint64_t decode_errors = 0;
   uint64_t integrity_clipped = 0;
+  // Inbound v2 frames republished through PublishEventBatch (batch-native
+  // import). Zero when every peer speaks wire v1.
+  uint64_t batch_plane_publishes = 0;
   uint64_t link_reconnects = 0;
   uint64_t frames_replayed = 0;
   uint64_t frames_dropped_overflow = 0;

@@ -44,11 +44,11 @@ Result<std::vector<RelayedPart>> DecodeRelay(const std::vector<uint8_t>& payload
 
 namespace {
 
-// Borrowed view of one part, so both encoder entry points (RelayEvent vectors
-// and the exporters' NamedPartView projections) share one core without
-// copying names, labels or values.
+// Borrowed view of one part, so every encoder entry point (RelayEvent
+// vectors, the exporters' NamedPartView projections, delivered BatchViews)
+// shares one core without copying names, labels or values.
 struct PartRef {
-  const std::string* name;
+  std::string_view name;
   const Label* label;
   const Value* data;
 };
@@ -57,14 +57,15 @@ struct PartRef {
 // collision-free rendering the engine's caches use).
 struct ColumnTables {
   std::unordered_map<std::string, uint32_t> name_ids;
-  std::vector<const std::string*> names;
+  std::vector<std::string_view> names;
   std::unordered_map<std::string, uint32_t> label_ids;
   std::vector<const Label*> labels;
 
-  uint32_t NameId(const std::string& name) {
-    const auto [it, inserted] = name_ids.emplace(name, static_cast<uint32_t>(names.size()));
+  uint32_t NameId(std::string_view name) {
+    const auto [it, inserted] =
+        name_ids.emplace(std::string(name), static_cast<uint32_t>(names.size()));
     if (inserted) {
-      names.push_back(&name);
+      names.push_back(name);
     }
     return it->second;
   }
@@ -85,15 +86,15 @@ std::vector<uint8_t> EncodeRelayColumnarImpl(const std::vector<int64_t>& origins
   std::vector<uint32_t> label_col;
   for (const std::vector<PartRef>& parts : events) {
     for (const PartRef& part : parts) {
-      name_col.push_back(tables.NameId(*part.name));
+      name_col.push_back(tables.NameId(part.name));
       label_col.push_back(tables.LabelId(*part.label));
     }
   }
   WireWriter body;
   body.PutVarint(events.size());
   body.PutVarint(tables.names.size());
-  for (const std::string* name : tables.names) {
-    body.PutString(*name);
+  for (const std::string_view name : tables.names) {
+    body.PutString(name);
   }
   body.PutVarint(tables.labels.size());
   for (const Label* label : tables.labels) {
@@ -137,7 +138,7 @@ std::vector<uint8_t> EncodeRelayColumnar(const std::vector<RelayEvent>& events) 
     std::vector<PartRef> parts;
     parts.reserve(event.parts.size());
     for (const RelayedPart& part : event.parts) {
-      parts.push_back(PartRef{&part.name, &part.label, &part.data});
+      parts.push_back(PartRef{part.name, &part.label, &part.data});
     }
     refs.push_back(std::move(parts));
   }
@@ -149,15 +150,34 @@ std::vector<uint8_t> EncodeRelayColumnar(int64_t origin_ns,
   std::vector<PartRef> refs;
   refs.reserve(parts.size());
   for (const NamedPartView& part : parts) {
-    refs.push_back(PartRef{&part.name, &part.label, &part.data});
+    refs.push_back(PartRef{part.name, &part.label, &part.data});
   }
   return EncodeRelayColumnarImpl({origin_ns}, {std::move(refs)});
 }
 
-Result<std::vector<RelayEvent>> DecodeRelayBatch(const std::vector<uint8_t>& payload) {
+std::vector<uint8_t> EncodeRelayColumnar(const BatchView& view,
+                                         const std::vector<uint32_t>& events) {
+  std::vector<int64_t> origins;
+  std::vector<std::vector<PartRef>> refs;
+  origins.reserve(events.size());
+  refs.reserve(events.size());
+  for (const uint32_t e : events) {
+    origins.push_back(view.origin_ns(e));
+    std::vector<PartRef> parts;
+    parts.reserve(view.parts_end(e) - view.parts_begin(e));
+    for (size_t p = view.parts_begin(e); p < view.parts_end(e); ++p) {
+      parts.push_back(PartRef{view.name(p), &view.label(p), &view.value(p)});
+    }
+    refs.push_back(std::move(parts));
+  }
+  return EncodeRelayColumnarImpl(origins, refs);
+}
+
+Result<RelayColumns> DecodeRelayColumns(const std::vector<uint8_t>& payload) {
   if (!IsColumnarRelayPayload(payload.data(), payload.size())) {
     return IoError("columnar relay payload lacks the v2 magic");
   }
+  RelayColumns out;
   WireReader reader(payload.data() + 2, payload.size() - 2);
   DEFCON_ASSIGN_OR_RETURN(uint64_t event_count, reader.Varint());
   if (event_count > reader.remaining()) {
@@ -167,67 +187,77 @@ Result<std::vector<RelayEvent>> DecodeRelayBatch(const std::vector<uint8_t>& pay
   if (name_count > reader.remaining()) {
     return IoError("columnar relay name count exceeds payload");
   }
-  std::vector<std::string> names;
-  names.reserve(static_cast<size_t>(name_count));
+  out.names.reserve(static_cast<size_t>(name_count));
   for (uint64_t i = 0; i < name_count; ++i) {
     DEFCON_ASSIGN_OR_RETURN(std::string name, reader.String());
-    names.push_back(std::move(name));
+    out.names.push_back(std::move(name));
   }
   DEFCON_ASSIGN_OR_RETURN(uint64_t label_count, reader.Varint());
   if (label_count > reader.remaining()) {
     return IoError("columnar relay label count exceeds payload");
   }
-  std::vector<Label> labels;
-  labels.reserve(static_cast<size_t>(label_count));
+  out.labels.reserve(static_cast<size_t>(label_count));
   for (uint64_t i = 0; i < label_count; ++i) {
     DEFCON_ASSIGN_OR_RETURN(Label label, DecodeLabel(&reader));
-    labels.push_back(std::move(label));
+    out.labels.push_back(std::move(label));
   }
-  std::vector<RelayEvent> events(static_cast<size_t>(event_count));
-  for (RelayEvent& event : events) {
-    DEFCON_ASSIGN_OR_RETURN(event.origin_ns, reader.Zigzag());
+  out.origins.resize(static_cast<size_t>(event_count));
+  for (int64_t& origin : out.origins) {
+    DEFCON_ASSIGN_OR_RETURN(origin, reader.Zigzag());
   }
   uint64_t total_parts = 0;
-  std::vector<uint64_t> part_counts(static_cast<size_t>(event_count));
+  out.part_counts.resize(static_cast<size_t>(event_count));
   for (uint64_t i = 0; i < event_count; ++i) {
-    DEFCON_ASSIGN_OR_RETURN(part_counts[i], reader.Varint());
+    DEFCON_ASSIGN_OR_RETURN(out.part_counts[i], reader.Varint());
     // Per-event check BEFORE summing: each count is bounded by the payload,
     // so the running total cannot wrap uint64 no matter how many events a
     // hostile frame declares. Each part still owes >= 2 id bytes and >= 1
     // value byte downstream.
-    if (part_counts[i] > reader.remaining()) {
+    if (out.part_counts[i] > reader.remaining()) {
       return IoError("columnar relay part count exceeds payload");
     }
-    total_parts += part_counts[i];
+    total_parts += out.part_counts[i];
     if (total_parts > reader.remaining()) {
       return IoError("columnar relay part count exceeds payload");
     }
   }
-  std::vector<uint32_t> name_col(static_cast<size_t>(total_parts));
+  out.name_col.resize(static_cast<size_t>(total_parts));
   for (uint64_t i = 0; i < total_parts; ++i) {
     DEFCON_ASSIGN_OR_RETURN(uint64_t id, reader.Varint());
     if (id >= name_count) {
       return IoError("columnar relay name id out of range");
     }
-    name_col[i] = static_cast<uint32_t>(id);
+    out.name_col[i] = static_cast<uint32_t>(id);
   }
-  std::vector<uint32_t> label_col(static_cast<size_t>(total_parts));
+  out.label_col.resize(static_cast<size_t>(total_parts));
   for (uint64_t i = 0; i < total_parts; ++i) {
     DEFCON_ASSIGN_OR_RETURN(uint64_t id, reader.Varint());
     if (id >= label_count) {
       return IoError("columnar relay label id out of range");
     }
-    label_col[i] = static_cast<uint32_t>(id);
+    out.label_col[i] = static_cast<uint32_t>(id);
   }
+  out.values.reserve(static_cast<size_t>(total_parts));
+  for (uint64_t i = 0; i < total_parts; ++i) {
+    DEFCON_ASSIGN_OR_RETURN(Value value, DecodeValue(&reader));
+    value.Freeze();
+    out.values.push_back(std::move(value));
+  }
+  return out;
+}
+
+Result<std::vector<RelayEvent>> DecodeRelayBatch(const std::vector<uint8_t>& payload) {
+  DEFCON_ASSIGN_OR_RETURN(RelayColumns columns, DecodeRelayColumns(payload));
+  std::vector<RelayEvent> events(columns.origins.size());
   uint64_t part = 0;
-  for (uint64_t i = 0; i < event_count; ++i) {
-    events[i].parts.reserve(static_cast<size_t>(part_counts[i]));
-    for (uint64_t j = 0; j < part_counts[i]; ++j, ++part) {
+  for (size_t i = 0; i < events.size(); ++i) {
+    events[i].origin_ns = columns.origins[i];
+    events[i].parts.reserve(static_cast<size_t>(columns.part_counts[i]));
+    for (uint64_t j = 0; j < columns.part_counts[i]; ++j, ++part) {
       RelayedPart out;
-      out.name = names[name_col[part]];
-      out.label = labels[label_col[part]];
-      DEFCON_ASSIGN_OR_RETURN(out.data, DecodeValue(&reader));
-      out.data.Freeze();
+      out.name = columns.names[columns.name_col[part]];
+      out.label = columns.labels[columns.label_col[part]];
+      out.data = std::move(columns.values[part]);
       events[i].parts.push_back(std::move(out));
     }
   }

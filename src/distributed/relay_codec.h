@@ -77,8 +77,33 @@ std::vector<uint8_t> EncodeRelayColumnar(const std::vector<RelayEvent>& events);
 std::vector<uint8_t> EncodeRelayColumnar(int64_t origin_ns,
                                          const std::vector<NamedPartView>& parts);
 
+// Batch-native export (PR 8): serialises the selected events of a delivered
+// BatchView (ascending view-event indices) as one multi-event v2 frame. The
+// view is already the exporter's label-filtered projection, so the
+// "secrets never reach the wire" property holds by construction.
+std::vector<uint8_t> EncodeRelayColumnar(const BatchView& view,
+                                         const std::vector<uint32_t>& events);
+
 // Decodes a v2 columnar payload (the magic bytes are required).
 Result<std::vector<RelayEvent>> DecodeRelayBatch(const std::vector<uint8_t>& payload);
+
+// Raw decoded v2 tables and columns, exactly as they appear on the wire
+// (ids still reference the frame-local tables). This is the batch-native
+// import path: the importer maps the tables straight into a BatchBuilder's
+// interners and republishes via PublishEventBatch instead of materialising
+// RelayEvents. Values arrive frozen; all hostile-input validation (counts
+// bounded before allocation, ids bounded by their tables, depth-limited
+// values) is identical to DecodeRelayBatch, which is implemented over this.
+struct RelayColumns {
+  std::vector<std::string> names;      // interned part-name table
+  std::vector<Label> labels;           // interned label table
+  std::vector<int64_t> origins;        // per event
+  std::vector<uint64_t> part_counts;   // per event
+  std::vector<uint32_t> name_col;      // per part: id < names.size()
+  std::vector<uint32_t> label_col;     // per part: id < labels.size()
+  std::vector<Value> values;           // per part, frozen
+};
+Result<RelayColumns> DecodeRelayColumns(const std::vector<uint8_t>& payload);
 
 // Version-dispatching decoder: v2 payloads (by magic) decode as a batch, v1
 // payloads as a single-event batch. This is what importers call, so one mesh

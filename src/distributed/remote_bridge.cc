@@ -1,6 +1,7 @@
 #include "src/distributed/remote_bridge.h"
 
 #include "src/base/logging.h"
+#include "src/core/event_batch.h"
 #include "src/distributed/relay_codec.h"
 #include "src/ipc/wire.h"
 
@@ -42,6 +43,52 @@ class RemoteExportUnit : public Unit {
     }
   }
 
+  // On the columnar wire the exporter consumes delivered batches natively:
+  // one multi-event v2 frame per link instead of one frame per event. The
+  // view is already this unit's label-filtered projection, so the byte-level
+  // "secrets never reach the wire" property is unchanged.
+  bool ConsumesEventBatches() const override { return columnar_wire_; }
+
+  void OnEventBatch(UnitContext& ctx, const BatchView& view, SubscriptionId sub) override {
+    const size_t n = route_.links.size();
+    std::vector<std::vector<uint32_t>> buckets(n);
+    for (uint32_t e = 0; e < view.size(); ++e) {
+      const size_t begin = view.parts_begin(e);
+      const size_t end = view.parts_end(e);
+      if (begin == end) {
+        continue;  // nothing visible — parity with the per-event early return
+      }
+      size_t target = 0;
+      bool broadcast = false;
+      if (!route_.partition_part.empty()) {
+        broadcast = true;
+        for (size_t p = begin; p < end; ++p) {
+          if (view.name(p) == route_.partition_part) {
+            target = route_.router(view.value(p), n);
+            broadcast = false;
+            break;
+          }
+        }
+      }
+      exported_->fetch_add(1, std::memory_order_relaxed);
+      parts_->fetch_add(end - begin, std::memory_order_relaxed);
+      for (size_t i = 0; i < n; ++i) {
+        if (broadcast || i == target) {
+          buckets[i].push_back(e);
+        }
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (buckets[i].empty()) {
+        continue;
+      }
+      const Status sent = route_.links[i]->Send(EncodeRelayColumnar(view, buckets[i]));
+      if (sent.code() == StatusCode::kResourceExhausted) {
+        ReportOverflow(ctx);
+      }
+    }
+  }
+
   void OnEvent(UnitContext& ctx, EventHandle event, SubscriptionId sub) override {
     auto parts = ctx.ReadAllParts(event);
     if (!parts.ok() || parts->empty()) {
@@ -77,22 +124,26 @@ class RemoteExportUnit : public Unit {
       const Status sent = route_.links[i]->Send(
           broadcast && i + 1 < n ? payload : std::move(payload));
       if (sent.code() == StatusCode::kResourceExhausted) {
-        // The link dropped the payload (explicit overflow policy). Publish a
-        // labelled notice on the source node: the loss is observable at the
-        // exporter's own output label, never silent.
-        overflow_->fetch_add(1, std::memory_order_relaxed);
-        auto notice = ctx.CreateEvent();
-        if (notice.ok()) {
-          (void)ctx.AddPart(*notice, Label(), "mesh_overflow",
-                            Value::OfInt(static_cast<int64_t>(
-                                overflow_->load(std::memory_order_relaxed))));
-          (void)ctx.Publish(*notice);
-        }
+        ReportOverflow(ctx);
       }
     }
   }
 
  private:
+  // The link dropped a payload (explicit overflow policy). Publish a labelled
+  // notice on the source node: the loss is observable at the exporter's own
+  // output label, never silent.
+  void ReportOverflow(UnitContext& ctx) {
+    overflow_->fetch_add(1, std::memory_order_relaxed);
+    auto notice = ctx.CreateEvent();
+    if (notice.ok()) {
+      (void)ctx.AddPart(*notice, Label(), "mesh_overflow",
+                        Value::OfInt(static_cast<int64_t>(
+                            overflow_->load(std::memory_order_relaxed))));
+      (void)ctx.Publish(*notice);
+    }
+  }
+
   Filter filter_;
   ExportRoute route_;
   bool columnar_wire_;
@@ -122,12 +173,14 @@ class RemoteImportUnit : public Unit {
   RemoteImportUnit(TagSet relay_integrity, std::shared_ptr<std::atomic<uint64_t>> imported,
                    std::shared_ptr<std::atomic<uint64_t>> parts,
                    std::shared_ptr<std::atomic<uint64_t>> decode_errors,
-                   std::shared_ptr<std::atomic<uint64_t>> clipped)
+                   std::shared_ptr<std::atomic<uint64_t>> clipped,
+                   std::shared_ptr<std::atomic<uint64_t>> plane_publishes)
       : relay_integrity_(std::move(relay_integrity)),
         imported_(std::move(imported)),
         parts_(std::move(parts)),
         decode_errors_(std::move(decode_errors)),
-        clipped_(std::move(clipped)) {}
+        clipped_(std::move(clipped)),
+        plane_publishes_(std::move(plane_publishes)) {}
 
   void OnStart(UnitContext& ctx) override {
     for (const Tag& tag : relay_integrity_) {
@@ -142,9 +195,15 @@ class RemoteImportUnit : public Unit {
   void OnEvent(UnitContext& ctx, EventHandle event, SubscriptionId sub) override {}
 
   // Invoked through Engine::InjectTurn by the transport handler. Accepts
-  // both wire versions (v2 columnar by magic, v1 otherwise), so the mesh can
-  // mix exporter versions node by node.
+  // both wire versions: v2 columnar frames (by magic) take the batch-native
+  // path — tables mapped straight into a BatchBuilder's interners, one
+  // PublishEventBatch for the whole frame — and v1 frames keep the per-event
+  // path, so the mesh can mix exporter versions node by node.
   void Republish(UnitContext& ctx, const std::vector<uint8_t>& payload) {
+    if (IsColumnarRelayPayload(payload.data(), payload.size())) {
+      RepublishColumnar(ctx, payload);
+      return;
+    }
     auto events = DecodeRelayAny(payload);
     if (!events.ok()) {
       decode_errors_->fetch_add(1, std::memory_order_relaxed);
@@ -175,17 +234,79 @@ class RemoteImportUnit : public Unit {
   }
 
  private:
+  // Batch-native import: the frame's interned name/label tables map 1:1 into
+  // the builder's interners (one hash probe and one canonical label render
+  // per DISTINCT name/label instead of per part), then parts append by id.
+  // The whole frame republishes through one PublishEventBatch call, so the
+  // engine stamps, indexes and dispatches it on the columnar plane.
+  void RepublishColumnar(UnitContext& ctx, const std::vector<uint8_t>& payload) {
+    auto columns = DecodeRelayColumns(payload);
+    if (!columns.ok()) {
+      decode_errors_->fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    BatchBuilder builder;
+    std::vector<uint32_t> name_ids(columns->names.size());
+    for (size_t i = 0; i < columns->names.size(); ++i) {
+      name_ids[i] = builder.InternName(columns->names[i]);
+    }
+    // Integrity clipping is a per-distinct-label fact, so resolve it once per
+    // table entry; the per-part loop only reads the precomputed bit.
+    std::vector<uint32_t> label_ids(columns->labels.size());
+    std::vector<bool> clips(columns->labels.size(), false);
+    for (size_t i = 0; i < columns->labels.size(); ++i) {
+      label_ids[i] = builder.InternLabel(columns->labels[i]);
+      for (const Tag& tag : columns->labels[i].integrity) {
+        if (!relay_integrity_.Contains(tag)) {
+          clips[i] = true;
+          break;
+        }
+      }
+    }
+    uint64_t part = 0;
+    size_t parts_built = 0;
+    for (size_t e = 0; e < columns->origins.size(); ++e) {
+      const uint64_t count = columns->part_counts[e];
+      if (count == 0) {
+        continue;  // parity with the per-event path's empty-event skip
+      }
+      // Local origin: clock domains don't cross the mesh. BeginEvent() leaves
+      // origin 0, which the publish path resolves to this node's clock — the
+      // same stamp ctx.CreateEvent() gives the per-event import path.
+      builder.BeginEvent();
+      for (uint64_t j = 0; j < count; ++j, ++part) {
+        const uint32_t label = columns->label_col[part];
+        if (clips[label]) {
+          clipped_->fetch_add(1, std::memory_order_relaxed);
+        }
+        builder.PartById(name_ids[columns->name_col[part]], label_ids[label],
+                         std::move(columns->values[part]));
+        ++parts_built;
+      }
+    }
+    if (builder.event_count() == 0) {
+      return;
+    }
+    size_t published = 0;
+    if (ctx.PublishEventBatch(builder.Build(), &published).ok()) {
+      imported_->fetch_add(published, std::memory_order_relaxed);
+      parts_->fetch_add(parts_built, std::memory_order_relaxed);
+      plane_publishes_->fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
   TagSet relay_integrity_;
   std::shared_ptr<std::atomic<uint64_t>> imported_;
   std::shared_ptr<std::atomic<uint64_t>> parts_;
   std::shared_ptr<std::atomic<uint64_t>> decode_errors_;
   std::shared_ptr<std::atomic<uint64_t>> clipped_;
+  std::shared_ptr<std::atomic<uint64_t>> plane_publishes_;
 };
 
 RemoteBridgeImporter::RemoteBridgeImporter(Engine* sink, const BridgeConfig& config)
     : sink_(sink) {
   auto unit = std::make_unique<RemoteImportUnit>(config.import_integrity, imported_, parts_,
-                                                 decode_errors_, clipped_);
+                                                 decode_errors_, clipped_, plane_publishes_);
   import_unit_ = unit.get();
   import_id_ =
       sink->AddUnit("mesh-import", std::move(unit), Label(), config.import_privileges);

@@ -84,6 +84,11 @@ class RemoteBridgeImporter {
   // claims were stripped. Zero in an honest mesh — the CI smoke job asserts
   // on it as "label violations".
   uint64_t integrity_clipped() const { return clipped_->load(std::memory_order_relaxed); }
+  // Frames republished batch-natively (one PublishEventBatch per v2 frame).
+  // Zero on a v1-only wire; the CI mesh gate asserts > 0 on wire v2.
+  uint64_t batch_plane_publishes() const {
+    return plane_publishes_->load(std::memory_order_relaxed);
+  }
 
  private:
   Engine* sink_;
@@ -94,6 +99,8 @@ class RemoteBridgeImporter {
   std::shared_ptr<std::atomic<uint64_t>> decode_errors_ =
       std::make_shared<std::atomic<uint64_t>>(0);
   std::shared_ptr<std::atomic<uint64_t>> clipped_ = std::make_shared<std::atomic<uint64_t>>(0);
+  std::shared_ptr<std::atomic<uint64_t>> plane_publishes_ =
+      std::make_shared<std::atomic<uint64_t>>(0);
 };
 
 }  // namespace defcon

@@ -28,7 +28,7 @@ void WireWriter::PutDouble(double v) {
   PutFixed64(bits);
 }
 
-void WireWriter::PutString(const std::string& s) {
+void WireWriter::PutString(std::string_view s) {
   PutVarint(s.size());
   buffer_.insert(buffer_.end(), s.begin(), s.end());
 }

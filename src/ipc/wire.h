@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/base/result.h"
@@ -27,7 +28,7 @@ class WireWriter {
   void PutFixed64(uint64_t v);
   void PutDouble(double v);
   void PutBool(bool v) { PutVarint(v ? 1 : 0); }
-  void PutString(const std::string& s);
+  void PutString(std::string_view s);
   void PutBytes(const uint8_t* data, size_t size);
 
   const std::vector<uint8_t>& buffer() const { return buffer_; }

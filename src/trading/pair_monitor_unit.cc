@@ -1,6 +1,7 @@
 #include "src/trading/pair_monitor_unit.h"
 
 #include "src/base/logging.h"
+#include "src/core/event_batch.h"
 #include "src/core/event_builder.h"
 #include "src/trading/event_names.h"
 
@@ -30,14 +31,39 @@ void PairMonitorUnit::OnEvent(UnitContext& ctx, EventHandle event, SubscriptionI
       price_parts->front().data.kind() != Value::Kind::kInt) {
     return;
   }
-  const int64_t price_cents = price_parts->front().data.int_value();
+  OnTickSample(ctx, price_parts->front().data.int_value(), price_parts->front().label, sub);
+}
+
+void PairMonitorUnit::OnEventBatch(UnitContext& ctx, const BatchView& view, SubscriptionId sub) {
+  // Resolve the price part's interned name id once per view, then scan the id
+  // column: one string compare per distinct name instead of one per part.
+  uint32_t price_id = UINT32_MAX;
+  for (size_t e = 0; e < view.size(); ++e) {
+    for (size_t p = view.parts_begin(e); p < view.parts_end(e); ++p) {
+      const uint32_t name_id = view.name_id(p);
+      if (price_id == UINT32_MAX && view.name_of(name_id) == kPartPrice) {
+        price_id = name_id;
+      }
+      if (name_id != price_id) {
+        continue;
+      }
+      if (view.value(p).kind() == Value::Kind::kInt) {
+        OnTickSample(ctx, view.value(p).int_value(), view.label(p), sub);
+      }
+      break;  // first visible price part only — ReadPart(...).front() parity
+    }
+  }
+}
+
+void PairMonitorUnit::OnTickSample(UnitContext& ctx, int64_t price_cents, const Label& label,
+                                   SubscriptionId sub) {
   const SymbolId symbol = sub == sub_first_ ? tracker_.pair().first : tracker_.pair().second;
   if (sub == sub_first_) {
     last_price_first_ = price_cents;
-    last_label_first_ = price_parts->front().label;
+    last_label_first_ = label;
   } else {
     last_price_second_ = price_cents;
-    last_label_second_ = price_parts->front().label;
+    last_label_second_ = label;
   }
   auto signal = tracker_.OnTick(symbol, static_cast<double>(price_cents) / 100.0);
   if (signal.has_value()) {

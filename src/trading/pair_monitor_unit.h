@@ -35,10 +35,19 @@ class PairMonitorUnit : public Unit {
 
   void OnStart(UnitContext& ctx) override;
   void OnEvent(UnitContext& ctx, EventHandle event, SubscriptionId sub) override;
+  // Ticks are the hottest edge in the system, so the monitor consumes
+  // batch-plane deliveries natively: one price-column scan per view instead
+  // of a part-map walk per tick. Signal cadence and labels are identical.
+  bool ConsumesEventBatches() const override { return true; }
+  void OnEventBatch(UnitContext& ctx, const BatchView& view, SubscriptionId sub) override;
 
   uint64_t signals_emitted() const { return signals_emitted_; }
 
  private:
+  // Folds one leg tick (price + its stamped label) into the tracker — the
+  // shared core of both delivery paths.
+  void OnTickSample(UnitContext& ctx, int64_t price_cents, const Label& label,
+                    SubscriptionId sub);
   void EmitMatch(UnitContext& ctx, const PairsSignal& signal);
 
   PairsTracker tracker_;

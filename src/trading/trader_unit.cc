@@ -74,19 +74,25 @@ void TraderUnit::OnEvent(UnitContext& ctx, EventHandle event, SubscriptionId sub
 }
 
 void TraderUnit::OnMatch(UnitContext& ctx, EventHandle event) {
+  // One visibility snapshot serves all four reads (API v3) — the previous
+  // per-ReadPart form walked the event once per part.
+  auto match = ctx.ReadEvent(event);
+  if (!match.ok()) {
+    return;
+  }
   auto read_string = [&](const char* part) -> std::string {
-    auto views = ctx.ReadPart(event, part);
-    if (!views.ok() || views->empty() || views->front().data.kind() != Value::Kind::kString) {
+    const NamedPartView* view = match->Find(part);
+    if (view == nullptr || view->data.kind() != Value::Kind::kString) {
       return std::string();
     }
-    return views->front().data.string_value();
+    return view->data.string_value();
   };
   auto read_int = [&](const char* part) -> int64_t {
-    auto views = ctx.ReadPart(event, part);
-    if (!views.ok() || views->empty() || views->front().data.kind() != Value::Kind::kInt) {
+    const NamedPartView* view = match->Find(part);
+    if (view == nullptr || view->data.kind() != Value::Kind::kInt) {
       return 0;
     }
-    return views->front().data.int_value();
+    return view->data.int_value();
   };
   std::string buy_symbol = read_string(kPartBuy);
   std::string sell_symbol = read_string(kPartSell);
@@ -168,12 +174,13 @@ Result<EventHandle> TraderUnit::BuildOrder(UnitContext& ctx, bool buy, const std
 }
 
 void TraderUnit::OnTrade(UnitContext& ctx, EventHandle event) {
+  auto trade = ctx.ReadEvent(event);
+  if (!trade.ok()) {
+    return;
+  }
   for (const char* part : {kPartBuyer, kPartSeller}) {
-    auto views = ctx.ReadPart(event, part);
-    if (!views.ok()) {
-      continue;
-    }
-    for (const PartView& view : *views) {
+    for (const NamedPartView* view_ptr : trade->FindAll(part)) {
+      const NamedPartView& view = *view_ptr;
       if (view.data.kind() != Value::Kind::kMap) {
         continue;
       }

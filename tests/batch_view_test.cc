@@ -1,0 +1,519 @@
+// Columnar subscriber delivery (PR 8): BatchView opt-in delivery must be
+// transcript byte-identical to the OnEvent + ReadAllParts compatibility path
+// in every security mode, with and without sharding and the dispatch cache;
+// a mixed fleet must run both paths off one batch; and a label-blocked row
+// must never appear in any surface a view exposes. Sanitizer-critical: the
+// view aliases a donated batch's arena and columns, so lifetime bugs surface
+// here first.
+#include "src/core/event_batch.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "tests/test_util.h"
+
+namespace defcon {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Recorder: one unit, two delivery paths, one transcript format
+// ---------------------------------------------------------------------------
+
+void AppendPartLine(std::string* out, std::string_view name, const Label& label,
+                    const Value& value) {
+  *out += '|';
+  out->append(name);
+  *out += '@';
+  *out += CanonicalLabelKey(label);
+  *out += '=';
+  *out += value.ToString();
+}
+
+// Records every delivered event as one "#origin|name@labelkey=value" line in
+// its slot of a shared per-unit transcript map — identically from OnEvent +
+// ReadAllParts and from OnEventBatch, so the two paths are byte-comparable.
+// One line == one complete event record: the comparison sorts each unit's
+// lines, because cross-TURN order within a unit is a path property (view
+// turns are enqueued ahead of the per-plan part-map turns), while the bytes
+// of every delivered record must match exactly.
+class RecorderUnit : public Unit {
+ public:
+  using Transcripts = std::map<std::string, std::vector<std::string>>;
+
+  RecorderUnit(std::string who, bool opt_in, std::function<void(UnitContext&)> on_start,
+               Transcripts* transcripts)
+      : who_(std::move(who)),
+        opt_in_(opt_in),
+        on_start_(std::move(on_start)),
+        transcripts_(transcripts) {}
+
+  void OnStart(UnitContext& ctx) override {
+    if (on_start_) {
+      on_start_(ctx);
+    }
+  }
+
+  bool ConsumesEventBatches() const override { return opt_in_; }
+
+  void OnEvent(UnitContext& ctx, EventHandle event, SubscriptionId) override {
+    auto parts = ctx.ReadAllParts(event);
+    if (!parts.ok()) {
+      (*transcripts_)[who_].push_back("!" + parts.status().ToString());
+      return;
+    }
+    std::string line = "#" + std::to_string(ctx.EventOrigin(event).value_or(-1));
+    for (const NamedPartView& part : *parts) {
+      AppendPartLine(&line, part.name, part.label, part.data);
+    }
+    (*transcripts_)[who_].push_back(std::move(line));
+  }
+
+  void OnEventBatch(UnitContext& ctx, const BatchView& view, SubscriptionId) override {
+    for (size_t e = 0; e < view.size(); ++e) {
+      std::string line = "#" + std::to_string(view.origin_ns(e));
+      for (size_t p = view.parts_begin(e); p < view.parts_end(e); ++p) {
+        AppendPartLine(&line, view.name(p), view.label(p), view.value(p));
+      }
+      (*transcripts_)[who_].push_back(std::move(line));
+    }
+  }
+
+ private:
+  const std::string who_;
+  const bool opt_in_;
+  std::function<void(UnitContext&)> on_start_;
+  Transcripts* transcripts_;
+};
+
+// Canonical form: per-unit records in sorted order (each record is one full
+// event line, so sorting fixes turn interleaving without touching bytes).
+std::vector<std::string> SortedLines(const RecorderUnit::Transcripts& transcripts,
+                                     const std::string& who) {
+  auto it = transcripts.find(who);
+  std::vector<std::string> lines = it == transcripts.end() ? std::vector<std::string>() : it->second;
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+// ---------------------------------------------------------------------------
+// A/B transcript equality: BatchView vs OnEvent + ReadAllParts
+// ---------------------------------------------------------------------------
+
+struct ViewRun {
+  std::string transcript;  // per-unit transcripts joined in sorted unit order
+  EngineStatsSnapshot stats;
+  size_t published = 0;
+  Status publish_status;
+};
+
+// Same topology and batch as the batch-plane transcript gate: an indexed
+// public subscriber, a cleared residual subscriber and a high-integrity
+// auditor, so every view shape occurs — fully visible (contiguous), rows
+// with blocked parts, and events invisible to a given subscriber entirely.
+// `opted` flips all three subscribers between the delivery paths.
+ViewRun RunDeliveryScenario(SecurityMode mode, size_t shards, bool cache, bool opted) {
+  EngineConfig config = ManualConfig(mode);
+  config.index_shards = shards;
+  config.use_dispatch_cache = cache;
+  config.batch_plane = true;
+  Engine engine(config);
+
+  const Tag secret = engine.CreateTag("secret");
+  const Tag audit = engine.CreateTag("audit");
+
+  RecorderUnit::Transcripts transcripts;
+  engine.AddUnit("public",
+                 std::make_unique<RecorderUnit>(
+                     "public", opted,
+                     [](UnitContext& ctx) {
+                       ASSERT_TRUE(ctx.Subscribe(Filter::Eq("type", Value::OfString("tick"))).ok());
+                     },
+                     &transcripts));
+
+  PrivilegeSet cleared_priv;
+  cleared_priv.Grant(secret, Privilege::kPlus);
+  engine.AddUnit("cleared",
+                 std::make_unique<RecorderUnit>(
+                     "cleared", opted,
+                     [secret](UnitContext& ctx) {
+                       ASSERT_TRUE(
+                           ctx.ChangeInOutLabel(LabelComponent::kSecrecy, LabelOp::kAdd, secret)
+                               .ok());
+                       ASSERT_TRUE(ctx.Subscribe(Filter::Exists("sym")).ok());
+                     },
+                     &transcripts),
+                 Label(), cleared_priv);
+
+  engine.AddUnit("auditor",
+                 std::make_unique<RecorderUnit>(
+                     "auditor", opted,
+                     [](UnitContext& ctx) {
+                       ASSERT_TRUE(ctx.Subscribe(Filter::Eq("type", Value::OfString("tick"))).ok());
+                     },
+                     &transcripts),
+                 Label({}, {audit}), PrivilegeSet());
+
+  PrivilegeSet pub_priv;
+  pub_priv.GrantAll(secret);
+  pub_priv.GrantAll(audit);
+  const UnitId publisher =
+      engine.AddUnit("publisher", std::make_unique<TestUnit>(), Label(), pub_priv);
+
+  engine.Start();
+  engine.RunUntilIdle();
+
+  ViewRun run;
+  engine.InjectTurn(publisher, [&run, secret, audit](UnitContext& ctx) {
+    ASSERT_TRUE(ctx.ChangeOutLabel(LabelComponent::kIntegrity, LabelOp::kAdd, audit).ok());
+    const Label pub;
+    const Label sec({secret}, {});
+    const Label endorsed({}, {audit});
+    BatchBuilder builder;
+    builder.BeginEvent(1001)
+        .Part(pub, "type", Value::OfString("tick"))
+        .Part(pub, "sym", Value::OfString("AAPL"))
+        .Part(sec, "px", Value::OfInt(101));
+    builder.BeginEvent(1002)
+        .Part(endorsed, "type", Value::OfString("tick"))
+        .Part(sec, "sym", Value::OfString("MSFT"))
+        .Part(endorsed, "px", Value::OfInt(202));
+    builder.BeginEvent(1003)
+        .Part(pub, "type", Value::OfString("quote"))
+        .Part(pub, "sym", Value::OfString("AAPL"))
+        .Part(pub, "px", Value::OfDouble(3.5));
+    builder.BeginEvent(1004).Part(sec, "note", Value::OfString("dark"));
+    for (int i = 0; i < 4; ++i) {
+      builder.BeginEvent(1005 + i)
+          .Part(i % 2 == 0 ? pub : endorsed, "type", Value::OfString("tick"))
+          .Part(pub, "sym", Value::OfString(i % 2 == 0 ? "AAPL" : "MSFT"))
+          .Part(sec, "px", Value::OfInt(300 + i));
+    }
+    // Rvalue publish donates the batch: the engine may build zero-copy views
+    // over it. (A const& publish would force the part-map path for everyone.)
+    run.publish_status = ctx.PublishEventBatch(builder.Build(), &run.published);
+  });
+  engine.RunUntilIdle();
+
+  for (const auto& [who, unused] : transcripts) {  // std::map: sorted unit order
+    run.transcript += who + "{\n";
+    for (const std::string& line : SortedLines(transcripts, who)) {
+      run.transcript += line + "\n";
+    }
+    run.transcript += "}\n";
+  }
+  run.stats = engine.stats();
+  return run;
+}
+
+TEST(BatchViewTranscripts, ByteIdenticalToPartMapAcrossModesShardsAndCache) {
+  const SecurityMode kModes[] = {SecurityMode::kNoSecurity, SecurityMode::kLabels,
+                                 SecurityMode::kLabelsClone, SecurityMode::kLabelsIsolation};
+  for (SecurityMode mode : kModes) {
+    for (size_t shards : {size_t{1}, size_t{4}}) {
+      for (bool cache : {false, true}) {
+        SCOPED_TRACE(std::string(SecurityModeName(mode)) + " shards=" + std::to_string(shards) +
+                     " cache=" + (cache ? std::string("on") : std::string("off")));
+        const ViewRun a = RunDeliveryScenario(mode, shards, cache, /*opted=*/true);
+        const ViewRun b = RunDeliveryScenario(mode, shards, cache, /*opted=*/false);
+
+        EXPECT_TRUE(a.publish_status.ok()) << a.publish_status.ToString();
+        EXPECT_TRUE(b.publish_status.ok()) << b.publish_status.ToString();
+        EXPECT_EQ(a.published, 8u);
+        EXPECT_EQ(b.published, 8u);
+        EXPECT_FALSE(a.transcript.empty());
+        EXPECT_EQ(a.transcript, b.transcript);
+
+        // Which delivery path ran is observable ONLY in the stats: the a-run
+        // delivered exclusively through views, the b-run exclusively through
+        // per-event part-map turns, and the path-neutral event count agrees.
+        EXPECT_GT(a.stats.batch_view_deliveries, 0u);
+        EXPECT_EQ(a.stats.part_map_deliveries, 0u);
+        EXPECT_EQ(b.stats.batch_view_deliveries, 0u);
+        EXPECT_GT(b.stats.part_map_deliveries, 0u);
+        EXPECT_EQ(a.stats.deliveries, b.stats.deliveries);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Mixed fleet: one batch, both paths in the same dispatch
+// ---------------------------------------------------------------------------
+
+TEST(BatchViewDelivery, MixedFleetRunsBothPathsOffOneBatch) {
+  EngineConfig config = ManualConfig();
+  config.batch_plane = true;
+  Engine engine(config);
+  RecorderUnit::Transcripts transcripts;
+  const auto subscribe_type = [](UnitContext& ctx) {
+    ASSERT_TRUE(ctx.Subscribe(Filter::Exists("type")).ok());
+  };
+  engine.AddUnit("opted", std::make_unique<RecorderUnit>("opted", /*opt_in=*/true,
+                                                         subscribe_type, &transcripts));
+  engine.AddUnit("plain", std::make_unique<RecorderUnit>("plain", /*opt_in=*/false,
+                                                         subscribe_type, &transcripts));
+  const UnitId publisher = engine.AddUnit("publisher", std::make_unique<TestUnit>());
+  engine.Start();
+  engine.RunUntilIdle();
+
+  engine.InjectTurn(publisher, [](UnitContext& ctx) {
+    BatchBuilder builder;
+    for (int i = 0; i < 4; ++i) {
+      builder.BeginEvent(100 + i)
+          .Part(Label(), "type", Value::OfString("tick"))
+          .Part(Label(), "px", Value::OfInt(i));
+    }
+    ASSERT_TRUE(ctx.PublishEventBatch(builder.Build()).ok());
+  });
+  engine.RunUntilIdle();
+
+  // Both subscribers saw the same four events, byte for byte; the stats say
+  // one batch fed a view turn AND per-event turns.
+  EXPECT_FALSE(transcripts["opted"].empty());
+  EXPECT_EQ(SortedLines(transcripts, "opted"), SortedLines(transcripts, "plain"));
+  const EngineStatsSnapshot stats = engine.stats();
+  EXPECT_GT(stats.batch_view_deliveries, 0u);
+  EXPECT_GT(stats.part_map_deliveries, 0u);
+  EXPECT_EQ(stats.deliveries, 8u);  // 4 events × 2 subscribers, path-neutral
+}
+
+// ---------------------------------------------------------------------------
+// Must-NOT-see: a blocked row is absent from every exposed surface
+// ---------------------------------------------------------------------------
+
+// Subscribes without clearance and, on every view, scans EVERY surface the
+// view exposes — per-part accessors, id lookups and all column spans — for
+// any trace of the blocked part (its name, its canary value, or any label
+// carrying the secret tag).
+class SpyUnit : public Unit {
+ public:
+  SpyUnit(Tag secret, int64_t canary) : secret_(secret), canary_(canary) {}
+
+  void OnStart(UnitContext& ctx) override {
+    ASSERT_TRUE(ctx.Subscribe(Filter::Exists("type")).ok());
+  }
+
+  bool ConsumesEventBatches() const override { return true; }
+  void OnEvent(UnitContext&, EventHandle, SubscriptionId) override {}
+
+  void OnEventBatch(UnitContext& ctx, const BatchView& view, SubscriptionId) override {
+    ++view_turns_;
+    events_seen_ += view.size();
+    for (size_t p = 0; p < view.part_count(); ++p) {
+      Probe(view.name(p), view.label(p), view.value(p));
+    }
+    // The spans alias the batch columns directly — if a blocked row leaked
+    // into a slice, it would surface here even though the per-part accessors
+    // skip it. (A view with blocked rows must come back non-contiguous with
+    // empty spans; a fully visible view exposes exactly its own rows.)
+    for (const uint32_t name_id : view.name_ids()) {
+      if (view.name_of(name_id) == "hidden") {
+        leaked_ = true;
+      }
+    }
+    for (const uint32_t label_id : view.label_ids()) {
+      if (view.label_of(label_id).secrecy.Contains(secret_)) {
+        leaked_ = true;
+      }
+    }
+    for (const Value& value : view.values()) {
+      if (value.kind() == Value::Kind::kInt && value.int_value() == canary_) {
+        leaked_ = true;
+      }
+    }
+    if (!view.values().empty()) {
+      EXPECT_TRUE(view.contiguous());
+      EXPECT_EQ(view.values().size(), view.part_count());
+    }
+  }
+
+  bool leaked() const { return leaked_; }
+  size_t view_turns() const { return view_turns_; }
+  size_t events_seen() const { return events_seen_; }
+
+ private:
+  void Probe(std::string_view name, const Label& label, const Value& value) {
+    if (name == "hidden" || label.secrecy.Contains(secret_) ||
+        (value.kind() == Value::Kind::kInt && value.int_value() == canary_)) {
+      leaked_ = true;
+    }
+  }
+
+  const Tag secret_;
+  const int64_t canary_;
+  bool leaked_ = false;
+  size_t view_turns_ = 0;
+  size_t events_seen_ = 0;
+};
+
+TEST(BatchViewSecurity, BlockedRowAbsentFromEveryExposedSurface) {
+  const SecurityMode kModes[] = {SecurityMode::kLabels, SecurityMode::kLabelsClone,
+                                 SecurityMode::kLabelsIsolation};
+  for (SecurityMode mode : kModes) {
+    SCOPED_TRACE(SecurityModeName(mode));
+    EngineConfig config = ManualConfig(mode);
+    config.batch_plane = true;
+    Engine engine(config);
+    const Tag secret = engine.CreateTag("secret");
+    constexpr int64_t kCanary = 424242;
+
+    auto* spy = new SpyUnit(secret, kCanary);
+    engine.AddUnit("spy", std::unique_ptr<Unit>(spy));
+    PrivilegeSet pub_priv;
+    pub_priv.GrantAll(secret);
+    const UnitId publisher =
+        engine.AddUnit("publisher", std::make_unique<TestUnit>(), Label(), pub_priv);
+    engine.Start();
+    engine.RunUntilIdle();
+
+    engine.InjectTurn(publisher, [secret](UnitContext& ctx) {
+      const Label sec({secret}, {});
+      BatchBuilder builder;
+      builder.BeginEvent(1).Part(Label(), "type", Value::OfString("tick"));
+      // The middle event carries a secret part the spy must never see — in
+      // any column, span, or lookup table the view exposes.
+      builder.BeginEvent(2)
+          .Part(Label(), "type", Value::OfString("tick"))
+          .Part(sec, "hidden", Value::OfInt(kCanary));
+      builder.BeginEvent(3).Part(Label(), "type", Value::OfString("tick"));
+      ASSERT_TRUE(ctx.PublishEventBatch(builder.Build()).ok());
+    });
+    engine.RunUntilIdle();
+
+    EXPECT_GT(spy->view_turns(), 0u);
+    EXPECT_EQ(spy->events_seen(), 3u);  // the event still arrives, minus the part
+    EXPECT_FALSE(spy->leaked());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// UnitContext view accessors
+// ---------------------------------------------------------------------------
+
+class ApiUnit : public Unit {
+ public:
+  void OnStart(UnitContext& ctx) override {
+    ASSERT_TRUE(ctx.Subscribe(Filter::Exists("type")).ok());
+  }
+
+  bool ConsumesEventBatches() const override { return true; }
+
+  void OnEvent(UnitContext& ctx, EventHandle, SubscriptionId) override {
+    // No view in flight on the per-event path.
+    EXPECT_EQ(ctx.ReadBatchView().status().code(), StatusCode::kFailedPrecondition);
+    ++per_event_turns_;
+  }
+
+  void OnEventBatch(UnitContext& ctx, const BatchView& view, SubscriptionId) override {
+    auto through_ctx = ctx.ReadBatchView();
+    ASSERT_TRUE(through_ctx.ok()) << through_ctx.status().ToString();
+    EXPECT_EQ(*through_ctx, &view);  // same view, routed through the API layer
+
+    auto origins = ctx.ReadBatchColumnOrigins();
+    ASSERT_TRUE(origins.ok());
+    EXPECT_EQ(origins->size(), view.size());
+    auto name_ids = ctx.ReadBatchColumnNameIds();
+    auto label_ids = ctx.ReadBatchColumnLabelIds();
+    auto values = ctx.ReadBatchColumnValues();
+    ASSERT_TRUE(name_ids.ok());
+    ASSERT_TRUE(label_ids.ok());
+    ASSERT_TRUE(values.ok());
+    if (view.contiguous()) {
+      EXPECT_EQ(name_ids->size(), view.part_count());
+      EXPECT_EQ(label_ids->size(), view.part_count());
+      EXPECT_EQ(values->size(), view.part_count());
+    }
+    ++view_turns_;
+  }
+
+  size_t per_event_turns() const { return per_event_turns_; }
+  size_t view_turns() const { return view_turns_; }
+
+ private:
+  size_t per_event_turns_ = 0;
+  size_t view_turns_ = 0;
+};
+
+TEST(BatchViewApi, ContextAccessorsWorkOnlyInsideViewTurns) {
+  EngineConfig config = ManualConfig();
+  config.batch_plane = true;
+  Engine engine(config);
+  auto* unit = new ApiUnit();
+  engine.AddUnit("api", std::unique_ptr<Unit>(unit));
+  const UnitId publisher = engine.AddUnit("publisher", std::make_unique<TestUnit>());
+  engine.Start();
+  engine.RunUntilIdle();
+
+  engine.InjectTurn(publisher, [](UnitContext& ctx) {
+    BatchBuilder builder;
+    builder.BeginEvent(10).Part(Label(), "type", Value::OfString("a"));
+    builder.BeginEvent(20).Part(Label(), "type", Value::OfString("b"));
+    ASSERT_TRUE(ctx.PublishEventBatch(builder.Build()).ok());
+  });
+  engine.RunUntilIdle();
+  EXPECT_GT(unit->view_turns(), 0u);
+
+  // Per-event publishes keep arriving via OnEvent even for opted-in units.
+  engine.InjectTurn(publisher,
+                    [](UnitContext& ctx) { ASSERT_TRUE(PublishSimple(ctx, "c").ok()); });
+  engine.RunUntilIdle();
+  EXPECT_GT(unit->per_event_turns(), 0u);
+
+  const EngineStatsSnapshot stats = engine.stats();
+  EXPECT_GT(stats.batch_view_deliveries, 0u);
+  EXPECT_GT(stats.part_map_deliveries, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// EventView: the unified per-event read wrapper
+// ---------------------------------------------------------------------------
+
+TEST(EventViewRead, OneSnapshotServesEnumerationAndNameLookups) {
+  Engine engine(ManualConfig());
+  bool checked = false;
+  auto* reader = new TestUnit(
+      [](UnitContext& ctx) { ASSERT_TRUE(ctx.Subscribe(Filter::Exists("a")).ok()); },
+      [&checked](UnitContext& ctx, EventHandle e, SubscriptionId) {
+        auto view = ctx.ReadEvent(e);
+        ASSERT_TRUE(view.ok());
+        auto parts = ctx.ReadAllParts(e);
+        ASSERT_TRUE(parts.ok());
+        ASSERT_EQ(view->size(), parts->size());
+        for (size_t i = 0; i < parts->size(); ++i) {
+          EXPECT_EQ((*view)[i].name, (*parts)[i].name);
+          EXPECT_TRUE((*view)[i].data.Equals((*parts)[i].data));
+        }
+        // Find returns the FIRST part with the name; FindAll returns every one
+        // in part order; a missing name is nullptr / empty, not an error.
+        const NamedPartView* first = view->Find("a");
+        ASSERT_NE(first, nullptr);
+        EXPECT_EQ(first->data.int_value(), 1);
+        EXPECT_EQ(view->FindAll("a").size(), 2u);
+        EXPECT_EQ(view->FindAll("a")[1]->data.int_value(), 3);
+        EXPECT_EQ(view->Find("missing"), nullptr);
+        checked = true;
+      });
+  engine.AddUnit("reader", std::unique_ptr<Unit>(reader));
+  const UnitId publisher = engine.AddUnit("publisher", std::make_unique<TestUnit>());
+  engine.Start();
+  engine.RunUntilIdle();
+  engine.InjectTurn(publisher, [](UnitContext& ctx) {
+    auto event = ctx.CreateEvent();
+    ASSERT_TRUE(event.ok());
+    ASSERT_TRUE(ctx.AddPart(*event, Label(), "a", Value::OfInt(1)).ok());
+    ASSERT_TRUE(ctx.AddPart(*event, Label(), "b", Value::OfInt(2)).ok());
+    ASSERT_TRUE(ctx.AddPart(*event, Label(), "a", Value::OfInt(3)).ok());
+    ASSERT_TRUE(ctx.Publish(*event).ok());
+  });
+  engine.RunUntilIdle();
+  EXPECT_TRUE(checked);
+}
+
+}  // namespace
+}  // namespace defcon
