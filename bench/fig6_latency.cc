@@ -6,13 +6,21 @@
 // isolation, flat in trader count up to saturation (~1,500 traders).
 #include <cstdio>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench/workload.h"
 #include "src/base/flags.h"
+#include "src/base/histogram.h"
 #include "src/base/table.h"
 
 namespace defcon {
 namespace {
+
+struct RunRow {
+  std::string name;
+  HistogramSummary trade_latency;
+};
 
 int Main(int argc, char** argv) {
   int64_t ticks = 4500;
@@ -25,6 +33,7 @@ int Main(int argc, char** argv) {
   int64_t tick_batch = 1;
   int64_t index_shards = 0;
   std::string trader_list = "200,600,1000,1400,2000";
+  std::string json_path;
   FlagSet flags;
   flags.Register("ticks", &ticks, "ticks replayed per configuration");
   flags.Register("symbols", &symbols, "symbol universe size");
@@ -36,6 +45,9 @@ int Main(int argc, char** argv) {
   flags.Register("index_shards", &index_shards,
                  "subscription-index/dispatch-cache shards (0 = hardware, 1 = unsharded)");
   flags.Register("traders", &trader_list, "comma-separated trader counts");
+  flags.Register("json", &json_path,
+                 "write a google-benchmark-shaped JSON summary here "
+                 "(one trade_latency histogram-summary block per row)");
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
@@ -60,6 +72,7 @@ int Main(int argc, char** argv) {
                "labels+freeze+isolation (ms)"});
   const SecurityMode modes[] = {SecurityMode::kNoSecurity, SecurityMode::kLabels,
                                 SecurityMode::kLabelsClone, SecurityMode::kLabelsIsolation};
+  std::vector<RunRow> rows;
   for (size_t traders : trader_counts) {
     std::vector<std::string> row = {Table::Int(static_cast<int64_t>(traders))};
     for (SecurityMode mode : modes) {
@@ -75,8 +88,11 @@ int Main(int argc, char** argv) {
       config.tick_batch = static_cast<size_t>(tick_batch);
       config.index_shards = static_cast<size_t>(index_shards);
       const WorkloadResult result = RunTradingWorkload(config);
-      row.push_back(
-          Table::Num(static_cast<double>(result.trade_latency.PercentileNs(0.7)) / 1e6, 3));
+      const HistogramSummary summary = result.trade_latency.Summary();
+      row.push_back(Table::Num(static_cast<double>(summary.p70_ns) / 1e6, 3));
+      rows.push_back(RunRow{std::string("fig6_latency/mode=") + SecurityModeName(mode) +
+                                "/traders=" + std::to_string(traders),
+                            summary});
     }
     table.AddRow(std::move(row));
   }
@@ -84,6 +100,23 @@ int Main(int argc, char** argv) {
   std::printf(
       "\nPaper shape: latency ordering no-security < labels+freeze < isolation (~4x the\n"
       "no-security figure), roughly flat in trader count until the system saturates.\n");
+
+  if (!json_path.empty()) {
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(out, "{\n  \"benchmarks\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+      std::fprintf(out, "    {\"name\": \"%s\", \"trade_latency\": %s}%s\n",
+                   rows[i].name.c_str(), rows[i].trade_latency.ToJsonObject().c_str(),
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("JSON summary written to %s\n", json_path.c_str());
+  }
   return 0;
 }
 

@@ -20,6 +20,7 @@
 
 #include "bench/workload.h"
 #include "src/base/flags.h"
+#include "src/base/histogram.h"
 #include "src/base/table.h"
 
 namespace defcon {
@@ -32,6 +33,7 @@ struct RunRow {
   uint64_t cep_blocked = 0;
   uint64_t ticks_republished = 0;
   uint64_t trades = 0;
+  HistogramSummary trade_latency;
 };
 
 int Main(int argc, char** argv) {
@@ -120,6 +122,7 @@ int Main(int argc, char** argv) {
       row.cep_blocked = result.cep_blocked;
       row.ticks_republished = result.ticks_republished;
       row.trades = result.trades;
+      row.trade_latency = result.trade_latency.Summary();
       rows.push_back(row);
       table.AddRow({Table::Int(static_cast<int64_t>(window)), SecurityModeName(mode),
                     Table::Num(row.events_per_sec / 1000.0, 1),
@@ -146,12 +149,14 @@ int Main(int argc, char** argv) {
       std::fprintf(out,
                    "    {\"name\": \"%s\", \"events_per_sec\": %.1f, "
                    "\"cep_emissions\": %llu, \"cep_blocked\": %llu, "
-                   "\"ticks_republished\": %llu, \"trades\": %llu}%s\n",
+                   "\"ticks_republished\": %llu, \"trades\": %llu, "
+                   "\"trade_latency\": %s}%s\n",
                    row.name.c_str(), row.events_per_sec,
                    static_cast<unsigned long long>(row.cep_emissions),
                    static_cast<unsigned long long>(row.cep_blocked),
                    static_cast<unsigned long long>(row.ticks_republished),
                    static_cast<unsigned long long>(row.trades),
+                   row.trade_latency.ToJsonObject().c_str(),
                    i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(out, "  ]\n}\n");

@@ -7,14 +7,24 @@
 // processing time. DEFCON (Fig. 6) delivers ~1-2 ms for many more traders.
 #include <cstdio>
 #include <iostream>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "src/base/flags.h"
+#include "src/base/histogram.h"
 #include "src/base/table.h"
 #include "src/baseline/mkc_platform.h"
 
 namespace defcon {
 namespace {
+
+struct RunRow {
+  std::string name;
+  HistogramSummary processing;
+  HistogramSummary ticks_processing;
+  HistogramSummary ticks_orders_processing;
+};
 
 int Main(int argc, char** argv) {
   int64_t ticks = 12000;
@@ -22,12 +32,16 @@ int Main(int argc, char** argv) {
   int64_t seed = 7;
   double rate = 1000.0;  // the paper's feed rate for this experiment
   std::string agent_list = "20,40,60,80,100,200";
+  std::string json_path;
   FlagSet flags;
   flags.Register("ticks", &ticks, "ticks per configuration");
   flags.Register("symbols", &symbols, "symbol universe size");
   flags.Register("seed", &seed, "workload seed");
   flags.Register("rate", &rate, "feed rate (events/s)");
   flags.Register("agents", &agent_list, "comma-separated agent counts");
+  flags.Register("json", &json_path,
+                 "write a google-benchmark-shaped JSON summary here "
+                 "(one histogram-summary block per latency component)");
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
@@ -49,6 +63,7 @@ int Main(int argc, char** argv) {
 
   Table table({"traders", "processing (ms)", "ticks+processing (ms)",
                "ticks+orders+processing (ms)"});
+  std::vector<RunRow> rows;
   for (size_t agents : agent_counts) {
     MkcConfig config;
     config.num_agents = agents;
@@ -64,19 +79,44 @@ int Main(int argc, char** argv) {
     std::this_thread::sleep_for(std::chrono::milliseconds(200));
     const MkcLatencies latencies = platform.TakeLatencies();
     platform.Shutdown();
-    table.AddRow(
-        {Table::Int(static_cast<int64_t>(agents)),
-         Table::Num(static_cast<double>(latencies.processing.PercentileNs(0.7)) / 1e6, 3),
-         Table::Num(static_cast<double>(latencies.ticks_processing.PercentileNs(0.7)) / 1e6, 3),
-         Table::Num(
-             static_cast<double>(latencies.ticks_orders_processing.PercentileNs(0.7)) / 1e6,
-             3)});
+    RunRow row;
+    row.name = "fig9_marketcetera_latency/agents=" + std::to_string(agents);
+    row.processing = latencies.processing.Summary();
+    row.ticks_processing = latencies.ticks_processing.Summary();
+    row.ticks_orders_processing = latencies.ticks_orders_processing.Summary();
+    table.AddRow({Table::Int(static_cast<int64_t>(agents)),
+                  Table::Num(static_cast<double>(row.processing.p70_ns) / 1e6, 3),
+                  Table::Num(static_cast<double>(row.ticks_processing.p70_ns) / 1e6, 3),
+                  Table::Num(static_cast<double>(row.ticks_orders_processing.p70_ns) / 1e6, 3)});
+    rows.push_back(std::move(row));
   }
   table.RenderText(std::cout);
   std::printf(
       "\nPaper shape: the communication components (tick and order propagation across\n"
       "process boundaries) grow with traders and come to dominate strategy processing;\n"
       "total latency sits several times above DEFCON's (Fig. 6).\n");
+
+  if (!json_path.empty()) {
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(out, "{\n  \"benchmarks\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const RunRow& row = rows[i];
+      std::fprintf(out,
+                   "    {\"name\": \"%s\", \"processing\": %s, \"ticks_processing\": %s, "
+                   "\"ticks_orders_processing\": %s}%s\n",
+                   row.name.c_str(), row.processing.ToJsonObject().c_str(),
+                   row.ticks_processing.ToJsonObject().c_str(),
+                   row.ticks_orders_processing.ToJsonObject().c_str(),
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("JSON summary written to %s\n", json_path.c_str());
+  }
   return 0;
 }
 

@@ -16,8 +16,15 @@
 // barrier, a drain barrier, then a stats frame. Event flow runs over real
 // mesh links ("unix:" by default, --tcp for TCP loopback).
 //
+// Both sides run with observability on: tick frames carry the coordinator's
+// trace ids in the traced relay envelope, workers report their
+// (import, deliver) hop timestamps back over the control channel, and the
+// coordinator stitches them against its own kRelayed records into complete
+// cross-node publish -> relay -> import -> deliver timelines.
+//
 // --json writes a google-benchmark-shaped summary ({"benchmarks": [...]})
-// consumed by the CI mesh smoke job (events_relayed > 0, zero violations).
+// consumed by the CI mesh smoke job (events_relayed > 0, zero violations,
+// stitched_traces >= 1 with monotonic hop timestamps).
 #include <unistd.h>
 
 #include <atomic>
@@ -26,15 +33,18 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/base/flags.h"
+#include "src/base/histogram.h"
 #include "src/base/table.h"
 #include "src/core/engine.h"
 #include "src/distributed/mesh.h"
 #include "src/ipc/channel.h"
 #include "src/ipc/wire.h"
 #include "src/market/tick_source.h"
+#include "src/observability/trace.h"
 #include "src/trading/event_names.h"
 #include "src/trading/platform.h"
 
@@ -67,6 +77,56 @@ struct WorkerStats {
   // PublishEventBatch — the CI mesh gate asserts > 0 on wire v2, == 0 on v1.
   uint64_t batch_plane_publishes = 0;
 };
+
+// One cross-node trace observed on a worker: the frame's trace id (minted on
+// the coordinator, carried in the traced relay envelope) plus the worker-side
+// hop timestamps. CLOCK_MONOTONIC is shared across processes on one host, so
+// the coordinator can order these against its own kRelayed records.
+struct WorkerTraceHop {
+  uint64_t trace_id = 0;
+  int64_t import_ns = 0;   // earliest kImported record for this id
+  int64_t deliver_ns = 0;  // earliest kDelivered record for this id
+};
+
+// Bounds the stats-frame size; the gate only needs >= 1 stitched trace.
+constexpr size_t kMaxReportedHops = 128;
+
+// Scans the worker's trace sink for frames that completed the import ->
+// delivery leg: a kImported and a kDelivered record sharing one trace id.
+std::vector<WorkerTraceHop> CollectWorkerHops(const TraceSink* sink) {
+  std::vector<WorkerTraceHop> hops;
+  if (sink == nullptr) {
+    return hops;
+  }
+  std::unordered_map<uint64_t, WorkerTraceHop> by_id;
+  for (const TraceRecord& record : sink->Snapshot()) {
+    if (record.trace_id == 0) {
+      continue;
+    }
+    if (record.verdict == TraceVerdict::kImported) {
+      WorkerTraceHop& hop = by_id[record.trace_id];
+      hop.trace_id = record.trace_id;
+      if (hop.import_ns == 0 || record.ts_ns < hop.import_ns) {
+        hop.import_ns = record.ts_ns;
+      }
+    } else if (record.verdict == TraceVerdict::kDelivered) {
+      WorkerTraceHop& hop = by_id[record.trace_id];
+      hop.trace_id = record.trace_id;
+      if (hop.deliver_ns == 0 || record.ts_ns < hop.deliver_ns) {
+        hop.deliver_ns = record.ts_ns;
+      }
+    }
+  }
+  for (const auto& [id, hop] : by_id) {
+    if (hop.import_ns != 0 && hop.deliver_ns != 0) {
+      hops.push_back(hop);
+      if (hops.size() >= kMaxReportedHops) {
+        break;
+      }
+    }
+  }
+  return hops;
+}
 
 // Counts trade events republished on the coordinator by the fan-in import.
 class TradeCollectorUnit : public Unit {
@@ -125,6 +185,12 @@ int WorkerMain(const BenchOptions& options, SecurityMode mode, size_t worker_ind
   EngineConfig engine_config;
   engine_config.mode = mode;
   engine_config.num_threads = options.worker_threads;
+  // Observability on: imported frames keep the coordinator-minted trace id
+  // through republish, so kImported/kDelivered records here stitch against
+  // the coordinator's kRelayed records. Capacity sized so tick-import records
+  // survive the trade cascade's deliveries.
+  engine_config.observability.enabled = true;
+  engine_config.observability.trace_capacity = 1u << 16;
   Engine engine(engine_config);
 
   PlatformConfig platform_config;
@@ -187,6 +253,7 @@ int WorkerMain(const BenchOptions& options, SecurityMode mode, size_t worker_ind
   }
 
   const MeshStats mesh = node.stats();
+  const std::vector<WorkerTraceHop> hops = CollectWorkerHops(engine.trace_sink());
   WireWriter stats;
   stats.PutVarint(mesh.events_imported);
   stats.PutVarint(platform.trades_completed());
@@ -196,6 +263,12 @@ int WorkerMain(const BenchOptions& options, SecurityMode mode, size_t worker_ind
   stats.PutVarint(mesh.frame_errors);
   stats.PutVarint(mesh.link_reconnects);
   stats.PutVarint(mesh.batch_plane_publishes);
+  stats.PutVarint(hops.size());
+  for (const WorkerTraceHop& hop : hops) {
+    stats.PutVarint(hop.trace_id);
+    stats.PutVarint(static_cast<uint64_t>(hop.import_ns));
+    stats.PutVarint(static_cast<uint64_t>(hop.deliver_ns));
+  }
   if (!control->SendFrame(stats.buffer()).ok()) {
     return 17;
   }
@@ -215,6 +288,15 @@ struct RunRow {
   // Import-side batch-native republishes across the whole mesh (workers'
   // tick imports + the coordinator's trade fan-in).
   uint64_t batch_plane_publishes = 0;
+  // Cross-node traces stitched end to end: a worker-reported
+  // (import, deliver) pair whose trace id matches one of the coordinator's
+  // kRelayed records. The CI mesh gate asserts >= 1 with monotonic hop
+  // timestamps (relay <= import <= deliver).
+  uint64_t stitched_traces = 0;
+  bool trace_hops_monotonic = true;
+  // relay -> first worker delivery, one sample per stitched trace — the
+  // shared histogram-summary block for the cross-node hop.
+  HistogramSummary cross_node_latency;
 };
 
 Result<RunRow> RunOneMode(const BenchOptions& options, SecurityMode mode) {
@@ -256,6 +338,11 @@ Result<RunRow> RunOneMode(const BenchOptions& options, SecurityMode mode) {
   EngineConfig engine_config;
   engine_config.mode = mode;
   engine_config.num_threads = 1;
+  // Observability on: published ticks get trace ids, the tick export wraps
+  // each frame in the traced relay envelope and records kRelayed — the
+  // coordinator half of the cross-node stitch.
+  engine_config.observability.enabled = true;
+  engine_config.observability.trace_capacity = 1u << 16;
   Engine engine(engine_config);
   const Tag s = engine.CreateTag("i-exchange");
   (void)engine.CreateTag("s-broker");
@@ -323,12 +410,28 @@ Result<RunRow> RunOneMode(const BenchOptions& options, SecurityMode mode) {
   engine.WaitIdle();
   DEFCON_RETURN_IF_ERROR(node.FlushExports(120000));  // every tick acked
 
+  // Snapshot the relay half of the stitch now, before the trade fan-in's
+  // import/delivery records can wrap the ring over the older kRelayed ones.
+  std::unordered_map<uint64_t, int64_t> relay_ns;
+  if (const TraceSink* sink = engine.trace_sink()) {
+    for (const TraceRecord& record : sink->Snapshot()) {
+      if (record.verdict != TraceVerdict::kRelayed || record.trace_id == 0) {
+        continue;
+      }
+      auto [it, inserted] = relay_ns.emplace(record.trace_id, record.ts_ns);
+      if (!inserted && record.ts_ns < it->second) {
+        it->second = record.ts_ns;
+      }
+    }
+  }
+
   // Drain barrier: workers finish their cascades and flush trades back.
   for (const auto& control : controls) {
     DEFCON_RETURN_IF_ERROR(SendText(control.get(), "drain"));
   }
   RunRow row;
   row.nodes = options.nodes;
+  LatencyHistogram cross_node;
   for (const auto& control : controls) {
     auto frame = control->RecvFrame();
     if (!frame.ok()) {
@@ -353,7 +456,33 @@ Result<RunRow> RunOneMode(const BenchOptions& options, SecurityMode mode) {
     row.label_violations += stats.integrity_clipped + stats.decode_errors + stats.frame_errors;
     row.link_reconnects += stats.link_reconnects;
     row.batch_plane_publishes += stats.batch_plane_publishes;
+
+    // Stitch: every worker hop whose trace id matches one of our kRelayed
+    // records is a complete publish -> relay -> import -> deliver timeline.
+    uint64_t hop_count = 0;
+    if (!read(&hop_count)) {
+      return IoError("malformed worker stats frame");
+    }
+    for (uint64_t h = 0; h < hop_count; ++h) {
+      WorkerTraceHop hop;
+      uint64_t import_ns = 0, deliver_ns = 0;
+      if (!read(&hop.trace_id) || !read(&import_ns) || !read(&deliver_ns)) {
+        return IoError("malformed worker trace-hop frame");
+      }
+      hop.import_ns = static_cast<int64_t>(import_ns);
+      hop.deliver_ns = static_cast<int64_t>(deliver_ns);
+      const auto relay = relay_ns.find(hop.trace_id);
+      if (relay == relay_ns.end()) {
+        continue;
+      }
+      ++row.stitched_traces;
+      if (!(relay->second <= hop.import_ns && hop.import_ns <= hop.deliver_ns)) {
+        row.trace_hops_monotonic = false;
+      }
+      cross_node.RecordNs(hop.deliver_ns - relay->second);
+    }
   }
+  row.cross_node_latency = cross_node.Summary();
   engine.WaitIdle();  // flushed fan-in frames are injected; settle republish
   const auto elapsed = std::chrono::steady_clock::now() - start;
 
@@ -473,7 +602,7 @@ int Main(int argc, char** argv) {
               static_cast<long long>(ticks));
 
   Table table({"mode", "nodes", "kticks/s", "ticks relayed", "trades", "collected",
-               "violations", "reconnects"});
+               "violations", "reconnects", "stitched", "xnode p70 (ms)"});
   std::vector<RunRow> rows;
   for (SecurityMode mode : modes) {
     auto row = RunOneMode(options, mode);
@@ -489,13 +618,16 @@ int Main(int argc, char** argv) {
                   Table::Int(static_cast<int64_t>(row->trades_workers)),
                   Table::Int(static_cast<int64_t>(row->trades_collected)),
                   Table::Int(static_cast<int64_t>(row->label_violations)),
-                  Table::Int(static_cast<int64_t>(row->link_reconnects))});
+                  Table::Int(static_cast<int64_t>(row->link_reconnects)),
+                  Table::Int(static_cast<int64_t>(row->stitched_traces)),
+                  Table::Num(static_cast<double>(row->cross_node_latency.p70_ns) / 1e6, 3)});
   }
   table.RenderText(std::cout);
   std::printf(
       "\nExpected shape: every tick relayed exactly once, violations 0 (an\n"
       "honest mesh never trips the integrity cap), collected == trades with\n"
-      "only the public fill parts crossing back.\n");
+      "only the public fill parts crossing back; stitched > 0 with monotonic\n"
+      "hop timestamps (trace ids survive the relay envelope across nodes).\n");
 
   if (!json_path.empty()) {
     std::FILE* out = std::fopen(json_path.c_str(), "w");
@@ -511,7 +643,8 @@ int Main(int argc, char** argv) {
                    "\"ticks_per_sec\": %.1f, "
                    "\"events_relayed\": %llu, \"trades\": %llu, \"trades_collected\": %llu, "
                    "\"label_violations\": %llu, \"link_reconnects\": %llu, "
-                   "\"batch_plane_publishes\": %llu}%s\n",
+                   "\"batch_plane_publishes\": %llu, \"stitched_traces\": %llu, "
+                   "\"trace_hops_monotonic\": %s, \"cross_node_latency\": %s}%s\n",
                    row.name.c_str(), static_cast<unsigned long long>(row.nodes),
                    options.columnar_wire ? "v2" : "v1",
                    row.ticks_per_sec, static_cast<unsigned long long>(row.ticks_relayed),
@@ -520,6 +653,9 @@ int Main(int argc, char** argv) {
                    static_cast<unsigned long long>(row.label_violations),
                    static_cast<unsigned long long>(row.link_reconnects),
                    static_cast<unsigned long long>(row.batch_plane_publishes),
+                   static_cast<unsigned long long>(row.stitched_traces),
+                   row.trace_hops_monotonic ? "true" : "false",
+                   row.cross_node_latency.ToJsonObject().c_str(),
                    i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(out, "  ]\n}\n");

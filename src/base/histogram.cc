@@ -2,9 +2,21 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdio>
 #include <sstream>
 
 namespace defcon {
+
+std::string HistogramSummary::ToJsonObject() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"count\": %llu, \"mean_ns\": %.1f, \"p50_ns\": %lld, \"p70_ns\": %lld, "
+                "\"p99_ns\": %lld, \"max_ns\": %lld}",
+                static_cast<unsigned long long>(count), mean_ns,
+                static_cast<long long>(p50_ns), static_cast<long long>(p70_ns),
+                static_cast<long long>(p99_ns), static_cast<long long>(max_ns));
+  return buf;
+}
 
 int LatencyHistogram::BucketIndex(int64_t ns) {
   if (ns < 1) {
@@ -37,6 +49,7 @@ void LatencyHistogram::RecordNs(int64_t ns) {
   buckets_[static_cast<size_t>(BucketIndex(ns))]++;
   ++count_;
   sum_ns_ += static_cast<double>(ns);
+  max_ns_ = std::max(max_ns_, ns);
 }
 
 void LatencyHistogram::Merge(const LatencyHistogram& other) {
@@ -45,12 +58,14 @@ void LatencyHistogram::Merge(const LatencyHistogram& other) {
   }
   count_ += other.count_;
   sum_ns_ += other.sum_ns_;
+  max_ns_ = std::max(max_ns_, other.max_ns_);
 }
 
 void LatencyHistogram::Reset() {
   buckets_.fill(0);
   count_ = 0;
   sum_ns_ = 0.0;
+  max_ns_ = 0;
 }
 
 int64_t LatencyHistogram::PercentileNs(double q) const {
@@ -76,6 +91,17 @@ double LatencyHistogram::MeanNs() const {
   return sum_ns_ / static_cast<double>(count_);
 }
 
+HistogramSummary LatencyHistogram::Summary() const {
+  HistogramSummary summary;
+  summary.count = count_;
+  summary.mean_ns = MeanNs();
+  summary.p50_ns = PercentileNs(0.5);
+  summary.p70_ns = PercentileNs(0.7);
+  summary.p99_ns = PercentileNs(0.99);
+  summary.max_ns = max_ns_;
+  return summary;
+}
+
 std::string LatencyHistogram::ToString() const {
   std::ostringstream os;
   os << "count=" << count_ << " mean_ns=" << MeanNs() << "\n";
@@ -85,6 +111,66 @@ std::string LatencyHistogram::ToString() const {
     }
   }
   return os.str();
+}
+
+ConcurrentLatencyHistogram::ConcurrentLatencyHistogram(size_t stripes)
+    : num_stripes_(stripes == 0 ? 1 : stripes),
+      stripes_(std::make_unique<Stripe[]>(num_stripes_)) {}
+
+void ConcurrentLatencyHistogram::RecordNs(size_t stripe_hint, int64_t ns) {
+  // Hints are worker/shard indices, already < num_stripes_ in the common
+  // case — skip the 64-bit modulo on the hot path.
+  if (stripe_hint >= num_stripes_) {
+    stripe_hint %= num_stripes_;
+  }
+  Stripe& s = stripes_[stripe_hint];
+  // Count is not tracked separately: it is the sum of the buckets, folded in
+  // at snapshot time, so a record is 2 relaxed RMWs plus the rarely-looping
+  // max CAS.
+  s.buckets[static_cast<size_t>(LatencyHistogram::BucketIndex(ns))].fetch_add(
+      1, std::memory_order_relaxed);
+  s.sum_ns.fetch_add(static_cast<uint64_t>(ns < 0 ? 0 : ns), std::memory_order_relaxed);
+  int64_t seen = s.max_ns.load(std::memory_order_relaxed);
+  while (ns > seen &&
+         !s.max_ns.compare_exchange_weak(seen, ns, std::memory_order_relaxed)) {
+  }
+}
+
+LatencyHistogram ConcurrentLatencyHistogram::Snapshot() const {
+  LatencyHistogram out;
+  for (size_t i = 0; i < num_stripes_; ++i) {
+    const Stripe& s = stripes_[i];
+    for (size_t b = 0; b < s.buckets.size(); ++b) {
+      const uint64_t n = s.buckets[b].load(std::memory_order_relaxed);
+      out.buckets_[b] += n;
+      out.count_ += n;
+    }
+    out.sum_ns_ += static_cast<double>(s.sum_ns.load(std::memory_order_relaxed));
+    out.max_ns_ = std::max(out.max_ns_, s.max_ns.load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+uint64_t ConcurrentLatencyHistogram::TotalCount() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i < num_stripes_; ++i) {
+    const Stripe& s = stripes_[i];
+    for (const auto& bucket : s.buckets) {
+      total += bucket.load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+void ConcurrentLatencyHistogram::Reset() {
+  for (size_t i = 0; i < num_stripes_; ++i) {
+    Stripe& s = stripes_[i];
+    for (auto& bucket : s.buckets) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+    s.sum_ns.store(0, std::memory_order_relaxed);
+    s.max_ns.store(0, std::memory_order_relaxed);
+  }
 }
 
 }  // namespace defcon

@@ -1,14 +1,40 @@
-// Log-scale latency histogram: O(1) record, approximate percentiles, fixed
+// Log-scale latency histograms: O(1) record, approximate percentiles, fixed
 // footprint. Used on hot paths where storing every sample (SampleSet) would
 // perturb the measurement.
+//
+// Two flavours share one bucket layout:
+//   * LatencyHistogram            — plain, single-writer (bench post-processing,
+//                                   merged snapshots);
+//   * ConcurrentLatencyHistogram  — lock-free striped atomics for the engine's
+//                                   hot paths (one stripe per worker/shard,
+//                                   relaxed fetch_add per record, snapshot by
+//                                   merging stripes into a LatencyHistogram).
 #ifndef DEFCON_SRC_BASE_HISTOGRAM_H_
 #define DEFCON_SRC_BASE_HISTOGRAM_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 
 namespace defcon {
+
+// The fixed percentile set every bench JSON reports (the paper's Figs. 6/9
+// quote p70, so it is first-class next to the usual p50/p99).
+struct HistogramSummary {
+  uint64_t count = 0;
+  double mean_ns = 0.0;
+  int64_t p50_ns = 0;
+  int64_t p70_ns = 0;
+  int64_t p99_ns = 0;
+  int64_t max_ns = 0;
+
+  // `{"count": N, "mean_ns": ..., "p50_ns": ..., "p70_ns": ..., "p99_ns":
+  // ..., "max_ns": ...}` — the shared histogram-summary block embedded in
+  // every bench's --json output.
+  std::string ToJsonObject() const;
+};
 
 // Buckets are half-open ranges [2^k, 2^(k+1)) of nanoseconds with 8 linear
 // sub-buckets each, covering 1 ns .. ~146 s with <= 12.5% relative error.
@@ -16,6 +42,7 @@ class LatencyHistogram {
  public:
   static constexpr int kLog2Buckets = 38;
   static constexpr int kSubBuckets = 8;
+  static constexpr int kNumBuckets = kLog2Buckets * kSubBuckets;
 
   void RecordNs(int64_t ns);
   void Merge(const LatencyHistogram& other);
@@ -25,17 +52,55 @@ class LatencyHistogram {
   // Approximate value at quantile q in [0,1]; returns 0 when empty.
   int64_t PercentileNs(double q) const;
   double MeanNs() const;
+  // Exact largest recorded sample (not bucket-quantised); 0 when empty.
+  int64_t MaxNs() const { return max_ns_; }
+
+  HistogramSummary Summary() const;
 
   // Multi-line human-readable dump of non-empty buckets.
   std::string ToString() const;
 
  private:
+  friend class ConcurrentLatencyHistogram;
+
   static int BucketIndex(int64_t ns);
   static int64_t BucketLowerBound(int index);
 
-  std::array<uint64_t, kLog2Buckets * kSubBuckets> buckets_{};
+  std::array<uint64_t, kNumBuckets> buckets_{};
   uint64_t count_ = 0;
   double sum_ns_ = 0.0;
+  int64_t max_ns_ = 0;
+};
+
+// Lock-free histogram for concurrent hot-path recording. Writers pick a
+// stripe (their worker/shard index; any value is safe — it only spreads
+// contention) and pay one relaxed fetch_add per counter touched. Readers
+// merge all stripes into a LatencyHistogram snapshot; a snapshot taken while
+// writers are active is a consistent-enough view for monitoring (each
+// counter is individually atomic).
+class ConcurrentLatencyHistogram {
+ public:
+  explicit ConcurrentLatencyHistogram(size_t stripes);
+
+  void RecordNs(size_t stripe_hint, int64_t ns);
+
+  LatencyHistogram Snapshot() const;
+  uint64_t TotalCount() const;
+  void Reset();
+
+  size_t stripes() const { return num_stripes_; }
+
+ private:
+  // No separate count counter: count is the sum of the buckets, folded in at
+  // snapshot time, keeping the record path to 2 relaxed RMWs + max CAS.
+  struct alignas(64) Stripe {
+    std::array<std::atomic<uint64_t>, LatencyHistogram::kNumBuckets> buckets{};
+    std::atomic<uint64_t> sum_ns{0};
+    std::atomic<int64_t> max_ns{0};
+  };
+
+  const size_t num_stripes_;
+  std::unique_ptr<Stripe[]> stripes_;
 };
 
 }  // namespace defcon

@@ -2,13 +2,22 @@
 
 #include <atomic>
 #include <cstdio>
+#include <memory>
 #include <mutex>
+
+#include "src/base/clock.h"
 
 namespace defcon {
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarning)};
+// Guards both sink swaps and emission, so a sink is never destroyed while a
+// concurrent EmitLog is invoking it and records are delivered serialised.
 std::mutex g_emit_mutex;
+LogSink* SinkSlot() {
+  static LogSink* slot = new LogSink();  // empty = default stderr sink
+  return slot;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -32,6 +41,11 @@ void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
 
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
 
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  *SinkSlot() = std::move(sink);
+}
+
 namespace internal {
 
 void EmitLog(LogLevel level, const char* file, int line, const std::string& message) {
@@ -43,6 +57,17 @@ void EmitLog(LogLevel level, const char* file, int line, const std::string& mess
     }
   }
   std::lock_guard<std::mutex> lock(g_emit_mutex);
+  const LogSink& sink = *SinkSlot();
+  if (sink) {
+    LogRecord record;
+    record.level = level;
+    record.file = file;
+    record.line = line;
+    record.ts_ns = MonotonicNowNs();
+    record.message = message;
+    sink(record);
+    return;
+  }
   std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), base, line, message.c_str());
 }
 

@@ -1,8 +1,18 @@
 // Minimal leveled logging. Benchmarks run with logging off by default so the
 // act of measuring does not perturb the measured system.
+//
+// DEFCON_LOG is a single expression, never a dangling `if`: the old macro
+// expanded to `if (...) {} else LogMessage(...)`, which silently captured the
+// `else` of any surrounding unbraced `if` (and a guarded do/while cannot work
+// here because the macro must keep accepting streamed arguments after it
+// expands). The guard below is the ternary + voidifier idiom — level-disabled
+// calls evaluate none of the streamed arguments, and the expansion composes
+// safely inside unbraced if/else.
 #ifndef DEFCON_SRC_BASE_LOGGING_H_
 #define DEFCON_SRC_BASE_LOGGING_H_
 
+#include <cstdint>
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -20,7 +30,29 @@ enum class LogLevel : int {
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+// One emitted log statement, as handed to the pluggable sink. `file` points
+// at the __FILE__ literal (static storage); `message` is the fully formatted
+// stream contents.
+struct LogRecord {
+  LogLevel level = LogLevel::kInfo;
+  const char* file = "";
+  int line = 0;
+  int64_t ts_ns = 0;  // monotonic clock at emit time
+  std::string message;
+};
+
+// Routes every emitted record somewhere other than stderr (test capture, a
+// structured collector, a TraceSink adapter...). Passing nullptr restores the
+// default stderr sink. Emission is serialised: the sink is invoked under the
+// logging mutex, so it needs no internal locking but must not log.
+using LogSink = std::function<void(const LogRecord&)>;
+void SetLogSink(LogSink sink);
+
 namespace internal {
+
+inline bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(GetLogLevel());
+}
 
 void EmitLog(LogLevel level, const char* file, int line, const std::string& message);
 
@@ -38,13 +70,22 @@ class LogMessage {
   std::ostringstream stream_;
 };
 
+// Swallows the streamed expression so both ternary arms have type void. The
+// `&` has lower precedence than `<<`, so every chained argument binds to the
+// stream first.
+struct LogVoidify {
+  void operator&(std::ostream&) {}
+};
+
 }  // namespace internal
 }  // namespace defcon
 
-#define DEFCON_LOG(level)                                                  \
-  if (static_cast<int>(::defcon::LogLevel::level) <                        \
-      static_cast<int>(::defcon::GetLogLevel())) {                         \
-  } else                                                                   \
-    ::defcon::internal::LogMessage(::defcon::LogLevel::level, __FILE__, __LINE__).stream()
+#define DEFCON_LOG(level)                                                     \
+  !::defcon::internal::LogEnabled(::defcon::LogLevel::level)                  \
+      ? (void)0                                                               \
+      : ::defcon::internal::LogVoidify() &                                    \
+            ::defcon::internal::LogMessage(::defcon::LogLevel::level,         \
+                                           __FILE__, __LINE__)               \
+                .stream()
 
 #endif  // DEFCON_SRC_BASE_LOGGING_H_

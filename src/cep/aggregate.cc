@@ -1,5 +1,7 @@
 #include "src/cep/aggregate.h"
 
+#include "src/observability/trace.h"
+
 namespace defcon {
 namespace cep {
 
@@ -234,6 +236,7 @@ std::optional<Label> GateEmission(const UnitContext& ctx, const Label& state_lab
       if (blocked != nullptr) {
         ++*blocked;
       }
+      ctx.TraceFlowDecision(TraceVerdict::kGateSuppressed, state_label);
       return std::nullopt;
     }
   }
@@ -243,9 +246,13 @@ std::optional<Label> GateEmission(const UnitContext& ctx, const Label& state_lab
       if (blocked != nullptr) {
         ++*blocked;
       }
+      ctx.TraceFlowDecision(TraceVerdict::kGateSuppressed, state_label);
       return std::nullopt;
     }
   }
+  // The state could NOT flow as-is; every gap was covered by an exercised
+  // privilege, so this emission declassifies and/or endorses.
+  ctx.TraceFlowDecision(TraceVerdict::kDeclassified, state_label);
   return target;
 }
 

@@ -44,6 +44,15 @@ namespace {
 // keys must agree byte-for-byte or their delivery transcripts diverge.
 std::string LabelKey(const Label& label) { return CanonicalLabelKey(label); }
 
+// The event's overall label — the join of every part label. Used as the
+// rendering gate of delivered trace records: the join is the conservative
+// choice (a sink cleared for the whole event is cleared for each part).
+Label EventLabelOf(const Event& event) {
+  Label label;
+  event.ForEachPart([&label](const Part& part) { label = LabelJoin(label, part.label); });
+  return label;
+}
+
 std::string IndexKeyString(const std::string& name, const std::string& literal) {
   std::string key;
   key.reserve(name.size() + literal.size() + 1);
@@ -87,6 +96,9 @@ struct EngineCounters {
   std::atomic<uint64_t> clone_bytes{0};
   std::atomic<uint64_t> intercept_checks{0};
   std::atomic<uint64_t> permission_denials{0};
+  std::atomic<uint64_t> flow_blocked{0};
+  std::atomic<uint64_t> cep_gate_suppressed{0};
+  std::atomic<uint64_t> cep_declassified{0};
 
   EngineStatsSnapshot Snapshot() const {
     EngineStatsSnapshot s;
@@ -118,6 +130,9 @@ struct EngineCounters {
     s.clone_bytes = clone_bytes.load(std::memory_order_relaxed);
     s.intercept_checks = intercept_checks.load(std::memory_order_relaxed);
     s.permission_denials = permission_denials.load(std::memory_order_relaxed);
+    s.flow_blocked = flow_blocked.load(std::memory_order_relaxed);
+    s.cep_gate_suppressed = cep_gate_suppressed.load(std::memory_order_relaxed);
+    s.cep_declassified = cep_declassified.load(std::memory_order_relaxed);
     return s;
   }
 };
@@ -150,6 +165,9 @@ struct PlannedDelivery {
   std::shared_ptr<SubscriptionRecord> sub;
   Label managed_label;
   std::string dedup_key;
+  // Most expensive flow-cache tier consulted while deciding this delivery
+  // (carried to the delivery turn so its trace record can name the tier).
+  TraceCacheTier tier = TraceCacheTier::kNone;
 };
 
 struct SubscriptionRecord {
@@ -249,6 +267,15 @@ struct IndexShard {
 // to units that could not already receive them.
 struct DeliveryPlan {
   EventPtr master;
+  // Dispatch entry time (observability on only; 0 otherwise) — what the
+  // publish->delivery latency histogram measures against.
+  int64_t published_ns = 0;
+  // Join of the master's part labels, memoised per mod_count so the
+  // delivered-trace hook pays one join per event version, not per delivery.
+  // Touched only from DeliverTurn, which `in_flight` serialises per plan —
+  // no lock needed.
+  Label event_label;
+  uint64_t event_label_mod = ~0ull;
 
   std::mutex mutex;
   std::deque<PlannedDelivery> pending;
@@ -267,6 +294,10 @@ struct SharedBatch {
   std::vector<Label> stamped;    // engine-stamped label per original label id
   std::vector<uint32_t> rows;    // batch row per dispatched master
   std::vector<int64_t> origins;  // resolved origin per dispatched master
+  // Observability on only (empty otherwise): event id and trace id per
+  // dispatched master, so view-path delivery records carry full identity.
+  std::vector<uint64_t> ids;
+  std::vector<uint64_t> trace_ids;
 };
 
 }  // namespace engine_internal
@@ -292,8 +323,11 @@ struct UnitState {
   std::shared_ptr<Actor> actor;
   std::unique_ptr<UnitContext> ctx;
 
-  // Labels and privileges: written only from the unit's own turns, but read
-  // by the dispatcher from other threads at match time.
+  // Labels and privileges: read by the dispatcher from other threads at
+  // match time. in_label/out_label are assigned exactly once, in CreateUnit
+  // before the unit becomes visible to any other thread — immutable after
+  // publication, so hot-path readers may skip label_mutex for them. The
+  // mutex still guards `privileges`, which mutate via bestowal.
   mutable std::mutex label_mutex;
   Label in_label;
   Label out_label;
@@ -326,6 +360,17 @@ struct UnitState {
   // An OnEventBatch turn covers several events; creations inside it inherit
   // the first covered event's origin.
   int64_t current_delivery_origin_ns = 0;
+
+  // Trace id of the event (or first batch-view event) currently being
+  // delivered (0 outside a delivery turn, and always 0 with observability
+  // off). Events created during the delivery inherit it, so causality chains
+  // — tick -> match -> order -> trade — share one stitchable id.
+  uint64_t current_delivery_trace_id = 0;
+
+  // When non-zero, events this unit creates take THIS trace id instead of
+  // inheriting or minting (UnitContext::SetRelayTraceId — mesh importers
+  // re-link republished events to the originating node's timeline).
+  uint64_t relay_trace_id = 0;
 
   // The BatchView being delivered by the current OnEventBatch turn (null
   // outside one); what UnitContext::ReadBatchView exposes.
@@ -408,6 +453,42 @@ struct Engine::Impl {
   EngineCounters stats;
   std::atomic<bool> started{false};
 
+  // ---- observability -------------------------------------------------------
+
+  // Allocated only when config.observability.enabled: the flow-decision
+  // trace sink, the hot-path latency histograms and the trace-id minter.
+  // Every hot-path hook gates on `obs != nullptr` — one branch when off.
+  struct Observability {
+    Observability(const ObservabilityConfig& cfg, size_t stripes, uint64_t salt_seed)
+        : sink(TraceSinkOptions{cfg.trace_capacity, cfg.trace_clearance}),
+          delivery_ns(stripes), turn_ns(stripes), salt(Mix64(salt_seed)) {}
+
+    // Fresh ids must differ across engines — including across the processes
+    // of a distributed mesh — or cross-node stitching aliases timelines:
+    // mix a construction-time salt into a per-engine counter.
+    uint64_t NextTraceId() {
+      const uint64_t id = Mix64(salt + next_trace_id.fetch_add(1, std::memory_order_relaxed));
+      return id != 0 ? id : 1;
+    }
+
+    static uint64_t Mix64(uint64_t x) {  // splitmix64 finalizer
+      x += 0x9e3779b97f4a7c15ULL;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+      return x ^ (x >> 31);
+    }
+
+    TraceSink sink;
+    ConcurrentLatencyHistogram delivery_ns;  // publish -> delivery turn
+    ConcurrentLatencyHistogram turn_ns;      // unit turn execution (executor-fed,
+                                             // 1-in-8 sampled — see ActorExecutor)
+    std::atomic<uint64_t> next_trace_id{1};
+    const uint64_t salt;
+  };
+
+  std::unique_ptr<Observability> obs;
+  MetricsRegistry metrics;
+
   static constexpr size_t kMaxShards = 256;
 
   static size_t ResolveShardCount(size_t configured) {
@@ -427,6 +508,107 @@ struct Engine::Impl {
     }
     if (config.mode == SecurityMode::kLabelsIsolation) {
       isolation = std::make_unique<IsolationRuntime>(DefaultWeavePlan(), &eng->accountant_);
+    }
+    if (config.observability.enabled) {
+      // One histogram stripe per worker plus one shared by non-pool threads
+      // (manual mode, InjectTurn callers).
+      const size_t stripes = std::max<size_t>(1, config.num_threads) + 1;
+      obs = std::make_unique<Observability>(
+          config.observability, stripes,
+          config.seed ^ static_cast<uint64_t>(MonotonicNowNs()) ^
+              reinterpret_cast<uintptr_t>(this));
+      executor.EnableTurnTiming(&obs->turn_ns);
+    }
+    RegisterCoreMetrics();
+  }
+
+  // Registers the engine/executor/cache/CEP series (and, when observability
+  // is on, the trace and latency series) into the unified registry. Fetches
+  // read the live atomics at export time; `this` outlives the registry.
+  void RegisterCoreMetrics() {
+    auto counter = [this](const char* name, const char* help,
+                          const std::atomic<uint64_t>* value) {
+      metrics.AddCounter(name, help, [value] {
+        return static_cast<double>(value->load(std::memory_order_relaxed));
+      });
+    };
+    counter("defcon_engine_events_published_total", "Events accepted into dispatch",
+            &stats.events_published);
+    counter("defcon_engine_deliveries_total", "Events delivered per subscriber (path-neutral)",
+            &stats.deliveries);
+    counter("defcon_engine_flow_blocked_total",
+            "Deliveries suppressed by a label check (observability on only)",
+            &stats.flow_blocked);
+    counter("defcon_engine_label_checks_total", "Fresh CanFlowTo computations",
+            &stats.label_checks);
+    counter("defcon_engine_parts_added_total", "Parts appended to events", &stats.parts_added);
+    counter("defcon_engine_parts_read_total", "Parts returned by reads", &stats.parts_read);
+    counter("defcon_engine_rematches_total", "Post-release re-match passes", &stats.rematches);
+    counter("defcon_engine_permission_denials_total", "Privilege checks that failed",
+            &stats.permission_denials);
+    counter("defcon_engine_clone_bytes_total", "Bytes deep-copied in clone mode",
+            &stats.clone_bytes);
+    counter("defcon_engine_managed_instances_created_total", "Managed instances created",
+            &stats.managed_instances_created);
+    counter("defcon_dispatch_candidate_cache_hits_total", "Candidate-list cache hits",
+            &stats.candidate_cache_hits);
+    counter("defcon_dispatch_candidate_cache_misses_total", "Candidate-list cache misses",
+            &stats.candidate_cache_misses);
+    counter("defcon_dispatch_flow_cache_hits_total", "Persistent flow-snapshot verdict hits",
+            &stats.flow_cache_hits);
+    counter("defcon_dispatch_batch_flow_memo_hits_total", "Dispatch-local flow memo hits",
+            &stats.batch_flow_memo_hits);
+    counter("defcon_dispatch_managed_join_cache_hits_total", "Managed-join memo hits",
+            &stats.managed_join_cache_hits);
+    counter("defcon_dispatch_cache_invalidations_total", "Generation sweeps of cached state",
+            &stats.dispatch_cache_invalidations);
+    counter("defcon_engine_batch_plane_publishes_total", "Column-hinted batch dispatches",
+            &stats.batch_plane_publishes);
+    counter("defcon_engine_batch_view_deliveries_total", "Zero-copy BatchView turns",
+            &stats.batch_view_deliveries);
+    counter("defcon_engine_part_map_deliveries_total", "Per-event OnEvent turns",
+            &stats.part_map_deliveries);
+    counter("defcon_cep_gate_suppressed_total", "CEP emissions refused by the privilege gate",
+            &stats.cep_gate_suppressed);
+    counter("defcon_cep_declassified_total", "CEP emissions that exercised t-/t+ privileges",
+            &stats.cep_declassified);
+
+    auto executor_counter = [this](const char* name, const char* help,
+                                   uint64_t ExecutorStats::*field) {
+      metrics.AddCounter(name, help, [this, field] {
+        return static_cast<double>(executor.stats().*field);
+      });
+    };
+    executor_counter("defcon_executor_turns_total", "Unit turns executed",
+                     &ExecutorStats::turns_executed);
+    executor_counter("defcon_executor_steals_total", "Actors taken from another worker",
+                     &ExecutorStats::steals);
+    executor_counter("defcon_executor_parks_total", "Times a worker went to sleep",
+                     &ExecutorStats::parks);
+    executor_counter("defcon_executor_wakes_total", "Targeted wake-ups issued",
+                     &ExecutorStats::wakes);
+    executor_counter("defcon_executor_local_hits_total", "Actors taken from the own deque",
+                     &ExecutorStats::local_hits);
+
+    metrics.AddGauge("defcon_engine_units", "Live units", [this] {
+      std::shared_lock lock(units_mutex);
+      return static_cast<double>(units.size());
+    });
+    metrics.AddGauge("defcon_engine_managed_instances", "Live managed instances", [this] {
+      return static_cast<double>(managed_instance_count.load(std::memory_order_relaxed));
+    });
+
+    if (obs != nullptr) {
+      metrics.AddCounter("defcon_trace_records_total", "Flow-decision trace records written",
+                         [this] { return static_cast<double>(obs->sink.recorded()); });
+      metrics.AddCounter("defcon_trace_dropped_total", "Trace records overwritten (ring wrap)",
+                         [this] { return static_cast<double>(obs->sink.dropped()); });
+      metrics.AddHistogram("defcon_engine_delivery_latency_ns",
+                           "Dispatch entry to delivery-turn latency",
+                           [this] { return obs->delivery_ns.Snapshot(); });
+      metrics.AddHistogram("defcon_executor_turn_latency_ns",
+                           "Unit turn execution time (1-in-8 sampled)",
+                           [this] { return obs->turn_ns.Snapshot(); });
     }
   }
 
@@ -687,11 +869,27 @@ struct Engine::Impl {
   // The single implementation behind both the API v2 builder path and the
   // Table-1 shims (CreateEvent/AddPart/Publish).
 
+  // Trace id for an event `state` is creating: an explicit relay id wins
+  // (mesh import), then the in-flight delivery's id (causality chains share
+  // one id), else a fresh mint. Only called with observability on.
+  uint64_t AssignTraceId(UnitState* state) {
+    if (state->relay_trace_id != 0) {
+      return state->relay_trace_id;
+    }
+    if (state->current_delivery_trace_id != 0) {
+      return state->current_delivery_trace_id;
+    }
+    return obs->NextTraceId();
+  }
+
   Result<EventHandle> NewCreatedEvent(UnitState* state) {
     auto event = std::make_shared<Event>(next_event_id.fetch_add(1), state->id);
     event->set_origin_ns(state->current_delivery_origin_ns != 0
                              ? state->current_delivery_origin_ns
                              : MonotonicNowNs());
+    if (obs != nullptr) {
+      event->set_trace_id(AssignTraceId(state));
+    }
     const EventHandle handle = state->next_handle++;
     HandleRecord record;
     record.event = event;
@@ -1122,11 +1320,13 @@ struct Engine::Impl {
   // `managed_label_fn` derives the managed-instance contamination for a
   // managed subscription (both paths route it through the managed-join
   // memo), and `visible_fn` decides part visibility for a non-managed unit
-  // (the batch path answers from its flow memos). Appends to `out` iff the
+  // (the batch path answers from its flow memos), reporting which cache tier
+  // served each verdict through its out-param. Appends to `out` iff the
   // filter matches the visible projection; `scratch` is caller-owned to
-  // avoid per-call allocation.
+  // avoid per-call allocation. `master` identifies the event for trace
+  // records (flow-blocked decisions, observability on only).
   template <typename LookupFn, typename ManagedLabelFn, typename VisibleFn>
-  void MatchCandidate(const std::shared_ptr<SubscriptionRecord>& sub,
+  void MatchCandidate(const std::shared_ptr<SubscriptionRecord>& sub, const Event* master,
                       const std::vector<Part>& parts, LookupFn&& lookup_fn,
                       ManagedLabelFn&& managed_label_fn, VisibleFn&& visible_fn,
                       std::vector<const Part*>* scratch, std::vector<PlannedDelivery>* out) {
@@ -1136,19 +1336,56 @@ struct Engine::Impl {
         return;
       }
       scratch->clear();
+      TraceCacheTier agg_tier = TraceCacheTier::kNone;
+      size_t first_hidden = SIZE_MAX;
+      TraceCacheTier first_hidden_tier = TraceCacheTier::kNone;
       for (size_t p = 0; p < parts.size(); ++p) {
-        if (visible_fn(p, parts[p], unit)) {
+        TraceCacheTier tier = TraceCacheTier::kNone;
+        if (visible_fn(p, parts[p], unit, &tier)) {
           scratch->push_back(&parts[p]);
+        } else if (first_hidden == SIZE_MAX) {
+          first_hidden = p;
+          first_hidden_tier = tier;
+        }
+        if (tier > agg_tier) {
+          agg_tier = tier;  // the most expensive tier consulted decides
         }
       }
       if (sub->filter.Matches(*scratch)) {
         PlannedDelivery d;
         d.sub_id = sub->id;
         d.unit_id = unit->id;
+        d.tier = agg_tier;
         d.dedup_key = std::to_string(sub->id);
         d.dedup_key += '#';
         d.dedup_key += std::to_string(unit->id);
         out->push_back(std::move(d));
+      } else if (obs != nullptr && first_hidden != SIZE_MAX) {
+        // Miss with hidden parts: flow-blocked only if the LABEL decided —
+        // i.e. the filter would have matched the full, unredacted part list.
+        // The second Matches pass runs only on this (cold) path.
+        std::vector<const Part*> full;
+        full.reserve(parts.size());
+        for (const Part& part : parts) {
+          full.push_back(&part);
+        }
+        if (sub->filter.Matches(full)) {
+          stats.flow_blocked.fetch_add(1, std::memory_order_relaxed);
+          TraceRecord r;
+          r.trace_id = master->trace_id();
+          r.event_id = master->id();
+          r.origin_ns = master->origin_ns();
+          r.subscription_id = sub->id;
+          r.unit_id = unit->id;
+          r.verdict = TraceVerdict::kFlowBlocked;
+          r.tier = first_hidden_tier;
+          r.part_label = parts[first_hidden].label;  // the deciding pair
+          {
+            std::lock_guard<std::mutex> lock(unit->label_mutex);
+            r.unit_label = unit->in_label;
+          }
+          obs->sink.Record(r);
+        }
       }
       return;
     }
@@ -1175,6 +1412,10 @@ struct Engine::Impl {
       d.sub_id = sub->id;
       d.unit_id = 0;
       d.sub = sub;
+      // Managed instances derive their label to dominate the referenced
+      // parts, so "flow blocked" is ill-defined here; the visibility pass
+      // above always computes against the instance label directly.
+      d.tier = security_on() ? TraceCacheTier::kComputed : TraceCacheTier::kNone;
       d.managed_label = inst_label;
       d.dedup_key = std::to_string(sub->id);
       d.dedup_key += '@';
@@ -1253,14 +1494,16 @@ struct Engine::Impl {
       return cached_label;
     };
     auto part_visible = [&](size_t p, const Part& part,
-                            const std::shared_ptr<UnitState>& unit) {
+                            const std::shared_ptr<UnitState>& unit, TraceCacheTier* tier) {
       if (!persist_flow) {
+        *tier = security_on() ? TraceCacheTier::kComputed : TraceCacheTier::kNone;
         return PartVisible(part, unit_in_label(unit));
       }
       const uint32_t slot = unit->flow_slot.load(std::memory_order_acquire);
       if (slot == kNoFlowSlot) {
         // Registration in flight: the record was visible before the slot
         // store landed here. Compute directly; nothing to memoise under.
+        *tier = TraceCacheTier::kComputed;
         return PartVisible(part, unit_in_label(unit));
       }
       const uint32_t label_id = label_ids[p];
@@ -1269,6 +1512,7 @@ struct Engine::Impl {
         const uint8_t verdict = (*snapshot)[slot];
         if (verdict != kFlowUnknown) {
           stats.flow_cache_hits.fetch_add(1, std::memory_order_relaxed);
+          *tier = TraceCacheTier::kFlowSnapshot;
           return verdict == kFlowAllowed;
         }
       }
@@ -1279,15 +1523,18 @@ struct Engine::Impl {
         // label_checks + flow_cache_hits + memo hits accounts for every
         // match-path visibility decision on both paths.
         stats.batch_flow_memo_hits.fetch_add(1, std::memory_order_relaxed);
+        *tier = TraceCacheTier::kBatchMemo;
         return it->second;
       }
       const bool allowed = PartVisible(part, unit_in_label(unit));
       overlay.emplace(slot, allowed);
+      *tier = TraceCacheTier::kComputed;
       return allowed;
     };
     const auto candidates = GetCandidates(parts, gens);
     for (const auto& sub : *candidates) {
-      MatchCandidate(sub, parts, lookup, managed_label, part_visible, &visible, out);
+      MatchCandidate(sub, master.get(), parts, lookup, managed_label, part_visible, &visible,
+                     out);
     }
     if (persist_flow) {
       PublishFlowOverlays(label_keys, flow_overlay, gens);
@@ -1427,12 +1674,14 @@ struct Engine::Impl {
     }
     std::vector<std::unordered_map<uint32_t, bool>> flow_overlay(label_keys.size());
     auto part_visible_by_id = [&](uint32_t label_id, const Part& part,
-                                  const std::shared_ptr<UnitState>& unit) {
+                                  const std::shared_ptr<UnitState>& unit, TraceCacheTier* tier) {
       if (!security_on()) {
+        *tier = TraceCacheTier::kNone;
         return true;
       }
       const uint32_t slot = unit->flow_slot.load(std::memory_order_acquire);
       if (slot == kNoFlowSlot) {
+        *tier = TraceCacheTier::kComputed;
         return PartVisible(part, unit_in_label(unit));  // registration in flight
       }
       if (const auto& snapshot = flow_snapshots[label_id];
@@ -1440,6 +1689,7 @@ struct Engine::Impl {
         const uint8_t verdict = (*snapshot)[slot];
         if (verdict != kFlowUnknown) {
           stats.flow_cache_hits.fetch_add(1, std::memory_order_relaxed);
+          *tier = TraceCacheTier::kFlowSnapshot;
           return verdict == kFlowAllowed;
         }
       }
@@ -1447,10 +1697,12 @@ struct Engine::Impl {
       auto it = overlay.find(slot);
       if (it != overlay.end()) {
         stats.batch_flow_memo_hits.fetch_add(1, std::memory_order_relaxed);
+        *tier = TraceCacheTier::kBatchMemo;
         return it->second;
       }
       const bool visible = PartVisible(part, unit_in_label(unit));
       overlay.emplace(slot, visible);
+      *tier = TraceCacheTier::kComputed;
       return visible;
     };
 
@@ -1466,16 +1718,16 @@ struct Engine::Impl {
           [&](size_t i) -> const std::string& { return *label_keys[ids[i]]; });
     };
     auto batch_visible = [&](size_t p, const Part& part,
-                             const std::shared_ptr<UnitState>& unit) {
-      return part_visible_by_id((*current_label_ids)[p], part, unit);
+                             const std::shared_ptr<UnitState>& unit, TraceCacheTier* tier) {
+      return part_visible_by_id((*current_label_ids)[p], part, unit, tier);
     };
     std::vector<const Part*> visible;
     for (size_t i = 0; i < n; ++i) {
       current_label_ids = &(*label_ids)[i];
       current_parts = &parts[i];
       for (const auto& sub : *candidates[i]) {
-        MatchCandidate(sub, parts[i], lookup_unit, managed_label, batch_visible, &visible,
-                       &(*out)[i]);
+        MatchCandidate(sub, masters[i].get(), parts[i], lookup_unit, managed_label,
+                       batch_visible, &visible, &(*out)[i]);
       }
     }
     if (persist_flow) {
@@ -1550,6 +1802,7 @@ struct Engine::Impl {
     auto plan = std::make_shared<DeliveryPlan>();
     plan->master = std::move(master);
     plan->matched_mod_count = plan->master->mod_count();
+    plan->published_ns = obs != nullptr ? MonotonicNowNs() : 0;
     std::vector<PlannedDelivery> matches;
     ComputeMatches(plan->master, &matches);
     {
@@ -1610,9 +1863,20 @@ struct Engine::Impl {
       return it->second.get();
     };
 
+    const int64_t published_ns = obs != nullptr ? MonotonicNowNs() : 0;
     std::vector<ActorExecutor::ActorTurn> turns;
     turns.reserve(masters.size());
     if (shared != nullptr) {
+      if (obs != nullptr && shared->ids.empty()) {
+        // View turns outlive `masters`; carry the identities the trace
+        // records need (per dispatched master, parallel to rows/origins).
+        shared->ids.reserve(masters.size());
+        shared->trace_ids.reserve(masters.size());
+        for (const EventPtr& m : masters) {
+          shared->ids.push_back(m->id());
+          shared->trace_ids.push_back(m->trace_id());
+        }
+      }
       // (unit id, subscription id) -> ascending dispatched-master indices.
       // Ordered so the turn sequence is deterministic.
       std::map<std::pair<UnitId, SubscriptionId>, std::vector<uint32_t>> view_events;
@@ -1624,7 +1888,8 @@ struct Engine::Impl {
         }
       }
       for (const auto& [key, events] : view_events) {
-        AppendBatchViewTurns(shared, opted[key.first], key.second, events, &turns);
+        AppendBatchViewTurns(shared, opted[key.first], key.second, events, published_ns,
+                             &turns);
       }
     }
 
@@ -1632,6 +1897,7 @@ struct Engine::Impl {
       auto plan = std::make_shared<DeliveryPlan>();
       plan->master = std::move(masters[i]);
       plan->matched_mod_count = plan->master->mod_count();
+      plan->published_ns = published_ns;
       {
         std::lock_guard<std::mutex> lock(plan->mutex);
         for (auto& m : matches[i]) {
@@ -1657,7 +1923,7 @@ struct Engine::Impl {
   // CanFlowTo per distinct label instead of one per part).
   void AppendBatchViewTurns(const std::shared_ptr<SharedBatch>& shared,
                             const std::shared_ptr<UnitState>& unit, SubscriptionId sub_id,
-                            const std::vector<uint32_t>& events,
+                            const std::vector<uint32_t>& events, int64_t published_ns,
                             std::vector<ActorExecutor::ActorTurn>* turns) {
     const EventBatch& batch = shared->batch;
     Label in_label;
@@ -1667,8 +1933,10 @@ struct Engine::Impl {
     }
     constexpr uint8_t kUnknown = 0, kBlocked = 1, kVisible = 2;
     std::vector<uint8_t> verdict(shared->stamped.size(), kUnknown);
+    bool fresh_check = false;  // did the last visible() call compute CanFlowTo?
     auto visible = [&](uint32_t orig) {
       uint8_t& v = verdict[orig];
+      fresh_check = v == kUnknown;
       if (v == kUnknown) {
         if (!security_on()) {
           v = kVisible;
@@ -1688,21 +1956,48 @@ struct Engine::Impl {
       std::vector<int64_t> origins;
       std::vector<uint32_t> offsets{0};
       std::vector<uint32_t> parts;
+      // Trace records for the run's events, prebuilt here where the labels
+      // and identities are at hand; ts_ns is stamped at delivery time.
+      std::vector<TraceRecord> records;
       bool all_visible = true;
       origins.reserve(stop - start);
       offsets.reserve(stop - start + 1);
+      if (obs != nullptr) {
+        records.reserve(stop - start);
+      }
       for (size_t e = start; e < stop; ++e) {
         const uint32_t master = events[e];
         origins.push_back(shared->origins[master]);
         const uint32_t row = shared->rows[master];
+        bool any_fresh = false;
+        Label event_label;
         for (size_t p = batch.parts_begin(row); p < batch.parts_end(row); ++p) {
           if (visible(batch.label_id(p))) {
             parts.push_back(static_cast<uint32_t>(p));
           } else {
             all_visible = false;
           }
+          any_fresh |= fresh_check;
+          if (obs != nullptr) {
+            event_label = LabelJoin(event_label, shared->stamped[batch.label_id(p)]);
+          }
         }
         offsets.push_back(static_cast<uint32_t>(parts.size()));
+        if (obs != nullptr) {
+          TraceRecord r;
+          r.trace_id = shared->trace_ids[master];
+          r.event_id = shared->ids[master];
+          r.origin_ns = shared->origins[master];
+          r.subscription_id = sub_id;
+          r.unit_id = unit->id;
+          r.verdict = TraceVerdict::kDelivered;
+          r.tier = !security_on() ? TraceCacheTier::kNone
+                   : any_fresh    ? TraceCacheTier::kComputed
+                                  : TraceCacheTier::kBatchMemo;
+          r.part_label = event_label;
+          r.unit_label = in_label;
+          records.push_back(std::move(r));
+        }
       }
       // Dropped (empty) batch rows between consecutive masters contribute no
       // parts, so an all-visible run is an unbroken slice of the batch's
@@ -1711,24 +2006,40 @@ struct Engine::Impl {
           std::shared_ptr<const void>(shared, shared.get()), &shared->batch,
           shared->stamped.data(), std::move(origins), std::move(offsets), std::move(parts),
           all_visible);
-      turns->emplace_back(unit->actor, [this, unit, sub_id, view = std::move(view)] {
-        DeliverBatchViewTurn(unit, sub_id, view);
+      turns->emplace_back(unit->actor, [this, unit, sub_id, view = std::move(view),
+                                        records = std::move(records), published_ns] {
+        DeliverBatchViewTurn(unit, sub_id, view, records, published_ns);
       });
       start = stop;
     }
   }
 
   void DeliverBatchViewTurn(const std::shared_ptr<UnitState>& unit, SubscriptionId sub_id,
-                            const BatchView& view) {
+                            const BatchView& view, const std::vector<TraceRecord>& records,
+                            int64_t published_ns) {
     stats.batch_view_deliveries.fetch_add(1, std::memory_order_relaxed);
     // `deliveries` counts events-per-subscriber path-neutrally: this one turn
     // delivers view.size() events that the part-map path would have delivered
     // as view.size() OnEvent turns.
     stats.deliveries.fetch_add(view.size(), std::memory_order_relaxed);
+    if (obs != nullptr) {
+      const int64_t now = MonotonicNowNs();
+      const size_t stripe = ActorExecutor::CurrentWorkerIndex();
+      for (TraceRecord r : records) {
+        r.ts_ns = now;
+        obs->sink.Record(r);
+        if (published_ns != 0) {
+          // One sample per covered event, mirroring the per-event path.
+          obs->delivery_ns.RecordNs(stripe, static_cast<uint64_t>(now - published_ns));
+        }
+      }
+    }
     unit->current_delivery_origin_ns = view.empty() ? 0 : view.origin_ns(0);
+    unit->current_delivery_trace_id = records.empty() ? 0 : records.front().trace_id;
     unit->current_batch_view = &view;
     unit->logic->OnEventBatch(*unit->ctx, view, sub_id);
     unit->current_batch_view = nullptr;
+    unit->current_delivery_trace_id = 0;
     unit->current_delivery_origin_ns = 0;
   }
 
@@ -1825,6 +2136,9 @@ struct Engine::Impl {
                                            : MonotonicNowNs());
       auto event = std::make_shared<Event>(next_event_id.fetch_add(1), state->id);
       event->set_origin_ns(origin_ns);
+      if (obs != nullptr) {
+        event->set_trace_id(AssignTraceId(state));
+      }
       if (viewable) {
         rows_of_master.push_back(static_cast<uint32_t>(r));
         origins_of_master.push_back(origin_ns);
@@ -1953,7 +2267,8 @@ struct Engine::Impl {
         continue;
       }
       const SubscriptionId sub_id = next.sub_id;
-      auto turn = [this, unit, sub_id, plan] { DeliverTurn(unit, sub_id, plan); };
+      const TraceCacheTier tier = next.tier;
+      auto turn = [this, unit, sub_id, plan, tier] { DeliverTurn(unit, sub_id, plan, tier); };
       if (sink != nullptr) {
         sink->emplace_back(unit->actor, std::move(turn));
       } else {
@@ -1964,7 +2279,8 @@ struct Engine::Impl {
   }
 
   void DeliverTurn(const std::shared_ptr<UnitState>& unit, SubscriptionId sub_id,
-                   const std::shared_ptr<DeliveryPlan>& plan) {
+                   const std::shared_ptr<DeliveryPlan>& plan,
+                   TraceCacheTier tier = TraceCacheTier::kNone) {
     stats.deliveries.fetch_add(1, std::memory_order_relaxed);
     stats.part_map_deliveries.fetch_add(1, std::memory_order_relaxed);
     EventPtr view = plan->master;
@@ -1980,8 +2296,50 @@ struct Engine::Impl {
     record.plan = plan;
     unit->handles.emplace(handle, std::move(record));
 
+    if (obs != nullptr) {
+      // Timestamp: the executor's drain loop already read the clock right
+      // before this turn started (turn timing is on whenever obs is) — reuse
+      // it instead of paying another clock call per delivery. The drain clock
+      // is refreshed only on sampled turns, so a turn enqueued mid-drain can
+      // see a stamp that predates its own publish; clamp so delivery latency
+      // is never negative and a delivery hop never precedes its import.
+      int64_t now = ActorExecutor::CurrentTurnStartNs();
+      if (now == 0) {
+        now = MonotonicNowNs();
+      }
+      if (now < plan->published_ns) {
+        now = plan->published_ns;
+      }
+      if (plan->published_ns != 0) {
+        obs->delivery_ns.RecordNs(ActorExecutor::CurrentWorkerIndex(),
+                                  static_cast<uint64_t>(now - plan->published_ns));
+      }
+      const uint64_t mod = plan->master->mod_count();
+      if (plan->event_label_mod != mod) {
+        plan->event_label = EventLabelOf(*plan->master);
+        plan->event_label_mod = mod;
+      }
+      // In-place fill: the label assignments reuse the ring slot's capacity,
+      // so a warm delivered-trace hook does not allocate. unit->in_label is
+      // immutable after CreateUnit — no label_mutex needed.
+      obs->sink.RecordWith([&](TraceRecord& r) {
+        r.ts_ns = now;
+        r.trace_id = plan->master->trace_id();
+        r.event_id = plan->master->id();
+        r.origin_ns = plan->master->origin_ns();
+        r.subscription_id = sub_id;
+        r.unit_id = unit->id;
+        r.verdict = TraceVerdict::kDelivered;
+        r.tier = tier;
+        r.part_label = plan->event_label;
+        r.unit_label = unit->in_label;
+      });
+    }
+
     unit->current_delivery_origin_ns = plan->master->origin_ns();
+    unit->current_delivery_trace_id = plan->master->trace_id();
     unit->logic->OnEvent(*unit->ctx, handle, sub_id);
+    unit->current_delivery_trace_id = 0;
     unit->current_delivery_origin_ns = 0;
 
     // Auto-release + handle close at end of turn.
@@ -2152,6 +2510,16 @@ void Engine::Stop() { impl_->executor.Shutdown(); }
 EngineStatsSnapshot Engine::stats() const { return impl_->stats.Snapshot(); }
 
 ExecutorStats Engine::executor_stats() const { return impl_->executor.stats(); }
+
+MetricsRegistry& Engine::metrics() { return impl_->metrics; }
+
+MetricsSnapshot Engine::ExportMetrics() const {
+  return MetricsSnapshot{impl_->metrics.ToJson(), impl_->metrics.ToPrometheusText()};
+}
+
+TraceSink* Engine::trace_sink() const {
+  return impl_->obs != nullptr ? &impl_->obs->sink : nullptr;
+}
 
 Result<Label> Engine::UnitInputLabel(UnitId id) const {
   auto state = impl_->FindUnit(id);
@@ -2518,6 +2886,46 @@ Result<int64_t> UnitContext::EventOrigin(EventHandle event) const {
   DEFCON_ASSIGN_OR_RETURN(HandleRecord * record, FindHandle(state_, event));
   return record->master->origin_ns();
 }
+
+void UnitContext::TraceFlowDecision(TraceVerdict verdict, const Label& subject_label,
+                                    uint64_t trace_id) const {
+  Engine::Impl* impl = engine_->impl_.get();
+  // CEP-gate outcomes are counted in every mode, so the gate's cost model is
+  // observable without the trace plane.
+  if (verdict == TraceVerdict::kGateSuppressed) {
+    impl->stats.cep_gate_suppressed.fetch_add(1, std::memory_order_relaxed);
+  } else if (verdict == TraceVerdict::kDeclassified) {
+    impl->stats.cep_declassified.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (impl->obs == nullptr) {
+    return;
+  }
+  TraceRecord r;
+  r.trace_id = trace_id != 0 ? trace_id : state_->current_delivery_trace_id;
+  r.event_id = 0;  // a decision about a prospective emission, not an event
+  r.origin_ns = state_->current_delivery_origin_ns;
+  r.subscription_id = 0;
+  r.unit_id = state_->id;
+  r.verdict = verdict;
+  r.tier = TraceCacheTier::kNone;
+  r.part_label = subject_label;
+  {
+    std::lock_guard<std::mutex> lock(state_->label_mutex);
+    r.unit_label = state_->in_label;
+  }
+  impl->obs->sink.Record(r);
+}
+
+Result<uint64_t> UnitContext::EventTraceId(EventHandle event) const {
+  DEFCON_ASSIGN_OR_RETURN(HandleRecord * record, FindHandle(state_, event));
+  return record->master->trace_id();
+}
+
+uint64_t UnitContext::CurrentDeliveryTraceId() const {
+  return state_->current_delivery_trace_id;
+}
+
+void UnitContext::SetRelayTraceId(uint64_t trace_id) { state_->relay_trace_id = trace_id; }
 
 Result<Tag> UnitContext::CreateTag(const std::string& debug_name) {
   Engine::Impl* impl = engine_->impl_.get();

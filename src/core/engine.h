@@ -22,8 +22,22 @@
 #include "src/core/types.h"
 #include "src/core/unit.h"
 #include "src/isolation/runtime.h"
+#include "src/observability/metrics.h"
+#include "src/observability/trace.h"
 
 namespace defcon {
+
+// Observability plane (flow-decision tracing + hot-path latency histograms).
+// Off by default: with enabled == false the engine allocates no sink and no
+// histograms, and every hot-path hook is a single null-pointer branch.
+struct ObservabilityConfig {
+  bool enabled = false;
+  // TraceSink ring capacity (records retained; oldest overwritten beyond it).
+  size_t trace_capacity = 8192;
+  // What the engine's sink may render unredacted (see TraceSinkOptions).
+  // Default: public only — secret-labelled records render redacted.
+  Label trace_clearance;
+};
 
 struct EngineConfig {
   SecurityMode mode = SecurityMode::kLabels;
@@ -79,6 +93,11 @@ struct EngineConfig {
   // under the cap; the knob is configurable so tests can exercise the
   // fallback without creating 2^16 units.
   uint32_t flow_dense_limit = 1u << 16;
+  // Flow-decision tracing + latency histograms (src/observability/). The
+  // unified MetricsRegistry and Engine::ExportMetrics work regardless; this
+  // switch only governs the per-decision trace records, the trace-id stamping
+  // of events, and the publish->delivery / turn-execution histograms.
+  ObservabilityConfig observability;
 };
 
 // Monotonic counters exposed for tests and benchmarks. Trusted-side only —
@@ -130,6 +149,25 @@ struct EngineStatsSnapshot {
   uint64_t clone_bytes = 0;
   uint64_t intercept_checks = 0;
   uint64_t permission_denials = 0;
+  // Deliveries suppressed by the label model: the subscription's filter
+  // matched the full part list but NOT the projection visible at the
+  // subscriber's input label — the label check, not the filter, decided.
+  // Detecting this requires a second filter pass on the miss path, so it is
+  // only counted when config.observability.enabled (each increment then has
+  // exactly one matching kFlowBlocked trace record).
+  uint64_t flow_blocked = 0;
+  // CEP emission-gate outcomes (src/cep/): emissions refused for lack of
+  // declassification/endorsement privileges, and emissions that succeeded by
+  // exercising them. Counted in every mode, traced when observability is on.
+  uint64_t cep_gate_suppressed = 0;
+  uint64_t cep_declassified = 0;
+};
+
+// One unified metrics snapshot across engine, executor, dispatch cache, CEP
+// gates and (when attached) mesh nodes — the same series in two renderings.
+struct MetricsSnapshot {
+  std::string json;        // one flat JSON object, sorted by series name
+  std::string prometheus;  // Prometheus text exposition format
 };
 
 class Engine {
@@ -177,6 +215,17 @@ class Engine {
   ExecutorStats executor_stats() const;
   TagStore& tag_store() { return tag_store_; }
   MemoryAccountant& accountant() { return accountant_; }
+
+  // The unified metrics plane. Engine, executor, dispatch-cache and CEP-gate
+  // series are registered at construction; mesh nodes add theirs under a
+  // group token (see MetricsRegistry). ExportMetrics renders everything
+  // registered so far as one snapshot in both formats.
+  MetricsRegistry& metrics();
+  MetricsSnapshot ExportMetrics() const;
+
+  // The flow-decision trace sink, or nullptr when observability is off.
+  // Trusted side only — units cannot reach it.
+  TraceSink* trace_sink() const;
 
   Result<Label> UnitInputLabel(UnitId id) const;
   Result<Label> UnitOutputLabel(UnitId id) const;

@@ -53,6 +53,7 @@ size_t Event::PartCount() const {
 EventPtr Event::DeepCopy(uint64_t new_id) const {
   auto copy = std::make_shared<Event>(new_id, creator_unit_id_);
   copy->set_origin_ns(origin_ns_);
+  copy->set_trace_id(trace_id_);
   std::lock_guard<std::mutex> lock(mutex_);
   for (const Part& part : parts_) {
     Part part_copy = part;

@@ -57,6 +57,13 @@ class Event {
   int64_t origin_ns() const { return origin_ns_; }
   void set_origin_ns(int64_t ns) { origin_ns_ = ns; }
 
+  // Cross-node stitch key for flow tracing (0 = none assigned). Assigned by
+  // the engine at creation when observability is on: inherited from the
+  // delivery that caused this event (so causality chains share one id), or
+  // minted fresh for root publishes. Trusted-side only, like origin_ns.
+  uint64_t trace_id() const { return trace_id_; }
+  void set_trace_id(uint64_t id) { trace_id_ = id; }
+
   // Appends a part. The engine validates labels/privileges before calling;
   // the event itself only guarantees structural integrity under concurrency.
   void AppendPart(Part part);
@@ -101,6 +108,7 @@ class Event {
   const uint64_t id_;
   const uint64_t creator_unit_id_;
   int64_t origin_ns_ = 0;
+  uint64_t trace_id_ = 0;
 
   std::atomic<uint64_t> mod_count_{0};
   mutable std::mutex mutex_;

@@ -38,6 +38,7 @@ class EventBatch;
 class EventBuilder;
 class UnitContext;
 struct UnitState;
+enum class TraceVerdict : uint8_t;  // src/observability/trace.h
 
 class Unit {
  public:
@@ -318,6 +319,36 @@ class UnitContext {
   // from, e.g. the originating tick). Used by latency instrumentation;
   // timestamps are outside the threat model.
   Result<int64_t> EventOrigin(EventHandle event) const;
+
+  // --- flow tracing (trusted in-process extensions) ------------------------
+  // Hooks for units that act as trusted label bridges — the CEP emission
+  // gate and the mesh import/export bridges — to land their decisions in the
+  // engine's flow-decision trace. Writing a record reveals nothing to the
+  // caller (the sink is unreadable from unit code), so these are not a
+  // covert channel; with observability off they cost one branch.
+
+  // Records one decision about a labelled flow this unit mediated.
+  // `subject_label` is the label that decided (a state/emission label for
+  // CEP gates, a frame label for mesh hops); its secrecy gates rendering.
+  // `trace_id` 0 means "the trace id of the delivery in flight, if any".
+  // kGateSuppressed / kDeclassified also advance the engine's CEP-gate
+  // counters (in every mode, traced or not).
+  void TraceFlowDecision(TraceVerdict verdict, const Label& subject_label,
+                         uint64_t trace_id = 0) const;
+
+  // Trace id carried by an event (0 when none was assigned). Trusted-side
+  // stitching key; like EventOrigin, outside the threat model.
+  Result<uint64_t> EventTraceId(EventHandle event) const;
+
+  // Trace id of the delivery in flight on this turn (0 outside a delivery or
+  // with observability off). Equivalent in visibility to EventTraceId of the
+  // delivered event; it exists for batch-view turns, which carry no handle.
+  uint64_t CurrentDeliveryTraceId() const;
+
+  // Makes events this unit creates from now on inherit `trace_id` instead of
+  // minting fresh ids — how a mesh importer re-links republished events to
+  // the originating node's timeline. Pass 0 to return to normal assignment.
+  void SetRelayTraceId(uint64_t trace_id);
 
   // --- synchronisation guard (§4.3) ---------------------------------------
 

@@ -3,9 +3,62 @@
 namespace defcon {
 
 MeshNode::MeshNode(Engine* engine, MeshConfig config)
-    : engine_(engine), config_(std::move(config)) {}
+    : engine_(engine), config_(std::move(config)) {
+  RegisterMetrics();
+}
 
 MeshNode::~MeshNode() { Shutdown(); }
+
+void MeshNode::RegisterMetrics() {
+  metrics_group_ = engine_->metrics().NewGroup();
+  // Pull-based: each fetch folds the node's live link/bridge counters at
+  // export time, so Engine::ExportMetrics always reads the current mesh
+  // state. The closures capture `this`; RemoveGroup in Shutdown() unhooks
+  // them before any member dies.
+  const auto field = [this](uint64_t MeshStats::*member) {
+    return [this, member]() { return static_cast<double>(this->stats().*member); };
+  };
+  MetricsRegistry& registry = engine_->metrics();
+  registry.AddCounter("defcon_mesh_events_exported_total",
+                      "Events relayed out of this node", field(&MeshStats::events_exported),
+                      metrics_group_);
+  registry.AddCounter("defcon_mesh_parts_exported_total",
+                      "Visible parts serialised onto the wire",
+                      field(&MeshStats::parts_exported), metrics_group_);
+  registry.AddCounter("defcon_mesh_overflow_notices_total",
+                      "Export payloads dropped by a full link (labelled notices published)",
+                      field(&MeshStats::overflow_notices), metrics_group_);
+  registry.AddCounter("defcon_mesh_events_imported_total",
+                      "Events republished from inbound relays",
+                      field(&MeshStats::events_imported), metrics_group_);
+  registry.AddCounter("defcon_mesh_parts_imported_total",
+                      "Parts republished from inbound relays", field(&MeshStats::parts_imported),
+                      metrics_group_);
+  registry.AddCounter("defcon_mesh_decode_errors_total",
+                      "Inbound relay payloads rejected by the codec",
+                      field(&MeshStats::decode_errors), metrics_group_);
+  registry.AddCounter("defcon_mesh_integrity_clipped_total",
+                      "Imported parts whose integrity claims were stripped (I ∩ Iout)",
+                      field(&MeshStats::integrity_clipped), metrics_group_);
+  registry.AddCounter("defcon_mesh_batch_plane_publishes_total",
+                      "Inbound v2 frames republished batch-natively",
+                      field(&MeshStats::batch_plane_publishes), metrics_group_);
+  registry.AddCounter("defcon_mesh_link_reconnects_total",
+                      "Outbound link reconnect cycles", field(&MeshStats::link_reconnects),
+                      metrics_group_);
+  registry.AddCounter("defcon_mesh_frames_replayed_total",
+                      "Frames replayed after a reconnect", field(&MeshStats::frames_replayed),
+                      metrics_group_);
+  registry.AddCounter("defcon_mesh_frames_dropped_overflow_total",
+                      "Frames dropped by the sender's overflow policy",
+                      field(&MeshStats::frames_dropped_overflow), metrics_group_);
+  registry.AddCounter("defcon_mesh_duplicates_filtered_total",
+                      "Replayed frames filtered by the receiver's delivery cursors",
+                      field(&MeshStats::duplicates_filtered), metrics_group_);
+  registry.AddCounter("defcon_mesh_frame_errors_total",
+                      "Inbound frames rejected before decode (header/CRC)",
+                      field(&MeshStats::frame_errors), metrics_group_);
+}
 
 Status MeshNode::StartImport(const std::string& address, const BridgeConfig& trust) {
   if (receiver_ != nullptr) {
@@ -94,6 +147,11 @@ void MeshNode::KillInboundLinks() {
 }
 
 void MeshNode::Shutdown() {
+  if (metrics_group_ != 0) {
+    // Before any member dies: the registry's fetch closures read them.
+    engine_->metrics().RemoveGroup(metrics_group_);
+    metrics_group_ = 0;
+  }
   for (const auto& sender : senders_) {
     sender->Shutdown();
   }

@@ -56,7 +56,12 @@ struct MeshStats {
 
 class MeshNode {
  public:
-  // The engine must outlive the node.
+  // The engine must outlive the node. Construction registers the node's
+  // MeshStats as defcon_mesh_* series in the engine's MetricsRegistry under
+  // a group token; Shutdown (or destruction) removes them, so
+  // Engine::ExportMetrics never reads a dead node. One node per engine keeps
+  // the flat series names collision-free (the deployment shape everywhere in
+  // this repo: one engine process == one mesh member).
   MeshNode(Engine* engine, MeshConfig config);
   ~MeshNode();
 
@@ -96,8 +101,11 @@ class MeshNode {
   void Shutdown();
 
  private:
+  void RegisterMetrics();
+
   Engine* engine_;
   const MeshConfig config_;
+  uint64_t metrics_group_ = 0;
 
   std::unique_ptr<LinkReceiver> receiver_;
   std::unique_ptr<RemoteBridgeImporter> importer_;

@@ -264,6 +264,33 @@ Result<std::vector<RelayEvent>> DecodeRelayBatch(const std::vector<uint8_t>& pay
   return events;
 }
 
+std::vector<uint8_t> EncodeRelayTraced(uint64_t trace_id, std::vector<uint8_t> inner) {
+  std::vector<uint8_t> out;
+  out.reserve(kRelayTraceHeaderBytes + inner.size());
+  out.push_back(kRelayColumnarMagic0);
+  out.push_back(kRelayTraceMagic1);
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<uint8_t>(trace_id >> (8 * i)));
+  }
+  out.insert(out.end(), inner.begin(), inner.end());
+  return out;
+}
+
+Result<uint64_t> StripRelayTrace(std::vector<uint8_t>* payload) {
+  if (!IsTracedRelayPayload(payload->data(), payload->size())) {
+    return IoError("traced relay payload lacks the trace magic");
+  }
+  if (payload->size() < kRelayTraceHeaderBytes) {
+    return IoError("traced relay payload truncated before the trace id");
+  }
+  uint64_t trace_id = 0;
+  for (int i = 0; i < 8; ++i) {
+    trace_id |= static_cast<uint64_t>((*payload)[2 + i]) << (8 * i);
+  }
+  payload->erase(payload->begin(), payload->begin() + kRelayTraceHeaderBytes);
+  return trace_id;
+}
+
 Result<std::vector<RelayEvent>> DecodeRelayAny(const std::vector<uint8_t>& payload) {
   if (IsColumnarRelayPayload(payload.data(), payload.size())) {
     return DecodeRelayBatch(payload);
@@ -273,6 +300,15 @@ Result<std::vector<RelayEvent>> DecodeRelayAny(const std::vector<uint8_t>& paylo
   std::vector<RelayEvent> events;
   events.push_back(std::move(event));
   return events;
+}
+
+Result<std::vector<RelayEvent>> DecodeRelayAny(std::vector<uint8_t> payload,
+                                               uint64_t* trace_id) {
+  *trace_id = 0;
+  if (IsTracedRelayPayload(payload.data(), payload.size())) {
+    DEFCON_ASSIGN_OR_RETURN(*trace_id, StripRelayTrace(&payload));
+  }
+  return DecodeRelayAny(payload);
 }
 
 }  // namespace defcon

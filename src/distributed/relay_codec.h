@@ -105,10 +105,32 @@ struct RelayColumns {
 };
 Result<RelayColumns> DecodeRelayColumns(const std::vector<uint8_t>& payload);
 
+// --- traced relay envelope (observability plane) -----------------------------
+//
+// 0xAD 0x03, 8-byte little-endian trace id, then a complete v1 or v2 relay
+// payload. The id is the frame's cross-node stitch key: the exporter writes
+// the relayed events' trace id, the importer republishes under it, so a
+// publish -> relay -> deliver timeline survives the hop. The envelope is
+// OPTIONAL — exporters only wrap when the source engine stamps trace ids —
+// and carries no label-bearing material, so the "secrets never reach the
+// wire" property is untouched.
+
+// Wraps `inner` (a complete v1/v2 payload) under the traced envelope.
+std::vector<uint8_t> EncodeRelayTraced(uint64_t trace_id, std::vector<uint8_t> inner);
+
+// Extracts the trace id and strips the envelope in place. `payload` must
+// carry the traced magic and a complete header; the inner payload (still
+// untrusted) remains for version dispatch.
+Result<uint64_t> StripRelayTrace(std::vector<uint8_t>* payload);
+
 // Version-dispatching decoder: v2 payloads (by magic) decode as a batch, v1
 // payloads as a single-event batch. This is what importers call, so one mesh
-// can mix v1 and v2 exporters (mixed-version rolling upgrade).
+// can mix v1 and v2 exporters (mixed-version rolling upgrade). The two-arg
+// overload also accepts traced envelopes, reporting the frame's trace id
+// (0 when the payload is untraced).
 Result<std::vector<RelayEvent>> DecodeRelayAny(const std::vector<uint8_t>& payload);
+Result<std::vector<RelayEvent>> DecodeRelayAny(std::vector<uint8_t> payload,
+                                               uint64_t* trace_id);
 
 }  // namespace defcon
 

@@ -4,6 +4,7 @@
 #include "src/core/event_batch.h"
 #include "src/distributed/relay_codec.h"
 #include "src/ipc/wire.h"
+#include "src/observability/trace.h"
 
 namespace defcon {
 
@@ -52,6 +53,7 @@ class RemoteExportUnit : public Unit {
   void OnEventBatch(UnitContext& ctx, const BatchView& view, SubscriptionId sub) override {
     const size_t n = route_.links.size();
     std::vector<std::vector<uint32_t>> buckets(n);
+    Label frame_label;
     for (uint32_t e = 0; e < view.size(); ++e) {
       const size_t begin = view.parts_begin(e);
       const size_t end = view.parts_end(e);
@@ -72,19 +74,39 @@ class RemoteExportUnit : public Unit {
       }
       exported_->fetch_add(1, std::memory_order_relaxed);
       parts_->fetch_add(end - begin, std::memory_order_relaxed);
+      for (size_t p = begin; p < end; ++p) {
+        frame_label = LabelJoin(frame_label, view.label(p));
+      }
       for (size_t i = 0; i < n; ++i) {
         if (broadcast || i == target) {
           buckets[i].push_back(e);
         }
       }
     }
+    // A batch-view turn carries no per-event handles; the delivery's trace id
+    // stands for the whole frame (0 when observability is off => no envelope).
+    const uint64_t trace_id = ctx.CurrentDeliveryTraceId();
+    bool will_send = false;
+    for (size_t i = 0; i < n; ++i) {
+      will_send = will_send || !buckets[i].empty();
+    }
+    // Stamp the relay decision before the frame touches the wire: once a link
+    // Send returns, the peer may already have imported the frame, and a relay
+    // timestamp taken after that would postdate the import hop it caused.
+    if (will_send && trace_id != 0) {
+      ctx.TraceFlowDecision(TraceVerdict::kRelayed, frame_label, trace_id);
+    }
     for (size_t i = 0; i < n; ++i) {
       if (buckets[i].empty()) {
         continue;
       }
-      const Status sent = route_.links[i]->Send(EncodeRelayColumnar(view, buckets[i]));
+      auto payload = EncodeRelayColumnar(view, buckets[i]);
+      if (trace_id != 0) {
+        payload = EncodeRelayTraced(trace_id, std::move(payload));
+      }
+      const Status sent = route_.links[i]->Send(std::move(payload));
       if (sent.code() == StatusCode::kResourceExhausted) {
-        ReportOverflow(ctx);
+        ReportOverflow(ctx, trace_id);
       }
     }
   }
@@ -95,10 +117,14 @@ class RemoteExportUnit : public Unit {
       return;
     }
     const int64_t origin = ctx.EventOrigin(event).value_or(0);
+    const uint64_t trace_id = ctx.EventTraceId(event).value_or(0);
     // Both encoders see only the visible projection: a part this unit's
     // clearance cannot read contributes no bytes to either wire version.
     auto payload = columnar_wire_ ? EncodeRelayColumnar(origin, *parts)
                                   : EncodeRelay(origin, *parts);
+    if (trace_id != 0) {
+      payload = EncodeRelayTraced(trace_id, std::move(payload));
+    }
 
     // Route: by key-part value when configured and present, link 0 when no
     // key is configured, broadcast when the key part is invisible/absent.
@@ -117,6 +143,15 @@ class RemoteExportUnit : public Unit {
     }
     exported_->fetch_add(1, std::memory_order_relaxed);
     parts_->fetch_add(parts->size(), std::memory_order_relaxed);
+    // Relay record before the sends (see OnEventBatch): the import hop on the
+    // peer must never carry an earlier timestamp than the relay that fed it.
+    if (trace_id != 0) {
+      Label frame_label;
+      for (const NamedPartView& part : *parts) {
+        frame_label = LabelJoin(frame_label, part.label);
+      }
+      ctx.TraceFlowDecision(TraceVerdict::kRelayed, frame_label, trace_id);
+    }
     for (size_t i = 0; i < n; ++i) {
       if (!broadcast && i != target) {
         continue;
@@ -124,7 +159,7 @@ class RemoteExportUnit : public Unit {
       const Status sent = route_.links[i]->Send(
           broadcast && i + 1 < n ? payload : std::move(payload));
       if (sent.code() == StatusCode::kResourceExhausted) {
-        ReportOverflow(ctx);
+        ReportOverflow(ctx, trace_id);
       }
     }
   }
@@ -133,8 +168,9 @@ class RemoteExportUnit : public Unit {
   // The link dropped a payload (explicit overflow policy). Publish a labelled
   // notice on the source node: the loss is observable at the exporter's own
   // output label, never silent.
-  void ReportOverflow(UnitContext& ctx) {
+  void ReportOverflow(UnitContext& ctx, uint64_t trace_id) {
     overflow_->fetch_add(1, std::memory_order_relaxed);
+    ctx.TraceFlowDecision(TraceVerdict::kOverflowDropped, Label(), trace_id);
     auto notice = ctx.CreateEvent();
     if (notice.ok()) {
       (void)ctx.AddPart(*notice, Label(), "mesh_overflow",
@@ -200,14 +236,54 @@ class RemoteImportUnit : public Unit {
   // PublishEventBatch for the whole frame — and v1 frames keep the per-event
   // path, so the mesh can mix exporter versions node by node.
   void Republish(UnitContext& ctx, const std::vector<uint8_t>& payload) {
-    if (IsColumnarRelayPayload(payload.data(), payload.size())) {
-      RepublishColumnar(ctx, payload);
-      return;
+    // Traced envelope (optional): peel the frame's trace id and republish
+    // under it, so this node's deliveries stitch to the exporter's timeline.
+    uint64_t trace_id = 0;
+    std::vector<uint8_t> stripped;
+    const std::vector<uint8_t>* body = &payload;
+    if (IsTracedRelayPayload(payload.data(), payload.size())) {
+      stripped = payload;
+      auto id = StripRelayTrace(&stripped);
+      if (!id.ok()) {
+        decode_errors_->fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      trace_id = *id;
+      body = &stripped;
     }
+    ctx.SetRelayTraceId(trace_id);
+    if (IsColumnarRelayPayload(body->data(), body->size())) {
+      RepublishColumnar(ctx, *body, trace_id);
+    } else {
+      RepublishPerEvent(ctx, *body, trace_id);
+    }
+    ctx.SetRelayTraceId(0);
+  }
+
+ private:
+  void RepublishPerEvent(UnitContext& ctx, const std::vector<uint8_t>& payload,
+                         uint64_t trace_id) {
     auto events = DecodeRelayAny(payload);
     if (!events.ok()) {
       decode_errors_->fetch_add(1, std::memory_order_relaxed);
       return;
+    }
+    // The import record marks the frame's admission, so it is stamped before
+    // the first Publish: republished events dispatch to executor workers
+    // immediately, and a delivery stamped mid-loop would otherwise predate
+    // its own import hop in the stitched cross-node timeline.
+    if (trace_id != 0) {
+      Label frame_label;
+      bool any_parts = false;
+      for (const RelayEvent& relayed : *events) {
+        for (const RelayedPart& part : relayed.parts) {
+          frame_label = LabelJoin(frame_label, part.label);
+          any_parts = true;
+        }
+      }
+      if (any_parts) {
+        ctx.TraceFlowDecision(TraceVerdict::kImported, frame_label, trace_id);
+      }
     }
     for (const RelayEvent& relayed : *events) {
       if (relayed.parts.empty()) {
@@ -221,6 +297,7 @@ class RemoteImportUnit : public Unit {
         for (const Tag& tag : part.label.integrity) {
           if (!relay_integrity_.Contains(tag)) {
             clipped_->fetch_add(1, std::memory_order_relaxed);
+            ctx.TraceFlowDecision(TraceVerdict::kIntegrityClipped, part.label, trace_id);
             break;
           }
         }
@@ -239,7 +316,8 @@ class RemoteImportUnit : public Unit {
   // per DISTINCT name/label instead of per part), then parts append by id.
   // The whole frame republishes through one PublishEventBatch call, so the
   // engine stamps, indexes and dispatches it on the columnar plane.
-  void RepublishColumnar(UnitContext& ctx, const std::vector<uint8_t>& payload) {
+  void RepublishColumnar(UnitContext& ctx, const std::vector<uint8_t>& payload,
+                         uint64_t trace_id) {
     auto columns = DecodeRelayColumns(payload);
     if (!columns.ok()) {
       decode_errors_->fetch_add(1, std::memory_order_relaxed);
@@ -252,13 +330,17 @@ class RemoteImportUnit : public Unit {
     }
     // Integrity clipping is a per-distinct-label fact, so resolve it once per
     // table entry; the per-part loop only reads the precomputed bit.
+    Label frame_label;
     std::vector<uint32_t> label_ids(columns->labels.size());
     std::vector<bool> clips(columns->labels.size(), false);
     for (size_t i = 0; i < columns->labels.size(); ++i) {
       label_ids[i] = builder.InternLabel(columns->labels[i]);
+      frame_label = LabelJoin(frame_label, columns->labels[i]);
       for (const Tag& tag : columns->labels[i].integrity) {
         if (!relay_integrity_.Contains(tag)) {
           clips[i] = true;
+          ctx.TraceFlowDecision(TraceVerdict::kIntegrityClipped, columns->labels[i],
+                                trace_id);
           break;
         }
       }
@@ -286,6 +368,12 @@ class RemoteImportUnit : public Unit {
     }
     if (builder.event_count() == 0) {
       return;
+    }
+    // Admission record before the republish (same ordering rule as the
+    // per-event path): PublishEventBatch dispatches delivery turns that may
+    // complete on another worker before this call returns.
+    if (trace_id != 0) {
+      ctx.TraceFlowDecision(TraceVerdict::kImported, frame_label, trace_id);
     }
     size_t published = 0;
     if (ctx.PublishEventBatch(builder.Build(), &published).ok()) {

@@ -334,6 +334,10 @@ bool IsColumnarRelayPayload(const uint8_t* data, size_t size) {
   return size >= 2 && data[0] == kRelayColumnarMagic0 && data[1] == kRelayColumnarMagic1;
 }
 
+bool IsTracedRelayPayload(const uint8_t* data, size_t size) {
+  return size >= 2 && data[0] == kRelayColumnarMagic0 && data[1] == kRelayTraceMagic1;
+}
+
 uint32_t Crc32(const uint8_t* data, size_t size) {
   static const Crc32Table table;
   uint32_t crc = 0xFFFFFFFFu;

@@ -122,8 +122,18 @@ inline constexpr int kMaxValueDepth = 64;
 inline constexpr uint8_t kRelayColumnarMagic0 = 0xAD;
 inline constexpr uint8_t kRelayColumnarMagic1 = 0x02;
 
+// Traced relay envelope: 0xAD 0x03, an 8-byte little-endian trace id, then a
+// complete v1 or v2 relay payload. Exporters emit it exactly when the source
+// engine stamps trace ids (observability on), so the wire cost is zero for
+// untraced meshes and version dispatch stays a one-byte decision.
+inline constexpr uint8_t kRelayTraceMagic1 = 0x03;
+inline constexpr size_t kRelayTraceHeaderBytes = 10;
+
 // True when `data` carries the v2 columnar relay prefix.
 bool IsColumnarRelayPayload(const uint8_t* data, size_t size);
+
+// True when `data` carries the traced relay envelope prefix.
+bool IsTracedRelayPayload(const uint8_t* data, size_t size);
 
 struct FrameHeader {
   uint8_t version = kWireVersion;

@@ -1,0 +1,138 @@
+#include "src/observability/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace defcon {
+namespace {
+
+// Counters are uint64 under the hood; render without a fraction. Gauges keep
+// one decimal unless they are integral too.
+void AppendNumber(std::string* out, double value, bool integral) {
+  char buf[64];
+  if (integral || value == std::floor(value)) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64, static_cast<int64_t>(value));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f", value);
+  }
+  *out += buf;
+}
+
+}  // namespace
+
+uint64_t MetricsRegistry::NewGroup() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_group_++;
+}
+
+void MetricsRegistry::RemoveGroup(uint64_t group) {
+  if (group == 0) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  series_.erase(std::remove_if(series_.begin(), series_.end(),
+                               [group](const Series& s) { return s.group == group; }),
+                series_.end());
+}
+
+void MetricsRegistry::AddCounter(std::string name, std::string help, Fetch fetch,
+                                 uint64_t group) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  series_.push_back(Series{std::move(name), std::move(help), Kind::kCounter,
+                           std::move(fetch), nullptr, group});
+}
+
+void MetricsRegistry::AddGauge(std::string name, std::string help, Fetch fetch,
+                               uint64_t group) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  series_.push_back(Series{std::move(name), std::move(help), Kind::kGauge,
+                           std::move(fetch), nullptr, group});
+}
+
+void MetricsRegistry::AddHistogram(std::string name, std::string help, HistogramFetch fetch,
+                                   uint64_t group) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  series_.push_back(Series{std::move(name), std::move(help), Kind::kHistogram, nullptr,
+                           std::move(fetch), group});
+}
+
+size_t MetricsRegistry::series_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return series_.size();
+}
+
+std::vector<MetricsRegistry::Series> MetricsRegistry::SortedSeries() const {
+  std::vector<Series> sorted;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    sorted = series_;
+  }
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Series& a, const Series& b) { return a.name < b.name; });
+  return sorted;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::string out = "{";
+  bool first = true;
+  for (const Series& s : SortedSeries()) {
+    if (!first) {
+      out += ", ";
+    }
+    first = false;
+    out += '"';
+    out += s.name;
+    out += "\": ";
+    if (s.kind == Kind::kHistogram) {
+      out += s.histogram().Summary().ToJsonObject();
+    } else {
+      AppendNumber(&out, s.fetch(), s.kind == Kind::kCounter);
+    }
+  }
+  out += "}";
+  return out;
+}
+
+std::string MetricsRegistry::ToPrometheusText() const {
+  std::string out;
+  for (const Series& s : SortedSeries()) {
+    out += "# HELP " + s.name + " " + s.help + "\n";
+    switch (s.kind) {
+      case Kind::kCounter:
+      case Kind::kGauge: {
+        out += "# TYPE " + s.name + (s.kind == Kind::kCounter ? " counter\n" : " gauge\n");
+        out += s.name + " ";
+        AppendNumber(&out, s.fetch(), s.kind == Kind::kCounter);
+        out += '\n';
+        break;
+      }
+      case Kind::kHistogram: {
+        out += "# TYPE " + s.name + " summary\n";
+        const LatencyHistogram h = s.histogram();
+        const HistogramSummary summary = h.Summary();
+        const struct {
+          const char* q;
+          int64_t v;
+        } quantiles[] = {{"0.5", summary.p50_ns}, {"0.7", summary.p70_ns},
+                         {"0.99", summary.p99_ns}, {"1", summary.max_ns}};
+        for (const auto& q : quantiles) {
+          out += s.name + "{quantile=\"" + q.q + "\"} ";
+          AppendNumber(&out, static_cast<double>(q.v), true);
+          out += '\n';
+        }
+        out += s.name + "_sum ";
+        AppendNumber(&out, summary.mean_ns * static_cast<double>(summary.count), true);
+        out += '\n';
+        out += s.name + "_count ";
+        AppendNumber(&out, static_cast<double>(summary.count), true);
+        out += '\n';
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace defcon

@@ -1,0 +1,85 @@
+// MetricsRegistry: one place every subsystem registers its counters, gauges
+// and latency histograms as NAMED, TYPED series, exported together as one
+// snapshot in JSON and Prometheus text exposition format.
+//
+// Registration is pull-based: a series holds a fetch closure that reads the
+// live atomic counter at export time, so registering costs nothing on hot
+// paths and the snapshot is always current. Engine, executor, dispatch
+// cache and CEP gates register at engine construction; a MeshNode registers
+// its series into the owning engine's registry under a group token and
+// removes them on shutdown (the node dies before the engine).
+//
+// Naming scheme: defcon_<subsystem>_<series>[_total]
+//   e.g. defcon_engine_deliveries_total, defcon_executor_steals_total,
+//        defcon_cep_gate_suppressed_total, defcon_mesh_events_exported_total,
+//        defcon_engine_delivery_latency_ns (histogram summary).
+#ifndef DEFCON_SRC_OBSERVABILITY_METRICS_H_
+#define DEFCON_SRC_OBSERVABILITY_METRICS_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/base/histogram.h"
+
+namespace defcon {
+
+class MetricsRegistry {
+ public:
+  // Counters/gauges fetch one value; counters are monotonic and render as
+  // integers, gauges may move both ways and render as doubles.
+  using Fetch = std::function<double()>;
+  // Histograms fetch a merged snapshot (e.g. ConcurrentLatencyHistogram::
+  // Snapshot) whose Summary() becomes the exported quantile block.
+  using HistogramFetch = std::function<LatencyHistogram()>;
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Group tokens scope the lifetime of dynamically added series (mesh nodes,
+  // tests). Series added with group 0 live as long as the registry.
+  uint64_t NewGroup();
+  void RemoveGroup(uint64_t group);
+
+  void AddCounter(std::string name, std::string help, Fetch fetch, uint64_t group = 0);
+  void AddGauge(std::string name, std::string help, Fetch fetch, uint64_t group = 0);
+  void AddHistogram(std::string name, std::string help, HistogramFetch fetch,
+                    uint64_t group = 0);
+
+  // One flat JSON object, series name -> value (histograms -> summary
+  // object), sorted by name.
+  std::string ToJson() const;
+
+  // Prometheus text exposition: # HELP/# TYPE headers, counters/gauges as
+  // single samples, histograms as summaries (quantile series + _sum/_count).
+  std::string ToPrometheusText() const;
+
+  size_t series_count() const;
+
+ private:
+  enum class Kind : uint8_t { kCounter, kGauge, kHistogram };
+
+  struct Series {
+    std::string name;
+    std::string help;
+    Kind kind;
+    Fetch fetch;                   // counters/gauges
+    HistogramFetch histogram;      // histograms
+    uint64_t group = 0;
+  };
+
+  // Sorted-by-name copy of the live series (fetches are copied, not called,
+  // under the lock; export then runs the closures without holding it).
+  std::vector<Series> SortedSeries() const;
+
+  mutable std::mutex mutex_;
+  std::vector<Series> series_;
+  uint64_t next_group_ = 1;
+};
+
+}  // namespace defcon
+
+#endif  // DEFCON_SRC_OBSERVABILITY_METRICS_H_

@@ -1,0 +1,155 @@
+#include "src/observability/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/base/clock.h"
+#include "src/core/tag_store.h"
+
+namespace defcon {
+
+const char* TraceVerdictName(TraceVerdict verdict) {
+  switch (verdict) {
+    case TraceVerdict::kDelivered:
+      return "delivered";
+    case TraceVerdict::kFlowBlocked:
+      return "flow_blocked";
+    case TraceVerdict::kGateSuppressed:
+      return "gate_suppressed";
+    case TraceVerdict::kDeclassified:
+      return "declassified";
+    case TraceVerdict::kIntegrityClipped:
+      return "integrity_clipped";
+    case TraceVerdict::kOverflowDropped:
+      return "overflow_dropped";
+    case TraceVerdict::kRelayed:
+      return "relayed";
+    case TraceVerdict::kImported:
+      return "imported";
+  }
+  return "?";
+}
+
+const char* TraceCacheTierName(TraceCacheTier tier) {
+  switch (tier) {
+    case TraceCacheTier::kNone:
+      return "none";
+    case TraceCacheTier::kFlowSnapshot:
+      return "flow_snapshot";
+    case TraceCacheTier::kBatchMemo:
+      return "batch_memo";
+    case TraceCacheTier::kComputed:
+      return "computed";
+  }
+  return "?";
+}
+
+TraceSink::TraceSink(TraceSinkOptions options)
+    : options_(std::move(options)),
+      per_shard_capacity_(std::max<size_t>(1, options_.capacity / kShards)),
+      shards_(std::make_unique<Shard[]>(kShards)) {
+  for (size_t i = 0; i < kShards; ++i) {
+    shards_[i].ring.reserve(per_shard_capacity_);
+  }
+}
+
+void TraceSink::Record(const TraceRecord& record) {
+  const uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = shards_[seq % kShards];
+  TraceRecord* slot;
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (shard.ring.size() < per_shard_capacity_) {
+    shard.ring.push_back(record);
+    slot = &shard.ring.back();
+  } else {
+    // Copy-assign into the wrapped slot: the slot's label TagSets keep their
+    // capacity, so a warm ring records without allocating.
+    shard.ring[shard.next] = record;
+    slot = &shard.ring[shard.next];
+    shard.next = (shard.next + 1) % per_shard_capacity_;
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  slot->seq = seq;
+  if (slot->ts_ns == 0) {
+    slot->ts_ns = MonotonicNowNs();
+  }
+}
+
+std::vector<TraceRecord> TraceSink::Snapshot() const {
+  std::vector<TraceRecord> out;
+  for (size_t i = 0; i < kShards; ++i) {
+    const Shard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    out.insert(out.end(), shard.ring.begin(), shard.ring.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceRecord& a, const TraceRecord& b) { return a.seq < b.seq; });
+  return out;
+}
+
+bool TraceSink::CanRead(const TraceRecord& record) const {
+  return record.part_label.secrecy.IsSubsetOf(options_.clearance.secrecy);
+}
+
+namespace {
+
+void AppendTagSet(std::ostringstream& os, const TagSet& tags, const TagStore* names) {
+  os << '{';
+  bool first = true;
+  for (const Tag& tag : tags) {
+    if (!first) {
+      os << ',';
+    }
+    first = false;
+    if (names != nullptr) {
+      os << names->NameOf(tag) << '(' << tag.DebugString() << ')';
+    } else {
+      os << tag.DebugString();
+    }
+  }
+  os << '}';
+}
+
+void AppendLabel(std::ostringstream& os, const Label& label, const TagStore* names) {
+  os << "S=";
+  AppendTagSet(os, label.secrecy, names);
+  os << " I=";
+  AppendTagSet(os, label.integrity, names);
+}
+
+}  // namespace
+
+std::string TraceSink::RenderRecord(const TraceRecord& record, const TagStore* names) const {
+  const bool readable = CanRead(record);
+  std::ostringstream os;
+  os << "seq=" << record.seq << " ts=" << record.ts_ns
+     << " verdict=" << TraceVerdictName(record.verdict)
+     << " tier=" << TraceCacheTierName(record.tier) << " event=" << record.event_id
+     << " origin=" << record.origin_ns << " sub=" << record.subscription_id
+     << " unit=" << record.unit_id;
+  if (record.trace_id != 0) {
+    os << " trace=" << record.trace_id;
+  }
+  // An uncleared sink still sees the decision shape — but only bare tag ids
+  // (random 128-bit values), never the operator-readable name preimages.
+  os << " part[";
+  AppendLabel(os, record.part_label, readable ? names : nullptr);
+  os << "] unit[";
+  AppendLabel(os, record.unit_label, readable ? names : nullptr);
+  os << ']';
+  if (!readable) {
+    os << " redacted";
+  }
+  return os.str();
+}
+
+std::string TraceSink::RenderAll(const TagStore* names) const {
+  std::string out;
+  for (const TraceRecord& record : Snapshot()) {
+    out += RenderRecord(record, names);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace defcon

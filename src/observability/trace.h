@@ -1,0 +1,172 @@
+// Flow-decision tracing: the audit trail behind "why didn't unit X see
+// event Y".
+//
+// The engine (and the CEP gate / mesh bridges through it) writes one compact
+// TraceRecord per dispatch decision into a ring-buffer TraceSink. A record
+// names the decision — verdict, the (part label, subscriber input label)
+// pair that decided it, the cache tier that served the verdict — plus enough
+// identity to stitch timelines (event id, origin timestamp, trace id,
+// subscription and unit ids).
+//
+// The trace itself is labelled data. Records structurally CANNOT contain
+// part names, part values or privilege material — only labels, i.e. tag
+// ids — and rendering is gated by the sink's clearance: a record whose
+// secrecy tags exceed the clearance renders redacted (bare tag ids, never
+// the tag-name preimages a cleared operator would see). This mirrors the
+// wire scanner's no-secret-bytes-on-wire property: an uncleared sink's
+// output never holds a secret byte sequence, in any security mode.
+#ifndef DEFCON_SRC_OBSERVABILITY_TRACE_H_
+#define DEFCON_SRC_OBSERVABILITY_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/base/clock.h"
+#include "src/core/label.h"
+
+namespace defcon {
+
+class TagStore;
+
+// What the dispatcher decided for one (event, subscriber) encounter — or, for
+// the mesh/CEP members, what a trusted bridge decided about a labelled flow.
+enum class TraceVerdict : uint8_t {
+  kDelivered = 0,         // event delivered to the subscription
+  kFlowBlocked = 1,       // label check hid the deciding part(s); no delivery
+  kGateSuppressed = 2,    // CEP emission gate refused the declass/endorse
+  kDeclassified = 3,      // CEP emission succeeded by exercising t-/t+
+  kIntegrityClipped = 4,  // mesh import stripped integrity claims (I ∩ Iout)
+  kOverflowDropped = 5,   // mesh export link full; labelled overflow notice
+  kRelayed = 6,           // mesh export hop: frame left this node
+  kImported = 7,          // mesh import hop: frame republished on this node
+};
+
+const char* TraceVerdictName(TraceVerdict verdict);
+
+// Which cache answered the flow question (the dispatch cache's tiers).
+enum class TraceCacheTier : uint8_t {
+  kNone = 0,          // no label check involved (e.g. kNoSecurity mode)
+  kFlowSnapshot = 1,  // persistent per-label dense snapshot hit
+  kBatchMemo = 2,     // dispatch-local (batch) memo hit
+  kComputed = 3,      // fresh CanFlowTo / PartVisible computation
+};
+
+const char* TraceCacheTierName(TraceCacheTier tier);
+
+// One dispatch decision. Compact by construction: identities and labels
+// only — never part names, part values or tag-name preimages.
+struct TraceRecord {
+  uint64_t seq = 0;         // global order within the sink
+  int64_t ts_ns = 0;        // monotonic decision time
+  uint64_t trace_id = 0;    // cross-node stitch key (0 = none assigned)
+  uint64_t event_id = 0;    // 0 for non-event decisions (gate/overflow)
+  int64_t origin_ns = 0;    // the event's real-world origin timestamp
+  uint64_t subscription_id = 0;
+  uint64_t unit_id = 0;     // the subscriber / deciding unit
+  TraceVerdict verdict = TraceVerdict::kDelivered;
+  TraceCacheTier tier = TraceCacheTier::kNone;
+  // The label-key pair that decided the verdict: the part's (or state's /
+  // frame's) label and the subscriber's input label at decision time.
+  // part_label.secrecy is the event secrecy the record carries — it is what
+  // gates rendering.
+  Label part_label;
+  Label unit_label;
+};
+
+struct TraceSinkOptions {
+  // Records retained per ring stripe × stripes; oldest records are
+  // overwritten (overwrite count is reported by dropped()).
+  size_t capacity = 8192;
+  // What this sink is cleared to render unredacted: a record renders fully
+  // iff its secrecy tags are a subset of clearance.secrecy. Default: public
+  // only — every secret-labelled record renders redacted.
+  Label clearance;
+};
+
+// Lock-sharded ring buffer of TraceRecords. Writers claim a global sequence
+// number and append under one of kShards stripe mutexes (uncontended in the
+// common single-writer-per-shard case); readers merge and re-order by seq.
+class TraceSink {
+ public:
+  explicit TraceSink(TraceSinkOptions options);
+
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  // Appends one record; fills seq (always) and ts_ns (when zero) on the
+  // stored copy. Thread-safe; a warm ring records without allocating (slot
+  // label capacity is reused), so callers may pass a reused scratch record.
+  void Record(const TraceRecord& record);
+
+  // Hot-path variant: `fill` writes the ring slot in place under the shard
+  // lock, skipping the intermediate record copy. The slot may hold a stale
+  // previous record, so `fill` MUST assign every field (label assignments
+  // reuse the slot's capacity — no allocation on a warm ring). seq is filled
+  // afterwards; ts_ns is stamped when `fill` leaves it 0.
+  template <typename Fill>
+  void RecordWith(Fill&& fill) {
+    const uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+    Shard& shard = shards_[seq % kShards];
+    TraceRecord* slot;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.ring.size() < per_shard_capacity_) {
+      shard.ring.emplace_back();
+      slot = &shard.ring.back();
+    } else {
+      slot = &shard.ring[shard.next];
+      shard.next = (shard.next + 1) % per_shard_capacity_;
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+    fill(*slot);
+    slot->seq = seq;
+    if (slot->ts_ns == 0) {
+      slot->ts_ns = MonotonicNowNs();
+    }
+  }
+
+  // All retained records in seq order. Trusted-side introspection (tests,
+  // cross-node stitchers); unit code never reaches the sink.
+  std::vector<TraceRecord> Snapshot() const;
+
+  // Records written / overwritten since construction.
+  uint64_t recorded() const { return next_seq_.load(std::memory_order_relaxed); }
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  const Label& clearance() const { return options_.clearance; }
+
+  // True iff this sink's clearance may render the record unredacted.
+  bool CanRead(const TraceRecord& record) const;
+
+  // Human/machine-readable rendering, clearance-enforced. A readable record
+  // shows tag ids plus (when `names` is non-null) tag-name preimages; a
+  // record above the clearance renders with verdict/tier/ids and bare tag
+  // ids only, flagged `redacted`. Part names and values never appear —
+  // records do not contain them.
+  std::string RenderRecord(const TraceRecord& record, const TagStore* names = nullptr) const;
+
+  // RenderRecord over the whole snapshot, one line per record.
+  std::string RenderAll(const TagStore* names = nullptr) const;
+
+ private:
+  static constexpr size_t kShards = 8;
+
+  struct alignas(64) Shard {
+    mutable std::mutex mutex;
+    std::vector<TraceRecord> ring;  // capacity-bounded, wraps
+    size_t next = 0;                // ring insertion cursor
+  };
+
+  const TraceSinkOptions options_;
+  size_t per_shard_capacity_;
+  std::atomic<uint64_t> next_seq_{0};
+  std::atomic<uint64_t> dropped_{0};
+  std::unique_ptr<Shard[]> shards_;
+};
+
+}  // namespace defcon
+
+#endif  // DEFCON_SRC_OBSERVABILITY_TRACE_H_

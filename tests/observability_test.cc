@@ -1,0 +1,469 @@
+// Observability plane: the flow-decision audit trail, its redaction
+// guarantee, trace-id propagation, the latency histograms and the unified
+// metrics snapshot.
+//
+// The redaction tests mirror the mesh wire scanner (distributed_test.cc):
+// rather than trusting the renderer, they scan the rendered bytes of an
+// UNCLEARED sink for the secret's byte sequences — tag-name preimage, part
+// name, part value — in every security mode.
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/base/histogram.h"
+#include "src/core/api.h"
+#include "src/distributed/mesh.h"
+#include "src/observability/trace.h"
+#include "tests/test_util.h"
+
+namespace defcon {
+namespace {
+
+bool Contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+// The three byte sequences that must never escape an uncleared sink. The
+// part name and value are structurally impossible (records never store
+// them); the tag name is the one the clearance gate protects.
+constexpr const char* kSecretTagName = "codename-blackswan-venue7";
+constexpr const char* kSecretPartName = "darkpool-instruction";
+constexpr const char* kSecretValue = "move the dark book to venue-7";
+
+class TraceRedaction : public ::testing::TestWithParam<SecurityMode> {};
+
+TEST_P(TraceRedaction, UnclearedSinkRendersNoSecretBytes) {
+  EngineConfig config;
+  config.mode = GetParam();
+  config.num_threads = 0;
+  config.observability.enabled = true;  // default clearance: public only
+  Engine engine(config);
+  const Tag secret = engine.CreateTag(kSecretTagName);
+  const Label secret_label(/*s=*/{secret}, /*i=*/{});
+
+  // Cleared receiver (contaminated with the secret) and an uncleared one;
+  // both subscribe on the public marker, so the secret part rides along
+  // hidden from the second.
+  engine.AddUnit(
+      "cleared",
+      std::make_unique<TestUnit>(
+          [](UnitContext& ctx) { (void)ctx.Subscribe(Filter::Exists("marker")); }),
+      secret_label);
+  engine.AddUnit("uncleared", std::make_unique<TestUnit>([](UnitContext& ctx) {
+    (void)ctx.Subscribe(Filter::Exists("marker"));
+  }));
+  // A subscriber whose filter only matches the hidden part: the flow_blocked
+  // (forensic) path, whose records carry the secret label too.
+  engine.AddUnit("blocked", std::make_unique<TestUnit>([](UnitContext& ctx) {
+    (void)ctx.Subscribe(Filter::Exists(kSecretPartName));
+  }));
+
+  auto* publisher = new TestUnit();
+  const UnitId pub_id = engine.AddUnit("publisher", std::unique_ptr<Unit>(publisher));
+  engine.Start();
+  engine.RunUntilIdle();
+
+  for (int i = 0; i < 8; ++i) {
+    engine.InjectTurn(pub_id, [&secret_label, i](UnitContext& ctx) {
+      auto event = ctx.CreateEvent();
+      ASSERT_TRUE(event.ok());
+      ASSERT_TRUE(ctx.AddPart(*event, Label(), "marker", Value::OfInt(i)).ok());
+      ASSERT_TRUE(
+          ctx.AddPart(*event, secret_label, kSecretPartName, Value::OfString(kSecretValue))
+              .ok());
+      ASSERT_TRUE(ctx.Publish(*event).ok());
+    });
+    engine.RunUntilIdle();
+  }
+
+  TraceSink* sink = engine.trace_sink();
+  ASSERT_NE(sink, nullptr);
+  const std::vector<TraceRecord> records = sink->Snapshot();
+  ASSERT_FALSE(records.empty());
+
+  // Byte scan of the full rendering, tag-name table handed to the renderer:
+  // the clearance gate — not the caller's discretion — must keep the
+  // preimages out.
+  const std::string rendered = sink->RenderAll(&engine.tag_store());
+  EXPECT_FALSE(Contains(rendered, kSecretTagName));
+  EXPECT_FALSE(Contains(rendered, kSecretPartName));
+  EXPECT_FALSE(Contains(rendered, kSecretValue));
+
+  if (GetParam() != SecurityMode::kNoSecurity) {
+    // Every record carrying the secret label must be flagged, and the flag
+    // must actually appear in the rendering.
+    bool saw_secret_record = false;
+    for (const TraceRecord& record : records) {
+      if (record.part_label.secrecy.Contains(secret)) {
+        saw_secret_record = true;
+        EXPECT_FALSE(sink->CanRead(record));
+        EXPECT_TRUE(Contains(sink->RenderRecord(record, &engine.tag_store()), "redacted"));
+      }
+    }
+    EXPECT_TRUE(saw_secret_record);
+
+    // Control: a sink CLEARED for the secret renders the tag name — proving
+    // the scanner above would have caught a leak.
+    TraceSinkOptions cleared_options;
+    cleared_options.capacity = records.size() + 8;
+    cleared_options.clearance = secret_label;
+    TraceSink cleared(cleared_options);
+    for (const TraceRecord& record : records) {
+      cleared.Record(record);
+    }
+    const std::string cleared_rendered = cleared.RenderAll(&engine.tag_store());
+    EXPECT_TRUE(Contains(cleared_rendered, kSecretTagName));
+    // Part names and values are not in the records at all, so even full
+    // clearance cannot render them.
+    EXPECT_FALSE(Contains(cleared_rendered, kSecretPartName));
+    EXPECT_FALSE(Contains(cleared_rendered, kSecretValue));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, TraceRedaction,
+                         ::testing::Values(SecurityMode::kNoSecurity, SecurityMode::kLabels,
+                                           SecurityMode::kLabelsClone,
+                                           SecurityMode::kLabelsIsolation),
+                         [](const ::testing::TestParamInfo<SecurityMode>& info) {
+                           switch (info.param) {
+                             case SecurityMode::kNoSecurity:
+                               return std::string("NoSecurity");
+                             case SecurityMode::kLabels:
+                               return std::string("Labels");
+                             case SecurityMode::kLabelsClone:
+                               return std::string("LabelsClone");
+                             case SecurityMode::kLabelsIsolation:
+                               return std::string("LabelsIsolation");
+                           }
+                           return std::string("Unknown");
+                         });
+
+// Every dispatch decision leaves exactly one record: deliveries and
+// label-suppressed deliveries each reconcile 1:1 against the engine's
+// counters, and delivered (event, subscription) pairs are unique.
+TEST(TraceCompleteness, EveryDecisionHasExactlyOneRecord) {
+  EngineConfig config;
+  config.mode = SecurityMode::kLabels;
+  config.num_threads = 0;
+  config.observability.enabled = true;
+  Engine engine(config);
+  const Tag secret = engine.CreateTag("compartment");
+  const Label secret_label(/*s=*/{secret}, /*i=*/{});
+
+  engine.AddUnit(
+      "cleared",
+      std::make_unique<TestUnit>(
+          [](UnitContext& ctx) { (void)ctx.Subscribe(Filter::Exists("marker")); }),
+      secret_label);
+  engine.AddUnit("uncleared", std::make_unique<TestUnit>([](UnitContext& ctx) {
+    (void)ctx.Subscribe(Filter::Exists("marker"));
+  }));
+  engine.AddUnit("blocked", std::make_unique<TestUnit>([](UnitContext& ctx) {
+    (void)ctx.Subscribe(Filter::Exists("px"));
+  }));
+  auto* publisher = new TestUnit();
+  const UnitId pub_id = engine.AddUnit("publisher", std::unique_ptr<Unit>(publisher));
+  engine.Start();
+  engine.RunUntilIdle();
+
+  const int kEvents = 16;
+  for (int i = 0; i < kEvents; ++i) {
+    engine.InjectTurn(pub_id, [&secret_label, i](UnitContext& ctx) {
+      auto event = ctx.CreateEvent();
+      ASSERT_TRUE(event.ok());
+      ASSERT_TRUE(ctx.AddPart(*event, Label(), "marker", Value::OfInt(i)).ok());
+      ASSERT_TRUE(ctx.AddPart(*event, secret_label, "px", Value::OfInt(100 + i)).ok());
+      ASSERT_TRUE(ctx.Publish(*event).ok());
+    });
+    engine.RunUntilIdle();
+  }
+
+  const EngineStatsSnapshot stats = engine.stats();
+  EXPECT_GT(stats.deliveries, 0u);
+  EXPECT_GT(stats.flow_blocked, 0u);
+
+  TraceSink* sink = engine.trace_sink();
+  ASSERT_NE(sink, nullptr);
+  uint64_t delivered = 0;
+  uint64_t flow_blocked = 0;
+  std::set<std::pair<uint64_t, uint64_t>> delivered_pairs;
+  for (const TraceRecord& record : sink->Snapshot()) {
+    switch (record.verdict) {
+      case TraceVerdict::kDelivered:
+        ++delivered;
+        EXPECT_TRUE(
+            delivered_pairs.insert({record.event_id, record.subscription_id}).second)
+            << "duplicate delivered record for event " << record.event_id;
+        break;
+      case TraceVerdict::kFlowBlocked:
+        ++flow_blocked;
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_EQ(delivered, stats.deliveries);
+  EXPECT_EQ(flow_blocked, stats.flow_blocked);
+  EXPECT_EQ(sink->dropped(), 0u);
+  EXPECT_EQ(sink->recorded(), sink->Snapshot().size());
+}
+
+// Trace ids: every delivered record carries one, all records of one event
+// share it, distinct events get distinct ids, and the id a unit observes
+// via the context APIs is the id the sink recorded.
+TEST(TraceIds, PropagateFromPublishToEveryDecision) {
+  EngineConfig config;
+  config.mode = SecurityMode::kLabels;
+  config.num_threads = 0;
+  config.observability.enabled = true;
+  Engine engine(config);
+
+  std::vector<uint64_t> observed_ids;
+  engine.AddUnit("receiver", std::make_unique<TestUnit>(
+                                 [](UnitContext& ctx) {
+                                   (void)ctx.Subscribe(Filter::Exists("marker"));
+                                 },
+                                 [&](UnitContext& ctx, EventHandle event, SubscriptionId) {
+                                   auto id = ctx.EventTraceId(event);
+                                   ASSERT_TRUE(id.ok());
+                                   EXPECT_EQ(*id, ctx.CurrentDeliveryTraceId());
+                                   observed_ids.push_back(*id);
+                                 }));
+  auto* publisher = new TestUnit();
+  const UnitId pub_id = engine.AddUnit("publisher", std::unique_ptr<Unit>(publisher));
+  engine.Start();
+  engine.RunUntilIdle();
+
+  const int kEvents = 8;
+  for (int i = 0; i < kEvents; ++i) {
+    engine.InjectTurn(pub_id, [i](UnitContext& ctx) {
+      auto event = ctx.CreateEvent();
+      ASSERT_TRUE(event.ok());
+      ASSERT_TRUE(ctx.AddPart(*event, Label(), "marker", Value::OfInt(i)).ok());
+      ASSERT_TRUE(ctx.Publish(*event).ok());
+    });
+    engine.RunUntilIdle();
+  }
+
+  ASSERT_EQ(observed_ids.size(), static_cast<size_t>(kEvents));
+  EXPECT_EQ(std::set<uint64_t>(observed_ids.begin(), observed_ids.end()).size(),
+            static_cast<size_t>(kEvents));
+
+  TraceSink* sink = engine.trace_sink();
+  ASSERT_NE(sink, nullptr);
+  std::map<uint64_t, std::set<uint64_t>> ids_per_event;
+  for (const TraceRecord& record : sink->Snapshot()) {
+    if (record.verdict == TraceVerdict::kDelivered) {
+      EXPECT_NE(record.trace_id, 0u);
+      ids_per_event[record.event_id].insert(record.trace_id);
+    }
+  }
+  ASSERT_EQ(ids_per_event.size(), static_cast<size_t>(kEvents));
+  std::set<uint64_t> recorded_ids;
+  for (const auto& [event_id, ids] : ids_per_event) {
+    EXPECT_EQ(ids.size(), 1u) << "event " << event_id << " has multiple trace ids";
+    recorded_ids.insert(*ids.begin());
+  }
+  EXPECT_EQ(recorded_ids, std::set<uint64_t>(observed_ids.begin(), observed_ids.end()));
+}
+
+// The ring overwrites oldest records and reports every overwrite.
+TEST(TraceSinkRing, OverwritesOldestAndCountsDrops) {
+  TraceSinkOptions options;
+  options.capacity = 64;
+  TraceSink sink(options);
+  const int kWrites = 200;
+  for (int i = 0; i < kWrites; ++i) {
+    TraceRecord record;
+    record.event_id = static_cast<uint64_t>(i);
+    sink.Record(record);
+  }
+  EXPECT_EQ(sink.recorded(), static_cast<uint64_t>(kWrites));
+  EXPECT_EQ(sink.dropped(), static_cast<uint64_t>(kWrites) - options.capacity);
+  const std::vector<TraceRecord> records = sink.Snapshot();
+  EXPECT_EQ(records.size(), options.capacity);
+  // Survivors are the newest `capacity` records, in seq order.
+  for (size_t i = 1; i < records.size(); ++i) {
+    EXPECT_LT(records[i - 1].seq, records[i].seq);
+  }
+  EXPECT_EQ(records.back().seq, static_cast<uint64_t>(kWrites) - 1);
+}
+
+// One exportable snapshot across engine, executor, dispatch cache, CEP and
+// mesh, in both renderings, including the observability-plane series.
+TEST(UnifiedMetrics, OneSnapshotAcrossAllSubsystems) {
+  EngineConfig config;
+  config.mode = SecurityMode::kLabels;
+  config.num_threads = 0;
+  config.observability.enabled = true;
+  Engine engine(config);
+  engine.AddUnit("receiver", std::make_unique<TestUnit>([](UnitContext& ctx) {
+    (void)ctx.Subscribe(Filter::Exists("marker"));
+  }));
+  auto* publisher = new TestUnit();
+  const UnitId pub_id = engine.AddUnit("publisher", std::unique_ptr<Unit>(publisher));
+  engine.Start();
+  engine.RunUntilIdle();
+  engine.InjectTurn(pub_id, [](UnitContext& ctx) {
+    auto event = ctx.CreateEvent();
+    ASSERT_TRUE(event.ok());
+    ASSERT_TRUE(ctx.AddPart(*event, Label(), "marker", Value::OfInt(1)).ok());
+    ASSERT_TRUE(ctx.Publish(*event).ok());
+  });
+  engine.RunUntilIdle();
+
+  // A mesh member registers its series on construction and removes them on
+  // shutdown (no sockets needed for the registration contract).
+  auto node = std::make_unique<MeshNode>(&engine, MeshConfig{});
+
+  const MetricsSnapshot snapshot = engine.ExportMetrics();
+  for (const char* series : {
+           "defcon_engine_deliveries_total",      // engine
+           "defcon_executor_turns_total",         // executor
+           "defcon_dispatch_flow_cache_hits_total",  // dispatch cache
+           "defcon_cep_gate_suppressed_total",    // CEP gates
+           "defcon_mesh_events_exported_total",   // mesh
+           "defcon_trace_records_total",          // trace plane
+           "defcon_engine_delivery_latency_ns",   // latency histograms
+           "defcon_executor_turn_latency_ns",
+       }) {
+    EXPECT_TRUE(Contains(snapshot.json, series)) << series << " missing from JSON";
+    EXPECT_TRUE(Contains(snapshot.prometheus, series)) << series << " missing from Prometheus";
+  }
+  // Typed rendering: counters as counters, histograms as quantile summaries
+  // with the paper's p70 first-class.
+  EXPECT_TRUE(Contains(snapshot.prometheus, "# TYPE defcon_engine_deliveries_total counter"));
+  EXPECT_TRUE(Contains(snapshot.prometheus, "# TYPE defcon_engine_delivery_latency_ns summary"));
+  EXPECT_TRUE(
+      Contains(snapshot.prometheus, "defcon_engine_delivery_latency_ns{quantile=\"0.7\"}"));
+  EXPECT_TRUE(Contains(snapshot.json, "\"p70_ns\""));
+
+  // Delivery latency actually populated (one event was delivered).
+  EXPECT_TRUE(Contains(snapshot.json, "\"defcon_engine_deliveries_total\": 1"));
+
+  // Mesh series die with the node; the rest of the snapshot survives.
+  node.reset();
+  const MetricsSnapshot after = engine.ExportMetrics();
+  EXPECT_FALSE(Contains(after.json, "defcon_mesh_events_exported_total"));
+  EXPECT_TRUE(Contains(after.json, "defcon_engine_deliveries_total"));
+}
+
+// The off side of the A/B gate: observability disabled allocates no sink and
+// stamps no trace ids.
+TEST(ObservabilityOff, NoSinkNoTraceIds) {
+  EngineConfig config;
+  config.mode = SecurityMode::kLabels;
+  config.num_threads = 0;
+  Engine engine(config);
+  EXPECT_EQ(engine.trace_sink(), nullptr);
+
+  std::vector<uint64_t> ids;
+  engine.AddUnit("receiver", std::make_unique<TestUnit>(
+                                 [](UnitContext& ctx) {
+                                   (void)ctx.Subscribe(Filter::Exists("marker"));
+                                 },
+                                 [&](UnitContext& ctx, EventHandle event, SubscriptionId) {
+                                   auto id = ctx.EventTraceId(event);
+                                   ASSERT_TRUE(id.ok());
+                                   ids.push_back(*id);
+                                   ids.push_back(ctx.CurrentDeliveryTraceId());
+                                 }));
+  auto* publisher = new TestUnit();
+  const UnitId pub_id = engine.AddUnit("publisher", std::unique_ptr<Unit>(publisher));
+  engine.Start();
+  engine.RunUntilIdle();
+  engine.InjectTurn(pub_id, [](UnitContext& ctx) {
+    auto event = ctx.CreateEvent();
+    ASSERT_TRUE(event.ok());
+    ASSERT_TRUE(ctx.AddPart(*event, Label(), "marker", Value::OfInt(1)).ok());
+    ASSERT_TRUE(ctx.Publish(*event).ok());
+  });
+  engine.RunUntilIdle();
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], 0u);
+  EXPECT_EQ(ids[1], 0u);
+  // ExportMetrics works regardless; the trace series just are not there.
+  const MetricsSnapshot snapshot = engine.ExportMetrics();
+  EXPECT_FALSE(Contains(snapshot.json, "defcon_trace_records_total"));
+  EXPECT_TRUE(Contains(snapshot.json, "defcon_engine_deliveries_total"));
+}
+
+// Concurrent writers: records from many threads interleave without loss
+// (until capacity) and Snapshot's seq order is strict.
+TEST(TraceSinkConcurrency, ParallelWritersKeepSeqConsistent) {
+  TraceSinkOptions options;
+  options.capacity = 1u << 14;
+  TraceSink sink(options);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&sink, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        sink.RecordWith([&](TraceRecord& record) {
+          record = TraceRecord{};
+          record.unit_id = static_cast<uint64_t>(t);
+          record.event_id = static_cast<uint64_t>(i);
+        });
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(sink.recorded(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(sink.dropped(), 0u);
+  const std::vector<TraceRecord> records = sink.Snapshot();
+  ASSERT_EQ(records.size(), static_cast<size_t>(kThreads) * kPerThread);
+  std::array<int, kThreads> per_writer{};
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].seq, i);
+    EXPECT_NE(records[i].ts_ns, 0);
+    per_writer[records[i].unit_id]++;
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(per_writer[t], kPerThread);
+  }
+}
+
+// Concurrent histogram: parallel recorders across stripes lose nothing and
+// the merged summary reflects every sample.
+TEST(ConcurrentHistogram, ParallelRecordersMergeLosslessly) {
+  ConcurrentLatencyHistogram histogram(/*stripes=*/4);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        histogram.RecordNs(static_cast<size_t>(t), 100 + (i % 900));
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(histogram.TotalCount(), static_cast<uint64_t>(kThreads) * kPerThread);
+  const LatencyHistogram merged = histogram.Snapshot();
+  const HistogramSummary summary = merged.Summary();
+  EXPECT_EQ(summary.count, static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(summary.max_ns, 999);
+  EXPECT_GE(summary.p50_ns, 100);
+  EXPECT_LE(summary.p50_ns, 999 + 999 / 8);  // bucket upper-edge tolerance
+  EXPECT_GE(summary.p70_ns, summary.p50_ns);
+  EXPECT_GE(summary.p99_ns, summary.p70_ns);
+  // Stripe hints beyond the stripe count wrap instead of faulting.
+  histogram.RecordNs(/*stripe_hint=*/SIZE_MAX, 500);
+  EXPECT_EQ(histogram.TotalCount(), static_cast<uint64_t>(kThreads) * kPerThread + 1);
+}
+
+}  // namespace
+}  // namespace defcon
