@@ -23,6 +23,11 @@ namespace {
 struct MemoryReading {
   double rss_mib = 0.0;
   double accounted_mib = 0.0;
+  // Peak live batch arena/column bytes (EngineStatsSnapshot::
+  // batch_arena_bytes_peak): the plane's own footprint, separated from the
+  // retained-event accounting above. Zero when --batch_plane=0 or
+  // --tick_batch=1 keeps every publish on the per-event path.
+  double batch_arena_mib = 0.0;
 };
 
 MemoryReading MeasureInChild(const WorkloadConfig& config) {
@@ -35,9 +40,10 @@ MemoryReading MeasureInChild(const WorkloadConfig& config) {
   auto pid = ForkChild([child_end, parent_end, config] {
     parent_end->Close();
     const WorkloadResult result = RunTradingWorkload(config);
-    double payload[2];
+    double payload[3];
     payload[0] = static_cast<double>(result.rss_bytes) / (1024.0 * 1024.0);
     payload[1] = static_cast<double>(result.accounted_bytes) / (1024.0 * 1024.0);
+    payload[2] = static_cast<double>(result.batch_arena_bytes) / (1024.0 * 1024.0);
     return child_end->SendFrame(reinterpret_cast<const uint8_t*>(payload), sizeof(payload)).ok()
                ? 0
                : 1;
@@ -48,10 +54,11 @@ MemoryReading MeasureInChild(const WorkloadConfig& config) {
   child_end->Close();
   MemoryReading reading;
   auto frame = parent_end->RecvFrame();
-  if (frame.ok() && frame->size() == 2 * sizeof(double)) {
+  if (frame.ok() && frame->size() == 3 * sizeof(double)) {
     const double* payload = reinterpret_cast<const double*>(frame->data());
     reading.rss_mib = payload[0];
     reading.accounted_mib = payload[1];
+    reading.batch_arena_mib = payload[2];
   }
   WaitChild(*pid);
   return reading;
@@ -102,12 +109,14 @@ int Main(int argc, char** argv) {
               static_cast<long long>(ticks));
 
   Table table({"traders", "no-security (MiB)", "labels+freeze (MiB)", "labels+clone (MiB)",
-               "labels+freeze+isolation (MiB)", "isolation overhead (MiB, accounted)"});
+               "labels+freeze+isolation (MiB)", "isolation overhead (MiB, accounted)",
+               "batch arena peak (MiB, labels)"});
   const SecurityMode modes[] = {SecurityMode::kNoSecurity, SecurityMode::kLabels,
                                 SecurityMode::kLabelsClone, SecurityMode::kLabelsIsolation};
   for (size_t traders : trader_counts) {
     std::vector<std::string> row = {Table::Int(static_cast<int64_t>(traders))};
     double isolation_accounted = 0.0;
+    double batch_arena_peak = 0.0;
     for (SecurityMode mode : modes) {
       WorkloadConfig config;
       config.mode = mode;
@@ -124,8 +133,12 @@ int Main(int argc, char** argv) {
       if (mode == SecurityMode::kLabelsIsolation) {
         isolation_accounted = reading.accounted_mib;
       }
+      if (mode == SecurityMode::kLabels) {
+        batch_arena_peak = reading.batch_arena_mib;
+      }
     }
     row.push_back(Table::Num(isolation_accounted, 1));
+    row.push_back(Table::Num(batch_arena_peak, 3));
     table.AddRow(std::move(row));
   }
   table.RenderText(std::cout);

@@ -76,6 +76,11 @@ struct WorkerStats {
   // Inbound v2 frames the worker's import republished batch-natively via
   // PublishEventBatch — the CI mesh gate asserts > 0 on wire v2, == 0 on v1.
   uint64_t batch_plane_publishes = 0;
+  // Outbound v2 frames the worker's exports encoded straight off a delivered
+  // BatchView (zero-copy export edge). Worker trade exports are per-event
+  // publishes, so this is normally 0 — the mesh-wide v2 assertion is carried
+  // by the coordinator's batched tick exports.
+  uint64_t zero_copy_frames = 0;
 };
 
 // One cross-node trace observed on a worker: the frame's trace id (minted on
@@ -263,6 +268,7 @@ int WorkerMain(const BenchOptions& options, SecurityMode mode, size_t worker_ind
   stats.PutVarint(mesh.frame_errors);
   stats.PutVarint(mesh.link_reconnects);
   stats.PutVarint(mesh.batch_plane_publishes);
+  stats.PutVarint(mesh.zero_copy_frames);
   stats.PutVarint(hops.size());
   for (const WorkerTraceHop& hop : hops) {
     stats.PutVarint(hop.trace_id);
@@ -288,6 +294,10 @@ struct RunRow {
   // Import-side batch-native republishes across the whole mesh (workers'
   // tick imports + the coordinator's trade fan-in).
   uint64_t batch_plane_publishes = 0;
+  // Export-side zero-copy v2 frames across the whole mesh (the coordinator's
+  // batched tick exports; worker trade exports are per-event). The CI mesh
+  // gate asserts > 0 on wire v2, == 0 on v1.
+  uint64_t zero_copy_frames = 0;
   // Cross-node traces stitched end to end: a worker-reported
   // (import, deliver) pair whose trace id matches one of the coordinator's
   // kRelayed records. The CI mesh gate asserts >= 1 with monotonic hop
@@ -449,13 +459,15 @@ Result<RunRow> RunOneMode(const BenchOptions& options, SecurityMode mode) {
     if (!read(&stats.ticks_imported) || !read(&stats.trades_completed) ||
         !read(&stats.trades_exported) || !read(&stats.integrity_clipped) ||
         !read(&stats.decode_errors) || !read(&stats.frame_errors) ||
-        !read(&stats.link_reconnects) || !read(&stats.batch_plane_publishes)) {
+        !read(&stats.link_reconnects) || !read(&stats.batch_plane_publishes) ||
+        !read(&stats.zero_copy_frames)) {
       return IoError("malformed worker stats frame");
     }
     row.trades_workers += stats.trades_completed;
     row.label_violations += stats.integrity_clipped + stats.decode_errors + stats.frame_errors;
     row.link_reconnects += stats.link_reconnects;
     row.batch_plane_publishes += stats.batch_plane_publishes;
+    row.zero_copy_frames += stats.zero_copy_frames;
 
     // Stitch: every worker hop whose trace id matches one of our kRelayed
     // records is a complete publish -> relay -> import -> deliver timeline.
@@ -505,6 +517,7 @@ Result<RunRow> RunOneMode(const BenchOptions& options, SecurityMode mode) {
   row.label_violations += coord.integrity_clipped + coord.decode_errors + coord.frame_errors;
   row.link_reconnects += coord.link_reconnects;
   row.batch_plane_publishes += coord.batch_plane_publishes;  // trade fan-in import
+  row.zero_copy_frames += coord.zero_copy_frames;            // batched tick exports
   node.Shutdown();
   return row;
 }
@@ -643,7 +656,8 @@ int Main(int argc, char** argv) {
                    "\"ticks_per_sec\": %.1f, "
                    "\"events_relayed\": %llu, \"trades\": %llu, \"trades_collected\": %llu, "
                    "\"label_violations\": %llu, \"link_reconnects\": %llu, "
-                   "\"batch_plane_publishes\": %llu, \"stitched_traces\": %llu, "
+                   "\"batch_plane_publishes\": %llu, \"zero_copy_frames\": %llu, "
+                   "\"stitched_traces\": %llu, "
                    "\"trace_hops_monotonic\": %s, \"cross_node_latency\": %s}%s\n",
                    row.name.c_str(), static_cast<unsigned long long>(row.nodes),
                    options.columnar_wire ? "v2" : "v1",
@@ -653,6 +667,7 @@ int Main(int argc, char** argv) {
                    static_cast<unsigned long long>(row.label_violations),
                    static_cast<unsigned long long>(row.link_reconnects),
                    static_cast<unsigned long long>(row.batch_plane_publishes),
+                   static_cast<unsigned long long>(row.zero_copy_frames),
                    static_cast<unsigned long long>(row.stitched_traces),
                    row.trace_hops_monotonic ? "true" : "false",
                    row.cross_node_latency.ToJsonObject().c_str(),

@@ -616,6 +616,156 @@ void BM_PairedAB_BatchViewVsPartMap(benchmark::State& state) {
 }
 BENCHMARK(BM_PairedAB_BatchViewVsPartMap)->Arg(64)->Arg(256);
 
+// Relay that consumes ping views and re-emits every event as a "pong" with
+// the same labels and seq — the emission-edge workload of
+// BM_PairedAB_BatchEmitVsRematerialise. `batch_native` flips ONLY the
+// emission surface: a BatchEmitter bound to the inbound view (CopyPart /
+// MapName / MapLabel id remaps, one interner probe per distinct id per turn)
+// vs re-materialising each emission through EventBuilder. Both sides consume
+// views, so the ratio isolates PR 10's emission edge from the delivery edge
+// measured above.
+class EmitRelayUnit : public Unit {
+ public:
+  explicit EmitRelayUnit(bool batch_native) : batch_native_(batch_native) {}
+  void OnStart(UnitContext& ctx) override {
+    (void)ctx.Subscribe(Filter::Eq("type", Value::OfString("ping")));
+  }
+  bool ConsumesEventBatches() const override { return true; }
+  void OnEvent(UnitContext& ctx, EventHandle event, SubscriptionId sub) override {}
+
+  void OnEventBatch(UnitContext& ctx, const BatchView& view, SubscriptionId sub) override {
+    if (batch_native_) {
+      BatchEmitter emitter = ctx.BuildEventBatch();
+      for (size_t e = 0; e < view.size(); ++e) {
+        emitter.BeginEvent(view.origin_ns(e));
+        for (size_t p = view.parts_begin(e); p < view.parts_end(e); ++p) {
+          if (view.name(p) == "type") {
+            emitter.PartByIds(emitter.MapName(view.name_id(p)),
+                              emitter.MapLabel(view.label_id(p)), Value::OfString("pong"));
+          } else {
+            emitter.CopyPart(p);
+          }
+        }
+      }
+      (void)ctx.PublishEventBatch(emitter);
+      return;
+    }
+    // The pre-emitter idiom: one EventBuilder per event, part maps
+    // re-materialised, handles flushed as one PublishBatch.
+    std::vector<EventHandle> handles;
+    handles.reserve(view.size());
+    for (size_t e = 0; e < view.size(); ++e) {
+      EventBuilder builder = ctx.BuildEvent();
+      for (size_t p = view.parts_begin(e); p < view.parts_end(e); ++p) {
+        if (view.name(p) == "type") {
+          builder.Part(view.label(p), "type", Value::OfString("pong"));
+        } else {
+          builder.Part(view.label(p), std::string(view.name(p)), view.value(p));
+        }
+      }
+      auto handle = builder.Build();
+      if (handle.ok()) {
+        handles.push_back(*handle);
+      }
+    }
+    (void)ctx.PublishBatch(handles);
+  }
+
+ private:
+  const bool batch_native_;
+};
+
+// Counts relayed pongs so both sides' emissions flow end-to-end through
+// stamping, dispatch and delivery.
+class PongSinkUnit : public Unit {
+ public:
+  void OnStart(UnitContext& ctx) override {
+    (void)ctx.Subscribe(Filter::Eq("type", Value::OfString("pong")));
+  }
+  bool ConsumesEventBatches() const override { return true; }
+  void OnEvent(UnitContext& ctx, EventHandle event, SubscriptionId sub) override { ++count_; }
+  void OnEventBatch(UnitContext& ctx, const BatchView& view, SubscriptionId sub) override {
+    count_ += view.size();
+  }
+  uint64_t count() const { return count_; }
+
+ private:
+  uint64_t count_ = 0;
+};
+
+// A = relays emit batch-native (BatchEmitter + id remap), B = the same
+// relays re-materialise every emission through EventBuilder. Both sides run
+// the batch plane and consume views; the publisher feeds the identical
+// donated batch. The CI gate asserts a_emit_publishes > 0,
+// b_emit_publishes == 0 and equal end-to-end deliveries; the recorded
+// ab_ratio_med must hold parity-or-better (>= 1.0 in the committed capture).
+void BM_PairedAB_BatchEmitVsRematerialise(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  EngineConfig config;
+  config.mode = SecurityMode::kLabels;
+  config.num_threads = 0;
+  config.index_shards = 1;
+  config.batch_plane = true;
+  struct Side {
+    std::unique_ptr<Engine> engine;
+    BatchPublisherUnit* publisher = nullptr;
+    UnitId pub_id = 0;
+  };
+  auto make_side = [&config](bool batch_native) {
+    Side side;
+    side.engine = std::make_unique<Engine>(config);
+    const Tag compartment = side.engine->CreateTag("compartment");
+    const Label comp({compartment}, {});
+    for (int i = 0; i < 4; ++i) {
+      side.engine->AddUnit("relay" + std::to_string(i),
+                           std::make_unique<EmitRelayUnit>(batch_native), comp);
+    }
+    for (int i = 0; i < 4; ++i) {
+      side.engine->AddUnit("sink" + std::to_string(i), std::make_unique<PongSinkUnit>(), comp);
+    }
+    side.publisher = new BatchPublisherUnit(compartment);
+    side.pub_id = side.engine->AddUnit("publisher", std::unique_ptr<Unit>(side.publisher));
+    side.engine->Start();
+    side.engine->RunUntilIdle();
+    return side;
+  };
+  Side a = make_side(/*batch_native=*/true);
+  Side b = make_side(/*batch_native=*/false);
+  auto run_once = [batch](Side& side) {
+    const int64_t start = MonotonicNowNs();
+    side.engine->InjectTurn(side.pub_id, [publisher = side.publisher, batch](UnitContext& ctx) {
+      (void)publisher->PublishPingsColumnar(ctx, batch);
+    });
+    side.engine->RunUntilIdle();
+    return static_cast<double>(MonotonicNowNs() - start);
+  };
+  run_once(a);
+  run_once(b);  // warmup pair
+  std::vector<double> a_ns, b_ns, ratios;
+  for (auto _ : state) {
+    const double na = run_once(a);
+    const double nb = run_once(b);
+    a_ns.push_back(na);
+    b_ns.push_back(nb);
+    ratios.push_back(na > 0 ? nb / na : 0.0);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch) * 2);
+  state.counters["ab_ratio_med"] = MedianOf(std::move(ratios));
+  state.counters["a_med_ns"] = MedianOf(std::move(a_ns));
+  state.counters["b_med_ns"] = MedianOf(std::move(b_ns));
+  // Sanity: side A emitted batch-native (with remap memo hits), side B
+  // never did, and both relayed the same event count end-to-end.
+  const EngineStatsSnapshot sa = a.engine->stats();
+  const EngineStatsSnapshot sb = b.engine->stats();
+  state.counters["a_emit_publishes"] = static_cast<double>(sa.batch_emit_publishes);
+  state.counters["b_emit_publishes"] = static_cast<double>(sb.batch_emit_publishes);
+  state.counters["a_remap_hits"] = static_cast<double>(sa.emit_id_remap_hits);
+  state.counters["a_deliveries"] = static_cast<double>(sa.deliveries);
+  state.counters["b_deliveries"] = static_cast<double>(sb.deliveries);
+}
+BENCHMARK(BM_PairedAB_BatchEmitVsRematerialise)->Arg(64)->Arg(256);
+
 // A = observability off (no sink, no histograms, no trace-id stamping; every
 // hook is one null-pointer branch), B = the full trace + histogram plane on.
 // ab_ratio_med is the observability on-cost as a load-immune ratio; the CI

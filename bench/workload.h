@@ -70,6 +70,10 @@ struct WorkloadResult {
   uint64_t deliveries = 0;
   int64_t rss_bytes = 0;
   int64_t accounted_bytes = 0;
+  // High-water mark of live batch arena/column bytes across the run (zero on
+  // the part-map escape hatch and for per-event publishes) — fig7's
+  // `batch_arena_bytes` column.
+  uint64_t batch_arena_bytes = 0;
   size_t units = 0;
   size_t managed_instances = 0;
   // CEP operator totals (zero unless the CEP knobs are set).
@@ -161,6 +165,7 @@ inline WorkloadResult RunTradingWorkload(const WorkloadConfig& config) {
   result.deliveries = engine->stats().deliveries;
   result.rss_bytes = ReadResidentSetBytes();
   result.accounted_bytes = engine->accountant().bytes();
+  result.batch_arena_bytes = engine->stats().batch_arena_bytes_peak;
   result.units = engine->UnitCount();
   result.managed_instances = engine->ManagedInstanceCount();
   result.cep_emissions = platform.cep_vwap_emissions();

@@ -242,6 +242,83 @@ void SequenceDetectorUnit::OnEvent(UnitContext& ctx, EventHandle event, Subscrip
   const int64_t now = EventTickTime(ctx, event, options_.time_part);
 
   std::vector<EventHandle> handles;
+  const auto matches = [&](size_t step) { return options_.steps[step].filter.Matches(visible); };
+  const auto emit = [&](const Label& at, int64_t steps, int64_t span) {
+    BuildDerived(
+        ctx, at, options_.out_type, options_.out_extra,
+        [steps, span](EventBuilder& builder, const Label& lat) {
+          builder.Part(lat, kCepPartSteps, Value::OfInt(steps))
+              .Part(lat, kCepPartSpanNs, Value::OfInt(span));
+        },
+        &handles);
+  };
+  AdvanceOn(ctx, matches, observed.label(), now, emit);
+  if (!handles.empty()) {
+    (void)ctx.PublishBatch(handles);
+  }
+}
+
+void SequenceDetectorUnit::OnEventBatch(UnitContext& ctx, const BatchView& view,
+                                        SubscriptionId sub) {
+  if (options_.steps.empty()) {
+    return;
+  }
+  // Tick-time name resolution per DISTINCT interned name, not per row.
+  std::unordered_map<uint32_t, bool> is_time;
+  const auto is_time_part = [&](uint32_t name_id) {
+    auto it = is_time.find(name_id);
+    if (it == is_time.end()) {
+      it = is_time.emplace(name_id, view.name_of(name_id) == options_.time_part).first;
+    }
+    return it->second;
+  };
+
+  // Completions leave through the batch-native emission path: the emitter is
+  // bound to this view, and each derived event carries its completing event's
+  // origin explicitly (what the per-event path inherits from the delivery).
+  BatchEmitter emitter = ctx.BuildEventBatch();
+  for (size_t e = 0; e < view.size(); ++e) {
+    const size_t begin = view.parts_begin(e);
+    const size_t end = view.parts_end(e);
+    if (begin == end) {
+      continue;  // the per-event path returns early on an empty projection
+    }
+    LabelAccumulator observed;  // the decision consumed every visible part
+    size_t first_time_p = end;
+    for (size_t p = begin; p < end; ++p) {
+      observed.Add(view.label(p));
+      if (first_time_p == end && !options_.time_part.empty() && is_time_part(view.name_id(p))) {
+        first_time_p = p;
+      }
+    }
+    // EventTickTime's rule: the FIRST visible time part, int-valued, else the
+    // resolved origin.
+    const int64_t origin = view.origin_ns(e);
+    const int64_t now =
+        first_time_p != end && view.value(first_time_p).kind() == Value::Kind::kInt
+            ? view.value(first_time_p).int_value()
+            : origin;
+    const auto matches = [&](size_t step) { return options_.steps[step].filter.Matches(view, e); };
+    const auto emit = [&](const Label& at, int64_t steps, int64_t span) {
+      emitter.BeginEvent(origin);
+      emitter.Part(at, kCepPartType, Value::OfString(options_.out_type));
+      emitter.Part(at, kCepPartSteps, Value::OfInt(steps));
+      emitter.Part(at, kCepPartSpanNs, Value::OfInt(span));
+      for (const auto& [name, value] : options_.out_extra) {
+        emitter.Part(at, name, value);
+      }
+    };
+    AdvanceOn(ctx, matches, observed.label(), now, emit);
+  }
+  if (emitter.event_count() > 0) {
+    (void)ctx.PublishEventBatch(emitter);
+  }
+}
+
+template <typename MatchesStep, typename EmitCompletion>
+void SequenceDetectorUnit::AdvanceOn(UnitContext& ctx, const MatchesStep& matches,
+                                     const Label& observed, int64_t now,
+                                     const EmitCompletion& emit) {
   // Advance existing partials (each at most one step per event), pruning the
   // ones whose within-window budget this event's tick time exhausts.
   for (auto it = partials_.begin(); it != partials_.end();) {
@@ -250,21 +327,13 @@ void SequenceDetectorUnit::OnEvent(UnitContext& ctx, EventHandle event, Subscrip
       it = partials_.erase(it);
       continue;
     }
-    if (options_.steps[it->next_step].filter.Matches(visible)) {
-      it->label = LabelJoin(it->label, observed.label());
+    if (matches(it->next_step)) {
+      it->label = LabelJoin(it->label, observed);
       if (++it->next_step == options_.steps.size()) {
         ++detections_;
         const auto label = GateEmission(ctx, it->label, options_.emit, &emissions_blocked_);
         if (label.has_value()) {
-          const int64_t span = now - it->start_ts_ns;
-          const int64_t steps = static_cast<int64_t>(options_.steps.size());
-          BuildDerived(
-              ctx, *label, options_.out_type, options_.out_extra,
-              [steps, span](EventBuilder& builder, const Label& at) {
-                builder.Part(at, kCepPartSteps, Value::OfInt(steps))
-                    .Part(at, kCepPartSpanNs, Value::OfInt(span));
-              },
-              &handles);
+          emit(*label, static_cast<int64_t>(options_.steps.size()), now - it->start_ts_ns);
         }
         it = partials_.erase(it);
         continue;
@@ -275,33 +344,24 @@ void SequenceDetectorUnit::OnEvent(UnitContext& ctx, EventHandle event, Subscrip
   // Every event matching step 0 opens a fresh partial (overlapping matches);
   // a one-step pattern completes on the spot via the loop above next event,
   // so complete it here directly instead.
-  if (options_.steps.front().filter.Matches(visible)) {
+  if (matches(0)) {
     if (options_.steps.size() == 1) {
       ++detections_;
-      const auto label = GateEmission(ctx, observed.label(), options_.emit, &emissions_blocked_);
+      const auto label = GateEmission(ctx, observed, options_.emit, &emissions_blocked_);
       if (label.has_value()) {
-        BuildDerived(
-            ctx, *label, options_.out_type, options_.out_extra,
-            [](EventBuilder& builder, const Label& at) {
-              builder.Part(at, kCepPartSteps, Value::OfInt(1))
-                  .Part(at, kCepPartSpanNs, Value::OfInt(0));
-            },
-            &handles);
+        emit(*label, 1, 0);
       }
     } else {
       Partial partial;
       partial.next_step = 1;
       partial.start_ts_ns = now;
-      partial.label = observed.label();
+      partial.label = observed;
       partials_.push_back(std::move(partial));
       while (partials_.size() > options_.max_partials) {
         ++partials_dropped_;
         partials_.pop_front();
       }
     }
-  }
-  if (!handles.empty()) {
-    (void)ctx.PublishBatch(handles);
   }
 }
 

@@ -143,6 +143,15 @@ class SequenceDetectorUnit : public Unit {
 
   void OnStart(UnitContext& ctx) override;
   void OnEvent(UnitContext& ctx, EventHandle event, SubscriptionId sub) override;
+  // Native columnar consumption: step filters run straight over the view's
+  // name/value columns (Filter::Matches(view, event)) and the per-event label
+  // join reads the interned label column — no part-map materialisation.
+  // Completions are emitted batch-native through a BatchEmitter bound to the
+  // inbound view. The partial-match state machine is the single AdvanceOn
+  // core both delivery paths share, so detections, within_ns expiry,
+  // overlapping partials and emission labels are lockstep-identical.
+  bool ConsumesEventBatches() const override { return true; }
+  void OnEventBatch(UnitContext& ctx, const BatchView& view, SubscriptionId sub) override;
 
   uint64_t detections() const { return detections_; }
   uint64_t emissions_blocked() const { return emissions_blocked_; }
@@ -161,6 +170,14 @@ class SequenceDetectorUnit : public Unit {
     int64_t start_ts_ns = 0;
     Label label;
   };
+
+  // The shared state-machine core: advances/expires partials against one
+  // observed event and opens/completes matches. `matches(step)` evaluates
+  // that step's filter on the event's visible projection; `emit(label, steps,
+  // span_ns)` builds one gated completion event.
+  template <typename MatchesStep, typename EmitCompletion>
+  void AdvanceOn(UnitContext& ctx, const MatchesStep& matches, const Label& observed,
+                 int64_t now, const EmitCompletion& emit);
 
   const SequenceOptions options_;
   std::deque<Partial> partials_;

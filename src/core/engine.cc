@@ -78,6 +78,10 @@ struct EngineCounters {
   std::atomic<uint64_t> batch_plane_events{0};
   std::atomic<uint64_t> batch_view_deliveries{0};
   std::atomic<uint64_t> part_map_deliveries{0};
+  std::atomic<uint64_t> batch_emit_publishes{0};
+  std::atomic<uint64_t> emit_id_remap_hits{0};
+  std::atomic<uint64_t> batch_arena_bytes{0};
+  std::atomic<uint64_t> batch_arena_bytes_peak{0};
   std::atomic<uint64_t> flow_slots_reused{0};
   std::atomic<uint64_t> flow_slot_high_water{0};
   std::atomic<uint64_t> candidate_cache_hits{0};
@@ -100,6 +104,19 @@ struct EngineCounters {
   std::atomic<uint64_t> cep_gate_suppressed{0};
   std::atomic<uint64_t> cep_declassified{0};
 
+  // Batch-arena byte accounting with a lock-free high-water mark: the peak
+  // only ratchets upward, so a stale read simply retries the CAS.
+  void ChargeBatchArena(uint64_t bytes) {
+    const uint64_t now = batch_arena_bytes.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    uint64_t peak = batch_arena_bytes_peak.load(std::memory_order_relaxed);
+    while (now > peak && !batch_arena_bytes_peak.compare_exchange_weak(
+                             peak, now, std::memory_order_relaxed)) {
+    }
+  }
+  void ReleaseBatchArena(uint64_t bytes) {
+    batch_arena_bytes.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
   EngineStatsSnapshot Snapshot() const {
     EngineStatsSnapshot s;
     s.events_published = events_published.load(std::memory_order_relaxed);
@@ -111,6 +128,10 @@ struct EngineCounters {
     s.batch_plane_events = batch_plane_events.load(std::memory_order_relaxed);
     s.batch_view_deliveries = batch_view_deliveries.load(std::memory_order_relaxed);
     s.part_map_deliveries = part_map_deliveries.load(std::memory_order_relaxed);
+    s.batch_emit_publishes = batch_emit_publishes.load(std::memory_order_relaxed);
+    s.emit_id_remap_hits = emit_id_remap_hits.load(std::memory_order_relaxed);
+    s.batch_arena_bytes = batch_arena_bytes.load(std::memory_order_relaxed);
+    s.batch_arena_bytes_peak = batch_arena_bytes_peak.load(std::memory_order_relaxed);
     s.flow_slots_reused = flow_slots_reused.load(std::memory_order_relaxed);
     s.flow_slot_high_water = flow_slot_high_water.load(std::memory_order_relaxed);
     s.candidate_cache_hits = candidate_cache_hits.load(std::memory_order_relaxed);
@@ -298,6 +319,22 @@ struct SharedBatch {
   // dispatched master, so view-path delivery records carry full identity.
   std::vector<uint64_t> ids;
   std::vector<uint64_t> trace_ids;
+  // The arena/columns outlive the publish call (view turns hold them), so
+  // the donated batch carries its accountant charge until the last view
+  // drops — fig7's batch-plane arena accounting sees the true live window,
+  // including emission-path batches published from inside view turns.
+  MemoryAccountant* accountant = nullptr;
+  EngineCounters* counters = nullptr;  // engine-owned, outlives every view turn
+  int64_t charged_bytes = 0;
+
+  ~SharedBatch() {
+    if (accountant != nullptr) {
+      accountant->Release(charged_bytes);
+    }
+    if (counters != nullptr) {
+      counters->ReleaseBatchArena(static_cast<uint64_t>(charged_bytes));
+    }
+  }
 };
 
 }  // namespace engine_internal
@@ -568,6 +605,22 @@ struct Engine::Impl {
             &stats.batch_view_deliveries);
     counter("defcon_engine_part_map_deliveries_total", "Per-event OnEvent turns",
             &stats.part_map_deliveries);
+    counter("defcon_engine_batch_emit_publishes_total",
+            "Batch-native emission publishes (BatchEmitter path)",
+            &stats.batch_emit_publishes);
+    counter("defcon_engine_emit_id_remap_hits_total",
+            "Emission id-remap memo hits (interner probes avoided)",
+            &stats.emit_id_remap_hits);
+    metrics.AddGauge("defcon_engine_batch_arena_bytes",
+                     "Bytes charged for live batch arenas/columns", [this] {
+                       return static_cast<double>(
+                           stats.batch_arena_bytes.load(std::memory_order_relaxed));
+                     });
+    metrics.AddGauge("defcon_engine_batch_arena_bytes_peak",
+                     "High-water mark of live batch-arena bytes", [this] {
+                       return static_cast<double>(
+                           stats.batch_arena_bytes_peak.load(std::memory_order_relaxed));
+                     });
     counter("defcon_cep_gate_suppressed_total", "CEP emissions refused by the privilege gate",
             &stats.cep_gate_suppressed);
     counter("defcon_cep_declassified_total", "CEP emissions that exercised t-/t+ privileges",
@@ -2082,6 +2135,7 @@ struct Engine::Impl {
     // for that window (fig7's batch-plane memory column reads this).
     const int64_t batch_bytes = static_cast<int64_t>(batch.EstimateBytes());
     engine->accountant_.Charge(batch_bytes);
+    stats.ChargeBatchArena(static_cast<uint64_t>(batch_bytes));
 
     // Stamp and render each DISTINCT label once (vs once per part).
     const size_t distinct_labels = batch.distinct_labels();
@@ -2109,9 +2163,34 @@ struct Engine::Impl {
     std::map<std::vector<uint32_t>, uint32_t> shape_of;
     const bool index_on = config.use_subscription_index;
 
+    // Privilege grants ride the batch as a sparse side-channel; the
+    // delegation authority check (CanDelegate, the same check
+    // AttachPrivilegeToPart applies) runs once per DISTINCT grant. A denied
+    // grant is dropped — counted, surfaced as the first error — but never
+    // attached. Grant-carrying batches are kept off the zero-copy view path:
+    // reading a privilege-carrying part must bestow through the part-map
+    // masters (§3.1.5), which a column view cannot do.
+    const std::span<const EventBatch::PartGrant> grants = batch.part_grants();
+    size_t grant_cursor = 0;
+    std::vector<std::pair<PrivilegeGrant, bool>> grant_memo;
+    const auto delegation_allowed = [&](const PrivilegeGrant& grant) {
+      for (const auto& [seen, allowed] : grant_memo) {
+        if (seen == grant) {
+          return allowed;
+        }
+      }
+      bool allowed = true;
+      if (security_on()) {
+        std::lock_guard<std::mutex> lock(state->label_mutex);
+        allowed = state->privileges.CanDelegate(grant.tag, grant.privilege);
+      }
+      grant_memo.emplace_back(grant, allowed);
+      return allowed;
+    };
+
     // Rows/origins per dispatched master, collected for the view path (the
     // batch row diverges from the master index once an empty row drops).
-    const bool viewable = owned != nullptr && hinted;
+    const bool viewable = owned != nullptr && hinted && grants.empty();
     std::vector<uint32_t> rows_of_master;
     std::vector<int64_t> origins_of_master;
 
@@ -2159,6 +2238,18 @@ struct Engine::Impl {
         }
         part.data = std::move(data);
         part.author_unit_id = state->id;
+        while (grant_cursor < grants.size() && grants[grant_cursor].part == p) {
+          const PrivilegeGrant& grant = grants[grant_cursor++].grant;
+          if (delegation_allowed(grant)) {
+            part.grants.push_back(grant);
+          } else {
+            stats.permission_denials.fetch_add(1, std::memory_order_relaxed);
+            if (first_error.ok()) {
+              first_error =
+                  PermissionDenied("batch PartPrivilege requires the matching auth privilege");
+            }
+          }
+        }
         event->AppendPart(std::move(part));
         stats.parts_added.fetch_add(1, std::memory_order_relaxed);
         if (!hinted) {
@@ -2219,6 +2310,7 @@ struct Engine::Impl {
     if (published != nullptr) {
       *published = masters.size();
     }
+    bool charge_transferred = false;
     if (hinted && masters.size() > 1) {
       std::shared_ptr<SharedBatch> shared;
       if (viewable) {
@@ -2227,12 +2319,21 @@ struct Engine::Impl {
         shared->stamped = std::move(stamped);
         shared->rows = std::move(rows_of_master);
         shared->origins = std::move(origins_of_master);
+        // The donated arena stays live past this call (view turns hold it);
+        // the charge rides along and is released by ~SharedBatch.
+        shared->accountant = &engine->accountant_;
+        shared->counters = &stats;
+        shared->charged_bytes = batch_bytes;
+        charge_transferred = true;
       }
       DispatchBatch(std::move(masters), &hints, std::move(shared));
     } else {
       DispatchBatch(std::move(masters));
     }
-    engine->accountant_.Release(batch_bytes);
+    if (!charge_transferred) {
+      engine->accountant_.Release(batch_bytes);
+      stats.ReleaseBatchArena(static_cast<uint64_t>(batch_bytes));
+    }
     return first_error;
   }
 
@@ -2821,6 +2922,31 @@ Status UnitContext::PublishEventBatch(const EventBatch& batch, size_t* published
 
 Status UnitContext::PublishEventBatch(EventBatch&& batch, size_t* published) {
   return engine_->impl_->PublishEventBatch(state_, std::move(batch), published);
+}
+
+BatchEmitter UnitContext::BuildEventBatch() {
+  // Bound to the in-flight view when called inside an OnEventBatch turn, so
+  // the emitter's id-remap memo has an inbound table to translate from;
+  // outside one it is a plain (remap-free) batch producer.
+  return BatchEmitter(state_->current_batch_view);
+}
+
+Status UnitContext::PublishEventBatch(BatchEmitter& emitter, size_t* published) {
+  Engine::Impl* impl = engine_->impl_.get();
+  if (published != nullptr) {
+    *published = 0;
+  }
+  if (!emitter.ok()) {
+    // Fire-and-forget: a latched emitter abandons its partial batch (label
+    // refs released, storage retained) rather than leaving it for retry.
+    Status latched = emitter.status();
+    emitter.Discard();
+    return latched;
+  }
+  impl->stats.batch_emit_publishes.fetch_add(1, std::memory_order_relaxed);
+  impl->stats.emit_id_remap_hits.fetch_add(emitter.remap_hits(), std::memory_order_relaxed);
+  EventBatch batch = emitter.Take();
+  return impl->PublishEventBatch(state_, std::move(batch), published);
 }
 
 EventBuilder UnitContext::BuildEvent() { return EventBuilder(this, CreateEvent()); }

@@ -125,6 +125,19 @@ struct EngineStatsSnapshot {
   // is comparable across the two paths and across the batch-plane A/B.
   uint64_t batch_view_deliveries = 0;
   uint64_t part_map_deliveries = 0;
+  // Emission-path accounting: PublishEventBatch(BatchEmitter) calls (a unit
+  // produced a batch without materialising part maps) and the row-level
+  // id-remap memo hits its MapName/MapLabel/CopyPart calls scored (interner
+  // probes avoided because the distinct id was already remapped this turn).
+  uint64_t batch_emit_publishes = 0;
+  uint64_t emit_id_remap_hits = 0;
+  // Batch-arena memory accounting: bytes currently charged for live batch
+  // arenas/columns (a donated batch stays charged until the last view turn
+  // drops it, emission-path batches included) and the high-water mark across
+  // the run. fig7's `batch_arena_bytes` column reads the peak — current
+  // drains back to zero at idle.
+  uint64_t batch_arena_bytes = 0;
+  uint64_t batch_arena_bytes_peak = 0;
   // Flow-slot compaction: slots recycled from removed units' free list, and
   // the densest slot ever issued (the dense-snapshot footprint high water).
   uint64_t flow_slots_reused = 0;

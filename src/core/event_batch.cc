@@ -124,18 +124,25 @@ size_t EventBatch::EstimateBytes() const {
          part_offsets_.capacity() * sizeof(uint32_t) +
          (name_ids_.capacity() + label_ids_.capacity() + svalue_ids_.capacity()) *
              sizeof(uint32_t) +
-         values_.capacity() * sizeof(Value) + value_bytes_;
+         values_.capacity() * sizeof(Value) + grants_.capacity() * sizeof(PartGrant) +
+         value_bytes_;
 }
 
 // --- BatchBuilder ------------------------------------------------------------
 
 BatchBuilder& BatchBuilder::BeginEvent(int64_t origin_ns) {
+  if (!status_.ok()) {
+    return *this;
+  }
   batch_.origins_.push_back(origin_ns);
   batch_.part_offsets_.push_back(static_cast<uint32_t>(batch_.values_.size()));
   return *this;
 }
 
 BatchBuilder& BatchBuilder::Part(const Label& label, std::string_view name, Value value) {
+  if (!status_.ok()) {
+    return *this;
+  }
   if (batch_.origins_.empty()) {
     BeginEvent();
   }
@@ -155,10 +162,20 @@ uint32_t BatchBuilder::InternName(std::string_view name) {
 }
 
 uint32_t BatchBuilder::InternLabel(const Label& label) {
-  return batch_.labels_.Acquire(label);
+  const uint32_t id = batch_.labels_.Acquire(label);
+  held_label_ids_.push_back(id);
+  return id;
 }
 
 BatchBuilder& BatchBuilder::PartById(uint32_t name_id, uint32_t label_id, Value value) {
+  if (!status_.ok()) {
+    return *this;
+  }
+  if (name_id >= batch_.names_.size() || label_id >= batch_.labels_.slot_count() ||
+      batch_.labels_.refs(label_id) == 0) {
+    LatchError(InvalidArgument("PartById: id not interned in this batch"));
+    return *this;
+  }
   if (batch_.origins_.empty()) {
     BeginEvent();
   }
@@ -174,10 +191,162 @@ BatchBuilder& BatchBuilder::PartById(uint32_t name_id, uint32_t label_id, Value 
   return *this;
 }
 
+BatchBuilder& BatchBuilder::PartPrivilege(Tag tag, Privilege privilege) {
+  if (!status_.ok()) {
+    return *this;
+  }
+  if (batch_.values_.empty()) {
+    LatchError(FailedPrecondition("PartPrivilege: no part to attach the grant to"));
+    return *this;
+  }
+  batch_.grants_.push_back(EventBatch::PartGrant{
+      static_cast<uint32_t>(batch_.values_.size() - 1), PrivilegeGrant{tag, privilege}});
+  return *this;
+}
+
+void BatchBuilder::LatchError(Status status) {
+  if (status_.ok() && !status.ok()) {
+    status_ = std::move(status);
+  }
+}
+
+void BatchBuilder::Abandon() {
+  // Release per-part refs first, then the builder-held InternLabel refs; the
+  // interner's free list gets every id back once its count drains.
+  for (const uint32_t id : batch_.label_ids_) {
+    batch_.labels_.Release(id);
+  }
+  for (const uint32_t id : held_label_ids_) {
+    batch_.labels_.Release(id);
+  }
+  held_label_ids_.clear();
+  batch_.origins_.clear();
+  batch_.part_offsets_.clear();
+  batch_.part_offsets_.push_back(0);
+  batch_.name_ids_.clear();
+  batch_.label_ids_.clear();
+  batch_.svalue_ids_.clear();
+  batch_.values_.clear();
+  batch_.grants_.clear();
+  batch_.value_bytes_ = 0;
+  status_ = OkStatus();
+}
+
 EventBatch BatchBuilder::Build() {
+  if (!status_.ok()) {
+    Abandon();  // the latched batch must not leak its label references
+    return EventBatch();
+  }
+  // Builder-held InternLabel refs transfer to the finished batch (they keep
+  // table ids live for clipped rows — see InternLabel).
+  held_label_ids_.clear();
   EventBatch out = std::move(batch_);
   batch_ = EventBatch();
   return out;
+}
+
+// --- BatchEmitter ------------------------------------------------------------
+
+BatchEmitter& BatchEmitter::BeginEvent(int64_t origin_ns) {
+  builder_.BeginEvent(origin_ns);
+  return *this;
+}
+
+BatchEmitter& BatchEmitter::Part(const Label& label, std::string_view name, Value value) {
+  builder_.Part(label, name, std::move(value));
+  return *this;
+}
+
+uint32_t BatchEmitter::MapName(uint32_t view_name_id) {
+  if (!builder_.ok()) {
+    return kInvalidId;
+  }
+  if (view_ == nullptr) {
+    builder_.LatchError(
+        FailedPrecondition("id remap requires an emitter bound to an inbound batch view"));
+    return kInvalidId;
+  }
+  if (view_name_id >= view_->distinct_names()) {
+    builder_.LatchError(InvalidArgument("MapName: view name id out of range"));
+    return kInvalidId;
+  }
+  if (name_memo_.empty()) {
+    name_memo_.assign(view_->distinct_names(), kInvalidId);
+  }
+  uint32_t& slot = name_memo_[view_name_id];
+  if (slot != kInvalidId) {
+    ++remap_hits_;
+    return slot;
+  }
+  slot = builder_.InternName(view_->name_of(view_name_id));
+  return slot;
+}
+
+uint32_t BatchEmitter::MapLabel(uint32_t view_label_id) {
+  if (!builder_.ok()) {
+    return kInvalidId;
+  }
+  if (view_ == nullptr) {
+    builder_.LatchError(
+        FailedPrecondition("id remap requires an emitter bound to an inbound batch view"));
+    return kInvalidId;
+  }
+  if (view_label_id >= view_->distinct_labels()) {
+    builder_.LatchError(InvalidArgument("MapLabel: view label id out of range"));
+    return kInvalidId;
+  }
+  if (label_memo_.empty()) {
+    label_memo_.assign(view_->distinct_labels(), kInvalidId);
+  }
+  uint32_t& slot = label_memo_[view_label_id];
+  if (slot != kInvalidId) {
+    ++remap_hits_;
+    return slot;
+  }
+  // The view's STAMPED label — what a part-map consumer reads and re-emits.
+  // Publication re-stamps per distinct outbound label; the memo skips table
+  // probes, never the stamp or the flow checks.
+  slot = builder_.InternLabel(view_->label_of(view_label_id));
+  return slot;
+}
+
+BatchEmitter& BatchEmitter::PartByIds(uint32_t name_id, uint32_t label_id, Value value) {
+  if (!builder_.ok()) {
+    return *this;
+  }
+  if (name_id == kInvalidId || label_id == kInvalidId) {
+    builder_.LatchError(InvalidArgument("PartByIds: invalid mapped id"));
+    return *this;
+  }
+  builder_.PartById(name_id, label_id, std::move(value));
+  return *this;
+}
+
+BatchEmitter& BatchEmitter::PartPrivilege(Tag tag, Privilege privilege) {
+  builder_.PartPrivilege(tag, privilege);
+  return *this;
+}
+
+BatchEmitter& BatchEmitter::CopyPart(size_t view_part) {
+  if (!builder_.ok()) {
+    return *this;
+  }
+  if (view_ == nullptr) {
+    builder_.LatchError(
+        FailedPrecondition("id remap requires an emitter bound to an inbound batch view"));
+    return *this;
+  }
+  if (view_part >= view_->part_count()) {
+    builder_.LatchError(InvalidArgument("CopyPart: view part index out of range"));
+    return *this;
+  }
+  const uint32_t name_id = MapName(view_->name_id(view_part));
+  const uint32_t label_id = MapLabel(view_->label_id(view_part));
+  if (name_id == kInvalidId || label_id == kInvalidId) {
+    return *this;
+  }
+  builder_.PartById(name_id, label_id, view_->value(view_part));
+  return *this;
 }
 
 }  // namespace defcon

@@ -35,7 +35,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/base/status.h"
 #include "src/core/label.h"
+#include "src/core/privileges.h"
 #include "src/freeze/value.h"
 
 namespace defcon {
@@ -139,6 +141,17 @@ class EventBatch {
  public:
   static constexpr uint32_t kNoStringValue = UINT32_MAX;
 
+  // Privilege grant destined for one part (by global part index): the sparse
+  // side-channel for privilege-carrying parts (§3.1.5). The engine verifies
+  // CanDelegate per DISTINCT grant at publish time — exactly the check
+  // AttachPrivilegeToPart applies — before attaching it to the materialised
+  // part; an unauthorised grant is dropped and counted as a permission
+  // denial, never silently attached.
+  struct PartGrant {
+    uint32_t part;
+    PrivilegeGrant grant;
+  };
+
   EventBatch() { part_offsets_.push_back(0); }
 
   size_t event_count() const { return origins_.size(); }
@@ -158,6 +171,11 @@ class EventBatch {
   // publish path render each distinct (name, literal) index key once).
   uint32_t svalue_id(size_t part) const { return svalue_ids_[part]; }
   const Value& value(size_t part) const { return values_[part]; }
+
+  // Grants in ascending part order (PartPrivilege attaches to the part just
+  // appended). Empty for the overwhelming majority of batches; the publish
+  // path walks it with a single cursor.
+  std::span<const PartGrant> part_grants() const { return grants_; }
 
   // Interned tables.
   std::string_view name(uint32_t name_id) const { return names_.at(name_id); }
@@ -196,11 +214,21 @@ class EventBatch {
   std::vector<uint32_t> label_ids_;
   std::vector<uint32_t> svalue_ids_;
   std::vector<Value> values_;
+  std::vector<PartGrant> grants_;  // sparse, ascending part index
   size_t value_bytes_ = 0;
 };
 
 // Builds an EventBatch row by row. Part() before any BeginEvent() opens an
 // event with origin 0 ("assign at publish", same rule as NewCreatedEvent).
+//
+// Errors latch (EventBuilder's contract): after LatchError the builder stops
+// accepting rows, Build() abandons the partial content instead of publishing
+// it, and status() reports the first failure. Abandoning — explicitly or via
+// an error-latched Build() — RELEASES every label-interner reference the
+// partial batch held (per-part refs and builder-held InternLabel refs) while
+// keeping the arena/interner storage for reuse, so a long-lived producer that
+// churns failed builds does not leak label ids (the regression test churns
+// 10k abandoned builds and asserts ForEachLive stays empty).
 class BatchBuilder {
  public:
   BatchBuilder& BeginEvent(int64_t origin_ns = 0);
@@ -215,14 +243,40 @@ class BatchBuilder {
   uint32_t InternLabel(const Label& label);
   BatchBuilder& PartById(uint32_t name_id, uint32_t label_id, Value value);
 
+  // Attaches a privilege grant to the part appended LAST (EventBuilder's
+  // PartPrivilege, positionally — a batch has no per-part name lookup).
+  // Latches if no part has been appended yet. The delegation authority check
+  // (CanDelegate, §3.1.3) runs at publish time, once per distinct grant.
+  BatchBuilder& PartPrivilege(Tag tag, Privilege privilege);
+
   size_t event_count() const { return batch_.event_count(); }
   size_t part_count() const { return batch_.part_count(); }
 
-  // Finalises and hands the batch over; the builder resets to empty.
+  // Error latch: the first latched failure sticks, later rows are ignored.
+  void LatchError(Status status);
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  // Drops the rows built so far: releases all label references the content
+  // holds and truncates the columns, but retains arena and interner storage
+  // so the builder can be refilled without reallocating. Clears the latch.
+  void Abandon();
+
+  // Finalises and hands the batch over; the builder resets to empty. On an
+  // error-latched builder this abandons instead (releasing label refs) and
+  // returns an empty batch — callers check status() first, exactly like
+  // EventBuilder::Publish.
   EventBatch Build();
+
+  // Accounting/test surface: the batch under construction (its label interner
+  // is what the leak regression walks with ForEachLive).
+  const LabelInterner& label_interner() const { return batch_.labels_; }
+  size_t EstimateBytes() const { return batch_.EstimateBytes(); }
 
  private:
   EventBatch batch_;
+  std::vector<uint32_t> held_label_ids_;  // one per InternLabel() call
+  Status status_;
 };
 
 // Read-only columnar window over an in-flight EventBatch, scoped to the rows
@@ -268,6 +322,12 @@ class BatchView {
   const Label& label_of(uint32_t label_id) const { return stamped_[label_id]; }
   std::string_view svalue_of(uint32_t svalue_id) const { return batch_->svalue(svalue_id); }
 
+  // Interned-table sizes of the underlying batch (bounds for the id columns
+  // above — what a consumer sizes its per-distinct-id memo tables to).
+  size_t distinct_names() const { return batch_->distinct_names(); }
+  size_t distinct_labels() const { return batch_->distinct_labels(); }
+  size_t distinct_svalues() const { return batch_->distinct_svalues(); }
+
   // Convenience per-part row reads (lookup composed with the id columns).
   std::string_view name(size_t part) const { return name_of(name_id(part)); }
   const Label& label(size_t part) const { return label_of(label_id(part)); }
@@ -307,6 +367,72 @@ class BatchView {
   std::vector<uint32_t> offsets_;       // size() + 1 view-part offsets
   std::vector<uint32_t> parts_;         // batch part index per visible part
   bool contiguous_ = false;
+};
+
+// Batch-native emission (API v3, the counterpart of BatchView on the produce
+// side). UnitContext::BuildEventBatch() hands the unit a BatchEmitter whose
+// arena/interners it fills during a turn and publishes with
+// ctx.PublishEventBatch(emitter) — no per-event part maps are materialised.
+//
+// When the turn is an OnEventBatch delivery, the emitter is bound to the
+// inbound view and carries an id-remap memo: MapName/MapLabel/CopyPart
+// translate the view's interned name/label ids straight into the outbound
+// batch's interners with ONE interner probe per DISTINCT inbound id per turn
+// (one id copy per row thereafter — remap_hits() counts the probes avoided).
+// MapLabel remaps the view's STAMPED label, i.e. exactly the label a part-map
+// consumer would read back and re-emit; publication then applies the same
+// per-distinct-label StampWithOutputLabel (S' = S∪Sout, I' = I∩Iout) as every
+// other publish path — the remap skips table lookups, never label checks.
+//
+// Errors latch on the underlying builder (out-of-range ids, remap calls with
+// no bound view); a latched emitter publishes nothing and
+// PublishEventBatch(emitter) returns the first failure after abandoning the
+// partial batch (label refs released, storage retained).
+class BatchEmitter {
+ public:
+  BatchEmitter(BatchEmitter&&) = default;
+  BatchEmitter& operator=(BatchEmitter&&) = default;
+  BatchEmitter(const BatchEmitter&) = delete;
+  BatchEmitter& operator=(const BatchEmitter&) = delete;
+
+  BatchEmitter& BeginEvent(int64_t origin_ns = 0);
+  // Plain emission (no remap): interns name/label like BatchBuilder::Part.
+  BatchEmitter& Part(const Label& label, std::string_view name, Value value);
+
+  // Id-remap fast path over the bound inbound view. MapName/MapLabel return
+  // OUTBOUND interner ids for PartByIds; on error (no bound view, id out of
+  // range) they latch and return kInvalidId, which PartByIds then rejects.
+  static constexpr uint32_t kInvalidId = UINT32_MAX;
+  uint32_t MapName(uint32_t view_name_id);
+  uint32_t MapLabel(uint32_t view_label_id);
+  BatchEmitter& PartByIds(uint32_t name_id, uint32_t label_id, Value value);
+  // Copies view part `view_part` (name, stamped label, value) via the memo.
+  BatchEmitter& CopyPart(size_t view_part);
+  // Attaches a privilege grant to the part appended last (privilege-carrying
+  // parts, §3.1.5); publish verifies CanDelegate per distinct grant.
+  BatchEmitter& PartPrivilege(Tag tag, Privilege privilege);
+
+  bool ok() const { return builder_.ok(); }
+  const Status& status() const { return builder_.status(); }
+  size_t event_count() const { return builder_.event_count(); }
+  size_t part_count() const { return builder_.part_count(); }
+  // Memo hits: row-level remaps that skipped the interner probe entirely.
+  uint64_t remap_hits() const { return remap_hits_; }
+  size_t EstimateBytes() const { return builder_.EstimateBytes(); }
+
+ private:
+  friend class UnitContext;
+
+  explicit BatchEmitter(const BatchView* view) : view_(view) {}
+  // Engine-side: finalises (empty when latched; the context checked first).
+  EventBatch Take() { return builder_.Build(); }
+  void Discard() { builder_.Abandon(); }
+
+  const BatchView* view_ = nullptr;
+  BatchBuilder builder_;
+  std::vector<uint32_t> name_memo_;   // inbound name id  -> outbound name id
+  std::vector<uint32_t> label_memo_;  // inbound label id -> outbound label id
+  uint64_t remap_hits_ = 0;
 };
 
 // Engine-side constructor access (keeps BatchView's invariants — notably

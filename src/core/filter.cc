@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "src/core/event_batch.h"
+
 namespace defcon {
 
 Filter::Filter(NodePtr root) : root_(std::move(root)) {
@@ -83,12 +85,22 @@ bool Filter::Matches(const std::vector<const Part*>& visible_parts) const {
   return Eval(*root_, visible_parts);
 }
 
+bool Filter::Matches(const BatchView& view, size_t event) const {
+  if (root_ == nullptr) {
+    return false;
+  }
+  return EvalOnView(*root_, view, event);
+}
+
 bool Filter::EvalPredicateOnPart(const Node& node, const Part& part) {
+  return EvalPredicateOnValue(node, part.data);
+}
+
+bool Filter::EvalPredicateOnValue(const Node& node, const Value& v) {
   switch (node.kind) {
     case Node::Kind::kExists:
       return true;
     case Node::Kind::kCompare: {
-      const Value& v = part.data;
       const Value& lit = node.literal;
       switch (node.op) {
         case CompareOp::kEq:
@@ -127,10 +139,10 @@ bool Filter::EvalPredicateOnPart(const Node& node, const Part& part) {
       return false;
     }
     case Node::Kind::kPrefix: {
-      if (part.data.kind() != Value::Kind::kString) {
+      if (v.kind() != Value::Kind::kString) {
         return false;
       }
-      const std::string& s = part.data.string_value();
+      const std::string& s = v.string_value();
       return s.size() >= node.prefix.size() && s.compare(0, node.prefix.size(), node.prefix) == 0;
     }
     default:
@@ -150,6 +162,27 @@ bool Filter::Eval(const Node& node, const std::vector<const Part*>& visible_part
       // Existential over same-named visible parts.
       for (const Part* part : visible_parts) {
         if (part->name == node.part_name && EvalPredicateOnPart(node, *part)) {
+          return true;
+        }
+      }
+      return false;
+    }
+  }
+}
+
+bool Filter::EvalOnView(const Node& node, const BatchView& view, size_t event) {
+  switch (node.kind) {
+    case Node::Kind::kAnd:
+      return EvalOnView(*node.left, view, event) && EvalOnView(*node.right, view, event);
+    case Node::Kind::kOr:
+      return EvalOnView(*node.left, view, event) || EvalOnView(*node.right, view, event);
+    case Node::Kind::kNot:
+      return !EvalOnView(*node.left, view, event);
+    default: {
+      // Existential over same-named visible parts, straight off the columns.
+      const size_t end = view.parts_end(event);
+      for (size_t p = view.parts_begin(event); p < end; ++p) {
+        if (view.name(p) == node.part_name && EvalPredicateOnValue(node, view.value(p))) {
           return true;
         }
       }

@@ -23,6 +23,8 @@
 
 namespace defcon {
 
+class BatchView;
+
 enum class CompareOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
 
 class Filter {
@@ -48,6 +50,13 @@ class Filter {
   // Evaluates against the visible parts of an event (pointers remain owned by
   // the caller).
   bool Matches(const std::vector<const Part*>& visible_parts) const;
+
+  // Column-native evaluation against one event of a BatchView: the same
+  // existential semantics over the event's view-part range, reading the
+  // name/value columns directly — no Part materialisation. A view only
+  // exposes label-visible rows, so this is the same "visible projection" the
+  // part-pointer overload sees (column-scan consumers use it per step).
+  bool Matches(const BatchView& view, size_t event) const;
 
   // Every part name the filter references; the dispatcher label-checks these
   // parts at match time and uses equality predicates for indexing.
@@ -84,7 +93,9 @@ class Filter {
   explicit Filter(NodePtr root);
 
   static bool Eval(const Node& node, const std::vector<const Part*>& visible_parts);
+  static bool EvalOnView(const Node& node, const BatchView& view, size_t event);
   static bool EvalPredicateOnPart(const Node& node, const Part& part);
+  static bool EvalPredicateOnValue(const Node& node, const Value& data);
   static void CollectNames(const Node& node, std::vector<std::string>* names);
   static bool FindIndexKey(const Node& node, std::string* name, std::string* literal);
   static std::string NodeDebugString(const Node& node);

@@ -32,6 +32,7 @@
 
 namespace defcon {
 
+class BatchEmitter;
 class BatchView;
 class Engine;
 class EventBatch;
@@ -245,6 +246,24 @@ class UnitContext {
   // the batch's lifetime, always delivers through the per-event part-map
   // path. Prefer this overload for fire-and-forget batch producers.
   Status PublishEventBatch(EventBatch&& batch, size_t* published = nullptr);
+
+  // API v3 emission path: a BatchEmitter whose arena/interners the unit fills
+  // during this turn and publishes with PublishEventBatch(emitter) — no
+  // per-event part maps, no EventHandles. Inside an OnEventBatch turn the
+  // emitter is bound to the inbound view, so MapName/MapLabel/CopyPart remap
+  // the view's interned ids into the outbound batch with one table probe per
+  // DISTINCT id per turn (see BatchEmitter). Labels still pass the exact
+  // publish-path stamping and flow checks — per distinct label, never
+  // skipped. The emitter must not outlive the turn that created it.
+  BatchEmitter BuildEventBatch();
+
+  // Publishes the emitter's batch through the donating (rvalue) path above,
+  // so opted-in subscribers get zero-copy views over the emitted columns. A
+  // latched emitter publishes nothing: the partial batch is abandoned (label
+  // refs released) and the first construction error is returned — the same
+  // fire-and-forget contract as PublishBatch on a denied call. Counted in
+  // stats().batch_emit_publishes / emit_id_remap_hits.
+  Status PublishEventBatch(BatchEmitter& emitter, size_t* published = nullptr);
 
   // release(e): lets the dispatcher continue delivering a received event to
   // other units (§3.1.6). Implicit when OnEvent returns.

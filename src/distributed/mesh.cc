@@ -43,6 +43,9 @@ void MeshNode::RegisterMetrics() {
   registry.AddCounter("defcon_mesh_batch_plane_publishes_total",
                       "Inbound v2 frames republished batch-natively",
                       field(&MeshStats::batch_plane_publishes), metrics_group_);
+  registry.AddCounter("defcon_mesh_zero_copy_frames_total",
+                      "Outbound v2 frames encoded straight off a delivered batch view",
+                      field(&MeshStats::zero_copy_frames), metrics_group_);
   registry.AddCounter("defcon_mesh_link_reconnects_total",
                       "Outbound link reconnect cycles", field(&MeshStats::link_reconnects),
                       metrics_group_);
@@ -118,6 +121,7 @@ MeshStats MeshNode::stats() const {
     stats.events_exported += exporter->events_exported();
     stats.parts_exported += exporter->parts_exported();
     stats.overflow_notices += exporter->overflow_notices();
+    stats.zero_copy_frames += exporter->zero_copy_frames();
   }
   if (importer_ != nullptr) {
     stats.events_imported = importer_->events_imported();

@@ -47,6 +47,10 @@ struct MeshStats {
   // Inbound v2 frames republished through PublishEventBatch (batch-native
   // import). Zero when every peer speaks wire v1.
   uint64_t batch_plane_publishes = 0;
+  // Outbound v2 frames encoded straight off a delivered BatchView (zero-copy
+  // export edge: producer arena -> socket without per-part re-hashing). Zero
+  // when every export speaks wire v1 or receives per-event deliveries.
+  uint64_t zero_copy_frames = 0;
   uint64_t link_reconnects = 0;
   uint64_t frames_replayed = 0;
   uint64_t frames_dropped_overflow = 0;

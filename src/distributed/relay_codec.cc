@@ -79,6 +79,17 @@ struct ColumnTables {
   }
 };
 
+// Prefixes a finished frame body with the v2 magic bytes.
+std::vector<uint8_t> SealColumnarFrame(const WireWriter& body) {
+  std::vector<uint8_t> out;
+  out.reserve(2 + body.size());
+  out.push_back(kRelayColumnarMagic0);
+  out.push_back(kRelayColumnarMagic1);
+  const std::vector<uint8_t>& bytes = body.buffer();
+  out.insert(out.end(), bytes.begin(), bytes.end());
+  return out;
+}
+
 std::vector<uint8_t> EncodeRelayColumnarImpl(const std::vector<int64_t>& origins,
                                              const std::vector<std::vector<PartRef>>& events) {
   ColumnTables tables;
@@ -117,13 +128,7 @@ std::vector<uint8_t> EncodeRelayColumnarImpl(const std::vector<int64_t>& origins
       EncodeValue(*part.data, &body);
     }
   }
-  std::vector<uint8_t> out;
-  out.reserve(2 + body.size());
-  out.push_back(kRelayColumnarMagic0);
-  out.push_back(kRelayColumnarMagic1);
-  const std::vector<uint8_t>& bytes = body.buffer();
-  out.insert(out.end(), bytes.begin(), bytes.end());
-  return out;
+  return SealColumnarFrame(body);
 }
 
 }  // namespace
@@ -157,20 +162,78 @@ std::vector<uint8_t> EncodeRelayColumnar(int64_t origin_ns,
 
 std::vector<uint8_t> EncodeRelayColumnar(const BatchView& view,
                                          const std::vector<uint32_t>& events) {
-  std::vector<int64_t> origins;
-  std::vector<std::vector<PartRef>> refs;
-  origins.reserve(events.size());
-  refs.reserve(events.size());
+  // Zero-copy path: the view already carries interned name/label id columns,
+  // so the frame tables are built by REMAPPING those ids through per-distinct
+  // memo vectors — no per-part string hashing and no per-part canonical label
+  // render (ColumnTables' costs on the generic path). Name ids map 1:1 (the
+  // batch interner already deduplicated by content); label ids additionally
+  // dedupe by canonical key ONCE per distinct view id, because two pre-stamp
+  // labels can stamp to the same label and the frame must stay byte-identical
+  // to the generic encoder's output for the same projection. Table bytes are
+  // written straight from the batch arena (names) and stamped-label storage.
+  constexpr uint32_t kUnmapped = UINT32_MAX;
+  std::vector<uint32_t> name_memo(view.distinct_names(), kUnmapped);
+  std::vector<uint32_t> label_memo(view.distinct_labels(), kUnmapped);
+  std::vector<uint32_t> frame_names;   // view name id per frame table entry
+  std::vector<uint32_t> frame_labels;  // view label id per frame table entry
+  std::unordered_map<std::string, uint32_t> label_keys;  // stamp-collision dedupe
+  std::vector<uint32_t> name_col;
+  std::vector<uint32_t> label_col;
+  size_t total_parts = 0;
   for (const uint32_t e : events) {
-    origins.push_back(view.origin_ns(e));
-    std::vector<PartRef> parts;
-    parts.reserve(view.parts_end(e) - view.parts_begin(e));
-    for (size_t p = view.parts_begin(e); p < view.parts_end(e); ++p) {
-      parts.push_back(PartRef{view.name(p), &view.label(p), &view.value(p)});
-    }
-    refs.push_back(std::move(parts));
+    total_parts += view.parts_end(e) - view.parts_begin(e);
   }
-  return EncodeRelayColumnarImpl(origins, refs);
+  name_col.reserve(total_parts);
+  label_col.reserve(total_parts);
+  for (const uint32_t e : events) {
+    for (size_t p = view.parts_begin(e); p < view.parts_end(e); ++p) {
+      const uint32_t name_id = view.name_id(p);
+      if (name_memo[name_id] == kUnmapped) {
+        name_memo[name_id] = static_cast<uint32_t>(frame_names.size());
+        frame_names.push_back(name_id);
+      }
+      name_col.push_back(name_memo[name_id]);
+      const uint32_t label_id = view.label_id(p);
+      if (label_memo[label_id] == kUnmapped) {
+        const auto [it, inserted] =
+            label_keys.emplace(CanonicalLabelKey(view.label_of(label_id)),
+                               static_cast<uint32_t>(frame_labels.size()));
+        if (inserted) {
+          frame_labels.push_back(label_id);
+        }
+        label_memo[label_id] = it->second;
+      }
+      label_col.push_back(label_memo[label_id]);
+    }
+  }
+  WireWriter body;
+  body.PutVarint(events.size());
+  body.PutVarint(frame_names.size());
+  for (const uint32_t id : frame_names) {
+    body.PutString(view.name_of(id));
+  }
+  body.PutVarint(frame_labels.size());
+  for (const uint32_t id : frame_labels) {
+    EncodeLabel(view.label_of(id), &body);
+  }
+  for (const uint32_t e : events) {
+    body.PutZigzag(view.origin_ns(e));
+  }
+  for (const uint32_t e : events) {
+    body.PutVarint(view.parts_end(e) - view.parts_begin(e));
+  }
+  for (const uint32_t id : name_col) {
+    body.PutVarint(id);
+  }
+  for (const uint32_t id : label_col) {
+    body.PutVarint(id);
+  }
+  for (const uint32_t e : events) {
+    for (size_t p = view.parts_begin(e); p < view.parts_end(e); ++p) {
+      EncodeValue(view.value(p), &body);
+    }
+  }
+  return SealColumnarFrame(body);
 }
 
 Result<RelayColumns> DecodeRelayColumns(const std::vector<uint8_t>& payload) {

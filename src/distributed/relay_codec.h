@@ -77,10 +77,16 @@ std::vector<uint8_t> EncodeRelayColumnar(const std::vector<RelayEvent>& events);
 std::vector<uint8_t> EncodeRelayColumnar(int64_t origin_ns,
                                          const std::vector<NamedPartView>& parts);
 
-// Batch-native export (PR 8): serialises the selected events of a delivered
+// Batch-native export: serialises the selected events of a delivered
 // BatchView (ascending view-event indices) as one multi-event v2 frame. The
 // view is already the exporter's label-filtered projection, so the
 // "secrets never reach the wire" property holds by construction.
+// This is the ZERO-COPY export edge: the frame's name/label tables are built
+// by remapping the view's interned id columns through per-distinct-id memo
+// vectors (one canonical-key render per distinct label id, zero per-part
+// hashing), and table/value bytes serialise straight out of the producer's
+// arena — byte-identical output to the generic encoder, without its per-part
+// ColumnTables costs.
 std::vector<uint8_t> EncodeRelayColumnar(const BatchView& view,
                                          const std::vector<uint32_t>& events);
 

@@ -28,13 +28,15 @@ class RemoteExportUnit : public Unit {
   RemoteExportUnit(Filter filter, ExportRoute route, bool columnar_wire,
                    std::shared_ptr<std::atomic<uint64_t>> exported,
                    std::shared_ptr<std::atomic<uint64_t>> parts,
-                   std::shared_ptr<std::atomic<uint64_t>> overflow)
+                   std::shared_ptr<std::atomic<uint64_t>> overflow,
+                   std::shared_ptr<std::atomic<uint64_t>> zero_copy)
       : filter_(std::move(filter)),
         route_(std::move(route)),
         columnar_wire_(columnar_wire),
         exported_(std::move(exported)),
         parts_(std::move(parts)),
-        overflow_(std::move(overflow)) {}
+        overflow_(std::move(overflow)),
+        zero_copy_(std::move(zero_copy)) {}
 
   void OnStart(UnitContext& ctx) override {
     const auto sub = ctx.Subscribe(filter_);
@@ -100,7 +102,11 @@ class RemoteExportUnit : public Unit {
       if (buckets[i].empty()) {
         continue;
       }
+      // Zero-copy frame: the encoder remaps the view's interned id columns
+      // into the frame tables and serialises name/value bytes straight out of
+      // the producer's arena — no per-part re-hashing between batch and wire.
       auto payload = EncodeRelayColumnar(view, buckets[i]);
+      zero_copy_->fetch_add(1, std::memory_order_relaxed);
       if (trace_id != 0) {
         payload = EncodeRelayTraced(trace_id, std::move(payload));
       }
@@ -186,6 +192,7 @@ class RemoteExportUnit : public Unit {
   std::shared_ptr<std::atomic<uint64_t>> exported_;
   std::shared_ptr<std::atomic<uint64_t>> parts_;
   std::shared_ptr<std::atomic<uint64_t>> overflow_;
+  std::shared_ptr<std::atomic<uint64_t>> zero_copy_;
 };
 
 }  // namespace
@@ -194,7 +201,7 @@ RemoteBridgeExporter::RemoteBridgeExporter(Engine* source, const BridgeConfig& c
                                            ExportRoute route) {
   auto unit = std::make_unique<RemoteExportUnit>(config.filter, std::move(route),
                                                  config.columnar_wire, exported_, parts_,
-                                                 overflow_);
+                                                 overflow_, zero_copy_);
   source->AddUnit("mesh-export", std::move(unit), config.export_clearance,
                   config.export_privileges);
 }

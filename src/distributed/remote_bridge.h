@@ -60,11 +60,17 @@ class RemoteBridgeExporter {
   uint64_t events_exported() const { return exported_->load(std::memory_order_relaxed); }
   uint64_t parts_exported() const { return parts_->load(std::memory_order_relaxed); }
   uint64_t overflow_notices() const { return overflow_->load(std::memory_order_relaxed); }
+  // v2 frames encoded straight off a delivered BatchView (interned id columns
+  // remapped into the frame tables; no per-part hashing, table/value bytes
+  // serialised from the producer arena). Zero on wire v1 and on per-event
+  // deliveries; the CI mesh gate asserts > 0 on wire v2.
+  uint64_t zero_copy_frames() const { return zero_copy_->load(std::memory_order_relaxed); }
 
  private:
   std::shared_ptr<std::atomic<uint64_t>> exported_ = std::make_shared<std::atomic<uint64_t>>(0);
   std::shared_ptr<std::atomic<uint64_t>> parts_ = std::make_shared<std::atomic<uint64_t>>(0);
   std::shared_ptr<std::atomic<uint64_t>> overflow_ = std::make_shared<std::atomic<uint64_t>>(0);
+  std::shared_ptr<std::atomic<uint64_t>> zero_copy_ = std::make_shared<std::atomic<uint64_t>>(0);
 };
 
 // Sink-process half: an import unit on `sink` plus a transport handler that

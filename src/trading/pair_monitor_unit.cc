@@ -37,6 +37,11 @@ void PairMonitorUnit::OnEvent(UnitContext& ctx, EventHandle event, SubscriptionI
 void PairMonitorUnit::OnEventBatch(UnitContext& ctx, const BatchView& view, SubscriptionId sub) {
   // Resolve the price part's interned name id once per view, then scan the id
   // column: one string compare per distinct name instead of one per part.
+  // Signals raised across the whole view accumulate into one emitter and
+  // publish as a single columnar batch — the match loop's emission is
+  // batch-native end to end (arena reuse, one label intern per distinct
+  // emission label, one dispatcher wake).
+  BatchEmitter matches = ctx.BuildEventBatch();
   uint32_t price_id = UINT32_MAX;
   for (size_t e = 0; e < view.size(); ++e) {
     for (size_t p = view.parts_begin(e); p < view.parts_end(e); ++p) {
@@ -48,15 +53,23 @@ void PairMonitorUnit::OnEventBatch(UnitContext& ctx, const BatchView& view, Subs
         continue;
       }
       if (view.value(p).kind() == Value::Kind::kInt) {
-        OnTickSample(ctx, view.value(p).int_value(), view.label(p), sub);
+        OnTickSample(ctx, view.value(p).int_value(), view.label(p), sub, &matches,
+                     view.origin_ns(e));
       }
       break;  // first visible price part only — ReadPart(...).front() parity
+    }
+  }
+  if (matches.event_count() > 0) {
+    size_t published = 0;
+    if (ctx.PublishEventBatch(matches, &published).ok()) {
+      signals_emitted_ += published;
     }
   }
 }
 
 void PairMonitorUnit::OnTickSample(UnitContext& ctx, int64_t price_cents, const Label& label,
-                                   SubscriptionId sub) {
+                                   SubscriptionId sub, BatchEmitter* emitter,
+                                   int64_t origin_ns) {
   const SymbolId symbol = sub == sub_first_ ? tracker_.pair().first : tracker_.pair().second;
   if (sub == sub_first_) {
     last_price_first_ = price_cents;
@@ -67,11 +80,12 @@ void PairMonitorUnit::OnTickSample(UnitContext& ctx, int64_t price_cents, const 
   }
   auto signal = tracker_.OnTick(symbol, static_cast<double>(price_cents) / 100.0);
   if (signal.has_value()) {
-    EmitMatch(ctx, *signal);
+    EmitMatch(ctx, *signal, emitter, origin_ns);
   }
 }
 
-void PairMonitorUnit::EmitMatch(UnitContext& ctx, const PairsSignal& signal) {
+void PairMonitorUnit::EmitMatch(UnitContext& ctx, const PairsSignal& signal,
+                                BatchEmitter* emitter, int64_t origin_ns) {
   const int64_t price_of_buy =
       signal.buy == tracker_.pair().first ? last_price_first_ : last_price_second_;
   const int64_t price_of_sell =
@@ -88,6 +102,21 @@ void PairMonitorUnit::EmitMatch(UnitContext& ctx, const PairsSignal& signal) {
   const std::string& buy_name = signal.buy == tracker_.pair().first ? first_name_ : second_name_;
   const std::string& sell_name = signal.sell == tracker_.pair().first ? first_name_ : second_name_;
   const Label at = LabelJoin(last_label_first_, last_label_second_);
+  if (emitter != nullptr) {
+    // Batch path: append to the turn's emitter (published — and counted — at
+    // the end of OnEventBatch). The explicit origin pins the match to the
+    // tick that raised it, which is exactly what the per-event plane inherits
+    // from its delivery turn.
+    emitter->BeginEvent(origin_ns)
+        .Part(at, kPartType, Value::OfString(kTypeMatch))
+        .Part(at, kPartInbox, Value::OfString(inbox_token_))
+        .Part(at, kPartBuy, Value::OfString(buy_name))
+        .Part(at, kPartSell, Value::OfString(sell_name))
+        .Part(at, kPartPriceBuy, Value::OfInt(price_of_buy))
+        .Part(at, kPartPriceSell, Value::OfInt(price_of_sell))
+        .Part(at, kPartZscore, Value::OfDouble(signal.zscore));
+    return;
+  }
   if (ctx.BuildEvent()
           .Part(at, kPartType, Value::OfString(kTypeMatch))
           .Part(at, kPartInbox, Value::OfString(inbox_token_))

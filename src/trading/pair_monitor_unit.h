@@ -38,6 +38,11 @@ class PairMonitorUnit : public Unit {
   // Ticks are the hottest edge in the system, so the monitor consumes
   // batch-plane deliveries natively: one price-column scan per view instead
   // of a part-map walk per tick. Signal cadence and labels are identical.
+  // Matches raised inside a view turn leave batch-native: every signal of the
+  // turn accumulates into one BatchEmitter (labels and the inbox token intern
+  // once per turn) and publishes as a single columnar batch at turn end, each
+  // match stamped with the origin of the tick that raised it — the same
+  // origin the per-event plane inherits from its delivery turn.
   bool ConsumesEventBatches() const override { return true; }
   void OnEventBatch(UnitContext& ctx, const BatchView& view, SubscriptionId sub) override;
 
@@ -45,10 +50,14 @@ class PairMonitorUnit : public Unit {
 
  private:
   // Folds one leg tick (price + its stamped label) into the tracker — the
-  // shared core of both delivery paths.
+  // shared core of both delivery paths. A raised signal goes out through
+  // `emitter` (batch path, stamped with `origin_ns`) when given, else through
+  // its own immediate per-event publish.
   void OnTickSample(UnitContext& ctx, int64_t price_cents, const Label& label,
-                    SubscriptionId sub);
-  void EmitMatch(UnitContext& ctx, const PairsSignal& signal);
+                    SubscriptionId sub, BatchEmitter* emitter = nullptr,
+                    int64_t origin_ns = 0);
+  void EmitMatch(UnitContext& ctx, const PairsSignal& signal, BatchEmitter* emitter,
+                 int64_t origin_ns);
 
   PairsTracker tracker_;
   std::string first_name_;

@@ -3,7 +3,7 @@
 #include <cmath>
 
 #include "src/base/logging.h"
-#include "src/core/event_builder.h"
+#include "src/core/event_batch.h"
 #include "src/trading/event_names.h"
 
 namespace defcon {
@@ -44,6 +44,68 @@ void RegulatorUnit::OnEvent(UnitContext& ctx, EventHandle event, SubscriptionId 
   }
 }
 
+void RegulatorUnit::OnEventBatch(UnitContext& ctx, const BatchView& view, SubscriptionId sub) {
+  // Classify each DISTINCT interned name once per view; the row scans below
+  // work off the id column.
+  enum : uint8_t { kOther = 0, kFillP, kBuyOrderP, kDelegationP, kUnresolved = 255 };
+  std::vector<uint8_t> role_memo(view.distinct_names(), kUnresolved);
+  const auto role_of = [&](uint32_t name_id) -> uint8_t {
+    uint8_t& role = role_memo[name_id];
+    if (role == kUnresolved) {
+      const std::string_view name = view.name_of(name_id);
+      role = name == kPartFill         ? kFillP
+             : name == kPartBuyOrder   ? kBuyOrderP
+             : name == kPartDelegation ? kDelegationP
+                                       : kOther;
+    }
+    return role;
+  };
+
+  if (delegation_sub_ != 0 && sub == delegation_sub_) {
+    for (size_t e = 0; e < view.size(); ++e) {
+      for (size_t p = view.parts_begin(e); p < view.parts_end(e); ++p) {
+        if (role_of(view.name_id(p)) == kDelegationP) {
+          ++delegations_received_;
+          break;  // ReadPart(...) non-empty parity: count the event once
+        }
+      }
+    }
+    return;
+  }
+  if (sub != trade_sub_) {
+    return;
+  }
+  BatchEmitter out = ctx.BuildEventBatch();
+  size_t ticks_appended = 0;
+  size_t audits_appended = 0;
+  for (size_t e = 0; e < view.size(); ++e) {
+    ++trades_observed_;
+    const Value* fill = nullptr;
+    const Label* fill_label = nullptr;
+    const Value* buy_order = nullptr;
+    for (size_t p = view.parts_begin(e); p < view.parts_end(e); ++p) {
+      const uint8_t role = role_of(view.name_id(p));
+      if (role == kFillP && fill == nullptr) {
+        fill = &view.value(p);
+        fill_label = &view.label(p);
+      } else if (role == kBuyOrderP && buy_order == nullptr) {
+        buy_order = &view.value(p);
+      }
+    }
+    if (fill == nullptr || fill->kind() != Value::Kind::kMap) {
+      continue;
+    }
+    const bool audit_due =
+        options_.audit_every != 0 && trades_observed_ % options_.audit_every == 0;
+    OnTradeSample(ctx, *fill, *fill_label, audit_due ? buy_order : nullptr, out,
+                  view.origin_ns(e), &ticks_appended, &audits_appended);
+  }
+  if (out.event_count() > 0 && ctx.PublishEventBatch(out).ok()) {
+    ticks_republished_ += ticks_appended;
+    audits_requested_ += audits_appended;
+  }
+}
+
 void RegulatorUnit::OnTrade(UnitContext& ctx, EventHandle event) {
   ++trades_observed_;
   auto fill_views = ctx.ReadPart(event, kPartFill);
@@ -51,9 +113,31 @@ void RegulatorUnit::OnTrade(UnitContext& ctx, EventHandle event) {
       fill_views->front().data.kind() != Value::Kind::kMap) {
     return;
   }
-  const auto& fill = *fill_views->front().data.map();
-  const Value* price = fill.Find(kKeyPrice);
+  BatchEmitter out = ctx.BuildEventBatch();
+  size_t ticks_appended = 0;
+  size_t audits_appended = 0;
+  if (options_.audit_every != 0 && trades_observed_ % options_.audit_every == 0) {
+    auto order_views = ctx.ReadPart(event, kPartBuyOrder);
+    const Value* buy_order =
+        order_views.ok() && !order_views->empty() ? &order_views->front().data : nullptr;
+    OnTradeSample(ctx, fill_views->front().data, fill_views->front().label, buy_order, out,
+                  /*origin_ns=*/0, &ticks_appended, &audits_appended);
+  } else {
+    OnTradeSample(ctx, fill_views->front().data, fill_views->front().label, /*buy_order=*/nullptr,
+                  out, /*origin_ns=*/0, &ticks_appended, &audits_appended);
+  }
+  if (out.event_count() > 0 && ctx.PublishEventBatch(out).ok()) {
+    ticks_republished_ += ticks_appended;
+    audits_requested_ += audits_appended;
+  }
+}
 
+void RegulatorUnit::OnTradeSample(UnitContext& ctx, const Value& fill_value,
+                                  const Label& fill_label, const Value* buy_order,
+                                  BatchEmitter& out, int64_t origin_ns, size_t* ticks_appended,
+                                  size_t* audits_appended) {
+  const auto& fill = *fill_value.map();
+  const Value* price = fill.Find(kKeyPrice);
   const Value* sym = fill.Find(kKeySymbol);
   if (options_.vwap_window > 0) {
     // CEP republish: fold fills into the symbol's tumbling VWAP window
@@ -64,48 +148,35 @@ void RegulatorUnit::OnTrade(UnitContext& ctx, EventHandle event) {
       cep::WindowItem item;
       item.value = static_cast<double>(price->int_value());
       item.qty = qty != nullptr && qty->kind() == Value::Kind::kInt ? qty->int_value() : 1;
-      item.label = fill_views->front().label;
+      item.label = fill_label;
       item.ts_ns = static_cast<int64_t>(trades_observed_);
-      OnFillWindowed(ctx, sym->string_value(), item);
+      OnFillWindowed(ctx, sym->string_value(), item, out, origin_ns, ticks_appended);
     }
   } else if (options_.republish_every != 0 &&
              trades_observed_ % options_.republish_every == 0 && price != nullptr &&
              price->kind() == Value::Kind::kInt && sym != nullptr &&
              sym->kind() == Value::Kind::kString) {
     // Step 9: republish the local trade as a valid, s-endorsed stock tick.
-    auto tick = ctx.CreateEvent();
-    if (tick.ok()) {
-      const EventHandle e = tick.value();
-      const Label tick_label(/*s=*/{}, /*i=*/{s_});
-      bool ok = ctx.AddPart(e, tick_label, kPartType, Value::OfString(kTypeTick)).ok() &&
-                ctx.AddPart(e, tick_label, kPartSymbol, *sym).ok() &&
-                ctx.AddPart(e, tick_label, kPartPrice, Value::OfInt(price->int_value())).ok();
-      if (ok && ctx.Publish(e).ok()) {
-        ++ticks_republished_;
-      }
-    }
+    const Label tick_label(/*s=*/{}, /*i=*/{s_});
+    out.BeginEvent(origin_ns)
+        .Part(tick_label, kPartType, Value::OfString(kTypeTick))
+        .Part(tick_label, kPartSymbol, *sym)
+        .Part(tick_label, kPartPrice, Value::OfInt(price->int_value()));
+    ++*ticks_appended;
   }
 
-  if (options_.audit_every != 0 && trades_observed_ % options_.audit_every == 0) {
-    auto order_views = ctx.ReadPart(event, kPartBuyOrder);
-    if (order_views.ok() && !order_views->empty() &&
-        order_views->front().data.kind() == Value::Kind::kString) {
-      auto audit = ctx.CreateEvent();
-      if (audit.ok()) {
-        const EventHandle e = audit.value();
-        const Label broker_label(/*s=*/{b_}, /*i=*/{});
-        bool ok = ctx.AddPart(e, broker_label, kPartType, Value::OfString(kTypeAudit)).ok() &&
-                  ctx.AddPart(e, broker_label, kPartOrderId, order_views->front().data).ok();
-        if (ok && ctx.Publish(e).ok()) {
-          ++audits_requested_;
-        }
-      }
-    }
+  if (buy_order != nullptr && buy_order->kind() == Value::Kind::kString) {
+    const Label broker_label(/*s=*/{b_}, /*i=*/{});
+    out.BeginEvent(origin_ns)
+        .Part(broker_label, kPartType, Value::OfString(kTypeAudit))
+        .Part(broker_label, kPartOrderId, *buy_order);
+    ++*audits_appended;
   }
 }
 
 void RegulatorUnit::OnFillWindowed(UnitContext& ctx, const std::string& symbol,
-                                   const cep::WindowItem& fill) {
+                                   const cep::WindowItem& fill, BatchEmitter& out,
+                                   int64_t origin_ns, size_t* ticks_appended) {
   auto window_it = vwap_windows_.find(symbol);
   if (window_it == vwap_windows_.end()) {
     window_it = vwap_windows_
@@ -124,7 +195,9 @@ void RegulatorUnit::OnFillWindowed(UnitContext& ctx, const std::string& symbol,
     // The gate allows the endorsement because the regulator holds s+; if a
     // tainted fill ever joined the window, its secrecy tag survives in the
     // state label, the regulator holds no t- for it, and the tick is
-    // suppressed instead of leaking through the public feed.
+    // suppressed instead of leaking through the public feed. The gate runs
+    // per closed window, BEFORE anything is appended — the emitter never
+    // sees a blocked emission on either delivery path.
     cep::EmitPolicy policy;
     policy.emit_label = Label(/*s=*/{}, /*i=*/{s_});
     const auto emit_label = cep::GateEmission(ctx, agg.label, policy, &vwap_blocked_);
@@ -132,14 +205,11 @@ void RegulatorUnit::OnFillWindowed(UnitContext& ctx, const std::string& symbol,
       continue;
     }
     const int64_t vwap_cents = static_cast<int64_t>(std::llround(agg.value));
-    if (ctx.BuildEvent()
-            .Part(*emit_label, kPartType, Value::OfString(kTypeTick))
-            .Part(*emit_label, kPartSymbol, Value::OfString(symbol))
-            .Part(*emit_label, kPartPrice, Value::OfInt(vwap_cents))
-            .Publish()
-            .ok()) {
-      ++ticks_republished_;
-    }
+    out.BeginEvent(origin_ns)
+        .Part(*emit_label, kPartType, Value::OfString(kTypeTick))
+        .Part(*emit_label, kPartSymbol, Value::OfString(symbol))
+        .Part(*emit_label, kPartPrice, Value::OfInt(vwap_cents));
+    ++*ticks_appended;
   }
 }
 

@@ -48,6 +48,14 @@ class RegulatorUnit : public Unit {
 
   void OnStart(UnitContext& ctx) override;
   void OnEvent(UnitContext& ctx, EventHandle event, SubscriptionId sub) override;
+  // Native columnar ingest: fill/buy_order parts are located by interned name
+  // id (one classification per DISTINCT name per view), and every republished
+  // tick / audit request of the turn leaves batch-native through one
+  // BatchEmitter — including the windowed VWAP path, whose gated emissions
+  // intern the (public, {s}) tick label once per turn instead of re-rendering
+  // it per closed window.
+  bool ConsumesEventBatches() const override { return true; }
+  void OnEventBatch(UnitContext& ctx, const BatchView& view, SubscriptionId sub) override;
 
   uint64_t trades_observed() const { return trades_observed_; }
   uint64_t ticks_republished() const { return ticks_republished_; }
@@ -58,9 +66,18 @@ class RegulatorUnit : public Unit {
  private:
   void OnTrade(UnitContext& ctx, EventHandle event);
   void OnDelegation(UnitContext& ctx, EventHandle event);
+  // Shared per-trade core of both delivery paths: consumes one fill payload
+  // (plus its stamped label) and, when the audit cadence is due, the trade's
+  // buy-order id; appends republished ticks / audit requests to `out` and
+  // reports how many of each it appended (the caller bumps the public
+  // counters only once the turn's batch publish succeeds).
+  void OnTradeSample(UnitContext& ctx, const Value& fill, const Label& fill_label,
+                     const Value* buy_order, BatchEmitter& out, int64_t origin_ns,
+                     size_t* ticks_appended, size_t* audits_appended);
   // CEP republish: feeds the fill into the symbol's tumbling VWAP window and
-  // republishes each closed window as one endorsed tick.
-  void OnFillWindowed(UnitContext& ctx, const std::string& symbol, const cep::WindowItem& fill);
+  // appends each closed window's gated emission as one endorsed tick.
+  void OnFillWindowed(UnitContext& ctx, const std::string& symbol, const cep::WindowItem& fill,
+                      BatchEmitter& out, int64_t origin_ns, size_t* ticks_appended);
 
   const Tag r_;
   const Tag s_;

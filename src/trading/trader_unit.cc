@@ -1,7 +1,7 @@
 #include "src/trading/trader_unit.h"
 
 #include "src/base/logging.h"
-#include "src/core/event_builder.h"
+#include "src/core/event_batch.h"
 #include "src/trading/event_names.h"
 #include "src/trading/pair_monitor_unit.h"
 
@@ -73,6 +73,96 @@ void TraderUnit::OnEvent(UnitContext& ctx, EventHandle event, SubscriptionId sub
   }
 }
 
+void TraderUnit::OnEventBatch(UnitContext& ctx, const BatchView& view, SubscriptionId sub) {
+  if (warning_sub_ != 0 && sub == warning_sub_) {
+    warnings_seen_ += view.size();
+    return;
+  }
+  // Classify each DISTINCT interned name once per view, then drive the scan
+  // off the id column — no per-part string compares, no part maps.
+  enum : uint8_t {
+    kOther = 0,
+    kBuySym,
+    kSellSym,
+    kPriceBuyP,
+    kPriceSellP,
+    kBuyerP,
+    kSellerP,
+    kUnresolved = 255
+  };
+  std::vector<uint8_t> role_memo(view.distinct_names(), kUnresolved);
+  const auto role_of = [&](uint32_t name_id) -> uint8_t {
+    uint8_t& role = role_memo[name_id];
+    if (role == kUnresolved) {
+      const std::string_view name = view.name_of(name_id);
+      role = name == kPartBuy         ? kBuySym
+             : name == kPartSell      ? kSellSym
+             : name == kPartPriceBuy  ? kPriceBuyP
+             : name == kPartPriceSell ? kPriceSellP
+             : name == kPartBuyer     ? kBuyerP
+             : name == kPartSeller    ? kSellerP
+                                      : kOther;
+    }
+    return role;
+  };
+
+  if (trade_sub_ != 0 && sub == trade_sub_) {
+    for (size_t e = 0; e < view.size(); ++e) {
+      for (size_t p = view.parts_begin(e); p < view.parts_end(e); ++p) {
+        const uint8_t role = role_of(view.name_id(p));
+        if (role == kBuyerP || role == kSellerP) {
+          OnFillIdentity(ctx, view.value(p));
+        }
+      }
+    }
+    return;
+  }
+  if (sub != match_sub_) {
+    return;
+  }
+  BatchEmitter orders = ctx.BuildEventBatch();
+  for (size_t e = 0; e < view.size(); ++e) {
+    // First visible part per field, string/int kind required — the column
+    // mirror of ReadEvent().Find() in the per-event path.
+    std::string buy_symbol;
+    std::string sell_symbol;
+    int64_t price_buy = 0;
+    int64_t price_sell = 0;
+    bool seen[5] = {false, false, false, false, false};
+    for (size_t p = view.parts_begin(e); p < view.parts_end(e); ++p) {
+      const uint8_t role = role_of(view.name_id(p));
+      if (role == kOther || role > kPriceSellP || seen[role]) {
+        continue;
+      }
+      seen[role] = true;
+      const Value& value = view.value(p);
+      switch (role) {
+        case kBuySym:
+          if (value.kind() == Value::Kind::kString) buy_symbol = value.string_value();
+          break;
+        case kSellSym:
+          if (value.kind() == Value::Kind::kString) sell_symbol = value.string_value();
+          break;
+        case kPriceBuyP:
+          if (value.kind() == Value::Kind::kInt) price_buy = value.int_value();
+          break;
+        case kPriceSellP:
+          if (value.kind() == Value::Kind::kInt) price_sell = value.int_value();
+          break;
+        default:
+          break;
+      }
+    }
+    PlaceOrders(ctx, std::move(buy_symbol), std::move(sell_symbol), price_buy, price_sell,
+                orders, view.origin_ns(e));
+  }
+  if (orders.event_count() > 0) {
+    size_t published = 0;
+    (void)ctx.PublishEventBatch(orders, &published);
+    orders_placed_ += published;
+  }
+}
+
 void TraderUnit::OnMatch(UnitContext& ctx, EventHandle event) {
   // One visibility snapshot serves all four reads (API v3) — the previous
   // per-ReadPart form walked the event once per part.
@@ -98,6 +188,22 @@ void TraderUnit::OnMatch(UnitContext& ctx, EventHandle event) {
   std::string sell_symbol = read_string(kPartSell);
   int64_t price_buy = read_int(kPartPriceBuy);
   int64_t price_sell = read_int(kPartPriceSell);
+  // Both legs of the pairs trade leave in one columnar batch: labels and part
+  // names intern once, the broker-side checks and index probes are shared per
+  // distinct id, and the pool wakes once.
+  BatchEmitter orders = ctx.BuildEventBatch();
+  PlaceOrders(ctx, std::move(buy_symbol), std::move(sell_symbol), price_buy, price_sell, orders,
+              /*origin_ns=*/0);
+  if (orders.event_count() > 0) {
+    size_t published = 0;
+    (void)ctx.PublishEventBatch(orders, &published);
+    orders_placed_ += published;
+  }
+}
+
+void TraderUnit::PlaceOrders(UnitContext& ctx, std::string buy_symbol, std::string sell_symbol,
+                             int64_t price_buy, int64_t price_sell, BatchEmitter& orders,
+                             int64_t origin_ns) {
   if (buy_symbol.empty() || sell_symbol.empty() || price_buy <= 0 || price_sell <= 0) {
     return;
   }
@@ -105,25 +211,12 @@ void TraderUnit::OnMatch(UnitContext& ctx, EventHandle event) {
     std::swap(buy_symbol, sell_symbol);
     std::swap(price_buy, price_sell);
   }
-  // Both legs of the pairs trade leave in one batch: the broker-side label
-  // checks and index probes are shared, and the pool wakes once.
-  std::vector<EventHandle> orders;
-  orders.reserve(2);
-  if (auto order = BuildOrder(ctx, /*buy=*/true, buy_symbol, price_buy); order.ok()) {
-    orders.push_back(order.value());
-  }
-  if (auto order = BuildOrder(ctx, /*buy=*/false, sell_symbol, price_sell); order.ok()) {
-    orders.push_back(order.value());
-  }
-  if (!orders.empty()) {
-    size_t published = 0;
-    (void)ctx.PublishBatch(orders, &published);
-    orders_placed_ += published;
-  }
+  AppendOrder(ctx, orders, /*buy=*/true, buy_symbol, price_buy, origin_ns);
+  AppendOrder(ctx, orders, /*buy=*/false, sell_symbol, price_sell, origin_ns);
 }
 
-Result<EventHandle> TraderUnit::BuildOrder(UnitContext& ctx, bool buy, const std::string& symbol,
-                                           int64_t price_cents) {
+void TraderUnit::AppendOrder(UnitContext& ctx, BatchEmitter& orders, bool buy,
+                             const std::string& symbol, int64_t price_cents, int64_t origin_ns) {
   const std::string order_id =
       "o" + std::to_string(index_) + "-" + std::to_string(next_order_seq_++);
 
@@ -131,7 +224,7 @@ Result<EventHandle> TraderUnit::BuildOrder(UnitContext& ctx, bool buy, const std
   // the trader recognise its own fill later.
   auto tr_result = ctx.CreateTag(options_.record_tag_names ? order_id : std::string());
   if (!tr_result.ok()) {
-    return tr_result.status();
+    return;
   }
   const Tag tr = tr_result.value();
   (void)ctx.AcquirePrivilege(tr, Privilege::kPlus);
@@ -163,14 +256,15 @@ Result<EventHandle> TraderUnit::BuildOrder(UnitContext& ctx, bool buy, const std
   (void)identity->Set(kKeyOrderId, Value::OfString(order_id));
 
   // The details part carries tr+ (read the identity under contamination) and
-  // tr+auth (delegate it to the Regulator on demand, step 7).
-  return ctx.BuildEvent()
+  // tr+auth (delegate it to the Regulator on demand, step 7), attached via
+  // the batch grant side-channel — the engine applies the same CanDelegate
+  // check at publish that AttachPrivilegeToPart would.
+  orders.BeginEvent(origin_ns)
       .Part(broker_label, kPartType, Value::OfString(kTypeOrder))
       .Part(broker_label, kPartDetails, Value::OfMap(details))
-      .Part(identity_label, kPartName, Value::OfMap(identity))
-      .PartPrivilege(kPartDetails, broker_label, tr, Privilege::kPlus)
-      .PartPrivilege(kPartDetails, broker_label, tr, Privilege::kPlusAuth)
-      .Build();
+      .PartPrivilege(tr, Privilege::kPlus)
+      .PartPrivilege(tr, Privilege::kPlusAuth)
+      .Part(identity_label, kPartName, Value::OfMap(identity));
 }
 
 void TraderUnit::OnTrade(UnitContext& ctx, EventHandle event) {
@@ -180,25 +274,28 @@ void TraderUnit::OnTrade(UnitContext& ctx, EventHandle event) {
   }
   for (const char* part : {kPartBuyer, kPartSeller}) {
     for (const NamedPartView* view_ptr : trade->FindAll(part)) {
-      const NamedPartView& view = *view_ptr;
-      if (view.data.kind() != Value::Kind::kMap) {
-        continue;
-      }
-      const Value* trader = view.data.map()->Find(kKeyTrader);
-      const Value* order = view.data.map()->Find(kKeyOrderId);
-      if (trader == nullptr || order == nullptr ||
-          trader->kind() != Value::Kind::kString || trader->string_value() != name_) {
-        continue;
-      }
-      ++fills_seen_;
-      // Fill observed: drop the per-order tag from Sin again.
-      if (order->kind() == Value::Kind::kString) {
-        auto it = pending_order_tags_.find(order->string_value());
-        if (it != pending_order_tags_.end()) {
-          (void)ctx.ChangeInOutLabel(LabelComponent::kSecrecy, LabelOp::kRemove, it->second);
-          pending_order_tags_.erase(it);
-        }
-      }
+      OnFillIdentity(ctx, view_ptr->data);
+    }
+  }
+}
+
+void TraderUnit::OnFillIdentity(UnitContext& ctx, const Value& payload) {
+  if (payload.kind() != Value::Kind::kMap) {
+    return;
+  }
+  const Value* trader = payload.map()->Find(kKeyTrader);
+  const Value* order = payload.map()->Find(kKeyOrderId);
+  if (trader == nullptr || order == nullptr || trader->kind() != Value::Kind::kString ||
+      trader->string_value() != name_) {
+    return;
+  }
+  ++fills_seen_;
+  // Fill observed: drop the per-order tag from Sin again.
+  if (order->kind() == Value::Kind::kString) {
+    auto it = pending_order_tags_.find(order->string_value());
+    if (it != pending_order_tags_.end()) {
+      (void)ctx.ChangeInOutLabel(LabelComponent::kSecrecy, LabelOp::kRemove, it->second);
+      pending_order_tags_.erase(it);
     }
   }
 }

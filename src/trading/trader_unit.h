@@ -56,6 +56,13 @@ class TraderUnit : public Unit {
 
   void OnStart(UnitContext& ctx) override;
   void OnEvent(UnitContext& ctx, EventHandle event, SubscriptionId sub) override;
+  // Native columnar consumption: match fields (buy/sell/price_buy/price_sell)
+  // and trade identity parts read straight off the view's name-id columns —
+  // one name classification per DISTINCT interned name per view. Order legs
+  // leave batch-native either way (see AppendOrder); in a view turn every
+  // leg of every match accumulates into one columnar publish.
+  bool ConsumesEventBatches() const override { return true; }
+  void OnEventBatch(UnitContext& ctx, const BatchView& view, SubscriptionId sub) override;
 
   uint64_t orders_placed() const { return orders_placed_; }
   uint64_t fills_seen() const { return fills_seen_; }
@@ -65,10 +72,21 @@ class TraderUnit : public Unit {
  private:
   void OnMatch(UnitContext& ctx, EventHandle event);
   void OnTrade(UnitContext& ctx, EventHandle event);
-  // Builds one order event (details + tr-protected identity part) without
-  // publishing; OnMatch batches both legs into a single PublishBatch.
-  Result<EventHandle> BuildOrder(UnitContext& ctx, bool buy, const std::string& symbol,
-                                 int64_t price_cents);
+  // Validates one match signal and appends both legs to the turn's order
+  // emitter — the shared core of both delivery paths.
+  void PlaceOrders(UnitContext& ctx, std::string buy_symbol, std::string sell_symbol,
+                   int64_t price_buy, int64_t price_sell, BatchEmitter& orders,
+                   int64_t origin_ns);
+  // Appends one order event (details + tr-protected identity part; the
+  // details part carries tr+ / tr+auth via the batch grant side-channel) to
+  // the emitter. Both legs of a match — and, on the batch path, every match
+  // of the turn — publish as ONE columnar batch: the broker/identity labels
+  // intern once per distinct label, not once per part.
+  void AppendOrder(UnitContext& ctx, BatchEmitter& orders, bool buy, const std::string& symbol,
+                   int64_t price_cents, int64_t origin_ns);
+  // One buyer/seller identity payload observed on a trade — the shared
+  // fill-recognition core of both delivery paths.
+  void OnFillIdentity(UnitContext& ctx, const Value& payload);
   void ForgetOldestPending(UnitContext& ctx);
 
   const size_t index_;

@@ -1,0 +1,446 @@
+// Batch-native emission (PR 10): a unit that consumes BatchViews and emits
+// through UnitContext::BuildEventBatch() must be transcript BYTE-identical to
+// the same unit re-materialising every emission through EventBuilder — across
+// every security mode, with and without sharding and the dispatch cache, and
+// including emissions a GateEmission policy suppresses (the suppressed set
+// must match exactly, not just the delivered bytes). The second half locks
+// the sequence detector's column-scan consumption to its per-event core:
+// identical detections, within_ns expiries, overlapping partials and label
+// joins when the same stream arrives batched vs lowered per-event.
+// Sanitizer-critical: the emitter's id-remap memo aliases the inbound view's
+// interned tables, so stale-id bugs surface here first.
+#include "src/core/event_batch.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/cep/aggregate.h"
+#include "src/cep/operators.h"
+#include "src/core/engine.h"
+#include "src/core/event_builder.h"
+#include "tests/test_util.h"
+
+namespace defcon {
+namespace {
+
+void AppendPartLine(std::string* out, std::string_view name, const Label& label,
+                    const Value& value) {
+  *out += '|';
+  out->append(name);
+  *out += '@';
+  *out += CanonicalLabelKey(label);
+  *out += '=';
+  *out += value.ToString();
+}
+
+// Per-event recorder: one "#origin|name@labelkey=value" line per delivered
+// event. Deliberately NOT batch-opted: both emission paths under test land in
+// the same part-map delivery surface, so any divergence is the emitter's.
+class RecorderUnit : public Unit {
+ public:
+  using Transcripts = std::map<std::string, std::vector<std::string>>;
+
+  RecorderUnit(std::string who, std::function<void(UnitContext&)> on_start,
+               Transcripts* transcripts)
+      : who_(std::move(who)), on_start_(std::move(on_start)), transcripts_(transcripts) {}
+
+  void OnStart(UnitContext& ctx) override {
+    if (on_start_) {
+      on_start_(ctx);
+    }
+  }
+
+  void OnEvent(UnitContext& ctx, EventHandle event, SubscriptionId) override {
+    auto parts = ctx.ReadAllParts(event);
+    if (!parts.ok()) {
+      (*transcripts_)[who_].push_back("!" + parts.status().ToString());
+      return;
+    }
+    std::string line = "#" + std::to_string(ctx.EventOrigin(event).value_or(-1));
+    for (const NamedPartView& part : *parts) {
+      AppendPartLine(&line, part.name, part.label, part.data);
+    }
+    (*transcripts_)[who_].push_back(std::move(line));
+  }
+
+ private:
+  const std::string who_;
+  std::function<void(UnitContext&)> on_start_;
+  Transcripts* transcripts_;
+};
+
+std::string JoinTranscripts(const RecorderUnit::Transcripts& transcripts) {
+  std::string out;
+  for (const auto& [who, lines] : transcripts) {  // std::map: sorted unit order
+    std::vector<std::string> sorted = lines;
+    std::sort(sorted.begin(), sorted.end());
+    out += who + "{\n";
+    for (const std::string& line : sorted) {
+      out += line + "\n";
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// The A/B unit: one relay, two emission paths
+// ---------------------------------------------------------------------------
+
+// Echoes every inbound "kind"="in" event as an identical event with
+// "kind"="out" (same per-part labels), then emits a gated-public "summary"
+// derived from the event's label join — suppressed by GateEmission whenever
+// the join carries secrecy the relay cannot declassify. `batch_native` flips
+// the WHOLE emission surface: BatchEmitter with id-remap (CopyPart/MapName/
+// MapLabel) vs EventBuilder re-materialisation; bytes on the wire must not
+// care.
+class RelayABUnit : public Unit {
+ public:
+  RelayABUnit(bool batch_native, Tag taint) : batch_native_(batch_native), taint_(taint) {}
+
+  void OnStart(UnitContext& ctx) override {
+    // Sin = Sout = {taint}: the relay reads tainted parts and every emission
+    // is re-stamped with the taint — identically on both paths.
+    ASSERT_TRUE(ctx.ChangeInOutLabel(LabelComponent::kSecrecy, LabelOp::kAdd, taint_).ok());
+    ASSERT_TRUE(ctx.Subscribe(Filter::Eq("kind", Value::OfString("in"))).ok());
+  }
+
+  bool ConsumesEventBatches() const override { return batch_native_; }
+
+  void OnEventBatch(UnitContext& ctx, const BatchView& view, SubscriptionId) override {
+    BatchEmitter emitter = ctx.BuildEventBatch();
+    for (size_t e = 0; e < view.size(); ++e) {
+      Label joined;
+      std::string sym = "?";
+      emitter.BeginEvent(view.origin_ns(e));
+      for (size_t p = view.parts_begin(e); p < view.parts_end(e); ++p) {
+        joined = LabelJoin(joined, view.label(p));
+        if (view.name(p) == "kind") {
+          // Rewritten value, remapped name/label ids: one interner probe per
+          // DISTINCT inbound id per turn, memo hits after that.
+          emitter.PartByIds(emitter.MapName(view.name_id(p)), emitter.MapLabel(view.label_id(p)),
+                            Value::OfString("out"));
+        } else {
+          if (view.name(p) == "sym") {
+            sym = view.value(p).ToString();
+          }
+          emitter.CopyPart(p);
+        }
+      }
+      if (const auto gate = GatePublic(ctx, joined)) {
+        emitter.BeginEvent(view.origin_ns(e)).Part(*gate, "summary", Value::OfString(sym));
+      }
+    }
+    ASSERT_TRUE(emitter.ok()) << emitter.status().ToString();
+    ASSERT_TRUE(ctx.PublishEventBatch(emitter).ok());
+  }
+
+  void OnEvent(UnitContext& ctx, EventHandle event, SubscriptionId) override {
+    auto parts = ctx.ReadAllParts(event);
+    ASSERT_TRUE(parts.ok());
+    Label joined;
+    std::string sym = "?";
+    EventBuilder echo = ctx.BuildEvent();
+    for (const NamedPartView& part : *parts) {
+      joined = LabelJoin(joined, part.label);
+      if (part.name == "kind") {
+        echo.Part(part.label, "kind", Value::OfString("out"));
+      } else {
+        if (part.name == "sym") {
+          sym = part.data.ToString();
+        }
+        echo.Part(part.label, part.name, part.data);
+      }
+    }
+    ASSERT_TRUE(echo.Publish().ok());
+    if (const auto gate = GatePublic(ctx, joined)) {
+      ASSERT_TRUE(ctx.BuildEvent().Part(*gate, "summary", Value::OfString(sym)).Publish().ok());
+    }
+  }
+
+  uint64_t blocked() const { return blocked_; }
+
+ private:
+  // Gate the summary at PUBLIC: suppressed (and counted) when the event's
+  // label join carries secrecy the relay holds no t- for. Both paths call
+  // this with the join computed from the labels they observed.
+  std::optional<Label> GatePublic(UnitContext& ctx, const Label& joined) {
+    cep::EmitPolicy public_out;
+    public_out.emit_label = Label();
+    return cep::GateEmission(ctx, joined, public_out, &blocked_);
+  }
+
+  const bool batch_native_;
+  const Tag taint_;
+  uint64_t blocked_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// A/B transcript equality: BatchEmitter vs EventBuilder re-materialisation
+// ---------------------------------------------------------------------------
+
+struct EmitRun {
+  std::string transcript;
+  EngineStatsSnapshot stats;
+  size_t published = 0;
+  Status publish_status;
+  uint64_t blocked = 0;
+};
+
+EmitRun RunEmissionScenario(SecurityMode mode, size_t shards, bool cache, bool batch_native) {
+  EngineConfig config = ManualConfig(mode);
+  config.index_shards = shards;
+  config.use_dispatch_cache = cache;
+  config.batch_plane = true;
+  Engine engine(config);
+
+  const Tag taint = engine.CreateTag("taint");
+
+  PrivilegeSet relay_priv;
+  relay_priv.Grant(taint, Privilege::kPlus);  // may raise Sin; may NOT declassify
+  auto* relay = new RelayABUnit(batch_native, taint);
+  engine.AddUnit("relay", std::unique_ptr<Unit>(relay), Label(), relay_priv);
+
+  RecorderUnit::Transcripts transcripts;
+  const auto subscribe_out = [](UnitContext& ctx) {
+    ASSERT_TRUE(ctx.Subscribe(Filter::Eq("kind", Value::OfString("out"))).ok());
+    ASSERT_TRUE(ctx.Subscribe(Filter::Exists("summary")).ok());
+  };
+  PrivilegeSet watcher_priv;
+  watcher_priv.Grant(taint, Privilege::kPlus);
+  engine.AddUnit("watcher",
+                 std::make_unique<RecorderUnit>(
+                     "watcher",
+                     [taint, subscribe_out](UnitContext& ctx) {
+                       ASSERT_TRUE(
+                           ctx.ChangeInOutLabel(LabelComponent::kSecrecy, LabelOp::kAdd, taint)
+                               .ok());
+                       subscribe_out(ctx);
+                     },
+                     &transcripts),
+                 Label(), watcher_priv);
+  // No clearance: must record nothing in label modes, everything under
+  // kNoSecurity — identically on both paths.
+  engine.AddUnit("pleb", std::make_unique<RecorderUnit>("pleb", subscribe_out, &transcripts));
+
+  PrivilegeSet pub_priv;
+  pub_priv.GrantAll(taint);
+  const UnitId feeder = engine.AddUnit("feeder", std::make_unique<TestUnit>(), Label(), pub_priv);
+
+  engine.Start();
+  engine.RunUntilIdle();
+
+  EmitRun run;
+  engine.InjectTurn(feeder, [&run, taint](UnitContext& ctx) {
+    const Label pub;
+    const Label tainted({taint}, {});
+    BatchBuilder builder;
+    for (int i = 0; i < 8; ++i) {
+      builder.BeginEvent(5001 + i)
+          .Part(pub, "kind", Value::OfString("in"))
+          .Part(pub, "sym", Value::OfString(i % 2 == 0 ? "AAPL" : "MSFT"))
+          .Part(i % 3 == 0 ? tainted : pub, "px", Value::OfInt(100 + i));
+    }
+    run.publish_status = ctx.PublishEventBatch(builder.Build(), &run.published);
+  });
+  engine.RunUntilIdle();
+
+  run.transcript = JoinTranscripts(transcripts);
+  run.stats = engine.stats();
+  run.blocked = relay->blocked();
+  return run;
+}
+
+TEST(BatchEmitterTranscripts, ByteIdenticalToEventBuilderAcrossModesShardsAndCache) {
+  const SecurityMode kModes[] = {SecurityMode::kNoSecurity, SecurityMode::kLabels,
+                                 SecurityMode::kLabelsClone, SecurityMode::kLabelsIsolation};
+  for (SecurityMode mode : kModes) {
+    for (size_t shards : {size_t{1}, size_t{4}}) {
+      for (bool cache : {false, true}) {
+        SCOPED_TRACE(std::string(SecurityModeName(mode)) + " shards=" + std::to_string(shards) +
+                     " cache=" + (cache ? std::string("on") : std::string("off")));
+        const EmitRun a = RunEmissionScenario(mode, shards, cache, /*batch_native=*/true);
+        const EmitRun b = RunEmissionScenario(mode, shards, cache, /*batch_native=*/false);
+
+        EXPECT_TRUE(a.publish_status.ok()) << a.publish_status.ToString();
+        EXPECT_TRUE(b.publish_status.ok()) << b.publish_status.ToString();
+        EXPECT_EQ(a.published, 8u);
+        EXPECT_EQ(b.published, 8u);
+        EXPECT_FALSE(a.transcript.empty());
+        EXPECT_EQ(a.transcript, b.transcript);
+
+        // The gate must suppress the SAME emissions on both paths — the
+        // mixed-secrecy events (i % 3 == 0) whose join the relay cannot
+        // declassify to public.
+        EXPECT_EQ(a.blocked, b.blocked);
+        if (mode != SecurityMode::kNoSecurity) {
+          EXPECT_EQ(a.blocked, 3u);
+        }
+
+        // Which emission path ran is observable ONLY in the stats.
+        EXPECT_GT(a.stats.batch_emit_publishes, 0u);
+        EXPECT_GT(a.stats.emit_id_remap_hits, 0u);
+        EXPECT_EQ(b.stats.batch_emit_publishes, 0u);
+        EXPECT_EQ(b.stats.emit_id_remap_hits, 0u);
+
+        // Arena accounting: batches were charged while live and fully
+        // released once the last view turn dropped them.
+        EXPECT_GT(a.stats.batch_arena_bytes_peak, 0u);
+        EXPECT_EQ(a.stats.batch_arena_bytes, 0u);
+        EXPECT_EQ(b.stats.batch_arena_bytes, 0u);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sequence-detector lockstep: column scan vs per-event core
+// ---------------------------------------------------------------------------
+
+struct SeqRun {
+  uint64_t detections = 0;
+  uint64_t blocked = 0;
+  uint64_t expired = 0;
+  uint64_t dropped = 0;
+  size_t live = 0;
+  uint64_t gated_detections = 0;
+  uint64_t gated_blocked = 0;
+  std::string transcript;
+  EngineStatsSnapshot stats;
+};
+
+// One stream, ten events, every state transition the detector owns: two
+// overlapping partials completed by one closing event, one partial expired by
+// the within_ns budget, and one tainted match whose public-gated twin must
+// suppress the completion. `batched` flips ONLY how the stream is lowered —
+// one donated EventBatch (column-scan consumption, batch-native completions)
+// vs the same publish lowered to per-event turns (batch_plane off).
+SeqRun RunSequenceScenario(bool batched) {
+  EngineConfig config = ManualConfig(SecurityMode::kLabels);
+  config.batch_plane = batched;
+  Engine engine(config);
+  const Tag taint = engine.CreateTag("taint");
+
+  cep::SequenceOptions options;
+  options.subscription = Filter::Exists("k");
+  options.steps.push_back({"a", Filter::Eq("k", Value::OfString("a"))});
+  options.steps.push_back({"b", Filter::Eq("k", Value::OfString("b"))});
+  options.steps.push_back({"c", Filter::Eq("k", Value::OfString("c"))});
+  options.within_ns = 500;
+  options.time_part = "ts";
+  auto* detector = new cep::SequenceDetectorUnit(options);
+  engine.AddUnit("seq", std::unique_ptr<Unit>(detector), Label({taint}, {}));
+
+  // Same pattern, but completions gated at PUBLIC: partials whose label join
+  // picked up the taint must be suppressed (and counted) on both planes.
+  cep::SequenceOptions gated_options = options;
+  gated_options.out_type = "seq2";
+  gated_options.emit.emit_label = Label();
+  auto* gated = new cep::SequenceDetectorUnit(gated_options);
+  engine.AddUnit("gated", std::unique_ptr<Unit>(gated), Label({taint}, {}));
+
+  RecorderUnit::Transcripts transcripts;
+  engine.AddUnit("watch",
+                 std::make_unique<RecorderUnit>(
+                     "watch",
+                     [](UnitContext& ctx) {
+                       ASSERT_TRUE(
+                           ctx.Subscribe(Filter::Eq("type", Value::OfString("seq"))).ok());
+                       ASSERT_TRUE(
+                           ctx.Subscribe(Filter::Eq("type", Value::OfString("seq2"))).ok());
+                     },
+                     &transcripts),
+                 Label({taint}, {}));
+
+  PrivilegeSet pub_priv;
+  pub_priv.GrantAll(taint);
+  const UnitId feeder = engine.AddUnit("feeder", std::make_unique<TestUnit>(), Label(), pub_priv);
+  engine.Start();
+  engine.RunUntilIdle();
+
+  engine.InjectTurn(feeder, [taint](UnitContext& ctx) {
+    const Label pub;
+    const Label tainted({taint}, {});
+    // (k, tick time, k-part label); ts parts stay public so the label join is
+    // exactly the k parts' contribution.
+    const struct {
+      const char* k;
+      int64_t ts;
+      bool taint;
+    } kStream[] = {
+        {"a", 100, false},   // opens P1
+        {"a", 120, true},    // opens P2 (overlapping, tainted join)
+        {"b", 150, false},   // advances P1 and P2
+        {"x", 180, false},   // matches no step
+        {"c", 450, false},   // completes BOTH partials (spans 350 and 330)
+        {"a", 1000, false},  // opens P3
+        {"b", 1600, false},  // P3 expired: 600ns > within_ns budget
+        {"a", 2000, true},   // opens P4 (tainted join)
+        {"b", 2100, false},  // advances P4
+        {"c", 2200, false},  // completes P4 (span 200)
+    };
+    BatchBuilder builder;
+    int64_t origin = 9001;
+    for (const auto& ev : kStream) {
+      builder.BeginEvent(origin++)
+          .Part(ev.taint ? Label({taint}, {}) : pub, "k", Value::OfString(ev.k))
+          .Part(pub, "ts", Value::OfInt(ev.ts));
+    }
+    ASSERT_TRUE(ctx.PublishEventBatch(builder.Build()).ok());
+  });
+  engine.RunUntilIdle();
+
+  SeqRun run;
+  run.detections = detector->detections();
+  run.blocked = detector->emissions_blocked();
+  run.expired = detector->partials_expired();
+  run.dropped = detector->partials_dropped();
+  run.live = detector->partials_live();
+  run.gated_detections = gated->detections();
+  run.gated_blocked = gated->emissions_blocked();
+  run.transcript = JoinTranscripts(transcripts);
+  run.stats = engine.stats();
+  return run;
+}
+
+TEST(SequenceDetectorLockstep, ColumnScanMatchesPerEventCore) {
+  const SeqRun a = RunSequenceScenario(/*batched=*/true);
+  const SeqRun b = RunSequenceScenario(/*batched=*/false);
+
+  // The state machine must not care how the stream was lowered.
+  EXPECT_EQ(a.detections, 3u);  // P1 + P2 (one closing event) + P4
+  EXPECT_EQ(b.detections, 3u);
+  EXPECT_EQ(a.expired, 1u);  // P3 outlived the within_ns budget
+  EXPECT_EQ(b.expired, 1u);
+  EXPECT_EQ(a.dropped, 0u);
+  EXPECT_EQ(b.dropped, 0u);
+  EXPECT_EQ(a.live, 0u);
+  EXPECT_EQ(b.live, 0u);
+  EXPECT_EQ(a.blocked, 0u);  // joined-label policy never suppresses
+  EXPECT_EQ(b.blocked, 0u);
+
+  // The public-gated twin suppresses exactly the tainted joins (P2, P4).
+  EXPECT_EQ(a.gated_detections, 3u);
+  EXPECT_EQ(b.gated_detections, 3u);
+  EXPECT_EQ(a.gated_blocked, 2u);
+  EXPECT_EQ(b.gated_blocked, 2u);
+
+  // Completion bytes — origins, steps, span_ns, emission labels — match.
+  EXPECT_FALSE(a.transcript.empty());
+  EXPECT_EQ(a.transcript, b.transcript);
+
+  // The batched run completed through the batch-native emission path.
+  EXPECT_GT(a.stats.batch_view_deliveries, 0u);
+  EXPECT_GT(a.stats.batch_emit_publishes, 0u);
+  EXPECT_EQ(b.stats.batch_view_deliveries, 0u);
+  EXPECT_EQ(b.stats.batch_emit_publishes, 0u);
+}
+
+}  // namespace
+}  // namespace defcon

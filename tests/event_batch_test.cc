@@ -151,6 +151,37 @@ TEST(BatchBuilder, PartBeforeBeginEventOpensAnOriginlessEvent) {
   EXPECT_EQ(batch.origin_ns(0), 0);  // "assign at publish"
 }
 
+// The leak regression the BatchBuilder contract promises: abandoned builds —
+// explicit Abandon() and Build() on a latched builder alike — must hand back
+// EVERY label reference (the per-part refs AND the builder-held InternLabel
+// refs), so a long-lived builder churning failed batches cannot pin interner
+// slots. 10k cycles on one reused builder; the live set must drain to empty
+// after every single one, and the recycled slot table must stay dense.
+TEST(BatchBuilder, TenThousandAbandonedBuildsLeakNoLabelReferences) {
+  BatchBuilder builder;
+  for (int i = 0; i < 10'000; ++i) {
+    const Label label({Tag{static_cast<uint64_t>(i % 7 + 1), 11}}, {});
+    builder.InternLabel(label);  // builder-held reference
+    builder.BeginEvent(i + 1)
+        .Part(label, "p", Value::OfInt(i))
+        .Part(Label({Tag{99, 99}}, {}), "q", Value::OfString("payload"));
+    if (i % 2 == 0) {
+      builder.Abandon();
+    } else {
+      builder.LatchError(InvalidArgument("synthetic failure"));
+      const EventBatch empty = builder.Build();  // latched Build abandons too
+      EXPECT_TRUE(empty.empty());
+    }
+    ASSERT_TRUE(builder.ok());
+    size_t live = 0;
+    builder.label_interner().ForEachLive([&](uint32_t, const Label&, size_t) { ++live; });
+    ASSERT_EQ(live, 0u) << "label refs leaked by cycle " << i;
+  }
+  // Two distinct labels live per cycle, recycled each time: the slot table
+  // must not grow with the churn.
+  EXPECT_LE(builder.label_interner().slot_count(), 4u);
+}
+
 // ---------------------------------------------------------------------------
 // Transcript byte-equality: batch plane vs part-map plane
 // ---------------------------------------------------------------------------
